@@ -1,0 +1,49 @@
+//! Ablation: how deep transformation chains behave.
+//!
+//! PolyFrame's state is a query *string*, so an n-operation chain builds an
+//! n-level subquery onion. This bench measures (a) the client-side rewrite
+//! cost of building chains of increasing depth and (b) the backend's
+//! compile cost for the resulting query — demonstrating that the
+//! subquery-composition design stays cheap as chains grow, because the
+//! optimizer flattens the onion (DESIGN.md, "query strings as state").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use polyframe::expr::col;
+use polyframe::rewrite::{Language, RuleSet};
+use polyframe::Translator;
+use polyframe_sqlengine::{Engine, EngineConfig};
+
+fn build_chain(tr: &Translator, depth: usize) -> String {
+    let mut q = tr.records("Test", "data").unwrap();
+    for i in 0..depth {
+        q = tr.filter(&q, &col("ten").ge((i % 10) as i64)).unwrap();
+    }
+    q
+}
+
+fn ablation(c: &mut Criterion) {
+    // (a) rewrite cost per chain depth.
+    let tr = Translator::new(RuleSet::builtin(Language::SqlPlusPlus));
+    let mut g = c.benchmark_group("chain_rewrite");
+    for depth in [1usize, 8, 32, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| build_chain(&tr, d))
+        });
+    }
+    g.finish();
+
+    // (b) backend compile cost for the deep onion (filters merge into one).
+    let engine = Engine::new(EngineConfig::asterixdb());
+    engine.create_dataset("Test", "data", Some("ten"));
+    let mut g = c.benchmark_group("chain_compile");
+    for depth in [1usize, 8, 32, 64] {
+        let q = build_chain(&tr, depth);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &q, |b, q| {
+            b.iter(|| engine.compile_to_logical(q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

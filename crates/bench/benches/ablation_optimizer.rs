@@ -1,0 +1,72 @@
+//! Ablation: the paper's optimizer requirement.
+//!
+//! Section III.C: "Executing subqueries without any optimization could
+//! result in unnecessary data scans that would significantly affect
+//! performance." This bench runs selective queries (expressions 3, 10, 11
+//! and 13 shapes) on a PostgreSQL-personality engine with index selection
+//! ON vs OFF, quantifying what PolyFrame's reliance on backend optimizers
+//! actually buys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyframe_datamodel::Value;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+
+const N: usize = 20_000;
+
+fn engines() -> (Engine, Engine) {
+    let records = generate(&WisconsinConfig::new(N));
+    let on = Engine::new(EngineConfig::postgres());
+    let off = Engine::new(EngineConfig {
+        use_indexes: false,
+        ..EngineConfig::postgres()
+    });
+    for engine in [&on, &off] {
+        engine.create_dataset("public", "data", Some("unique2"));
+        engine.load("public", "data", records.clone()).unwrap();
+        for attr in ["unique1", "ten", "onePercent", "tenPercent"] {
+            engine.create_index("public", "data", attr).unwrap();
+        }
+    }
+    (on, off)
+}
+
+fn ablation(c: &mut Criterion) {
+    let (on, off) = engines();
+    let queries = [
+        (
+            "expr10_selection",
+            "SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"ten\" = 4 LIMIT 5",
+        ),
+        (
+            "expr11_range_count",
+            "SELECT COUNT(*) FROM (SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"onePercent\" >= 10 AND t.\"onePercent\" <= 25) t",
+        ),
+        (
+            "expr13_isna_count",
+            "SELECT COUNT(*) FROM (SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"tenPercent\" IS NULL) t",
+        ),
+        (
+            "expr9_sort_limit",
+            "SELECT t.* FROM (SELECT * FROM data) t ORDER BY t.\"unique1\" DESC LIMIT 5",
+        ),
+    ];
+    for (name, q) in queries {
+        let mut g = c.benchmark_group(format!("optimizer_{name}"));
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(200));
+        g.measurement_time(std::time::Duration::from_millis(600));
+        g.bench_function("indexes_on", |b| {
+            b.iter(|| {
+                let rows = on.query(q).unwrap();
+                assert!(!rows.is_empty() || rows.first().map(|r| r.get_path("count")) == Some(Value::Int(0)));
+                rows
+            })
+        });
+        g.bench_function("indexes_off", |b| b.iter(|| off.query(q).unwrap()));
+        g.finish();
+    }
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Figure 5: the XS single-node results — all 13 expressions on Pandas and
+//! the four PolyFrame backends (expression-only timings; total runtimes are
+//! creation + expression, and creation is benchmarked separately), plus the
+//! Empty-dataset baseline for expressions 2 and 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyframe_bench::expressions::ALL_EXPRESSIONS;
+use polyframe_bench::params::BenchParams;
+use polyframe_bench::systems::{SingleNodeSetup, SystemKind};
+use polyframe_bench::BenchExpr;
+
+const XS: usize = 4_000;
+
+fn fig5(c: &mut Criterion) {
+    let setup = SingleNodeSetup::build(XS, XS);
+    let empty = SingleNodeSetup::build(0, XS);
+    let params = BenchParams::default();
+
+    // DataFrame creation (the paper's first timing point).
+    {
+        let mut g = c.benchmark_group("fig5_creation");
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(200));
+        g.measurement_time(std::time::Duration::from_millis(600));
+        g.bench_function("Pandas", |b| {
+            b.iter(|| setup.pandas_create().unwrap());
+        });
+        for kind in [
+            SystemKind::Asterix,
+            SystemKind::Postgres,
+            SystemKind::Mongo,
+            SystemKind::Neo4j,
+        ] {
+            g.bench_function(kind.name(), |b| b.iter(|| setup.polyframe(kind)));
+        }
+        g.finish();
+    }
+
+    // Expression-only runtimes.
+    let (pdf, pdf2) = setup.pandas_create().unwrap();
+    for expr in ALL_EXPRESSIONS {
+        let mut g = c.benchmark_group(format!("fig5_expr{:02}", expr.0));
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(200));
+        g.measurement_time(std::time::Duration::from_millis(600));
+        g.bench_function("Pandas", |b| {
+            b.iter(|| expr.run_pandas(&pdf, &pdf2, &params).unwrap())
+        });
+        for kind in [
+            SystemKind::Asterix,
+            SystemKind::Postgres,
+            SystemKind::Mongo,
+            SystemKind::Neo4j,
+        ] {
+            let df = setup.polyframe(kind);
+            let df2 = setup.polyframe_right(kind);
+            g.bench_function(kind.name(), |b| {
+                b.iter(|| expr.run_polyframe(&df, &df2, &params).unwrap())
+            });
+        }
+        g.finish();
+    }
+
+    // Empty-dataset baseline (query-preparation overhead, exprs 2 and 10).
+    for expr in [BenchExpr(2), BenchExpr(10)] {
+        let mut g = c.benchmark_group(format!("fig5_empty_expr{:02}", expr.0));
+        g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(200));
+        g.measurement_time(std::time::Duration::from_millis(600));
+        for kind in [
+            SystemKind::Asterix,
+            SystemKind::Postgres,
+            SystemKind::Mongo,
+            SystemKind::Neo4j,
+        ] {
+            let df = empty.polyframe(kind);
+            let df2 = empty.polyframe_right(kind);
+            g.bench_function(kind.name(), |b| {
+                b.iter(|| expr.run_polyframe(&df, &df2, &params).unwrap())
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

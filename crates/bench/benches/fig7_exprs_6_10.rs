@@ -1,0 +1,46 @@
+//! Figure 7: expressions 6-10 across the XS-XL dataset sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyframe_bench::params::BenchParams;
+use polyframe_bench::systems::{SingleNodeSetup, SystemKind};
+use polyframe_bench::BenchExpr;
+use polyframe_wisconsin::SizePreset;
+
+const XS: usize = 1_000;
+
+fn fig7(c: &mut Criterion) {
+    let params = BenchParams::default();
+    for size in SizePreset::SCALED {
+        let n = size.records(XS);
+        let setup = SingleNodeSetup::build(n, XS);
+        let pandas = setup.pandas_create().ok();
+        for expr_id in 6..=10u8 {
+            let expr = BenchExpr(expr_id);
+            let mut g = c.benchmark_group(format!("fig7_expr{expr_id:02}_{}", size.name()));
+            g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(200));
+        g.measurement_time(std::time::Duration::from_millis(600));
+            if let Some((pdf, pdf2)) = &pandas {
+                g.bench_function("Pandas", |b| {
+                    b.iter(|| expr.run_pandas(pdf, pdf2, &params).unwrap())
+                });
+            }
+            for kind in [
+                SystemKind::Asterix,
+                SystemKind::Postgres,
+                SystemKind::Mongo,
+                SystemKind::Neo4j,
+            ] {
+                let df = setup.polyframe(kind);
+                let df2 = setup.polyframe_right(kind);
+                g.bench_function(kind.name(), |b| {
+                    b.iter(|| expr.run_polyframe(&df, &df2, &params).unwrap())
+                });
+            }
+            g.finish();
+        }
+    }
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 9: speedup — a fixed (XL-proportioned) dataset on clusters of
+//! 1 to 4 nodes, for the three multi-node systems. Criterion covers a
+//! representative expression subset (scan-bound, index-bound, aggregate,
+//! sort, join); `harness speedup` sweeps all 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyframe_bench::params::BenchParams;
+use polyframe_bench::systems::{ClusterKind, MultiNodeSetup};
+use polyframe_bench::BenchExpr;
+
+const RECORDS: usize = 20_000;
+const EXPRS: [u8; 5] = [1, 3, 6, 9, 11];
+
+fn fig9(c: &mut Criterion) {
+    let params = BenchParams::default();
+    for shards in 1..=4usize {
+        let setup = MultiNodeSetup::build(shards, RECORDS);
+        for kind in ClusterKind::ALL {
+            let df = setup.polyframe(kind);
+            let df2 = setup.polyframe_right(kind);
+            for expr_id in EXPRS {
+                let expr = BenchExpr(expr_id);
+                let mut g =
+                    c.benchmark_group(format!("fig9_expr{expr_id:02}_{}nodes", shards));
+                g.sample_size(10);
+        g.warm_up_time(std::time::Duration::from_millis(200));
+        g.measurement_time(std::time::Duration::from_millis(600));
+                g.bench_function(kind.name(), |b| {
+                    // Report the simulated-parallel critical path, not the
+                    // (single-core) wall clock.
+                    b.iter_custom(|iters| {
+                        let _ = setup.take_simulated_elapsed(kind);
+                        for _ in 0..iters {
+                            match expr.run_polyframe(&df, &df2, &params) {
+                                Ok(_) => {}
+                                // Sharded MongoDB rejects expression 12.
+                                Err(_) => return std::time::Duration::from_nanos(1),
+                            }
+                        }
+                        setup.take_simulated_elapsed(kind)
+                    })
+                });
+                g.finish();
+            }
+        }
+    }
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

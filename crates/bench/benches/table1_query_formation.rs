@@ -1,0 +1,38 @@
+//! Table I / Figure 2: cost of the incremental query formation itself —
+//! the pure string-rewriting work of building the six-operation chain in
+//! each of the four languages. This is PolyFrame's client-side overhead
+//! per transformation (no database involved).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use polyframe::expr::col;
+use polyframe::rewrite::{Language, RuleSet};
+use polyframe::Translator;
+
+fn table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_query_formation");
+    for lang in [
+        Language::SqlPlusPlus,
+        Language::Sql,
+        Language::Mongo,
+        Language::Cypher,
+    ] {
+        let tr = Translator::new(RuleSet::builtin(lang));
+        g.bench_function(lang.name(), |b| {
+            b.iter(|| {
+                let q1 = tr.records("Test", "Users").unwrap();
+                let q2 = tr.project(&q1, &["lang"]).unwrap();
+                let q3 = tr
+                    .project_computed(&q2, "is_eq", &col("lang").eq("en"))
+                    .unwrap();
+                let q4 = tr.filter(&q1, &col("lang").eq("en")).unwrap();
+                let q5 = tr.project(&q4, &["name", "address"]).unwrap();
+                let q6 = tr.limit(&q5, 10).unwrap();
+                (q3, q6)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

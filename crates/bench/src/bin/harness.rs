@@ -1,0 +1,238 @@
+//! The DataFrame-benchmark harness: regenerates the data behind every
+//! figure of the PolyFrame paper as text tables.
+//!
+//! ```text
+//! harness single-node [--size xs|s|m|l|xl|empty|all] [--scale N]   Figs 5-8
+//! harness speedup     [--shards N] [--records N]                   Fig 9
+//! harness scaleup     [--shards N] [--records N]                   Fig 10
+//! harness translate                                                Table I / Fig 2 / Fig 4
+//! harness sizes       [--scale N]                                  Table IV
+//! ```
+//!
+//! `--scale` sets the XS record count (default 20 000; the paper used
+//! 500 000 ≈ 1 GB of JSON). All other sizes follow Table IV's proportions.
+
+use polyframe::prelude::*;
+use polyframe_bench::expressions::ALL_EXPRESSIONS;
+use polyframe_bench::params::BenchParams;
+use polyframe_bench::report::{fmt_duration, fmt_ratio, Table};
+use polyframe_bench::systems::{ClusterKind, MultiNodeSetup, SingleNodeSetup, SystemKind};
+use polyframe_bench::timing::{time_cluster_expression, time_expression};
+use polyframe_wisconsin::SizePreset;
+use std::time::Duration;
+
+const DEFAULT_XS: usize = 20_000;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let get_flag = |name: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let scale = get_flag("--scale", DEFAULT_XS);
+
+    match cmd {
+        "single-node" => {
+            let size_arg = args
+                .iter()
+                .position(|a| a == "--size")
+                .and_then(|i| args.get(i + 1))
+                .cloned()
+                .unwrap_or_else(|| "xs".to_string());
+            let sizes: Vec<SizePreset> = match size_arg.as_str() {
+                "xs" => vec![SizePreset::Xs],
+                "s" => vec![SizePreset::S],
+                "m" => vec![SizePreset::M],
+                "l" => vec![SizePreset::L],
+                "xl" => vec![SizePreset::Xl],
+                "empty" => vec![SizePreset::Empty],
+                "all" => {
+                    let mut v = vec![SizePreset::Empty];
+                    v.extend(SizePreset::SCALED);
+                    v
+                }
+                other => {
+                    eprintln!("unknown size {other}");
+                    std::process::exit(2);
+                }
+            };
+            for size in sizes {
+                single_node(size, scale);
+            }
+        }
+        "speedup" => {
+            let shards = get_flag("--shards", 4);
+            let records = get_flag("--records", SizePreset::Xl.records(scale));
+            speedup(shards, records);
+        }
+        "scaleup" => {
+            let shards = get_flag("--shards", 4);
+            let records = get_flag("--records", SizePreset::Xl.records(scale));
+            scaleup(shards, records);
+        }
+        "translate" => translate(),
+        "sizes" => sizes(scale),
+        _ => {
+            eprintln!(
+                "usage: harness <single-node|speedup|scaleup|translate|sizes> [options]\n\
+                 options: --size xs|s|m|l|xl|empty|all, --scale N, --shards N, --records N"
+            );
+        }
+    }
+}
+
+/// Figures 5-8: one dataset size, all systems, all 13 expressions, both
+/// timing points.
+fn single_node(size: SizePreset, scale: usize) {
+    let n = size.records(scale);
+    println!("\n=== Single node, dataset {} ({n} records) ===", size.name());
+    let setup = SingleNodeSetup::build(n, scale);
+    let params = BenchParams::default();
+
+    let systems = SystemKind::PAPER_SET;
+    let header: Vec<&str> = std::iter::once("expr")
+        .chain(systems.iter().map(|s| s.name()))
+        .collect();
+    let mut total = Table::new(&header);
+    let mut expr_only = Table::new(&header);
+
+    for expr in ALL_EXPRESSIONS {
+        let mut trow = vec![expr.0.to_string()];
+        let mut erow = vec![expr.0.to_string()];
+        for kind in systems {
+            let t = time_expression(&setup, kind, expr, &params);
+            if t.failed() {
+                trow.push("OOM".to_string());
+                erow.push("OOM".to_string());
+            } else {
+                trow.push(fmt_duration(t.total()));
+                erow.push(fmt_duration(t.expression));
+            }
+        }
+        total.row(trow);
+        expr_only.row(erow);
+    }
+    println!("\nTotal runtimes (creation + expression):");
+    print!("{}", total.render());
+    println!("\nExpression-only runtimes:");
+    print!("{}", expr_only.render());
+}
+
+/// Figure 9: fixed dataset, growing cluster.
+fn speedup(max_shards: usize, records: usize) {
+    println!("\n=== Speedup: {records} records, 1..{max_shards} nodes ===");
+    let params = BenchParams::default();
+    let setups: Vec<MultiNodeSetup> = (1..=max_shards)
+        .map(|s| MultiNodeSetup::build(s, records))
+        .collect();
+    cluster_tables(&setups, &params, true);
+}
+
+/// Figure 10: dataset grows with the cluster.
+fn scaleup(max_shards: usize, base_records: usize) {
+    println!("\n=== Scaleup: {base_records} records/node, 1..{max_shards} nodes ===");
+    let params = BenchParams::default();
+    let setups: Vec<MultiNodeSetup> = (1..=max_shards)
+        .map(|s| MultiNodeSetup::build(s, base_records * s))
+        .collect();
+    cluster_tables(&setups, &params, false);
+}
+
+fn cluster_tables(setups: &[MultiNodeSetup], params: &BenchParams, is_speedup: bool) {
+    let label = if is_speedup { "speedup" } else { "scaleup" };
+    for kind in ClusterKind::ALL {
+        let mut header: Vec<String> = vec!["expr".to_string()];
+        for setup in setups {
+            header.push(format!("{}n", setup.shards));
+            if setup.shards > 1 {
+                header.push(format!("{label}@{}", setup.shards));
+            }
+        }
+        let mut table = Table::new(&header.iter().map(String::as_str).collect::<Vec<_>>());
+        for expr in ALL_EXPRESSIONS {
+            let mut row = vec![expr.0.to_string()];
+            let mut base: Option<Duration> = None;
+            for setup in setups {
+                let t = time_cluster_expression(setup, kind, expr, params);
+                if t.failed() {
+                    // Sharded MongoDB cannot run expression 12 ($lookup).
+                    row.push("n/a".to_string());
+                    if setup.shards > 1 {
+                        row.push("-".to_string());
+                    }
+                    continue;
+                }
+                row.push(fmt_duration(t.expression));
+                match base {
+                    None => base = Some(t.expression),
+                    Some(b) => row.push(fmt_ratio(
+                        b.as_secs_f64() / t.expression.as_secs_f64().max(1e-9),
+                    )),
+                }
+            }
+            table.row(row);
+        }
+        println!("\n{}:", kind.name());
+        print!("{}", table.render());
+    }
+}
+
+/// Table I / Figure 2 / Figure 4: the incremental query formation chain in
+/// all four languages.
+fn translate() {
+    println!("=== Incremental query formation (paper Table I) ===");
+    let ops = [
+        "1: af = AFrame('Test', 'Users')",
+        "2: af['lang']",
+        "3: af['lang'] == 'en'",
+        "4: af[af['lang'] == 'en']",
+        "5: ...[['name', 'address']]",
+        "6: ....head(10)",
+    ];
+    for lang in [
+        Language::SqlPlusPlus,
+        Language::Sql,
+        Language::Mongo,
+        Language::Cypher,
+    ] {
+        println!("\n--- {} ---", lang.name());
+        let tr = polyframe::Translator::new(RuleSet::builtin(lang));
+        let q1 = tr.records("Test", "Users").unwrap();
+        let q2 = tr.project(&q1, &["lang"]).unwrap();
+        let q3 = tr
+            .project_computed(&q2, "is_eq", &col("lang").eq("en"))
+            .unwrap();
+        let q4 = tr.filter(&q1, &col("lang").eq("en")).unwrap();
+        let q5 = tr.project(&q4, &["name", "address"]).unwrap();
+        let q6 = tr.limit(&q5, 10).unwrap();
+        for (op, q) in ops.iter().zip([&q1, &q2, &q3, &q4, &q5, &q6]) {
+            println!("\n[{op}]\n{q}");
+        }
+    }
+}
+
+/// Table IV: the single-node dataset sizes at the current scale.
+fn sizes(scale: usize) {
+    println!("=== Dataset sizes (paper Table IV proportions) ===");
+    let mut table = Table::new(&["name", "records", "paper records", "paper JSON size"]);
+    let paper = [
+        ("XS", "0.5 mil", "1 GB"),
+        ("S", "1.25 mil", "2.5 GB"),
+        ("M", "2.5 mil", "5 GB"),
+        ("L", "3.75 mil", "7.5 GB"),
+        ("XL", "5 mil", "10 GB"),
+    ];
+    for (preset, (name, prec, psize)) in SizePreset::SCALED.iter().zip(paper) {
+        table.row(vec![
+            name.to_string(),
+            preset.records(scale).to_string(),
+            prec.to_string(),
+            psize.to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+}

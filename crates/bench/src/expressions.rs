@@ -1,0 +1,226 @@
+//! The 13 benchmark expressions (paper Table III), runnable against a
+//! PolyFrame frame or the eager Pandas stand-in.
+
+use crate::params::BenchParams;
+use polyframe::prelude::*;
+use polyframe::dataframe::AggFunc as PfAgg;
+use polyframe_datamodel::Value;
+use polyframe_eager::{AggKind, EagerFrame};
+
+/// One benchmark expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenchExpr(pub u8);
+
+/// All 13 expressions.
+pub const ALL_EXPRESSIONS: [BenchExpr; 13] = [
+    BenchExpr(1),
+    BenchExpr(2),
+    BenchExpr(3),
+    BenchExpr(4),
+    BenchExpr(5),
+    BenchExpr(6),
+    BenchExpr(7),
+    BenchExpr(8),
+    BenchExpr(9),
+    BenchExpr(10),
+    BenchExpr(11),
+    BenchExpr(12),
+    BenchExpr(13),
+];
+
+/// A compact expression outcome used to sanity-check agreement between
+/// systems (a count, a scalar, or a row count).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// A count result.
+    Count(usize),
+    /// A scalar result.
+    Scalar(Value),
+    /// Number of rows returned.
+    Rows(usize),
+}
+
+impl BenchExpr {
+    /// The paper's description (Table III).
+    pub fn description(self) -> &'static str {
+        match self.0 {
+            1 => "Total Count: len(df)",
+            2 => "Project: df[['two','four']].head()",
+            3 => "Filter & Count: len(df[(ten==x)&(twentyPercent==y)&(two==z)])",
+            4 => "Group By: df.groupby('oddOnePercent').agg('count')",
+            5 => "Map Function: df['stringu1'].map(str.upper).head()",
+            6 => "Max: df['unique1'].max()",
+            7 => "Min: df['unique1'].min()",
+            8 => "Group By & Max: df.groupby('twenty')['four'].agg('max')",
+            9 => "Sort: df.sort_values('unique1',ascending=False).head()",
+            10 => "Selection: df[df['ten']==x].head()",
+            11 => "Range Selection: len(df[(onePercent>=x)&(onePercent<=y)])",
+            12 => "Join & Count: len(pd.merge(df,df2,on='unique1'))",
+            13 => "Count Missing: len(df[df['tenPercent'].isna()])",
+            _ => unreachable!(),
+        }
+    }
+
+    /// Run against a PolyFrame frame (`df2` is the join partner).
+    pub fn run_polyframe(
+        self,
+        df: &AFrame,
+        df2: &AFrame,
+        p: &BenchParams,
+    ) -> polyframe::Result<Outcome> {
+        match self.0 {
+            1 => Ok(Outcome::Count(df.len()?)),
+            2 => Ok(Outcome::Rows(df.select(&["two", "four"])?.head(5)?.len())),
+            3 => {
+                let masked = df.mask(
+                    &(col("ten").eq(p.ten)
+                        & col("twentyPercent").eq(p.twenty_percent)
+                        & col("two").eq(p.two)),
+                )?;
+                Ok(Outcome::Count(masked.len()?))
+            }
+            4 => {
+                let res = df
+                    .groupby("oddOnePercent")
+                    .agg(PfAgg::Count)?
+                    .collect()?;
+                Ok(Outcome::Rows(res.len()))
+            }
+            5 => Ok(Outcome::Rows(
+                df.col("stringu1")?.map(MapFunc::Upper)?.head(5)?.len(),
+            )),
+            6 => Ok(Outcome::Scalar(df.col("unique1")?.max()?)),
+            7 => Ok(Outcome::Scalar(df.col("unique1")?.min()?)),
+            8 => {
+                let res = df.groupby("twenty").agg_on("four", PfAgg::Max)?.collect()?;
+                Ok(Outcome::Rows(res.len()))
+            }
+            9 => Ok(Outcome::Rows(
+                df.sort_values("unique1", false)?.head(5)?.len(),
+            )),
+            10 => Ok(Outcome::Rows(df.mask(&col("ten").eq(p.ten))?.head(5)?.len())),
+            11 => {
+                let masked = df.mask(
+                    &(col("onePercent").ge(p.range_lo) & col("onePercent").le(p.range_hi)),
+                )?;
+                Ok(Outcome::Count(masked.len()?))
+            }
+            12 => Ok(Outcome::Count(df.merge(df2, "unique1")?.len()?)),
+            13 => Ok(Outcome::Count(df.mask(&col("tenPercent").is_na())?.len()?)),
+            _ => unreachable!(),
+        }
+    }
+
+    /// Run against the eager (Pandas) baseline.
+    pub fn run_pandas(
+        self,
+        df: &EagerFrame,
+        df2: &EagerFrame,
+        p: &BenchParams,
+    ) -> polyframe_eager::Result<Outcome> {
+        let budget = df.budget().clone();
+        match self.0 {
+            1 => Ok(Outcome::Count(df.len())),
+            2 => Ok(Outcome::Rows(df.select(&["two", "four"])?.head(5)?.len())),
+            3 => {
+                // Eager: every comparison materializes a full mask.
+                let m1 = df.col("ten")?.eq(&Value::Int(p.ten), &budget)?;
+                let m2 = df
+                    .col("twentyPercent")?
+                    .eq(&Value::Int(p.twenty_percent), &budget)?;
+                let m3 = df.col("two")?.eq(&Value::Int(p.two), &budget)?;
+                let mask = m1.and(&m2, &budget)?.and(&m3, &budget)?;
+                Ok(Outcome::Count(df.filter(&mask)?.len()))
+            }
+            4 => Ok(Outcome::Rows(df.groupby_count("oddOnePercent")?.len())),
+            5 => {
+                // Eager trap: the whole mapped column exists before head().
+                let upper = df.col("stringu1")?.map_upper(&budget)?;
+                Ok(Outcome::Rows(upper.head(5, &budget)?.len()))
+            }
+            6 => Ok(Outcome::Scalar(df.agg("unique1", AggKind::Max)?)),
+            7 => Ok(Outcome::Scalar(df.agg("unique1", AggKind::Min)?)),
+            8 => Ok(Outcome::Rows(
+                df.groupby_agg("twenty", "four", AggKind::Max)?.len(),
+            )),
+            9 => Ok(Outcome::Rows(df.sort_values("unique1", false)?.head(5)?.len())),
+            10 => {
+                // Eager trap: filter materializes the whole selection.
+                let mask = df.col("ten")?.eq(&Value::Int(p.ten), &budget)?;
+                Ok(Outcome::Rows(df.filter(&mask)?.head(5)?.len()))
+            }
+            11 => {
+                let lo = df.col("onePercent")?.ge(&Value::Int(p.range_lo), &budget)?;
+                let hi = df.col("onePercent")?.le(&Value::Int(p.range_hi), &budget)?;
+                let mask = lo.and(&hi, &budget)?;
+                Ok(Outcome::Count(df.filter(&mask)?.len()))
+            }
+            12 => Ok(Outcome::Count(df.merge(df2, "unique1", "unique1")?.len())),
+            13 => {
+                let mask = df.col("tenPercent")?.isna(&budget)?;
+                Ok(Outcome::Count(df.filter(&mask)?.len()))
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Ground truth for verifiable outcomes, computed from the generator's
+    /// definition (used by integration tests).
+    pub fn expected(self, n: usize, p: &BenchParams) -> Option<Outcome> {
+        let n_i = n as i64;
+        match self.0 {
+            1 => Some(Outcome::Count(n)),
+            3 => Some(Outcome::Count(
+                (0..n_i)
+                    .filter(|u| {
+                        u % 10 == p.ten && u % 5 == p.twenty_percent && u % 2 == p.two
+                    })
+                    .count(),
+            )),
+            6 => Some(Outcome::Scalar(Value::Int(n_i - 1))),
+            7 => Some(Outcome::Scalar(Value::Int(0))),
+            11 => Some(Outcome::Count(
+                (0..n_i)
+                    .filter(|u| {
+                        let c = u % 100;
+                        c >= p.range_lo && c <= p.range_hi
+                    })
+                    .count(),
+            )),
+            12 => Some(Outcome::Count(n)),
+            13 => Some(Outcome::Count((0..n_i).filter(|u| u % 10 == 0).count())),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::{SingleNodeSetup, SystemKind};
+
+    #[test]
+    fn all_systems_agree_on_all_expressions() {
+        let setup = SingleNodeSetup::build(1_000, 1_000);
+        let p = BenchParams::default();
+        let (pdf, pdf2) = setup.pandas_create().unwrap();
+        for expr in ALL_EXPRESSIONS {
+            let pandas = expr.run_pandas(&pdf, &pdf2, &p).unwrap();
+            for kind in [
+                SystemKind::Asterix,
+                SystemKind::Postgres,
+                SystemKind::Mongo,
+                SystemKind::Neo4j,
+                SystemKind::GreenplumSingle,
+            ] {
+                let df = setup.polyframe(kind);
+                let df2 = setup.polyframe_right(kind);
+                let got = expr.run_polyframe(&df, &df2, &p).unwrap();
+                assert_eq!(got, pandas, "expr {} on {}", expr.0, kind.name());
+            }
+            if let Some(expected) = expr.expected(1_000, &p) {
+                assert_eq!(pandas, expected, "expr {} ground truth", expr.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # polyframe-bench
+//!
+//! The DataFrame benchmark from the PolyFrame paper (section IV): 13
+//! analytical expressions (Table III) over the scalable Wisconsin dataset,
+//! timed with the paper's two timing points (total runtime including
+//! DataFrame creation vs. expression-only runtime), across Pandas (the
+//! eager baseline) and PolyFrame on AsterixDB, PostgreSQL, MongoDB and
+//! Neo4j — plus the multi-node speedup/scaleup harness for Figures 9/10.
+//!
+//! The `harness` binary regenerates every figure's data as text tables;
+//! the Criterion benches (`benches/`) provide statistically rigorous
+//! per-figure timings.
+
+pub mod expressions;
+pub mod params;
+pub mod report;
+pub mod systems;
+pub mod timing;
+
+pub use expressions::{BenchExpr, ALL_EXPRESSIONS};
+pub use params::BenchParams;
+pub use systems::{MultiNodeSetup, SingleNodeSetup, SystemKind};
+pub use timing::{time_expression, Timing};

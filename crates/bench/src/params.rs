@@ -1,0 +1,61 @@
+//! Benchmark parameters (the paper's `x`, `y`, `z` random values).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameter values drawn "within an attribute's range" (Table III note).
+#[derive(Debug, Clone, Copy)]
+pub struct BenchParams {
+    /// Expression 3/10: the `ten` selector (0..=9).
+    pub ten: i64,
+    /// Expression 3: the `twentyPercent` selector (0..=4) — chosen
+    /// congruent with `ten` so the conjunction is satisfiable.
+    pub twenty_percent: i64,
+    /// Expression 3: the `two` selector (0..=1) — also congruent.
+    pub two: i64,
+    /// Expression 11: range lower bound over `onePercent`.
+    pub range_lo: i64,
+    /// Expression 11: range upper bound (`lo + 15`, ~16% selectivity like
+    /// a random x..y pair).
+    pub range_hi: i64,
+}
+
+impl BenchParams {
+    /// Draw parameters from a seeded RNG (deterministic across runs).
+    pub fn seeded(seed: u64) -> BenchParams {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ten = rng.gen_range(0..10i64);
+        // ten = unique1 % 10 forces unique1 % 5 and % 2:
+        let twenty_percent = ten % 5;
+        let two = ten % 2;
+        let range_lo = rng.gen_range(0..80i64);
+        BenchParams {
+            ten,
+            twenty_percent,
+            two,
+            range_lo,
+            range_hi: range_lo + 15,
+        }
+    }
+}
+
+impl Default for BenchParams {
+    fn default() -> Self {
+        BenchParams::seeded(42)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_are_consistent_and_deterministic() {
+        let p = BenchParams::seeded(7);
+        let q = BenchParams::seeded(7);
+        assert_eq!(p.ten, q.ten);
+        assert_eq!(p.ten % 5, p.twenty_percent);
+        assert_eq!(p.ten % 2, p.two);
+        assert_eq!(p.range_hi - p.range_lo, 15);
+    }
+}

@@ -1,0 +1,310 @@
+//! Benchmark system setup: load the Wisconsin data into every backend.
+//!
+//! Setup (loading + index builds) is excluded from all timings, mirroring
+//! the paper: the data already lives in each database before the benchmark
+//! starts; only Pandas pays a load cost, and that cost *is* its "DataFrame
+//! creation time".
+
+use polyframe::prelude::*;
+use polyframe_cluster::{MongoCluster, SqlCluster};
+use polyframe_datamodel::Record;
+use polyframe_docstore::DocStore;
+use polyframe_eager::{EagerFrame, MemoryBudget};
+use polyframe_graphstore::GraphStore;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use polyframe_wisconsin::{generate_json, WisconsinConfig};
+use std::sync::Arc;
+
+/// Namespace used for all benchmark datasets.
+pub const NS: &str = "Bench";
+/// The main dataset name.
+pub const DS: &str = "wisconsin";
+/// The join partner dataset (expression 12).
+pub const DS2: &str = "wisconsin2";
+
+/// Attributes indexed on every system (the benchmark's standard indexes).
+pub const INDEXED: [&str; 4] = ["unique1", "ten", "onePercent", "tenPercent"];
+
+/// Pandas' memory budget, as a multiple of the dataset's in-memory bytes at
+/// the XS size. With JSON ingestion peaking at ~4x the frame footprint
+/// (see `polyframe-eager`), 16x lets XS and S complete every expression
+/// while M, L and XL hit `MemoryError` — the paper's exact outcome matrix.
+pub const PANDAS_BUDGET_XS_MULTIPLE: usize = 16;
+
+/// The systems of the single-node evaluation (Figure 5's legend).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SystemKind {
+    /// Eager in-memory baseline.
+    Pandas,
+    /// PolyFrame on the AsterixDB substrate (SQL++).
+    Asterix,
+    /// PolyFrame on the PostgreSQL 12 substrate (SQL).
+    Postgres,
+    /// PolyFrame on the MongoDB substrate (pipelines).
+    Mongo,
+    /// PolyFrame on the Neo4j substrate (Cypher).
+    Neo4j,
+    /// PolyFrame on a single-node Greenplum segment (PostgreSQL 9.5) —
+    /// the paper ran this aside before the multi-node experiments.
+    GreenplumSingle,
+}
+
+impl SystemKind {
+    /// The paper's Figure-5 legend order.
+    pub const PAPER_SET: [SystemKind; 5] = [
+        SystemKind::Pandas,
+        SystemKind::Asterix,
+        SystemKind::Postgres,
+        SystemKind::Mongo,
+        SystemKind::Neo4j,
+    ];
+
+    /// Display name matching the paper's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Pandas => "Pandas",
+            SystemKind::Asterix => "AFrame-AsterixDB",
+            SystemKind::Postgres => "AFrame-PostgreSQL",
+            SystemKind::Mongo => "AFrame-MongoDB",
+            SystemKind::Neo4j => "AFrame-Neo4j",
+            SystemKind::GreenplumSingle => "AFrame-Greenplum",
+        }
+    }
+}
+
+/// Everything needed to benchmark one dataset size on a single node.
+pub struct SingleNodeSetup {
+    /// Number of records loaded.
+    pub num_records: usize,
+    /// NDJSON text (what Pandas `read_json`s).
+    pub json: String,
+    /// Pandas' memory budget.
+    pub pandas_budget: MemoryBudget,
+    asterix: Arc<Engine>,
+    postgres: Arc<Engine>,
+    greenplum: Arc<Engine>,
+    mongo: Arc<DocStore>,
+    neo4j: Arc<GraphStore>,
+}
+
+impl SingleNodeSetup {
+    /// Generate data and load every backend. `xs_records` scales the
+    /// Pandas budget (it must be the scale's XS record count so the OOM
+    /// threshold lands where the paper's did).
+    pub fn build(num_records: usize, xs_records: usize) -> SingleNodeSetup {
+        let records = polyframe_wisconsin::generate(&WisconsinConfig::new(num_records));
+        let json = generate_json(&WisconsinConfig::new(num_records));
+
+        let xs_bytes: usize = if num_records == xs_records {
+            records.iter().map(Record::approx_size).sum()
+        } else {
+            // Estimate XS bytes from this dataset's per-record footprint.
+            let total: usize = records.iter().map(Record::approx_size).sum();
+            match total.checked_div(num_records) {
+                // Empty baseline: give Pandas a nominal budget.
+                None => 1 << 20,
+                Some(per_record) => per_record * xs_records,
+            }
+        };
+        let pandas_budget = MemoryBudget::with_limit(
+            xs_bytes.saturating_mul(PANDAS_BUDGET_XS_MULTIPLE).max(1 << 20),
+        );
+
+        let asterix = Arc::new(Engine::new(EngineConfig::asterixdb()));
+        let postgres = Arc::new(Engine::new(EngineConfig::postgres()));
+        let greenplum = Arc::new(Engine::new(EngineConfig::greenplum()));
+        for engine in [&asterix, &postgres, &greenplum] {
+            for ds in [DS, DS2] {
+                engine.create_dataset(NS, ds, Some("unique2"));
+                engine.load(NS, ds, records.clone()).unwrap();
+                for attr in INDEXED {
+                    engine.create_index(NS, ds, attr).unwrap();
+                }
+            }
+        }
+
+        let mongo = Arc::new(DocStore::new());
+        for ds in [DS, DS2] {
+            let coll = format!("{NS}.{ds}");
+            mongo.create_collection(&coll);
+            mongo.insert_many(&coll, records.clone()).unwrap();
+            for attr in INDEXED {
+                mongo.create_index(&coll, attr).unwrap();
+            }
+        }
+
+        let neo4j = Arc::new(GraphStore::new());
+        for ds in [DS, DS2] {
+            neo4j.create_label(ds);
+            neo4j.insert_nodes(ds, records.clone()).unwrap();
+            for attr in INDEXED {
+                neo4j.create_index(ds, attr).unwrap();
+            }
+        }
+
+        SingleNodeSetup {
+            num_records,
+            json,
+            pandas_budget,
+            asterix,
+            postgres,
+            greenplum,
+            mongo,
+            neo4j,
+        }
+    }
+
+    /// Create the PolyFrame DataFrame for `kind` (this is the operation
+    /// the paper times as "DataFrame creation").
+    pub fn polyframe(&self, kind: SystemKind) -> AFrame {
+        self.frame_over(kind, DS)
+    }
+
+    /// The join partner frame (expression 12).
+    pub fn polyframe_right(&self, kind: SystemKind) -> AFrame {
+        self.frame_over(kind, DS2)
+    }
+
+    fn frame_over(&self, kind: SystemKind, ds: &str) -> AFrame {
+        let conn: Arc<dyn DatabaseConnector> = match kind {
+            SystemKind::Asterix => Arc::new(AsterixConnector::new(Arc::clone(&self.asterix))),
+            SystemKind::Postgres => Arc::new(PostgresConnector::new(Arc::clone(&self.postgres))),
+            SystemKind::GreenplumSingle => {
+                Arc::new(PostgresConnector::greenplum(Arc::clone(&self.greenplum)))
+            }
+            SystemKind::Mongo => Arc::new(MongoConnector::new(Arc::clone(&self.mongo))),
+            SystemKind::Neo4j => Arc::new(Neo4jConnector::new(Arc::clone(&self.neo4j))),
+            SystemKind::Pandas => panic!("Pandas is not a PolyFrame backend"),
+        };
+        AFrame::new(NS, ds, conn).expect("frame creation")
+    }
+
+    /// Pandas "DataFrame creation": parse the JSON into eager frames
+    /// (`df` and `df2`). Fails with `MemoryError` past the budget.
+    pub fn pandas_create(&self) -> polyframe_eager::Result<(EagerFrame, EagerFrame)> {
+        let df = EagerFrame::read_json(&self.json, &self.pandas_budget)?;
+        let df2 = EagerFrame::read_json(&self.json, &self.pandas_budget)?;
+        Ok((df, df2))
+    }
+}
+
+/// Cluster systems of the multi-node evaluation (Figures 9/10). Neo4j
+/// community edition has no sharded mode — excluded, like the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterKind {
+    /// AsterixDB cluster.
+    Asterix,
+    /// Sharded MongoDB.
+    Mongo,
+    /// Greenplum (PostgreSQL 9.5 segments).
+    Greenplum,
+}
+
+impl ClusterKind {
+    /// All multi-node systems.
+    pub const ALL: [ClusterKind; 3] = [
+        ClusterKind::Asterix,
+        ClusterKind::Mongo,
+        ClusterKind::Greenplum,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterKind::Asterix => "AFrame-AsterixDB",
+            ClusterKind::Mongo => "AFrame-MongoDB",
+            ClusterKind::Greenplum => "AFrame-Greenplum",
+        }
+    }
+}
+
+/// Multi-node setup: one cluster per system, `shards` nodes each.
+pub struct MultiNodeSetup {
+    /// Number of shards ("nodes").
+    pub shards: usize,
+    /// Records loaded.
+    pub num_records: usize,
+    asterix: Arc<SqlCluster>,
+    greenplum: Arc<SqlCluster>,
+    mongo: Arc<MongoCluster>,
+}
+
+impl MultiNodeSetup {
+    /// Build clusters of `shards` nodes and load `num_records`.
+    pub fn build(shards: usize, num_records: usize) -> MultiNodeSetup {
+        let records = polyframe_wisconsin::generate(&WisconsinConfig::new(num_records));
+
+        let asterix = Arc::new(SqlCluster::new(
+            shards,
+            EngineConfig::asterixdb(),
+            "unique2",
+        ));
+        let greenplum = Arc::new(SqlCluster::new(
+            shards,
+            EngineConfig::greenplum(),
+            "unique2",
+        ));
+        for cluster in [&asterix, &greenplum] {
+            for ds in [DS, DS2] {
+                cluster.create_dataset(NS, ds, Some("unique2"));
+                cluster.load(NS, ds, records.clone()).unwrap();
+                for attr in INDEXED {
+                    cluster.create_index(NS, ds, attr).unwrap();
+                }
+            }
+        }
+
+        let mongo = Arc::new(MongoCluster::new(shards));
+        for ds in [DS, DS2] {
+            let coll = format!("{NS}.{ds}");
+            mongo.create_collection(&coll);
+            mongo.insert_many(&coll, records.clone()).unwrap();
+            for attr in INDEXED {
+                mongo.create_index(&coll, attr).unwrap();
+            }
+        }
+
+        MultiNodeSetup {
+            shards,
+            num_records,
+            asterix,
+            greenplum,
+            mongo,
+        }
+    }
+
+    /// Drain the simulated-parallel elapsed time one system accumulated
+    /// (`compile + max(shard) + merge`, summed over the queries since the
+    /// last drain) — the multi-node timing metric on hosts with fewer
+    /// cores than shards.
+    pub fn take_simulated_elapsed(&self, kind: ClusterKind) -> std::time::Duration {
+        match kind {
+            ClusterKind::Asterix => self.asterix.take_simulated_elapsed(),
+            ClusterKind::Greenplum => self.greenplum.take_simulated_elapsed(),
+            ClusterKind::Mongo => self.mongo.take_simulated_elapsed(),
+        }
+    }
+
+    /// The PolyFrame frame for one cluster system.
+    pub fn polyframe(&self, kind: ClusterKind) -> AFrame {
+        self.frame_over(kind, DS)
+    }
+
+    /// The join partner frame.
+    pub fn polyframe_right(&self, kind: ClusterKind) -> AFrame {
+        self.frame_over(kind, DS2)
+    }
+
+    fn frame_over(&self, kind: ClusterKind, ds: &str) -> AFrame {
+        let conn: Arc<dyn DatabaseConnector> = match kind {
+            ClusterKind::Asterix => {
+                Arc::new(SqlClusterConnector::asterixdb(Arc::clone(&self.asterix)))
+            }
+            ClusterKind::Greenplum => {
+                Arc::new(SqlClusterConnector::greenplum(Arc::clone(&self.greenplum)))
+            }
+            ClusterKind::Mongo => Arc::new(MongoClusterConnector::new(Arc::clone(&self.mongo))),
+        };
+        AFrame::new(NS, ds, conn).expect("frame creation")
+    }
+}

@@ -1,0 +1,153 @@
+//! The benchmark's two timing points (paper section IV.A and appendix D).
+
+use crate::expressions::{BenchExpr, Outcome};
+use crate::params::BenchParams;
+use crate::systems::{SingleNodeSetup, SystemKind};
+use std::time::{Duration, Instant};
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct Timing {
+    /// DataFrame creation time (`pd.read_json` / `AFrame::new`).
+    pub creation: Duration,
+    /// Expression-only runtime.
+    pub expression: Duration,
+    /// The outcome (for agreement checks), or the failure message —
+    /// Pandas reports `MemoryError` on oversized datasets.
+    pub outcome: Result<Outcome, String>,
+}
+
+impl Timing {
+    /// Total runtime (creation + expression), the paper's first metric.
+    pub fn total(&self) -> Duration {
+        self.creation + self.expression
+    }
+
+    /// True when the run failed (OOM).
+    pub fn failed(&self) -> bool {
+        self.outcome.is_err()
+    }
+}
+
+/// Measure one `(system, expression)` pair at single-node scope, including
+/// the DataFrame creation timing point. One untimed warm-up run precedes
+/// the measurement so cold-cache effects (first touch of a freshly loaded
+/// store) do not swamp microsecond-scale index plans; the Criterion
+/// benches apply proper statistical treatment on top.
+pub fn time_expression(
+    setup: &SingleNodeSetup,
+    kind: SystemKind,
+    expr: BenchExpr,
+    params: &BenchParams,
+) -> Timing {
+    // Warm-up (untimed, errors ignored — Pandas may OOM here too).
+    match kind {
+        SystemKind::Pandas => {
+            if let Ok((df, df2)) = setup.pandas_create() {
+                let _ = expr.run_pandas(&df, &df2, params);
+            }
+        }
+        other => {
+            let df = setup.polyframe(other);
+            let df2 = setup.polyframe_right(other);
+            let _ = expr.run_polyframe(&df, &df2, params);
+        }
+    }
+    match kind {
+        SystemKind::Pandas => {
+            let start = Instant::now();
+            let created = setup.pandas_create();
+            let creation = start.elapsed();
+            match created {
+                Err(e) => Timing {
+                    creation,
+                    expression: Duration::ZERO,
+                    outcome: Err(e.to_string()),
+                },
+                Ok((df, df2)) => {
+                    let start = Instant::now();
+                    let outcome = expr.run_pandas(&df, &df2, params);
+                    let expression = start.elapsed();
+                    Timing {
+                        creation,
+                        expression,
+                        outcome: outcome.map_err(|e| e.to_string()),
+                    }
+                }
+            }
+        }
+        polyframe_kind => {
+            let start = Instant::now();
+            let df = setup.polyframe(polyframe_kind);
+            let df2 = setup.polyframe_right(polyframe_kind);
+            let creation = start.elapsed();
+            let start = Instant::now();
+            let outcome = expr.run_polyframe(&df, &df2, params);
+            let expression = start.elapsed();
+            Timing {
+                creation,
+                expression,
+                outcome: outcome.map_err(|e| e.to_string()),
+            }
+        }
+    }
+}
+
+/// Run an expression on a cluster and report the **simulated parallel**
+/// elapsed time (`compile + max(shard) + merge` per query; see
+/// `polyframe_cluster::stats`). On hosts with fewer cores than shards the
+/// wall clock cannot show speedup; the critical path can, and on a
+/// sufficiently parallel host the two coincide.
+pub fn time_cluster_expression(
+    setup: &crate::systems::MultiNodeSetup,
+    kind: crate::systems::ClusterKind,
+    expr: BenchExpr,
+    params: &BenchParams,
+) -> Timing {
+    let df = setup.polyframe(kind);
+    let df2 = setup.polyframe_right(kind);
+    // Untimed warm-up, then a measured run (see `time_expression`).
+    let _ = expr.run_polyframe(&df, &df2, params);
+    let _ = setup.take_simulated_elapsed(kind); // reset
+    let outcome = expr.run_polyframe(&df, &df2, params);
+    let expression = setup.take_simulated_elapsed(kind);
+    Timing {
+        creation: Duration::ZERO,
+        expression,
+        outcome: outcome.map_err(|e| e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polyframe_creation_is_cheap_and_runs() {
+        let setup = SingleNodeSetup::build(500, 500);
+        let t = time_expression(
+            &setup,
+            SystemKind::Postgres,
+            BenchExpr(1),
+            &BenchParams::default(),
+        );
+        assert!(!t.failed());
+        // PolyFrame creation builds a query string, not a dataset copy.
+        assert!(t.creation < t.total());
+        assert_eq!(t.outcome.unwrap(), Outcome::Count(500));
+    }
+
+    #[test]
+    fn pandas_oom_reports_memory_error() {
+        // Pretend XS is tiny so this "M-sized" load exceeds the budget.
+        let setup = SingleNodeSetup::build(2_000, 100);
+        let t = time_expression(
+            &setup,
+            SystemKind::Pandas,
+            BenchExpr(1),
+            &BenchParams::default(),
+        );
+        assert!(t.failed());
+        assert!(t.outcome.unwrap_err().contains("MemoryError"));
+    }
+}

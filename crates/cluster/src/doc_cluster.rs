@@ -1,0 +1,370 @@
+//! Sharded MongoDB ("mongos") cluster.
+
+use crate::partition::shard_for;
+use crate::stats::{ExecMode, QueryStats, StatsRecorder};
+use polyframe_datamodel::{Record, Value};
+use polyframe_docstore::distributed::{
+    apply_stages_to_rows, merge_counts, merge_groups, merge_topk, partial_group, split,
+    MongoDistributed,
+};
+use polyframe_docstore::{DocStore, Result};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A hash-partitioned cluster of document stores behind a mongos-style
+/// router.
+pub struct MongoCluster {
+    shards: Vec<Arc<DocStore>>,
+    next_id: AtomicI64,
+    mode: ExecMode,
+    stats: StatsRecorder,
+}
+
+impl MongoCluster {
+    /// Build a cluster of `n` shards (dispatch mode: [`ExecMode::auto`]).
+    pub fn new(n: usize) -> MongoCluster {
+        MongoCluster::with_mode(n, ExecMode::auto(n))
+    }
+
+    /// Build a cluster with an explicit dispatch mode.
+    pub fn with_mode(n: usize, mode: ExecMode) -> MongoCluster {
+        assert!(n >= 1, "a cluster needs at least one shard");
+        MongoCluster {
+            shards: (0..n).map(|_| Arc::new(DocStore::new())).collect(),
+            next_id: AtomicI64::new(1),
+            mode,
+            stats: StatsRecorder::new(),
+        }
+    }
+
+    /// Drain the accumulated simulated-parallel elapsed time
+    /// (`compile + max(shard) + merge` per query; see `crate::stats`).
+    pub fn take_simulated_elapsed(&self) -> Duration {
+        self.stats.take_simulated_elapsed()
+    }
+
+    /// Drain the raw per-query stats.
+    pub fn take_stats(&self) -> Vec<QueryStats> {
+        self.stats.take()
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow one shard.
+    pub fn shard(&self, i: usize) -> &DocStore {
+        &self.shards[i]
+    }
+
+    /// Create a collection on every shard.
+    pub fn create_collection(&self, name: &str) {
+        for s in &self.shards {
+            s.create_collection(name);
+        }
+    }
+
+    /// Insert documents, assigning cluster-wide `_id`s and routing by
+    /// `_id` hash.
+    pub fn insert_many(
+        &self,
+        collection: &str,
+        docs: impl IntoIterator<Item = Record>,
+    ) -> Result<usize> {
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<Record>> = (0..n).map(|_| Vec::new()).collect();
+        let mut total = 0;
+        for mut doc in docs {
+            if !doc.contains("_id") {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                let mut with_id = Record::with_capacity(doc.len() + 1);
+                with_id.insert("_id", id);
+                for (k, v) in doc.iter() {
+                    with_id.insert(k.to_string(), v.clone());
+                }
+                doc = with_id;
+            }
+            let key = doc.get_or_missing("_id");
+            buckets[shard_for(&key, n)].push(doc);
+            total += 1;
+        }
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, bucket) in self.shards.iter().zip(buckets) {
+                let shard = Arc::clone(shard);
+                let collection = collection.to_string();
+                handles.push(scope.spawn(move |_| shard.insert_many(&collection, bucket)));
+            }
+            for h in handles {
+                h.join().expect("shard insert thread panicked")?;
+            }
+            Ok(())
+        })
+        .expect("thread scope")?;
+        Ok(total)
+    }
+
+    /// Create a secondary index on every shard.
+    pub fn create_index(&self, collection: &str, attribute: &str) -> Result<()> {
+        for s in &self.shards {
+            s.create_index(collection, attribute)?;
+        }
+        Ok(())
+    }
+
+    /// Total documents across shards (metadata, O(shards)).
+    pub fn count_documents(&self, collection: &str) -> Result<usize> {
+        let mut total = 0;
+        for s in &self.shards {
+            total += s.count_documents(collection)?;
+        }
+        Ok(total)
+    }
+
+    /// Run an aggregation pipeline across the cluster. `$lookup` pipelines
+    /// are rejected (the paper's expression-12 restriction).
+    pub fn aggregate(&self, collection: &str, pipeline_json: &str) -> Result<Vec<Value>> {
+        let compile_start = Instant::now();
+        let stages = polyframe_docstore::parse_pipeline(pipeline_json)?;
+        let strategy = split(&stages)?;
+        let compile = compile_start.elapsed();
+
+        match strategy {
+            MongoDistributed::Concat {
+                shard_stages,
+                limit,
+            } => {
+                let (parts, shard_times) =
+                    self.run_shards(collection, move |shard, coll| {
+                        shard.aggregate_stages(coll, &shard_stages)
+                    })?;
+                let merge_start = Instant::now();
+                let mut rows: Vec<Value> = parts.into_iter().flatten().collect();
+                if let Some(n) = limit {
+                    rows.truncate(n as usize);
+                }
+                self.record(compile, shard_times, merge_start.elapsed());
+                Ok(rows)
+            }
+            MongoDistributed::SumCount {
+                shard_stages,
+                name,
+                post,
+            } => {
+                let (parts, shard_times) =
+                    self.run_shards(collection, move |shard, coll| {
+                        shard.aggregate_stages(coll, &shard_stages)
+                    })?;
+                let merge_start = Instant::now();
+                let merged = merge_counts(parts, &name);
+                let out = apply_stages_to_rows(merged, &post);
+                self.record(compile, shard_times, merge_start.elapsed());
+                out
+            }
+            MongoDistributed::Regroup {
+                shard_stages,
+                id,
+                accs,
+                post,
+            } => {
+                // Each shard runs the pre-group prefix AND the partial
+                // grouping, so the reduction happens shard-side.
+                let accs_for_merge = accs.clone();
+                let (parts, shard_times) =
+                    self.run_shards(collection, move |shard, coll| {
+                        let rows = shard.aggregate_stages(coll, &shard_stages)?;
+                        partial_group(rows, &id, &accs)
+                    })?;
+                let merge_start = Instant::now();
+                let merged = merge_groups(parts, &accs_for_merge)?;
+                let out = apply_stages_to_rows(merged, &post);
+                self.record(compile, shard_times, merge_start.elapsed());
+                out
+            }
+            MongoDistributed::TopK {
+                shard_stages,
+                sort,
+                limit,
+                post,
+            } => {
+                let (parts, shard_times) =
+                    self.run_shards(collection, move |shard, coll| {
+                        shard.aggregate_stages(coll, &shard_stages)
+                    })?;
+                let merge_start = Instant::now();
+                let merged = merge_topk(parts, &sort, limit);
+                let out = apply_stages_to_rows(merged, &post);
+                self.record(compile, shard_times, merge_start.elapsed());
+                out
+            }
+        }
+    }
+
+    fn record(&self, compile: Duration, shard_times: Vec<Duration>, merge: Duration) {
+        self.stats.record(QueryStats {
+            compile,
+            shard_times,
+            merge,
+        });
+    }
+
+    /// Run one unit of work per shard, timing each.
+    fn run_shards<F>(&self, collection: &str, work: F) -> Result<(Vec<Vec<Value>>, Vec<Duration>)>
+    where
+        F: Fn(&DocStore, &str) -> Result<Vec<Value>> + Sync,
+    {
+        match self.mode {
+            ExecMode::Threads => crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for shard in &self.shards {
+                    let shard = Arc::clone(shard);
+                    let collection = collection.to_string();
+                    let work = &work;
+                    handles.push(scope.spawn(move |_| {
+                        let start = Instant::now();
+                        work(&shard, &collection).map(|rows| (rows, start.elapsed()))
+                    }));
+                }
+                let mut parts = Vec::new();
+                let mut times = Vec::new();
+                for h in handles {
+                    let (rows, t) = h.join().expect("shard thread panicked")?;
+                    parts.push(rows);
+                    times.push(t);
+                }
+                Ok((parts, times))
+            })
+            .expect("thread scope"),
+            ExecMode::Sequential => {
+                let mut parts = Vec::new();
+                let mut times = Vec::new();
+                for shard in &self.shards {
+                    let start = Instant::now();
+                    parts.push(work(shard, collection)?);
+                    times.push(start.elapsed());
+                }
+                Ok((parts, times))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+    use polyframe_docstore::DocError;
+
+    fn cluster(n: usize) -> MongoCluster {
+        let c = MongoCluster::new(n);
+        c.create_collection("d");
+        c.insert_many(
+            "d",
+            (0..100i64).map(|i| record! {"grp" => i % 4, "val" => i}),
+        )
+        .unwrap();
+        c.create_index("d", "val").unwrap();
+        c
+    }
+
+    #[test]
+    fn partitioned_and_counted() {
+        let c = cluster(4);
+        assert_eq!(c.count_documents("d").unwrap(), 100);
+        for i in 0..4 {
+            let n = c.shard(i).count_documents("d").unwrap();
+            assert!(n > 0 && n < 100, "shard {i}: {n}");
+        }
+    }
+
+    #[test]
+    fn pipeline_count_sums() {
+        let c = cluster(3);
+        let out = c
+            .aggregate("d", r#"[{"$match":{}},{"$count":"count"}]"#)
+            .unwrap();
+        assert_eq!(out[0].get_path("count"), Value::Int(100));
+    }
+
+    #[test]
+    fn empty_count_emits_nothing() {
+        let c = cluster(3);
+        let out = c
+            .aggregate(
+                "d",
+                r#"[{"$match":{"$expr":{"$eq":["$grp",99]}}},{"$count":"count"}]"#,
+            )
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn group_regroups() {
+        let c = cluster(4);
+        let out = c
+            .aggregate(
+                "d",
+                r#"[{"$match":{}},{"$group":{"_id":{"grp":"$grp"},"mx":{"$max":"$val"},"cnt":{"$sum":1}}},{"$addFields":{"grp":"$_id.grp"}},{"$project":{"_id":0}}]"#,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 4);
+        for row in &out {
+            assert_eq!(row.get_path("cnt"), Value::Int(25));
+        }
+        let g3 = out
+            .iter()
+            .find(|r| r.get_path("grp") == Value::Int(3))
+            .unwrap();
+        assert_eq!(g3.get_path("mx"), Value::Int(99));
+    }
+
+    #[test]
+    fn topk_across_shards() {
+        let c = cluster(4);
+        let out = c
+            .aggregate(
+                "d",
+                r#"[{"$match":{}},{"$sort":{"val":-1}},{"$project":{"_id":0}},{"$limit":5}]"#,
+            )
+            .unwrap();
+        let vals: Vec<i64> = out
+            .iter()
+            .map(|r| r.get_path("val").as_i64().unwrap())
+            .collect();
+        assert_eq!(vals, vec![99, 98, 97, 96, 95]);
+        assert!(out[0].get_path("_id").is_missing());
+    }
+
+    #[test]
+    fn lookup_rejected_on_sharded_collections() {
+        let c = cluster(2);
+        let err = c
+            .aggregate(
+                "d",
+                r#"[{"$lookup":{"from":"d","as":"m","let":{"left":"$val"},
+                    "pipeline":[{"$match":{"$expr":{"$eq":["$val","$$left"]}}}]}},
+                   {"$unwind":{"path":"$m","preserveNullAndEmptyArrays":false}},
+                   {"$count":"count"}]"#,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DocError::ShardedLookup(_)));
+    }
+
+    #[test]
+    fn agrees_with_single_shard() {
+        let single = cluster(1);
+        let multi = cluster(4);
+        for q in [
+            r#"[{"$match":{}},{"$count":"count"}]"#,
+            r#"[{"$match":{}},{"$group":{"_id":{},"avg":{"$avg":"$val"}}},{"$project":{"_id":0}}]"#,
+        ] {
+            assert_eq!(
+                single.aggregate("d", q).unwrap(),
+                multi.aggregate("d", q).unwrap(),
+                "{q}"
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # polyframe-cluster
+//!
+//! Sharded, scatter/gather distributed execution over the PolyFrame
+//! substrates — the multi-node tier of the paper's evaluation (Figs. 9/10):
+//! an AsterixDB cluster, a Greenplum cluster (PostgreSQL 9.5 segments) and
+//! a sharded MongoDB ("mongos").
+//!
+//! Each shard is a full engine instance owning a hash partition of the
+//! data; shard work runs on one OS thread per shard (the stand-in for one
+//! EC2 node per shard), and only the merge step is serial. The merge
+//! protocols come from the substrates' `distributed` modules:
+//!
+//! * streaming pipelines → concatenate (+ limit),
+//! * scalar aggregates → partial states, merge, finalize,
+//! * group-by → shard-local partial groups, coordinator re-group,
+//! * sort + limit → shard-local top-k, coordinator merge sort,
+//! * join + count → parallel **repartition join** over index keys
+//!   (SQL engines), and a hard **error** for sharded MongoDB `$lookup`
+//!   (the paper could not run expression 12 on distributed MongoDB).
+
+pub mod doc_cluster;
+pub mod partition;
+pub mod sql_cluster;
+pub mod stats;
+
+pub use doc_cluster::MongoCluster;
+pub use partition::shard_for;
+pub use sql_cluster::SqlCluster;
+pub use stats::{ExecMode, QueryStats};

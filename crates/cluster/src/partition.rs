@@ -1,0 +1,97 @@
+//! Stable hash partitioning of data-model values.
+
+use polyframe_datamodel::Value;
+
+/// FNV-1a over a canonical byte rendering of the value. Stable across runs
+/// (data placement must be deterministic for the benchmarks to be
+/// reproducible).
+pub fn value_hash(v: &Value) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    fn feed(h: &mut u64, bytes: &[u8]) {
+        for b in bytes {
+            *h ^= u64::from(*b);
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    let mut h = OFFSET;
+    match v {
+        Value::Missing => feed(&mut h, b"\x00m"),
+        Value::Null => feed(&mut h, b"\x00n"),
+        Value::Bool(b) => feed(&mut h, &[1, u8::from(*b)]),
+        Value::Int(i) => {
+            feed(&mut h, &[2]);
+            feed(&mut h, &i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            // Hash doubles that are whole numbers like their integer
+            // counterparts so mixed numeric keys co-locate.
+            if d.fract() == 0.0 && d.abs() < 9.0e15 {
+                feed(&mut h, &[2]);
+                feed(&mut h, &(*d as i64).to_le_bytes());
+            } else {
+                feed(&mut h, &[3]);
+                feed(&mut h, &d.to_bits().to_le_bytes());
+            }
+        }
+        Value::Str(s) => {
+            feed(&mut h, &[4]);
+            feed(&mut h, s.as_bytes());
+        }
+        Value::Array(items) => {
+            feed(&mut h, &[5]);
+            for item in items {
+                feed(&mut h, &value_hash(item).to_le_bytes());
+            }
+        }
+        Value::Obj(rec) => {
+            feed(&mut h, &[6]);
+            for (k, val) in rec.iter() {
+                feed(&mut h, k.as_bytes());
+                feed(&mut h, &value_hash(val).to_le_bytes());
+            }
+        }
+    }
+    h
+}
+
+/// Which of `n` shards owns `key`.
+pub fn shard_for(key: &Value, n: usize) -> usize {
+    (value_hash(key) % n.max(1) as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let v = Value::Int(42);
+        assert_eq!(shard_for(&v, 4), shard_for(&v, 4));
+    }
+
+    #[test]
+    fn int_and_whole_double_colocate() {
+        assert_eq!(
+            shard_for(&Value::Int(7), 8),
+            shard_for(&Value::Double(7.0), 8)
+        );
+    }
+
+    #[test]
+    fn roughly_uniform() {
+        let n = 4;
+        let mut counts = vec![0usize; n];
+        for i in 0..10_000i64 {
+            counts[shard_for(&Value::Int(i), n)] += 1;
+        }
+        for c in counts {
+            assert!(c > 2_000 && c < 3_000, "skewed: {c}");
+        }
+    }
+
+    #[test]
+    fn single_shard() {
+        assert_eq!(shard_for(&Value::str("x"), 1), 0);
+    }
+}

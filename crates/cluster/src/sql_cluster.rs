@@ -1,0 +1,536 @@
+//! Sharded SQL/SQL++ cluster (AsterixDB cluster / Greenplum).
+
+use crate::partition::shard_for;
+use crate::stats::{ExecMode, QueryStats, StatsRecorder};
+use polyframe_datamodel::{cmp_total, Record, Value};
+use polyframe_sqlengine::plan::distributed::{
+    merge_aggregate_parts, merge_concat, merge_topk, split, DistributedQuery,
+};
+use polyframe_sqlengine::plan::logical::LogicalPlan;
+use polyframe_sqlengine::{Engine, EngineConfig, EngineError, Result};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A hash-partitioned cluster of SQL engines.
+pub struct SqlCluster {
+    shards: Vec<Arc<Engine>>,
+    /// Attribute used to place records on shards.
+    partition_key: String,
+    mode: ExecMode,
+    stats: StatsRecorder,
+}
+
+impl SqlCluster {
+    /// Build a cluster of `n` shards sharing one engine configuration.
+    /// Shard dispatch defaults to [`ExecMode::auto`].
+    pub fn new(n: usize, config: EngineConfig, partition_key: impl Into<String>) -> SqlCluster {
+        SqlCluster::with_mode(n, config, partition_key, ExecMode::auto(n))
+    }
+
+    /// Build a cluster with an explicit dispatch mode.
+    pub fn with_mode(
+        n: usize,
+        config: EngineConfig,
+        partition_key: impl Into<String>,
+        mode: ExecMode,
+    ) -> SqlCluster {
+        assert!(n >= 1, "a cluster needs at least one shard");
+        SqlCluster {
+            shards: (0..n).map(|_| Arc::new(Engine::new(config.clone()))).collect(),
+            partition_key: partition_key.into(),
+            mode,
+            stats: StatsRecorder::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Borrow a shard engine (tests, repartition join).
+    pub fn shard(&self, i: usize) -> &Engine {
+        &self.shards[i]
+    }
+
+    /// Drain the accumulated simulated-parallel elapsed time (see
+    /// [`crate::stats`]): the sum over recorded queries of
+    /// `compile + max(shard) + merge`.
+    pub fn take_simulated_elapsed(&self) -> Duration {
+        self.stats.take_simulated_elapsed()
+    }
+
+    /// Drain the raw per-query stats.
+    pub fn take_stats(&self) -> Vec<QueryStats> {
+        self.stats.take()
+    }
+
+    /// Create a dataset on every shard.
+    pub fn create_dataset(&self, namespace: &str, dataset: &str, primary_key: Option<&str>) {
+        for s in &self.shards {
+            s.create_dataset(namespace, dataset, primary_key);
+        }
+    }
+
+    /// Create a secondary index on every shard.
+    pub fn create_index(&self, namespace: &str, dataset: &str, attribute: &str) -> Result<()> {
+        for s in &self.shards {
+            s.create_index(namespace, dataset, attribute)?;
+        }
+        Ok(())
+    }
+
+    /// Hash-partition records across the shards and load them.
+    pub fn load(
+        &self,
+        namespace: &str,
+        dataset: &str,
+        records: impl IntoIterator<Item = Record>,
+    ) -> Result<()> {
+        let n = self.shards.len();
+        let mut buckets: Vec<Vec<Record>> = (0..n).map(|_| Vec::new()).collect();
+        for rec in records {
+            let key = rec.get_or_missing(&self.partition_key);
+            buckets[shard_for(&key, n)].push(rec);
+        }
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (shard, bucket) in self.shards.iter().zip(buckets) {
+                let shard = Arc::clone(shard);
+                handles.push(scope.spawn(move |_| shard.load(namespace, dataset, bucket)));
+            }
+            for h in handles {
+                h.join().expect("shard load thread panicked")?;
+            }
+            Ok(())
+        })
+        .expect("thread scope")
+    }
+
+    /// Total records across shards.
+    pub fn dataset_len(&self, namespace: &str, dataset: &str) -> Result<usize> {
+        let mut n = 0;
+        for s in &self.shards {
+            n += s.dataset_len(namespace, dataset)?;
+        }
+        Ok(n)
+    }
+
+    /// Execute a query across the cluster.
+    pub fn query(&self, sql: &str) -> Result<Vec<Value>> {
+        let compile_start = Instant::now();
+        // Compile once (the coordinator's plan; every shard shares the same
+        // catalog shape).
+        let logical = self.shards[0].compile_to_logical(sql)?;
+        let strategy = split(&logical)?;
+        let compile = compile_start.elapsed();
+
+        match strategy {
+            DistributedQuery::Concat { shard_plan, limit } => {
+                let (parts, shard_times) = self.scatter(&shard_plan)?;
+                let merge_start = Instant::now();
+                let out = merge_concat(parts, limit);
+                self.record(compile, shard_times, merge_start.elapsed());
+                Ok(out)
+            }
+            DistributedQuery::ScalarAgg {
+                shard_plan,
+                aggs,
+                project,
+            } => {
+                let (parts, shard_times) = self.scatter(&shard_plan)?;
+                let merge_start = Instant::now();
+                let out = merge_aggregate_parts(parts, &[], &aggs, &project);
+                self.record(compile, shard_times, merge_start.elapsed());
+                out
+            }
+            DistributedQuery::GroupAgg {
+                shard_plan,
+                group_names,
+                aggs,
+                project,
+            } => {
+                let (parts, shard_times) = self.scatter(&shard_plan)?;
+                let merge_start = Instant::now();
+                let out = merge_aggregate_parts(parts, &group_names, &aggs, &project);
+                self.record(compile, shard_times, merge_start.elapsed());
+                out
+            }
+            DistributedQuery::TopK {
+                shard_plan,
+                keys,
+                limit,
+                post_project,
+            } => {
+                let (parts, shard_times) = self.scatter(&shard_plan)?;
+                let merge_start = Instant::now();
+                let out = merge_topk(parts, &keys, limit, post_project.as_ref());
+                self.record(compile, shard_times, merge_start.elapsed());
+                out
+            }
+            DistributedQuery::JoinCount {
+                left,
+                right,
+                output,
+                project,
+            } => {
+                let (count, shard_times, merge) = self.repartition_join_count(&left, &right)?;
+                let mut rec = Record::new();
+                rec.insert(output, Value::Int(count as i64));
+                let row = Value::Obj(rec);
+                let projected = polyframe_sqlengine::exec::project_row(&project, &row)?;
+                self.record(compile, shard_times, merge);
+                Ok(vec![projected])
+            }
+        }
+    }
+
+    fn record(&self, compile: Duration, shard_times: Vec<Duration>, merge: Duration) {
+        self.stats.record(QueryStats {
+            compile,
+            shard_times,
+            merge,
+        });
+    }
+
+    /// Run a logical plan on every shard, timing each shard's work.
+    fn scatter(&self, plan: &LogicalPlan) -> Result<(Vec<Vec<Value>>, Vec<Duration>)> {
+        match self.mode {
+            ExecMode::Threads => crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for shard in &self.shards {
+                    let shard = Arc::clone(shard);
+                    let plan = plan.clone();
+                    handles.push(scope.spawn(move |_| {
+                        let start = Instant::now();
+                        let rows = shard.execute_logical(&plan);
+                        rows.map(|r| (r, start.elapsed()))
+                    }));
+                }
+                let mut parts = Vec::new();
+                let mut times = Vec::new();
+                for h in handles {
+                    let (rows, t) = h.join().expect("shard thread panicked")?;
+                    parts.push(rows);
+                    times.push(t);
+                }
+                Ok((parts, times))
+            })
+            .expect("thread scope"),
+            ExecMode::Sequential => {
+                let mut parts = Vec::new();
+                let mut times = Vec::new();
+                for shard in &self.shards {
+                    let start = Instant::now();
+                    parts.push(shard.execute_logical(plan)?);
+                    times.push(start.elapsed());
+                }
+                Ok((parts, times))
+            }
+        }
+    }
+
+    /// Parallel repartition join + count over two datasets' join-key
+    /// indexes. Returns `(count, per-shard times, merge critical path)`:
+    ///
+    /// 1. each shard extracts its sorted join keys (index-only) for both
+    ///    sides and buckets them by hash — one unit of shard work;
+    /// 2. one task per partition merges its left/right keys and counts
+    ///    pair products — the merge critical path is the slowest partition.
+    fn repartition_join_count(
+        &self,
+        left: &(String, String, String),
+        right: &(String, String, String),
+    ) -> Result<(usize, Vec<Duration>, Duration)> {
+        let n = self.shards.len();
+
+        // Phase 1: per-shard key extraction + bucketing (both sides).
+        type Buckets = Vec<Vec<Value>>;
+        let extract_one = |shard: &Engine| -> Result<(Buckets, Buckets)> {
+            let bucketize = |keys: Vec<Value>| {
+                let mut buckets: Vec<Vec<Value>> = (0..n).map(|_| Vec::new()).collect();
+                for k in keys {
+                    let b = shard_for(&k, n);
+                    buckets[b].push(k);
+                }
+                buckets
+            };
+            let l = bucketize(shard.index_keys(&left.0, &left.1, &left.2)?);
+            let r = bucketize(shard.index_keys(&right.0, &right.1, &right.2)?);
+            Ok((l, r))
+        };
+
+        let per_shard: Vec<((Buckets, Buckets), Duration)> = match self.mode {
+            ExecMode::Threads => crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for shard in &self.shards {
+                    let shard = Arc::clone(shard);
+                    let extract_one = &extract_one;
+                    handles.push(scope.spawn(move |_| {
+                        let start = Instant::now();
+                        extract_one(&shard).map(|b| (b, start.elapsed()))
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("extract thread panicked"))
+                    .collect::<Result<Vec<_>>>()
+            })
+            .expect("thread scope")?,
+            ExecMode::Sequential => {
+                let mut out = Vec::new();
+                for shard in &self.shards {
+                    let start = Instant::now();
+                    let buckets = extract_one(shard)?;
+                    out.push((buckets, start.elapsed()));
+                }
+                out
+            }
+        };
+
+        let mut shard_times = Vec::with_capacity(n);
+        let mut left_parts: Vec<Vec<Value>> = (0..n).map(|_| Vec::new()).collect();
+        let mut right_parts: Vec<Vec<Value>> = (0..n).map(|_| Vec::new()).collect();
+        for ((lbuckets, rbuckets), t) in per_shard {
+            shard_times.push(t);
+            for (i, b) in lbuckets.into_iter().enumerate() {
+                left_parts[i].extend(b);
+            }
+            for (i, b) in rbuckets.into_iter().enumerate() {
+                right_parts[i].extend(b);
+            }
+        }
+
+        // Phase 2: per-partition merge counts; critical path = slowest.
+        let mut count = 0usize;
+        let mut merge_critical = Duration::ZERO;
+        match self.mode {
+            ExecMode::Threads => {
+                let results: Vec<(usize, Duration)> = crossbeam::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for (mut l, mut r) in left_parts.into_iter().zip(right_parts) {
+                        handles.push(scope.spawn(move |_| {
+                            let start = Instant::now();
+                            l.sort_by(cmp_total);
+                            r.sort_by(cmp_total);
+                            (merge_count(&l, &r), start.elapsed())
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("join thread panicked"))
+                        .collect()
+                })
+                .expect("thread scope");
+                for (c, t) in results {
+                    count += c;
+                    merge_critical = merge_critical.max(t);
+                }
+            }
+            ExecMode::Sequential => {
+                for (mut l, mut r) in left_parts.into_iter().zip(right_parts) {
+                    let start = Instant::now();
+                    l.sort_by(cmp_total);
+                    r.sort_by(cmp_total);
+                    count += merge_count(&l, &r);
+                    merge_critical = merge_critical.max(start.elapsed());
+                }
+            }
+        }
+        Ok((count, shard_times, merge_critical))
+    }
+
+    /// EXPLAIN helper: how the coordinator would distribute `sql`.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let logical = self.shards[0].compile_to_logical(sql)?;
+        let d = split(&logical)?;
+        Ok(match d {
+            DistributedQuery::Concat { limit, .. } => format!("Concat(limit={limit:?})"),
+            DistributedQuery::ScalarAgg { .. } => "ScalarAgg(partial->merge)".to_string(),
+            DistributedQuery::GroupAgg { group_names, .. } => {
+                format!("GroupAgg(regroup on {group_names:?})")
+            }
+            DistributedQuery::TopK { limit, .. } => format!("TopK(limit={limit})"),
+            DistributedQuery::JoinCount { .. } => "RepartitionJoinCount".to_string(),
+        })
+    }
+}
+
+/// Count merge-join matches between two sorted key vectors.
+fn merge_count(left: &[Value], right: &[Value]) -> usize {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        match cmp_total(&left[i], &right[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let key = &left[i];
+                let mut li = 0;
+                while i < left.len() && cmp_total(&left[i], key) == std::cmp::Ordering::Equal {
+                    li += 1;
+                    i += 1;
+                }
+                let mut rj = 0;
+                while j < right.len() && cmp_total(&right[j], key) == std::cmp::Ordering::Equal {
+                    rj += 1;
+                    j += 1;
+                }
+                count += li * rj;
+            }
+        }
+    }
+    count
+}
+
+/// Convenience re-export of the engine error type.
+pub type SqlClusterError = EngineError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    fn cluster(n: usize) -> SqlCluster {
+        let c = SqlCluster::new(n, EngineConfig::asterixdb(), "id");
+        c.create_dataset("Test", "Users", Some("id"));
+        c.load(
+            "Test",
+            "Users",
+            (0..100i64).map(|i| {
+                record! {
+                    "id" => i,
+                    "grp" => i % 4,
+                    "val" => i * 2,
+                }
+            }),
+        )
+        .unwrap();
+        c.create_index("Test", "Users", "val").unwrap();
+        c
+    }
+
+    #[test]
+    fn data_is_partitioned() {
+        let c = cluster(4);
+        assert_eq!(c.dataset_len("Test", "Users").unwrap(), 100);
+        // Each shard holds a strict subset.
+        for i in 0..4 {
+            let n = c.shard(i).dataset_len("Test", "Users").unwrap();
+            assert!(n > 0 && n < 100, "shard {i} has {n}");
+        }
+    }
+
+    #[test]
+    fn count_matches_single_node() {
+        let c = cluster(3);
+        let rows = c.query("SELECT VALUE COUNT(*) FROM Test.Users").unwrap();
+        assert_eq!(rows, vec![Value::Int(100)]);
+    }
+
+    #[test]
+    fn filtered_count() {
+        let c = cluster(3);
+        let rows = c
+            .query("SELECT VALUE COUNT(*) FROM (SELECT VALUE t FROM (SELECT VALUE t FROM Test.Users t) t WHERE t.grp = 2) t")
+            .unwrap();
+        assert_eq!(rows, vec![Value::Int(25)]);
+    }
+
+    #[test]
+    fn group_by_regroups() {
+        let c = cluster(4);
+        let rows = c
+            .query("SELECT grp, COUNT(grp) AS cnt FROM (SELECT VALUE t FROM Test.Users t) t GROUP BY grp")
+            .unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in rows {
+            assert_eq!(row.get_path("cnt"), Value::Int(25));
+        }
+    }
+
+    #[test]
+    fn min_max_avg_across_shards() {
+        let c = cluster(4);
+        let rows = c
+            .query("SELECT MAX(val) FROM (SELECT val FROM (SELECT VALUE t FROM Test.Users t) t) t")
+            .unwrap();
+        assert_eq!(rows[0].get_path("max"), Value::Int(198));
+        let rows = c
+            .query("SELECT AVG(id) FROM (SELECT id FROM (SELECT VALUE t FROM Test.Users t) t) t")
+            .unwrap();
+        assert_eq!(rows[0].get_path("avg"), Value::Double(49.5));
+    }
+
+    #[test]
+    fn topk_merges_sorted() {
+        let c = cluster(4);
+        let rows = c
+            .query("SELECT VALUE t FROM (SELECT VALUE t FROM Test.Users t) t ORDER BY t.id DESC LIMIT 5")
+            .unwrap();
+        let ids: Vec<i64> = rows
+            .iter()
+            .map(|r| r.get_path("id").as_i64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![99, 98, 97, 96, 95]);
+    }
+
+    #[test]
+    fn pipeline_limit() {
+        let c = cluster(2);
+        let rows = c
+            .query("SELECT grp FROM (SELECT VALUE t FROM Test.Users t) t LIMIT 7")
+            .unwrap();
+        assert_eq!(rows.len(), 7);
+    }
+
+    #[test]
+    fn join_count_repartitions() {
+        let c = cluster(3);
+        // Self-join on id: every record matches exactly once.
+        let rows = c
+            .query(
+                "SELECT VALUE COUNT(*) FROM (SELECT l, r FROM Test.Users l JOIN Test.Users r ON l.id = r.id) t",
+            )
+            .unwrap();
+        assert_eq!(rows, vec![Value::Int(100)]);
+        assert_eq!(
+            c.explain("SELECT VALUE COUNT(*) FROM (SELECT l, r FROM Test.Users l JOIN Test.Users r ON l.id = r.id) t")
+                .unwrap(),
+            "RepartitionJoinCount"
+        );
+    }
+
+    #[test]
+    fn results_agree_with_single_shard() {
+        let single = cluster(1);
+        let multi = cluster(4);
+        for q in [
+            "SELECT VALUE COUNT(*) FROM Test.Users",
+            "SELECT MIN(val) FROM (SELECT val FROM (SELECT VALUE t FROM Test.Users t) t) t",
+            "SELECT grp, COUNT(grp) AS cnt FROM (SELECT VALUE t FROM Test.Users t) t GROUP BY grp",
+        ] {
+            assert_eq!(single.query(q).unwrap(), multi.query(q).unwrap(), "{q}");
+        }
+    }
+
+    #[test]
+    fn both_modes_agree_and_record_stats() {
+        for mode in [ExecMode::Threads, ExecMode::Sequential] {
+            let c = SqlCluster::with_mode(3, EngineConfig::asterixdb(), "id", mode);
+            c.create_dataset("Test", "Users", Some("id"));
+            c.load(
+                "Test",
+                "Users",
+                (0..60i64).map(|i| record! {"id" => i, "grp" => i % 3}),
+            )
+            .unwrap();
+            let rows = c.query("SELECT VALUE COUNT(*) FROM Test.Users").unwrap();
+            assert_eq!(rows, vec![Value::Int(60)], "{mode:?}");
+            let stats = c.take_stats();
+            assert_eq!(stats.len(), 1);
+            assert_eq!(stats[0].shard_times.len(), 3);
+            assert!(stats[0].simulated_wall() > Duration::ZERO);
+            assert!(c.take_stats().is_empty());
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-query execution statistics and simulated-parallel timing.
+//!
+//! The paper's Figures 9/10 measure wall time on clusters of 1-4 real EC2
+//! nodes. On a machine with fewer cores than shards, thread-per-shard wall
+//! time cannot show speedup, so the clusters record the **critical path**
+//! of every query instead: `compile + max(shard work) + merge`. On
+//! sufficiently parallel hardware this equals the threaded wall time; on a
+//! small machine it is the faithful simulation of one-node-per-shard
+//! execution. [`ExecMode::auto`] picks sequential shard execution (with
+//! per-shard timing) when the host lacks the cores to run shards honestly
+//! in parallel.
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+/// How shard work is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One OS thread per shard (real parallel wall time).
+    Threads,
+    /// Shards run one after another; per-shard durations are recorded so
+    /// the simulated parallel time (max + merge) can be reported.
+    Sequential,
+}
+
+impl ExecMode {
+    /// Threads when the host has at least `shards` cores, else sequential.
+    pub fn auto(shards: usize) -> ExecMode {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if cores >= shards {
+            ExecMode::Threads
+        } else {
+            ExecMode::Sequential
+        }
+    }
+}
+
+/// Timing breakdown of one distributed query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Coordinator-side compile/split time.
+    pub compile: Duration,
+    /// Per-shard execution times.
+    pub shard_times: Vec<Duration>,
+    /// Coordinator-side merge time.
+    pub merge: Duration,
+}
+
+impl QueryStats {
+    /// The simulated parallel wall time: compile + slowest shard + merge.
+    pub fn simulated_wall(&self) -> Duration {
+        self.compile
+            + self
+                .shard_times
+                .iter()
+                .max()
+                .copied()
+                .unwrap_or(Duration::ZERO)
+            + self.merge
+    }
+}
+
+/// Accumulates stats across the queries a benchmark expression issues.
+#[derive(Debug, Default)]
+pub struct StatsRecorder {
+    queries: Mutex<Vec<QueryStats>>,
+}
+
+impl StatsRecorder {
+    /// New, empty recorder.
+    pub fn new() -> StatsRecorder {
+        StatsRecorder::default()
+    }
+
+    /// Record one query's stats.
+    pub fn record(&self, stats: QueryStats) {
+        self.queries.lock().push(stats);
+    }
+
+    /// Drain all recorded queries.
+    pub fn take(&self) -> Vec<QueryStats> {
+        std::mem::take(&mut self.queries.lock())
+    }
+
+    /// Drain and sum the simulated wall times.
+    pub fn take_simulated_elapsed(&self) -> Duration {
+        self.take().iter().map(QueryStats::simulated_wall).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulated_wall_is_critical_path() {
+        let q = QueryStats {
+            compile: Duration::from_millis(1),
+            shard_times: vec![
+                Duration::from_millis(10),
+                Duration::from_millis(40),
+                Duration::from_millis(20),
+            ],
+            merge: Duration::from_millis(2),
+        };
+        assert_eq!(q.simulated_wall(), Duration::from_millis(43));
+    }
+
+    #[test]
+    fn recorder_accumulates_and_drains() {
+        let r = StatsRecorder::new();
+        r.record(QueryStats {
+            shard_times: vec![Duration::from_millis(5)],
+            ..Default::default()
+        });
+        r.record(QueryStats {
+            shard_times: vec![Duration::from_millis(7)],
+            ..Default::default()
+        });
+        assert_eq!(r.take_simulated_elapsed(), Duration::from_millis(12));
+        assert!(r.take().is_empty());
+    }
+
+    #[test]
+    fn auto_mode_is_consistent() {
+        // On any machine, 1 shard can run threaded.
+        assert_eq!(ExecMode::auto(1), ExecMode::Threads);
+    }
+}

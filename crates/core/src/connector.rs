@@ -1,0 +1,256 @@
+//! Database connectors.
+//!
+//! A connector is the paper's "abstract class that makes connections to
+//! database engines": it supplies the default rule set for its language,
+//! pre-processes the final query (e.g. wrapping a MongoDB stage list in
+//! `[...]`), executes it, and post-processes results. Implementing this
+//! trait (plus, usually, a configuration file) is all a new backend needs.
+
+use crate::error::{PolyFrameError, Result};
+use crate::rewrite::{Language, RuleSet};
+use polyframe_cluster::{MongoCluster, SqlCluster};
+use polyframe_datamodel::Value;
+use polyframe_docstore::DocStore;
+use polyframe_graphstore::GraphStore;
+use polyframe_sqlengine::Engine;
+use std::sync::Arc;
+
+/// A connection to one backend database system.
+pub trait DatabaseConnector: Send + Sync {
+    /// Human-readable backend name (used in benchmark output).
+    fn name(&self) -> &str;
+
+    /// The default rewrite rules for this backend's query language.
+    fn rules(&self) -> RuleSet;
+
+    /// Pre-process the final query before sending (default: identity).
+    fn preprocess(&self, query: &str) -> String {
+        query.to_string()
+    }
+
+    /// Execute a query. `namespace`/`collection` identify the frame's base
+    /// dataset for backends whose query text does not embed the target
+    /// (MongoDB pipelines).
+    fn execute(&self, query: &str, namespace: &str, collection: &str) -> Result<Vec<Value>>;
+
+    /// Post-process result rows (default: identity).
+    fn postprocess(&self, rows: Vec<Value>) -> Vec<Value> {
+        rows
+    }
+
+    /// How another dataset is referenced from inside a query (joins).
+    /// Defaults to the bare collection name; MongoDB targets are
+    /// namespace-qualified.
+    fn dataset_ref(&self, _namespace: &str, collection: &str) -> String {
+        collection.to_string()
+    }
+}
+
+/// Connector for the AsterixDB substrate (SQL++).
+pub struct AsterixConnector {
+    engine: Arc<Engine>,
+}
+
+impl AsterixConnector {
+    /// Wrap an engine (should be configured with
+    /// `EngineConfig::asterixdb()`).
+    pub fn new(engine: Arc<Engine>) -> AsterixConnector {
+        AsterixConnector { engine }
+    }
+}
+
+impl DatabaseConnector for AsterixConnector {
+    fn name(&self) -> &str {
+        "AFrame-AsterixDB"
+    }
+
+    fn rules(&self) -> RuleSet {
+        RuleSet::builtin(Language::SqlPlusPlus)
+    }
+
+    fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
+        self.engine.query(query).map_err(PolyFrameError::backend)
+    }
+}
+
+/// Connector for the PostgreSQL/Greenplum substrate (SQL).
+pub struct PostgresConnector {
+    engine: Arc<Engine>,
+    name: String,
+}
+
+impl PostgresConnector {
+    /// Wrap an engine configured with `EngineConfig::postgres()`.
+    pub fn new(engine: Arc<Engine>) -> PostgresConnector {
+        PostgresConnector {
+            engine,
+            name: "AFrame-PostgreSQL".to_string(),
+        }
+    }
+
+    /// Wrap an engine configured with `EngineConfig::greenplum()` (used
+    /// for the paper's single-node Greenplum comparison).
+    pub fn greenplum(engine: Arc<Engine>) -> PostgresConnector {
+        PostgresConnector {
+            engine,
+            name: "AFrame-Greenplum".to_string(),
+        }
+    }
+}
+
+impl DatabaseConnector for PostgresConnector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn rules(&self) -> RuleSet {
+        RuleSet::builtin(Language::Sql)
+    }
+
+    fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
+        self.engine.query(query).map_err(PolyFrameError::backend)
+    }
+}
+
+/// Connector for the MongoDB substrate (aggregation pipelines).
+pub struct MongoConnector {
+    store: Arc<DocStore>,
+}
+
+impl MongoConnector {
+    /// Wrap a document store.
+    pub fn new(store: Arc<DocStore>) -> MongoConnector {
+        MongoConnector { store }
+    }
+}
+
+impl DatabaseConnector for MongoConnector {
+    fn name(&self) -> &str {
+        "AFrame-MongoDB"
+    }
+
+    fn rules(&self) -> RuleSet {
+        RuleSet::builtin(Language::Mongo)
+    }
+
+    /// Pipeline construction happens in the connector (paper, section
+    /// III.D): the accumulated stage list is wrapped in brackets here.
+    fn preprocess(&self, query: &str) -> String {
+        format!("[ {query} ]")
+    }
+
+    fn execute(&self, query: &str, namespace: &str, collection: &str) -> Result<Vec<Value>> {
+        let target = format!("{namespace}.{collection}");
+        self.store
+            .aggregate(&target, query)
+            .map_err(PolyFrameError::backend)
+    }
+
+    fn dataset_ref(&self, namespace: &str, collection: &str) -> String {
+        format!("{namespace}.{collection}")
+    }
+}
+
+/// Connector for the Neo4j substrate (Cypher).
+pub struct Neo4jConnector {
+    store: Arc<GraphStore>,
+}
+
+impl Neo4jConnector {
+    /// Wrap a graph store.
+    pub fn new(store: Arc<GraphStore>) -> Neo4jConnector {
+        Neo4jConnector { store }
+    }
+}
+
+impl DatabaseConnector for Neo4jConnector {
+    fn name(&self) -> &str {
+        "AFrame-Neo4j"
+    }
+
+    fn rules(&self) -> RuleSet {
+        RuleSet::builtin(Language::Cypher)
+    }
+
+    fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
+        self.store.query(query).map_err(PolyFrameError::backend)
+    }
+}
+
+/// Connector for a sharded SQL cluster (AsterixDB cluster or Greenplum).
+pub struct SqlClusterConnector {
+    cluster: Arc<SqlCluster>,
+    language: Language,
+    name: String,
+}
+
+impl SqlClusterConnector {
+    /// AsterixDB cluster (SQL++ rules).
+    pub fn asterixdb(cluster: Arc<SqlCluster>) -> SqlClusterConnector {
+        SqlClusterConnector {
+            cluster,
+            language: Language::SqlPlusPlus,
+            name: "AFrame-AsterixDB-cluster".to_string(),
+        }
+    }
+
+    /// Greenplum cluster (SQL rules over PostgreSQL 9.5 segments).
+    pub fn greenplum(cluster: Arc<SqlCluster>) -> SqlClusterConnector {
+        SqlClusterConnector {
+            cluster,
+            language: Language::Sql,
+            name: "AFrame-Greenplum-cluster".to_string(),
+        }
+    }
+}
+
+impl DatabaseConnector for SqlClusterConnector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn rules(&self) -> RuleSet {
+        RuleSet::builtin(self.language)
+    }
+
+    fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
+        self.cluster.query(query).map_err(PolyFrameError::backend)
+    }
+}
+
+/// Connector for a sharded MongoDB cluster.
+pub struct MongoClusterConnector {
+    cluster: Arc<MongoCluster>,
+}
+
+impl MongoClusterConnector {
+    /// Wrap a cluster.
+    pub fn new(cluster: Arc<MongoCluster>) -> MongoClusterConnector {
+        MongoClusterConnector { cluster }
+    }
+}
+
+impl DatabaseConnector for MongoClusterConnector {
+    fn name(&self) -> &str {
+        "AFrame-MongoDB-cluster"
+    }
+
+    fn rules(&self) -> RuleSet {
+        RuleSet::builtin(Language::Mongo)
+    }
+
+    fn preprocess(&self, query: &str) -> String {
+        format!("[ {query} ]")
+    }
+
+    fn execute(&self, query: &str, namespace: &str, collection: &str) -> Result<Vec<Value>> {
+        let target = format!("{namespace}.{collection}");
+        self.cluster
+            .aggregate(&target, query)
+            .map_err(PolyFrameError::backend)
+    }
+
+    fn dataset_ref(&self, namespace: &str, collection: &str) -> String {
+        format!("{namespace}.{collection}")
+    }
+}

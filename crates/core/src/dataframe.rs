@@ -1,0 +1,487 @@
+//! The lazy DataFrame: transformations rewrite the underlying query,
+//! actions ship it to the backend.
+
+use crate::connector::DatabaseConnector;
+use crate::error::{PolyFrameError, Result};
+use crate::expr::Expr;
+use crate::result::ResultSet;
+use crate::rewrite::config::subst;
+use crate::rewrite::RuleSet;
+use crate::translate::Translator;
+use polyframe_datamodel::Value;
+use std::sync::Arc;
+
+/// Scalar functions usable with [`AFrame::map`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapFunc {
+    /// `str.upper`
+    Upper,
+    /// `str.lower`
+    Lower,
+    /// `abs`
+    Abs,
+}
+
+impl MapFunc {
+    fn rule_key(self) -> &'static str {
+        match self {
+            MapFunc::Upper => "upper",
+            MapFunc::Lower => "lower",
+            MapFunc::Abs => "abs",
+        }
+    }
+}
+
+/// Aggregate functions usable with [`AFrame::agg`] and [`GroupBy`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `count`
+    Count,
+    /// `min`
+    Min,
+    /// `max`
+    Max,
+    /// `sum`
+    Sum,
+    /// `mean` / `avg`
+    Mean,
+    /// population standard deviation
+    Std,
+}
+
+impl AggFunc {
+    fn rule_key(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Sum => "sum",
+            AggFunc::Mean => "avg",
+            AggFunc::Std => "std",
+        }
+    }
+}
+
+/// What kind of rows the frame's query currently produces; actions pick
+/// their final wrapper rule accordingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// Plain records.
+    Records,
+    /// Aggregated rows (group-by output or scalar aggregates).
+    Aggregated,
+}
+
+/// A lazy, retargetable DataFrame.
+///
+/// An `AFrame` holds nothing but its underlying **query string**, the rule
+/// set that built it, and a connector. Transformations produce new frames
+/// with bigger queries; only actions ([`AFrame::head`], [`AFrame::len`],
+/// [`AFrame::collect`], the scalar aggregates) talk to the database.
+///
+/// ```no_run
+/// use std::sync::Arc;
+/// use polyframe::prelude::*;
+/// use polyframe_sqlengine::{Engine, EngineConfig};
+///
+/// let engine = Arc::new(Engine::new(EngineConfig::asterixdb()));
+/// let conn = Arc::new(AsterixConnector::new(engine));
+/// let af = AFrame::new("Test", "Users", conn)?;
+/// let res = af.mask(&col("lang").eq("en"))?
+///             .select(&["name", "address"])?
+///             .head(10)?;
+/// println!("{res}");
+/// # Ok::<(), polyframe::PolyFrameError>(())
+/// ```
+pub struct AFrame {
+    connector: Arc<dyn DatabaseConnector>,
+    translator: Arc<Translator>,
+    namespace: String,
+    collection: String,
+    query: String,
+    series_attr: Option<String>,
+    shape: Shape,
+}
+
+impl std::fmt::Debug for AFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AFrame")
+            .field("backend", &self.connector.name())
+            .field("namespace", &self.namespace)
+            .field("collection", &self.collection)
+            .field("query", &self.query)
+            .field("series_attr", &self.series_attr)
+            .finish()
+    }
+}
+
+impl Clone for AFrame {
+    fn clone(&self) -> AFrame {
+        AFrame {
+            connector: Arc::clone(&self.connector),
+            translator: Arc::clone(&self.translator),
+            namespace: self.namespace.clone(),
+            collection: self.collection.clone(),
+            query: self.query.clone(),
+            series_attr: self.series_attr.clone(),
+            shape: self.shape,
+        }
+    }
+}
+
+impl AFrame {
+    /// Create a frame over an existing dataset, using the connector's
+    /// default rule set.
+    pub fn new(
+        namespace: impl Into<String>,
+        collection: impl Into<String>,
+        connector: Arc<dyn DatabaseConnector>,
+    ) -> Result<AFrame> {
+        let rules = connector.rules();
+        AFrame::with_rules(namespace, collection, connector, rules)
+    }
+
+    /// Create a frame with custom (or user-overridden) rewrite rules.
+    pub fn with_rules(
+        namespace: impl Into<String>,
+        collection: impl Into<String>,
+        connector: Arc<dyn DatabaseConnector>,
+        rules: RuleSet,
+    ) -> Result<AFrame> {
+        let namespace = namespace.into();
+        let collection = collection.into();
+        let translator = Translator::new(rules);
+        let query = translator.records(&namespace, &collection)?;
+        Ok(AFrame {
+            connector,
+            translator: Arc::new(translator),
+            namespace,
+            collection,
+            query,
+            series_attr: None,
+            shape: Shape::Records,
+        })
+    }
+
+    /// The frame's current underlying query (the paper's `Qi`).
+    pub fn query(&self) -> &str {
+        &self.query
+    }
+
+    /// The connector this frame talks through.
+    pub fn connector(&self) -> Arc<dyn DatabaseConnector> {
+        Arc::clone(&self.connector)
+    }
+
+    /// A fresh frame over another dataset reachable through the same
+    /// connector (handy for joins: `df.merge(&df.sibling(ns, other)?, on)`).
+    pub fn sibling(
+        &self,
+        namespace: impl Into<String>,
+        collection: impl Into<String>,
+    ) -> Result<AFrame> {
+        AFrame::with_rules(
+            namespace,
+            collection,
+            Arc::clone(&self.connector),
+            self.translator.rules().clone(),
+        )
+    }
+
+    /// The backend's name.
+    pub fn backend(&self) -> &str {
+        self.connector.name()
+    }
+
+    /// The rule set in use.
+    pub fn rules(&self) -> &RuleSet {
+        self.translator.rules()
+    }
+
+    fn derive(&self, query: String) -> AFrame {
+        let mut next = self.clone();
+        next.query = query;
+        next.series_attr = None;
+        next.shape = Shape::Records;
+        next
+    }
+
+    // ------------------------------------------------------ transformations
+
+    /// Project attributes (`df[['a', 'b']]`).
+    pub fn select(&self, attributes: &[&str]) -> Result<AFrame> {
+        Ok(self.derive(self.translator.project(&self.query, attributes)?))
+    }
+
+    /// Extract one attribute as a series (`df['a']`).
+    pub fn col(&self, attribute: &str) -> Result<AFrame> {
+        let mut next = self.derive(self.translator.project(&self.query, &[attribute])?);
+        next.series_attr = Some(attribute.to_string());
+        Ok(next)
+    }
+
+    /// Filter rows by a boolean expression (`df[mask]`).
+    pub fn mask(&self, predicate: &Expr) -> Result<AFrame> {
+        Ok(self.derive(self.translator.filter(&self.query, predicate)?))
+    }
+
+    /// Project a single computed expression under `alias`
+    /// (`df['lang'] == 'en'` as a derived boolean column).
+    pub fn with_column(&self, alias: &str, expr: &Expr) -> Result<AFrame> {
+        Ok(self.derive(self.translator.project_computed(&self.query, alias, expr)?))
+    }
+
+    /// Map a scalar function over the current series
+    /// (`df['stringu1'].map(str.upper)`).
+    pub fn map(&self, func: MapFunc) -> Result<AFrame> {
+        let attr = self.series_attr()?.to_string();
+        let mut next = self.derive(self.translator.map_function(
+            self.base_series_query()?,
+            &attr,
+            func.rule_key(),
+        )?);
+        next.series_attr = Some(attr);
+        Ok(next)
+    }
+
+    /// Sort by an attribute (`df.sort_values('a', ascending=False)`).
+    pub fn sort_values(&self, attribute: &str, ascending: bool) -> Result<AFrame> {
+        Ok(self.derive(self.translator.sort(&self.query, attribute, ascending)?))
+    }
+
+    /// Group rows by an attribute.
+    pub fn groupby(&self, key: &str) -> GroupBy {
+        GroupBy {
+            frame: self.clone(),
+            key: key.to_string(),
+        }
+    }
+
+    /// Equi-join with another frame on a shared attribute
+    /// (`pd.merge(df, df2, on='unique1')`).
+    pub fn merge(&self, right: &AFrame, on: &str) -> Result<AFrame> {
+        self.merge_on(right, on, on)
+    }
+
+    /// Equi-join with separate key attributes.
+    pub fn merge_on(&self, right: &AFrame, left_on: &str, right_on: &str) -> Result<AFrame> {
+        let right_from = self
+            .connector
+            .dataset_ref(&right.namespace, &right.collection);
+        Ok(self.derive(self.translator.join(
+            &self.query,
+            &right.query,
+            &right_from,
+            left_on,
+            right_on,
+        )?))
+    }
+
+    /// `df['a'].value_counts()` — a generic rule composed from the
+    /// group-by and sort rules: counts per distinct value, most frequent
+    /// first.
+    pub fn value_counts(&self, attribute: &str) -> Result<AFrame> {
+        let grouped = self
+            .translator
+            .groupby_agg(&self.query, attribute, attribute, "count", "cnt")?;
+        let sorted = self.translator.sort(&grouped, "cnt", false)?;
+        let mut next = self.derive(sorted);
+        next.shape = Shape::Aggregated;
+        Ok(next)
+    }
+
+    /// One-hot encode an attribute (`pd.get_dummies(df['a'])`) — a generic
+    /// rule: one query discovers the distinct values, a second projects one
+    /// indicator column per value.
+    pub fn get_dummies(&self, attribute: &str) -> Result<AFrame> {
+        // Query 1 (action): distinct values via group-by count.
+        let distinct_q = self.translator.groupby_agg(
+            &self.query,
+            attribute,
+            attribute,
+            "count",
+            "cnt",
+        )?;
+        let rows = self.run(self.translator.return_value(&distinct_q)?)?;
+        let mut values: Vec<Value> = rows
+            .into_iter()
+            .map(|row| row.get_path(attribute))
+            .filter(|v| !v.is_unknown())
+            .collect();
+        values.sort_by(polyframe_datamodel::cmp_total);
+        if values.is_empty() {
+            return Err(PolyFrameError::Result(format!(
+                "no known values in {attribute}"
+            )));
+        }
+        // Query 2 (transformation): indicator projection per value.
+        let alias_rule = self.translator.rules().attribute("computed_alias")?;
+        let items: Vec<String> = values
+            .iter()
+            .map(|v| {
+                let expr = Expr::Col(attribute.to_string()).eq(Expr::Lit(v.clone()));
+                let rendered = self.translator.render_expr(&expr)?;
+                let alias = format!("{attribute}_{v}");
+                Ok(subst(
+                    alias_rule,
+                    &[("alias", alias.as_str()), ("expr", rendered.as_str())],
+                ))
+            })
+            .collect::<Result<_>>()?;
+        let projection = self.translator.join_items(&items)?;
+        let q = subst(
+            self.translator.rules().query("project")?,
+            &[("subquery", self.query.as_str()), ("projection", projection.as_str())],
+        );
+        Ok(self.derive(q))
+    }
+
+    // --------------------------------------------------------------- actions
+
+    fn run(&self, final_query: String) -> Result<Vec<Value>> {
+        let prepared = self.connector.preprocess(&final_query);
+        let rows = self
+            .connector
+            .execute(&prepared, &self.namespace, &self.collection)?;
+        Ok(self.connector.postprocess(rows))
+    }
+
+    /// First `n` rows (`df.head(n)`).
+    pub fn head(&self, n: usize) -> Result<ResultSet> {
+        Ok(ResultSet::new(self.run(self.translator.limit(&self.query, n)?)?))
+    }
+
+    /// All rows.
+    pub fn collect(&self) -> Result<ResultSet> {
+        let wrapped = match self.shape {
+            Shape::Records => self.translator.return_all(&self.query)?,
+            Shape::Aggregated => self.translator.return_value(&self.query)?,
+        };
+        Ok(ResultSet::new(self.run(wrapped)?))
+    }
+
+    /// Row count (`len(df)`).
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> Result<usize> {
+        let rows = self.run(self.translator.count_all(&self.query)?)?;
+        match rows.first() {
+            // MongoDB's $count emits nothing on empty input.
+            None => Ok(0),
+            Some(row) => ResultSet::new(vec![row.clone()])
+                .scalar()?
+                .as_i64()
+                .map(|n| n as usize)
+                .ok_or_else(|| PolyFrameError::Result("count was not an integer".to_string())),
+        }
+    }
+
+    /// Scalar aggregate over the current series.
+    pub fn agg(&self, func: AggFunc) -> Result<Value> {
+        let attr = self.series_attr()?.to_string();
+        let q = self
+            .translator
+            .agg_value(&self.query, &attr, func.rule_key())?;
+        let rows = self.run(self.translator.return_value(&q)?)?;
+        ResultSet::new(rows).scalar()
+    }
+
+    /// `df['a'].max()`
+    pub fn max(&self) -> Result<Value> {
+        self.agg(AggFunc::Max)
+    }
+
+    /// `df['a'].min()`
+    pub fn min(&self) -> Result<Value> {
+        self.agg(AggFunc::Min)
+    }
+
+    /// `df['a'].mean()`
+    pub fn mean(&self) -> Result<Value> {
+        self.agg(AggFunc::Mean)
+    }
+
+    /// `df['a'].sum()`
+    pub fn sum(&self) -> Result<Value> {
+        self.agg(AggFunc::Sum)
+    }
+
+    /// `df['a'].std()` (population)
+    pub fn std(&self) -> Result<Value> {
+        self.agg(AggFunc::Std)
+    }
+
+    /// `df['a'].count()`
+    pub fn count(&self) -> Result<Value> {
+        self.agg(AggFunc::Count)
+    }
+
+    /// `df.describe()` — min/max/avg/count/std per attribute, composed from
+    /// the language-specific rules (the paper's flagship generic rule).
+    pub fn describe(&self, attributes: &[&str]) -> Result<ResultSet> {
+        let mut entries: Vec<(&str, &str)> = Vec::new();
+        for attr in attributes {
+            for func in ["count", "min", "max", "avg", "std"] {
+                entries.push((attr, func));
+            }
+        }
+        let q = self.translator.agg_multi(&self.query, &entries)?;
+        let rows = self.run(self.translator.return_value(&q)?)?;
+        Ok(ResultSet::new(rows))
+    }
+
+    fn series_attr(&self) -> Result<&str> {
+        self.series_attr.as_deref().ok_or_else(|| {
+            PolyFrameError::Unsupported(
+                "this operation applies to a single-column frame (use .col(..) first)"
+                    .to_string(),
+            )
+        })
+    }
+
+    /// For `map`, the paper composes the function over the series' *source*
+    /// rather than double-projecting in SQL++; but the general rule keeps
+    /// the projected subquery (appendix F does exactly that for SQL), so we
+    /// return the current query.
+    fn base_series_query(&self) -> Result<&str> {
+        Ok(&self.query)
+    }
+}
+
+/// The result of [`AFrame::groupby`].
+pub struct GroupBy {
+    frame: AFrame,
+    key: String,
+}
+
+impl GroupBy {
+    /// Aggregate the group key itself (`df.groupby(k).agg('count')`),
+    /// named `cnt` like the paper's expression 4.
+    pub fn agg(&self, func: AggFunc) -> Result<AFrame> {
+        let alias = match func {
+            AggFunc::Count => "cnt".to_string(),
+            other => format!("{}_{}", other.rule_key(), self.key),
+        };
+        self.agg_on_with_alias(&self.key.clone(), func, &alias)
+    }
+
+    /// Aggregate another attribute per group
+    /// (`df.groupby('twenty')['four'].agg('max')`), named `<func>_<attr>`
+    /// like the paper's expression 8.
+    pub fn agg_on(&self, attribute: &str, func: AggFunc) -> Result<AFrame> {
+        let alias = format!("{}_{}", func.rule_key(), attribute);
+        self.agg_on_with_alias(attribute, func, &alias)
+    }
+
+    fn agg_on_with_alias(&self, attribute: &str, func: AggFunc, alias: &str) -> Result<AFrame> {
+        let q = self.frame.translator.groupby_agg(
+            &self.frame.query,
+            &self.key,
+            attribute,
+            func.rule_key(),
+            alias,
+        )?;
+        let mut next = self.frame.derive(q);
+        next.shape = Shape::Aggregated;
+        Ok(next)
+    }
+}

@@ -1,0 +1,40 @@
+//! PolyFrame error type.
+
+use std::fmt;
+
+/// Errors surfaced by the PolyFrame API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PolyFrameError {
+    /// Malformed or incomplete language configuration.
+    Config(String),
+    /// The requested operation cannot be expressed against this backend
+    /// (e.g. a Cypher join whose right side is not a base frame).
+    Unsupported(String),
+    /// The backend database reported an error.
+    Backend(String),
+    /// Result post-processing failed (unexpected result shape).
+    Result(String),
+}
+
+impl fmt::Display for PolyFrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolyFrameError::Config(m) => write!(f, "configuration error: {m}"),
+            PolyFrameError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            PolyFrameError::Backend(m) => write!(f, "backend error: {m}"),
+            PolyFrameError::Result(m) => write!(f, "result error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PolyFrameError {}
+
+impl PolyFrameError {
+    /// Wrap any backend error.
+    pub fn backend(e: impl fmt::Display) -> PolyFrameError {
+        PolyFrameError::Backend(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, PolyFrameError>;

@@ -1,0 +1,243 @@
+//! The user-facing expression DSL.
+//!
+//! Rust has no `df[df['lang'] == 'en']` indexing sugar, so PolyFrame
+//! exposes a small expression builder instead:
+//!
+//! ```
+//! use polyframe::expr::{col, lit};
+//! let pred = col("ten").eq(3) & col("twentyPercent").eq(1) & col("two").eq(0);
+//! let missing = col("tenPercent").is_na();
+//! let arith = (col("onePercent") * lit(2)) + lit(1);
+//! # let _ = (pred, missing, arith);
+//! ```
+//!
+//! `&`, `|` and `!` mirror Pandas' mask operators; comparisons are methods
+//! (`eq`, `ne`, `gt`, `lt`, `ge`, `le`).
+
+use polyframe_datamodel::Value;
+use std::ops;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `>`
+    Gt,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `<=`
+    Le,
+}
+
+impl CmpOp {
+    /// The rewrite-rule key for this operator.
+    pub fn rule_key(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Gt => "gt",
+            CmpOp::Lt => "lt",
+            CmpOp::Ge => "ge",
+            CmpOp::Le => "le",
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl ArithOp {
+    /// The rewrite-rule key for this operator.
+    pub fn rule_key(self) -> &'static str {
+        match self {
+            ArithOp::Add => "add",
+            ArithOp::Sub => "sub",
+            ArithOp::Mul => "mul",
+            ArithOp::Div => "div",
+            ArithOp::Mod => "mod",
+        }
+    }
+}
+
+/// A lazy column expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `isna()` — null or missing.
+    IsNa(Box<Expr>),
+    /// `notna()`.
+    NotNa(Box<Expr>),
+}
+
+/// Reference a column.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Col(name.into())
+}
+
+/// A literal.
+pub fn lit(value: impl Into<Value>) -> Expr {
+    Expr::Lit(value.into())
+}
+
+impl Expr {
+    fn cmp(self, op: CmpOp, rhs: impl Into<Expr>) -> Expr {
+        Expr::Cmp(op, Box::new(self), Box::new(rhs.into()))
+    }
+
+    /// `self == rhs`
+    pub fn eq(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Eq, rhs)
+    }
+
+    /// `self != rhs`
+    pub fn ne(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Ne, rhs)
+    }
+
+    /// `self > rhs`
+    pub fn gt(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Gt, rhs)
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Lt, rhs)
+    }
+
+    /// `self >= rhs`
+    pub fn ge(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Ge, rhs)
+    }
+
+    /// `self <= rhs`
+    pub fn le(self, rhs: impl Into<Expr>) -> Expr {
+        self.cmp(CmpOp::Le, rhs)
+    }
+
+    /// `self.isna()` — true where the value is null or absent.
+    pub fn is_na(self) -> Expr {
+        Expr::IsNa(Box::new(self))
+    }
+
+    /// `self.notna()`.
+    pub fn not_na(self) -> Expr {
+        Expr::NotNa(Box::new(self))
+    }
+}
+
+/// Anything valueish converts into a literal expression.
+impl<T: Into<Value>> From<T> for Expr {
+    fn from(v: T) -> Expr {
+        Expr::Lit(v.into())
+    }
+}
+
+impl ops::BitAnd for Expr {
+    type Output = Expr;
+    fn bitand(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::BitOr for Expr {
+    type Output = Expr;
+    fn bitor(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+}
+
+impl ops::Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+}
+
+macro_rules! arith_impl {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl<R: Into<Expr>> ops::$trait<R> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: R) -> Expr {
+                Expr::Arith($op, Box::new(self), Box::new(rhs.into()))
+            }
+        }
+    };
+}
+arith_impl!(Add, add, ArithOp::Add);
+arith_impl!(Sub, sub, ArithOp::Sub);
+arith_impl!(Mul, mul, ArithOp::Mul);
+arith_impl!(Div, div, ArithOp::Div);
+arith_impl!(Rem, rem, ArithOp::Mod);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_shapes() {
+        let e = col("ten").eq(3) & col("two").eq(0);
+        assert!(matches!(e, Expr::And(_, _)));
+        let e = col("a").gt(1) | !col("b").le(2);
+        match e {
+            Expr::Or(_, rhs) => assert!(matches!(*rhs, Expr::Not(_))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_conversions() {
+        assert_eq!(Expr::from(5i64), Expr::Lit(Value::Int(5)));
+        assert_eq!(Expr::from("en"), Expr::Lit(Value::str("en")));
+        let e = col("lang").eq("en");
+        assert!(matches!(e, Expr::Cmp(CmpOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let e = (col("onePercent") * lit(2)) + lit(1);
+        match e {
+            Expr::Arith(ArithOp::Add, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Arith(ArithOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let m = col("x") % lit(7);
+        assert!(matches!(m, Expr::Arith(ArithOp::Mod, _, _)));
+    }
+
+    #[test]
+    fn isna() {
+        assert!(matches!(col("x").is_na(), Expr::IsNa(_)));
+        assert!(matches!(col("x").not_na(), Expr::NotNa(_)));
+    }
+}

@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! # PolyFrame
+//!
+//! A Rust reproduction of **"PolyFrame: A Retargetable Query-based Approach
+//! to Scaling DataFrames"** (Sinthong & Carey, VLDB 2021).
+//!
+//! PolyFrame gives you a Pandas-like, *lazy* DataFrame whose operations are
+//! incrementally rewritten into the query language of whatever database
+//! backend you point it at — SQL++ (AsterixDB), SQL (PostgreSQL /
+//! Greenplum), MongoDB aggregation pipelines, or Cypher (Neo4j) out of the
+//! box, and anything else via a language configuration file.
+//!
+//! * **Transformations** (`select`, `mask`, `sort_values`, `groupby`,
+//!   `merge`, ...) never touch the database: each one substitutes the
+//!   previous query into a rewrite-rule template (`$subquery`) and returns
+//!   a new [`AFrame`].
+//! * **Actions** (`head`, `collect`, `len`, `max`, ...) send the
+//!   accumulated query through a [`connector::DatabaseConnector`] and
+//!   return eager results.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use polyframe::prelude::*;
+//! use polyframe_sqlengine::{Engine, EngineConfig};
+//!
+//! // Point PolyFrame at an AsterixDB-like engine...
+//! let engine = Arc::new(Engine::new(EngineConfig::asterixdb()));
+//! let af = AFrame::new("Test", "Users", Arc::new(AsterixConnector::new(engine)))?;
+//!
+//! // ...and use Pandas-ish operations; nothing runs until `head`.
+//! let res = af.mask(&(col("lang").eq("en") & col("age").ge(21)))?
+//!             .select(&["name", "address"])?
+//!             .head(10)?;
+//! println!("{res}");
+//! # Ok::<(), polyframe::PolyFrameError>(())
+//! ```
+//!
+//! The rewrite rules live in INI-style configuration files mirroring the
+//! paper's appendix (see `configs/`); [`rewrite::RuleSet::with_overrides`]
+//! layers user-defined rewrites on top.
+
+pub mod connector;
+pub mod dataframe;
+pub mod error;
+pub mod expr;
+pub mod result;
+pub mod rewrite;
+pub mod translate;
+
+pub use connector::{
+    AsterixConnector, DatabaseConnector, MongoClusterConnector, MongoConnector, Neo4jConnector,
+    PostgresConnector, SqlClusterConnector,
+};
+pub use dataframe::{AFrame, AggFunc, GroupBy, MapFunc};
+pub use error::{PolyFrameError, Result};
+pub use expr::{col, lit, Expr};
+pub use result::ResultSet;
+pub use rewrite::{Language, RuleSet};
+pub use translate::Translator;
+
+/// Convenience imports for applications.
+pub mod prelude {
+    pub use crate::connector::{
+        AsterixConnector, DatabaseConnector, MongoClusterConnector, MongoConnector,
+        Neo4jConnector, PostgresConnector, SqlClusterConnector,
+    };
+    pub use crate::dataframe::{AFrame, AggFunc, GroupBy, MapFunc};
+    pub use crate::expr::{col, lit, Expr};
+    pub use crate::result::ResultSet;
+    pub use crate::rewrite::{Language, RuleSet};
+    pub use crate::PolyFrameError;
+}

@@ -1,0 +1,181 @@
+//! Eager result sets returned by actions.
+
+use crate::error::{PolyFrameError, Result};
+use polyframe_datamodel::{Record, Value};
+use polyframe_eager::{EagerFrame, MemoryBudget};
+use std::fmt;
+
+/// Materialized rows returned by an action — the analogue of the Pandas
+/// DataFrame the paper's AFrame hands back for further visualization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    rows: Vec<Value>,
+}
+
+impl ResultSet {
+    /// Wrap raw rows.
+    pub fn new(rows: Vec<Value>) -> ResultSet {
+        ResultSet { rows }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows came back.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Borrow the rows.
+    pub fn rows(&self) -> &[Value] {
+        &self.rows
+    }
+
+    /// Consume into rows.
+    pub fn into_rows(self) -> Vec<Value> {
+        self.rows
+    }
+
+    /// Values of one column across all rows (missing where absent).
+    pub fn column(&self, name: &str) -> Vec<Value> {
+        self.rows.iter().map(|r| r.get_path(name)).collect()
+    }
+
+    /// The single scalar a value-returning query produced: the first row's
+    /// bare value, or its only field.
+    pub fn scalar(&self) -> Result<Value> {
+        let row = self
+            .rows
+            .first()
+            .ok_or_else(|| PolyFrameError::Result("no rows returned".to_string()))?;
+        match row {
+            Value::Obj(rec) if rec.len() == 1 => Ok(rec.values().next().unwrap().clone()),
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// Convert to an eager frame (for local post-analysis, like handing a
+    /// Pandas DataFrame to a plotting library).
+    pub fn to_eager(&self, budget: &MemoryBudget) -> Result<EagerFrame> {
+        let records: Vec<Record> = self
+            .rows
+            .iter()
+            .map(|row| match row {
+                Value::Obj(r) => r.clone(),
+                bare => {
+                    let mut r = Record::new();
+                    r.insert("value", bare.clone());
+                    r
+                }
+            })
+            .collect();
+        EagerFrame::from_records(&records, budget).map_err(PolyFrameError::backend)
+    }
+}
+
+impl fmt::Display for ResultSet {
+    /// Render as a fixed-width text table (columns unioned across rows).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut columns: Vec<String> = Vec::new();
+        for row in &self.rows {
+            if let Value::Obj(rec) = row {
+                for k in rec.keys() {
+                    if !columns.iter().any(|c| c == k) {
+                        columns.push(k.to_string());
+                    }
+                }
+            }
+        }
+        if columns.is_empty() {
+            columns.push("value".to_string());
+        }
+        let mut table: Vec<Vec<String>> = vec![columns.clone()];
+        for row in &self.rows {
+            let cells: Vec<String> = columns
+                .iter()
+                .map(|c| match row {
+                    Value::Obj(_) => {
+                        let v = row.get_path(c);
+                        if v.is_missing() {
+                            String::new()
+                        } else {
+                            v.to_string()
+                        }
+                    }
+                    bare if c == "value" => bare.to_string(),
+                    _ => String::new(),
+                })
+                .collect();
+            table.push(cells);
+        }
+        let widths: Vec<usize> = (0..columns.len())
+            .map(|i| table.iter().map(|r| r[i].len()).max().unwrap_or(0))
+            .collect();
+        for (ri, row) in table.iter().enumerate() {
+            for (ci, cell) in row.iter().enumerate() {
+                if ci > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[ci])?;
+            }
+            writeln!(f)?;
+            if ri == 0 {
+                writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    #[test]
+    fn scalar_extraction() {
+        assert_eq!(
+            ResultSet::new(vec![Value::Int(5)]).scalar().unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            ResultSet::new(vec![Value::Obj(record! {"count" => 7i64})])
+                .scalar()
+                .unwrap(),
+            Value::Int(7)
+        );
+        assert!(ResultSet::new(vec![]).scalar().is_err());
+    }
+
+    #[test]
+    fn column_access() {
+        let rs = ResultSet::new(vec![
+            Value::Obj(record! {"a" => 1i64}),
+            Value::Obj(record! {"a" => 2i64, "b" => 3i64}),
+        ]);
+        assert_eq!(rs.column("a"), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(rs.column("b")[0], Value::Missing);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let rs = ResultSet::new(vec![
+            Value::Obj(record! {"name" => "ann", "age" => 31i64}),
+            Value::Obj(record! {"name" => "bo", "age" => 7i64}),
+        ]);
+        let s = rs.to_string();
+        assert!(s.contains("name"));
+        assert!(s.contains("ann"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn to_eager_wraps_bare_values() {
+        let rs = ResultSet::new(vec![Value::Int(1), Value::Int(2)]);
+        let frame = rs.to_eager(&MemoryBudget::unlimited()).unwrap();
+        assert_eq!(frame.len(), 2);
+        assert_eq!(frame.columns(), &["value"]);
+    }
+}

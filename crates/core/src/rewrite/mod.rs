@@ -1,0 +1,8 @@
+//! The language rewrite layer: configuration parsing, built-in rule sets
+//! and template substitution.
+
+pub mod config;
+pub mod rules;
+
+pub use config::{subst, Config};
+pub use rules::{Language, RuleSet};

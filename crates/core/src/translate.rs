@@ -1,0 +1,573 @@
+//! Incremental query formation: applying rewrite rules to build query
+//! strings, one DataFrame operation at a time.
+//!
+//! Every method takes the previous operation's query string (`$subquery`)
+//! and returns the next one — the mechanism of the paper's Figure 2. All
+//! language knowledge lives in the [`RuleSet`]; this module only knows
+//! which variables each operation must fill.
+
+use crate::error::{PolyFrameError, Result};
+use crate::expr::Expr;
+use crate::rewrite::config::subst;
+use crate::rewrite::RuleSet;
+use polyframe_datamodel::Value;
+
+/// Applies rewrite rules for one target language.
+#[derive(Debug, Clone)]
+pub struct Translator {
+    rules: RuleSet,
+}
+
+impl Translator {
+    /// Wrap a rule set.
+    pub fn new(rules: RuleSet) -> Translator {
+        Translator { rules }
+    }
+
+    /// Borrow the rule set.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// Operation 1: all records of a dataset.
+    pub fn records(&self, namespace: &str, collection: &str) -> Result<String> {
+        Ok(subst(
+            self.rules.query("records")?,
+            &[("namespace", namespace), ("collection", collection)],
+        ))
+    }
+
+    /// Render a column reference (`single_attribute` rule).
+    pub fn column_ref(&self, attribute: &str) -> Result<String> {
+        Ok(subst(
+            self.rules.attribute("single_attribute")?,
+            &[("attribute", attribute)],
+        ))
+    }
+
+    /// Render a literal value.
+    pub fn literal(&self, v: &Value) -> Result<String> {
+        match v {
+            Value::Str(s) => self.rules.string_literal(s),
+            Value::Int(i) => Ok(i.to_string()),
+            Value::Double(d) => Ok(format!("{d:?}")),
+            Value::Bool(b) => Ok(b.to_string()),
+            Value::Null | Value::Missing => {
+                Ok(self.rules.template("LITERALS", "null")?.to_string())
+            }
+            other => Err(PolyFrameError::Unsupported(format!(
+                "cannot render {} literals",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Render an expression to this language's syntax.
+    pub fn render_expr(&self, expr: &Expr) -> Result<String> {
+        match expr {
+            Expr::Col(name) => self.column_ref(name),
+            Expr::Lit(v) => self.literal(v),
+            Expr::Cmp(op, l, r) => {
+                let template = self.rules.comparison(op.rule_key())?;
+                let left = self.render_expr(l)?;
+                let right = self.render_expr(r)?;
+                Ok(subst(template, &[("left", &left), ("right", &right)]))
+            }
+            Expr::Arith(op, l, r) => {
+                let template = self.rules.arithmetic(op.rule_key())?;
+                let left = self.render_expr(l)?;
+                let right = self.render_expr(r)?;
+                Ok(subst(template, &[("left", &left), ("right", &right)]))
+            }
+            Expr::And(l, r) => {
+                let template = self.rules.logical("and")?;
+                let left = self.render_logical_operand(l, true)?;
+                let right = self.render_logical_operand(r, true)?;
+                Ok(subst(template, &[("left", &left), ("right", &right)]))
+            }
+            Expr::Or(l, r) => {
+                let template = self.rules.logical("or")?;
+                let left = self.render_logical_operand(l, false)?;
+                let right = self.render_logical_operand(r, false)?;
+                Ok(subst(template, &[("left", &left), ("right", &right)]))
+            }
+            Expr::Not(inner) => {
+                let template = self.rules.logical("not")?;
+                let left = self.render_expr(inner)?;
+                Ok(subst(template, &[("left", &left)]))
+            }
+            Expr::IsNa(inner) => {
+                let operand = self.operand_name(inner)?;
+                self.rules.is_missing(&operand)
+            }
+            Expr::NotNa(inner) => {
+                let operand = self.operand_name(inner)?;
+                let template = self.rules.template("NULL", "not_missing")?;
+                Ok(subst(template, &[("operand", &operand)]))
+            }
+        }
+    }
+
+    /// Render an operand of AND/OR. When the operand is the *other*
+    /// logical operator, it is wrapped with the `group` rule so textual
+    /// languages keep the intended precedence (`a AND (b OR c)`); chains of
+    /// the same operator stay flat, which is what keeps the generated text
+    /// identical to the paper's appendix queries.
+    fn render_logical_operand(&self, expr: &Expr, in_and: bool) -> Result<String> {
+        let rendered = self.render_expr(expr)?;
+        let needs_group = matches!(
+            (expr, in_and),
+            (Expr::Or(_, _), true) | (Expr::And(_, _), false)
+        );
+        if needs_group {
+            let template = self.rules.logical("group")?;
+            Ok(subst(template, &[("left", &rendered)]))
+        } else {
+            Ok(rendered)
+        }
+    }
+
+    /// The operand slot of null checks (and Mongo comparison left slots)
+    /// takes the rendered column reference.
+    fn operand_name(&self, expr: &Expr) -> Result<String> {
+        match expr {
+            Expr::Col(name) => {
+                // Mongo's `"$$operand"` idiom needs the bare name; other
+                // languages use their single_attribute rendering, which for
+                // Mongo *is* the bare name — so render_expr covers both.
+                self.render_expr(&Expr::Col(name.clone()))
+            }
+            other => Err(PolyFrameError::Unsupported(format!(
+                "null checks apply to columns, not {other:?}"
+            ))),
+        }
+    }
+
+    /// Join a list of rendered items with the `attribute_separator` rule.
+    pub fn join_items(&self, items: &[String]) -> Result<String> {
+        let sep = self.rules.attribute("attribute_separator")?;
+        items
+            .iter()
+            .cloned()
+            .reduce(|l, r| subst(sep, &[("left", &l), ("right", &r)]))
+            .ok_or_else(|| PolyFrameError::Unsupported("empty projection".to_string()))
+    }
+
+    /// Operation: project attributes.
+    pub fn project(&self, subquery: &str, attributes: &[&str]) -> Result<String> {
+        let alias_rule = self.rules.attribute("attribute_alias")?;
+        let items: Vec<String> = attributes
+            .iter()
+            .map(|a| subst(alias_rule, &[("attribute", a), ("alias", a)]))
+            .collect();
+        let projection = self.join_items(&items)?;
+        Ok(subst(
+            self.rules.query("project")?,
+            &[("subquery", subquery), ("projection", &projection)],
+        ))
+    }
+
+    /// Operation: project one computed expression (boolean columns,
+    /// `df['a'] == x`).
+    pub fn project_computed(&self, subquery: &str, alias: &str, expr: &Expr) -> Result<String> {
+        let rendered = self.render_expr(expr)?;
+        let item = subst(
+            self.rules.attribute("computed_alias")?,
+            &[("alias", alias), ("expr", &rendered)],
+        );
+        Ok(subst(
+            self.rules.query("project")?,
+            &[("subquery", subquery), ("projection", &item)],
+        ))
+    }
+
+    /// Operation: map a scalar function over a series
+    /// (`df['stringu1'].map(str.upper)`).
+    pub fn map_function(&self, subquery: &str, attribute: &str, func_key: &str) -> Result<String> {
+        let func = subst(
+            self.rules.function(func_key)?,
+            &[("attribute", attribute)],
+        );
+        Ok(subst(
+            self.rules.query("map")?,
+            &[
+                ("subquery", subquery),
+                ("attribute", attribute),
+                ("expr", &func),
+                // Cypher aliases map projections by the expression text
+                // (appendix G, expression 5).
+                ("alias", &func),
+            ],
+        ))
+    }
+
+    /// Operation: count all records.
+    pub fn count_all(&self, subquery: &str) -> Result<String> {
+        Ok(subst(self.rules.query("count_all")?, &[("subquery", subquery)]))
+    }
+
+    /// Operation: filter by predicate.
+    pub fn filter(&self, subquery: &str, predicate: &Expr) -> Result<String> {
+        let pred = self.render_expr(predicate)?;
+        Ok(subst(
+            self.rules.query("filter")?,
+            &[("subquery", subquery), ("predicate", &pred)],
+        ))
+    }
+
+    /// Operation: sort by an attribute.
+    pub fn sort(&self, subquery: &str, attribute: &str, ascending: bool) -> Result<String> {
+        let (query_key, attr_key) = if ascending {
+            ("sort_asc", "sort_asc_attr")
+        } else {
+            ("sort_desc", "sort_desc_attr")
+        };
+        let attr = subst(self.rules.attribute(attr_key)?, &[("attribute", attribute)]);
+        Ok(subst(
+            self.rules.query(query_key)?,
+            &[
+                ("subquery", subquery),
+                ("sort_asc_attr", &attr),
+                ("sort_desc_attr", &attr),
+            ],
+        ))
+    }
+
+    /// Operation: a single aggregate value (`df['a'].max()`). The output
+    /// alias is the function key itself.
+    pub fn agg_value(&self, subquery: &str, attribute: &str, func_key: &str) -> Result<String> {
+        let func = subst(
+            self.rules.function(func_key)?,
+            &[("attribute", attribute)],
+        );
+        Ok(subst(
+            self.rules.query("agg_value")?,
+            &[
+                ("subquery", subquery),
+                ("agg_func", &func),
+                ("agg_alias", func_key),
+            ],
+        ))
+    }
+
+    /// Generic rule: several aggregates at once (`df.describe()` is built
+    /// from this, chaining the per-function rules with the attribute
+    /// separator exactly as the paper describes).
+    pub fn agg_multi(
+        &self,
+        subquery: &str,
+        entries: &[(&str, &str)], // (attribute, func_key)
+    ) -> Result<String> {
+        let entry_rule = self.rules.attribute("agg_entry")?;
+        let items: Vec<String> = entries
+            .iter()
+            .map(|(attr, func_key)| {
+                let func = subst(self.rules.function(func_key)?, &[("attribute", attr)]);
+                let alias = format!("{func_key}_{attr}");
+                Ok(subst(
+                    entry_rule,
+                    &[("agg_func", func.as_str()), ("agg_alias", alias.as_str())],
+                ))
+            })
+            .collect::<Result<_>>()?;
+        let joined = self.join_items(&items)?;
+        Ok(subst(
+            self.rules.query("agg_multi")?,
+            &[("subquery", subquery), ("agg_entries", &joined)],
+        ))
+    }
+
+    /// Operation: group on one attribute and aggregate another.
+    pub fn groupby_agg(
+        &self,
+        subquery: &str,
+        group_attr: &str,
+        agg_attr: &str,
+        func_key: &str,
+        agg_alias: &str,
+    ) -> Result<String> {
+        let func = subst(self.rules.function(func_key)?, &[("attribute", agg_attr)]);
+        let group_key = subst(
+            self.rules.attribute("group_key")?,
+            &[("attribute", group_attr)],
+        );
+        Ok(subst(
+            self.rules.query("groupby_agg")?,
+            &[
+                ("subquery", subquery),
+                ("group_key", &group_key),
+                ("agg_func", &func),
+                ("agg_alias", agg_alias),
+            ],
+        ))
+    }
+
+    /// Operation: equi-join two frames.
+    pub fn join(
+        &self,
+        left_subquery: &str,
+        right_subquery: &str,
+        right_from: &str,
+        left_attr: &str,
+        right_attr: &str,
+    ) -> Result<String> {
+        Ok(subst(
+            self.rules.query("join")?,
+            &[
+                ("subquery", left_subquery),
+                ("left_subquery", left_subquery),
+                ("right_subquery", right_subquery),
+                ("right_from", right_from),
+                ("left_attr", left_attr),
+                ("right_attr", right_attr),
+            ],
+        ))
+    }
+
+    /// Action wrapper: `LIMIT n`.
+    pub fn limit(&self, subquery: &str, n: usize) -> Result<String> {
+        Ok(subst(
+            self.rules.limit_rule("limit")?,
+            &[("subquery", subquery), ("num", &n.to_string())],
+        ))
+    }
+
+    /// Action wrapper: return all rows.
+    pub fn return_all(&self, subquery: &str) -> Result<String> {
+        Ok(subst(self.rules.limit_rule("return_all")?, &[("subquery", subquery)]))
+    }
+
+    /// Action wrapper: return scalar/aggregated rows (no row-shaping
+    /// cleanup stages).
+    pub fn return_value(&self, subquery: &str) -> Result<String> {
+        Ok(subst(self.rules.limit_rule("return_value")?, &[("subquery", subquery)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::rewrite::Language;
+
+    fn t(lang: Language) -> Translator {
+        Translator::new(RuleSet::builtin(lang))
+    }
+
+    #[test]
+    fn records_per_language() {
+        assert_eq!(
+            t(Language::SqlPlusPlus).records("Test", "Users").unwrap(),
+            "SELECT VALUE t FROM Test.Users t"
+        );
+        assert_eq!(
+            t(Language::Sql).records("Test", "Users").unwrap(),
+            "SELECT * FROM Test.Users"
+        );
+        assert_eq!(
+            t(Language::Mongo).records("Test", "Users").unwrap(),
+            r#"{ "$match": {} }"#
+        );
+        assert_eq!(
+            t(Language::Cypher).records("Test", "Users").unwrap(),
+            "MATCH(t: Users)"
+        );
+    }
+
+    #[test]
+    fn predicates_per_language() {
+        let pred = col("lang").eq("en");
+        assert_eq!(
+            t(Language::SqlPlusPlus).render_expr(&pred).unwrap(),
+            "t.lang = \"en\""
+        );
+        assert_eq!(
+            t(Language::Sql).render_expr(&pred).unwrap(),
+            "t.\"lang\" = 'en'"
+        );
+        assert_eq!(
+            t(Language::Mongo).render_expr(&pred).unwrap(),
+            r#""$eq": ["$lang", "en"]"#
+        );
+        assert_eq!(
+            t(Language::Cypher).render_expr(&pred).unwrap(),
+            "t.lang = \"en\""
+        );
+    }
+
+    #[test]
+    fn conjunction_rendering() {
+        let pred = col("ten").eq(3) & col("two").eq(1);
+        assert_eq!(
+            t(Language::SqlPlusPlus).render_expr(&pred).unwrap(),
+            "t.ten = 3 AND t.two = 1"
+        );
+        assert_eq!(
+            t(Language::Mongo).render_expr(&pred).unwrap(),
+            r#""$and": [ { "$eq": ["$ten", 3] }, { "$eq": ["$two", 1] } ]"#
+        );
+    }
+
+    #[test]
+    fn isna_rendering() {
+        let pred = col("tenPercent").is_na();
+        assert_eq!(
+            t(Language::SqlPlusPlus).render_expr(&pred).unwrap(),
+            "t.tenPercent IS UNKNOWN"
+        );
+        assert_eq!(
+            t(Language::Sql).render_expr(&pred).unwrap(),
+            "t.\"tenPercent\" IS NULL"
+        );
+        assert_eq!(
+            t(Language::Mongo).render_expr(&pred).unwrap(),
+            r#""$lt": ["$tenPercent", null]"#
+        );
+        assert_eq!(
+            t(Language::Cypher).render_expr(&pred).unwrap(),
+            "t.tenPercent IS NULL"
+        );
+    }
+
+    #[test]
+    fn arithmetic_rendering() {
+        let e = (col("onePercent") * lit(2)) + lit(1);
+        assert_eq!(
+            t(Language::SqlPlusPlus).render_expr(&e).unwrap(),
+            "t.onePercent * 2 + 1"
+        );
+        assert_eq!(
+            t(Language::Cypher).render_expr(&e).unwrap(),
+            "t.onePercent * 2 + 1"
+        );
+    }
+
+    #[test]
+    fn incremental_formation_matches_table1_sqlpp() {
+        // Table I operations 1, 4, 5, 6 for SQL++.
+        let tr = t(Language::SqlPlusPlus);
+        let q1 = tr.records("Test", "Users").unwrap();
+        let q4 = tr.filter(&q1, &col("lang").eq("en")).unwrap();
+        assert_eq!(
+            q4,
+            "SELECT VALUE t\n FROM (SELECT VALUE t FROM Test.Users t) t\n WHERE t.lang = \"en\""
+        );
+        let q5 = tr.project(&q4, &["name", "address"]).unwrap();
+        assert!(q5.starts_with("SELECT t.name, t.address\n FROM ("));
+        let q6 = tr.limit(&q5, 10).unwrap();
+        assert!(q6.ends_with("\n LIMIT 10;"));
+    }
+
+    #[test]
+    fn incremental_formation_matches_figure4_mongo() {
+        // Figure 4's aggregation pipeline.
+        let tr = t(Language::Mongo);
+        let q1 = tr.records("Test", "Users").unwrap();
+        let q4 = tr.filter(&q1, &col("lang").eq("en")).unwrap();
+        let q5 = tr.project(&q4, &["name", "address"]).unwrap();
+        let q6 = tr.limit(&q5, 10).unwrap();
+        assert_eq!(
+            q6,
+            "{ \"$match\": {} },\n { \"$match\": { \"$expr\": { \"$eq\": [\"$lang\", \"en\"] } } },\n { \"$project\": { \"name\": 1, \"address\": 1 } },\n { \"$project\": { \"_id\": 0 } },\n { \"$limit\": 10 }"
+        );
+    }
+
+    #[test]
+    fn incremental_formation_matches_table1_cypher() {
+        let tr = t(Language::Cypher);
+        let q1 = tr.records("Test", "Users").unwrap();
+        let q4 = tr.filter(&q1, &col("lang").eq("en")).unwrap();
+        let q5 = tr.project(&q4, &["name", "address"]).unwrap();
+        let q6 = tr.limit(&q5, 10).unwrap();
+        assert_eq!(
+            q6,
+            "MATCH(t: Users)\n WITH t WHERE t.lang = \"en\"\n WITH t{'name': t.name, 'address': t.address}\n RETURN t\n LIMIT 10"
+        );
+    }
+
+    #[test]
+    fn aggregate_composition_min_age() {
+        // The paper's section III.C example: minimum of `age` over
+        // `Test.Users` composes rules 1, 2 and 3.
+        let tr = t(Language::SqlPlusPlus);
+        let q1 = tr.records("Test", "Users").unwrap();
+        let q = tr.agg_value(&q1, "age", "min").unwrap();
+        assert_eq!(
+            q,
+            "SELECT MIN(age)\n FROM (SELECT VALUE t FROM Test.Users t) t"
+        );
+        let trm = t(Language::Mongo);
+        let q1m = trm.records("Test", "Users").unwrap();
+        let qm = trm.agg_value(&q1m, "age", "min").unwrap();
+        assert_eq!(
+            qm,
+            "{ \"$match\": {} },\n { \"$group\": { \"_id\": {}, \"min\": { \"$min\": \"$age\" } } },\n { \"$project\": { \"_id\": 0 } }"
+        );
+        let trc = t(Language::Cypher);
+        let q1c = trc.records("Test", "Users").unwrap();
+        let qc = trc.agg_value(&q1c, "age", "min").unwrap();
+        assert_eq!(
+            qc,
+            "MATCH(t: Users)\n WITH {'min': min(t.age)} AS t"
+        );
+    }
+
+    #[test]
+    fn groupby_rendering() {
+        let tr = t(Language::Mongo);
+        let q1 = tr.records("Test", "data").unwrap();
+        let q = tr.groupby_agg(&q1, "twenty", "four", "max", "max").unwrap();
+        assert!(q.contains(r#""$group": { "_id": { "twenty": "$twenty" }, "max": { "$max": "$four" } }"#), "{q}");
+        assert!(q.contains(r#""$addFields": { "twenty": "$_id.twenty" }"#), "{q}");
+    }
+
+    #[test]
+    fn join_rendering() {
+        let tr = t(Language::SqlPlusPlus);
+        let left = tr.records("Default", "leftData").unwrap();
+        let right = tr.records("Default", "rightData").unwrap();
+        let q = tr
+            .join(&left, &right, "rightData", "unique1", "unique1")
+            .unwrap();
+        assert_eq!(
+            q,
+            "SELECT l, r\n FROM (SELECT VALUE t FROM Default.leftData t) l JOIN (SELECT VALUE t FROM Default.rightData t) r ON l.unique1 = r.unique1"
+        );
+
+        let trm = t(Language::Mongo);
+        let leftm = trm.records("Default", "leftData").unwrap();
+        let rightm = trm.records("Default", "rightData").unwrap();
+        let qm = trm
+            .join(&leftm, &rightm, "rightData", "unique1", "unique1")
+            .unwrap();
+        assert!(qm.contains(r#""let": { "left": "$unique1" }"#), "{qm}");
+        assert!(qm.contains(r#""$eq": ["$unique1", "$$left"]"#), "{qm}");
+        assert!(qm.contains(r#""$unwind": { "path": "$rightData", "preserveNullAndEmptyArrays": false }"#), "{qm}");
+    }
+
+    #[test]
+    fn describe_composes_agg_entries() {
+        let tr = t(Language::Sql);
+        let q1 = tr.records("public", "data").unwrap();
+        let q = tr
+            .agg_multi(&q1, &[("age", "min"), ("age", "max"), ("age", "avg")])
+            .unwrap();
+        assert!(q.contains("MIN(\"age\") AS \"min_age\""), "{q}");
+        assert!(q.contains("AVG(\"age\") AS \"avg_age\""), "{q}");
+    }
+
+    #[test]
+    fn map_function_rendering() {
+        let tr = t(Language::SqlPlusPlus);
+        let q1 = tr.records("Default", "data").unwrap();
+        let q = tr.map_function(&q1, "stringu1", "upper").unwrap();
+        assert_eq!(
+            q,
+            "SELECT VALUE UPPER(t.stringu1)\n FROM (SELECT VALUE t FROM Default.data t) t"
+        );
+        let trm = t(Language::Mongo);
+        let q1m = trm.records("Default", "data").unwrap();
+        let qm = trm.map_function(&q1m, "stringu1", "upper").unwrap();
+        assert!(qm.contains(r#""$project": { "stringu1": { "$toUpper": "$stringu1" } }"#), "{qm}");
+    }
+}

@@ -1,0 +1,218 @@
+//! API-surface tests for the core library: error paths, result handling,
+//! custom rule sets and the connector contract.
+
+use polyframe::prelude::*;
+use polyframe::PolyFrameError;
+use polyframe_datamodel::{record, Value};
+use polyframe_eager::MemoryBudget;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use std::sync::Arc;
+
+fn small_frame() -> AFrame {
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    engine.create_dataset("T", "d", Some("id"));
+    engine
+        .load(
+            "T",
+            "d",
+            (0..10i64).map(|i| record! {"id" => i, "g" => i % 2, "s" => format!("s{i}")}),
+        )
+        .unwrap();
+    AFrame::new("T", "d", Arc::new(PostgresConnector::new(engine))).unwrap()
+}
+
+#[test]
+fn series_operations_require_col() {
+    let af = small_frame();
+    let err = af.max().unwrap_err();
+    assert!(matches!(err, PolyFrameError::Unsupported(_)));
+    assert_eq!(af.col("id").unwrap().max().unwrap(), Value::Int(9));
+}
+
+#[test]
+fn map_requires_series() {
+    let af = small_frame();
+    assert!(af.map(MapFunc::Upper).is_err());
+    let upper = af.col("s").unwrap().map(MapFunc::Upper).unwrap();
+    let out = upper.head(1).unwrap();
+    let first = &out.rows()[0];
+    let v = match first {
+        Value::Obj(r) => r.values().next().unwrap().clone(),
+        bare => bare.clone(),
+    };
+    assert_eq!(v, Value::str("S0"));
+}
+
+#[test]
+fn unknown_dataset_error_propagates_from_backend() {
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    let af = AFrame::new("T", "ghost", Arc::new(PostgresConnector::new(engine))).unwrap();
+    // Transformations still work (lazy!)...
+    let masked = af.mask(&col("x").eq(1)).unwrap();
+    // ...but actions surface the backend error.
+    let err = masked.len().unwrap_err();
+    assert!(matches!(err, PolyFrameError::Backend(_)), "{err}");
+}
+
+#[test]
+fn result_set_accessors() {
+    let af = small_frame();
+    let res = af.select(&["id", "g"]).unwrap().head(3).unwrap();
+    assert_eq!(res.len(), 3);
+    assert_eq!(res.column("id").len(), 3);
+    let eager = res.to_eager(&MemoryBudget::unlimited()).unwrap();
+    assert_eq!(eager.len(), 3);
+    assert_eq!(eager.columns(), &["id", "g"]);
+    let display = res.to_string();
+    assert!(display.contains("id"));
+}
+
+#[test]
+fn collect_returns_all_rows() {
+    let af = small_frame();
+    assert_eq!(af.collect().unwrap().len(), 10);
+    assert_eq!(af.mask(&col("g").eq(0)).unwrap().collect().unwrap().len(), 5);
+}
+
+#[test]
+fn sum_std_count_series_actions() {
+    let af = small_frame();
+    let s = af.col("id").unwrap();
+    assert_eq!(s.sum().unwrap(), Value::Int(45));
+    assert_eq!(s.count().unwrap(), Value::Int(10));
+    assert_eq!(s.mean().unwrap(), Value::Double(4.5));
+    let std = s.std().unwrap().as_f64().unwrap();
+    assert!((std - 2.8722813232690143).abs() < 1e-9);
+}
+
+#[test]
+fn with_rules_accepts_fully_custom_language() {
+    // A miniature custom "language": SQL-ish with a distinct spelling.
+    let custom = RuleSet::from_config_text(
+        "toy",
+        r#"
+[QUERIES]
+records = SCAN $namespace/$collection
+filter = $subquery |> KEEP $predicate
+project = $subquery |> PICK $projection
+map = $subquery |> APPLY $expr
+count_all = $subquery |> COUNT
+sort_desc = $subquery |> SORTD $sort_desc_attr
+sort_asc = $subquery |> SORTA $sort_asc_attr
+agg_value = $subquery |> AGG $agg_func
+agg_multi = $subquery |> AGGS $agg_entries
+groupby_agg = $subquery |> BY $group_key AGG $agg_func AS $agg_alias
+join = $left_subquery |> JOIN $right_from ON $left_attr=$right_attr
+
+[ATTRIBUTES]
+single_attribute = .$attribute
+attribute_alias = .$attribute
+computed_alias = $expr AS $alias
+group_key = $attribute
+sort_asc_attr = .$attribute
+sort_desc_attr = .$attribute
+attribute_separator = $left, $right
+agg_entry = $agg_func AS $agg_alias
+
+[COMPARISON STATEMENTS]
+eq = $left == $right
+ne = $left <> $right
+gt = $left > $right
+lt = $left < $right
+ge = $left >= $right
+le = $left <= $right
+
+[ARITHMETIC STATEMENTS]
+add = $left + $right
+sub = $left - $right
+mul = $left * $right
+div = $left / $right
+mod = $left % $right
+
+[LOGICAL STATEMENTS]
+and = $left && $right
+or = $left || $right
+not = !($left)
+group = ($left)
+
+[NULL]
+is_missing = missing($operand)
+not_missing = !missing($operand)
+
+[LITERALS]
+string = "$value"
+null = nil
+
+[LIMIT]
+limit = $subquery |> TAKE $num
+return_all = $subquery
+return_value = $subquery
+
+[FUNCTIONS]
+min = min(.$attribute)
+max = max(.$attribute)
+avg = avg(.$attribute)
+sum = sum(.$attribute)
+std = std(.$attribute)
+count = count(.$attribute)
+upper = upper(.$attribute)
+lower = lower(.$attribute)
+abs = abs(.$attribute)
+"#,
+    )
+    .unwrap();
+    // Wire the custom rules through a stock connector — transformations
+    // never execute, so this exercises pure retargeting.
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    let af = AFrame::with_rules("ns", "events", Arc::new(PostgresConnector::new(engine)), custom)
+        .unwrap();
+    assert_eq!(af.query(), "SCAN ns/events");
+    let chained = af
+        .mask(&(col("kind").eq("click") & col("n").ge(3)))
+        .unwrap()
+        .select(&["kind", "n"])
+        .unwrap();
+    assert_eq!(
+        chained.query(),
+        "SCAN ns/events |> KEEP .kind == \"click\" && .n >= 3 |> PICK .kind, .n"
+    );
+}
+
+#[test]
+fn missing_rule_is_a_config_error() {
+    let incomplete = RuleSet::from_config_text("broken", "[QUERIES]\nrecords = R $collection\n")
+        .unwrap();
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    let af = AFrame::with_rules("n", "c", Arc::new(PostgresConnector::new(engine)), incomplete)
+        .unwrap();
+    let err = af.select(&["x"]).unwrap_err();
+    assert!(matches!(err, PolyFrameError::Config(_)), "{err}");
+}
+
+#[test]
+fn merge_on_differing_keys() {
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    engine.create_dataset("T", "lhs", Some("id"));
+    engine.create_dataset("T", "rhs", Some("rid"));
+    engine
+        .load("T", "lhs", (0..10i64).map(|i| record! {"id" => i, "k" => i % 3}))
+        .unwrap();
+    engine
+        .load("T", "rhs", (0..3i64).map(|i| record! {"rid" => i, "k2" => i}))
+        .unwrap();
+    let conn = Arc::new(PostgresConnector::new(engine));
+    let l = AFrame::new("T", "lhs", Arc::clone(&conn) as Arc<dyn DatabaseConnector>).unwrap();
+    let r = l.sibling("T", "rhs").unwrap();
+    assert_eq!(l.merge_on(&r, "k", "k2").unwrap().len().unwrap(), 10);
+}
+
+#[test]
+fn get_dummies_errors_on_all_unknown_column() {
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    engine.create_dataset("T", "d", Some("id"));
+    engine
+        .load("T", "d", (0..5i64).map(|i| record! {"id" => i}))
+        .unwrap();
+    let af = AFrame::new("T", "d", Arc::new(PostgresConnector::new(engine))).unwrap();
+    assert!(af.get_dummies("absent").is_err());
+}

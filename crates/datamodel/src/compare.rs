@@ -1,0 +1,262 @@
+//! Comparison semantics shared by all query engines.
+//!
+//! Two distinct orders exist on [`Value`]:
+//!
+//! * [`sql_compare`] — *query* semantics: comparing anything with
+//!   `Missing`/`Null` yields unknown, cross-type comparisons yield unknown.
+//!   Used by `WHERE` clauses.
+//! * [`cmp_total`] — *total* order used by indexes and `ORDER BY`:
+//!   `Missing < Null < Bool < numbers < strings < arrays < objects`.
+
+use crate::record::Record;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// SQL three-valued logic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriBool {
+    /// Definitely true.
+    True,
+    /// Definitely false.
+    False,
+    /// Unknown (an operand was `Missing`/`Null` or incomparable).
+    Unknown,
+}
+
+impl TriBool {
+    /// Build from a plain boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> TriBool {
+        if b {
+            TriBool::True
+        } else {
+            TriBool::False
+        }
+    }
+
+    /// `WHERE`-clause semantics: only `True` passes.
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == TriBool::True
+    }
+
+    /// Three-valued AND.
+    pub fn and(self, other: TriBool) -> TriBool {
+        match (self, other) {
+            (TriBool::False, _) | (_, TriBool::False) => TriBool::False,
+            (TriBool::True, TriBool::True) => TriBool::True,
+            _ => TriBool::Unknown,
+        }
+    }
+
+    /// Three-valued OR.
+    pub fn or(self, other: TriBool) -> TriBool {
+        match (self, other) {
+            (TriBool::True, _) | (_, TriBool::True) => TriBool::True,
+            (TriBool::False, TriBool::False) => TriBool::False,
+            _ => TriBool::Unknown,
+        }
+    }
+
+    /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> TriBool {
+        match self {
+            TriBool::True => TriBool::False,
+            TriBool::False => TriBool::True,
+            TriBool::Unknown => TriBool::Unknown,
+        }
+    }
+
+    /// Convert back to a [`Value`]: `Unknown` becomes `Null`.
+    pub fn to_value(self) -> Value {
+        match self {
+            TriBool::True => Value::Bool(true),
+            TriBool::False => Value::Bool(false),
+            TriBool::Unknown => Value::Null,
+        }
+    }
+}
+
+/// Query-semantics comparison: `None` when either side is unknown or the
+/// types are incomparable.
+pub fn sql_compare(a: &Value, b: &Value) -> Option<Ordering> {
+    match (a, b) {
+        (Value::Missing | Value::Null, _) | (_, Value::Missing | Value::Null) => None,
+        (Value::Bool(x), Value::Bool(y)) => Some(x.cmp(y)),
+        (Value::Int(x), Value::Int(y)) => Some(x.cmp(y)),
+        (Value::Str(x), Value::Str(y)) => Some(x.cmp(y)),
+        (x, y) if x.is_numeric() && y.is_numeric() => {
+            // Mixed int/double: compare as f64 (exact for the benchmark's
+            // value ranges, which stay well under 2^53).
+            x.as_f64().unwrap().partial_cmp(&y.as_f64().unwrap())
+        }
+        _ => None,
+    }
+}
+
+/// Query-semantics equality with three-valued result.
+pub fn sql_eq(a: &Value, b: &Value) -> TriBool {
+    match sql_compare(a, b) {
+        Some(Ordering::Equal) => TriBool::True,
+        Some(_) => TriBool::False,
+        None => {
+            if a.is_unknown() || b.is_unknown() {
+                TriBool::Unknown
+            } else {
+                // Comparable in the total order but of different types:
+                // definitively not equal (e.g. "1" = 1 is false, not unknown,
+                // matching MongoDB/Cypher behaviour for heterogeneous data).
+                TriBool::False
+            }
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Missing => 0,
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) | Value::Double(_) => 3,
+        Value::Str(_) => 4,
+        Value::Array(_) => 5,
+        Value::Obj(_) => 6,
+    }
+}
+
+/// Total order over all values; used by indexes, sorts and group-by keys.
+pub fn cmp_total(a: &Value, b: &Value) -> Ordering {
+    let (ra, rb) = (type_rank(a), type_rank(b));
+    if ra != rb {
+        return ra.cmp(&rb);
+    }
+    match (a, b) {
+        (Value::Missing, Value::Missing) | (Value::Null, Value::Null) => Ordering::Equal,
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Int(x), Value::Int(y)) => x.cmp(y),
+        (x, y) if x.is_numeric() && y.is_numeric() => x
+            .as_f64()
+            .unwrap()
+            .partial_cmp(&y.as_f64().unwrap())
+            .unwrap_or(Ordering::Equal),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        (Value::Array(x), Value::Array(y)) => cmp_arrays(x, y),
+        (Value::Obj(x), Value::Obj(y)) => cmp_records(x, y),
+        _ => unreachable!("type ranks matched"),
+    }
+}
+
+fn cmp_arrays(x: &[Value], y: &[Value]) -> Ordering {
+    for (a, b) in x.iter().zip(y.iter()) {
+        let ord = cmp_total(a, b);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    x.len().cmp(&y.len())
+}
+
+fn cmp_records(x: &Record, y: &Record) -> Ordering {
+    for ((ka, va), (kb, vb)) in x.iter().zip(y.iter()) {
+        let ord = ka.cmp(kb);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+        let ord = cmp_total(va, vb);
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    x.len().cmp(&y.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record;
+
+    #[test]
+    fn tribool_truth_tables() {
+        use TriBool::*;
+        assert_eq!(True.and(True), True);
+        assert_eq!(True.and(False), False);
+        assert_eq!(True.and(Unknown), Unknown);
+        assert_eq!(False.and(Unknown), False);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+        assert_eq!(True.or(Unknown), True);
+        assert_eq!(False.or(Unknown), Unknown);
+        assert_eq!(False.or(False), False);
+        assert_eq!(Unknown.not(), Unknown);
+        assert_eq!(True.not(), False);
+        assert_eq!(False.not(), True);
+    }
+
+    #[test]
+    fn sql_compare_unknown_propagates() {
+        assert_eq!(sql_compare(&Value::Null, &Value::Int(1)), None);
+        assert_eq!(sql_compare(&Value::Int(1), &Value::Missing), None);
+        assert_eq!(sql_eq(&Value::Null, &Value::Null), TriBool::Unknown);
+        assert_eq!(sql_eq(&Value::Missing, &Value::Int(1)), TriBool::Unknown);
+    }
+
+    #[test]
+    fn sql_eq_cross_type_is_false() {
+        assert_eq!(sql_eq(&Value::str("1"), &Value::Int(1)), TriBool::False);
+        assert_eq!(sql_eq(&Value::Bool(true), &Value::Int(1)), TriBool::False);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(
+            sql_compare(&Value::Int(2), &Value::Double(2.0)),
+            Some(Ordering::Equal)
+        );
+        assert_eq!(
+            sql_compare(&Value::Double(1.5), &Value::Int(2)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(sql_eq(&Value::Int(3), &Value::Double(3.0)), TriBool::True);
+    }
+
+    #[test]
+    fn total_order_ranks_types() {
+        let mut vals = vec![
+            Value::str("a"),
+            Value::Int(0),
+            Value::Null,
+            Value::Missing,
+            Value::Bool(true),
+        ];
+        vals.sort_by(cmp_total);
+        assert_eq!(
+            vals,
+            vec![
+                Value::Missing,
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(0),
+                Value::str("a"),
+            ]
+        );
+    }
+
+    #[test]
+    fn total_order_nested() {
+        let a = Value::Array(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::Array(vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(cmp_total(&a, &b), Ordering::Less);
+        let short = Value::Array(vec![Value::Int(1)]);
+        assert_eq!(cmp_total(&short, &a), Ordering::Less);
+
+        let r1 = Value::Obj(record! {"a" => 1i64});
+        let r2 = Value::Obj(record! {"a" => 2i64});
+        assert_eq!(cmp_total(&r1, &r2), Ordering::Less);
+    }
+
+    #[test]
+    fn to_value_roundtrip() {
+        assert_eq!(TriBool::True.to_value(), Value::Bool(true));
+        assert_eq!(TriBool::Unknown.to_value(), Value::Null);
+    }
+}

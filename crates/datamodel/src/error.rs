@@ -1,0 +1,44 @@
+//! Error type shared by the data-model operations.
+
+use std::fmt;
+
+/// Errors produced while parsing or manipulating data-model values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataModelError {
+    /// The JSON parser hit malformed input.
+    Json {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A value had the wrong type for the requested operation.
+    Type {
+        /// The type the operation needed.
+        expected: &'static str,
+        /// The type it found.
+        found: String,
+    },
+    /// A requested record field does not exist (and the caller asked for a
+    /// hard error rather than `Missing`).
+    MissingField(String),
+}
+
+impl fmt::Display for DataModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataModelError::Json { offset, message } => {
+                write!(f, "JSON parse error at byte {offset}: {message}")
+            }
+            DataModelError::Type { expected, found } => {
+                write!(f, "type error: expected {expected}, found {found}")
+            }
+            DataModelError::MissingField(name) => write!(f, "missing field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for DataModelError {}
+
+/// Convenience result alias for data-model operations.
+pub type Result<T> = std::result::Result<T, DataModelError>;

@@ -1,0 +1,495 @@
+//! Hand-written JSON parser and printer.
+//!
+//! We roll our own instead of pulling in `serde_json` so that the data model
+//! keeps full control over `Missing`/`Null` semantics, number typing
+//! (integers stay `Int`, everything else becomes `Double`) and field order.
+//! The parser accepts standard JSON plus newline-delimited streams of values
+//! ([`parse_json_stream`]), which is the format the Wisconsin generator and
+//! the paper's loaders use.
+
+use crate::error::{DataModelError, Result};
+use crate::record::Record;
+use crate::value::Value;
+
+/// Parse a single JSON value from `input`.
+///
+/// Trailing whitespace is allowed; any other trailing content is an error.
+pub fn parse_json(input: &str) -> Result<Value> {
+    let mut p = Parser::new(input);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Parse a stream of whitespace/newline-separated JSON values (NDJSON).
+pub fn parse_json_stream(input: &str) -> Result<Vec<Value>> {
+    let mut p = Parser::new(input);
+    let mut out = Vec::new();
+    loop {
+        p.skip_ws();
+        if p.at_end() {
+            break;
+        }
+        out.push(p.parse_value()?);
+    }
+    Ok(out)
+}
+
+/// Serialize a value as compact JSON. `Missing` fields are omitted from
+/// objects; a bare `Missing` prints as `null` (there is no JSON spelling
+/// for it).
+pub fn to_json_string(v: &Value) -> String {
+    let mut s = String::new();
+    write_value(&mut s, v, None, 0);
+    s
+}
+
+/// Serialize a value as indented, human-readable JSON.
+pub fn to_json_pretty(v: &Value) -> String {
+    let mut s = String::new();
+    write_value(&mut s, v, Some(2), 0);
+    s
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Missing | Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Double(d) => {
+            if d.is_finite() {
+                if d.fract() == 0.0 && d.abs() < 1e15 {
+                    // Keep whole doubles visibly doubles.
+                    out.push_str(&format!("{d:.1}"));
+                } else {
+                    out.push_str(&d.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(out, indent, depth + 1);
+                write_value(out, item, indent, depth + 1);
+            }
+            if !items.is_empty() {
+                newline_indent(out, indent, depth);
+            }
+            out.push(']');
+        }
+        Value::Obj(r) => {
+            out.push('{');
+            let mut first = true;
+            for (k, fv) in r.iter() {
+                if fv.is_missing() {
+                    continue; // Missing field: not serialized at all.
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                newline_indent(out, indent, depth + 1);
+                write_json_string(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, fv, indent, depth + 1);
+            }
+            if !first {
+                newline_indent(out, indent, depth);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DataModelError {
+        DataModelError::Json {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected '{}', found {:?}",
+                b as char,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(self.err(format!("unexpected character {:?}", b as char))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("invalid literal, expected '{kw}'")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut rec = Record::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(rec));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.parse_value()?;
+            rec.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => {
+                    return Err(self.err(format!(
+                        "expected ',' or '}}' in object, found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+        Ok(Value::Obj(rec))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                other => {
+                    return Err(self.err(format!(
+                        "expected ',' or ']' in array, found {:?}",
+                        other.map(|c| c as char)
+                    )))
+                }
+            }
+        }
+        Ok(Value::Array(items))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => break,
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => s.push('"'),
+                    Some(b'\\') => s.push('\\'),
+                    Some(b'/') => s.push('/'),
+                    Some(b'n') => s.push('\n'),
+                    Some(b'r') => s.push('\r'),
+                    Some(b't') => s.push('\t'),
+                    Some(b'b') => s.push('\u{8}'),
+                    Some(b'f') => s.push('\u{c}'),
+                    Some(b'u') => {
+                        let code = self.parse_hex4()?;
+                        let ch = if (0xD800..0xDC00).contains(&code) {
+                            // Surrogate pair.
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.err("expected low surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            let combined =
+                                0x10000 + ((code - 0xD800) << 10) + (low.wrapping_sub(0xDC00));
+                            char::from_u32(combined).ok_or_else(|| self.err("invalid surrogate"))?
+                        } else {
+                            char::from_u32(code).ok_or_else(|| self.err("invalid \\u escape"))?
+                        };
+                        s.push(ch);
+                    }
+                    other => {
+                        return Err(self.err(format!(
+                            "invalid escape {:?}",
+                            other.map(|c| c as char)
+                        )))
+                    }
+                },
+                Some(b) if b < 0x80 => s.push(b as char),
+                Some(b) => {
+                    // Multi-byte UTF-8: copy the remaining continuation bytes.
+                    let width = utf8_width(b);
+                    let start = self.pos - 1;
+                    let end = start + width;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 sequence"));
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    s.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid hex digit"))?;
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Double)
+                .map_err(|e| self.err(format!("invalid number: {e}")))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Integer overflow: fall back to double like most JSON parsers.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Double)
+                    .map_err(|e| self.err(format!("invalid number: {e}"))),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    if first >= 0xF0 {
+        4
+    } else if first >= 0xE0 {
+        3
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(parse_json("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_json("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_json("2.5").unwrap(), Value::Double(2.5));
+        assert_eq!(parse_json("1e3").unwrap(), Value::Double(1000.0));
+        assert_eq!(parse_json("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse_json("null").unwrap(), Value::Null);
+        assert_eq!(parse_json("\"hi\"").unwrap(), Value::str("hi"));
+    }
+
+    #[test]
+    fn nested_structures() {
+        let v = parse_json(r#"{"a": [1, {"b": null}], "c": "x"}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj.keys().collect::<Vec<_>>(), vec!["a", "c"]);
+        let arr = obj.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr[0], Value::Int(1));
+        assert_eq!(arr[1].get_path("b"), Value::Null);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse_json(r#""a\"b\\c\ndA""#).unwrap(),
+            Value::str("a\"b\\c\ndA")
+        );
+    }
+
+    #[test]
+    fn surrogate_pairs() {
+        assert_eq!(parse_json(r#""😀""#).unwrap(), Value::str("😀"));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(parse_json("\"héllo π\"").unwrap(), Value::str("héllo π"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_json("{").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("nul").is_err());
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn stream_parsing() {
+        let vals = parse_json_stream("{\"a\":1}\n{\"a\":2}\n").unwrap();
+        assert_eq!(vals.len(), 2);
+        assert_eq!(vals[1].get_path("a"), Value::Int(2));
+        assert!(parse_json_stream("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn printer_omits_missing_fields() {
+        let r = record! {"a" => 1i64, "gone" => Value::Missing, "b" => Value::Null};
+        assert_eq!(to_json_string(&Value::Obj(r)), r#"{"a":1,"b":null}"#);
+    }
+
+    #[test]
+    fn printer_marks_whole_doubles() {
+        assert_eq!(to_json_string(&Value::Double(2.0)), "2.0");
+        assert_eq!(to_json_string(&Value::Int(2)), "2");
+    }
+
+    #[test]
+    fn pretty_printer() {
+        let v = parse_json(r#"{"a":[1,2]}"#).unwrap();
+        let pretty = to_json_pretty(&v);
+        assert!(pretty.contains("\n"));
+        assert_eq!(parse_json(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let src = r#"{"name":"bob","tags":["x","y"],"age":31,"score":1.5,"ok":true,"n":null}"#;
+        let v = parse_json(src).unwrap();
+        assert_eq!(to_json_string(&v), src);
+    }
+
+    #[test]
+    fn integer_overflow_degrades_to_double() {
+        let v = parse_json("99999999999999999999").unwrap();
+        assert!(matches!(v, Value::Double(_)));
+    }
+}

@@ -1,0 +1,303 @@
+//! The dynamically typed datum used throughout PolyFrame.
+
+use crate::error::{DataModelError, Result};
+use crate::record::Record;
+use std::fmt;
+
+/// A single datum in the PolyFrame data model.
+///
+/// Mirrors ADM/JSON with two deliberate extensions:
+///
+/// * [`Value::Missing`] — the value of a field that is *absent* from an open
+///   record. ADM (and therefore SQL++) distinguishes this from `null`.
+/// * Integers and doubles are kept separate (`Int` / `Double`) but compare
+///   numerically across the two variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent field of an open record. Sorts lowest; `IS UNKNOWN` is true.
+    Missing,
+    /// Explicit JSON `null`. `IS UNKNOWN` is true.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit IEEE float.
+    Double(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Value>),
+    /// Open record (ordered field map).
+    Obj(Record),
+}
+
+impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// True for `Missing` or `Null` — the two "unknown" states of SQL/ADM.
+    #[inline]
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, Value::Missing | Value::Null)
+    }
+
+    /// True only for `Missing`.
+    #[inline]
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// True only for `Null`.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True for `Int` or `Double`.
+    #[inline]
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Double(_))
+    }
+
+    /// Human-readable name of this value's type (used in error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Missing => "missing",
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Int(_) => "int",
+            Value::Double(_) => "double",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Obj(_) => "object",
+        }
+    }
+
+    /// Interpret as `f64` if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Interpret as `i64` if it is an integer (doubles are truncated only if
+    /// they are whole numbers).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Double(d) if d.fract() == 0.0 => Some(*d as i64),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&str` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a record.
+    pub fn as_obj(&self) -> Option<&Record> {
+        match self {
+            Value::Obj(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Borrow as an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Consume as a record, with a type error otherwise.
+    pub fn into_obj(self) -> Result<Record> {
+        match self {
+            Value::Obj(r) => Ok(r),
+            other => Err(DataModelError::Type {
+                expected: "object",
+                found: other.type_name().to_string(),
+            }),
+        }
+    }
+
+    /// Field lookup on an object; yields `Missing` for absent fields or on
+    /// non-objects, mirroring SQL++ path-navigation semantics.
+    pub fn get_path(&self, field: &str) -> Value {
+        match self {
+            Value::Obj(r) => r.get(field).cloned().unwrap_or(Value::Missing),
+            _ => Value::Missing,
+        }
+    }
+
+    /// Approximate number of heap + inline bytes this value occupies.
+    ///
+    /// Used by the eager (Pandas stand-in) frame for memory budgeting; it is
+    /// intentionally an estimate in the spirit of `pandas.DataFrame.memory_usage`.
+    pub fn approx_size(&self) -> usize {
+        const BASE: usize = std::mem::size_of::<Value>();
+        match self {
+            Value::Missing | Value::Null | Value::Bool(_) | Value::Int(_) | Value::Double(_) => {
+                BASE
+            }
+            Value::Str(s) => BASE + s.capacity(),
+            Value::Array(items) => BASE + items.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Obj(r) => BASE + r.approx_size(),
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(d: f64) -> Self {
+        Value::Double(d)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<Record> for Value {
+    fn from(r: Record) -> Self {
+        Value::Obj(r)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(x) => x.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Missing => write!(f, "MISSING"),
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => write!(f, "{d}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Array(_) | Value::Obj(_) => write!(f, "{}", crate::json::to_json_string(self)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_covers_missing_and_null() {
+        assert!(Value::Missing.is_unknown());
+        assert!(Value::Null.is_unknown());
+        assert!(!Value::Int(0).is_unknown());
+        assert!(Value::Missing.is_missing());
+        assert!(!Value::Null.is_missing());
+        assert!(Value::Null.is_null());
+        assert!(!Value::Missing.is_null());
+    }
+
+    #[test]
+    fn numeric_coercions() {
+        assert_eq!(Value::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Value::Double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Double(3.0).as_i64(), Some(3));
+        assert_eq!(Value::Double(3.5).as_i64(), None);
+        assert_eq!(Value::Str("x".into()).as_f64(), None);
+    }
+
+    #[test]
+    fn path_navigation_yields_missing() {
+        let mut r = Record::new();
+        r.insert("a", Value::Int(1));
+        let v = Value::Obj(r);
+        assert_eq!(v.get_path("a"), Value::Int(1));
+        assert_eq!(v.get_path("b"), Value::Missing);
+        assert_eq!(Value::Int(3).get_path("a"), Value::Missing);
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(5i32), Value::Int(5));
+        assert_eq!(Value::from(5i64), Value::Int(5));
+        assert_eq!(Value::from(1.5), Value::Double(1.5));
+        assert_eq!(Value::from("hi"), Value::Str("hi".into()));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some(2i64)), Value::Int(2));
+        assert_eq!(
+            Value::from(vec![1i64, 2]),
+            Value::Array(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn approx_size_counts_strings() {
+        let small = Value::Int(1).approx_size();
+        let s = Value::Str("x".repeat(100)).approx_size();
+        assert!(s > small + 90);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::Missing.type_name(), "missing");
+        assert_eq!(Value::Null.type_name(), "null");
+        assert_eq!(Value::Bool(true).type_name(), "boolean");
+        assert_eq!(Value::Int(1).type_name(), "int");
+        assert_eq!(Value::Double(1.0).type_name(), "double");
+        assert_eq!(Value::str("a").type_name(), "string");
+        assert_eq!(Value::Array(vec![]).type_name(), "array");
+        assert_eq!(Value::Obj(Record::new()).type_name(), "object");
+    }
+
+    #[test]
+    fn into_obj_type_error() {
+        let err = Value::Int(1).into_obj().unwrap_err();
+        assert!(err.to_string().contains("expected object"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the data model: JSON round-tripping, total-order
+//! laws and three-valued-logic laws.
+
+use polyframe_datamodel::{
+    cmp_total, parse_json, sql_eq, to_json_pretty, to_json_string, Record, TriBool, Value,
+};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary values (without `Missing`, which has no JSON
+/// spelling and never round-trips by design).
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12f64..1.0e12f64).prop_map(Value::Double),
+        "[a-zA-Z0-9 _\\-\"\\\\]{0,12}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,6}", inner), 0..5).prop_map(|fields| {
+                let mut r = Record::new();
+                for (k, v) in fields {
+                    r.insert(k, v);
+                }
+                Value::Obj(r)
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrip_compact(v in arb_value()) {
+        let text = to_json_string(&v);
+        let back = parse_json(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_roundtrip_pretty(v in arb_value()) {
+        let text = to_json_pretty(&v);
+        let back = parse_json(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn total_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+        let ab = cmp_total(&a, &b);
+        let ba = cmp_total(&b, &a);
+        prop_assert_eq!(ab, ba.reverse());
+    }
+
+    #[test]
+    fn total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        use std::cmp::Ordering::*;
+        let mut v = [a, b, c];
+        v.sort_by(cmp_total);
+        prop_assert_ne!(cmp_total(&v[0], &v[1]), Greater);
+        prop_assert_ne!(cmp_total(&v[1], &v[2]), Greater);
+        prop_assert_ne!(cmp_total(&v[0], &v[2]), Greater);
+    }
+
+    #[test]
+    fn sql_eq_reflexive_for_known_scalars(i in any::<i64>(), s in "[a-z]{0,8}") {
+        prop_assert_eq!(sql_eq(&Value::Int(i), &Value::Int(i)), TriBool::True);
+        prop_assert_eq!(sql_eq(&Value::str(s.clone()), &Value::str(s)), TriBool::True);
+    }
+
+    #[test]
+    fn unknown_always_propagates(v in arb_value()) {
+        prop_assert_eq!(sql_eq(&v, &Value::Missing), TriBool::Unknown);
+        prop_assert_eq!(sql_eq(&Value::Null, &v), TriBool::Unknown);
+    }
+
+    #[test]
+    fn tribool_de_morgan(a in 0..3u8, b in 0..3u8) {
+        let t = |x: u8| match x { 0 => TriBool::True, 1 => TriBool::False, _ => TriBool::Unknown };
+        let (a, b) = (t(a), t(b));
+        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+    }
+}

@@ -1,0 +1,115 @@
+//! Edge-case tests for the data model: JSON oddities, numeric boundaries
+//! and record semantics the engines depend on.
+
+use polyframe_datamodel::{
+    cmp_total, parse_json, parse_json_stream, sql_compare, to_json_string, Record, Value,
+};
+use std::cmp::Ordering;
+
+#[test]
+fn deeply_nested_json() {
+    let mut src = String::new();
+    for _ in 0..50 {
+        src.push_str("{\"a\":");
+    }
+    src.push('1');
+    for _ in 0..50 {
+        src.push('}');
+    }
+    let mut v = parse_json(&src).unwrap();
+    for _ in 0..50 {
+        v = v.get_path("a");
+    }
+    assert_eq!(v, Value::Int(1));
+}
+
+#[test]
+fn numeric_boundaries() {
+    assert_eq!(
+        parse_json(&i64::MAX.to_string()).unwrap(),
+        Value::Int(i64::MAX)
+    );
+    assert_eq!(
+        parse_json(&i64::MIN.to_string()).unwrap(),
+        Value::Int(i64::MIN)
+    );
+    // Negative zero and exponents.
+    assert_eq!(parse_json("-0.0").unwrap(), Value::Double(-0.0));
+    assert_eq!(parse_json("2.5e-3").unwrap(), Value::Double(0.0025));
+}
+
+#[test]
+fn duplicate_keys_last_wins() {
+    let v = parse_json(r#"{"a": 1, "a": 2}"#).unwrap();
+    assert_eq!(v.get_path("a"), Value::Int(2));
+    assert_eq!(v.as_obj().unwrap().len(), 1);
+}
+
+#[test]
+fn whitespace_tolerance() {
+    let v = parse_json("  {\n\t\"a\" :\r\n [ 1 , 2 ]\n}  ").unwrap();
+    assert_eq!(v.get_path("a").as_array().unwrap().len(), 2);
+}
+
+#[test]
+fn stream_with_mixed_separators() {
+    let vals = parse_json_stream("{\"a\":1}  {\"a\":2}\n\n{\"a\":3}").unwrap();
+    assert_eq!(vals.len(), 3);
+}
+
+#[test]
+fn serialization_escapes_control_characters() {
+    let v = Value::str("tab\there\nnl\u{1}ctl");
+    let s = to_json_string(&v);
+    assert!(s.contains("\\t") && s.contains("\\n") && s.contains("\\u0001"));
+    assert_eq!(parse_json(&s).unwrap(), v);
+}
+
+#[test]
+fn nan_and_infinity_serialize_as_null() {
+    assert_eq!(to_json_string(&Value::Double(f64::NAN)), "null");
+    assert_eq!(to_json_string(&Value::Double(f64::INFINITY)), "null");
+}
+
+#[test]
+fn sql_compare_large_integers_exact() {
+    // Within-i64 comparisons of equal-typed ints never go through f64.
+    let big = (1i64 << 62) + 1;
+    assert_eq!(
+        sql_compare(&Value::Int(big), &Value::Int(big - 1)),
+        Some(Ordering::Greater)
+    );
+}
+
+#[test]
+fn cmp_total_is_consistent_with_equality() {
+    let a = Value::Obj({
+        let mut r = Record::new();
+        r.insert("x", 1i64);
+        r.insert("y", "s");
+        r
+    });
+    assert_eq!(cmp_total(&a, &a.clone()), Ordering::Equal);
+}
+
+#[test]
+fn record_overwrite_keeps_position_under_reserialization() {
+    let mut r = Record::new();
+    r.insert("first", 1i64);
+    r.insert("second", 2i64);
+    r.insert("first", 10i64);
+    let s = to_json_string(&Value::Obj(r));
+    assert_eq!(s, r#"{"first":10,"second":2}"#);
+}
+
+#[test]
+fn empty_containers() {
+    assert_eq!(to_json_string(&parse_json("[]").unwrap()), "[]");
+    assert_eq!(to_json_string(&parse_json("{}").unwrap()), "{}");
+    let all_missing = Value::Obj({
+        let mut r = Record::new();
+        r.insert("gone", Value::Missing);
+        r
+    });
+    assert_eq!(to_json_string(&all_missing), "{}");
+}

@@ -1,0 +1,35 @@
+//! Document-store error type.
+
+use std::fmt;
+
+/// Errors produced by the document store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DocError {
+    /// Malformed pipeline JSON or unsupported stage/operator.
+    Pipeline(String),
+    /// Unknown collection.
+    UnknownCollection(String),
+    /// Runtime evaluation failure.
+    Exec(String),
+    /// `$lookup` against a sharded collection (paper: expression 12 cannot
+    /// run on distributed MongoDB).
+    ShardedLookup(String),
+}
+
+impl fmt::Display for DocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DocError::Pipeline(m) => write!(f, "pipeline error: {m}"),
+            DocError::UnknownCollection(c) => write!(f, "unknown collection: {c}"),
+            DocError::Exec(m) => write!(f, "execution error: {m}"),
+            DocError::ShardedLookup(c) => {
+                write!(f, "$lookup from sharded collection {c} is not allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DocError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, DocError>;

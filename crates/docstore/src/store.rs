@@ -1,0 +1,411 @@
+//! The document store: collections, indexes, metadata counts and the
+//! `aggregate` entry point.
+
+use crate::error::{DocError, Result};
+use crate::pipeline::exec::run_pipeline;
+use crate::pipeline::expr::Vars;
+use crate::pipeline::optimizer::{optimize, PhysicalPipeline};
+use crate::pipeline::{parse_pipeline, Stage};
+use parking_lot::RwLock;
+use polyframe_datamodel::{Record, Value};
+use polyframe_storage::{NullPolicy, Table, TableOptions};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// A MongoDB-like document store.
+pub struct DocStore {
+    collections: RwLock<HashMap<String, Table>>,
+    next_id: AtomicI64,
+    /// Ablation switch: disable index selection in the pipeline optimizer.
+    use_indexes: bool,
+}
+
+impl Default for DocStore {
+    fn default() -> Self {
+        DocStore::new()
+    }
+}
+
+impl DocStore {
+    /// Empty store.
+    pub fn new() -> DocStore {
+        DocStore {
+            collections: RwLock::new(HashMap::new()),
+            next_id: AtomicI64::new(1),
+            use_indexes: true,
+        }
+    }
+
+    /// Empty store with index selection disabled (ablation benchmarks).
+    pub fn without_indexes() -> DocStore {
+        DocStore {
+            use_indexes: false,
+            ..DocStore::new()
+        }
+    }
+
+    /// Create (or replace) a collection. Every collection has a unique-`_id`
+    /// primary index, like MongoDB.
+    pub fn create_collection(&self, name: &str) {
+        self.collections.write().insert(
+            name.to_string(),
+            Table::new(
+                name,
+                TableOptions {
+                    primary_key: Some("_id".to_string()),
+                    // Paper (section IV.E): "missing values are not present
+                    // in their indexes" for MongoDB.
+                    secondary_null_policy: NullPolicy::SkipNulls,
+                },
+            ),
+        );
+    }
+
+    /// Insert documents, assigning `_id`s where absent.
+    pub fn insert_many(
+        &self,
+        collection: &str,
+        docs: impl IntoIterator<Item = Record>,
+    ) -> Result<usize> {
+        let mut map = self.collections.write();
+        let table = map
+            .get_mut(collection)
+            .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;
+        let mut n = 0;
+        for mut doc in docs {
+            if !doc.contains("_id") {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                // `_id` leads the document, like MongoDB's insertion rule.
+                let mut with_id = Record::with_capacity(doc.len() + 1);
+                with_id.insert("_id", id);
+                for (k, v) in doc.iter() {
+                    with_id.insert(k.to_string(), v.clone());
+                }
+                doc = with_id;
+            }
+            table.insert(doc);
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Create a secondary index.
+    pub fn create_index(&self, collection: &str, attribute: &str) -> Result<String> {
+        let mut map = self.collections.write();
+        let table = map
+            .get_mut(collection)
+            .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;
+        Ok(table.create_index(attribute))
+    }
+
+    /// O(1) metadata count — the fast path `aggregate` pipelines CANNOT use
+    /// (the paper's expression-1 observation).
+    pub fn count_documents(&self, collection: &str) -> Result<usize> {
+        let map = self.collections.read();
+        let table = map
+            .get(collection)
+            .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;
+        Ok(table.stats().record_count())
+    }
+
+    /// Names of all collections.
+    pub fn collection_names(&self) -> Vec<String> {
+        self.collections.read().keys().cloned().collect()
+    }
+
+    /// Run an aggregation pipeline given as JSON text.
+    pub fn aggregate(&self, collection: &str, pipeline_json: &str) -> Result<Vec<Value>> {
+        let stages = parse_pipeline(pipeline_json)?;
+        self.aggregate_stages(collection, &stages)
+    }
+
+    /// Run a parsed aggregation pipeline.
+    pub fn aggregate_stages(&self, collection: &str, stages: &[Stage]) -> Result<Vec<Value>> {
+        // `$out` (if present) must be last; intercept it.
+        let (stages, out_target) = match stages.split_last() {
+            Some((Stage::Out(target), rest)) => (rest, Some(target.clone())),
+            _ => (stages, None),
+        };
+        let results = {
+            let map = self.collections.read();
+            let phys = self.optimize_for(&map, collection, stages)?;
+            run_pipeline(&map, collection, &phys, &Vars::new())?
+        };
+        if let Some(target) = out_target {
+            self.create_collection(&target);
+            let docs = results
+                .into_iter()
+                .map(|v| v.into_obj().map_err(|e| DocError::Exec(e.to_string())))
+                .collect::<Result<Vec<_>>>()?;
+            self.insert_many(&target, docs)?;
+            return Ok(Vec::new());
+        }
+        Ok(results)
+    }
+
+    /// EXPLAIN-style description of the access path chosen for a pipeline.
+    pub fn explain(&self, collection: &str, pipeline_json: &str) -> Result<String> {
+        let stages = parse_pipeline(pipeline_json)?;
+        let map = self.collections.read();
+        let phys = self.optimize_for(&map, collection, &stages)?;
+        Ok(phys.describe())
+    }
+
+    fn optimize_for(
+        &self,
+        map: &HashMap<String, Table>,
+        collection: &str,
+        stages: &[Stage],
+    ) -> Result<PhysicalPipeline> {
+        let table = map
+            .get(collection)
+            .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;
+        Ok(optimize(
+            stages,
+            &|attr| table.index_on(attr).map(|ix| ix.is_complete()),
+            self.use_indexes,
+        ))
+    }
+
+    /// Index point-probe (used by the cluster layer). Returns matching
+    /// documents.
+    pub fn probe_index(&self, collection: &str, attribute: &str, key: &Value) -> Result<Vec<Record>> {
+        let map = self.collections.read();
+        let table = map
+            .get(collection)
+            .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;
+        match table.index_on(attribute) {
+            Some(ix) => Ok(ix
+                .lookup(key)
+                .into_iter()
+                .filter_map(|rid| table.get(rid).cloned())
+                .collect()),
+            None => Ok(table
+                .heap()
+                .scan()
+                .filter(|(_, d)| {
+                    polyframe_datamodel::cmp_total(&d.get_or_missing(attribute), key)
+                        == std::cmp::Ordering::Equal
+                })
+                .map(|(_, d)| d.clone())
+                .collect()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    fn users_store() -> DocStore {
+        let store = DocStore::new();
+        store.create_collection("Test.Users");
+        let langs = ["en", "fr", "en", "de", "en"];
+        store
+            .insert_many(
+                "Test.Users",
+                (0..50i64).map(|i| {
+                    record! {
+                        "name" => format!("user{i}"),
+                        "address" => format!("{i} main st"),
+                        "lang" => langs[(i % 5) as usize],
+                        "age" => 20 + (i % 30),
+                    }
+                }),
+            )
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn figure4_pipeline_end_to_end() {
+        let store = users_store();
+        let out = store
+            .aggregate(
+                "Test.Users",
+                r#"[
+                    {"$match":{}},
+                    {"$match":{"$expr":{"$eq":["$lang","en"]}}},
+                    {"$project":{"name": 1, "address": 1}},
+                    {"$project":{"_id": 0}},
+                    {"$limit":10}
+                ]"#,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 10);
+        assert!(out[0].get_path("name").as_str().is_some());
+        assert!(out[0].get_path("_id").is_missing());
+        assert!(out[0].get_path("lang").is_missing());
+    }
+
+    #[test]
+    fn id_is_assigned_and_kept_by_inclusion_projection() {
+        let store = users_store();
+        let out = store
+            .aggregate(
+                "Test.Users",
+                r#"[{"$match":{}},{"$project":{"lang":1}},{"$limit":1}]"#,
+            )
+            .unwrap();
+        assert!(!out[0].get_path("_id").is_missing());
+        assert_eq!(store.count_documents("Test.Users").unwrap(), 50);
+    }
+
+    #[test]
+    fn group_pipeline() {
+        let store = users_store();
+        let out = store
+            .aggregate(
+                "Test.Users",
+                r#"[
+                    {"$match":{}},
+                    {"$group":{"_id":{"lang":"$lang"},"cnt":{"$sum":1}}},
+                    {"$addFields":{"lang":"$_id.lang"}},
+                    {"$project":{"_id":0}}
+                ]"#,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        let en = out
+            .iter()
+            .find(|d| d.get_path("lang") == Value::str("en"))
+            .unwrap();
+        assert_eq!(en.get_path("cnt"), Value::Int(30));
+    }
+
+    #[test]
+    fn scalar_group_min_max() {
+        let store = users_store();
+        let out = store
+            .aggregate(
+                "Test.Users",
+                r#"[
+                    {"$match":{}},
+                    {"$project":{"age":1}},
+                    {"$group":{"_id":{},"max":{"$max":"$age"}}},
+                    {"$project":{"_id":0}}
+                ]"#,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get_path("max"), Value::Int(49));
+    }
+
+    #[test]
+    fn count_on_empty_selection_emits_nothing() {
+        let store = users_store();
+        let out = store
+            .aggregate(
+                "Test.Users",
+                r#"[{"$match":{"$expr":{"$eq":["$lang","zz"]}}},{"$count":"count"}]"#,
+            )
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sort_limit_backward_scan() {
+        let store = users_store();
+        store.create_index("Test.Users", "age").unwrap();
+        let explain = store
+            .explain(
+                "Test.Users",
+                r#"[{"$match":{}},{"$sort":{"age":-1}},{"$project":{"_id":0}},{"$limit":5}]"#,
+            )
+            .unwrap();
+        assert!(explain.contains("IXSCAN ordered(age desc)"), "{explain}");
+        let out = store
+            .aggregate(
+                "Test.Users",
+                r#"[{"$match":{}},{"$sort":{"age":-1}},{"$project":{"_id":0}},{"$limit":5}]"#,
+            )
+            .unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(out[0].get_path("age"), Value::Int(49));
+    }
+
+    #[test]
+    fn lookup_unwind_count_join() {
+        let store = users_store();
+        store.create_collection("Test.Users2");
+        store
+            .insert_many(
+                "Test.Users2",
+                (0..25i64).map(|i| record! {"name" => format!("user{i}"), "age" => 20 + (i % 30)}),
+            )
+            .unwrap();
+        store.create_index("Test.Users2", "name").unwrap();
+        let out = store
+            .aggregate(
+                "Test.Users",
+                r#"[
+                    {"$lookup":{"from":"Test.Users2","as":"m",
+                        "let":{"left":"$name"},
+                        "pipeline":[{"$match":{}},{"$match":{"$expr":{"$eq":["$name","$$left"]}}}]}},
+                    {"$unwind":{"path":"$m","preserveNullAndEmptyArrays":false}},
+                    {"$count":"count"}
+                ]"#,
+            )
+            .unwrap();
+        assert_eq!(out[0].get_path("count"), Value::Int(25));
+    }
+
+    #[test]
+    fn missing_value_count_via_lt_null() {
+        let store = DocStore::new();
+        store.create_collection("c");
+        store
+            .insert_many(
+                "c",
+                (0..20i64).map(|i| {
+                    if i % 10 == 0 {
+                        record! {"a" => i} // "tenPercent" missing
+                    } else {
+                        record! {"a" => i, "tenPercent" => i % 10}
+                    }
+                }),
+            )
+            .unwrap();
+        let out = store
+            .aggregate(
+                "c",
+                r#"[{"$match":{}},{"$match":{"$expr":{"$lt":["$tenPercent", null]}}},{"$count":"count"}]"#,
+            )
+            .unwrap();
+        assert_eq!(out[0].get_path("count"), Value::Int(2));
+    }
+
+    #[test]
+    fn out_stage_writes_collection() {
+        let store = users_store();
+        let out = store
+            .aggregate(
+                "Test.Users",
+                r#"[{"$match":{"$expr":{"$eq":["$lang","en"]}}},{"$out":"Test.EnUsers"}]"#,
+            )
+            .unwrap();
+        assert!(out.is_empty());
+        assert_eq!(store.count_documents("Test.EnUsers").unwrap(), 30);
+    }
+
+    #[test]
+    fn index_eq_explain() {
+        let store = users_store();
+        store.create_index("Test.Users", "lang").unwrap();
+        let explain = store
+            .explain(
+                "Test.Users",
+                r#"[{"$match":{}},{"$match":{"$expr":{"$eq":["$lang","en"]}}},{"$count":"c"}]"#,
+            )
+            .unwrap();
+        assert!(explain.contains("IXSCAN eq(lang)"), "{explain}");
+    }
+
+    #[test]
+    fn unknown_collection_errors() {
+        let store = DocStore::new();
+        assert!(store.aggregate("nope", r#"[{"$match":{}}]"#).is_err());
+        assert!(store.count_documents("nope").is_err());
+    }
+}

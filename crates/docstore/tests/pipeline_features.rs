@@ -1,0 +1,193 @@
+//! Broader document-store coverage: pipeline semantics and edge cases
+//! beyond the PolyFrame-generated shapes.
+
+use polyframe_datamodel::{record, Value};
+use polyframe_docstore::{DocError, DocStore};
+
+fn store() -> DocStore {
+    let s = DocStore::new();
+    s.create_collection("c");
+    s.insert_many(
+        "c",
+        (0..30i64).map(|i| {
+            let mut r = record! {"grp" => i % 3, "v" => i};
+            if i % 6 != 0 {
+                r.insert("opt", i);
+            }
+            if i % 10 == 0 {
+                r.insert("tags", Value::Array(vec![Value::Int(i), Value::Int(i + 1)]));
+            }
+            r
+        }),
+    )
+    .unwrap();
+    s
+}
+
+#[test]
+fn addfields_overwrites_existing_fields() {
+    let s = store();
+    let out = s
+        .aggregate(
+            "c",
+            r#"[{"$match":{"$expr":{"$eq":["$v",3]}}},{"$addFields":{"v":{"$add":["$v",100]}}},{"$project":{"_id":0}}]"#,
+        )
+        .unwrap();
+    assert_eq!(out[0].get_path("v"), Value::Int(103));
+}
+
+#[test]
+fn unwind_duplicates_per_element_and_preserves_optionally() {
+    let s = store();
+    // Without preserve: only docs with non-empty arrays survive, once per
+    // element.
+    let out = s
+        .aggregate(
+            "c",
+            r#"[{"$unwind":{"path":"$tags","preserveNullAndEmptyArrays":false}},{"$count":"n"}]"#,
+        )
+        .unwrap();
+    assert_eq!(out[0].get_path("n"), Value::Int(6)); // ids 0,10,20 × 2 elements
+    // With preserve: array-less docs pass through once.
+    let out = s
+        .aggregate(
+            "c",
+            r#"[{"$unwind":{"path":"$tags","preserveNullAndEmptyArrays":true}},{"$count":"n"}]"#,
+        )
+        .unwrap();
+    assert_eq!(out[0].get_path("n"), Value::Int(33)); // 27 + 6
+}
+
+#[test]
+fn group_sum_of_expression() {
+    let s = store();
+    let out = s
+        .aggregate(
+            "c",
+            r#"[{"$group":{"_id":{"grp":"$grp"},"total":{"$sum":"$v"}}},{"$addFields":{"grp":"$_id.grp"}},{"$project":{"_id":0}}]"#,
+        )
+        .unwrap();
+    let total: i64 = out
+        .iter()
+        .map(|d| d.get_path("total").as_i64().unwrap())
+        .sum();
+    assert_eq!(total, (0..30).sum::<i64>());
+}
+
+#[test]
+fn avg_skips_non_numeric_and_missing() {
+    let s = store();
+    let out = s
+        .aggregate(
+            "c",
+            r#"[{"$group":{"_id":{},"a":{"$avg":"$opt"}}},{"$project":{"_id":0}}]"#,
+        )
+        .unwrap();
+    // `opt` exists on 25 docs (i % 6 != 0), equal to i.
+    let known: Vec<i64> = (0..30).filter(|i| i % 6 != 0).collect();
+    let expected = known.iter().sum::<i64>() as f64 / known.len() as f64;
+    let got = out[0].get_path("a").as_f64().unwrap();
+    assert!((got - expected).abs() < 1e-9);
+}
+
+#[test]
+fn sort_ties_are_stable_under_secondary_key() {
+    let s = store();
+    let out = s
+        .aggregate(
+            "c",
+            r#"[{"$sort":{"grp":1,"v":-1}},{"$project":{"_id":0,"tags":0}},{"$limit":3}]"#,
+        )
+        .unwrap();
+    let vs: Vec<i64> = out.iter().map(|d| d.get_path("v").as_i64().unwrap()).collect();
+    assert_eq!(vs, vec![27, 24, 21]); // grp 0, descending v
+}
+
+#[test]
+fn exclusion_projection_keeps_other_fields() {
+    let s = store();
+    let out = s
+        .aggregate("c", r#"[{"$limit":1},{"$project":{"_id":0,"grp":0}}]"#)
+        .unwrap();
+    assert!(out[0].get_path("_id").is_missing());
+    assert!(out[0].get_path("grp").is_missing());
+    assert!(!out[0].get_path("v").is_missing());
+}
+
+#[test]
+fn toint_and_tostring_round_trip() {
+    let s = store();
+    let out = s
+        .aggregate(
+            "c",
+            r#"[{"$match":{"$expr":{"$eq":["$v",7]}}},
+                {"$project":{"s":{"$toString":"$v"},"i":{"$toInt":{"$toString":"$v"}},"_id":0}}]"#,
+        )
+        .unwrap();
+    assert_eq!(out[0].get_path("s"), Value::str("7"));
+    assert_eq!(out[0].get_path("i"), Value::Int(7));
+}
+
+#[test]
+fn match_direct_field_equality_shorthand() {
+    let s = store();
+    let out = s
+        .aggregate("c", r#"[{"$match":{"grp":1}},{"$count":"n"}]"#)
+        .unwrap();
+    assert_eq!(out[0].get_path("n"), Value::Int(10));
+}
+
+#[test]
+fn index_and_collscan_agree() {
+    let s = store();
+    let before = s
+        .aggregate("c", r#"[{"$match":{"$expr":{"$eq":["$grp",2]}}},{"$count":"n"}]"#)
+        .unwrap();
+    s.create_index("c", "grp").unwrap();
+    let after = s
+        .aggregate("c", r#"[{"$match":{"$expr":{"$eq":["$grp",2]}}},{"$count":"n"}]"#)
+        .unwrap();
+    assert_eq!(before, after);
+    assert!(s
+        .explain("c", r#"[{"$match":{"$expr":{"$eq":["$grp",2]}}},{"$count":"n"}]"#)
+        .unwrap()
+        .contains("IXSCAN"));
+}
+
+#[test]
+fn error_paths() {
+    let s = store();
+    assert!(matches!(
+        s.aggregate("c", r#"[{"$frobnicate": 1}]"#),
+        Err(DocError::Pipeline(_))
+    ));
+    assert!(matches!(
+        s.aggregate("ghost", r#"[{"$match":{}}]"#),
+        Err(DocError::UnknownCollection(_))
+    ));
+    assert!(s.aggregate("c", "not json").is_err());
+    // $out mid-pipeline is rejected.
+    assert!(s
+        .aggregate("c", r#"[{"$out":"x"},{"$match":{}}]"#)
+        .is_err());
+}
+
+#[test]
+fn lookup_without_index_still_correct() {
+    let s = store();
+    s.create_collection("other");
+    s.insert_many("other", (0..10i64).map(|i| record! {"k" => i}))
+        .unwrap();
+    // No index on other.k: the general per-document pipeline path runs.
+    let out = s
+        .aggregate(
+            "c",
+            r#"[{"$match":{"$expr":{"$lt":["$v",10]}}},
+                {"$lookup":{"from":"other","as":"m","let":{"x":"$v"},
+                    "pipeline":[{"$match":{"$expr":{"$eq":["$k","$$x"]}}}]}},
+                {"$unwind":{"path":"$m","preserveNullAndEmptyArrays":false}},
+                {"$count":"n"}]"#,
+        )
+        .unwrap();
+    assert_eq!(out[0].get_path("n"), Value::Int(10));
+}

@@ -1,0 +1,143 @@
+//! Shared memory budget with RAII allocations.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Errors from the eager frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EagerError {
+    /// The memory budget was exceeded — the Pandas `MemoryError` analogue.
+    OutOfMemory {
+        /// Bytes the failed allocation asked for.
+        requested: usize,
+        /// Bytes in use at that moment.
+        used: usize,
+        /// The budget's limit.
+        limit: usize,
+    },
+    /// Referenced column does not exist.
+    UnknownColumn(String),
+    /// Malformed input data.
+    Data(String),
+}
+
+impl fmt::Display for EagerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EagerError::OutOfMemory {
+                requested,
+                used,
+                limit,
+            } => write!(
+                f,
+                "MemoryError: allocation of {requested} bytes failed ({used}/{limit} in use)"
+            ),
+            EagerError::UnknownColumn(c) => write!(f, "KeyError: {c}"),
+            EagerError::Data(m) => write!(f, "data error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for EagerError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, EagerError>;
+
+struct Inner {
+    limit: usize,
+    used: AtomicUsize,
+}
+
+/// A shared memory budget. Cloning shares the same accounting.
+#[derive(Clone)]
+pub struct MemoryBudget(Arc<Inner>);
+
+impl MemoryBudget {
+    /// Budget with a hard byte limit.
+    pub fn with_limit(limit: usize) -> MemoryBudget {
+        MemoryBudget(Arc::new(Inner {
+            limit,
+            used: AtomicUsize::new(0),
+        }))
+    }
+
+    /// Effectively unlimited budget.
+    pub fn unlimited() -> MemoryBudget {
+        MemoryBudget::with_limit(usize::MAX)
+    }
+
+    /// Bytes currently registered.
+    pub fn used(&self) -> usize {
+        self.0.used.load(Ordering::Relaxed)
+    }
+
+    /// The limit.
+    pub fn limit(&self) -> usize {
+        self.0.limit
+    }
+
+    /// Register an allocation, failing when it would exceed the limit.
+    pub fn alloc(&self, bytes: usize) -> Result<Allocation> {
+        let prev = self.0.used.fetch_add(bytes, Ordering::Relaxed);
+        if prev.saturating_add(bytes) > self.0.limit {
+            self.0.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(EagerError::OutOfMemory {
+                requested: bytes,
+                used: prev,
+                limit: self.0.limit,
+            });
+        }
+        Ok(Allocation {
+            budget: self.clone(),
+            bytes,
+        })
+    }
+}
+
+/// RAII registration of some bytes against a budget.
+pub struct Allocation {
+    budget: MemoryBudget,
+    bytes: usize,
+}
+
+impl Allocation {
+    /// Registered size.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+impl Drop for Allocation {
+    fn drop(&mut self) {
+        self.budget.0.used.fetch_sub(self.bytes, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_release() {
+        let b = MemoryBudget::with_limit(100);
+        let a = b.alloc(60).unwrap();
+        assert_eq!(b.used(), 60);
+        assert!(matches!(
+            b.alloc(50),
+            Err(EagerError::OutOfMemory { requested: 50, .. })
+        ));
+        drop(a);
+        assert_eq!(b.used(), 0);
+        assert!(b.alloc(100).is_ok());
+    }
+
+    #[test]
+    fn shared_accounting() {
+        let b = MemoryBudget::with_limit(100);
+        let b2 = b.clone();
+        let _a = b.alloc(80).unwrap();
+        assert!(b2.alloc(30).is_err());
+        assert_eq!(b2.used(), 80);
+    }
+}

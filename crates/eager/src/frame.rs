@@ -1,0 +1,450 @@
+//! The eager columnar frame.
+
+use crate::budget::{Allocation, EagerError, MemoryBudget, Result};
+use crate::series::{BoolMask, Series};
+use polyframe_datamodel::{cmp_total, parse_json_stream, Record, Value};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// Aggregations supported by [`EagerFrame::groupby_agg`] / [`EagerFrame::agg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggKind {
+    /// Count of known values.
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Sum.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Population standard deviation.
+    Std,
+}
+
+/// An eager, columnar, fully materialized DataFrame.
+pub struct EagerFrame {
+    columns: Vec<String>,
+    data: Vec<Vec<Value>>,
+    nrows: usize,
+    budget: MemoryBudget,
+    _alloc: Allocation,
+}
+
+impl EagerFrame {
+    /// Build from records, inferring the column set from all records (the
+    /// schema-inference pass that makes DataFrame creation expensive).
+    pub fn from_records(records: &[Record], budget: &MemoryBudget) -> Result<EagerFrame> {
+        let mut columns: Vec<String> = Vec::new();
+        for r in records {
+            for k in r.keys() {
+                if !columns.iter().any(|c| c == k) {
+                    columns.push(k.to_string());
+                }
+            }
+        }
+        let mut data: Vec<Vec<Value>> = columns
+            .iter()
+            .map(|_| Vec::with_capacity(records.len()))
+            .collect();
+        for r in records {
+            for (ci, name) in columns.iter().enumerate() {
+                data[ci].push(r.get(name).cloned().unwrap_or(Value::Null));
+            }
+        }
+        Self::from_columns(columns, data, budget)
+    }
+
+    /// Build from pre-shaped columns.
+    pub fn from_columns(
+        columns: Vec<String>,
+        data: Vec<Vec<Value>>,
+        budget: &MemoryBudget,
+    ) -> Result<EagerFrame> {
+        let nrows = data.first().map_or(0, Vec::len);
+        if data.iter().any(|c| c.len() != nrows) {
+            return Err(EagerError::Data("ragged columns".to_string()));
+        }
+        let bytes: usize = data
+            .iter()
+            .flat_map(|c| c.iter())
+            .map(Value::approx_size)
+            .sum();
+        let alloc = budget.alloc(bytes)?;
+        Ok(EagerFrame {
+            columns,
+            data,
+            nrows,
+            budget: budget.clone(),
+            _alloc: alloc,
+        })
+    }
+
+    /// `pd.read_json` analogue: parse NDJSON text and materialize a frame.
+    pub fn read_json(text: &str, budget: &MemoryBudget) -> Result<EagerFrame> {
+        let values =
+            parse_json_stream(text).map_err(|e| EagerError::Data(e.to_string()))?;
+        // Charge the parsed representation transiently, at a multiple of
+        // its size: Pandas' creator's rule of thumb (cited by the paper) is
+        // "5 to 10 times as much RAM as the size of your dataset", and JSON
+        // ingestion peaks well above the final frame footprint.
+        let parse_bytes: usize = values.iter().map(Value::approx_size).sum();
+        let _transient = budget.alloc(parse_bytes.saturating_mul(3))?;
+        let records: Vec<Record> = values
+            .into_iter()
+            .map(|v| {
+                v.into_obj()
+                    .map_err(|e| EagerError::Data(e.to_string()))
+            })
+            .collect::<Result<_>>()?;
+        Self::from_records(&records, budget)
+    }
+
+    /// Row count (`len(df)`).
+    pub fn len(&self) -> usize {
+        self.nrows
+    }
+
+    /// True when the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// Column names.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// The shared budget.
+    pub fn budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    fn col_index(&self, name: &str) -> Result<usize> {
+        self.columns
+            .iter()
+            .position(|c| c == name)
+            .ok_or_else(|| EagerError::UnknownColumn(name.to_string()))
+    }
+
+    /// Extract a column as an eager copy (`df['col']`).
+    pub fn col(&self, name: &str) -> Result<Series> {
+        let idx = self.col_index(name)?;
+        Series::new(name, self.data[idx].clone(), &self.budget)
+    }
+
+    /// Project columns into a new frame (`df[['a','b']]`), copying.
+    pub fn select(&self, names: &[&str]) -> Result<EagerFrame> {
+        let mut cols = Vec::with_capacity(names.len());
+        let mut data = Vec::with_capacity(names.len());
+        for name in names {
+            let idx = self.col_index(name)?;
+            cols.push(name.to_string());
+            data.push(self.data[idx].clone());
+        }
+        EagerFrame::from_columns(cols, data, &self.budget)
+    }
+
+    /// First `n` rows, copied (`df.head()`).
+    pub fn head(&self, n: usize) -> Result<EagerFrame> {
+        let data = self
+            .data
+            .iter()
+            .map(|c| c.iter().take(n).cloned().collect())
+            .collect();
+        EagerFrame::from_columns(self.columns.clone(), data, &self.budget)
+    }
+
+    /// Keep rows where the mask is true (`df[mask]`), copying.
+    pub fn filter(&self, mask: &BoolMask) -> Result<EagerFrame> {
+        if mask.len() != self.nrows {
+            return Err(EagerError::Data("mask length mismatch".to_string()));
+        }
+        let data = self
+            .data
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .zip(mask.bits())
+                    .filter(|(_, keep)| **keep)
+                    .map(|(v, _)| v.clone())
+                    .collect()
+            })
+            .collect();
+        EagerFrame::from_columns(self.columns.clone(), data, &self.budget)
+    }
+
+    /// Full sort by one column (`df.sort_values`), copying.
+    pub fn sort_values(&self, by: &str, ascending: bool) -> Result<EagerFrame> {
+        let key = self.col_index(by)?;
+        let mut order: Vec<usize> = (0..self.nrows).collect();
+        order.sort_by(|&a, &b| {
+            let ord = cmp_total(&self.data[key][a], &self.data[key][b]);
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+        let data = self
+            .data
+            .iter()
+            .map(|c| order.iter().map(|&i| c[i].clone()).collect())
+            .collect();
+        EagerFrame::from_columns(self.columns.clone(), data, &self.budget)
+    }
+
+    /// Scalar aggregate of one column.
+    pub fn agg(&self, column: &str, kind: AggKind) -> Result<Value> {
+        let s = self.col(column)?;
+        Ok(match kind {
+            AggKind::Count => s.count(),
+            AggKind::Min => s.min(),
+            AggKind::Max => s.max(),
+            AggKind::Sum => s.sum(),
+            AggKind::Mean => s.mean(),
+            AggKind::Std => s.std(),
+        })
+    }
+
+    /// `df.groupby(key).agg('count')` — counts rows per group.
+    pub fn groupby_count(&self, key: &str) -> Result<EagerFrame> {
+        let kidx = self.col_index(key)?;
+        let mut groups: BTreeMap<OrdVal, i64> = BTreeMap::new();
+        for v in &self.data[kidx] {
+            *groups.entry(OrdVal(v.clone())).or_insert(0) += 1;
+        }
+        let (keys, counts): (Vec<Value>, Vec<Value>) = groups
+            .into_iter()
+            .map(|(k, n)| (k.0, Value::Int(n)))
+            .unzip();
+        EagerFrame::from_columns(
+            vec![key.to_string(), "count".to_string()],
+            vec![keys, counts],
+            &self.budget,
+        )
+    }
+
+    /// `df.groupby(key)[target].agg(kind)`.
+    pub fn groupby_agg(&self, key: &str, target: &str, kind: AggKind) -> Result<EagerFrame> {
+        let kidx = self.col_index(key)?;
+        let tidx = self.col_index(target)?;
+        let mut groups: BTreeMap<OrdVal, Vec<Value>> = BTreeMap::new();
+        for (k, v) in self.data[kidx].iter().zip(self.data[tidx].iter()) {
+            groups.entry(OrdVal(k.clone())).or_default().push(v.clone());
+        }
+        let mut keys = Vec::with_capacity(groups.len());
+        let mut aggs = Vec::with_capacity(groups.len());
+        for (k, vals) in groups {
+            let s = Series::new(target, vals, &self.budget)?;
+            keys.push(k.0);
+            aggs.push(match kind {
+                AggKind::Count => s.count(),
+                AggKind::Min => s.min(),
+                AggKind::Max => s.max(),
+                AggKind::Sum => s.sum(),
+                AggKind::Mean => s.mean(),
+                AggKind::Std => s.std(),
+            });
+        }
+        EagerFrame::from_columns(
+            vec![key.to_string(), format!("{target}_agg")],
+            vec![keys, aggs],
+            &self.budget,
+        )
+    }
+
+    /// `pd.merge(df, df2, left_on=..., right_on=...)` — eager inner hash
+    /// join producing the full joined frame.
+    pub fn merge(&self, other: &EagerFrame, left_on: &str, right_on: &str) -> Result<EagerFrame> {
+        let lidx = self.col_index(left_on)?;
+        let ridx = other.col_index(right_on)?;
+        let mut build: BTreeMap<OrdVal, Vec<usize>> = BTreeMap::new();
+        for (row, v) in other.data[ridx].iter().enumerate() {
+            if !v.is_unknown() {
+                build.entry(OrdVal(v.clone())).or_default().push(row);
+            }
+        }
+        let mut columns = self.columns.clone();
+        for c in &other.columns {
+            if columns.contains(c) {
+                columns.push(format!("{c}_y"));
+            } else {
+                columns.push(c.clone());
+            }
+        }
+        let mut data: Vec<Vec<Value>> = columns.iter().map(|_| Vec::new()).collect();
+        for lrow in 0..self.nrows {
+            let key = &self.data[lidx][lrow];
+            if key.is_unknown() {
+                continue;
+            }
+            if let Some(rrows) = build.get(&OrdVal(key.clone())) {
+                for &rrow in rrows {
+                    for (ci, col) in self.data.iter().enumerate() {
+                        data[ci].push(col[lrow].clone());
+                    }
+                    for (ci, col) in other.data.iter().enumerate() {
+                        data[self.data.len() + ci].push(col[rrow].clone());
+                    }
+                }
+            }
+        }
+        EagerFrame::from_columns(columns, data, &self.budget)
+    }
+
+    /// `df.describe()` — count/mean/std/min/max for every numeric column.
+    pub fn describe(&self) -> Result<EagerFrame> {
+        let stats = ["count", "mean", "std", "min", "max"];
+        let mut columns = vec!["stat".to_string()];
+        let mut data: Vec<Vec<Value>> =
+            vec![stats.iter().map(|s| Value::str(*s)).collect()];
+        for (ci, name) in self.columns.iter().enumerate() {
+            if !self.data[ci].iter().any(Value::is_numeric) {
+                continue;
+            }
+            let s = Series::new(name, self.data[ci].clone(), &self.budget)?;
+            columns.push(name.clone());
+            data.push(vec![s.count(), s.mean(), s.std(), s.min(), s.max()]);
+        }
+        EagerFrame::from_columns(columns, data, &self.budget)
+    }
+
+    /// Rows as records (for display / assertions).
+    pub fn to_records(&self) -> Vec<Record> {
+        (0..self.nrows)
+            .map(|row| {
+                let mut r = Record::with_capacity(self.columns.len());
+                for (ci, name) in self.columns.iter().enumerate() {
+                    r.insert(name.clone(), self.data[ci][row].clone());
+                }
+                r
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct OrdVal(Value);
+impl Eq for OrdVal {}
+impl PartialOrd for OrdVal {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdVal {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_total(&self.0, &other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    fn frame() -> EagerFrame {
+        let records: Vec<Record> = (0..20i64)
+            .map(|i| record! {"a" => i, "b" => i % 3, "s" => format!("v{i}")})
+            .collect();
+        EagerFrame::from_records(&records, &MemoryBudget::unlimited()).unwrap()
+    }
+
+    #[test]
+    fn construction_and_len() {
+        let f = frame();
+        assert_eq!(f.len(), 20);
+        assert_eq!(f.columns(), &["a", "b", "s"]);
+    }
+
+    #[test]
+    fn filter_and_select() {
+        let f = frame();
+        let mask = f.col("b").unwrap().eq(&Value::Int(1), f.budget()).unwrap();
+        let sub = f.filter(&mask).unwrap();
+        assert_eq!(sub.len(), 7); // 1,4,7,10,13,16,19
+        let proj = sub.select(&["a"]).unwrap();
+        assert_eq!(proj.columns(), &["a"]);
+        assert_eq!(proj.head(2).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sort_and_head() {
+        let f = frame();
+        let sorted = f.sort_values("a", false).unwrap().head(3).unwrap();
+        let rows = sorted.to_records();
+        assert_eq!(rows[0].get_or_missing("a"), Value::Int(19));
+        assert_eq!(rows[2].get_or_missing("a"), Value::Int(17));
+    }
+
+    #[test]
+    fn groupby() {
+        let f = frame();
+        let g = f.groupby_count("b").unwrap();
+        assert_eq!(g.len(), 3);
+        let gm = f.groupby_agg("b", "a", AggKind::Max).unwrap();
+        let rows = gm.to_records();
+        assert_eq!(rows[0].get_or_missing("a_agg"), Value::Int(18)); // b==0
+    }
+
+    #[test]
+    fn merge_self() {
+        let f = frame();
+        let g = frame();
+        let joined = f.merge(&g, "a", "a").unwrap();
+        assert_eq!(joined.len(), 20);
+        assert!(joined.columns().contains(&"b_y".to_string()));
+    }
+
+    #[test]
+    fn read_json() {
+        let b = MemoryBudget::unlimited();
+        let f = EagerFrame::read_json("{\"x\":1}\n{\"x\":2,\"y\":\"a\"}\n", &b).unwrap();
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.columns(), &["x", "y"]);
+        // Absent field became null after schema inference.
+        assert_eq!(f.to_records()[0].get_or_missing("y"), Value::Null);
+    }
+
+    #[test]
+    fn out_of_memory_on_load() {
+        let b = MemoryBudget::with_limit(500);
+        let big: Vec<Record> = (0..100i64)
+            .map(|i| record! {"a" => i, "s" => "x".repeat(50)})
+            .collect();
+        assert!(matches!(
+            EagerFrame::from_records(&big, &b),
+            Err(EagerError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn intermediates_charge_budget() {
+        let f = frame();
+        let before = f.budget().used();
+        let mask = f.col("b").unwrap().eq(&Value::Int(1), f.budget()).unwrap();
+        let sub = f.filter(&mask).unwrap();
+        assert!(f.budget().used() > before);
+        drop(sub);
+        drop(mask);
+    }
+
+    #[test]
+    fn describe() {
+        let f = frame();
+        let d = f.describe().unwrap();
+        assert!(d.columns().contains(&"a".to_string()));
+        assert!(!d.columns().contains(&"s".to_string()));
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn unknown_column() {
+        let f = frame();
+        assert!(matches!(
+            f.col("zzz"),
+            Err(EagerError::UnknownColumn(_))
+        ));
+    }
+}

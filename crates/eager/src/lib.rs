@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # polyframe-eager
+//!
+//! An eager, in-memory, single-threaded columnar DataFrame — the **Pandas
+//! stand-in** for the PolyFrame reproduction's baseline measurements.
+//!
+//! Deliberate behavioural fidelity to the paper's Pandas observations:
+//!
+//! * **Creation loads everything**: [`EagerFrame::read_json`] parses the
+//!   whole NDJSON text and materializes every column before any expression
+//!   can run — the "DataFrame creation time" that dominates Pandas' total
+//!   runtimes in Figures 5–8.
+//! * **Every operation materializes its result** (boolean masks, filtered
+//!   copies, mapped columns), which is why Pandas loses expressions 5 and
+//!   10 even on expression-only time.
+//! * **Memory budgeting**: all frames, series and masks register their
+//!   approximate footprint against a shared [`MemoryBudget`]; exceeding it
+//!   raises [`EagerError::OutOfMemory`], reproducing the paper's Pandas
+//!   OOM on the M/L/XL datasets.
+//! * Single-threaded by construction ("Pandas only utilizes a single
+//!   processing core").
+
+pub mod budget;
+pub mod frame;
+pub mod series;
+
+pub use budget::{EagerError, MemoryBudget, Result};
+pub use frame::{AggKind, EagerFrame};
+pub use series::{BoolMask, Series};

@@ -1,0 +1,12 @@
+//! Cypher subset: lexer, parser, planner and executor.
+//!
+//! The grammar covers what PolyFrame's Cypher rewrite rules generate
+//! (paper appendix B/G): a `MATCH` (plus an optional second `MATCH` for
+//! joins), a chain of `WITH` clauses (pass-through, map projections,
+//! aggregation maps, `WHERE`, `ORDER BY`), a `RETURN` and a `LIMIT`.
+
+pub mod exec;
+pub mod parser;
+
+pub use exec::{execute, explain};
+pub use parser::{parse, CypherQuery};

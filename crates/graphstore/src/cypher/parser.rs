@@ -1,0 +1,1023 @@
+//! Cypher lexer and recursive-descent parser.
+
+use crate::error::{GraphError, Result};
+use polyframe_datamodel::Value;
+
+/// Aggregate functions available in `WITH`/`RETURN` maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CAgg {
+    /// `min(x)`
+    Min,
+    /// `max(x)`
+    Max,
+    /// `avg(x)`
+    Avg,
+    /// `sum(x)`
+    Sum,
+    /// `count(x)`
+    Count,
+    /// `stDevP(x)` (population standard deviation)
+    StdDevP,
+}
+
+/// Scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CFunc {
+    /// `upper(s)` / `toUpper(s)`
+    Upper,
+    /// `lower(s)` / `toLower(s)`
+    Lower,
+    /// `abs(x)`
+    Abs,
+    /// `toInteger(x)` / `apoc.convert.toInteger(x)`
+    ToInteger,
+    /// `toString(x)` / `apoc.convert.toString(x)`
+    ToString,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// A Cypher expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CExpr {
+    /// `t.prop`
+    Prop(String, String),
+    /// Bare variable.
+    Var(String),
+    /// Literal.
+    Lit(Value),
+    /// Binary operator.
+    Bin(CBinOp, Box<CExpr>, Box<CExpr>),
+    /// `NOT e`
+    Not(Box<CExpr>),
+    /// `e IS [NOT] NULL` (absent properties are null in Neo4j).
+    IsNull(Box<CExpr>, bool),
+    /// Aggregate call.
+    Agg(CAgg, Box<CExpr>),
+    /// `COUNT(*)`
+    CountStar,
+    /// Scalar function call.
+    Func(CFunc, Vec<CExpr>),
+}
+
+impl CExpr {
+    /// Does this expression contain an aggregate?
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            CExpr::Agg(_, _) | CExpr::CountStar => true,
+            CExpr::Bin(_, a, b) => a.has_aggregate() || b.has_aggregate(),
+            CExpr::Not(a) | CExpr::IsNull(a, _) => a.has_aggregate(),
+            CExpr::Func(_, args) => args.iter().any(CExpr::has_aggregate),
+            _ => false,
+        }
+    }
+}
+
+/// One entry of a map projection / aggregation map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    /// Output key.
+    pub alias: String,
+    /// Entry content.
+    pub expr: EntryExpr,
+}
+
+/// Entry content kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EntryExpr {
+    /// A computed expression.
+    Expr(CExpr),
+    /// `.*` — all properties of the projected variable.
+    AllProps,
+    /// A bare variable embedded as a nested map (`t{.*, r}`).
+    EmbedVar(String),
+}
+
+/// The binding form of a `WITH` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WithBinding {
+    /// `WITH t`
+    Var(String),
+    /// `WITH t{entries}` — rebinds `t` to the projected map.
+    MapProject {
+        /// Projected variable.
+        var: String,
+        /// Map entries.
+        entries: Vec<Entry>,
+    },
+    /// `WITH {entries} AS v` — map construction, or aggregation when any
+    /// entry contains an aggregate (non-aggregate entries become implicit
+    /// group keys, per Cypher semantics).
+    MapAs {
+        /// Map entries.
+        entries: Vec<Entry>,
+        /// Output variable.
+        alias: String,
+    },
+}
+
+/// One `WITH` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithClause {
+    /// The binding form.
+    pub binding: WithBinding,
+    /// Attached `WHERE`.
+    pub where_: Option<CExpr>,
+    /// Attached `ORDER BY key [DESC]`.
+    pub order_by: Option<(CExpr, bool)>,
+}
+
+/// A `MATCH` clause: comma-separated node patterns plus optional `WHERE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchClause {
+    /// `(var [: Label])` patterns.
+    pub patterns: Vec<(String, Option<String>)>,
+    /// Attached `WHERE`.
+    pub where_: Option<CExpr>,
+}
+
+/// The `RETURN` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnClause {
+    /// `RETURN t`
+    Var(String),
+    /// `RETURN COUNT(*) [AS alias]`
+    CountStar(Option<String>),
+    /// `RETURN expr [AS alias]`
+    Expr(CExpr, Option<String>),
+}
+
+/// A parsed Cypher query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CypherQuery {
+    /// `MATCH` clauses (the first introduces the anchor label).
+    pub matches: Vec<MatchClause>,
+    /// `WITH` chain.
+    pub withs: Vec<WithClause>,
+    /// `RETURN`.
+    pub ret: ReturnClause,
+    /// `LIMIT`.
+    pub limit: Option<u64>,
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Double(f64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+    DotStar,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eof,
+}
+
+impl Tok {
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let b = input.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < b.len() {
+        let c = b[pos];
+        match c {
+            b' ' | b'\t' | b'\n' | b'\r' => pos += 1,
+            b'(' => {
+                out.push(Tok::LParen);
+                pos += 1;
+            }
+            b')' => {
+                out.push(Tok::RParen);
+                pos += 1;
+            }
+            b'{' => {
+                out.push(Tok::LBrace);
+                pos += 1;
+            }
+            b'}' => {
+                out.push(Tok::RBrace);
+                pos += 1;
+            }
+            b',' => {
+                out.push(Tok::Comma);
+                pos += 1;
+            }
+            b':' => {
+                out.push(Tok::Colon);
+                pos += 1;
+            }
+            b'.' => {
+                if b.get(pos + 1) == Some(&b'*') {
+                    out.push(Tok::DotStar);
+                    pos += 2;
+                } else {
+                    out.push(Tok::Dot);
+                    pos += 1;
+                }
+            }
+            b'*' => {
+                out.push(Tok::Star);
+                pos += 1;
+            }
+            b'+' => {
+                out.push(Tok::Plus);
+                pos += 1;
+            }
+            b'-' => {
+                out.push(Tok::Minus);
+                pos += 1;
+            }
+            b'/' => {
+                out.push(Tok::Slash);
+                pos += 1;
+            }
+            b'%' => {
+                out.push(Tok::Percent);
+                pos += 1;
+            }
+            b'=' => {
+                out.push(Tok::Eq);
+                pos += 1;
+            }
+            b'!' if b.get(pos + 1) == Some(&b'=') => {
+                out.push(Tok::Ne);
+                pos += 2;
+            }
+            b'<' => match b.get(pos + 1) {
+                Some(b'>') => {
+                    out.push(Tok::Ne);
+                    pos += 2;
+                }
+                Some(b'=') => {
+                    out.push(Tok::Le);
+                    pos += 2;
+                }
+                _ => {
+                    out.push(Tok::Lt);
+                    pos += 1;
+                }
+            },
+            b'>' => {
+                if b.get(pos + 1) == Some(&b'=') {
+                    out.push(Tok::Ge);
+                    pos += 2;
+                } else {
+                    out.push(Tok::Gt);
+                    pos += 1;
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                let mut s = String::new();
+                pos += 1;
+                loop {
+                    match b.get(pos) {
+                        None => return Err(GraphError::Syntax("unterminated string".into())),
+                        Some(&q) if q == quote => {
+                            pos += 1;
+                            break;
+                        }
+                        Some(&b'\\') => {
+                            match b.get(pos + 1) {
+                                Some(&n) if n == quote => s.push(quote as char),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(&other) => {
+                                    s.push('\\');
+                                    s.push(other as char);
+                                }
+                                None => return Err(GraphError::Syntax("bad escape".into())),
+                            }
+                            pos += 2;
+                        }
+                        Some(&ch) if ch < 0x80 => {
+                            s.push(ch as char);
+                            pos += 1;
+                        }
+                        Some(&ch) => {
+                            let width = if ch >= 0xF0 {
+                                4
+                            } else if ch >= 0xE0 {
+                                3
+                            } else {
+                                2
+                            };
+                            let end = (pos + width).min(b.len());
+                            s.push_str(
+                                std::str::from_utf8(&b[pos..end])
+                                    .map_err(|_| GraphError::Syntax("bad UTF-8".into()))?,
+                            );
+                            pos = end;
+                        }
+                    }
+                }
+                out.push(Tok::Str(s));
+            }
+            b'`' => {
+                let start = pos + 1;
+                let end = b[start..]
+                    .iter()
+                    .position(|&ch| ch == b'`')
+                    .ok_or_else(|| GraphError::Syntax("unterminated backquote".into()))?;
+                out.push(Tok::Ident(
+                    String::from_utf8_lossy(&b[start..start + end]).into_owned(),
+                ));
+                pos = start + end + 1;
+            }
+            b'0'..=b'9' => {
+                let start = pos;
+                while pos < b.len() && b[pos].is_ascii_digit() {
+                    pos += 1;
+                }
+                let mut is_float = false;
+                if pos < b.len()
+                    && b[pos] == b'.'
+                    && b.get(pos + 1).is_some_and(u8::is_ascii_digit)
+                {
+                    is_float = true;
+                    pos += 1;
+                    while pos < b.len() && b[pos].is_ascii_digit() {
+                        pos += 1;
+                    }
+                }
+                let text = std::str::from_utf8(&b[start..pos]).unwrap();
+                if is_float {
+                    out.push(Tok::Double(text.parse().map_err(|_| {
+                        GraphError::Syntax(format!("bad number {text}"))
+                    })?));
+                } else {
+                    out.push(Tok::Int(text.parse().map_err(|_| {
+                        GraphError::Syntax(format!("bad number {text}"))
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = pos;
+                while pos < b.len() && (b[pos].is_ascii_alphanumeric() || b[pos] == b'_') {
+                    pos += 1;
+                }
+                out.push(Tok::Ident(
+                    std::str::from_utf8(&b[start..pos]).unwrap().to_string(),
+                ));
+            }
+            other => {
+                return Err(GraphError::Syntax(format!(
+                    "unexpected character {:?}",
+                    other as char
+                )))
+            }
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+/// Parse a Cypher query.
+pub fn parse(input: &str) -> Result<CypherQuery> {
+    let toks = lex(input)?;
+    let mut p = P { toks, pos: 0 };
+    let q = p.parse_query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct P {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.peek().clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(GraphError::Syntax(format!(
+                "expected {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(GraphError::Syntax(format!(
+                "expected {t:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            Err(GraphError::Syntax(format!(
+                "trailing token {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            t => Err(GraphError::Syntax(format!("expected identifier, got {t:?}"))),
+        }
+    }
+
+    fn parse_query(&mut self) -> Result<CypherQuery> {
+        let mut matches = Vec::new();
+        while self.peek().is_kw("match") {
+            matches.push(self.parse_match()?);
+        }
+        if matches.is_empty() {
+            return Err(GraphError::Syntax("query must start with MATCH".into()));
+        }
+        let mut withs = Vec::new();
+        while self.peek().is_kw("with") {
+            withs.push(self.parse_with()?);
+        }
+        self.expect_kw("return")?;
+        let ret = self.parse_return()?;
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                Tok::Int(n) if n >= 0 => Some(n as u64),
+                t => return Err(GraphError::Syntax(format!("bad LIMIT {t:?}"))),
+            }
+        } else {
+            None
+        };
+        Ok(CypherQuery {
+            matches,
+            withs,
+            ret,
+            limit,
+        })
+    }
+
+    fn parse_match(&mut self) -> Result<MatchClause> {
+        self.expect_kw("match")?;
+        let mut patterns = Vec::new();
+        loop {
+            self.expect(&Tok::LParen)?;
+            let var = self.ident()?;
+            let label = if self.eat(&Tok::Colon) {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            self.expect(&Tok::RParen)?;
+            patterns.push((var, label));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        let where_ = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        Ok(MatchClause { patterns, where_ })
+    }
+
+    fn parse_with(&mut self) -> Result<WithClause> {
+        self.expect_kw("with")?;
+        let binding = if self.eat(&Tok::LBrace) {
+            // WITH { entries } AS v
+            let entries = self.parse_entries()?;
+            self.expect(&Tok::RBrace)?;
+            self.expect_kw("as")?;
+            let alias = self.ident()?;
+            WithBinding::MapAs { entries, alias }
+        } else {
+            let var = self.ident()?;
+            if self.eat(&Tok::LBrace) {
+                let entries = self.parse_entries()?;
+                self.expect(&Tok::RBrace)?;
+                WithBinding::MapProject { var, entries }
+            } else {
+                WithBinding::Var(var)
+            }
+        };
+        let where_ = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+        let order_by = if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            let key = self.parse_expr()?;
+            let desc = if self.eat_kw("desc") {
+                true
+            } else {
+                self.eat_kw("asc");
+                false
+            };
+            Some((key, desc))
+        } else {
+            None
+        };
+        Ok(WithClause {
+            binding,
+            where_,
+            order_by,
+        })
+    }
+
+    fn parse_entries(&mut self) -> Result<Vec<Entry>> {
+        let mut entries = Vec::new();
+        loop {
+            if self.eat(&Tok::DotStar) {
+                entries.push(Entry {
+                    alias: "*".to_string(),
+                    expr: EntryExpr::AllProps,
+                });
+            } else {
+                // Key: string literal, (backquoted) identifier.
+                let key = match self.peek().clone() {
+                    Tok::Str(s) => {
+                        self.bump();
+                        s
+                    }
+                    Tok::Ident(s) => {
+                        self.bump();
+                        s
+                    }
+                    t => return Err(GraphError::Syntax(format!("bad map key {t:?}"))),
+                };
+                if self.eat(&Tok::Colon) {
+                    let expr = self.parse_expr()?;
+                    entries.push(Entry {
+                        alias: key,
+                        expr: EntryExpr::Expr(expr),
+                    });
+                } else {
+                    // Bare variable embed (`t{.*, r}`).
+                    entries.push(Entry {
+                        alias: key.clone(),
+                        expr: EntryExpr::EmbedVar(key),
+                    });
+                }
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        Ok(entries)
+    }
+
+    fn parse_return(&mut self) -> Result<ReturnClause> {
+        // RETURN COUNT(*) [AS alias]
+        if self.peek().is_kw("count") && self.peek2() == &Tok::LParen {
+            let save = self.pos;
+            self.bump();
+            self.bump();
+            if self.eat(&Tok::Star) {
+                self.expect(&Tok::RParen)?;
+                let alias = if self.eat_kw("as") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                return Ok(ReturnClause::CountStar(alias));
+            }
+            self.pos = save;
+        }
+        // RETURN var (bare)
+        if let Tok::Ident(name) = self.peek().clone() {
+            if !is_kw_name(&name)
+                && !matches!(self.peek2(), Tok::LParen | Tok::Dot | Tok::DotStar)
+            {
+                self.bump();
+                return Ok(ReturnClause::Var(name));
+            }
+        }
+        let expr = self.parse_expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(ReturnClause::Expr(expr, alias))
+    }
+
+    // Expressions: OR < AND < NOT < comparison/IS < additive < mult < unary.
+    fn parse_expr(&mut self) -> Result<CExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<CExpr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.parse_and()?;
+            lhs = CExpr::Bin(CBinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<CExpr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw("and") {
+            let rhs = self.parse_not()?;
+            lhs = CExpr::Bin(CBinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<CExpr> {
+        if self.eat_kw("not") {
+            Ok(CExpr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_cmp()
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<CExpr> {
+        let lhs = self.parse_add()?;
+        let op = match self.peek() {
+            Tok::Eq => Some(CBinOp::Eq),
+            Tok::Ne => Some(CBinOp::Ne),
+            Tok::Lt => Some(CBinOp::Lt),
+            Tok::Le => Some(CBinOp::Le),
+            Tok::Gt => Some(CBinOp::Gt),
+            Tok::Ge => Some(CBinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_add()?;
+            return Ok(CExpr::Bin(op, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.peek().is_kw("is") {
+            self.bump();
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(CExpr::IsNull(Box::new(lhs), negated));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_add(&mut self) -> Result<CExpr> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => CBinOp::Add,
+                Tok::Minus => CBinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_mul()?;
+            lhs = CExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_mul(&mut self) -> Result<CExpr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => CBinOp::Mul,
+                Tok::Slash => CBinOp::Div,
+                Tok::Percent => CBinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = CExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<CExpr> {
+        if self.eat(&Tok::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(CExpr::Bin(
+                CBinOp::Sub,
+                Box::new(CExpr::Lit(Value::Int(0))),
+                Box::new(inner),
+            ));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<CExpr> {
+        match self.bump() {
+            Tok::Int(i) => Ok(CExpr::Lit(Value::Int(i))),
+            Tok::Double(d) => Ok(CExpr::Lit(Value::Double(d))),
+            Tok::Str(s) => Ok(CExpr::Lit(Value::Str(s))),
+            Tok::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(CExpr::Lit(Value::Bool(true))),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("false") => Ok(CExpr::Lit(Value::Bool(false))),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(CExpr::Lit(Value::Null)),
+            Tok::Ident(s) => {
+                // Dotted chain: property access or namespaced function.
+                let mut parts = vec![s];
+                while self.peek() == &Tok::Dot {
+                    if let Tok::Ident(_) = self.peek2() {
+                        self.bump();
+                        parts.push(self.ident()?);
+                    } else {
+                        break;
+                    }
+                }
+                if self.eat(&Tok::LParen) {
+                    let name = parts.join(".").to_ascii_lowercase();
+                    if self.eat(&Tok::Star) {
+                        self.expect(&Tok::RParen)?;
+                        if name == "count" {
+                            return Ok(CExpr::CountStar);
+                        }
+                        return Err(GraphError::Syntax(format!("{name}(*) is not valid")));
+                    }
+                    let mut args = Vec::new();
+                    if !self.eat(&Tok::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat(&Tok::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Tok::RParen)?;
+                    }
+                    return build_call(&name, args);
+                }
+                match parts.len() {
+                    1 => Ok(CExpr::Var(parts.pop().unwrap())),
+                    2 => {
+                        let prop = parts.pop().unwrap();
+                        let var = parts.pop().unwrap();
+                        Ok(CExpr::Prop(var, prop))
+                    }
+                    _ => Err(GraphError::Syntax(format!(
+                        "unsupported path {}",
+                        parts.join(".")
+                    ))),
+                }
+            }
+            t => Err(GraphError::Syntax(format!("unexpected token {t:?}"))),
+        }
+    }
+}
+
+fn build_call(name: &str, mut args: Vec<CExpr>) -> Result<CExpr> {
+    let one = |args: &mut Vec<CExpr>| -> Result<Box<CExpr>> {
+        if args.len() != 1 {
+            return Err(GraphError::Syntax(format!(
+                "function takes one argument, got {}",
+                args.len()
+            )));
+        }
+        Ok(Box::new(args.pop().unwrap()))
+    };
+    match name {
+        "min" => Ok(CExpr::Agg(CAgg::Min, one(&mut args)?)),
+        "max" => Ok(CExpr::Agg(CAgg::Max, one(&mut args)?)),
+        "avg" => Ok(CExpr::Agg(CAgg::Avg, one(&mut args)?)),
+        "sum" => Ok(CExpr::Agg(CAgg::Sum, one(&mut args)?)),
+        "count" => Ok(CExpr::Agg(CAgg::Count, one(&mut args)?)),
+        "stdevp" | "stdev" | "stdevpop" => Ok(CExpr::Agg(CAgg::StdDevP, one(&mut args)?)),
+        "upper" | "toupper" => Ok(CExpr::Func(CFunc::Upper, vec![*one(&mut args)?])),
+        "lower" | "tolower" => Ok(CExpr::Func(CFunc::Lower, vec![*one(&mut args)?])),
+        "abs" => Ok(CExpr::Func(CFunc::Abs, vec![*one(&mut args)?])),
+        "tointeger" | "toint" | "apoc.convert.tointeger" => {
+            Ok(CExpr::Func(CFunc::ToInteger, vec![*one(&mut args)?]))
+        }
+        "tostring" | "apoc.convert.tostring" => {
+            Ok(CExpr::Func(CFunc::ToString, vec![*one(&mut args)?]))
+        }
+        other => Err(GraphError::Syntax(format!("unknown function {other}"))),
+    }
+}
+
+fn is_kw_name(s: &str) -> bool {
+    [
+        "match", "with", "where", "return", "order", "by", "limit", "as", "and", "or", "not",
+        "is", "null", "desc", "asc", "count",
+    ]
+    .iter()
+    .any(|k| s.eq_ignore_ascii_case(k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_chain_parses() {
+        let q = parse(
+            "MATCH(t: Users)\n WITH t WHERE t.lang = \"en\"\n WITH t{`name`:t.name, `address`:t.address}\n RETURN t\n LIMIT 10",
+        )
+        .unwrap();
+        assert_eq!(q.matches.len(), 1);
+        assert_eq!(q.matches[0].patterns[0], ("t".into(), Some("Users".into())));
+        assert_eq!(q.withs.len(), 2);
+        assert!(q.withs[0].where_.is_some());
+        assert!(matches!(
+            &q.withs[1].binding,
+            WithBinding::MapProject { entries, .. } if entries.len() == 2
+        ));
+        assert_eq!(q.ret, ReturnClause::Var("t".into()));
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn count_star_return() {
+        let q = parse("MATCH(t: data) RETURN COUNT(*) AS t").unwrap();
+        assert_eq!(q.ret, ReturnClause::CountStar(Some("t".into())));
+    }
+
+    #[test]
+    fn aggregation_map() {
+        let q = parse(
+            "MATCH(t: data) WITH t{'unique1':t.unique1} WITH {'max_unique1': max(t.unique1)} AS t RETURN t",
+        )
+        .unwrap();
+        match &q.withs[1].binding {
+            WithBinding::MapAs { entries, alias } => {
+                assert_eq!(alias, "t");
+                assert!(matches!(&entries[0].expr, EntryExpr::Expr(e) if e.has_aggregate()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_by_map() {
+        let q = parse(
+            "MATCH(t: data) WITH {'twenty': t.twenty, 'max_four': max(t.four)} AS t RETURN t",
+        )
+        .unwrap();
+        match &q.withs[0].binding {
+            WithBinding::MapAs { entries, .. } => {
+                assert!(!matches!(&entries[0].expr, EntryExpr::Expr(e) if e.has_aggregate()));
+                assert!(matches!(&entries[1].expr, EntryExpr::Expr(e) if e.has_aggregate()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_and_where() {
+        let q = parse("MATCH(t: data) WITH t ORDER BY t.unique1 DESC RETURN t LIMIT 5").unwrap();
+        let ob = q.withs[0].order_by.as_ref().unwrap();
+        assert!(ob.1);
+        let q2 = parse("MATCH(t: data) WITH t WHERE t.ten = 3 AND t.two = 1 RETURN t LIMIT 5")
+            .unwrap();
+        assert!(matches!(
+            q2.withs[0].where_.as_ref().unwrap(),
+            CExpr::Bin(CBinOp::And, _, _)
+        ));
+    }
+
+    #[test]
+    fn join_match() {
+        let q = parse(
+            "MATCH(t: data)\n MATCH (t), (r:wisconsin2)\n WHERE t.unique1 = r.unique1\n WITH t{.*, r}\n RETURN COUNT(*) AS t",
+        )
+        .unwrap();
+        assert_eq!(q.matches.len(), 2);
+        assert_eq!(q.matches[1].patterns.len(), 2);
+        assert_eq!(q.matches[1].patterns[0], ("t".into(), None));
+        assert!(q.matches[1].where_.is_some());
+        match &q.withs[0].binding {
+            WithBinding::MapProject { entries, .. } => {
+                assert_eq!(entries[0].expr, EntryExpr::AllProps);
+                assert_eq!(entries[1].expr, EntryExpr::EmbedVar("r".into()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn is_null_and_functions() {
+        let q = parse("MATCH(t: data) WITH t WHERE t.tenPercent IS NULL RETURN COUNT(*) AS t")
+            .unwrap();
+        assert!(matches!(
+            q.withs[0].where_.as_ref().unwrap(),
+            CExpr::IsNull(_, false)
+        ));
+        let q2 = parse(
+            "MATCH(t: data) WITH t{'u':upper(t.stringu1)} RETURN t LIMIT 5",
+        )
+        .unwrap();
+        match &q2.withs[0].binding {
+            WithBinding::MapProject { entries, .. } => {
+                assert!(matches!(&entries[0].expr, EntryExpr::Expr(CExpr::Func(CFunc::Upper, _))));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q3 = parse("MATCH(t: d) WITH t{'x': apoc.convert.toInteger(t.s)} RETURN t").unwrap();
+        match &q3.withs[0].binding {
+            WithBinding::MapProject { entries, .. } => {
+                assert!(matches!(
+                    &entries[0].expr,
+                    EntryExpr::Expr(CExpr::Func(CFunc::ToInteger, _))
+                ));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors() {
+        assert!(parse("RETURN 1").is_err());
+        assert!(parse("MATCH t RETURN t").is_err());
+        assert!(parse("MATCH(t: d) RETURN").is_err());
+        assert!(parse("MATCH(t: d) RETURN t LIMIT x").is_err());
+        assert!(parse("MATCH(t: d) WITH t{'a' t.a} RETURN t").is_err());
+    }
+}

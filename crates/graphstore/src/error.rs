@@ -1,0 +1,37 @@
+//! Graph-store error type.
+
+use std::fmt;
+
+/// Errors produced by the graph store.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// Lexical/syntax error in a Cypher query.
+    Syntax(String),
+    /// Unknown label.
+    UnknownLabel(String),
+    /// Semantic error (unknown variable, bad aggregate placement, ...).
+    Semantic(String),
+    /// Runtime execution error.
+    Exec(String),
+    /// Property value not storable in a node record (nested structures).
+    UnsupportedProperty(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Syntax(m) => write!(f, "cypher syntax error: {m}"),
+            GraphError::UnknownLabel(l) => write!(f, "unknown label: {l}"),
+            GraphError::Semantic(m) => write!(f, "semantic error: {m}"),
+            GraphError::Exec(m) => write!(f, "execution error: {m}"),
+            GraphError::UnsupportedProperty(m) => {
+                write!(f, "unsupported property value: {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, GraphError>;

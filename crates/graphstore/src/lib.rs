@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # polyframe-graphstore
+//!
+//! A Neo4j-like property-graph store executing a Cypher subset — the Neo4j
+//! substrate of the PolyFrame reproduction.
+//!
+//! Storage layout follows the paper's description of why Neo4j performed
+//! well on the Wisconsin data (section IV.F):
+//!
+//! * node properties live in **fixed-size records** (inline numerics and
+//!   booleans), while **string values live in a separate string store** and
+//!   the property record holds only a pointer — scans that never touch a
+//!   string property never read (or copy) the long Wisconsin string
+//!   attributes;
+//! * each label keeps a **metadata count**, so `MATCH (t:L) RETURN
+//!   COUNT(*)` is an O(1) lookup (the paper's expression-1 winner);
+//! * property indexes skip null/missing keys (expression 13 cannot use an
+//!   index);
+//! * there is no ordered-index path for `ORDER BY` (Neo4j 3.5 sorts), and
+//!   no sharded mode (Neo4j community edition is absent from the paper's
+//!   multi-node experiments).
+
+pub mod cypher;
+pub mod error;
+pub mod store;
+
+pub use error::{GraphError, Result};
+pub use store::GraphStore;

@@ -1,0 +1,360 @@
+//! Node storage: fixed-size property records, a separate string store,
+//! label metadata counts and property indexes.
+
+use crate::error::{GraphError, Result};
+use parking_lot::RwLock;
+use polyframe_datamodel::{Record, Value};
+use std::collections::HashMap;
+
+pub(crate) use polyframe_storage::{BPlusTree, Direction, ScanRange};
+
+/// Inline property value in a node record. Strings are out-of-line pointers
+/// into the label's string store (the Neo4j layout the paper credits for
+/// its short-record scan advantage).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InlineProp {
+    /// Inline integer.
+    Int(i64),
+    /// Inline double.
+    Double(f64),
+    /// Inline boolean.
+    Bool(bool),
+    /// Pointer into the string store.
+    StrRef(u32),
+    /// Explicit null property.
+    Null,
+}
+
+/// A node's property record: `(property-name id, inline value)` pairs.
+pub type NodeRecord = Vec<(u16, InlineProp)>;
+
+/// Per-label storage.
+pub struct LabelStore {
+    prop_names: Vec<String>,
+    name_ids: HashMap<String, u16>,
+    nodes: Vec<NodeRecord>,
+    strings: Vec<String>,
+    indexes: HashMap<String, BPlusTree>,
+}
+
+impl LabelStore {
+    fn new() -> LabelStore {
+        LabelStore {
+            prop_names: Vec::new(),
+            name_ids: HashMap::new(),
+            nodes: Vec::new(),
+            strings: Vec::new(),
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// O(1) metadata node count.
+    pub fn count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn prop_id(&mut self, name: &str) -> u16 {
+        if let Some(id) = self.name_ids.get(name) {
+            return *id;
+        }
+        let id = self.prop_names.len() as u16;
+        self.prop_names.push(name.to_string());
+        self.name_ids.insert(name.to_string(), id);
+        id
+    }
+
+    fn insert(&mut self, record: Record) -> Result<usize> {
+        let mut node: NodeRecord = Vec::with_capacity(record.len());
+        for (name, value) in record.iter() {
+            let inline = match value {
+                Value::Int(i) => InlineProp::Int(*i),
+                Value::Double(d) => InlineProp::Double(*d),
+                Value::Bool(b) => InlineProp::Bool(*b),
+                Value::Str(s) => {
+                    let ptr = self.strings.len() as u32;
+                    self.strings.push(s.clone());
+                    InlineProp::StrRef(ptr)
+                }
+                Value::Null => InlineProp::Null,
+                // Absent fields simply do not produce a property.
+                Value::Missing => continue,
+                other => {
+                    return Err(GraphError::UnsupportedProperty(format!(
+                        "{name}: {} (Neo4j properties are scalars)",
+                        other.type_name()
+                    )))
+                }
+            };
+            let id = self.prop_id(name);
+            node.push((id, inline));
+        }
+        let idx = self.nodes.len();
+        // Maintain indexes.
+        for (prop, tree) in self.indexes.iter_mut() {
+            if let Some(id) = self.name_ids.get(prop) {
+                if let Some((_, inline)) = node.iter().find(|(pid, _)| pid == id) {
+                    let key = inline_to_value(*inline, &self.strings);
+                    if !key.is_unknown() {
+                        tree.insert(key, idx as u64);
+                    }
+                }
+            }
+        }
+        self.nodes.push(node);
+        Ok(idx)
+    }
+
+    fn create_index(&mut self, prop: &str) {
+        if self.indexes.contains_key(prop) {
+            return;
+        }
+        let mut tree = BPlusTree::new();
+        if let Some(&id) = self.name_ids.get(prop) {
+            for (idx, node) in self.nodes.iter().enumerate() {
+                if let Some((_, inline)) = node.iter().find(|(pid, _)| *pid == id) {
+                    let key = inline_to_value(*inline, &self.strings);
+                    if !key.is_unknown() {
+                        tree.insert(key, idx as u64);
+                    }
+                }
+            }
+        }
+        self.indexes.insert(prop.to_string(), tree);
+    }
+
+    /// Whether an index exists on `prop`.
+    pub fn has_index(&self, prop: &str) -> bool {
+        self.indexes.contains_key(prop)
+    }
+
+    /// Index lookup: node indices with `prop == key`.
+    pub fn index_lookup(&self, prop: &str, key: &Value) -> Option<Vec<usize>> {
+        let tree = self.indexes.get(prop)?;
+        Some(
+            tree.scan(&ScanRange::eq(key.clone()), Direction::Forward)
+                .map(|(_, idx)| idx as usize)
+                .collect(),
+        )
+    }
+
+    /// Index range scan: node indices with `prop` in `range`.
+    pub fn index_range(&self, prop: &str, range: &ScanRange) -> Option<Vec<usize>> {
+        let tree = self.indexes.get(prop)?;
+        Some(
+            tree.scan(range, Direction::Forward)
+                .map(|(_, idx)| idx as usize)
+                .collect(),
+        )
+    }
+
+    /// Read a single property of a node *without* materializing the rest of
+    /// the record. Strings are fetched from the string store only when the
+    /// property actually is a string.
+    pub fn prop_value(&self, node: usize, prop: &str) -> Value {
+        let Some(&id) = self.name_ids.get(prop) else {
+            return Value::Missing;
+        };
+        match self.nodes[node].iter().find(|(pid, _)| *pid == id) {
+            Some((_, inline)) => inline_to_value(*inline, &self.strings),
+            None => Value::Missing,
+        }
+    }
+
+    /// Materialize a whole node (touches the string store).
+    pub fn materialize(&self, node: usize) -> Record {
+        let mut rec = Record::with_capacity(self.nodes[node].len());
+        for (pid, inline) in &self.nodes[node] {
+            rec.insert(
+                self.prop_names[*pid as usize].clone(),
+                inline_to_value(*inline, &self.strings),
+            );
+        }
+        rec
+    }
+
+    /// All node indices.
+    pub fn node_indices(&self) -> std::ops::Range<usize> {
+        0..self.nodes.len()
+    }
+}
+
+fn inline_to_value(p: InlineProp, strings: &[String]) -> Value {
+    match p {
+        InlineProp::Int(i) => Value::Int(i),
+        InlineProp::Double(d) => Value::Double(d),
+        InlineProp::Bool(b) => Value::Bool(b),
+        InlineProp::StrRef(ptr) => Value::Str(strings[ptr as usize].clone()),
+        InlineProp::Null => Value::Null,
+    }
+}
+
+/// The graph store: labels with their node stores.
+pub struct GraphStore {
+    labels: RwLock<HashMap<String, LabelStore>>,
+    use_indexes: bool,
+}
+
+impl Default for GraphStore {
+    fn default() -> Self {
+        GraphStore::new()
+    }
+}
+
+impl GraphStore {
+    /// Empty store.
+    pub fn new() -> GraphStore {
+        GraphStore {
+            labels: RwLock::new(HashMap::new()),
+            use_indexes: true,
+        }
+    }
+
+    /// Empty store with index usage disabled (ablation benchmarks).
+    pub fn without_indexes() -> GraphStore {
+        GraphStore {
+            labels: RwLock::new(HashMap::new()),
+            use_indexes: false,
+        }
+    }
+
+    /// Whether the planner may use indexes.
+    pub fn indexes_enabled(&self) -> bool {
+        self.use_indexes
+    }
+
+    /// Create an (empty) label.
+    pub fn create_label(&self, label: &str) {
+        self.labels
+            .write()
+            .entry(label.to_string())
+            .or_insert_with(LabelStore::new);
+    }
+
+    /// Insert nodes under a label.
+    pub fn insert_nodes(
+        &self,
+        label: &str,
+        records: impl IntoIterator<Item = Record>,
+    ) -> Result<usize> {
+        let mut map = self.labels.write();
+        let store = map
+            .entry(label.to_string())
+            .or_insert_with(LabelStore::new);
+        let mut n = 0;
+        for rec in records {
+            store.insert(rec)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Create a property index on a label.
+    pub fn create_index(&self, label: &str, prop: &str) -> Result<()> {
+        let mut map = self.labels.write();
+        let store = map
+            .get_mut(label)
+            .ok_or_else(|| GraphError::UnknownLabel(label.to_string()))?;
+        store.create_index(prop);
+        Ok(())
+    }
+
+    /// O(1) metadata count for a label.
+    pub fn count_nodes(&self, label: &str) -> Result<usize> {
+        let map = self.labels.read();
+        map.get(label)
+            .map(LabelStore::count)
+            .ok_or_else(|| GraphError::UnknownLabel(label.to_string()))
+    }
+
+    /// Execute a Cypher query.
+    pub fn query(&self, cypher: &str) -> Result<Vec<Value>> {
+        let ast = crate::cypher::parse(cypher)?;
+        let map = self.labels.read();
+        crate::cypher::execute(&ast, &map, self.use_indexes)
+    }
+
+    /// EXPLAIN-style description of the chosen access path.
+    pub fn explain(&self, cypher: &str) -> Result<String> {
+        let ast = crate::cypher::parse(cypher)?;
+        let map = self.labels.read();
+        crate::cypher::explain(&ast, &map, self.use_indexes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    #[test]
+    fn insert_and_materialize() {
+        let g = GraphStore::new();
+        g.insert_nodes(
+            "Users",
+            vec![
+                record! {"id" => 1i64, "name" => "ann"},
+                record! {"id" => 2i64, "flag" => true, "score" => 1.5},
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.count_nodes("Users").unwrap(), 2);
+        let map = g.labels.read();
+        let store = map.get("Users").unwrap();
+        let rec = store.materialize(0);
+        assert_eq!(rec.get_or_missing("name"), Value::str("ann"));
+        assert_eq!(store.prop_value(1, "score"), Value::Double(1.5));
+        assert_eq!(store.prop_value(1, "name"), Value::Missing);
+    }
+
+    #[test]
+    fn strings_live_out_of_line() {
+        let g = GraphStore::new();
+        g.insert_nodes("L", vec![record! {"a" => 1i64, "s" => "hello"}])
+            .unwrap();
+        let map = g.labels.read();
+        let store = map.get("L").unwrap();
+        assert_eq!(store.strings.len(), 1);
+        assert!(matches!(
+            store.nodes[0].iter().find(|(p, _)| *p == store.name_ids["s"]),
+            Some((_, InlineProp::StrRef(0)))
+        ));
+    }
+
+    #[test]
+    fn nested_properties_rejected() {
+        let g = GraphStore::new();
+        let err = g
+            .insert_nodes("L", vec![record! {"x" => Value::Array(vec![])}])
+            .unwrap_err();
+        assert!(matches!(err, GraphError::UnsupportedProperty(_)));
+    }
+
+    #[test]
+    fn index_lookup_skips_unknown() {
+        let g = GraphStore::new();
+        g.insert_nodes(
+            "L",
+            (0..10i64).map(|i| {
+                if i % 2 == 0 {
+                    record! {"a" => i}
+                } else {
+                    record! {"b" => i}
+                }
+            }),
+        )
+        .unwrap();
+        g.create_index("L", "a").unwrap();
+        let map = g.labels.read();
+        let store = map.get("L").unwrap();
+        assert_eq!(store.index_lookup("a", &Value::Int(4)).unwrap(), vec![4]);
+        assert!(store.index_lookup("a", &Value::Int(5)).unwrap().is_empty());
+        assert!(store.index_lookup("zzz", &Value::Int(1)).is_none());
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let g = GraphStore::new();
+        assert!(g.count_nodes("nope").is_err());
+        assert!(g.create_index("nope", "a").is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! End-to-end Cypher execution over the graph store, exercising the exact
+//! query shapes PolyFrame's Cypher rewrite rules generate (paper appendix G).
+
+use polyframe_datamodel::{record, Value};
+use polyframe_graphstore::GraphStore;
+
+fn users_graph() -> GraphStore {
+    let g = GraphStore::new();
+    let langs = ["en", "fr", "en", "de", "en"];
+    g.insert_nodes(
+        "Users",
+        (0..50i64).map(|i| {
+            record! {
+                "id" => i,
+                "name" => format!("user{i}"),
+                "lang" => langs[(i % 5) as usize],
+                "age" => 20 + (i % 30),
+            }
+        }),
+    )
+    .unwrap();
+    g
+}
+
+#[test]
+fn metadata_count_is_instant_and_correct() {
+    let g = users_graph();
+    let out = g.query("MATCH(t: Users)\n RETURN COUNT(*) AS t").unwrap();
+    assert_eq!(out, vec![Value::Int(50)]);
+    let explain = g.explain("MATCH(t: Users) RETURN COUNT(*) AS t").unwrap();
+    assert!(explain.contains("MetadataCount"), "{explain}");
+}
+
+#[test]
+fn filtered_count_scans() {
+    let g = users_graph();
+    let out = g
+        .query("MATCH(t: Users)\n WITH t WHERE t.lang = \"en\"\n RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(30)]);
+    let explain = g
+        .explain("MATCH(t: Users) WITH t WHERE t.lang = \"en\" RETURN COUNT(*) AS t")
+        .unwrap();
+    assert!(explain.contains("NodeByLabelScan"), "{explain}");
+}
+
+#[test]
+fn index_seek_when_available() {
+    let g = users_graph();
+    g.create_index("Users", "lang").unwrap();
+    let explain = g
+        .explain("MATCH(t: Users) WITH t WHERE t.lang = \"en\" RETURN COUNT(*) AS t")
+        .unwrap();
+    assert!(explain.contains("NodeIndexSeek(Users.lang)"), "{explain}");
+    let out = g
+        .query("MATCH(t: Users) WITH t WHERE t.lang = \"en\" RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(30)]);
+}
+
+#[test]
+fn range_seek() {
+    let g = users_graph();
+    g.create_index("Users", "id").unwrap();
+    let out = g
+        .query("MATCH(t: Users) WITH t WHERE t.id >= 10 AND t.id <= 19 RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(10)]);
+    let explain = g
+        .explain("MATCH(t: Users) WITH t WHERE t.id >= 10 AND t.id <= 19 RETURN COUNT(*) AS t")
+        .unwrap();
+    assert!(explain.contains("NodeIndexRange(Users.id)"), "{explain}");
+}
+
+#[test]
+fn table1_projection_chain() {
+    let g = users_graph();
+    let out = g
+        .query(
+            "MATCH(t: Users)\n WITH t WHERE t.lang = \"en\"\n WITH t{`name`:t.name, `id`:t.id}\n RETURN t\n LIMIT 10",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 10);
+    assert!(out[0].get_path("name").as_str().is_some());
+    assert!(out[0].get_path("lang").is_missing());
+}
+
+#[test]
+fn projection_with_upper() {
+    let g = users_graph();
+    let out = g
+        .query("MATCH(t: Users)\n WITH t{'name':t.name}\n WITH t{'u':upper(t.name)}\n RETURN t\n LIMIT 5")
+        .unwrap();
+    assert_eq!(out.len(), 5);
+    assert_eq!(out[0].get_path("u"), Value::str("USER0"));
+}
+
+#[test]
+fn scalar_aggregation_map() {
+    let g = users_graph();
+    let out = g
+        .query(
+            "MATCH(t: Users)\n WITH t{'age':t.age}\n WITH {'max_age': max(t.age)} AS t\n RETURN t",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].get_path("max_age"), Value::Int(49));
+}
+
+#[test]
+fn grouped_aggregation_map() {
+    let g = users_graph();
+    let out = g
+        .query(
+            "MATCH(t: Users)\n WITH {'lang': t.lang, 'cnt': count(t.lang)} AS t\n RETURN t",
+        )
+        .unwrap();
+    assert_eq!(out.len(), 3);
+    let en = out
+        .iter()
+        .find(|r| r.get_path("lang") == Value::str("en"))
+        .unwrap();
+    assert_eq!(en.get_path("cnt"), Value::Int(30));
+}
+
+#[test]
+fn order_by_desc_limit() {
+    let g = users_graph();
+    let out = g
+        .query("MATCH(t: Users)\n WITH t ORDER BY t.id DESC\n RETURN t\n LIMIT 5")
+        .unwrap();
+    assert_eq!(out.len(), 5);
+    assert_eq!(out[0].get_path("id"), Value::Int(49));
+    assert_eq!(out[4].get_path("id"), Value::Int(45));
+}
+
+#[test]
+fn join_via_second_match() {
+    let g = users_graph();
+    g.insert_nodes(
+        "Others",
+        (0..25i64).map(|i| record! {"id" => i, "tag" => format!("o{i}")}),
+    )
+    .unwrap();
+    g.create_index("Others", "id").unwrap();
+    let out = g
+        .query(
+            "MATCH(t: Users)\n MATCH (t), (r:Others)\n WHERE t.id = r.id\n WITH t{.*, r}\n RETURN COUNT(*) AS t",
+        )
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(25)]);
+}
+
+#[test]
+fn is_null_counts_missing_properties() {
+    let g = GraphStore::new();
+    g.insert_nodes(
+        "D",
+        (0..20i64).map(|i| {
+            if i % 10 == 0 {
+                record! {"a" => i}
+            } else {
+                record! {"a" => i, "tenPercent" => i % 10}
+            }
+        }),
+    )
+    .unwrap();
+    let out = g
+        .query("MATCH(t: D)\n WITH t WHERE t.tenPercent IS NULL\n RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(2)]);
+}
+
+#[test]
+fn count_star_on_empty_selection_is_zero() {
+    let g = users_graph();
+    let out = g
+        .query("MATCH(t: Users) WITH t WHERE t.lang = \"zz\" RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(0)]);
+}
+
+#[test]
+fn return_expression() {
+    let g = users_graph();
+    let out = g
+        .query("MATCH(t: Users) WITH t WHERE t.id = 7 RETURN t.name AS name")
+        .unwrap();
+    assert_eq!(out, vec![Value::str("user7")]);
+}
+
+#[test]
+fn comparisons_with_null_filter_out() {
+    let g = users_graph();
+    // `t.missingProp = 1` is null for every node -> filtered.
+    let out = g
+        .query("MATCH(t: Users) WITH t WHERE t.nothing = 1 RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(0)]);
+}
+
+#[test]
+fn arithmetic_in_projection() {
+    let g = users_graph();
+    let out = g
+        .query("MATCH(t: Users) WITH t WHERE t.id = 3 WITH t{'double_age': t.age * 2} RETURN t")
+        .unwrap();
+    assert_eq!(out[0].get_path("double_age"), Value::Int(46));
+}

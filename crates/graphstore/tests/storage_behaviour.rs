@@ -1,0 +1,152 @@
+//! Neo4j-substrate storage behaviour: the paper's section IV.F analysis of
+//! why Neo4j's layout suits the Wisconsin data, plus executor edge cases.
+
+use polyframe_datamodel::{record, Value};
+use polyframe_graphstore::{GraphError, GraphStore};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+
+#[test]
+fn wisconsin_numeric_scans_avoid_string_store() {
+    // Counting on a numeric predicate must work even though the records
+    // carry three 52-char strings — and the lazy property reads mean the
+    // strings are never materialized for this query (structural: the
+    // executor evaluates `t.ten` via prop_value, which only touches the
+    // string store for string-typed properties).
+    let g = GraphStore::new();
+    g.insert_nodes("data", generate(&WisconsinConfig::new(2_000)))
+        .unwrap();
+    let out = g
+        .query("MATCH(t: data) WITH t WHERE t.ten = 3 RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(200)]);
+}
+
+#[test]
+fn metadata_count_is_constant_time_shape() {
+    use std::time::Instant;
+    let small = GraphStore::new();
+    small
+        .insert_nodes("d", generate(&WisconsinConfig::new(100)))
+        .unwrap();
+    let big = GraphStore::new();
+    big.insert_nodes("d", generate(&WisconsinConfig::new(20_000)))
+        .unwrap();
+    let time = |g: &GraphStore| {
+        let q = "MATCH(t: d) RETURN COUNT(*) AS t";
+        g.query(q).unwrap(); // warm
+        let t0 = Instant::now();
+        for _ in 0..50 {
+            g.query(q).unwrap();
+        }
+        t0.elapsed()
+    };
+    let (ts, tb) = (time(&small), time(&big));
+    // 200x more data must NOT mean ~200x slower counts; allow generous
+    // noise on shared CI hardware.
+    assert!(
+        tb < ts * 20,
+        "metadata count scaled with data: {ts:?} vs {tb:?}"
+    );
+}
+
+#[test]
+fn with_chain_rebinding() {
+    let g = GraphStore::new();
+    g.insert_nodes(
+        "L",
+        (0..10i64).map(|i| record! {"a" => i, "b" => i * 2}),
+    )
+    .unwrap();
+    // Rebinding t to a projection hides the original properties.
+    let out = g
+        .query("MATCH(t: L) WITH t{'a': t.a} WITH t WHERE t.b = 4 RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(0)]); // b no longer exists after projection
+    let out = g
+        .query("MATCH(t: L) WITH t{'a': t.a} WITH t WHERE t.a = 4 RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(1)]);
+}
+
+#[test]
+fn aggregation_over_empty_selection_yields_row() {
+    let g = GraphStore::new();
+    g.insert_nodes("L", (0..5i64).map(|i| record! {"a" => i}))
+        .unwrap();
+    let out = g
+        .query("MATCH(t: L) WITH t WHERE t.a > 100 WITH {'m': max(t.a)} AS t RETURN t")
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].get_path("m"), Value::Null);
+}
+
+#[test]
+fn grouped_aggregation_orders_by_key() {
+    let g = GraphStore::new();
+    g.insert_nodes("L", (0..12i64).map(|i| record! {"g" => i % 3, "v" => i}))
+        .unwrap();
+    let out = g
+        .query("MATCH(t: L) WITH {'g': t.g, 's': sum(t.v)} AS t RETURN t")
+        .unwrap();
+    let keys: Vec<i64> = out.iter().map(|r| r.get_path("g").as_i64().unwrap()).collect();
+    assert_eq!(keys, vec![0, 1, 2]);
+    assert_eq!(out[0].get_path("s"), Value::Int(0 + 3 + 6 + 9));
+}
+
+#[test]
+fn limit_applies_after_order() {
+    let g = GraphStore::new();
+    g.insert_nodes("L", (0..50i64).map(|i| record! {"a" => i}))
+        .unwrap();
+    let out = g
+        .query("MATCH(t: L) WITH t ORDER BY t.a RETURN t.a AS a LIMIT 2")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(0), Value::Int(1)]);
+}
+
+#[test]
+fn semantic_errors() {
+    let g = GraphStore::new();
+    g.insert_nodes("L", vec![record! {"a" => 1i64}]).unwrap();
+    // Unknown label.
+    assert!(matches!(
+        g.query("MATCH(t: Ghost) RETURN COUNT(*) AS t"),
+        Err(GraphError::UnknownLabel(_))
+    ));
+    // Unbound variable.
+    assert!(g
+        .query("MATCH(t: L) WITH t WHERE z.a = 1 RETURN COUNT(*) AS t")
+        .is_err());
+    // Aggregate outside an aggregation map.
+    assert!(g
+        .query("MATCH(t: L) WITH t WHERE max(t.a) = 1 RETURN COUNT(*) AS t")
+        .is_err());
+}
+
+#[test]
+fn join_without_index_falls_back_to_scan() {
+    let g = GraphStore::new();
+    g.insert_nodes("A", (0..20i64).map(|i| record! {"k" => i}))
+        .unwrap();
+    g.insert_nodes("B", (0..10i64).map(|i| record! {"k" => i}))
+        .unwrap();
+    // No index on B.k — the join still answers correctly.
+    let out = g
+        .query("MATCH(t: A)\n MATCH (t), (r:B)\n WHERE t.k = r.k\n WITH t{.*, r}\n RETURN COUNT(*) AS t")
+        .unwrap();
+    assert_eq!(out, vec![Value::Int(10)]);
+}
+
+#[test]
+fn boolean_and_double_properties_round_trip() {
+    let g = GraphStore::new();
+    g.insert_nodes(
+        "L",
+        vec![record! {"flag" => true, "score" => 2.5, "n" => Value::Null}],
+    )
+    .unwrap();
+    let out = g.query("MATCH(t: L) RETURN t").unwrap();
+    assert_eq!(out[0].get_path("flag"), Value::Bool(true));
+    assert_eq!(out[0].get_path("score"), Value::Double(2.5));
+    assert_eq!(out[0].get_path("n"), Value::Null);
+}

@@ -1,0 +1,187 @@
+//! Abstract syntax tree for the SQL / SQL++ subset.
+
+use polyframe_datamodel::Value;
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// `SELECT VALUE` (SQL++ only): the single item is the row itself.
+    pub value_mode: bool,
+    /// `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Select list.
+    pub items: Vec<SelectItem>,
+    /// `FROM` clause (optional: `SELECT 1` is legal).
+    pub from: Option<FromClause>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<AstExpr>,
+    /// `GROUP BY` keys.
+    pub group_by: Vec<AstExpr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT` row count.
+    pub limit: Option<u64>,
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Sort expression.
+    pub expr: AstExpr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// One entry of a select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// `t.*`
+    QualifiedStar(String),
+    /// `expr [AS alias]`
+    Expr {
+        /// The projected expression.
+        expr: AstExpr,
+        /// Optional output name.
+        alias: Option<String>,
+    },
+}
+
+/// `FROM` clause: one base item plus any number of joins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    /// The first (leftmost) item.
+    pub first: FromItem,
+    /// Subsequent `JOIN ... ON ...` clauses.
+    pub joins: Vec<JoinClause>,
+}
+
+/// One join.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Join type.
+    pub kind: JoinKind,
+    /// The joined item.
+    pub item: FromItem,
+    /// The `ON` condition.
+    pub on: AstExpr,
+}
+
+/// Supported join types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT JOIN`
+    Left,
+}
+
+/// A `FROM` item: a named dataset or a parenthesized subquery.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// `Namespace.Dataset [alias]` (a single-part name uses the default
+    /// namespace).
+    Dataset {
+        /// Dotted name parts.
+        path: Vec<String>,
+        /// Binding alias.
+        alias: Option<String>,
+    },
+    /// `( SELECT ... ) alias`
+    Subquery {
+        /// The nested query.
+        query: Box<SelectStmt>,
+        /// Binding alias.
+        alias: Option<String>,
+    },
+}
+
+impl FromItem {
+    /// The binding name this item introduces (alias, or last path part).
+    pub fn binding(&self) -> Option<&str> {
+        match self {
+            FromItem::Dataset { path, alias } => {
+                alias.as_deref().or_else(|| path.last().map(String::as_str))
+            }
+            FromItem::Subquery { alias, .. } => alias.as_deref(),
+        }
+    }
+}
+
+/// Expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Dotted path: `x`, `t.x` — resolution against FROM bindings happens
+    /// during planning.
+    Path(Vec<String>),
+    /// Literal value.
+    Lit(Value),
+    /// `*` (only valid inside `COUNT(*)`).
+    Star,
+    /// Unary operator.
+    Unary(UnaryOp, Box<AstExpr>),
+    /// Binary operator.
+    Binary(BinOp, Box<AstExpr>, Box<AstExpr>),
+    /// Function call (scalar or aggregate; classified during planning).
+    Func {
+        /// Upper-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+    },
+    /// `expr IS [NOT] NULL/MISSING/UNKNOWN`.
+    Is(Box<AstExpr>, IsKind, bool),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical NOT.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// The three `IS` predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IsKind {
+    /// `IS NULL` — in SQL++, true only for explicit nulls; in SQL it is the
+    /// only unknown-test and covers both unknown states.
+    Null,
+    /// `IS MISSING` (SQL++) — true only for absent fields.
+    Missing,
+    /// `IS UNKNOWN` (SQL++) — true for null or missing.
+    Unknown,
+}

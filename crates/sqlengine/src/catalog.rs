@@ -1,0 +1,85 @@
+//! The engine's catalog: namespaces ("dataverses" in AsterixDB parlance,
+//! "schemas" in PostgreSQL) containing tables.
+
+use crate::error::{EngineError, Result};
+use polyframe_storage::{Table, TableOptions};
+use std::collections::HashMap;
+
+/// All data managed by one engine instance.
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: HashMap<(String, String), Table>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Create a dataset. Replaces any existing dataset of the same name.
+    pub fn create_dataset(
+        &mut self,
+        namespace: &str,
+        dataset: &str,
+        options: TableOptions,
+    ) -> &mut Table {
+        let key = (namespace.to_string(), dataset.to_string());
+        self.tables
+            .insert(key.clone(), Table::new(format!("{namespace}.{dataset}"), options));
+        self.tables.get_mut(&key).unwrap()
+    }
+
+    /// Look a dataset up.
+    pub fn dataset(&self, namespace: &str, dataset: &str) -> Result<&Table> {
+        self.tables
+            .get(&(namespace.to_string(), dataset.to_string()))
+            .ok_or_else(|| EngineError::UnknownDataset {
+                namespace: namespace.to_string(),
+                dataset: dataset.to_string(),
+            })
+    }
+
+    /// Mutable dataset lookup.
+    pub fn dataset_mut(&mut self, namespace: &str, dataset: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(&(namespace.to_string(), dataset.to_string()))
+            .ok_or_else(|| EngineError::UnknownDataset {
+                namespace: namespace.to_string(),
+                dataset: dataset.to_string(),
+            })
+    }
+
+    /// True when the dataset exists.
+    pub fn contains(&self, namespace: &str, dataset: &str) -> bool {
+        self.tables
+            .contains_key(&(namespace.to_string(), dataset.to_string()))
+    }
+
+    /// Iterate `(namespace, dataset)` names.
+    pub fn dataset_names(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.tables.keys().map(|(ns, ds)| (ns.as_str(), ds.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    #[test]
+    fn create_and_lookup() {
+        let mut db = Database::new();
+        db.create_dataset("Test", "Users", TableOptions::default());
+        assert!(db.contains("Test", "Users"));
+        assert!(!db.contains("Test", "Ghosts"));
+        db.dataset_mut("Test", "Users")
+            .unwrap()
+            .insert(record! {"id" => 1i64});
+        assert_eq!(db.dataset("Test", "Users").unwrap().len(), 1);
+        assert!(matches!(
+            db.dataset("Nope", "Users"),
+            Err(EngineError::UnknownDataset { .. })
+        ));
+    }
+}

@@ -1,0 +1,53 @@
+//! SQL vs SQL++ dialect switches.
+
+/// The two query languages one engine instance can speak.
+///
+/// The grammar differences the PolyFrame-generated queries exercise:
+///
+/// * `SELECT VALUE expr` exists only in SQL++ and produces *bare* values
+///   rather than single-column records.
+/// * In SQL, double quotes delimit identifiers (`"twentyPercent"`); in
+///   SQL++ they delimit strings, and backticks delimit identifiers.
+/// * SQL++ has `IS UNKNOWN`/`IS MISSING` in addition to `IS NULL`; plain
+///   SQL only has `IS NULL` (absent fields cannot occur in a relational
+///   row, so `IS NULL` covers the "unknown" case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dialect {
+    /// Standard SQL (the PostgreSQL / Greenplum surface).
+    Sql,
+    /// SQL++ (the AsterixDB surface).
+    SqlPlusPlus,
+}
+
+impl Dialect {
+    /// Whether `SELECT VALUE` is accepted.
+    pub fn supports_select_value(self) -> bool {
+        matches!(self, Dialect::SqlPlusPlus)
+    }
+
+    /// Whether a double-quoted token is an identifier (true for SQL) or a
+    /// string literal (SQL++).
+    pub fn double_quote_is_identifier(self) -> bool {
+        matches!(self, Dialect::Sql)
+    }
+
+    /// Whether `IS MISSING` / `IS UNKNOWN` are accepted.
+    pub fn supports_missing(self) -> bool {
+        matches!(self, Dialect::SqlPlusPlus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dialect_flags() {
+        assert!(Dialect::SqlPlusPlus.supports_select_value());
+        assert!(!Dialect::Sql.supports_select_value());
+        assert!(Dialect::Sql.double_quote_is_identifier());
+        assert!(!Dialect::SqlPlusPlus.double_quote_is_identifier());
+        assert!(Dialect::SqlPlusPlus.supports_missing());
+        assert!(!Dialect::Sql.supports_missing());
+    }
+}

@@ -1,0 +1,381 @@
+//! The engine facade: text in, rows out.
+
+use crate::catalog::Database;
+use crate::dialect::Dialect;
+use crate::error::Result;
+use crate::exec::Executor;
+use crate::parser::parse;
+use crate::personality::Personality;
+use crate::plan::builder::build_logical;
+use crate::plan::logical::LogicalPlan;
+use crate::plan::optimizer::optimize;
+use crate::plan::physical::{plan_physical, PhysicalPlan, PlannerOptions};
+use parking_lot::RwLock;
+use polyframe_datamodel::{Record, Value};
+use polyframe_storage::TableOptions;
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Query language spoken by this engine.
+    pub dialect: Dialect,
+    /// Feature flags of the impersonated system.
+    pub personality: Personality,
+    /// Namespace used for single-part dataset names.
+    pub default_namespace: String,
+    /// Master index-selection switch (ablation benchmarks flip this off).
+    pub use_indexes: bool,
+}
+
+impl EngineConfig {
+    /// AsterixDB: SQL++ with the AsterixDB personality.
+    pub fn asterixdb() -> EngineConfig {
+        EngineConfig {
+            dialect: Dialect::SqlPlusPlus,
+            personality: Personality::asterixdb(),
+            default_namespace: "Default".to_string(),
+            use_indexes: true,
+        }
+    }
+
+    /// PostgreSQL 12: SQL with the modern PostgreSQL personality.
+    pub fn postgres() -> EngineConfig {
+        EngineConfig {
+            dialect: Dialect::Sql,
+            personality: Personality::postgres12(),
+            default_namespace: "public".to_string(),
+            use_indexes: true,
+        }
+    }
+
+    /// Greenplum segment: SQL with the PostgreSQL 9.5 personality.
+    pub fn greenplum() -> EngineConfig {
+        EngineConfig {
+            dialect: Dialect::Sql,
+            personality: Personality::postgres95(),
+            default_namespace: "public".to_string(),
+            use_indexes: true,
+        }
+    }
+}
+
+/// One database engine instance (an "AsterixDB cluster controller" or a
+/// "postgres server", depending on its config).
+pub struct Engine {
+    config: EngineConfig,
+    db: RwLock<Database>,
+}
+
+impl Engine {
+    /// Create an empty engine.
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine {
+            config,
+            db: RwLock::new(Database::new()),
+        }
+    }
+
+    /// This engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Create a dataset.
+    pub fn create_dataset(&self, namespace: &str, dataset: &str, primary_key: Option<&str>) {
+        let options = TableOptions {
+            primary_key: primary_key.map(str::to_string),
+            secondary_null_policy: self.config.personality.secondary_null_policy(),
+        };
+        self.db.write().create_dataset(namespace, dataset, options);
+    }
+
+    /// Bulk-load records into a dataset.
+    pub fn load(&self, namespace: &str, dataset: &str, records: impl IntoIterator<Item = Record>) -> Result<()> {
+        let mut db = self.db.write();
+        let table = db.dataset_mut(namespace, dataset)?;
+        table.insert_all(records);
+        Ok(())
+    }
+
+    /// Create a secondary index.
+    pub fn create_index(&self, namespace: &str, dataset: &str, attribute: &str) -> Result<String> {
+        let mut db = self.db.write();
+        Ok(db.dataset_mut(namespace, dataset)?.create_index(attribute))
+    }
+
+    /// Number of records in a dataset.
+    pub fn dataset_len(&self, namespace: &str, dataset: &str) -> Result<usize> {
+        Ok(self.db.read().dataset(namespace, dataset)?.len())
+    }
+
+    /// Parse, plan, optimize and execute a query.
+    pub fn query(&self, sql: &str) -> Result<Vec<Value>> {
+        let logical = self.compile_to_logical(sql)?;
+        self.execute_logical(&logical)
+    }
+
+    /// Compile query text to an optimized logical plan (runs the full
+    /// optimizer-pass count of this engine's personality — the paper's
+    /// query-preparation overhead lives here).
+    pub fn compile_to_logical(&self, sql: &str) -> Result<LogicalPlan> {
+        let stmt = parse(sql, self.config.dialect)?;
+        let logical = build_logical(&stmt, &self.config.default_namespace)?;
+        Ok(optimize(logical, self.config.personality.optimizer_passes))
+    }
+
+    /// Plan and execute a pre-built logical plan (used by the cluster layer).
+    pub fn execute_logical(&self, logical: &LogicalPlan) -> Result<Vec<Value>> {
+        let db = self.db.read();
+        let physical = plan_physical(
+            logical,
+            &db,
+            &PlannerOptions {
+                personality: self.config.personality.clone(),
+                use_indexes: self.config.use_indexes,
+            },
+        )?;
+        Executor::new(&db).run(&physical)
+    }
+
+    /// Return the physical plan chosen for `sql`, as an EXPLAIN-style tree.
+    pub fn explain(&self, sql: &str) -> Result<String> {
+        let logical = self.compile_to_logical(sql)?;
+        let db = self.db.read();
+        let physical = plan_physical(
+            &logical,
+            &db,
+            &PlannerOptions {
+                personality: self.config.personality.clone(),
+                use_indexes: self.config.use_indexes,
+            },
+        )?;
+        Ok(physical.display())
+    }
+
+    /// Compile to a physical plan without executing (exposed for tests).
+    pub fn compile_to_physical(&self, sql: &str) -> Result<PhysicalPlan> {
+        let logical = self.compile_to_logical(sql)?;
+        let db = self.db.read();
+        plan_physical(
+            &logical,
+            &db,
+            &PlannerOptions {
+                personality: self.config.personality.clone(),
+                use_indexes: self.config.use_indexes,
+            },
+        )
+    }
+
+    /// Index point-probe used by the cluster layer's cross-shard joins:
+    /// records of `dataset` whose `attribute` equals `key`.
+    pub fn probe_index(
+        &self,
+        namespace: &str,
+        dataset: &str,
+        attribute: &str,
+        key: &Value,
+    ) -> Result<Vec<Record>> {
+        let db = self.db.read();
+        let table = db.dataset(namespace, dataset)?;
+        match table.index_on(attribute) {
+            Some(ix) => Ok(ix
+                .lookup(key)
+                .into_iter()
+                .filter_map(|rid| table.get(rid).cloned())
+                .collect()),
+            None => Ok(table
+                .heap()
+                .scan()
+                .filter(|(_, r)| {
+                    polyframe_datamodel::sql_eq(&r.get_or_missing(attribute), key).is_true()
+                })
+                .map(|(_, r)| r.clone())
+                .collect()),
+        }
+    }
+
+    /// All (known) keys of an index in sorted order — the index-only key
+    /// extraction the cluster layer's repartition join uses.
+    pub fn index_keys(&self, namespace: &str, dataset: &str, attribute: &str) -> Result<Vec<Value>> {
+        let db = self.db.read();
+        let table = db.dataset(namespace, dataset)?;
+        match table.index_on(attribute) {
+            Some(ix) => Ok(ix
+                .scan(
+                    &polyframe_storage::ScanRange::all(),
+                    polyframe_storage::Direction::Forward,
+                )
+                .map(|(k, _)| k.clone())
+                .filter(|k| !k.is_unknown())
+                .collect()),
+            None => {
+                let mut keys: Vec<Value> = table
+                    .heap()
+                    .scan()
+                    .map(|(_, r)| r.get_or_missing(attribute))
+                    .filter(|k| !k.is_unknown())
+                    .collect();
+                keys.sort_by(polyframe_datamodel::cmp_total);
+                Ok(keys)
+            }
+        }
+    }
+
+    /// Count of index entries matching `key` (index-only cross-shard probe).
+    pub fn probe_index_count(
+        &self,
+        namespace: &str,
+        dataset: &str,
+        attribute: &str,
+        key: &Value,
+    ) -> Result<usize> {
+        let db = self.db.read();
+        let table = db.dataset(namespace, dataset)?;
+        match table.index_on(attribute) {
+            Some(ix) => Ok(ix.lookup(key).len()),
+            None => Ok(table
+                .heap()
+                .scan()
+                .filter(|(_, r)| {
+                    polyframe_datamodel::sql_eq(&r.get_or_missing(attribute), key).is_true()
+                })
+                .count()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    fn users_engine(config: EngineConfig) -> Engine {
+        let engine = Engine::new(config);
+        engine.create_dataset("Test", "Users", Some("id"));
+        let langs = ["en", "fr", "en", "de", "en"];
+        engine
+            .load(
+                "Test",
+                "Users",
+                (0..50i64).map(|i| {
+                    record! {
+                        "id" => i,
+                        "name" => format!("user{i}"),
+                        "address" => format!("{i} main st"),
+                        "lang" => langs[(i % 5) as usize],
+                        "age" => 20 + (i % 30),
+                    }
+                }),
+            )
+            .unwrap();
+        engine
+    }
+
+    #[test]
+    fn sqlpp_end_to_end() {
+        let e = users_engine(EngineConfig::asterixdb());
+        let rows = e
+            .query("SELECT VALUE COUNT(*) FROM Test.Users")
+            .unwrap();
+        assert_eq!(rows, vec![Value::Int(50)]);
+
+        let rows = e
+            .query(
+                "SELECT t.name, t.address FROM (SELECT VALUE t FROM (SELECT VALUE t FROM Test.Users t) t WHERE t.lang = \"en\") t LIMIT 10;",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+        assert!(rows[0].get_path("name").as_str().is_some());
+        assert!(rows[0].get_path("lang").is_missing());
+    }
+
+    #[test]
+    fn sql_end_to_end() {
+        let e = users_engine(EngineConfig::postgres());
+        let rows = e
+            .query("SELECT COUNT(*) FROM (SELECT * FROM Test.Users) t")
+            .unwrap();
+        assert_eq!(rows[0].get_path("count"), Value::Int(50));
+
+        let rows = e
+            .query(
+                "SELECT t.name FROM (SELECT * FROM (SELECT * FROM Test.Users t) t WHERE t.lang = 'en') t LIMIT 3",
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let e = users_engine(EngineConfig::postgres());
+        let rows = e
+            .query("SELECT MAX(\"age\") FROM (SELECT age FROM (SELECT * FROM Test.Users) t) t")
+            .unwrap();
+        assert_eq!(rows[0].get_path("max"), Value::Int(49));
+
+        let rows = e
+            .query("SELECT \"lang\", COUNT(\"lang\") AS cnt FROM (SELECT * FROM Test.Users) t GROUP BY \"lang\"")
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        let en = rows
+            .iter()
+            .find(|r| r.get_path("lang") == Value::str("en"))
+            .unwrap();
+        assert_eq!(en.get_path("cnt"), Value::Int(30));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let e = users_engine(EngineConfig::postgres());
+        let rows = e
+            .query("SELECT * FROM (SELECT * FROM Test.Users) t ORDER BY id DESC LIMIT 5")
+            .unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].get_path("id"), Value::Int(49));
+        assert_eq!(rows[4].get_path("id"), Value::Int(45));
+    }
+
+    #[test]
+    fn join_count() {
+        let e = users_engine(EngineConfig::asterixdb());
+        let rows = e
+            .query(
+                "SELECT VALUE COUNT(*) FROM (SELECT l, r FROM Test.Users l JOIN Test.Users r ON l.id = r.id) t",
+            )
+            .unwrap();
+        assert_eq!(rows, vec![Value::Int(50)]);
+    }
+
+    #[test]
+    fn explain_shows_plan_choice() {
+        let e = users_engine(EngineConfig::asterixdb());
+        let plan = e.explain("SELECT VALUE COUNT(*) FROM Test.Users").unwrap();
+        assert!(plan.contains("PrimaryIndexCount"), "plan: {plan}");
+
+        let pg = users_engine(EngineConfig::postgres());
+        let plan = pg
+            .explain("SELECT COUNT(*) FROM (SELECT * FROM Test.Users) t")
+            .unwrap();
+        assert!(plan.contains("SeqScan"), "plan: {plan}");
+    }
+
+    #[test]
+    fn probe_index() {
+        let e = users_engine(EngineConfig::postgres());
+        let recs = e
+            .probe_index("Test", "Users", "id", &Value::Int(7))
+            .unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(
+            e.probe_index_count("Test", "Users", "lang", &Value::str("en"))
+                .unwrap(),
+            30
+        );
+    }
+
+    #[test]
+    fn unknown_dataset_error() {
+        let e = Engine::new(EngineConfig::postgres());
+        assert!(e.query("SELECT * FROM nothing").is_err());
+    }
+}

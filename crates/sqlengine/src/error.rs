@@ -1,0 +1,82 @@
+//! Engine error type.
+
+use std::fmt;
+
+/// Errors surfaced by the SQL/SQL++ engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Lexical error (bad character, unterminated string, ...).
+    Lex {
+        /// Byte offset of the failure.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Syntax error from the parser.
+    Parse {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Semantic error while building the logical plan (unknown dataset,
+    /// unresolvable alias, misplaced aggregate, ...).
+    Plan {
+        /// Human-readable description.
+        message: String,
+    },
+    /// Runtime error during execution.
+    Exec {
+        /// Human-readable description.
+        message: String,
+    },
+    /// The referenced dataset does not exist.
+    UnknownDataset {
+        /// Namespace that was searched.
+        namespace: String,
+        /// The missing dataset's name.
+        dataset: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Lex { offset, message } => {
+                write!(f, "lexical error at byte {offset}: {message}")
+            }
+            EngineError::Parse { message } => write!(f, "syntax error: {message}"),
+            EngineError::Plan { message } => write!(f, "planning error: {message}"),
+            EngineError::Exec { message } => write!(f, "execution error: {message}"),
+            EngineError::UnknownDataset { namespace, dataset } => {
+                write!(f, "unknown dataset: {namespace}.{dataset}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl EngineError {
+    /// Shorthand constructor for planning errors.
+    pub fn plan(message: impl Into<String>) -> EngineError {
+        EngineError::Plan {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand constructor for execution errors.
+    pub fn exec(message: impl Into<String>) -> EngineError {
+        EngineError::Exec {
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand constructor for parse errors.
+    pub fn parse(message: impl Into<String>) -> EngineError {
+        EngineError::Parse {
+            message: message.into(),
+        }
+    }
+}
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

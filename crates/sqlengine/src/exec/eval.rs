@@ -1,0 +1,360 @@
+//! Scalar expression evaluation over rows.
+
+use crate::ast::{BinOp, IsKind, UnaryOp};
+use crate::error::{EngineError, Result};
+use crate::plan::logical::{Scalar, ScalarFunc};
+use polyframe_datamodel::{sql_compare, Record, TriBool, Value};
+use std::cmp::Ordering;
+
+/// Evaluate `scalar` against one row.
+pub fn eval(scalar: &Scalar, row: &Value) -> Result<Value> {
+    match scalar {
+        Scalar::Input => Ok(row.clone()),
+        Scalar::Field(f) => Ok(row.get_path(f)),
+        Scalar::FieldOf(b, f) => Ok(row.get_path(b).get_path(f)),
+        Scalar::BindingRef(b) => Ok(row.get_path(b)),
+        Scalar::Lit(v) => Ok(v.clone()),
+        Scalar::Un(op, a) => {
+            let v = eval(a, row)?;
+            match op {
+                UnaryOp::Not => Ok(truthy(&v).not().to_value()),
+                UnaryOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Double(d) => Ok(Value::Double(-d)),
+                    Value::Missing => Ok(Value::Missing),
+                    Value::Null => Ok(Value::Null),
+                    other => Err(EngineError::exec(format!(
+                        "cannot negate {}",
+                        other.type_name()
+                    ))),
+                },
+            }
+        }
+        Scalar::Bin(op, a, b) => {
+            let lhs = eval(a, row)?;
+            let rhs = eval(b, row)?;
+            eval_binop(*op, &lhs, &rhs)
+        }
+        Scalar::Call(func, args) => {
+            let vals = args
+                .iter()
+                .map(|a| eval(a, row))
+                .collect::<Result<Vec<_>>>()?;
+            eval_func(*func, &vals)
+        }
+        Scalar::Is(a, kind, negated) => {
+            let v = eval(a, row)?;
+            let hit = match kind {
+                // `IS NULL` follows relational semantics: a field absent
+                // from a loaded JSON record is NULL to SQL. SQL++ callers
+                // that need the distinction use IS MISSING.
+                IsKind::Null => v.is_unknown(),
+                IsKind::Missing => v.is_missing(),
+                IsKind::Unknown => v.is_unknown(),
+            };
+            Ok(Value::Bool(hit != *negated))
+        }
+    }
+}
+
+/// Truthiness under three-valued logic.
+pub fn truthy(v: &Value) -> TriBool {
+    match v {
+        Value::Bool(true) => TriBool::True,
+        Value::Bool(false) => TriBool::False,
+        _ => TriBool::Unknown,
+    }
+}
+
+/// `WHERE`-clause test: evaluate and keep only definite `True`.
+pub fn passes_filter(scalar: &Scalar, row: &Value) -> Result<bool> {
+    Ok(truthy(&eval(scalar, row)?).is_true())
+}
+
+fn eval_binop(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value> {
+    match op {
+        BinOp::And => Ok(truthy(lhs).and(truthy(rhs)).to_value()),
+        BinOp::Or => Ok(truthy(lhs).or(truthy(rhs)).to_value()),
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            if lhs.is_unknown() || rhs.is_unknown() {
+                // Missing dominates null, mirroring SQL++ semantics.
+                return Ok(if lhs.is_missing() || rhs.is_missing() {
+                    Value::Missing
+                } else {
+                    Value::Null
+                });
+            }
+            let cmp = sql_compare(lhs, rhs);
+            let tri = match (op, cmp) {
+                (BinOp::Eq, Some(Ordering::Equal)) => TriBool::True,
+                (BinOp::Eq, Some(_)) => TriBool::False,
+                (BinOp::Ne, Some(Ordering::Equal)) => TriBool::False,
+                (BinOp::Ne, Some(_)) => TriBool::True,
+                (BinOp::Lt, Some(o)) => TriBool::from_bool(o == Ordering::Less),
+                (BinOp::Le, Some(o)) => TriBool::from_bool(o != Ordering::Greater),
+                (BinOp::Gt, Some(o)) => TriBool::from_bool(o == Ordering::Greater),
+                (BinOp::Ge, Some(o)) => TriBool::from_bool(o != Ordering::Less),
+                // Incomparable known values: equality is decidable (false),
+                // ordering is not.
+                (BinOp::Eq, None) => TriBool::False,
+                (BinOp::Ne, None) => TriBool::True,
+                (_, None) => TriBool::Unknown,
+                _ => unreachable!("comparison operators only"),
+            };
+            Ok(tri.to_value())
+        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            if lhs.is_missing() || rhs.is_missing() {
+                return Ok(Value::Missing);
+            }
+            if lhs.is_unknown() || rhs.is_unknown() {
+                return Ok(Value::Null);
+            }
+            arith(op, lhs, rhs)
+        }
+    }
+}
+
+fn arith(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value> {
+    match (lhs, rhs) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            BinOp::Add => Ok(Value::Int(a.wrapping_add(*b))),
+            BinOp::Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            BinOp::Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            BinOp::Div => {
+                if *b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    // SQL++/MongoDB division is exact; keep integers only
+                    // when the division is.
+                    if a % b == 0 {
+                        Ok(Value::Int(a / b))
+                    } else {
+                        Ok(Value::Double(*a as f64 / *b as f64))
+                    }
+                }
+            }
+            BinOp::Mod => {
+                if *b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            _ => unreachable!(),
+        },
+        (a, b) if a.is_numeric() && b.is_numeric() => {
+            let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+            let r = match op {
+                BinOp::Add => x + y,
+                BinOp::Sub => x - y,
+                BinOp::Mul => x * y,
+                BinOp::Div => {
+                    if y == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    x / y
+                }
+                BinOp::Mod => {
+                    if y == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    x % y
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Double(r))
+        }
+        (Value::Str(a), Value::Str(b)) if op == BinOp::Add => Ok(Value::Str(format!("{a}{b}"))),
+        (a, b) => Err(EngineError::exec(format!(
+            "cannot apply {op:?} to {} and {}",
+            a.type_name(),
+            b.type_name()
+        ))),
+    }
+}
+
+fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
+    let arg = args
+        .first()
+        .ok_or_else(|| EngineError::exec("function needs an argument"))?;
+    if arg.is_missing() {
+        return Ok(Value::Missing);
+    }
+    if arg.is_null() {
+        return Ok(Value::Null);
+    }
+    match func {
+        ScalarFunc::Upper => match arg {
+            Value::Str(s) => Ok(Value::Str(s.to_uppercase())),
+            _ => Ok(Value::Null),
+        },
+        ScalarFunc::Lower => match arg {
+            Value::Str(s) => Ok(Value::Str(s.to_lowercase())),
+            _ => Ok(Value::Null),
+        },
+        ScalarFunc::Abs => match arg {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            Value::Double(d) => Ok(Value::Double(d.abs())),
+            _ => Ok(Value::Null),
+        },
+        ScalarFunc::Length => match arg {
+            Value::Str(s) => Ok(Value::Int(s.chars().count() as i64)),
+            Value::Array(a) => Ok(Value::Int(a.len() as i64)),
+            _ => Ok(Value::Null),
+        },
+        ScalarFunc::ToString => Ok(Value::Str(match arg {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        })),
+        ScalarFunc::ToInt => match arg {
+            Value::Int(i) => Ok(Value::Int(*i)),
+            Value::Double(d) => Ok(Value::Int(*d as i64)),
+            Value::Str(s) => Ok(s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)),
+            Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
+            _ => Ok(Value::Null),
+        },
+    }
+}
+
+/// Build a record row from `(name, value)` pairs (helper for projections).
+pub fn make_record(fields: impl IntoIterator<Item = (String, Value)>) -> Value {
+    let mut r = Record::new();
+    for (k, v) in fields {
+        r.insert(k, v);
+    }
+    Value::Obj(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    fn row() -> Value {
+        Value::Obj(record! {"a" => 5i64, "s" => "abc", "n" => Value::Null})
+    }
+
+    #[test]
+    fn field_access() {
+        assert_eq!(
+            eval(&Scalar::Field("a".into()), &row()).unwrap(),
+            Value::Int(5)
+        );
+        assert_eq!(
+            eval(&Scalar::Field("zzz".into()), &row()).unwrap(),
+            Value::Missing
+        );
+        assert_eq!(eval(&Scalar::Input, &row()).unwrap(), row());
+    }
+
+    #[test]
+    fn comparisons_with_unknowns() {
+        let cmp = Scalar::eq(Scalar::Field("n".into()), Scalar::Lit(Value::Int(1)));
+        assert_eq!(eval(&cmp, &row()).unwrap(), Value::Null);
+        let cmp2 = Scalar::eq(Scalar::Field("zz".into()), Scalar::Lit(Value::Int(1)));
+        assert_eq!(eval(&cmp2, &row()).unwrap(), Value::Missing);
+        assert!(!passes_filter(&cmp, &row()).unwrap());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = |op| {
+            Scalar::Bin(
+                op,
+                Box::new(Scalar::Field("a".into())),
+                Box::new(Scalar::Lit(Value::Int(2))),
+            )
+        };
+        assert_eq!(eval(&e(BinOp::Add), &row()).unwrap(), Value::Int(7));
+        assert_eq!(eval(&e(BinOp::Mul), &row()).unwrap(), Value::Int(10));
+        assert_eq!(eval(&e(BinOp::Mod), &row()).unwrap(), Value::Int(1));
+        assert_eq!(eval(&e(BinOp::Div), &row()).unwrap(), Value::Double(2.5));
+        let exact = Scalar::Bin(
+            BinOp::Div,
+            Box::new(Scalar::Lit(Value::Int(10))),
+            Box::new(Scalar::Lit(Value::Int(2))),
+        );
+        assert_eq!(eval(&exact, &row()).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let e = Scalar::Bin(
+            BinOp::Div,
+            Box::new(Scalar::Lit(Value::Int(1))),
+            Box::new(Scalar::Lit(Value::Int(0))),
+        );
+        assert_eq!(eval(&e, &row()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn string_functions() {
+        let up = Scalar::Call(ScalarFunc::Upper, vec![Scalar::Field("s".into())]);
+        assert_eq!(eval(&up, &row()).unwrap(), Value::str("ABC"));
+        let up_null = Scalar::Call(ScalarFunc::Upper, vec![Scalar::Field("n".into())]);
+        assert_eq!(eval(&up_null, &row()).unwrap(), Value::Null);
+        let len = Scalar::Call(ScalarFunc::Length, vec![Scalar::Field("s".into())]);
+        assert_eq!(eval(&len, &row()).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn conversions() {
+        let ts = Scalar::Call(ScalarFunc::ToString, vec![Scalar::Field("a".into())]);
+        assert_eq!(eval(&ts, &row()).unwrap(), Value::str("5"));
+        let ti = Scalar::Call(ScalarFunc::ToInt, vec![Scalar::Lit(Value::str("42"))]);
+        assert_eq!(eval(&ti, &row()).unwrap(), Value::Int(42));
+        let bad = Scalar::Call(ScalarFunc::ToInt, vec![Scalar::Lit(Value::str("x"))]);
+        assert_eq!(eval(&bad, &row()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn is_predicates() {
+        let isnull = Scalar::Is(Box::new(Scalar::Field("n".into())), IsKind::Null, false);
+        assert_eq!(eval(&isnull, &row()).unwrap(), Value::Bool(true));
+        let ismissing = Scalar::Is(Box::new(Scalar::Field("n".into())), IsKind::Missing, false);
+        assert_eq!(eval(&ismissing, &row()).unwrap(), Value::Bool(false));
+        let isunk = Scalar::Is(Box::new(Scalar::Field("gone".into())), IsKind::Unknown, false);
+        assert_eq!(eval(&isunk, &row()).unwrap(), Value::Bool(true));
+        let neg = Scalar::Is(Box::new(Scalar::Field("a".into())), IsKind::Unknown, true);
+        assert_eq!(eval(&neg, &row()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn logic_three_valued() {
+        let unknown_and_false = Scalar::Bin(
+            BinOp::And,
+            Box::new(Scalar::Field("n".into())),
+            Box::new(Scalar::Lit(Value::Bool(false))),
+        );
+        assert_eq!(eval(&unknown_and_false, &row()).unwrap(), Value::Bool(false));
+        let unknown_or_true = Scalar::Bin(
+            BinOp::Or,
+            Box::new(Scalar::Field("n".into())),
+            Box::new(Scalar::Lit(Value::Bool(true))),
+        );
+        assert_eq!(eval(&unknown_or_true, &row()).unwrap(), Value::Bool(true));
+        let not_unknown = Scalar::Un(UnaryOp::Not, Box::new(Scalar::Field("n".into())));
+        assert_eq!(eval(&not_unknown, &row()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn string_concat() {
+        let e = Scalar::Bin(
+            BinOp::Add,
+            Box::new(Scalar::Lit(Value::str("a"))),
+            Box::new(Scalar::Lit(Value::str("b"))),
+        );
+        assert_eq!(eval(&e, &row()).unwrap(), Value::str("ab"));
+    }
+
+    #[test]
+    fn type_errors() {
+        let e = Scalar::Bin(
+            BinOp::Sub,
+            Box::new(Scalar::Lit(Value::str("a"))),
+            Box::new(Scalar::Lit(Value::Int(1))),
+        );
+        assert!(eval(&e, &row()).is_err());
+    }
+}

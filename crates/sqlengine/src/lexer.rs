@@ -1,0 +1,310 @@
+//! Dialect-aware lexer for SQL and SQL++.
+
+use crate::dialect::Dialect;
+use crate::error::{EngineError, Result};
+use crate::token::Token;
+
+/// Tokenize `input` under the given dialect.
+///
+/// Dialect differences:
+/// * `"..."` is a quoted identifier in SQL but a string literal in SQL++;
+/// * `` `...` `` is a quoted identifier in SQL++;
+/// * `'...'` is a string literal in both.
+pub fn tokenize(input: &str, dialect: Dialect) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => pos += 1,
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                // Line comment.
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            b'(' => {
+                out.push(Token::LParen);
+                pos += 1;
+            }
+            b')' => {
+                out.push(Token::RParen);
+                pos += 1;
+            }
+            b',' => {
+                out.push(Token::Comma);
+                pos += 1;
+            }
+            b'.' => {
+                out.push(Token::Dot);
+                pos += 1;
+            }
+            b';' => {
+                out.push(Token::Semicolon);
+                pos += 1;
+            }
+            b'*' => {
+                out.push(Token::Star);
+                pos += 1;
+            }
+            b'+' => {
+                out.push(Token::Plus);
+                pos += 1;
+            }
+            b'-' => {
+                out.push(Token::Minus);
+                pos += 1;
+            }
+            b'/' => {
+                out.push(Token::Slash);
+                pos += 1;
+            }
+            b'%' => {
+                out.push(Token::Percent);
+                pos += 1;
+            }
+            b'=' => {
+                pos += if bytes.get(pos + 1) == Some(&b'=') { 2 } else { 1 };
+                out.push(Token::Eq);
+            }
+            b'!' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ne);
+                    pos += 2;
+                } else {
+                    return Err(EngineError::Lex {
+                        offset: pos,
+                        message: "unexpected '!'".to_string(),
+                    });
+                }
+            }
+            b'<' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    pos += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Ne);
+                    pos += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    pos += 1;
+                }
+            },
+            b'>' => {
+                if bytes.get(pos + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    pos += 2;
+                } else {
+                    out.push(Token::Gt);
+                    pos += 1;
+                }
+            }
+            b'\'' => {
+                let (s, new_pos) = lex_quoted(bytes, pos, b'\'')?;
+                out.push(Token::Str(s));
+                pos = new_pos;
+            }
+            b'"' => {
+                let (s, new_pos) = lex_quoted(bytes, pos, b'"')?;
+                if dialect.double_quote_is_identifier() {
+                    out.push(Token::QuotedIdent(s));
+                } else {
+                    out.push(Token::Str(s));
+                }
+                pos = new_pos;
+            }
+            b'`' => {
+                let (s, new_pos) = lex_quoted(bytes, pos, b'`')?;
+                out.push(Token::QuotedIdent(s));
+                pos = new_pos;
+            }
+            b'0'..=b'9' => {
+                let (tok, new_pos) = lex_number(bytes, pos)?;
+                out.push(tok);
+                pos = new_pos;
+            }
+            b if b.is_ascii_alphabetic() || b == b'_' || b == b'$' => {
+                let start = pos;
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric()
+                        || bytes[pos] == b'_'
+                        || bytes[pos] == b'$')
+                {
+                    pos += 1;
+                }
+                out.push(Token::Ident(
+                    std::str::from_utf8(&bytes[start..pos]).unwrap().to_string(),
+                ));
+            }
+            other => {
+                return Err(EngineError::Lex {
+                    offset: pos,
+                    message: format!("unexpected character {:?}", other as char),
+                })
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+fn lex_quoted(bytes: &[u8], start: usize, quote: u8) -> Result<(String, usize)> {
+    let mut pos = start + 1;
+    let mut s = String::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b == quote {
+            // Doubled quote = escaped quote (SQL style).
+            if bytes.get(pos + 1) == Some(&quote) {
+                s.push(quote as char);
+                pos += 2;
+                continue;
+            }
+            return Ok((s, pos + 1));
+        }
+        if b == b'\\' && pos + 1 < bytes.len() {
+            // Backslash escapes (SQL++ string style).
+            let next = bytes[pos + 1];
+            match next {
+                b'n' => s.push('\n'),
+                b't' => s.push('\t'),
+                b'\\' => s.push('\\'),
+                q if q == quote => s.push(quote as char),
+                other => {
+                    s.push('\\');
+                    s.push(other as char);
+                }
+            }
+            pos += 2;
+            continue;
+        }
+        if b < 0x80 {
+            s.push(b as char);
+            pos += 1;
+        } else {
+            let width = if b >= 0xF0 {
+                4
+            } else if b >= 0xE0 {
+                3
+            } else {
+                2
+            };
+            let end = (pos + width).min(bytes.len());
+            s.push_str(std::str::from_utf8(&bytes[pos..end]).map_err(|_| EngineError::Lex {
+                offset: pos,
+                message: "invalid UTF-8".to_string(),
+            })?);
+            pos = end;
+        }
+    }
+    Err(EngineError::Lex {
+        offset: start,
+        message: "unterminated quoted token".to_string(),
+    })
+}
+
+fn lex_number(bytes: &[u8], start: usize) -> Result<(Token, usize)> {
+    let mut pos = start;
+    while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+        pos += 1;
+    }
+    let mut is_float = false;
+    if pos < bytes.len() && bytes[pos] == b'.' && bytes.get(pos + 1).is_some_and(u8::is_ascii_digit)
+    {
+        is_float = true;
+        pos += 1;
+        while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+            pos += 1;
+        }
+    }
+    if pos < bytes.len() && (bytes[pos] == b'e' || bytes[pos] == b'E') {
+        is_float = true;
+        pos += 1;
+        if pos < bytes.len() && (bytes[pos] == b'+' || bytes[pos] == b'-') {
+            pos += 1;
+        }
+        while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+            pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..pos]).unwrap();
+    let tok = if is_float {
+        Token::Double(text.parse().map_err(|e| EngineError::Lex {
+            offset: start,
+            message: format!("bad number: {e}"),
+        })?)
+    } else {
+        Token::Int(text.parse().map_err(|e| EngineError::Lex {
+            offset: start,
+            message: format!("bad number: {e}"),
+        })?)
+    };
+    Ok((tok, pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("SELECT t.x, 42 FROM data t WHERE x >= 1.5;", Dialect::Sql).unwrap();
+        assert!(toks.contains(&Token::Ident("SELECT".into())));
+        assert!(toks.contains(&Token::Int(42)));
+        assert!(toks.contains(&Token::Double(1.5)));
+        assert!(toks.contains(&Token::Ge));
+        assert_eq!(toks.last(), Some(&Token::Eof));
+    }
+
+    #[test]
+    fn dialect_quote_handling() {
+        let sql = tokenize(r#"SELECT "two" FROM t WHERE x = 'en'"#, Dialect::Sql).unwrap();
+        assert!(sql.contains(&Token::QuotedIdent("two".into())));
+        assert!(sql.contains(&Token::Str("en".into())));
+
+        let sqlpp = tokenize(r#"SELECT `two` FROM t WHERE x = "en""#, Dialect::SqlPlusPlus).unwrap();
+        assert!(sqlpp.contains(&Token::QuotedIdent("two".into())));
+        assert!(sqlpp.contains(&Token::Str("en".into())));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("a != b <> c == d <= e", Dialect::Sql).unwrap();
+        let ne_count = toks.iter().filter(|t| **t == Token::Ne).count();
+        assert_eq!(ne_count, 2);
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::Le));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT x -- comment here\nFROM t", Dialect::Sql).unwrap();
+        assert_eq!(
+            toks.iter().filter(|t| matches!(t, Token::Ident(_))).count(),
+            4 // SELECT x FROM t
+        );
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let toks = tokenize("SELECT 'it''s'", Dialect::Sql).unwrap();
+        assert!(toks.contains(&Token::Str("it's".into())));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("SELECT 'oops", Dialect::Sql).is_err());
+        assert!(tokenize("a ! b", Dialect::Sql).is_err());
+        assert!(tokenize("a # b", Dialect::Sql).is_err());
+    }
+
+    #[test]
+    fn keyword_detection_is_case_insensitive() {
+        assert!(Token::Ident("select".into()).is_kw("SELECT"));
+        assert!(Token::Ident("SeLeCt".into()).is_kw("select"));
+        assert!(!Token::QuotedIdent("select".into()).is_kw("select"));
+    }
+}

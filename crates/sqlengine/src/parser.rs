@@ -1,0 +1,699 @@
+//! Recursive-descent parser for the SQL / SQL++ subset PolyFrame generates.
+//!
+//! The grammar intentionally covers composable `SELECT` blocks — nested
+//! subqueries in `FROM`, joins, `WHERE`, `GROUP BY`, `ORDER BY`, `LIMIT` —
+//! because PolyFrame's incremental query formation only ever produces that
+//! shape. It is nonetheless a real parser: precedence-climbing expressions,
+//! both dialects, quoted identifiers, `IS [NOT] NULL/MISSING/UNKNOWN`, and
+//! function calls.
+
+use crate::ast::*;
+use crate::dialect::Dialect;
+use crate::error::{EngineError, Result};
+use crate::lexer::tokenize;
+use crate::token::Token;
+use polyframe_datamodel::Value;
+
+/// Reserved words that terminate identifier positions.
+const KEYWORDS: &[&str] = &[
+    "select", "value", "distinct", "from", "where", "group", "by", "order", "limit", "join",
+    "inner", "left", "on", "and", "or", "not", "as", "is", "null", "missing", "unknown", "true",
+    "false", "desc", "asc",
+];
+
+fn is_keyword(s: &str) -> bool {
+    KEYWORDS.iter().any(|k| s.eq_ignore_ascii_case(k))
+}
+
+/// Parse a single `SELECT` statement (with optional trailing `;`).
+pub fn parse(input: &str, dialect: Dialect) -> Result<SelectStmt> {
+    let tokens = tokenize(input, dialect)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        dialect,
+    };
+    let stmt = p.parse_select()?;
+    p.eat_if(&Token::Semicolon);
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    dialect: Dialect,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(EngineError::parse(format!(
+                "expected keyword {kw}, found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat_if(t) {
+            Ok(())
+        } else {
+            Err(EngineError::parse(format!(
+                "expected {t}, found {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Token::Eof) {
+            Ok(())
+        } else {
+            Err(EngineError::parse(format!(
+                "unexpected trailing token {}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn parse_select(&mut self) -> Result<SelectStmt> {
+        self.expect_kw("select")?;
+        let value_mode = if self.peek().is_kw("value") {
+            if !self.dialect.supports_select_value() {
+                return Err(EngineError::parse(
+                    "SELECT VALUE is only available in SQL++",
+                ));
+            }
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let distinct = self.eat_kw("distinct");
+
+        let items = self.parse_select_list(value_mode)?;
+
+        let from = if self.eat_kw("from") {
+            Some(self.parse_from()?)
+        } else {
+            None
+        };
+
+        let where_clause = if self.eat_kw("where") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let e = self.parse_expr()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { expr: e, desc });
+                if !self.eat_if(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_kw("limit") {
+            match self.bump() {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                t => return Err(EngineError::parse(format!("expected LIMIT count, found {t}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStmt {
+            value_mode,
+            distinct,
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_list(&mut self, value_mode: bool) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_if(&Token::Star) {
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.parse_expr()?;
+                // `t.*` parses as a path followed by `.` `*`.
+                if self.eat_if(&Token::Dot) {
+                    self.expect(&Token::Star)?;
+                    match expr {
+                        AstExpr::Path(parts) if parts.len() == 1 => {
+                            items.push(SelectItem::QualifiedStar(parts[0].clone()));
+                        }
+                        _ => {
+                            return Err(EngineError::parse(
+                                "`.*` must follow a simple alias".to_string(),
+                            ))
+                        }
+                    }
+                } else {
+                    let alias = if self.eat_kw("as") {
+                        Some(self.parse_identifier()?)
+                    } else {
+                        match self.peek().clone() {
+                            Token::Ident(s) if !is_keyword(&s) => {
+                                self.bump();
+                                Some(s)
+                            }
+                            Token::QuotedIdent(s) => {
+                                self.bump();
+                                Some(s)
+                            }
+                            _ => None,
+                        }
+                    };
+                    items.push(SelectItem::Expr { expr, alias });
+                }
+            }
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        if value_mode && items.len() != 1 {
+            return Err(EngineError::parse(
+                "SELECT VALUE takes exactly one expression",
+            ));
+        }
+        Ok(items)
+    }
+
+    fn parse_from(&mut self) -> Result<FromClause> {
+        let first = self.parse_from_item()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.peek().is_kw("join") || self.peek().is_kw("inner") {
+                self.eat_kw("inner");
+                self.expect_kw("join")?;
+                JoinKind::Inner
+            } else if self.peek().is_kw("left") {
+                self.bump();
+                // Accept both LEFT JOIN and LEFT OUTER JOIN-less form.
+                self.expect_kw("join")?;
+                JoinKind::Left
+            } else {
+                break;
+            };
+            let item = self.parse_from_item()?;
+            self.expect_kw("on")?;
+            let on = self.parse_expr()?;
+            joins.push(JoinClause { kind, item, on });
+        }
+        Ok(FromClause { first, joins })
+    }
+
+    fn parse_from_item(&mut self) -> Result<FromItem> {
+        if self.eat_if(&Token::LParen) {
+            let query = self.parse_select()?;
+            self.expect(&Token::RParen)?;
+            let alias = self.parse_optional_alias()?;
+            Ok(FromItem::Subquery {
+                query: Box::new(query),
+                alias,
+            })
+        } else {
+            let mut path = vec![self.parse_identifier()?];
+            while self.eat_if(&Token::Dot) {
+                path.push(self.parse_identifier()?);
+            }
+            let alias = self.parse_optional_alias()?;
+            Ok(FromItem::Dataset { path, alias })
+        }
+    }
+
+    fn parse_optional_alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("as") {
+            return Ok(Some(self.parse_identifier()?));
+        }
+        match self.peek().clone() {
+            Token::Ident(s) if !is_keyword(&s) => {
+                self.bump();
+                Ok(Some(s))
+            }
+            Token::QuotedIdent(s) => {
+                self.bump();
+                Ok(Some(s))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn parse_identifier(&mut self) -> Result<String> {
+        match self.bump() {
+            Token::Ident(s) if !is_keyword(&s) => Ok(s),
+            Token::QuotedIdent(s) => Ok(s),
+            t => Err(EngineError::parse(format!(
+                "expected identifier, found {t}"
+            ))),
+        }
+    }
+
+    /// Expression entry point (lowest precedence: OR).
+    fn parse_expr(&mut self) -> Result<AstExpr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.parse_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.parse_and()?;
+            lhs = AstExpr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.parse_not()?;
+        while self.eat_kw("and") {
+            let rhs = self.parse_not()?;
+            lhs = AstExpr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<AstExpr> {
+        if self.eat_kw("not") {
+            let inner = self.parse_not()?;
+            Ok(AstExpr::Unary(UnaryOp::Not, Box::new(inner)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<AstExpr> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Token::Eq => Some(BinOp::Eq),
+            Token::Ne => Some(BinOp::Ne),
+            Token::Lt => Some(BinOp::Lt),
+            Token::Le => Some(BinOp::Le),
+            Token::Gt => Some(BinOp::Gt),
+            Token::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_additive()?;
+            return Ok(AstExpr::Binary(op, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.peek().is_kw("is") {
+            self.bump();
+            let negated = self.eat_kw("not");
+            let kind = if self.eat_kw("null") {
+                IsKind::Null
+            } else if self.eat_kw("missing") {
+                if !self.dialect.supports_missing() {
+                    return Err(EngineError::parse("IS MISSING is SQL++-only"));
+                }
+                IsKind::Missing
+            } else if self.eat_kw("unknown") {
+                if !self.dialect.supports_missing() {
+                    return Err(EngineError::parse("IS UNKNOWN is SQL++-only"));
+                }
+                IsKind::Unknown
+            } else {
+                return Err(EngineError::parse(format!(
+                    "expected NULL/MISSING/UNKNOWN after IS, found {}",
+                    self.peek()
+                )));
+            };
+            return Ok(AstExpr::Is(Box::new(lhs), kind, negated));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_additive(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = AstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<AstExpr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = AstExpr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<AstExpr> {
+        if self.eat_if(&Token::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(AstExpr::Unary(UnaryOp::Neg, Box::new(inner)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<AstExpr> {
+        match self.bump() {
+            Token::Int(i) => Ok(AstExpr::Lit(Value::Int(i))),
+            Token::Double(d) => Ok(AstExpr::Lit(Value::Double(d))),
+            Token::Str(s) => Ok(AstExpr::Lit(Value::Str(s))),
+            Token::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(AstExpr::Lit(Value::Bool(true))),
+            Token::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                Ok(AstExpr::Lit(Value::Bool(false)))
+            }
+            Token::Ident(s) if s.eq_ignore_ascii_case("null") => Ok(AstExpr::Lit(Value::Null)),
+            Token::Ident(s) if s.eq_ignore_ascii_case("missing") => {
+                if !self.dialect.supports_missing() {
+                    return Err(EngineError::parse("MISSING literal is SQL++-only"));
+                }
+                Ok(AstExpr::Lit(Value::Missing))
+            }
+            Token::Ident(s) if !is_keyword(&s) => {
+                if self.eat_if(&Token::LParen) {
+                    // Function call.
+                    let mut args = Vec::new();
+                    if self.eat_if(&Token::Star) {
+                        args.push(AstExpr::Star);
+                        self.expect(&Token::RParen)?;
+                    } else if !self.eat_if(&Token::RParen) {
+                        loop {
+                            args.push(self.parse_expr()?);
+                            if !self.eat_if(&Token::Comma) {
+                                break;
+                            }
+                        }
+                        self.expect(&Token::RParen)?;
+                    }
+                    return Ok(AstExpr::Func {
+                        name: s.to_ascii_uppercase(),
+                        args,
+                    });
+                }
+                let mut parts = vec![s];
+                while self.peek() == &Token::Dot {
+                    // Lookahead: `t.*` belongs to the select list, not here.
+                    if matches!(self.tokens.get(self.pos + 1), Some(Token::Star)) {
+                        break;
+                    }
+                    self.bump();
+                    parts.push(self.parse_identifier()?);
+                }
+                Ok(AstExpr::Path(parts))
+            }
+            Token::QuotedIdent(s) => {
+                let mut parts = vec![s];
+                while self.peek() == &Token::Dot {
+                    if matches!(self.tokens.get(self.pos + 1), Some(Token::Star)) {
+                        break;
+                    }
+                    self.bump();
+                    parts.push(self.parse_identifier()?);
+                }
+                Ok(AstExpr::Path(parts))
+            }
+            t => Err(EngineError::parse(format!(
+                "unexpected token {t} in expression"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sql(input: &str) -> SelectStmt {
+        parse(input, Dialect::Sql).unwrap()
+    }
+
+    fn sqlpp(input: &str) -> SelectStmt {
+        parse(input, Dialect::SqlPlusPlus).unwrap()
+    }
+
+    #[test]
+    fn simple_select_star() {
+        let s = sql("SELECT * FROM Test.Users");
+        assert_eq!(s.items, vec![SelectItem::Star]);
+        match &s.from.as_ref().unwrap().first {
+            FromItem::Dataset { path, alias } => {
+                assert_eq!(path, &vec!["Test".to_string(), "Users".to_string()]);
+                assert!(alias.is_none());
+            }
+            _ => panic!("expected dataset"),
+        }
+    }
+
+    #[test]
+    fn select_value_sqlpp_only() {
+        let s = sqlpp("SELECT VALUE t FROM Test.Users t");
+        assert!(s.value_mode);
+        assert!(parse("SELECT VALUE t FROM Test.Users t", Dialect::Sql).is_err());
+    }
+
+    #[test]
+    fn nested_subquery() {
+        let s = sql("SELECT t.name, t.address FROM (SELECT * FROM (SELECT * FROM Test.Users t) t WHERE t.lang = 'en') t LIMIT 10;");
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.items.len(), 2);
+        match &s.from.as_ref().unwrap().first {
+            FromItem::Subquery { query, alias } => {
+                assert_eq!(alias.as_deref(), Some("t"));
+                assert!(query.where_clause.is_some());
+            }
+            _ => panic!("expected subquery"),
+        }
+    }
+
+    #[test]
+    fn where_precedence() {
+        let s = sql("SELECT * FROM d t WHERE a = 1 AND b = 2 OR NOT c = 3");
+        // ((a=1 AND b=2) OR (NOT c=3))
+        match s.where_clause.unwrap() {
+            AstExpr::Binary(BinOp::Or, lhs, rhs) => {
+                assert!(matches!(*lhs, AstExpr::Binary(BinOp::And, _, _)));
+                assert!(matches!(*rhs, AstExpr::Unary(UnaryOp::Not, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let s = sql("SELECT a + b * 2 FROM d");
+        match &s.items[0] {
+            SelectItem::Expr { expr, .. } => match expr {
+                AstExpr::Binary(BinOp::Add, _, rhs) => {
+                    assert!(matches!(**rhs, AstExpr::Binary(BinOp::Mul, _, _)));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn group_order_limit() {
+        let s = sql(
+            "SELECT twenty, MAX(four) AS max_four FROM d t GROUP BY twenty ORDER BY twenty DESC LIMIT 5",
+        );
+        assert_eq!(s.group_by.len(), 1);
+        assert_eq!(s.order_by.len(), 1);
+        assert!(s.order_by[0].desc);
+        assert_eq!(s.limit, Some(5));
+        match &s.items[1] {
+            SelectItem::Expr { expr, alias } => {
+                assert_eq!(alias.as_deref(), Some("max_four"));
+                assert!(matches!(expr, AstExpr::Func { name, .. } if name == "MAX"));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn count_star() {
+        let s = sqlpp("SELECT VALUE COUNT(*) FROM data");
+        match &s.items[0] {
+            SelectItem::Expr {
+                expr: AstExpr::Func { name, args },
+                ..
+            } => {
+                assert_eq!(name, "COUNT");
+                assert_eq!(args, &[AstExpr::Star]);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn join_clause() {
+        let s = sql(
+            "SELECT COUNT(*) FROM (SELECT l.*, r.* FROM (SELECT * FROM leftT) l INNER JOIN (SELECT * FROM rightT) r ON l.unique1 = r.unique1) t",
+        );
+        match &s.from.as_ref().unwrap().first {
+            FromItem::Subquery { query, .. } => {
+                let f = query.from.as_ref().unwrap();
+                assert_eq!(f.joins.len(), 1);
+                assert_eq!(f.joins[0].kind, JoinKind::Inner);
+                assert_eq!(
+                    query.items,
+                    vec![
+                        SelectItem::QualifiedStar("l".into()),
+                        SelectItem::QualifiedStar("r".into())
+                    ]
+                );
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn sqlpp_join_bare_bindings() {
+        let s = sqlpp(
+            "SELECT VALUE COUNT(*) FROM (SELECT l, r FROM leftData l JOIN rightData r ON l.unique1 = r.unique1) t",
+        );
+        match &s.from.as_ref().unwrap().first {
+            FromItem::Subquery { query, .. } => {
+                assert_eq!(query.items.len(), 2);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn is_predicates() {
+        let s = sqlpp("SELECT VALUE t FROM d t WHERE t.tenPercent IS UNKNOWN");
+        assert!(matches!(
+            s.where_clause.unwrap(),
+            AstExpr::Is(_, IsKind::Unknown, false)
+        ));
+        let s2 = sql("SELECT * FROM d t WHERE \"tenPercent\" IS NULL");
+        assert!(matches!(
+            s2.where_clause.unwrap(),
+            AstExpr::Is(_, IsKind::Null, false)
+        ));
+        assert!(parse("SELECT * FROM d WHERE x IS UNKNOWN", Dialect::Sql).is_err());
+        let s3 = sqlpp("SELECT VALUE t FROM d t WHERE t.x IS NOT MISSING");
+        assert!(matches!(
+            s3.where_clause.unwrap(),
+            AstExpr::Is(_, IsKind::Missing, true)
+        ));
+    }
+
+    #[test]
+    fn quoted_identifier_paths() {
+        let s = sql("SELECT \"two\", \"four\" FROM (SELECT * FROM data) t LIMIT 5");
+        assert_eq!(s.items.len(), 2);
+        match &s.items[0] {
+            SelectItem::Expr { expr, .. } => {
+                assert_eq!(expr, &AstExpr::Path(vec!["two".to_string()]));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn implicit_alias_without_as() {
+        let s = sql("SELECT upper(name) uname FROM d");
+        match &s.items[0] {
+            SelectItem::Expr { alias, .. } => assert_eq!(alias.as_deref(), Some("uname")),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("SELECT", Dialect::Sql).is_err());
+        assert!(parse("SELECT * FROM", Dialect::Sql).is_err());
+        assert!(parse("SELECT * FROM d WHERE", Dialect::Sql).is_err());
+        assert!(parse("SELECT * FROM d LIMIT x", Dialect::Sql).is_err());
+        assert!(parse("SELECT * FROM d extra garbage ,", Dialect::Sql).is_err());
+        assert!(parse("SELECT VALUE a, b FROM d", Dialect::SqlPlusPlus).is_err());
+    }
+
+    #[test]
+    fn select_expression_comparison() {
+        // Table I operation 3: SELECT t.lang = 'en' FROM ...
+        let s = sql("SELECT t.lang = 'en' FROM (SELECT * FROM d) t");
+        match &s.items[0] {
+            SelectItem::Expr { expr, .. } => {
+                assert!(matches!(expr, AstExpr::Binary(BinOp::Eq, _, _)));
+            }
+            _ => panic!(),
+        }
+    }
+}

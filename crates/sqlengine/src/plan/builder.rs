@@ -1,0 +1,667 @@
+//! AST → logical plan translation (binding resolution, aggregate detection,
+//! output naming).
+
+use crate::ast::*;
+use crate::error::{EngineError, Result};
+use crate::plan::logical::*;
+use polyframe_datamodel::{Record, Value};
+
+/// Name-resolution context: the bindings visible to expressions.
+#[derive(Debug, Clone)]
+struct Context {
+    /// Binding names in scope. One name: rows are the binding's records.
+    /// Two or more (join): rows are objects keyed by binding name.
+    bindings: Vec<String>,
+}
+
+impl Context {
+    fn is_join(&self) -> bool {
+        self.bindings.len() > 1
+    }
+
+    fn single(&self) -> Option<&str> {
+        if self.bindings.len() == 1 {
+            Some(&self.bindings[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Build a logical plan for `stmt`. `default_namespace` resolves single-part
+/// dataset names.
+pub fn build_logical(stmt: &SelectStmt, default_namespace: &str) -> Result<LogicalPlan> {
+    Builder {
+        default_namespace: default_namespace.to_string(),
+    }
+    .build(stmt)
+}
+
+struct Builder {
+    default_namespace: String,
+}
+
+impl Builder {
+    fn build(&self, stmt: &SelectStmt) -> Result<LogicalPlan> {
+        // 1. FROM.
+        let (mut plan, ctx) = match &stmt.from {
+            Some(from) => self.build_from(from)?,
+            None => (
+                LogicalPlan::Values {
+                    rows: vec![Value::Obj(Record::new())],
+                },
+                Context { bindings: vec![] },
+            ),
+        };
+
+        // 2. WHERE.
+        if let Some(pred) = &stmt.where_clause {
+            let predicate = self.resolve(pred, &ctx)?;
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+
+        // 3. Aggregation?
+        let has_agg = stmt.items.iter().any(|it| {
+            matches!(it, SelectItem::Expr { expr, .. } if top_level_agg(expr).is_some())
+        });
+
+        if has_agg || !stmt.group_by.is_empty() {
+            plan = self.build_aggregate(stmt, plan, &ctx)?;
+        } else {
+            // 4. ORDER BY (pre-projection: keys reference input bindings).
+            if !stmt.order_by.is_empty() {
+                let keys = stmt
+                    .order_by
+                    .iter()
+                    .map(|k| Ok((self.resolve(&k.expr, &ctx)?, k.desc)))
+                    .collect::<Result<Vec<_>>>()?;
+                plan = LogicalPlan::Sort {
+                    input: Box::new(plan),
+                    keys,
+                };
+            }
+            // 5. Projection.
+            if let Some(spec) = self.build_projection(stmt, &ctx)? {
+                plan = LogicalPlan::Project {
+                    input: Box::new(plan),
+                    spec,
+                };
+            }
+        }
+
+        if stmt.distinct {
+            plan = LogicalPlan::Distinct {
+                input: Box::new(plan),
+            };
+        }
+        if let Some(n) = stmt.limit {
+            plan = LogicalPlan::Limit {
+                input: Box::new(plan),
+                n,
+            };
+        }
+        Ok(plan)
+    }
+
+    fn build_from(&self, from: &FromClause) -> Result<(LogicalPlan, Context)> {
+        let (left_plan, left_binding) = self.build_from_item(&from.first)?;
+        if from.joins.is_empty() {
+            return Ok((
+                left_plan,
+                Context {
+                    bindings: vec![left_binding],
+                },
+            ));
+        }
+        if from.joins.len() > 1 {
+            return Err(EngineError::plan("at most one join is supported"));
+        }
+        let join = &from.joins[0];
+        let (right_plan, right_binding) = self.build_from_item(&join.item)?;
+        let ctx = Context {
+            bindings: vec![left_binding.clone(), right_binding.clone()],
+        };
+        let on = self.resolve(&join.on, &ctx)?;
+        let (left_key, right_key) = split_equi_join(&on, &left_binding, &right_binding)?;
+        Ok((
+            LogicalPlan::Join {
+                left: Box::new(left_plan),
+                right: Box::new(right_plan),
+                kind: join.kind,
+                left_binding,
+                right_binding,
+                left_key,
+                right_key,
+            },
+            ctx,
+        ))
+    }
+
+    fn build_from_item(&self, item: &FromItem) -> Result<(LogicalPlan, String)> {
+        match item {
+            FromItem::Dataset { path, alias } => {
+                let (namespace, dataset) = match path.len() {
+                    1 => (self.default_namespace.clone(), path[0].clone()),
+                    2 => (path[0].clone(), path[1].clone()),
+                    _ => {
+                        return Err(EngineError::plan(format!(
+                            "dataset name has too many parts: {}",
+                            path.join(".")
+                        )))
+                    }
+                };
+                let binding = alias.clone().unwrap_or_else(|| dataset.clone());
+                Ok((LogicalPlan::Scan { namespace, dataset }, binding))
+            }
+            FromItem::Subquery { query, alias } => {
+                let plan = self.build(query)?;
+                let binding = alias.clone().unwrap_or_else(|| "$subquery".to_string());
+                Ok((plan, binding))
+            }
+        }
+    }
+
+    fn build_projection(&self, stmt: &SelectStmt, ctx: &Context) -> Result<Option<ProjectSpec>> {
+        if stmt.value_mode {
+            let item = &stmt.items[0];
+            let SelectItem::Expr { expr, .. } = item else {
+                return Err(EngineError::plan("SELECT VALUE requires an expression"));
+            };
+            let scalar = self.resolve(expr, ctx)?;
+            if scalar == Scalar::Input {
+                return Ok(None); // SELECT VALUE t — identity.
+            }
+            return Ok(Some(ProjectSpec::Value(scalar)));
+        }
+
+        // `SELECT *` alone: identity.
+        if stmt.items.len() == 1 && matches!(stmt.items[0], SelectItem::Star) {
+            return Ok(None);
+        }
+
+        // All qualified stars (`SELECT t.*` / `SELECT l.*, r.*`).
+        if stmt
+            .items
+            .iter()
+            .all(|it| matches!(it, SelectItem::QualifiedStar(_)))
+        {
+            let names: Vec<String> = stmt
+                .items
+                .iter()
+                .map(|it| match it {
+                    SelectItem::QualifiedStar(b) => b.clone(),
+                    _ => unreachable!(),
+                })
+                .collect();
+            for n in &names {
+                if !ctx.bindings.contains(n) {
+                    return Err(EngineError::plan(format!("unknown binding {n} in `.*`")));
+                }
+            }
+            if ctx.single().is_some() {
+                return Ok(None); // `SELECT t.*` over one binding: identity.
+            }
+            return Ok(Some(ProjectSpec::MergeStars(names)));
+        }
+
+        // General column list.
+        let mut cols = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            match item {
+                SelectItem::Star | SelectItem::QualifiedStar(_) => {
+                    return Err(EngineError::plan(
+                        "`*` cannot be mixed with other select items",
+                    ))
+                }
+                SelectItem::Expr { expr, alias } => {
+                    let scalar = self.resolve(expr, ctx)?;
+                    let name = output_name(expr, alias.as_deref(), i);
+                    cols.push((name, scalar));
+                }
+            }
+        }
+        Ok(Some(ProjectSpec::Columns(cols)))
+    }
+
+    fn build_aggregate(
+        &self,
+        stmt: &SelectStmt,
+        input: LogicalPlan,
+        ctx: &Context,
+    ) -> Result<LogicalPlan> {
+        // Group keys with output names.
+        let mut group_by = Vec::new();
+        for (i, g) in stmt.group_by.iter().enumerate() {
+            let scalar = self.resolve(g, ctx)?;
+            let name = match g {
+                AstExpr::Path(parts) => parts.last().unwrap().clone(),
+                _ => format!("g{i}"),
+            };
+            group_by.push((name, scalar));
+        }
+
+        // Aggregates and the post-aggregation projection.
+        let mut aggs: Vec<AggExpr> = Vec::new();
+        let mut out_cols: Vec<(String, Scalar)> = Vec::new();
+        for (i, item) in stmt.items.iter().enumerate() {
+            let SelectItem::Expr { expr, alias } = item else {
+                return Err(EngineError::plan(
+                    "`*` select items are not allowed with GROUP BY/aggregates",
+                ));
+            };
+            if let Some((func, args)) = top_level_agg(expr) {
+                let arg = match args {
+                    [AstExpr::Star] => AggArg::Star,
+                    [single] => AggArg::Expr(self.resolve(single, ctx)?),
+                    _ => {
+                        return Err(EngineError::plan(
+                            "aggregates take exactly one argument",
+                        ))
+                    }
+                };
+                let mut name = alias
+                    .clone()
+                    .unwrap_or_else(|| func.display_name().to_string());
+                while aggs.iter().any(|a| a.name == name)
+                    || group_by.iter().any(|(g, _)| *g == name)
+                {
+                    name.push('_');
+                }
+                aggs.push(AggExpr {
+                    name: name.clone(),
+                    func,
+                    arg,
+                });
+                out_cols.push((
+                    alias.clone().unwrap_or_else(|| func.display_name().to_string()),
+                    Scalar::Field(name),
+                ));
+            } else {
+                // Must reference a group key.
+                let scalar = self.resolve(expr, ctx)?;
+                let key = group_by
+                    .iter()
+                    .find(|(_, g)| *g == scalar)
+                    .ok_or_else(|| {
+                        EngineError::plan(format!(
+                            "select item {i} is neither an aggregate nor a group key"
+                        ))
+                    })?;
+                let name = match expr {
+                    AstExpr::Path(parts) => {
+                        alias.clone().unwrap_or_else(|| parts.last().unwrap().clone())
+                    }
+                    _ => alias.clone().unwrap_or_else(|| key.0.clone()),
+                };
+                out_cols.push((name, Scalar::Field(key.0.clone())));
+            }
+        }
+
+        let agg_plan = LogicalPlan::Aggregate {
+            input: Box::new(input),
+            group_by: group_by.clone(),
+            aggs,
+            mode: AggMode::Complete,
+        };
+
+        // Post-aggregation ORDER BY references output columns.
+        let mut plan = agg_plan;
+        if !stmt.order_by.is_empty() {
+            let keys = stmt
+                .order_by
+                .iter()
+                .map(|k| match &k.expr {
+                    AstExpr::Path(parts) => {
+                        Ok((Scalar::Field(parts.last().unwrap().clone()), k.desc))
+                    }
+                    _ => Err(EngineError::plan(
+                        "ORDER BY over aggregates must reference output columns",
+                    )),
+                })
+                .collect::<Result<Vec<_>>>()?;
+            plan = LogicalPlan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
+        }
+
+        // Final projection shapes output (VALUE mode yields bare values).
+        let spec = if stmt.value_mode {
+            let field = out_cols
+                .first()
+                .map(|(_, s)| s.clone())
+                .ok_or_else(|| EngineError::plan("empty select list"))?;
+            ProjectSpec::Value(field)
+        } else {
+            ProjectSpec::Columns(out_cols)
+        };
+        Ok(LogicalPlan::Project {
+            input: Box::new(plan),
+            spec,
+        })
+    }
+
+    /// Resolve an AST expression against the context's bindings.
+    fn resolve(&self, expr: &AstExpr, ctx: &Context) -> Result<Scalar> {
+        match expr {
+            AstExpr::Lit(v) => Ok(Scalar::Lit(v.clone())),
+            AstExpr::Star => Err(EngineError::plan("`*` is only valid inside COUNT(*)")),
+            AstExpr::Path(parts) => self.resolve_path(parts, ctx),
+            AstExpr::Unary(op, a) => Ok(Scalar::Un(*op, Box::new(self.resolve(a, ctx)?))),
+            AstExpr::Binary(op, a, b) => Ok(Scalar::Bin(
+                *op,
+                Box::new(self.resolve(a, ctx)?),
+                Box::new(self.resolve(b, ctx)?),
+            )),
+            AstExpr::Is(a, kind, neg) => {
+                Ok(Scalar::Is(Box::new(self.resolve(a, ctx)?), *kind, *neg))
+            }
+            AstExpr::Func { name, args } => {
+                if AggFunc::from_name(name).is_some() {
+                    return Err(EngineError::plan(format!(
+                        "aggregate {name} is not allowed in this position"
+                    )));
+                }
+                let func = ScalarFunc::from_name(name)
+                    .ok_or_else(|| EngineError::plan(format!("unknown function {name}")))?;
+                let args = args
+                    .iter()
+                    .map(|a| self.resolve(a, ctx))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(Scalar::Call(func, args))
+            }
+        }
+    }
+
+    fn resolve_path(&self, parts: &[String], ctx: &Context) -> Result<Scalar> {
+        if ctx.is_join() {
+            return match parts {
+                [b] if ctx.bindings.contains(b) => Ok(Scalar::BindingRef(b.clone())),
+                [b, f] if ctx.bindings.contains(b) => Ok(Scalar::FieldOf(b.clone(), f.clone())),
+                _ => Err(EngineError::plan(format!(
+                    "cannot resolve `{}` against join bindings {:?}",
+                    parts.join("."),
+                    ctx.bindings
+                ))),
+            };
+        }
+        match (ctx.single(), parts) {
+            (Some(b), [only]) if only == b => Ok(Scalar::Input),
+            (Some(b), [head, rest @ ..]) if head == b && !rest.is_empty() => {
+                Ok(nested_field(rest))
+            }
+            (_, [field]) => Ok(Scalar::Field(field.clone())),
+            (Some(_), parts) => {
+                // Unqualified nested path (`a.b` where `a` is a field).
+                Ok(nested_field(parts))
+            }
+            (None, parts) => Err(EngineError::plan(format!(
+                "cannot resolve `{}`: no FROM bindings in scope",
+                parts.join(".")
+            ))),
+        }
+    }
+}
+
+/// Build field access for a binding-relative path. Paths of depth 2+
+/// navigate into nested records via [`Scalar::FieldOf`]-style chaining:
+/// `a.b` becomes `FieldOf(a, b)` where `a` is a record-valued field.
+fn nested_field(parts: &[String]) -> Scalar {
+    if parts.len() == 2 {
+        // Record-valued field navigation (`address.city`): reuse FieldOf,
+        // whose evaluator navigates `row.a.b` regardless of whether `a` is a
+        // join binding or a nested record.
+        Scalar::FieldOf(parts[0].clone(), parts[1].clone())
+    } else {
+        Scalar::Field(parts[0].clone())
+    }
+}
+
+/// If `expr` is a top-level aggregate call, return `(func, args)`.
+fn top_level_agg(expr: &AstExpr) -> Option<(AggFunc, &[AstExpr])> {
+    match expr {
+        AstExpr::Func { name, args } => AggFunc::from_name(name).map(|f| (f, args.as_slice())),
+        _ => None,
+    }
+}
+
+/// Output-column naming: alias > path tail > lowercase function name > `$N`.
+fn output_name(expr: &AstExpr, alias: Option<&str>, index: usize) -> String {
+    if let Some(a) = alias {
+        return a.to_string();
+    }
+    match expr {
+        AstExpr::Path(parts) => parts.last().unwrap().clone(),
+        AstExpr::Func { name, .. } => name.to_ascii_lowercase(),
+        _ => format!("${}", index + 1),
+    }
+}
+
+/// Decompose an `ON` predicate into `(left_key, right_key)` scalars
+/// evaluated on the left/right input rows respectively.
+fn split_equi_join(on: &Scalar, left_binding: &str, right_binding: &str) -> Result<(Scalar, Scalar)> {
+    if let Scalar::Bin(BinOp::Eq, a, b) = on {
+        let classify = |s: &Scalar| -> Option<(bool, String)> {
+            match s {
+                Scalar::FieldOf(b, f) if b == left_binding => Some((true, f.clone())),
+                Scalar::FieldOf(b, f) if b == right_binding => Some((false, f.clone())),
+                _ => None,
+            }
+        };
+        if let (Some((a_left, af)), Some((b_left, bf))) = (classify(a), classify(b)) {
+            if a_left && !b_left {
+                return Ok((Scalar::Field(af), Scalar::Field(bf)));
+            }
+            if !a_left && b_left {
+                return Ok((Scalar::Field(bf), Scalar::Field(af)));
+            }
+        }
+    }
+    Err(EngineError::plan(
+        "only equi-joins of the form l.key = r.key are supported",
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::Dialect;
+    use crate::parser::parse;
+
+    fn plan_sql(q: &str) -> LogicalPlan {
+        build_logical(&parse(q, Dialect::Sql).unwrap(), "Default").unwrap()
+    }
+
+    fn plan_sqlpp(q: &str) -> LogicalPlan {
+        build_logical(&parse(q, Dialect::SqlPlusPlus).unwrap(), "Default").unwrap()
+    }
+
+    #[test]
+    fn scan_with_default_namespace() {
+        let p = plan_sql("SELECT * FROM data");
+        assert_eq!(
+            p,
+            LogicalPlan::Scan {
+                namespace: "Default".into(),
+                dataset: "data".into()
+            }
+        );
+    }
+
+    #[test]
+    fn qualified_scan() {
+        let p = plan_sqlpp("SELECT VALUE t FROM Test.Users t");
+        assert_eq!(
+            p,
+            LogicalPlan::Scan {
+                namespace: "Test".into(),
+                dataset: "Users".into()
+            }
+        );
+    }
+
+    #[test]
+    fn filter_resolves_alias() {
+        let p = plan_sql("SELECT * FROM data t WHERE t.x = 1");
+        match p {
+            LogicalPlan::Filter { predicate, .. } => {
+                assert_eq!(
+                    predicate,
+                    Scalar::eq(Scalar::Field("x".into()), Scalar::Lit(Value::Int(1)))
+                );
+            }
+            other => panic!("unexpected plan {other}"),
+        }
+    }
+
+    #[test]
+    fn nested_subquery_inlines() {
+        let p = plan_sql(
+            "SELECT t.name FROM (SELECT * FROM (SELECT * FROM Test.Users t) t WHERE t.lang = 'en') t LIMIT 10",
+        );
+        // Limit(Project(Filter(Scan))) — identity projections vanish.
+        let s = p.display();
+        assert!(s.contains("Limit 10"));
+        assert!(s.contains("Filter"));
+        assert!(s.contains("Scan Test.Users"));
+    }
+
+    #[test]
+    fn count_star_aggregate() {
+        let p = plan_sqlpp("SELECT VALUE COUNT(*) FROM data");
+        match &p {
+            LogicalPlan::Project { input, spec } => {
+                assert_eq!(spec, &ProjectSpec::Value(Scalar::Field("count".into())));
+                match input.as_ref() {
+                    LogicalPlan::Aggregate { aggs, group_by, .. } => {
+                        assert!(group_by.is_empty());
+                        assert_eq!(aggs[0].func, AggFunc::Count);
+                        assert_eq!(aggs[0].arg, AggArg::Star);
+                    }
+                    other => panic!("unexpected {other}"),
+                }
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn group_by_plan() {
+        let p = plan_sql(
+            "SELECT \"oddOnePercent\", COUNT(\"oddOnePercent\") AS cnt FROM (SELECT * FROM data) t GROUP BY \"oddOnePercent\"",
+        );
+        match &p {
+            LogicalPlan::Project { input, spec } => {
+                match spec {
+                    ProjectSpec::Columns(cols) => {
+                        assert_eq!(cols[0].0, "oddOnePercent");
+                        assert_eq!(cols[1].0, "cnt");
+                    }
+                    _ => panic!(),
+                }
+                assert!(matches!(input.as_ref(), LogicalPlan::Aggregate { group_by, .. } if group_by.len() == 1));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn join_splits_keys() {
+        let p = plan_sqlpp(
+            "SELECT VALUE COUNT(*) FROM (SELECT l, r FROM leftData l JOIN rightData r ON l.unique1 = r.unique1) t",
+        );
+        let s = p.display();
+        assert!(s.contains("Join"));
+        assert!(s.contains("Scan Default.leftData"));
+        assert!(s.contains("Scan Default.rightData"));
+    }
+
+    #[test]
+    fn join_key_order_normalized() {
+        // ON r.k = l.k must still put the left key first.
+        let p = plan_sql(
+            "SELECT COUNT(*) FROM (SELECT l.*, r.* FROM a l JOIN b r ON r.k = l.k) t",
+        );
+        fn find_join(p: &LogicalPlan) -> Option<(&Scalar, &Scalar)> {
+            match p {
+                LogicalPlan::Join {
+                    left_key,
+                    right_key,
+                    ..
+                } => Some((left_key, right_key)),
+                LogicalPlan::Project { input, .. }
+                | LogicalPlan::Filter { input, .. }
+                | LogicalPlan::Limit { input, .. }
+                | LogicalPlan::Sort { input, .. }
+                | LogicalPlan::Distinct { input }
+                | LogicalPlan::Aggregate { input, .. } => find_join(input),
+                _ => None,
+            }
+        }
+        let (lk, rk) = find_join(&p).unwrap();
+        assert_eq!(lk, &Scalar::Field("k".into()));
+        assert_eq!(rk, &Scalar::Field("k".into()));
+    }
+
+    #[test]
+    fn sort_before_projection() {
+        let p = plan_sqlpp(
+            "SELECT VALUE t FROM (SELECT VALUE t FROM data t) t ORDER BY t.unique1 DESC LIMIT 5",
+        );
+        let s = p.display();
+        let sort_pos = s.find("Sort").unwrap();
+        let scan_pos = s.find("Scan").unwrap();
+        assert!(sort_pos < scan_pos);
+        assert!(s.contains("Limit 5"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(build_logical(
+            &parse("SELECT x FROM a l JOIN b r ON l.k = r.k2 + 1", Dialect::Sql).unwrap(),
+            "d"
+        )
+        .is_err());
+        assert!(build_logical(
+            &parse("SELECT nonkey, COUNT(*) FROM t GROUP BY k", Dialect::Sql).unwrap(),
+            "d"
+        )
+        .is_err());
+        assert!(build_logical(
+            &parse("SELECT UNKNOWN_FUNC(x) FROM t", Dialect::Sql).unwrap(),
+            "d"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn select_expression_projection() {
+        let p = plan_sql("SELECT t.lang = 'en' FROM (SELECT * FROM d) t");
+        match p {
+            LogicalPlan::Project { spec, .. } => match spec {
+                ProjectSpec::Columns(cols) => {
+                    assert_eq!(cols[0].0, "$1");
+                }
+                _ => panic!(),
+            },
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn merge_stars_projection() {
+        let p = plan_sql("SELECT l.*, r.* FROM a l JOIN b r ON l.k = r.k");
+        match p {
+            LogicalPlan::Project { spec, .. } => {
+                assert_eq!(
+                    spec,
+                    ProjectSpec::MergeStars(vec!["l".to_string(), "r".to_string()])
+                );
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! The logical plan and resolved scalar expressions.
+
+use crate::ast::{BinOp, IsKind, JoinKind, UnaryOp};
+use polyframe_datamodel::Value;
+use std::fmt;
+
+/// A resolved scalar expression, evaluated against one row.
+///
+/// Rows are [`Value`]s. A scan row is the stored record itself; a join row
+/// is an object with one field per binding (`{l: <left row>, r: <right
+/// row>}`), which is exactly the record `SELECT l, r FROM ... JOIN ...`
+/// produces in SQL++.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// The whole current row (`SELECT VALUE t`, `SELECT *`).
+    Input,
+    /// Field of the current row (`t.x` once `t` is resolved, or bare `x`).
+    Field(String),
+    /// `binding.field` on a multi-binding (join) row.
+    FieldOf(String, String),
+    /// A whole binding's value on a join row (`SELECT l, r`).
+    BindingRef(String),
+    /// Literal.
+    Lit(Value),
+    /// Unary operator.
+    Un(UnaryOp, Box<Scalar>),
+    /// Binary operator.
+    Bin(BinOp, Box<Scalar>, Box<Scalar>),
+    /// Built-in scalar function.
+    Call(ScalarFunc, Vec<Scalar>),
+    /// `IS [NOT] NULL/MISSING/UNKNOWN`.
+    Is(Box<Scalar>, IsKind, bool),
+}
+
+impl Scalar {
+    /// Equality-comparison convenience used in tests.
+    pub fn eq(lhs: Scalar, rhs: Scalar) -> Scalar {
+        Scalar::Bin(BinOp::Eq, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Collect the names of fields of the *current row* this expression
+    /// reads (`Field` only; join-scoped references excluded). `None` when
+    /// the expression needs the entire row.
+    pub fn referenced_fields(&self) -> Option<Vec<String>> {
+        fn walk(s: &Scalar, out: &mut Vec<String>) -> bool {
+            match s {
+                Scalar::Input | Scalar::BindingRef(_) => false,
+                Scalar::Field(f) => {
+                    if !out.contains(f) {
+                        out.push(f.clone());
+                    }
+                    true
+                }
+                Scalar::FieldOf(_, _) => false,
+                Scalar::Lit(_) => true,
+                Scalar::Un(_, a) => walk(a, out),
+                Scalar::Bin(_, a, b) => walk(a, out) && walk(b, out),
+                Scalar::Call(_, args) => args.iter().all(|a| walk(a, out)),
+                Scalar::Is(a, _, _) => walk(a, out),
+            }
+        }
+        let mut out = Vec::new();
+        if walk(self, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+}
+
+/// Built-in scalar functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalarFunc {
+    /// `UPPER(s)`
+    Upper,
+    /// `LOWER(s)`
+    Lower,
+    /// `ABS(x)`
+    Abs,
+    /// `LENGTH(s)`
+    Length,
+    /// `TO_STRING(x)` / `TO_STR(x)`
+    ToString,
+    /// `TO_INT(x)` / `TO_BIGINT(x)`
+    ToInt,
+}
+
+impl ScalarFunc {
+    /// Resolve an upper-cased function name.
+    pub fn from_name(name: &str) -> Option<ScalarFunc> {
+        match name {
+            "UPPER" => Some(ScalarFunc::Upper),
+            "LOWER" => Some(ScalarFunc::Lower),
+            "ABS" => Some(ScalarFunc::Abs),
+            "LENGTH" | "LEN" => Some(ScalarFunc::Length),
+            "TO_STRING" | "TO_STR" | "STRING" => Some(ScalarFunc::ToString),
+            "TO_INT" | "TO_BIGINT" | "TO_INTEGER" => Some(ScalarFunc::ToInt),
+            _ => None,
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT`
+    Count,
+    /// `SUM`
+    Sum,
+    /// `MIN`
+    Min,
+    /// `MAX`
+    Max,
+    /// `AVG`
+    Avg,
+    /// `STDDEV` (population standard deviation, like the paper's
+    /// `STDDEV`/`$stdDevPop`/`stDevP` trio).
+    StdDev,
+}
+
+impl AggFunc {
+    /// Resolve an upper-cased function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "AVG" | "MEAN" => Some(AggFunc::Avg),
+            "STDDEV" | "STDDEV_POP" | "STDDEVPOP" => Some(AggFunc::StdDev),
+            _ => None,
+        }
+    }
+
+    /// Lower-case display name (used to synthesize output column names).
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+            AggFunc::StdDev => "stddev",
+        }
+    }
+}
+
+/// The argument of an aggregate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggArg {
+    /// `COUNT(*)`
+    Star,
+    /// `AGG(expr)`
+    Expr(Scalar),
+}
+
+/// One aggregate expression with its output name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// Output field name.
+    pub name: String,
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Its argument.
+    pub arg: AggArg,
+}
+
+/// How a projection shapes its output rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProjectSpec {
+    /// `SELECT VALUE expr`: the row *is* the value.
+    Value(Scalar),
+    /// `SELECT a, b AS c, ...`: the row is an object.
+    Columns(Vec<(String, Scalar)>),
+    /// `SELECT l.*, r.*` over a join row: flatten the named bindings'
+    /// records into one output record, in order.
+    MergeStars(Vec<String>),
+}
+
+impl ProjectSpec {
+    /// True when the projection passes rows through unchanged.
+    pub fn is_identity(&self) -> bool {
+        matches!(self, ProjectSpec::Value(Scalar::Input))
+    }
+}
+
+/// Execution mode of an aggregate node (used by distributed execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggMode {
+    /// Normal: consume raw rows, emit final values.
+    Complete,
+    /// Shard-side: consume raw rows, emit serialized partial states.
+    Partial,
+    /// Coordinator-side: consume partial states, emit final values.
+    Final,
+}
+
+/// The logical plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a stored dataset.
+    Scan {
+        /// Namespace (dataverse/schema).
+        namespace: String,
+        /// Dataset (table/collection) name.
+        dataset: String,
+    },
+    /// Literal rows (used for `FROM`-less selects and tests).
+    Values {
+        /// The rows.
+        rows: Vec<Value>,
+    },
+    /// Filter by predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Predicate (kept under three-valued logic: only `True` passes).
+        predicate: Scalar,
+    },
+    /// Projection.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Output shape.
+        spec: ProjectSpec,
+    },
+    /// Grouped or scalar aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Group keys: `(output name, key expression)`.
+        group_by: Vec<(String, Scalar)>,
+        /// Aggregates to compute.
+        aggs: Vec<AggExpr>,
+        /// Partial/final mode for distributed execution.
+        mode: AggMode,
+    },
+    /// Sort.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys: `(expression, descending)`.
+        keys: Vec<(Scalar, bool)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Maximum rows.
+        n: u64,
+    },
+    /// Duplicate elimination.
+    Distinct {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+    },
+    /// Equi-join producing `{left_binding: l, right_binding: r}` rows.
+    Join {
+        /// Left input.
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Join type.
+        kind: JoinKind,
+        /// Binding name for left rows in the output object.
+        left_binding: String,
+        /// Binding name for right rows in the output object.
+        right_binding: String,
+        /// Left key expression (evaluated on a *left* row).
+        left_key: Scalar,
+        /// Right key expression (evaluated on a *right* row).
+        right_key: Scalar,
+    },
+}
+
+impl LogicalPlan {
+    /// Pretty tree rendering for tests and debugging.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        self.fmt_indent(&mut out, 0);
+        out
+    }
+
+    fn fmt_indent(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan { namespace, dataset } => {
+                out.push_str(&format!("{pad}Scan {namespace}.{dataset}\n"));
+            }
+            LogicalPlan::Values { rows } => {
+                out.push_str(&format!("{pad}Values ({} rows)\n", rows.len()));
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter {predicate:?}\n"));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Project { input, spec } => {
+                out.push_str(&format!("{pad}Project {spec:?}\n"));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+                mode,
+            } => {
+                let names: Vec<&str> = aggs.iter().map(|a| a.name.as_str()).collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate[{mode:?}] groups={} aggs={names:?}\n",
+                    group_by.len()
+                ));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit {n}\n"));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Distinct { input } => {
+                out.push_str(&format!("{pad}Distinct\n"));
+                input.fmt_indent(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                left_key,
+                right_key,
+                ..
+            } => {
+                out.push_str(&format!("{pad}Join[{kind:?}] {left_key:?} = {right_key:?}\n"));
+                left.fmt_indent(out, depth + 1);
+                right.fmt_indent(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn referenced_fields() {
+        let s = Scalar::Bin(
+            BinOp::And,
+            Box::new(Scalar::eq(Scalar::Field("a".into()), Scalar::Lit(Value::Int(1)))),
+            Box::new(Scalar::eq(Scalar::Field("b".into()), Scalar::Field("a".into()))),
+        );
+        assert_eq!(
+            s.referenced_fields(),
+            Some(vec!["a".to_string(), "b".to_string()])
+        );
+        assert_eq!(Scalar::Input.referenced_fields(), None);
+    }
+
+    #[test]
+    fn func_name_resolution() {
+        assert_eq!(AggFunc::from_name("COUNT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("STDDEV_POP"), Some(AggFunc::StdDev));
+        assert_eq!(AggFunc::from_name("UPPER"), None);
+        assert_eq!(ScalarFunc::from_name("UPPER"), Some(ScalarFunc::Upper));
+        assert_eq!(ScalarFunc::from_name("COUNT"), None);
+    }
+
+    #[test]
+    fn identity_projection() {
+        assert!(ProjectSpec::Value(Scalar::Input).is_identity());
+        assert!(!ProjectSpec::Columns(vec![]).is_identity());
+    }
+}

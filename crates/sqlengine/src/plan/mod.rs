@@ -1,0 +1,14 @@
+//! Query planning: logical plans, the AST-to-plan builder, the logical
+//! optimizer, physical planning and the distributed split used by
+//! `polyframe-cluster`.
+
+pub mod builder;
+pub mod distributed;
+pub mod logical;
+pub mod optimizer;
+pub mod physical;
+
+pub use builder::build_logical;
+pub use logical::{AggArg, AggExpr, AggFunc, LogicalPlan, ProjectSpec, Scalar, ScalarFunc};
+pub use optimizer::optimize;
+pub use physical::{plan_physical, PhysicalPlan};

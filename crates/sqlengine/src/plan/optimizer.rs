@@ -1,0 +1,277 @@
+//! Logical rewrite rules.
+//!
+//! The optimizer is what makes PolyFrame's subquery-composition strategy
+//! viable: the incremental query formation wraps every operation in another
+//! subquery, and these rules flatten the onion back into a minimal plan
+//! (the paper: *"Executing subqueries without any optimization could result
+//! in unnecessary data scans that would significantly affect performance"*).
+//!
+//! Rules:
+//! 1. **Identity-projection elimination** — `SELECT VALUE t` / `SELECT *`
+//!    wrappers disappear.
+//! 2. **Filter merging** — stacked filters AND together.
+//! 3. **Projection composition** — `Project(Project(x))` composes when the
+//!    outer expressions only reference inner output columns.
+//! 4. **Limit clamping** — `Limit(Limit(x))` keeps the smaller bound.
+//!
+//! [`optimize`] runs the rule set for a caller-chosen number of rounds.
+//! AsterixDB's Algebricks compiler runs dozens of rule-set rounds; the
+//! round count is the [`crate::personality::Personality::optimizer_passes`]
+//! knob that reproduces the paper's query-preparation overhead ("Empty"
+//! dataset baseline in Figs. 5/6). Rounds after a fixed point still walk
+//! (and copy) the plan, exactly like a rule engine probing rules that no
+//! longer fire.
+
+use crate::ast::BinOp;
+use crate::plan::logical::{LogicalPlan, ProjectSpec, Scalar};
+
+/// Run the rewrite rules for `passes` rounds and return the final plan,
+/// plus whether the optimizer was enabled at all (passes == 0 skips
+/// rewriting entirely — used by the ablation benchmark).
+pub fn optimize(plan: LogicalPlan, passes: usize) -> LogicalPlan {
+    let mut current = plan;
+    for _ in 0..passes.max(1) {
+        current = rewrite(current);
+    }
+    current
+}
+
+fn rewrite(plan: LogicalPlan) -> LogicalPlan {
+    match plan {
+        LogicalPlan::Project { input, spec } => {
+            let input = rewrite(*input);
+            if spec.is_identity() {
+                return input;
+            }
+            // Projection composition.
+            if matches!(spec, ProjectSpec::Columns(_) | ProjectSpec::Value(_)) {
+                if let LogicalPlan::Project {
+                    input: inner_input,
+                    spec: ProjectSpec::Columns(inner_cols),
+                } = &input
+                {
+                    if let Some(composed) = compose_projections(&spec, inner_cols) {
+                        return LogicalPlan::Project {
+                            input: inner_input.clone(),
+                            spec: composed,
+                        };
+                    }
+                }
+            }
+            LogicalPlan::Project {
+                input: Box::new(input),
+                spec,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let input = rewrite(*input);
+            if let LogicalPlan::Filter {
+                input: inner_input,
+                predicate: inner_pred,
+            } = input
+            {
+                return LogicalPlan::Filter {
+                    input: inner_input,
+                    predicate: Scalar::Bin(
+                        BinOp::And,
+                        Box::new(inner_pred),
+                        Box::new(predicate),
+                    ),
+                };
+            }
+            LogicalPlan::Filter {
+                input: Box::new(input),
+                predicate,
+            }
+        }
+        LogicalPlan::Limit { input, n } => {
+            let input = rewrite(*input);
+            if let LogicalPlan::Limit {
+                input: inner_input,
+                n: inner_n,
+            } = input
+            {
+                return LogicalPlan::Limit {
+                    input: inner_input,
+                    n: n.min(inner_n),
+                };
+            }
+            LogicalPlan::Limit {
+                input: Box::new(input),
+                n,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+            mode,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite(*input)),
+            group_by,
+            aggs,
+            mode,
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(rewrite(*input)),
+            keys,
+        },
+        LogicalPlan::Distinct { input } => LogicalPlan::Distinct {
+            input: Box::new(rewrite(*input)),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            left_binding,
+            right_binding,
+            left_key,
+            right_key,
+        } => LogicalPlan::Join {
+            left: Box::new(rewrite(*left)),
+            right: Box::new(rewrite(*right)),
+            kind,
+            left_binding,
+            right_binding,
+            left_key,
+            right_key,
+        },
+        leaf @ (LogicalPlan::Scan { .. } | LogicalPlan::Values { .. }) => leaf,
+    }
+}
+
+/// Substitute inner projection columns into the outer spec. Returns `None`
+/// when the outer spec references something the inner projection does not
+/// produce as a simple column.
+fn compose_projections(outer: &ProjectSpec, inner: &[(String, Scalar)]) -> Option<ProjectSpec> {
+    let subst = |s: &Scalar| substitute(s, inner);
+    match outer {
+        ProjectSpec::Value(v) => Some(ProjectSpec::Value(subst(v)?)),
+        ProjectSpec::Columns(cols) => {
+            let mut out = Vec::with_capacity(cols.len());
+            for (name, s) in cols {
+                out.push((name.clone(), subst(s)?));
+            }
+            Some(ProjectSpec::Columns(out))
+        }
+        ProjectSpec::MergeStars(_) => None,
+    }
+}
+
+fn substitute(s: &Scalar, inner: &[(String, Scalar)]) -> Option<Scalar> {
+    match s {
+        Scalar::Field(name) => inner
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, expr)| expr.clone()),
+        Scalar::Lit(v) => Some(Scalar::Lit(v.clone())),
+        Scalar::Un(op, a) => Some(Scalar::Un(*op, Box::new(substitute(a, inner)?))),
+        Scalar::Bin(op, a, b) => Some(Scalar::Bin(
+            *op,
+            Box::new(substitute(a, inner)?),
+            Box::new(substitute(b, inner)?),
+        )),
+        Scalar::Call(f, args) => {
+            let args = args
+                .iter()
+                .map(|a| substitute(a, inner))
+                .collect::<Option<Vec<_>>>()?;
+            Some(Scalar::Call(*f, args))
+        }
+        Scalar::Is(a, k, neg) => Some(Scalar::Is(Box::new(substitute(a, inner)?), *k, *neg)),
+        // The whole inner row or binding references: cannot compose.
+        Scalar::Input | Scalar::FieldOf(_, _) | Scalar::BindingRef(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dialect::Dialect;
+    use crate::parser::parse;
+    use crate::plan::builder::build_logical;
+    use crate::plan::logical::ScalarFunc;
+
+    fn optimized(q: &str, dialect: Dialect) -> LogicalPlan {
+        let stmt = parse(q, dialect).unwrap();
+        optimize(build_logical(&stmt, "Default").unwrap(), 4)
+    }
+
+    #[test]
+    fn onion_flattens_to_filter_over_scan() {
+        // The appendix-A SQL++ query: three nested subqueries.
+        let p = optimized(
+            "SELECT t.name, t.address FROM (SELECT VALUE t FROM (SELECT VALUE t FROM Test.Users t) t WHERE t.lang = \"en\") t LIMIT 10;",
+            Dialect::SqlPlusPlus,
+        );
+        let s = p.display();
+        // Limit -> Project -> Filter -> Scan, nothing else.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4, "plan was: {s}");
+        assert!(lines[0].contains("Limit 10"));
+        assert!(lines[1].contains("Project"));
+        assert!(lines[2].contains("Filter"));
+        assert!(lines[3].contains("Scan Test.Users"));
+    }
+
+    #[test]
+    fn stacked_filters_merge() {
+        let p = optimized(
+            "SELECT * FROM (SELECT * FROM (SELECT * FROM data) t WHERE t.a = 1) t WHERE t.b = 2",
+            Dialect::Sql,
+        );
+        match &p {
+            LogicalPlan::Filter { input, predicate } => {
+                assert!(matches!(predicate, Scalar::Bin(BinOp::And, _, _)));
+                assert!(matches!(input.as_ref(), LogicalPlan::Scan { .. }));
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn projections_compose() {
+        // Expression 5's SQL shape: upper() over a pruned column.
+        let p = optimized(
+            "SELECT upper(\"stringu1\") FROM (SELECT \"stringu1\" FROM (SELECT * FROM data) t) t LIMIT 5",
+            Dialect::Sql,
+        );
+        match &p {
+            LogicalPlan::Limit { input, n: 5 } => match input.as_ref() {
+                LogicalPlan::Project { input, spec } => {
+                    assert!(matches!(input.as_ref(), LogicalPlan::Scan { .. }));
+                    match spec {
+                        ProjectSpec::Columns(cols) => {
+                            assert!(matches!(
+                                &cols[0].1,
+                                Scalar::Call(ScalarFunc::Upper, _)
+                            ));
+                        }
+                        _ => panic!(),
+                    }
+                }
+                other => panic!("unexpected {other}"),
+            },
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn limits_clamp() {
+        let p = optimized(
+            "SELECT * FROM (SELECT * FROM data LIMIT 3) t LIMIT 10",
+            Dialect::Sql,
+        );
+        match p {
+            LogicalPlan::Limit { n, .. } => assert_eq!(n, 3),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn zero_passes_still_normalizes_once() {
+        let stmt = parse("SELECT * FROM (SELECT * FROM d) t", Dialect::Sql).unwrap();
+        let p = optimize(build_logical(&stmt, "Default").unwrap(), 0);
+        assert!(matches!(p, LogicalPlan::Scan { .. }));
+    }
+}

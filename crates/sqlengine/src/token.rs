@@ -1,0 +1,94 @@
+//! Token type produced by the lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or bare identifier (keywords are recognized by the parser;
+    /// the lexer keeps them as `Ident` with the original spelling).
+    Ident(String),
+    /// Quoted identifier (`"two"` in SQL, `` `two` `` in SQL++): never a
+    /// keyword.
+    QuotedIdent(String),
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Double(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `*`
+    Star,
+    /// `=` (also `==`)
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// True when this token is an identifier spelled like `kw`
+    /// (case-insensitive). Quoted identifiers never match keywords.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        match self {
+            Token::Ident(s) => s.eq_ignore_ascii_case(kw),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::QuotedIdent(s) => write!(f, "\"{s}\""),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Double(d) => write!(f, "{d}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semicolon => write!(f, ";"),
+            Token::Star => write!(f, "*"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}

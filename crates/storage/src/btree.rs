@@ -1,0 +1,640 @@
+//! An in-memory B+tree over [`Value`] keys with duplicate support.
+//!
+//! Every entry is a `(key, payload)` pair; duplicates are disambiguated by
+//! the payload (a [`crate::heap::RecordId`] in practice), so the tree's
+//! internal ordering is `(cmp_total(key), payload)`. Leaves are linked in
+//! both directions, which is what makes the paper's *backward index scan*
+//! (expression 9: `ORDER BY unique1 DESC LIMIT 5`) a cheap operation.
+//!
+//! Deletion removes entries without merging underfull leaves — the classic
+//! "lazy deletion" trade-off (correct scans, slightly lower occupancy after
+//! heavy deletes). The PolyFrame workloads are append-mostly, so occupancy
+//! decay is not a concern; tests cover scan correctness after deletes.
+
+use polyframe_datamodel::{cmp_total, Value};
+use std::cmp::Ordering;
+
+/// Maximum number of entries in a node before it splits.
+const MAX_KEYS: usize = 32;
+
+/// Scan direction for range scans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Ascending key order.
+    Forward,
+    /// Descending key order (backward index scan).
+    Backward,
+}
+
+/// One edge of a scan range.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KeyBound {
+    /// No bound on this side.
+    Unbounded,
+    /// Closed bound.
+    Included(Value),
+    /// Open bound.
+    Excluded(Value),
+}
+
+/// A `[lo, hi]` range over index keys.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanRange {
+    /// Lower edge.
+    pub lo: KeyBound,
+    /// Upper edge.
+    pub hi: KeyBound,
+}
+
+impl ScanRange {
+    /// The full key space.
+    pub fn all() -> ScanRange {
+        ScanRange {
+            lo: KeyBound::Unbounded,
+            hi: KeyBound::Unbounded,
+        }
+    }
+
+    /// Exactly one key value (all duplicates of it).
+    pub fn eq(key: Value) -> ScanRange {
+        ScanRange {
+            lo: KeyBound::Included(key.clone()),
+            hi: KeyBound::Included(key),
+        }
+    }
+
+    /// True when `key` satisfies both edges.
+    pub fn contains(&self, key: &Value) -> bool {
+        let lo_ok = match &self.lo {
+            KeyBound::Unbounded => true,
+            KeyBound::Included(b) => cmp_total(key, b) != Ordering::Less,
+            KeyBound::Excluded(b) => cmp_total(key, b) == Ordering::Greater,
+        };
+        let hi_ok = match &self.hi {
+            KeyBound::Unbounded => true,
+            KeyBound::Included(b) => cmp_total(key, b) != Ordering::Greater,
+            KeyBound::Excluded(b) => cmp_total(key, b) == Ordering::Less,
+        };
+        lo_ok && hi_ok
+    }
+}
+
+type NodeId = usize;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Internal {
+        /// `separators[i]` is the smallest entry of `children[i + 1]`'s subtree.
+        separators: Vec<(Value, u64)>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        entries: Vec<(Value, u64)>,
+        next: Option<NodeId>,
+        prev: Option<NodeId>,
+    },
+}
+
+/// The B+tree. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct BPlusTree {
+    nodes: Vec<Node>,
+    root: NodeId,
+    len: usize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        BPlusTree::new()
+    }
+}
+
+#[inline]
+fn entry_cmp(a: &(Value, u64), b: &(Value, u64)) -> Ordering {
+    cmp_total(&a.0, &b.0).then(a.1.cmp(&b.1))
+}
+
+impl BPlusTree {
+    /// Create an empty tree.
+    pub fn new() -> BPlusTree {
+        BPlusTree {
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+                next: None,
+                prev: None,
+            }],
+            root: 0,
+            len: 0,
+        }
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a `(key, payload)` entry. Duplicate `(key, payload)` pairs are
+    /// tolerated (both are stored).
+    pub fn insert(&mut self, key: Value, payload: u64) {
+        if let Some((sep, new_node)) = self.insert_into(self.root, (key, payload)) {
+            // Root split: grow the tree by one level.
+            let old_root = self.root;
+            let new_root = self.alloc(Node::Internal {
+                separators: vec![sep],
+                children: vec![old_root, new_node],
+            });
+            self.root = new_root;
+        }
+        self.len += 1;
+    }
+
+    /// Remove one entry matching `(key, payload)` exactly. Returns whether an
+    /// entry was removed.
+    pub fn remove(&mut self, key: &Value, payload: u64) -> bool {
+        let probe = (key.clone(), payload);
+        let leaf = self.find_leaf(&probe);
+        if let Node::Leaf { entries, .. } = &mut self.nodes[leaf] {
+            if let Ok(pos) = entries.binary_search_by(|e| entry_cmp(e, &probe)) {
+                entries.remove(pos);
+                self.len -= 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Smallest entry, if any.
+    pub fn first(&self) -> Option<(&Value, u64)> {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { children, .. } => node = children[0],
+                Node::Leaf { entries, next, .. } => {
+                    if let Some((k, p)) = entries.first() {
+                        return Some((k, *p));
+                    }
+                    node = (*next)?;
+                }
+            }
+        }
+    }
+
+    /// Largest entry, if any.
+    pub fn last(&self) -> Option<(&Value, u64)> {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { children, .. } => node = *children.last().unwrap(),
+                Node::Leaf { entries, prev, .. } => {
+                    if let Some((k, p)) = entries.last() {
+                        return Some((k, *p));
+                    }
+                    node = (*prev)?;
+                }
+            }
+        }
+    }
+
+    /// Iterate entries inside `range` in the given `direction`.
+    pub fn scan<'a>(&'a self, range: &ScanRange, direction: Direction) -> Scan<'a> {
+        let (node, pos) = match direction {
+            Direction::Forward => self.seek_forward(&range.lo),
+            Direction::Backward => self.seek_backward(&range.hi),
+        };
+        Scan {
+            tree: self,
+            node,
+            pos,
+            range: range.clone(),
+            direction,
+            done: false,
+        }
+    }
+
+    /// Count entries in `range` by walking leaf entries only (no heap access
+    /// — the physical operation behind index-based `COUNT(*)`).
+    pub fn count_range(&self, range: &ScanRange) -> usize {
+        self.scan(range, Direction::Forward).count()
+    }
+
+    /// Height of the tree (1 = a single leaf). Exposed for tests and planner
+    /// cost estimates.
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut node = self.root;
+        while let Node::Internal { children, .. } = &self.nodes[node] {
+            node = children[0];
+            h += 1;
+        }
+        h
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Descend to the leaf that would contain `probe`.
+    fn find_leaf(&self, probe: &(Value, u64)) -> NodeId {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal {
+                    separators,
+                    children,
+                } => {
+                    let idx = separators.partition_point(|s| entry_cmp(s, probe) != Ordering::Greater);
+                    node = children[idx];
+                }
+                Node::Leaf { .. } => return node,
+            }
+        }
+    }
+
+    /// Recursive insert; returns `Some((separator, new_right_sibling))` when
+    /// the child split.
+    fn insert_into(&mut self, node: NodeId, entry: (Value, u64)) -> Option<((Value, u64), NodeId)> {
+        match &self.nodes[node] {
+            Node::Leaf { .. } => self.insert_into_leaf(node, entry),
+            Node::Internal {
+                separators,
+                children,
+            } => {
+                let idx =
+                    separators.partition_point(|s| entry_cmp(s, &entry) != Ordering::Greater);
+                let child = children[idx];
+                let split = self.insert_into(child, entry)?;
+                let (sep, new_child) = split;
+                let (should_split, result);
+                if let Node::Internal {
+                    separators,
+                    children,
+                } = &mut self.nodes[node]
+                {
+                    separators.insert(idx, sep);
+                    children.insert(idx + 1, new_child);
+                    should_split = separators.len() > MAX_KEYS;
+                } else {
+                    unreachable!()
+                }
+                result = if should_split {
+                    Some(self.split_internal(node))
+                } else {
+                    None
+                };
+                result
+            }
+        }
+    }
+
+    fn insert_into_leaf(
+        &mut self,
+        node: NodeId,
+        entry: (Value, u64),
+    ) -> Option<((Value, u64), NodeId)> {
+        let needs_split;
+        if let Node::Leaf { entries, .. } = &mut self.nodes[node] {
+            let pos = entries.partition_point(|e| entry_cmp(e, &entry) != Ordering::Greater);
+            entries.insert(pos, entry);
+            needs_split = entries.len() > MAX_KEYS;
+        } else {
+            unreachable!()
+        }
+        if needs_split {
+            Some(self.split_leaf(node))
+        } else {
+            None
+        }
+    }
+
+    fn split_leaf(&mut self, node: NodeId) -> ((Value, u64), NodeId) {
+        let (right_entries, old_next) = if let Node::Leaf { entries, next, .. } =
+            &mut self.nodes[node]
+        {
+            let mid = entries.len() / 2;
+            (entries.split_off(mid), *next)
+        } else {
+            unreachable!()
+        };
+        let sep = right_entries[0].clone();
+        let right = self.alloc(Node::Leaf {
+            entries: right_entries,
+            next: old_next,
+            prev: Some(node),
+        });
+        if let Some(n) = old_next {
+            if let Node::Leaf { prev, .. } = &mut self.nodes[n] {
+                *prev = Some(right);
+            }
+        }
+        if let Node::Leaf { next, .. } = &mut self.nodes[node] {
+            *next = Some(right);
+        }
+        (sep, right)
+    }
+
+    fn split_internal(&mut self, node: NodeId) -> ((Value, u64), NodeId) {
+        let (right_seps, right_children, sep) = if let Node::Internal {
+            separators,
+            children,
+        } = &mut self.nodes[node]
+        {
+            let mid = separators.len() / 2;
+            let sep = separators[mid].clone();
+            let right_seps = separators.split_off(mid + 1);
+            separators.pop(); // `sep` moves up, not right.
+            let right_children = children.split_off(mid + 1);
+            (right_seps, right_children, sep)
+        } else {
+            unreachable!()
+        };
+        let right = self.alloc(Node::Internal {
+            separators: right_seps,
+            children: right_children,
+        });
+        (sep, right)
+    }
+
+    /// Position a cursor at the first entry >= the lower bound.
+    fn seek_forward(&self, lo: &KeyBound) -> (NodeId, usize) {
+        match lo {
+            KeyBound::Unbounded => {
+                let mut node = self.root;
+                while let Node::Internal { children, .. } = &self.nodes[node] {
+                    node = children[0];
+                }
+                (node, 0)
+            }
+            KeyBound::Included(v) => self.seek_key(v, 0),
+            KeyBound::Excluded(v) => self.seek_key(v, u64::MAX),
+        }
+    }
+
+    /// Position a cursor at the last entry <= the upper bound. `pos` is the
+    /// index *after* the target entry (backward cursors pre-decrement).
+    fn seek_backward(&self, hi: &KeyBound) -> (NodeId, usize) {
+        match hi {
+            KeyBound::Unbounded => {
+                let mut node = self.root;
+                while let Node::Internal { children, .. } = &self.nodes[node] {
+                    node = *children.last().unwrap();
+                }
+                let n = match &self.nodes[node] {
+                    Node::Leaf { entries, .. } => entries.len(),
+                    _ => unreachable!(),
+                };
+                (node, n)
+            }
+            KeyBound::Included(v) => self.seek_key(v, u64::MAX),
+            KeyBound::Excluded(v) => self.seek_key(v, 0),
+        }
+    }
+
+    /// Find the leaf position of the first entry >= `(key, payload_floor)`.
+    fn seek_key(&self, key: &Value, payload_floor: u64) -> (NodeId, usize) {
+        let probe = (key.clone(), payload_floor);
+        let leaf = self.find_leaf(&probe);
+        let pos = match &self.nodes[leaf] {
+            Node::Leaf { entries, .. } => {
+                entries.partition_point(|e| entry_cmp(e, &probe) == Ordering::Less)
+            }
+            _ => unreachable!(),
+        };
+        (leaf, pos)
+    }
+}
+
+/// Cursor over a [`BPlusTree`] range scan.
+pub struct Scan<'a> {
+    tree: &'a BPlusTree,
+    node: NodeId,
+    pos: usize,
+    range: ScanRange,
+    direction: Direction,
+    done: bool,
+}
+
+impl<'a> Iterator for Scan<'a> {
+    type Item = (&'a Value, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let Node::Leaf {
+                entries,
+                next,
+                prev,
+            } = &self.tree.nodes[self.node]
+            else {
+                unreachable!()
+            };
+            match self.direction {
+                Direction::Forward => {
+                    if self.pos < entries.len() {
+                        let (k, p) = &entries[self.pos];
+                        self.pos += 1;
+                        if !self.range.contains(k) {
+                            // Past the upper bound (keys ascend): stop.
+                            if !below_upper(k, &self.range.hi) {
+                                self.done = true;
+                                return None;
+                            }
+                            continue;
+                        }
+                        return Some((k, *p));
+                    }
+                    match next {
+                        Some(n) => {
+                            self.node = *n;
+                            self.pos = 0;
+                        }
+                        None => {
+                            self.done = true;
+                            return None;
+                        }
+                    }
+                }
+                Direction::Backward => {
+                    if self.pos > 0 {
+                        self.pos -= 1;
+                        let (k, p) = &entries[self.pos];
+                        if !self.range.contains(k) {
+                            // Below the lower bound (keys descend): stop.
+                            if !above_lower(k, &self.range.lo) {
+                                self.done = true;
+                                return None;
+                            }
+                            continue;
+                        }
+                        return Some((k, *p));
+                    }
+                    match prev {
+                        Some(n) => {
+                            self.node = *n;
+                            self.pos = match &self.tree.nodes[*n] {
+                                Node::Leaf { entries, .. } => entries.len(),
+                                _ => unreachable!(),
+                            };
+                        }
+                        None => {
+                            self.done = true;
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn below_upper(key: &Value, hi: &KeyBound) -> bool {
+    match hi {
+        KeyBound::Unbounded => true,
+        KeyBound::Included(b) => cmp_total(key, b) != Ordering::Greater,
+        KeyBound::Excluded(b) => cmp_total(key, b) == Ordering::Less,
+    }
+}
+
+fn above_lower(key: &Value, lo: &KeyBound) -> bool {
+    match lo {
+        KeyBound::Unbounded => true,
+        KeyBound::Included(b) => cmp_total(key, b) != Ordering::Less,
+        KeyBound::Excluded(b) => cmp_total(key, b) == Ordering::Greater,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_with(keys: impl IntoIterator<Item = i64>) -> BPlusTree {
+        let mut t = BPlusTree::new();
+        for (i, k) in keys.into_iter().enumerate() {
+            t.insert(Value::Int(k), i as u64);
+        }
+        t
+    }
+
+    #[test]
+    fn sorted_forward_scan() {
+        let t = tree_with((0..500).rev());
+        let keys: Vec<i64> = t
+            .scan(&ScanRange::all(), Direction::Forward)
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, (0..500).collect::<Vec<_>>());
+        assert_eq!(t.len(), 500);
+        assert!(t.height() > 1);
+    }
+
+    #[test]
+    fn backward_scan() {
+        let t = tree_with(0..500);
+        let keys: Vec<i64> = t
+            .scan(&ScanRange::all(), Direction::Backward)
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, (0..500).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scan_bounds() {
+        let t = tree_with(0..100);
+        let range = ScanRange {
+            lo: KeyBound::Included(Value::Int(10)),
+            hi: KeyBound::Excluded(Value::Int(20)),
+        };
+        let keys: Vec<i64> = t
+            .scan(&range, Direction::Forward)
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, (10..20).collect::<Vec<_>>());
+        let back: Vec<i64> = t
+            .scan(&range, Direction::Backward)
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(back, (10..20).rev().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn duplicates_all_returned() {
+        let mut t = BPlusTree::new();
+        for i in 0..200 {
+            t.insert(Value::Int(i % 5), i as u64);
+        }
+        let dups: Vec<u64> = t
+            .scan(&ScanRange::eq(Value::Int(3)), Direction::Forward)
+            .map(|(_, p)| p)
+            .collect();
+        assert_eq!(dups.len(), 40);
+        // Payload order within duplicates is ascending.
+        assert!(dups.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(t.count_range(&ScanRange::eq(Value::Int(3))), 40);
+    }
+
+    #[test]
+    fn first_last() {
+        let t = tree_with([5, 1, 9, 3]);
+        assert_eq!(t.first().unwrap().0, &Value::Int(1));
+        assert_eq!(t.last().unwrap().0, &Value::Int(9));
+        let empty = BPlusTree::new();
+        assert!(empty.first().is_none());
+        assert!(empty.last().is_none());
+    }
+
+    #[test]
+    fn remove_entries() {
+        let mut t = tree_with(0..100);
+        for i in (0..100).step_by(2) {
+            // payload == insertion order == key here
+            assert!(t.remove(&Value::Int(i), i as u64));
+        }
+        assert!(!t.remove(&Value::Int(0), 0));
+        let keys: Vec<i64> = t
+            .scan(&ScanRange::all(), Direction::Forward)
+            .map(|(k, _)| k.as_i64().unwrap())
+            .collect();
+        assert_eq!(keys, (1..100).step_by(2).collect::<Vec<_>>());
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn mixed_type_keys_follow_total_order() {
+        let mut t = BPlusTree::new();
+        t.insert(Value::str("b"), 0);
+        t.insert(Value::Int(10), 1);
+        t.insert(Value::Null, 2);
+        t.insert(Value::str("a"), 3);
+        let keys: Vec<Value> = t
+            .scan(&ScanRange::all(), Direction::Forward)
+            .map(|(k, _)| k.clone())
+            .collect();
+        assert_eq!(
+            keys,
+            vec![Value::Null, Value::Int(10), Value::str("a"), Value::str("b")]
+        );
+    }
+
+    #[test]
+    fn exclusive_bounds_skip_duplicates() {
+        let mut t = BPlusTree::new();
+        for p in 0..10 {
+            t.insert(Value::Int(5), p);
+            t.insert(Value::Int(6), p + 100);
+        }
+        let range = ScanRange {
+            lo: KeyBound::Excluded(Value::Int(5)),
+            hi: KeyBound::Unbounded,
+        };
+        let got: Vec<u64> = t.scan(&range, Direction::Forward).map(|(_, p)| p).collect();
+        assert_eq!(got.len(), 10);
+        assert!(got.iter().all(|p| *p >= 100));
+    }
+}

@@ -1,0 +1,132 @@
+//! Append-only table heap.
+
+use polyframe_datamodel::Record;
+
+/// Physical address of a record inside a [`TableHeap`].
+///
+/// Stored as a plain `u64` so it packs tightly into index entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId(pub u64);
+
+impl RecordId {
+    /// Index into the heap's record vector.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An append-only heap of records.
+///
+/// Deletions are tombstoned (`None` slots) so `RecordId`s stay stable —
+/// secondary indexes hold `RecordId`s and must never dangle.
+#[derive(Debug, Default, Clone)]
+pub struct TableHeap {
+    slots: Vec<Option<Record>>,
+    live: usize,
+}
+
+impl TableHeap {
+    /// Create an empty heap.
+    pub fn new() -> TableHeap {
+        TableHeap::default()
+    }
+
+    /// Create an empty heap pre-sized for `n` records.
+    pub fn with_capacity(n: usize) -> TableHeap {
+        TableHeap {
+            slots: Vec::with_capacity(n),
+            live: 0,
+        }
+    }
+
+    /// Append a record, returning its stable id.
+    pub fn insert(&mut self, record: Record) -> RecordId {
+        let rid = RecordId(self.slots.len() as u64);
+        self.slots.push(Some(record));
+        self.live += 1;
+        rid
+    }
+
+    /// Fetch a record by id (`None` if deleted or out of range).
+    pub fn get(&self, rid: RecordId) -> Option<&Record> {
+        self.slots.get(rid.as_usize()).and_then(|s| s.as_ref())
+    }
+
+    /// Tombstone a record; returns the removed record.
+    pub fn delete(&mut self, rid: RecordId) -> Option<Record> {
+        let slot = self.slots.get_mut(rid.as_usize())?;
+        let removed = slot.take();
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no live records remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Sequential scan over `(RecordId, &Record)` pairs in insertion order.
+    pub fn scan(&self) -> impl Iterator<Item = (RecordId, &Record)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RecordId(i as u64), r)))
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn approx_size(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(Record::approx_size)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    #[test]
+    fn insert_get_scan() {
+        let mut heap = TableHeap::new();
+        let a = heap.insert(record! {"x" => 1i64});
+        let b = heap.insert(record! {"x" => 2i64});
+        assert_eq!(heap.len(), 2);
+        assert_eq!(
+            heap.get(a).unwrap().get_or_missing("x"),
+            polyframe_datamodel::Value::Int(1)
+        );
+        let scanned: Vec<_> = heap.scan().map(|(rid, _)| rid).collect();
+        assert_eq!(scanned, vec![a, b]);
+    }
+
+    #[test]
+    fn delete_tombstones_and_preserves_ids() {
+        let mut heap = TableHeap::new();
+        let a = heap.insert(record! {"x" => 1i64});
+        let b = heap.insert(record! {"x" => 2i64});
+        assert!(heap.delete(a).is_some());
+        assert!(heap.delete(a).is_none());
+        assert_eq!(heap.len(), 1);
+        assert!(heap.get(a).is_none());
+        assert!(heap.get(b).is_some());
+        assert_eq!(heap.scan().count(), 1);
+    }
+
+    #[test]
+    fn out_of_range_get() {
+        let heap = TableHeap::new();
+        assert!(heap.get(RecordId(99)).is_none());
+        assert!(heap.is_empty());
+    }
+}

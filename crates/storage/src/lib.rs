@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # polyframe-storage
+//!
+//! The shared storage substrate underneath every PolyFrame database engine:
+//!
+//! * [`btree`] — an in-memory B+tree with duplicate keys, forward *and*
+//!   backward range scans and first/last (min/max) navigation. This is the
+//!   index structure behind the paper's analysis: index-only scans, backward
+//!   index scans and nulls-in-index behaviour all live here.
+//! * [`heap`] — an append-only table heap addressed by [`heap::RecordId`].
+//! * [`index`] — named secondary/primary indexes over a heap, with a
+//!   configurable [`index::NullPolicy`] (PostgreSQL stores `NULL` keys in
+//!   B-trees; AsterixDB/MongoDB-style secondary indexes do not index missing
+//!   values — the paper's expression 13 hinges on exactly this difference).
+//! * [`table`] — heap + indexes + statistics glued together.
+//! * [`stats`] — table statistics used by the query optimizers.
+
+pub mod btree;
+pub mod heap;
+pub mod index;
+pub mod stats;
+pub mod table;
+
+pub use btree::{BPlusTree, Direction, KeyBound, ScanRange};
+pub use heap::{RecordId, TableHeap};
+pub use index::{Index, IndexKind, NullPolicy};
+pub use stats::TableStats;
+pub use table::{Table, TableOptions};

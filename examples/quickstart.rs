@@ -1,0 +1,58 @@
+//! Quickstart: a Pandas-like session against an AsterixDB-style backend.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use polyframe::prelude::*;
+use polyframe_datamodel::record;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Stand up a database (in a real deployment this is your existing
+    //    AsterixDB/PostgreSQL/MongoDB/Neo4j server; here it is the bundled
+    //    SQL++ engine).
+    let engine = Arc::new(Engine::new(EngineConfig::asterixdb()));
+    engine.create_dataset("Test", "Users", Some("id"));
+    let langs = ["en", "fr", "en", "de", "en", "es"];
+    engine.load(
+        "Test",
+        "Users",
+        (0..1_000i64).map(|i| {
+            record! {
+                "id" => i,
+                "name" => format!("user{i}"),
+                "address" => format!("{i} Main St"),
+                "lang" => langs[(i % 6) as usize],
+                "age" => 18 + (i % 60),
+            }
+        }),
+    )?;
+    engine.create_index("Test", "Users", "age")?;
+
+    // 2. Point a PolyFrame DataFrame at it. Creation is instant: no data
+    //    is loaded, only a query string is formed.
+    let af = AFrame::new("Test", "Users", Arc::new(AsterixConnector::new(engine)))?;
+    println!("underlying query after creation:\n  {}\n", af.query());
+
+    // 3. Transform lazily, Pandas-style.
+    let english_adults = af.mask(&(col("lang").eq("en") & col("age").ge(21)))?;
+    let view = english_adults.select(&["name", "address", "age"])?;
+    println!("underlying query after chaining:\n{}\n", view.query());
+
+    // 4. Actions trigger evaluation in the database.
+    println!("total users: {}", af.len()?);
+    println!("english adults: {}", english_adults.len()?);
+    println!("max age: {}", af.col("age")?.max()?);
+
+    let sample = view.head(5)?;
+    println!("\nfirst five english adults:\n{sample}");
+
+    let by_lang = af.groupby("lang").agg(AggFunc::Count)?.collect()?;
+    println!("users per language:\n{by_lang}");
+
+    let stats = af.describe(&["age"])?;
+    println!("age statistics:\n{stats}");
+    Ok(())
+}

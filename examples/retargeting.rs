@@ -1,0 +1,104 @@
+//! Retargeting: the paper's headline capability. The *same* DataFrame
+//! program runs against four different database systems — SQL++, SQL,
+//! MongoDB pipelines and Cypher — by swapping the connector, and this
+//! example prints the per-language queries PolyFrame generates along the
+//! way (the paper's Table I, live).
+//!
+//! ```sh
+//! cargo run --release --example retargeting
+//! ```
+
+use polyframe::prelude::*;
+use polyframe_datamodel::{record, Record};
+use polyframe_docstore::DocStore;
+use polyframe_graphstore::GraphStore;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use std::sync::Arc;
+
+fn dataset() -> Vec<Record> {
+    let langs = ["en", "fr", "en", "de", "en"];
+    (0..500i64)
+        .map(|i| {
+            record! {
+                "id" => i,
+                "name" => format!("user{i}"),
+                "address" => format!("{i} Main St"),
+                "lang" => langs[(i % 5) as usize],
+            }
+        })
+        .collect()
+}
+
+/// The analysis is written once, against the `AFrame` API...
+fn analysis(af: &AFrame) -> polyframe::Result<()> {
+    let chained = af
+        .mask(&col("lang").eq("en"))?
+        .select(&["name", "address"])?;
+    println!("-- generated query --\n{}\n", chained.query());
+    let sample = chained.head(3)?;
+    println!("-- first 3 rows --\n{sample}");
+    println!("-- count of english users: {}\n", af.mask(&col("lang").eq("en"))?.len()?);
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let records = dataset();
+
+    // ...and retargeted by constructing a different connector each time.
+    println!("================ AsterixDB (SQL++) ================");
+    let asterix = Arc::new(Engine::new(EngineConfig::asterixdb()));
+    asterix.create_dataset("Test", "Users", Some("id"));
+    asterix.load("Test", "Users", records.clone())?;
+    analysis(&AFrame::new(
+        "Test",
+        "Users",
+        Arc::new(AsterixConnector::new(asterix)),
+    )?)?;
+
+    println!("================ PostgreSQL (SQL) =================");
+    let postgres = Arc::new(Engine::new(EngineConfig::postgres()));
+    postgres.create_dataset("Test", "Users", Some("id"));
+    postgres.load("Test", "Users", records.clone())?;
+    analysis(&AFrame::new(
+        "Test",
+        "Users",
+        Arc::new(PostgresConnector::new(postgres)),
+    )?)?;
+
+    println!("================ MongoDB (pipelines) ==============");
+    let mongo = Arc::new(DocStore::new());
+    mongo.create_collection("Test.Users");
+    mongo.insert_many("Test.Users", records.clone())?;
+    analysis(&AFrame::new(
+        "Test",
+        "Users",
+        Arc::new(MongoConnector::new(mongo)),
+    )?)?;
+
+    println!("================ Neo4j (Cypher) ===================");
+    let neo = Arc::new(GraphStore::new());
+    neo.insert_nodes("Users", records)?;
+    analysis(&AFrame::new(
+        "Test",
+        "Users",
+        Arc::new(Neo4jConnector::new(neo)),
+    )?)?;
+
+    // User-defined rewrites: override one rule and watch the generated
+    // query change (the paper's custom-rules feature).
+    println!("=========== user-defined rewrite override =========");
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    engine.create_dataset("Test", "Users", Some("id"));
+    engine.load("Test", "Users", dataset())?;
+    let conn = Arc::new(PostgresConnector::new(engine));
+    let custom_rules = conn
+        .rules()
+        .with_overrides("[LIMIT]\nlimit = $subquery\n FETCH FIRST $num ROWS ONLY;\n")?;
+    let af = AFrame::with_rules("Test", "Users", conn, custom_rules)?;
+    // The override changes the generated text; our SQL engine only speaks
+    // LIMIT, so we just print the query instead of running it.
+    let q = polyframe::Translator::new(af.rules().clone())
+        .limit(af.query(), 10)?;
+    println!("custom limit rule generates:\n{q}");
+    Ok(())
+}

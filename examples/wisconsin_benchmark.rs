@@ -1,0 +1,46 @@
+//! Run the paper's 13 DataFrame-benchmark expressions (Table III) against
+//! every backend and print a timing comparison — a miniature of the
+//! paper's Figure 5, runnable in seconds.
+//!
+//! ```sh
+//! cargo run --release --example wisconsin_benchmark [records]
+//! ```
+
+use polyframe_bench::expressions::ALL_EXPRESSIONS;
+use polyframe_bench::params::BenchParams;
+use polyframe_bench::report::{fmt_duration, Table};
+use polyframe_bench::systems::{SingleNodeSetup, SystemKind};
+use polyframe_bench::timing::time_expression;
+
+fn main() {
+    let records: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    println!("Loading the Wisconsin dataset ({records} records) into all backends...");
+    let setup = SingleNodeSetup::build(records, records);
+    let params = BenchParams::default();
+
+    let systems = SystemKind::PAPER_SET;
+    let header: Vec<&str> = std::iter::once("expr")
+        .chain(systems.iter().map(|s| s.name()))
+        .collect();
+    let mut table = Table::new(&header);
+    for expr in ALL_EXPRESSIONS {
+        let mut row = vec![format!("{:>2}", expr.0)];
+        for kind in systems {
+            let t = time_expression(&setup, kind, expr, &params);
+            row.push(if t.failed() {
+                "OOM".to_string()
+            } else {
+                fmt_duration(t.expression)
+            });
+        }
+        table.row(row);
+    }
+    println!("\nExpression-only runtimes:\n{}", table.render());
+    println!("Expressions (paper Table III):");
+    for expr in ALL_EXPRESSIONS {
+        println!("  {:>2}: {}", expr.0, expr.description());
+    }
+}

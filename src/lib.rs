@@ -1,0 +1,14 @@
+//! Umbrella crate for the PolyFrame workspace.
+//!
+//! This crate exists to host the cross-crate integration tests in `tests/`
+//! and the runnable examples in `examples/`. It re-exports the public crates
+//! so that examples can use a single dependency root.
+
+pub use polyframe;
+pub use polyframe_cluster as cluster;
+pub use polyframe_datamodel as datamodel;
+pub use polyframe_docstore as docstore;
+pub use polyframe_eager as eager;
+pub use polyframe_graphstore as graphstore;
+pub use polyframe_sqlengine as sqlengine;
+pub use polyframe_wisconsin as wisconsin;

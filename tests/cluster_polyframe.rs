@@ -1,0 +1,134 @@
+//! PolyFrame over sharded clusters: the multi-node tier end-to-end through
+//! the public API, including the paper's sharded-MongoDB join restriction
+//! and single-node/multi-node agreement.
+
+use polyframe::prelude::*;
+use polyframe_cluster::{MongoCluster, SqlCluster};
+use polyframe_datamodel::Value;
+use polyframe_sqlengine::EngineConfig;
+use polyframe_wisconsin::{generate, WisconsinConfig};
+use std::sync::Arc;
+
+const N: usize = 2_000;
+const NS: &str = "Bench";
+const DS: &str = "wisconsin";
+const DS2: &str = "wisconsin2";
+
+fn sql_cluster_frames(shards: usize, config: EngineConfig) -> (AFrame, AFrame) {
+    let cluster = Arc::new(SqlCluster::new(shards, config.clone(), "unique2"));
+    let records = generate(&WisconsinConfig::new(N));
+    for ds in [DS, DS2] {
+        cluster.create_dataset(NS, ds, Some("unique2"));
+        cluster.load(NS, ds, records.clone()).unwrap();
+        for attr in ["unique1", "ten", "onePercent"] {
+            cluster.create_index(NS, ds, attr).unwrap();
+        }
+    }
+    let conn: Arc<dyn DatabaseConnector> = if config.dialect == polyframe_sqlengine::Dialect::Sql {
+        Arc::new(SqlClusterConnector::greenplum(cluster))
+    } else {
+        Arc::new(SqlClusterConnector::asterixdb(cluster))
+    };
+    let af = AFrame::new(NS, DS, Arc::clone(&conn)).unwrap();
+    let af2 = af.sibling(NS, DS2).unwrap();
+    (af, af2)
+}
+
+fn mongo_cluster_frames(shards: usize) -> (AFrame, AFrame) {
+    let cluster = Arc::new(MongoCluster::new(shards));
+    let records = generate(&WisconsinConfig::new(N));
+    for ds in [DS, DS2] {
+        let coll = format!("{NS}.{ds}");
+        cluster.create_collection(&coll);
+        cluster.insert_many(&coll, records.clone()).unwrap();
+        cluster.create_index(&coll, "unique1").unwrap();
+    }
+    let conn = Arc::new(MongoClusterConnector::new(cluster));
+    let af = AFrame::new(NS, DS, conn).unwrap();
+    let af2 = af.sibling(NS, DS2).unwrap();
+    (af, af2)
+}
+
+#[test]
+fn asterix_cluster_runs_all_core_expressions() {
+    let (af, af2) = sql_cluster_frames(3, EngineConfig::asterixdb());
+    assert_eq!(af.len().unwrap(), N);
+    assert_eq!(
+        af.mask(&col("ten").eq(3)).unwrap().len().unwrap(),
+        N / 10
+    );
+    assert_eq!(af.col("unique1").unwrap().max().unwrap(), Value::Int(N as i64 - 1));
+    let grouped = af
+        .groupby("oddOnePercent")
+        .agg(AggFunc::Count)
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(grouped.len(), 100);
+    let sorted = af.sort_values("unique1", false).unwrap().head(5).unwrap();
+    assert_eq!(
+        sorted.rows()[0].get_path("unique1"),
+        Value::Int(N as i64 - 1)
+    );
+    // Expression 12: the repartition join.
+    assert_eq!(af.merge(&af2, "unique1").unwrap().len().unwrap(), N);
+}
+
+#[test]
+fn greenplum_cluster_runs_core_expressions() {
+    let (af, af2) = sql_cluster_frames(4, EngineConfig::greenplum());
+    assert_eq!(af.len().unwrap(), N);
+    assert_eq!(af.col("unique1").unwrap().min().unwrap(), Value::Int(0));
+    assert_eq!(af.merge(&af2, "unique1").unwrap().len().unwrap(), N);
+}
+
+#[test]
+fn mongo_cluster_runs_core_expressions() {
+    let (af, _) = mongo_cluster_frames(3);
+    assert_eq!(af.len().unwrap(), N);
+    let head = af.select(&["two", "four"]).unwrap().head(5).unwrap();
+    assert_eq!(head.len(), 5);
+    let sorted = af.sort_values("unique1", false).unwrap().head(5).unwrap();
+    assert_eq!(
+        sorted.rows()[0].get_path("unique1"),
+        Value::Int(N as i64 - 1)
+    );
+    assert_eq!(
+        af.mask(&col("tenPercent").is_na()).unwrap().len().unwrap(),
+        N / 10
+    );
+}
+
+#[test]
+fn sharded_mongo_rejects_expression_12() {
+    // Paper IV.F: "MongoDB only supports the joining of unsharded data ...
+    // we could not run expression 12 on MongoDB in the distributed
+    // environment."
+    let (af, af2) = mongo_cluster_frames(2);
+    let err = af.merge(&af2, "unique1").unwrap().len().unwrap_err();
+    assert!(err.to_string().contains("$lookup"), "{err}");
+}
+
+#[test]
+fn cluster_results_match_across_shard_counts() {
+    let (af1, _) = sql_cluster_frames(1, EngineConfig::asterixdb());
+    let (af4, _) = sql_cluster_frames(4, EngineConfig::asterixdb());
+    assert_eq!(af1.len().unwrap(), af4.len().unwrap());
+    assert_eq!(
+        af1.col("unique1").unwrap().mean().unwrap(),
+        af4.col("unique1").unwrap().mean().unwrap()
+    );
+    let g1 = af1
+        .groupby("twenty")
+        .agg_on("four", AggFunc::Max)
+        .unwrap()
+        .collect()
+        .unwrap();
+    let g4 = af4
+        .groupby("twenty")
+        .agg_on("four", AggFunc::Max)
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert_eq!(g1.rows(), g4.rows());
+}

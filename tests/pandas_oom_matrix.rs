@@ -1,0 +1,59 @@
+//! The paper's Pandas memory-failure matrix: "Pandas threw an
+//! out-of-memory error on dataset sizes M, L, and XL, while all variants of
+//! PolyFrame were able to complete all operations on all of the tested
+//! dataset sizes."
+
+use polyframe_bench::expressions::{BenchExpr, ALL_EXPRESSIONS};
+use polyframe_bench::params::BenchParams;
+use polyframe_bench::systems::{SingleNodeSetup, SystemKind};
+use polyframe_bench::timing::time_expression;
+use polyframe_wisconsin::SizePreset;
+
+/// Keep the test fast: a tiny XS with proportional sizes.
+const XS: usize = 400;
+
+#[test]
+fn pandas_fails_on_m_l_xl_and_polyframe_never_does() {
+    let params = BenchParams::default();
+    for size in SizePreset::SCALED {
+        let n = size.records(XS);
+        let setup = SingleNodeSetup::build(n, XS);
+        let pandas_should_fail = matches!(size, SizePreset::M | SizePreset::L | SizePreset::Xl);
+
+        let t = time_expression(&setup, SystemKind::Pandas, BenchExpr(1), &params);
+        assert_eq!(
+            t.failed(),
+            pandas_should_fail,
+            "Pandas at {}: {:?}",
+            size.name(),
+            t.outcome
+        );
+        if pandas_should_fail {
+            assert!(t.outcome.unwrap_err().contains("MemoryError"));
+        }
+
+        // PolyFrame completes everything at every size.
+        for kind in [
+            SystemKind::Asterix,
+            SystemKind::Postgres,
+            SystemKind::Mongo,
+            SystemKind::Neo4j,
+        ] {
+            let t = time_expression(&setup, kind, BenchExpr(1), &params);
+            assert!(!t.failed(), "{} at {}", kind.name(), size.name());
+        }
+    }
+}
+
+#[test]
+fn pandas_completes_every_expression_on_xs_and_s() {
+    let params = BenchParams::default();
+    for size in [SizePreset::Xs, SizePreset::S] {
+        let setup = SingleNodeSetup::build(size.records(XS), XS);
+        let (df, df2) = setup.pandas_create().expect("XS/S must load");
+        for expr in ALL_EXPRESSIONS {
+            let out = expr.run_pandas(&df, &df2, &params);
+            assert!(out.is_ok(), "expr {} at {}: {:?}", expr.0, size.name(), out);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! The paper's per-system optimizer observations, asserted as *plan
+//! choices* (section IV.E's analysis is about which physical plan each
+//! system picks — this test pins every claim).
+
+use polyframe_docstore::DocStore;
+use polyframe_graphstore::GraphStore;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+
+const N: usize = 500;
+
+fn engine(config: EngineConfig) -> Engine {
+    let e = Engine::new(config);
+    let ns = e.config().default_namespace.clone();
+    let records = generate(&WisconsinConfig::new(N));
+    e.create_dataset(&ns, "data", Some("unique2"));
+    e.load(&ns, "data", records).unwrap();
+    for attr in ["unique1", "ten", "onePercent", "tenPercent"] {
+        e.create_index(&ns, "data", attr).unwrap();
+    }
+    e
+}
+
+#[test]
+fn expr1_count_plans_differ_by_personality() {
+    // AsterixDB counts via the primary index (paper: "was able to take
+    // advantage of a primary key index for this particular expression").
+    let a = engine(EngineConfig::asterixdb());
+    let plan = a.explain("SELECT VALUE COUNT(*) FROM data").unwrap();
+    assert!(plan.contains("PrimaryIndexCount"), "{plan}");
+
+    // "MongoDB and PostgreSQL resorted to table scans."
+    let p = engine(EngineConfig::postgres());
+    let plan = p
+        .explain("SELECT COUNT(*) FROM (SELECT * FROM data) t")
+        .unwrap();
+    assert!(plan.contains("SeqScan"), "{plan}");
+}
+
+#[test]
+fn expr6_7_index_only_min_max_is_pg12_only() {
+    let q = "SELECT MAX(\"unique1\") FROM (SELECT unique1 FROM (SELECT * FROM data) t) t";
+    let p12 = engine(EngineConfig::postgres());
+    let plan = p12.explain(q).unwrap();
+    assert!(plan.contains("IndexMinMax"), "pg12: {plan}");
+
+    // Greenplum's PostgreSQL 9.5 "was not the case".
+    let p95 = engine(EngineConfig::greenplum());
+    let plan = p95.explain(q).unwrap();
+    assert!(!plan.contains("IndexMinMax"), "pg95: {plan}");
+    assert!(plan.contains("Aggregate"), "pg95: {plan}");
+
+    // AsterixDB: no index-only scans either.
+    let a = engine(EngineConfig::asterixdb());
+    let plan = a
+        .explain("SELECT MAX(unique1) FROM (SELECT unique1 FROM (SELECT VALUE t FROM data t) t) t")
+        .unwrap();
+    assert!(!plan.contains("IndexMinMax"), "asterix: {plan}");
+}
+
+#[test]
+fn expr9_backward_index_scan_is_pg12_only() {
+    let q = "SELECT t.* FROM (SELECT * FROM data) t ORDER BY t.\"unique1\" DESC LIMIT 5";
+    let p12 = engine(EngineConfig::postgres());
+    let plan = p12.explain(q).unwrap();
+    assert!(plan.contains("IndexOrderedScan") && plan.contains("Backward"), "pg12: {plan}");
+
+    // "Greenplum was not able to use the backward-index scan ... instead it
+    // did a table scan."
+    let p95 = engine(EngineConfig::greenplum());
+    let plan = p95.explain(q).unwrap();
+    assert!(plan.contains("Sort") && plan.contains("SeqScan"), "pg95: {plan}");
+}
+
+#[test]
+fn expr13_nulls_in_index_is_postgres_only() {
+    // "null and missing values are only recorded in the attribute's index
+    // in PostgreSQL."
+    let p12 = engine(EngineConfig::postgres());
+    let plan = p12
+        .explain("SELECT COUNT(*) FROM (SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"tenPercent\" IS NULL) t")
+        .unwrap();
+    assert!(plan.contains("IndexOnlyCount") && plan.contains("unknown keys"), "pg12: {plan}");
+
+    // AsterixDB "support[s] data with missing attributes, but missing
+    // values are not present in their indexes" -> scan.
+    let a = engine(EngineConfig::asterixdb());
+    let plan = a
+        .explain("SELECT VALUE COUNT(*) FROM (SELECT VALUE t FROM (SELECT VALUE t FROM data t) t WHERE tenPercent IS UNKNOWN) t")
+        .unwrap();
+    assert!(plan.contains("SeqScan"), "asterix: {plan}");
+}
+
+#[test]
+fn expr12_index_only_join_is_asterixdb_only() {
+    let a = engine(EngineConfig::asterixdb());
+    let ns = "Default";
+    let records = generate(&WisconsinConfig::new(N));
+    a.create_dataset(ns, "rightData", Some("unique2"));
+    a.load(ns, "rightData", records.clone()).unwrap();
+    a.create_index(ns, "rightData", "unique1").unwrap();
+    let plan = a
+        .explain("SELECT VALUE COUNT(*) FROM (SELECT l, r FROM data l JOIN rightData r ON l.unique1 = r.unique1) t")
+        .unwrap();
+    assert!(plan.contains("IndexOnlyJoinCount"), "asterix: {plan}");
+
+    // PostgreSQL "used index nested loop joins followed by data scans."
+    let p = engine(EngineConfig::postgres());
+    p.create_dataset("public", "rightData", Some("unique2"));
+    p.load("public", "rightData", records).unwrap();
+    p.create_index("public", "rightData", "unique1").unwrap();
+    let plan = p
+        .explain("SELECT COUNT(*) FROM (SELECT l.*, r.* FROM (SELECT * FROM data) l INNER JOIN (SELECT * FROM \"rightData\") r ON l.unique1 = r.unique1) t")
+        .unwrap();
+    assert!(plan.contains("IndexNLJoin"), "pg: {plan}");
+}
+
+#[test]
+fn expr10_selection_uses_index_everywhere() {
+    let p = engine(EngineConfig::postgres());
+    let plan = p
+        .explain("SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"ten\" = 4 LIMIT 5")
+        .unwrap();
+    assert!(plan.contains("IndexScan"), "{plan}");
+}
+
+#[test]
+fn neo4j_metadata_count_vs_mongo_pipeline_scan() {
+    // Neo4j: "retrieving the count of records is an instant metadata
+    // lookup".
+    let g = GraphStore::new();
+    g.insert_nodes("data", generate(&WisconsinConfig::new(N)))
+        .unwrap();
+    let explain = g.explain("MATCH(t: data) RETURN COUNT(*) AS t").unwrap();
+    assert!(explain.contains("MetadataCount"), "{explain}");
+
+    // MongoDB has the same metadata, but "this particular optimization is
+    // not enabled as part of a MongoDB aggregation pipeline": the pipeline
+    // count is a COLLSCAN even though count_documents() is O(1).
+    let store = DocStore::new();
+    store.create_collection("data");
+    store
+        .insert_many("data", generate(&WisconsinConfig::new(N)))
+        .unwrap();
+    assert_eq!(store.count_documents("data").unwrap(), N);
+    let explain = store
+        .explain("data", r#"[{"$match":{}},{"$count":"count"}]"#)
+        .unwrap();
+    assert!(explain.contains("COLLSCAN"), "{explain}");
+}
+
+#[test]
+fn mongo_sort_limit_uses_backward_index() {
+    let store = DocStore::new();
+    store.create_collection("data");
+    store
+        .insert_many("data", generate(&WisconsinConfig::new(N)))
+        .unwrap();
+    store.create_index("data", "unique1").unwrap();
+    let explain = store
+        .explain(
+            "data",
+            r#"[{"$match":{}},{"$sort":{"unique1":-1}},{"$project":{"_id":0}},{"$limit":5}]"#,
+        )
+        .unwrap();
+    assert!(explain.contains("IXSCAN ordered(unique1 desc)"), "{explain}");
+}

@@ -1,0 +1,184 @@
+//! Property-based cross-backend agreement: random filter/aggregate
+//! programs over random data must return identical answers on all four
+//! substrates — the strongest evidence that one set of DataFrame semantics
+//! survives four very different query languages.
+
+use polyframe::prelude::*;
+use polyframe_datamodel::{record, Record, Value};
+use polyframe_docstore::DocStore;
+use polyframe_graphstore::GraphStore;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A randomly generated filter program.
+#[derive(Debug, Clone)]
+enum Pred {
+    Cmp(u8, &'static str, i64),
+    IsNa(&'static str),
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+}
+
+const ATTRS: [&str; 3] = ["a", "b", "c"];
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    // Comparisons draw only from the never-null attributes `a`/`b`: MongoDB
+    // evaluates `$lt`/`$ne` under the BSON *total* order (missing < 0 is
+    // true!) while SQL/Cypher three-valued logic rejects unknown
+    // comparisons — a real cross-system divergence the paper's benchmark
+    // also sidesteps by filtering only non-null attributes. `isna` is the
+    // portable missing-value test and may use any attribute.
+    let leaf = prop_oneof![
+        (0..6u8, 0..2usize, -5i64..15).prop_map(|(op, ai, v)| Pred::Cmp(op, ATTRS[ai], v)),
+        (0..3usize).prop_map(|ai| Pred::IsNa(ATTRS[ai])),
+    ];
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+impl Pred {
+    fn to_expr(&self) -> Expr {
+        match self {
+            Pred::Cmp(op, attr, v) => {
+                let c = col(*attr);
+                match op {
+                    0 => c.eq(*v),
+                    1 => c.ne(*v),
+                    2 => c.gt(*v),
+                    3 => c.lt(*v),
+                    4 => c.ge(*v),
+                    _ => c.le(*v),
+                }
+            }
+            Pred::IsNa(attr) => col(*attr).is_na(),
+            Pred::And(a, b) => a.to_expr() & b.to_expr(),
+            Pred::Or(a, b) => a.to_expr() | b.to_expr(),
+        }
+    }
+
+    /// Reference semantics (Pandas-style: unknown comparisons are false).
+    fn eval(&self, rec: &Record) -> bool {
+        match self {
+            Pred::Cmp(op, attr, v) => match rec.get_or_missing(attr).as_i64() {
+                None => false,
+                Some(x) => match op {
+                    0 => x == *v,
+                    1 => x != *v,
+                    2 => x > *v,
+                    3 => x < *v,
+                    4 => x >= *v,
+                    _ => x <= *v,
+                },
+            },
+            Pred::IsNa(attr) => rec.get_or_missing(attr).is_unknown(),
+            Pred::And(a, b) => a.eval(rec) && b.eval(rec),
+            Pred::Or(a, b) => a.eval(rec) || b.eval(rec),
+        }
+    }
+}
+
+fn make_records(rows: &[(i64, i64, Option<i64>)]) -> Vec<Record> {
+    rows.iter()
+        .enumerate()
+        .map(|(i, (a, b, c))| {
+            let mut r = record! {"id" => i as i64, "a" => *a, "b" => *b};
+            if let Some(c) = c {
+                r.insert("c", *c);
+            }
+            r
+        })
+        .collect()
+}
+
+fn backends(records: &[Record]) -> Vec<AFrame> {
+    let asterix = Arc::new(Engine::new(EngineConfig::asterixdb()));
+    asterix.create_dataset("T", "d", Some("id"));
+    asterix.load("T", "d", records.to_vec()).unwrap();
+    asterix.create_index("T", "d", "a").unwrap();
+
+    let postgres = Arc::new(Engine::new(EngineConfig::postgres()));
+    postgres.create_dataset("T", "d", Some("id"));
+    postgres.load("T", "d", records.to_vec()).unwrap();
+    postgres.create_index("T", "d", "a").unwrap();
+
+    let mongo = Arc::new(DocStore::new());
+    mongo.create_collection("T.d");
+    mongo.insert_many("T.d", records.to_vec()).unwrap();
+    mongo.create_index("T.d", "a").unwrap();
+
+    let neo = Arc::new(GraphStore::new());
+    neo.insert_nodes("d", records.to_vec()).unwrap();
+    neo.create_index("d", "a").unwrap();
+
+    vec![
+        AFrame::new("T", "d", Arc::new(AsterixConnector::new(asterix))).unwrap(),
+        AFrame::new("T", "d", Arc::new(PostgresConnector::new(postgres))).unwrap(),
+        AFrame::new("T", "d", Arc::new(MongoConnector::new(mongo))).unwrap(),
+        AFrame::new("T", "d", Arc::new(Neo4jConnector::new(neo))).unwrap(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn filtered_counts_agree_across_backends(
+        rows in prop::collection::vec((-5i64..15, -5i64..15, prop::option::of(-5i64..15)), 1..40),
+        pred in arb_pred(),
+    ) {
+        // NOT is excluded from the generator: three-valued semantics make
+        // NOT(unknown) differ legitimately between SQL and Mongo truthiness;
+        // PolyFrame's benchmark programs never negate unknowns either.
+        let records = make_records(&rows);
+        let expected = records.iter().filter(|r| pred.eval(r)).count();
+        let expr = pred.to_expr();
+        for af in backends(&records) {
+            let got = af.mask(&expr).unwrap().len().unwrap();
+            prop_assert_eq!(got, expected, "{} pred {:?}", af.backend(), pred);
+        }
+    }
+
+    #[test]
+    fn aggregates_agree_across_backends(
+        rows in prop::collection::vec((-5i64..15, -5i64..15, prop::option::of(-5i64..15)), 1..30),
+    ) {
+        let records = make_records(&rows);
+        let known_a: Vec<i64> = rows.iter().map(|(a, _, _)| *a).collect();
+        let expect_max = Value::Int(*known_a.iter().max().unwrap());
+        let expect_min = Value::Int(*known_a.iter().min().unwrap());
+        let expect_mean = known_a.iter().sum::<i64>() as f64 / known_a.len() as f64;
+        for af in backends(&records) {
+            let series = af.col("a").unwrap();
+            prop_assert_eq!(series.max().unwrap(), expect_max.clone(), "{}", af.backend());
+            prop_assert_eq!(series.min().unwrap(), expect_min.clone(), "{}", af.backend());
+            let mean = series.mean().unwrap().as_f64().unwrap();
+            prop_assert!((mean - expect_mean).abs() < 1e-9, "{}", af.backend());
+        }
+    }
+
+    #[test]
+    fn groupby_counts_agree_across_backends(
+        rows in prop::collection::vec((0i64..4, -5i64..15, prop::option::of(-5i64..15)), 1..30),
+    ) {
+        let records = make_records(&rows);
+        let mut expected = std::collections::BTreeMap::new();
+        for (a, _, _) in &rows {
+            *expected.entry(*a).or_insert(0i64) += 1;
+        }
+        for af in backends(&records) {
+            let out = af.groupby("a").agg(polyframe::AggFunc::Count).unwrap().collect().unwrap();
+            prop_assert_eq!(out.len(), expected.len(), "{}", af.backend());
+            for row in out.rows() {
+                let key = row.get_path("a").as_i64().unwrap();
+                let cnt = row.get_path("cnt").as_i64().unwrap();
+                prop_assert_eq!(cnt, expected[&key], "{} key {}", af.backend(), key);
+            }
+        }
+    }
+}

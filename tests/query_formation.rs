@@ -1,0 +1,195 @@
+//! Paper Table I / Figure 2 / Figure 4 / Appendix A: the incremental query
+//! formation chain, asserted character-for-character through the public
+//! `AFrame` API (transformations never touch the database, so empty
+//! backends suffice).
+
+use polyframe::prelude::*;
+use polyframe_docstore::DocStore;
+use polyframe_graphstore::GraphStore;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use std::sync::Arc;
+
+fn frame(lang: Language) -> AFrame {
+    let conn: Arc<dyn DatabaseConnector> = match lang {
+        Language::SqlPlusPlus => Arc::new(AsterixConnector::new(Arc::new(Engine::new(
+            EngineConfig::asterixdb(),
+        )))),
+        Language::Sql => Arc::new(PostgresConnector::new(Arc::new(Engine::new(
+            EngineConfig::postgres(),
+        )))),
+        Language::Mongo => Arc::new(MongoConnector::new(Arc::new(DocStore::new()))),
+        Language::Cypher => Arc::new(Neo4jConnector::new(Arc::new(GraphStore::new()))),
+    };
+    AFrame::new("Test", "Users", conn).unwrap()
+}
+
+#[test]
+fn table1_operation_1_records() {
+    assert_eq!(
+        frame(Language::SqlPlusPlus).query(),
+        "SELECT VALUE t FROM Test.Users t"
+    );
+    assert_eq!(frame(Language::Sql).query(), "SELECT * FROM Test.Users");
+    assert_eq!(frame(Language::Mongo).query(), r#"{ "$match": {} }"#);
+    assert_eq!(frame(Language::Cypher).query(), "MATCH(t: Users)");
+}
+
+#[test]
+fn table1_operation_2_single_column() {
+    assert_eq!(
+        frame(Language::SqlPlusPlus).col("lang").unwrap().query(),
+        "SELECT t.lang\n FROM (SELECT VALUE t FROM Test.Users t) t"
+    );
+    assert_eq!(
+        frame(Language::Mongo).col("lang").unwrap().query(),
+        "{ \"$match\": {} },\n { \"$project\": { \"lang\": 1 } }"
+    );
+    assert_eq!(
+        frame(Language::Cypher).col("lang").unwrap().query(),
+        "MATCH(t: Users)\n WITH t{'lang': t.lang}"
+    );
+}
+
+#[test]
+fn table1_operation_3_boolean_column() {
+    // af['lang'] == 'en' as a derived column.
+    let af = frame(Language::Mongo);
+    let derived = af
+        .col("lang")
+        .unwrap()
+        .with_column("is_eq", &col("lang").eq("en"))
+        .unwrap();
+    assert!(
+        derived
+            .query()
+            .contains(r#"{ "$project": { "is_eq": { "$eq": ["$lang", "en"] } } }"#),
+        "{}",
+        derived.query()
+    );
+
+    let af = frame(Language::Cypher);
+    let derived = af
+        .col("lang")
+        .unwrap()
+        .with_column("is_eq", &col("lang").eq("en"))
+        .unwrap();
+    assert!(
+        derived.query().ends_with("WITH t{'is_eq': t.lang = \"en\"}"),
+        "{}",
+        derived.query()
+    );
+}
+
+#[test]
+fn appendix_a_sqlpp_final_product() {
+    let af = frame(Language::SqlPlusPlus);
+    let chained = af
+        .mask(&col("lang").eq("en"))
+        .unwrap()
+        .select(&["name", "address"])
+        .unwrap();
+    // head(10) wraps with the LIMIT rule; reproduce the final text.
+    let final_q = polyframe::Translator::new(chained.rules().clone())
+        .limit(chained.query(), 10)
+        .unwrap();
+    assert_eq!(
+        final_q,
+        "SELECT t.name, t.address\n FROM (SELECT VALUE t\n FROM (SELECT VALUE t FROM Test.Users t) t\n WHERE t.lang = \"en\") t\n LIMIT 10;"
+    );
+}
+
+#[test]
+fn appendix_a_sql_final_product() {
+    let af = frame(Language::Sql);
+    let chained = af
+        .mask(&col("lang").eq("en"))
+        .unwrap()
+        .select(&["name", "address"])
+        .unwrap();
+    let final_q = polyframe::Translator::new(chained.rules().clone())
+        .limit(chained.query(), 10)
+        .unwrap();
+    assert_eq!(
+        final_q,
+        "SELECT t.\"name\", t.\"address\"\n FROM (SELECT t.*\n FROM (SELECT * FROM Test.Users) t\n WHERE t.\"lang\" = 'en') t\n LIMIT 10;"
+    );
+}
+
+#[test]
+fn figure4_mongo_pipeline() {
+    let af = frame(Language::Mongo);
+    let chained = af
+        .mask(&col("lang").eq("en"))
+        .unwrap()
+        .select(&["name", "address"])
+        .unwrap();
+    let final_q = polyframe::Translator::new(chained.rules().clone())
+        .limit(chained.query(), 10)
+        .unwrap();
+    // Figure 4's five pipeline stages, in order.
+    let expected = concat!(
+        "{ \"$match\": {} },\n",
+        " { \"$match\": { \"$expr\": { \"$eq\": [\"$lang\", \"en\"] } } },\n",
+        " { \"$project\": { \"name\": 1, \"address\": 1 } },\n",
+        " { \"$project\": { \"_id\": 0 } },\n",
+        " { \"$limit\": 10 }"
+    );
+    assert_eq!(final_q, expected);
+}
+
+#[test]
+fn appendix_a_cypher_final_product() {
+    let af = frame(Language::Cypher);
+    let chained = af
+        .mask(&col("lang").eq("en"))
+        .unwrap()
+        .select(&["name", "address"])
+        .unwrap();
+    let final_q = polyframe::Translator::new(chained.rules().clone())
+        .limit(chained.query(), 10)
+        .unwrap();
+    assert_eq!(
+        final_q,
+        "MATCH(t: Users)\n WITH t WHERE t.lang = \"en\"\n WITH t{'name': t.name, 'address': t.address}\n RETURN t\n LIMIT 10"
+    );
+}
+
+#[test]
+fn transformations_never_touch_the_database() {
+    // Backends are empty and unloaded; a long transformation chain must
+    // still succeed because nothing executes.
+    for lang in [
+        Language::SqlPlusPlus,
+        Language::Sql,
+        Language::Mongo,
+        Language::Cypher,
+    ] {
+        let af = frame(lang);
+        let chained = af
+            .mask(&(col("a").eq(1) & col("b").gt(2)))
+            .unwrap()
+            .select(&["a", "b"])
+            .unwrap()
+            .sort_values("a", false)
+            .unwrap();
+        assert!(chained.query().len() > af.query().len());
+    }
+}
+
+#[test]
+fn paper_section3_example_min_age() {
+    // Section III.C: "to get the minimum value of 'age' from a dataset
+    // named 'Users' in a database named 'Test', PolyFrame will combine the
+    // rewrite results of operations 1, 2, and 3."
+    for (lang, needle) in [
+        (Language::SqlPlusPlus, "SELECT MIN(age)"),
+        (Language::Mongo, r#""min": { "$min": "$age" }"#),
+        (Language::Cypher, "WITH {'min': min(t.age)} AS t"),
+    ] {
+        let af = frame(lang);
+        let q = polyframe::Translator::new(af.rules().clone())
+            .agg_value(af.query(), "age", "min")
+            .unwrap();
+        assert!(q.contains(needle), "{}: {q}", lang.name());
+    }
+}
