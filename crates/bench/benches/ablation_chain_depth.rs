@@ -7,10 +7,10 @@
 //! subquery-composition design stays cheap as chains grow, because the
 //! optimizer flattens the onion (DESIGN.md, "query strings as state").
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use polyframe::expr::col;
 use polyframe::rewrite::{Language, RuleSet};
 use polyframe::Translator;
+use polyframe_bench::microbench::{BenchmarkId, Runner};
 use polyframe_sqlengine::{Engine, EngineConfig};
 
 fn build_chain(tr: &Translator, depth: usize) -> String {
@@ -21,7 +21,7 @@ fn build_chain(tr: &Translator, depth: usize) -> String {
     q
 }
 
-fn ablation(c: &mut Criterion) {
+fn ablation(c: &mut Runner) {
     // (a) rewrite cost per chain depth.
     let tr = Translator::new(RuleSet::builtin(Language::SqlPlusPlus));
     let mut g = c.benchmark_group("chain_rewrite");
@@ -45,5 +45,7 @@ fn ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablation);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_args();
+    ablation(&mut c);
+}

@@ -7,7 +7,7 @@
 //! ON vs OFF, quantifying what PolyFrame's reliance on backend optimizers
 //! actually buys.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use polyframe_bench::microbench::Runner;
 use polyframe_datamodel::Value;
 use polyframe_sqlengine::{Engine, EngineConfig};
 use polyframe_wisconsin::{generate, WisconsinConfig};
@@ -31,7 +31,7 @@ fn engines() -> (Engine, Engine) {
     (on, off)
 }
 
-fn ablation(c: &mut Criterion) {
+fn ablation(c: &mut Runner) {
     let (on, off) = engines();
     let queries = [
         (
@@ -59,7 +59,10 @@ fn ablation(c: &mut Criterion) {
         g.bench_function("indexes_on", |b| {
             b.iter(|| {
                 let rows = on.query(q).unwrap();
-                assert!(!rows.is_empty() || rows.first().map(|r| r.get_path("count")) == Some(Value::Int(0)));
+                assert!(
+                    !rows.is_empty()
+                        || rows.first().map(|r| r.get_path("count")) == Some(Value::Int(0))
+                );
                 rows
             })
         });
@@ -68,5 +71,7 @@ fn ablation(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, ablation);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_args();
+    ablation(&mut c);
+}

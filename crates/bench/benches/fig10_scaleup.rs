@@ -1,9 +1,9 @@
 //! Figure 10: scaleup — the dataset grows proportionally with the cluster
 //! (N records per node), so a perfectly scaling system holds its runtime
-//! flat. Criterion covers a representative expression subset; `harness
+//! flat. The micro-bench covers a representative expression subset; `harness
 //! scaleup` sweeps all 13.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use polyframe_bench::microbench::Runner;
 use polyframe_bench::params::BenchParams;
 use polyframe_bench::systems::{ClusterKind, MultiNodeSetup};
 use polyframe_bench::BenchExpr;
@@ -11,7 +11,7 @@ use polyframe_bench::BenchExpr;
 const RECORDS_PER_NODE: usize = 10_000;
 const EXPRS: [u8; 5] = [1, 3, 6, 9, 11];
 
-fn fig10(c: &mut Criterion) {
+fn fig10(c: &mut Runner) {
     let params = BenchParams::default();
     for shards in 1..=4usize {
         let setup = MultiNodeSetup::build(shards, RECORDS_PER_NODE * shards);
@@ -20,11 +20,10 @@ fn fig10(c: &mut Criterion) {
             let df2 = setup.polyframe_right(kind);
             for expr_id in EXPRS {
                 let expr = BenchExpr(expr_id);
-                let mut g =
-                    c.benchmark_group(format!("fig10_expr{expr_id:02}_{}nodes", shards));
+                let mut g = c.benchmark_group(format!("fig10_expr{expr_id:02}_{}nodes", shards));
                 g.sample_size(10);
-        g.warm_up_time(std::time::Duration::from_millis(200));
-        g.measurement_time(std::time::Duration::from_millis(600));
+                g.warm_up_time(std::time::Duration::from_millis(200));
+                g.measurement_time(std::time::Duration::from_millis(600));
                 g.bench_function(kind.name(), |b| {
                     // Report the simulated-parallel critical path, not the
                     // (single-core) wall clock.
@@ -46,5 +45,7 @@ fn fig10(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, fig10);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_args();
+    fig10(&mut c);
+}

@@ -3,15 +3,15 @@
 //! creation + expression, and creation is benchmarked separately), plus the
 //! Empty-dataset baseline for expressions 2 and 10.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use polyframe_bench::expressions::ALL_EXPRESSIONS;
+use polyframe_bench::microbench::Runner;
 use polyframe_bench::params::BenchParams;
 use polyframe_bench::systems::{SingleNodeSetup, SystemKind};
 use polyframe_bench::BenchExpr;
 
 const XS: usize = 4_000;
 
-fn fig5(c: &mut Criterion) {
+fn fig5(c: &mut Runner) {
     let setup = SingleNodeSetup::build(XS, XS);
     let empty = SingleNodeSetup::build(0, XS);
     let params = BenchParams::default();
@@ -83,5 +83,7 @@ fn fig5(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, fig5);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_args();
+    fig5(&mut c);
+}

@@ -1,6 +1,6 @@
 //! Figure 7: expressions 6-10 across the XS-XL dataset sizes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use polyframe_bench::microbench::Runner;
 use polyframe_bench::params::BenchParams;
 use polyframe_bench::systems::{SingleNodeSetup, SystemKind};
 use polyframe_bench::BenchExpr;
@@ -8,7 +8,7 @@ use polyframe_wisconsin::SizePreset;
 
 const XS: usize = 1_000;
 
-fn fig7(c: &mut Criterion) {
+fn fig7(c: &mut Runner) {
     let params = BenchParams::default();
     for size in SizePreset::SCALED {
         let n = size.records(XS);
@@ -18,8 +18,8 @@ fn fig7(c: &mut Criterion) {
             let expr = BenchExpr(expr_id);
             let mut g = c.benchmark_group(format!("fig7_expr{expr_id:02}_{}", size.name()));
             g.sample_size(10);
-        g.warm_up_time(std::time::Duration::from_millis(200));
-        g.measurement_time(std::time::Duration::from_millis(600));
+            g.warm_up_time(std::time::Duration::from_millis(200));
+            g.measurement_time(std::time::Duration::from_millis(600));
             if let Some((pdf, pdf2)) = &pandas {
                 g.bench_function("Pandas", |b| {
                     b.iter(|| expr.run_pandas(pdf, pdf2, &params).unwrap())
@@ -42,5 +42,7 @@ fn fig7(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, fig7);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_args();
+    fig7(&mut c);
+}

@@ -3,12 +3,12 @@
 //! each of the four languages. This is PolyFrame's client-side overhead
 //! per transformation (no database involved).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use polyframe::expr::col;
 use polyframe::rewrite::{Language, RuleSet};
 use polyframe::Translator;
+use polyframe_bench::microbench::Runner;
 
-fn table1(c: &mut Criterion) {
+fn table1(c: &mut Runner) {
     let mut g = c.benchmark_group("table1_query_formation");
     for lang in [
         Language::SqlPlusPlus,
@@ -34,5 +34,7 @@ fn table1(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, table1);
-criterion_main!(benches);
+fn main() {
+    let mut c = Runner::from_args();
+    table1(&mut c);
+}

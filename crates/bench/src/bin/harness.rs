@@ -2,7 +2,8 @@
 //! figure of the PolyFrame paper as text tables.
 //!
 //! ```text
-//! harness single-node [--size xs|s|m|l|xl|empty|all] [--scale N]   Figs 5-8
+//! harness single-node [--size xs|s|m|l|xl|empty|all] [--scale N]
+//!                      [--json PATH]                                Figs 5-8
 //! harness speedup     [--shards N] [--records N]                   Fig 9
 //! harness scaleup     [--shards N] [--records N]                   Fig 10
 //! harness translate                                                Table I / Fig 2 / Fig 4
@@ -15,7 +16,7 @@
 use polyframe::prelude::*;
 use polyframe_bench::expressions::ALL_EXPRESSIONS;
 use polyframe_bench::params::BenchParams;
-use polyframe_bench::report::{fmt_duration, fmt_ratio, Table};
+use polyframe_bench::report::{fmt_duration, fmt_ratio, json_record, Table};
 use polyframe_bench::systems::{ClusterKind, MultiNodeSetup, SingleNodeSetup, SystemKind};
 use polyframe_bench::timing::{time_cluster_expression, time_expression};
 use polyframe_wisconsin::SizePreset;
@@ -34,6 +35,12 @@ fn main() {
             .unwrap_or(default)
     };
     let scale = get_flag("--scale", DEFAULT_XS);
+    let get_str_flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
 
     match cmd {
         "single-node" => {
@@ -60,8 +67,19 @@ fn main() {
                     std::process::exit(2);
                 }
             };
+            let mut records = Vec::new();
             for size in sizes {
-                single_node(size, scale);
+                single_node(size, scale, &mut records);
+            }
+            if let Some(path) = get_str_flag("--json") {
+                let body = format!("[\n{}\n]\n", records.join(",\n"));
+                match std::fs::write(&path, body) {
+                    Ok(()) => println!("\nwrote {} JSON records to {path}", records.len()),
+                    Err(e) => {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
             }
         }
         "speedup" => {
@@ -79,17 +97,22 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: harness <single-node|speedup|scaleup|translate|sizes> [options]\n\
-                 options: --size xs|s|m|l|xl|empty|all, --scale N, --shards N, --records N"
+                 options: --size xs|s|m|l|xl|empty|all, --scale N, --shards N, --records N,\n\
+                 --json PATH (single-node: per-stage trace report)"
             );
         }
     }
 }
 
 /// Figures 5-8: one dataset size, all systems, all 13 expressions, both
-/// timing points.
-fn single_node(size: SizePreset, scale: usize) {
+/// timing points. Each run also appends a JSON record with the per-stage
+/// trace breakdown to `json_out`.
+fn single_node(size: SizePreset, scale: usize, json_out: &mut Vec<String>) {
     let n = size.records(scale);
-    println!("\n=== Single node, dataset {} ({n} records) ===", size.name());
+    println!(
+        "\n=== Single node, dataset {} ({n} records) ===",
+        size.name()
+    );
     let setup = SingleNodeSetup::build(n, scale);
     let params = BenchParams::default();
 
@@ -105,6 +128,7 @@ fn single_node(size: SizePreset, scale: usize) {
         let mut erow = vec![expr.0.to_string()];
         for kind in systems {
             let t = time_expression(&setup, kind, expr, &params);
+            json_out.push(json_record(size.name(), n, expr.0, kind.name(), &t));
             if t.failed() {
                 trow.push("OOM".to_string());
                 erow.push("OOM".to_string());

@@ -2,8 +2,8 @@
 //! PolyFrame frame or the eager Pandas stand-in.
 
 use crate::params::BenchParams;
-use polyframe::prelude::*;
 use polyframe::dataframe::AggFunc as PfAgg;
+use polyframe::prelude::*;
 use polyframe_datamodel::Value;
 use polyframe_eager::{AggKind, EagerFrame};
 
@@ -80,10 +80,7 @@ impl BenchExpr {
                 Ok(Outcome::Count(masked.len()?))
             }
             4 => {
-                let res = df
-                    .groupby("oddOnePercent")
-                    .agg(PfAgg::Count)?
-                    .collect()?;
+                let res = df.groupby("oddOnePercent").agg(PfAgg::Count)?.collect()?;
                 Ok(Outcome::Rows(res.len()))
             }
             5 => Ok(Outcome::Rows(
@@ -98,11 +95,12 @@ impl BenchExpr {
             9 => Ok(Outcome::Rows(
                 df.sort_values("unique1", false)?.head(5)?.len(),
             )),
-            10 => Ok(Outcome::Rows(df.mask(&col("ten").eq(p.ten))?.head(5)?.len())),
+            10 => Ok(Outcome::Rows(
+                df.mask(&col("ten").eq(p.ten))?.head(5)?.len(),
+            )),
             11 => {
-                let masked = df.mask(
-                    &(col("onePercent").ge(p.range_lo) & col("onePercent").le(p.range_hi)),
-                )?;
+                let masked = df
+                    .mask(&(col("onePercent").ge(p.range_lo) & col("onePercent").le(p.range_hi)))?;
                 Ok(Outcome::Count(masked.len()?))
             }
             12 => Ok(Outcome::Count(df.merge(df2, "unique1")?.len()?)),
@@ -143,7 +141,9 @@ impl BenchExpr {
             8 => Ok(Outcome::Rows(
                 df.groupby_agg("twenty", "four", AggKind::Max)?.len(),
             )),
-            9 => Ok(Outcome::Rows(df.sort_values("unique1", false)?.head(5)?.len())),
+            9 => Ok(Outcome::Rows(
+                df.sort_values("unique1", false)?.head(5)?.len(),
+            )),
             10 => {
                 // Eager trap: filter materializes the whole selection.
                 let mask = df.col("ten")?.eq(&Value::Int(p.ten), &budget)?;
@@ -172,9 +172,7 @@ impl BenchExpr {
             1 => Some(Outcome::Count(n)),
             3 => Some(Outcome::Count(
                 (0..n_i)
-                    .filter(|u| {
-                        u % 10 == p.ten && u % 5 == p.twenty_percent && u % 2 == p.two
-                    })
+                    .filter(|u| u % 10 == p.ten && u % 5 == p.twenty_percent && u % 2 == p.two)
                     .count(),
             )),
             6 => Some(Outcome::Scalar(Value::Int(n_i - 1))),

@@ -9,11 +9,12 @@
 //! eager baseline) and PolyFrame on AsterixDB, PostgreSQL, MongoDB and
 //! Neo4j — plus the multi-node speedup/scaleup harness for Figures 9/10.
 //!
-//! The `harness` binary regenerates every figure's data as text tables;
-//! the Criterion benches (`benches/`) provide statistically rigorous
-//! per-figure timings.
+//! The `harness` binary regenerates every figure's data as text tables
+//! plus a JSON report with per-stage trace breakdowns; the micro-benches
+//! (`benches/`, built on [`microbench`]) provide per-figure timings.
 
 pub mod expressions;
+pub mod microbench;
 pub mod params;
 pub mod report;
 pub mod systems;

@@ -1,0 +1,221 @@
+//! Minimal micro-benchmark runner for the `benches/` targets.
+//!
+//! The API mirrors the criterion surface the benches were written against
+//! (`benchmark_group` → `sample_size`/`warm_up_time`/`measurement_time` →
+//! `bench_function` with `iter`/`iter_custom`) so bench bodies read the
+//! same, but the implementation is dependency-free: each sample times one
+//! iteration, and a line of min/median/mean statistics is printed per
+//! benchmark. Pass a substring as the first non-flag CLI argument to run
+//! only matching benchmarks (cargo bench's filter convention).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Top-level runner: owns the CLI filter and prints one stats line per
+/// benchmark.
+pub struct Runner {
+    filter: Option<String>,
+}
+
+impl Runner {
+    /// Build from `std::env::args()`: the first argument that is not a
+    /// `--flag` (cargo bench passes `--bench`) is the name filter.
+    pub fn from_args() -> Runner {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Runner { filter }
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> Group<'_> {
+        Group {
+            runner: self,
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+pub struct Group<'a> {
+    runner: &'a mut Runner,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Group<'_> {
+    /// Number of timed samples per benchmark (min 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// How long to run untimed warm-up iterations.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Upper bound on total timed measurement per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark. The closure receives a [`Bencher`] and must call
+    /// `iter` or `iter_custom` exactly once.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = format!("{}/{}", self.name, id);
+        if !self.runner.matches(&full_name) {
+            return self;
+        }
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&full_name, &mut b.samples);
+        self
+    }
+
+    /// criterion-style parameterized benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id.0, |b| f(b, input))
+    }
+
+    /// End the group (statistics are printed eagerly, so this is a no-op
+    /// kept for call-site symmetry).
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Use the parameter's `Display` form as the benchmark name.
+    pub fn from_parameter(p: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(p.to_string())
+    }
+}
+
+/// Collects timed samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f` once per sample after a warm-up period.
+    pub fn iter<T, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> T,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(f());
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let s = Instant::now();
+            black_box(f());
+            self.samples.push(s.elapsed());
+            if measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+
+    /// Let the closure time itself: it receives an iteration count and
+    /// returns the total elapsed time for that many iterations (used for
+    /// simulated-parallel cluster timings).
+    pub fn iter_custom<F>(&mut self, mut f: F)
+    where
+        F: FnMut(u64) -> Duration,
+    {
+        black_box(f(1)); // warm-up
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size {
+            self.samples.push(f(1));
+            if measure_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "{name:<48} min {min:>12?}  median {median:>12?}  mean {mean:>12?}  ({} samples)",
+        samples.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_collects_samples() {
+        let mut runner = Runner { filter: None };
+        let mut hits = 0usize;
+        {
+            let mut g = runner.benchmark_group("g");
+            g.sample_size(3)
+                .warm_up_time(Duration::ZERO)
+                .measurement_time(Duration::from_secs(5));
+            g.bench_function("work", |b| b.iter(|| std::hint::black_box(2 + 2)));
+            g.bench_function("custom", |b| {
+                b.iter_custom(|iters| {
+                    hits += iters as usize;
+                    Duration::from_micros(5)
+                })
+            });
+            g.finish();
+        }
+        assert!(hits >= 3);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut runner = Runner {
+            filter: Some("nomatch".to_string()),
+        };
+        let mut ran = false;
+        let mut g = runner.benchmark_group("g");
+        g.bench_function("x", |_b| ran = true);
+        g.finish();
+        assert!(!ran);
+    }
+}

@@ -1,7 +1,6 @@
 //! Benchmark parameters (the paper's `x`, `y`, `z` random values).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use polyframe_observe::Rng;
 
 /// Parameter values drawn "within an attribute's range" (Table III note).
 #[derive(Debug, Clone, Copy)]
@@ -23,12 +22,12 @@ pub struct BenchParams {
 impl BenchParams {
     /// Draw parameters from a seeded RNG (deterministic across runs).
     pub fn seeded(seed: u64) -> BenchParams {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let ten = rng.gen_range(0..10i64);
+        let mut rng = Rng::seed_from_u64(seed);
+        let ten = rng.gen_range_i64(0, 10);
         // ten = unique1 % 10 forces unique1 % 5 and % 2:
         let twenty_percent = ten % 5;
         let two = ten % 2;
-        let range_lo = rng.gen_range(0..80i64);
+        let range_lo = rng.gen_range_i64(0, 80);
         BenchParams {
             ten,
             twenty_percent,

@@ -54,6 +54,86 @@ impl Table {
     }
 }
 
+/// The stage names broken out per record in the JSON report, in lifecycle
+/// order (`shard` aggregates every `shard[i]` span).
+pub const REPORT_STAGES: [&str; 8] = [
+    "rewrite",
+    "preprocess",
+    "parse",
+    "plan",
+    "exec",
+    "shard",
+    "merge",
+    "postprocess",
+];
+
+/// Total time attributed to a report stage anywhere in the trace. `shard`
+/// sums every span whose name starts with `shard[`; other names sum exact
+/// matches (via `QueryTrace::stage_total`).
+pub fn report_stage_total(trace: &polyframe_observe::QueryTrace, stage: &str) -> Duration {
+    fn prefixed(span: &polyframe_observe::Span, prefix: &str) -> Duration {
+        let own = if span.name().starts_with(prefix) {
+            span.duration()
+        } else {
+            Duration::ZERO
+        };
+        own + span
+            .children()
+            .iter()
+            .map(|c| prefixed(c, prefix))
+            .sum::<Duration>()
+    }
+    if stage == "shard" {
+        prefixed(trace.root(), "shard[")
+    } else {
+        trace.stage_total(stage)
+    }
+}
+
+/// One `(system, expression)` record of the harness's JSON report: the
+/// two timing points, the per-stage breakdown, and the full span tree.
+pub fn json_record(
+    size: &str,
+    records: usize,
+    expr: u8,
+    system: &str,
+    timing: &crate::timing::Timing,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"size\":\"{size}\",\"records\":{records},\"expr\":{expr},\"system\":\"{system}\""
+    ));
+    match &timing.outcome {
+        Ok(_) => out.push_str(",\"ok\":true"),
+        Err(e) => out.push_str(&format!(
+            ",\"ok\":false,\"error\":\"{}\"",
+            e.replace('\\', "\\\\").replace('"', "\\\"")
+        )),
+    }
+    out.push_str(&format!(
+        ",\"total_ns\":{},\"creation_ns\":{},\"expression_ns\":{}",
+        timing.total().as_nanos(),
+        timing.creation.as_nanos(),
+        timing.expression.as_nanos()
+    ));
+    if let Some(trace) = &timing.trace {
+        out.push_str(",\"stages\":{");
+        for (i, stage) in REPORT_STAGES.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{stage}_ns\":{}",
+                report_stage_total(trace, stage).as_nanos()
+            ));
+        }
+        out.push('}');
+        out.push_str(&format!(",\"trace\":{}", trace.to_json()));
+    }
+    out.push('}');
+    out
+}
+
 /// Format a duration in adaptive units (µs under 1 ms, else ms).
 pub fn fmt_duration(d: Duration) -> String {
     let us = d.as_micros();

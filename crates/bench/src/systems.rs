@@ -107,7 +107,9 @@ impl SingleNodeSetup {
             }
         };
         let pandas_budget = MemoryBudget::with_limit(
-            xs_bytes.saturating_mul(PANDAS_BUDGET_XS_MULTIPLE).max(1 << 20),
+            xs_bytes
+                .saturating_mul(PANDAS_BUDGET_XS_MULTIPLE)
+                .max(1 << 20),
         );
 
         let asterix = Arc::new(Engine::new(EngineConfig::asterixdb()));

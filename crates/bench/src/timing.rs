@@ -3,6 +3,7 @@
 use crate::expressions::{BenchExpr, Outcome};
 use crate::params::BenchParams;
 use crate::systems::{SingleNodeSetup, SystemKind};
+use polyframe_observe::QueryTrace;
 use std::time::{Duration, Instant};
 
 /// One measured run.
@@ -15,6 +16,9 @@ pub struct Timing {
     /// The outcome (for agreement checks), or the failure message —
     /// Pandas reports `MemoryError` on oversized datasets.
     pub outcome: Result<Outcome, String>,
+    /// Lifecycle trace of the expression's final action (PolyFrame
+    /// systems only — Pandas has no query lifecycle).
+    pub trace: Option<QueryTrace>,
 }
 
 impl Timing {
@@ -63,6 +67,7 @@ pub fn time_expression(
                     creation,
                     expression: Duration::ZERO,
                     outcome: Err(e.to_string()),
+                    trace: None,
                 },
                 Ok((df, df2)) => {
                     let start = Instant::now();
@@ -72,6 +77,7 @@ pub fn time_expression(
                         creation,
                         expression,
                         outcome: outcome.map_err(|e| e.to_string()),
+                        trace: None,
                     }
                 }
             }
@@ -88,6 +94,7 @@ pub fn time_expression(
                 creation,
                 expression,
                 outcome: outcome.map_err(|e| e.to_string()),
+                trace: df.last_trace(),
             }
         }
     }
@@ -115,6 +122,7 @@ pub fn time_cluster_expression(
         creation: Duration::ZERO,
         expression,
         outcome: outcome.map_err(|e| e.to_string()),
+        trace: df.last_trace(),
     }
 }
 
@@ -135,6 +143,9 @@ mod tests {
         // PolyFrame creation builds a query string, not a dataset copy.
         assert!(t.creation < t.total());
         assert_eq!(t.outcome.unwrap(), Outcome::Count(500));
+        // The measured run leaves its lifecycle trace behind.
+        let trace = t.trace.expect("polyframe runs record a trace");
+        assert!(trace.span("execute").is_some());
     }
 
     #[test]

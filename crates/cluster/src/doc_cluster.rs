@@ -49,6 +49,11 @@ impl MongoCluster {
         self.stats.take()
     }
 
+    /// Peek at the stats of the most recent query without draining.
+    pub fn last_stats(&self) -> Option<QueryStats> {
+        self.stats.last()
+    }
+
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
         self.shards.len()
@@ -90,19 +95,18 @@ impl MongoCluster {
             buckets[shard_for(&key, n)].push(doc);
             total += 1;
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (shard, bucket) in self.shards.iter().zip(buckets) {
                 let shard = Arc::clone(shard);
                 let collection = collection.to_string();
-                handles.push(scope.spawn(move |_| shard.insert_many(&collection, bucket)));
+                handles.push(scope.spawn(move || shard.insert_many(&collection, bucket)));
             }
             for h in handles {
                 h.join().expect("shard insert thread panicked")?;
             }
             Ok(())
-        })
-        .expect("thread scope")?;
+        })?;
         Ok(total)
     }
 
@@ -136,10 +140,9 @@ impl MongoCluster {
                 shard_stages,
                 limit,
             } => {
-                let (parts, shard_times) =
-                    self.run_shards(collection, move |shard, coll| {
-                        shard.aggregate_stages(coll, &shard_stages)
-                    })?;
+                let (parts, shard_times) = self.run_shards(collection, move |shard, coll| {
+                    shard.aggregate_stages(coll, &shard_stages)
+                })?;
                 let merge_start = Instant::now();
                 let mut rows: Vec<Value> = parts.into_iter().flatten().collect();
                 if let Some(n) = limit {
@@ -153,10 +156,9 @@ impl MongoCluster {
                 name,
                 post,
             } => {
-                let (parts, shard_times) =
-                    self.run_shards(collection, move |shard, coll| {
-                        shard.aggregate_stages(coll, &shard_stages)
-                    })?;
+                let (parts, shard_times) = self.run_shards(collection, move |shard, coll| {
+                    shard.aggregate_stages(coll, &shard_stages)
+                })?;
                 let merge_start = Instant::now();
                 let merged = merge_counts(parts, &name);
                 let out = apply_stages_to_rows(merged, &post);
@@ -172,11 +174,10 @@ impl MongoCluster {
                 // Each shard runs the pre-group prefix AND the partial
                 // grouping, so the reduction happens shard-side.
                 let accs_for_merge = accs.clone();
-                let (parts, shard_times) =
-                    self.run_shards(collection, move |shard, coll| {
-                        let rows = shard.aggregate_stages(coll, &shard_stages)?;
-                        partial_group(rows, &id, &accs)
-                    })?;
+                let (parts, shard_times) = self.run_shards(collection, move |shard, coll| {
+                    let rows = shard.aggregate_stages(coll, &shard_stages)?;
+                    partial_group(rows, &id, &accs)
+                })?;
                 let merge_start = Instant::now();
                 let merged = merge_groups(parts, &accs_for_merge)?;
                 let out = apply_stages_to_rows(merged, &post);
@@ -189,10 +190,9 @@ impl MongoCluster {
                 limit,
                 post,
             } => {
-                let (parts, shard_times) =
-                    self.run_shards(collection, move |shard, coll| {
-                        shard.aggregate_stages(coll, &shard_stages)
-                    })?;
+                let (parts, shard_times) = self.run_shards(collection, move |shard, coll| {
+                    shard.aggregate_stages(coll, &shard_stages)
+                })?;
                 let merge_start = Instant::now();
                 let merged = merge_topk(parts, &sort, limit);
                 let out = apply_stages_to_rows(merged, &post);
@@ -216,13 +216,13 @@ impl MongoCluster {
         F: Fn(&DocStore, &str) -> Result<Vec<Value>> + Sync,
     {
         match self.mode {
-            ExecMode::Threads => crossbeam::thread::scope(|scope| {
+            ExecMode::Threads => std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for shard in &self.shards {
                     let shard = Arc::clone(shard);
                     let collection = collection.to_string();
                     let work = &work;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let start = Instant::now();
                         work(&shard, &collection).map(|rows| (rows, start.elapsed()))
                     }));
@@ -235,8 +235,7 @@ impl MongoCluster {
                     times.push(t);
                 }
                 Ok((parts, times))
-            })
-            .expect("thread scope"),
+            }),
             ExecMode::Sequential => {
                 let mut parts = Vec::new();
                 let mut times = Vec::new();

@@ -36,7 +36,9 @@ impl SqlCluster {
     ) -> SqlCluster {
         assert!(n >= 1, "a cluster needs at least one shard");
         SqlCluster {
-            shards: (0..n).map(|_| Arc::new(Engine::new(config.clone()))).collect(),
+            shards: (0..n)
+                .map(|_| Arc::new(Engine::new(config.clone())))
+                .collect(),
             partition_key: partition_key.into(),
             mode,
             stats: StatsRecorder::new(),
@@ -63,6 +65,11 @@ impl SqlCluster {
     /// Drain the raw per-query stats.
     pub fn take_stats(&self) -> Vec<QueryStats> {
         self.stats.take()
+    }
+
+    /// Peek at the stats of the most recent query without draining.
+    pub fn last_stats(&self) -> Option<QueryStats> {
+        self.stats.last()
     }
 
     /// Create a dataset on every shard.
@@ -93,18 +100,17 @@ impl SqlCluster {
             let key = rec.get_or_missing(&self.partition_key);
             buckets[shard_for(&key, n)].push(rec);
         }
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (shard, bucket) in self.shards.iter().zip(buckets) {
                 let shard = Arc::clone(shard);
-                handles.push(scope.spawn(move |_| shard.load(namespace, dataset, bucket)));
+                handles.push(scope.spawn(move || shard.load(namespace, dataset, bucket)));
             }
             for h in handles {
                 h.join().expect("shard load thread panicked")?;
             }
             Ok(())
         })
-        .expect("thread scope")
     }
 
     /// Total records across shards.
@@ -196,12 +202,12 @@ impl SqlCluster {
     /// Run a logical plan on every shard, timing each shard's work.
     fn scatter(&self, plan: &LogicalPlan) -> Result<(Vec<Vec<Value>>, Vec<Duration>)> {
         match self.mode {
-            ExecMode::Threads => crossbeam::thread::scope(|scope| {
+            ExecMode::Threads => std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for shard in &self.shards {
                     let shard = Arc::clone(shard);
                     let plan = plan.clone();
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let start = Instant::now();
                         let rows = shard.execute_logical(&plan);
                         rows.map(|r| (r, start.elapsed()))
@@ -215,8 +221,7 @@ impl SqlCluster {
                     times.push(t);
                 }
                 Ok((parts, times))
-            })
-            .expect("thread scope"),
+            }),
             ExecMode::Sequential => {
                 let mut parts = Vec::new();
                 let mut times = Vec::new();
@@ -261,12 +266,12 @@ impl SqlCluster {
         };
 
         let per_shard: Vec<((Buckets, Buckets), Duration)> = match self.mode {
-            ExecMode::Threads => crossbeam::thread::scope(|scope| {
+            ExecMode::Threads => std::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for shard in &self.shards {
                     let shard = Arc::clone(shard);
                     let extract_one = &extract_one;
-                    handles.push(scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
                         let start = Instant::now();
                         extract_one(&shard).map(|b| (b, start.elapsed()))
                     }));
@@ -275,8 +280,7 @@ impl SqlCluster {
                     .into_iter()
                     .map(|h| h.join().expect("extract thread panicked"))
                     .collect::<Result<Vec<_>>>()
-            })
-            .expect("thread scope")?,
+            })?,
             ExecMode::Sequential => {
                 let mut out = Vec::new();
                 for shard in &self.shards {
@@ -306,10 +310,10 @@ impl SqlCluster {
         let mut merge_critical = Duration::ZERO;
         match self.mode {
             ExecMode::Threads => {
-                let results: Vec<(usize, Duration)> = crossbeam::thread::scope(|scope| {
+                let results: Vec<(usize, Duration)> = std::thread::scope(|scope| {
                     let mut handles = Vec::new();
                     for (mut l, mut r) in left_parts.into_iter().zip(right_parts) {
-                        handles.push(scope.spawn(move |_| {
+                        handles.push(scope.spawn(move || {
                             let start = Instant::now();
                             l.sort_by(cmp_total);
                             r.sort_by(cmp_total);
@@ -320,8 +324,7 @@ impl SqlCluster {
                         .into_iter()
                         .map(|h| h.join().expect("join thread panicked"))
                         .collect()
-                })
-                .expect("thread scope");
+                });
                 for (c, t) in results {
                     count += c;
                     merge_critical = merge_critical.max(t);

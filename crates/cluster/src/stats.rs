@@ -10,7 +10,7 @@
 //! per-shard timing) when the host lacks the cores to run shards honestly
 //! in parallel.
 
-use parking_lot::Mutex;
+use polyframe_observe::sync::Mutex;
 use std::time::Duration;
 
 /// How shard work is dispatched.
@@ -60,6 +60,21 @@ impl QueryStats {
                 .unwrap_or(Duration::ZERO)
             + self.merge
     }
+
+    /// Fold this breakdown into trace spans using the workspace's
+    /// canonical stage names (`polyframe_observe::trace`): the
+    /// coordinator's compile/split work as `plan`, one `shard[i]` per
+    /// shard, and the coordinator-side `merge`.
+    pub fn to_spans(&self) -> Vec<polyframe_observe::Span> {
+        use polyframe_observe::Span;
+        let mut spans = Vec::with_capacity(self.shard_times.len() + 2);
+        spans.push(Span::new("plan").with_duration(self.compile));
+        for (i, t) in self.shard_times.iter().enumerate() {
+            spans.push(Span::new(format!("shard[{i}]")).with_duration(*t));
+        }
+        spans.push(Span::new("merge").with_duration(self.merge));
+        spans
+    }
 }
 
 /// Accumulates stats across the queries a benchmark expression issues.
@@ -82,6 +97,12 @@ impl StatsRecorder {
     /// Drain all recorded queries.
     pub fn take(&self) -> Vec<QueryStats> {
         std::mem::take(&mut self.queries.lock())
+    }
+
+    /// Peek at the most recently recorded query without draining (the
+    /// trace layer folds it into spans while benchmarks keep accumulating).
+    pub fn last(&self) -> Option<QueryStats> {
+        self.queries.lock().last().cloned()
     }
 
     /// Drain and sum the simulated wall times.

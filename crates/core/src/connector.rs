@@ -12,6 +12,7 @@ use polyframe_cluster::{MongoCluster, SqlCluster};
 use polyframe_datamodel::Value;
 use polyframe_docstore::DocStore;
 use polyframe_graphstore::GraphStore;
+use polyframe_observe::{Span, SpanTimer};
 use polyframe_sqlengine::Engine;
 use std::sync::Arc;
 
@@ -33,6 +34,25 @@ pub trait DatabaseConnector: Send + Sync {
     /// (MongoDB pipelines).
     fn execute(&self, query: &str, namespace: &str, collection: &str) -> Result<Vec<Value>>;
 
+    /// Execute a query and report where the time went as an `execute`
+    /// span (see `polyframe_observe::trace` for the stage vocabulary).
+    ///
+    /// The default implementation wraps [`execute`](Self::execute) in one
+    /// timed span; backends with visible internals override it to split
+    /// out `parse`/`plan`/`exec` (and per-shard) time, so third-party
+    /// connectors get tracing for free and built-in ones get attribution.
+    fn execute_traced(
+        &self,
+        query: &str,
+        namespace: &str,
+        collection: &str,
+    ) -> Result<(Vec<Value>, Span)> {
+        let mut timer = SpanTimer::start("execute");
+        let rows = self.execute(query, namespace, collection)?;
+        timer.span_mut().set_metric("rows_out", rows.len() as i64);
+        Ok((rows, timer.finish()))
+    }
+
     /// Post-process result rows (default: identity).
     fn postprocess(&self, rows: Vec<Value>) -> Vec<Value> {
         rows
@@ -43,6 +63,22 @@ pub trait DatabaseConnector: Send + Sync {
     /// namespace-qualified.
     fn dataset_ref(&self, _namespace: &str, collection: &str) -> String {
         collection.to_string()
+    }
+}
+
+/// MongoDB query formation shared by the single-node and cluster
+/// connectors: pipeline construction happens in the connector (paper,
+/// section III.D) — the accumulated stage list is wrapped in `[...]` —
+/// and query targets are namespace-qualified collection names.
+mod mongo_rules {
+    /// Wrap the accumulated stage list into a pipeline literal.
+    pub(super) fn wrap_pipeline(query: &str) -> String {
+        format!("[ {query} ]")
+    }
+
+    /// `namespace.collection`, the fully qualified aggregation target.
+    pub(super) fn target(namespace: &str, collection: &str) -> String {
+        format!("{namespace}.{collection}")
     }
 }
 
@@ -70,6 +106,12 @@ impl DatabaseConnector for AsterixConnector {
 
     fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
         self.engine.query(query).map_err(PolyFrameError::backend)
+    }
+
+    fn execute_traced(&self, query: &str, _ns: &str, _coll: &str) -> Result<(Vec<Value>, Span)> {
+        self.engine
+            .query_traced(query)
+            .map_err(PolyFrameError::backend)
     }
 }
 
@@ -110,6 +152,12 @@ impl DatabaseConnector for PostgresConnector {
     fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
         self.engine.query(query).map_err(PolyFrameError::backend)
     }
+
+    fn execute_traced(&self, query: &str, _ns: &str, _coll: &str) -> Result<(Vec<Value>, Span)> {
+        self.engine
+            .query_traced(query)
+            .map_err(PolyFrameError::backend)
+    }
 }
 
 /// Connector for the MongoDB substrate (aggregation pipelines).
@@ -133,21 +181,29 @@ impl DatabaseConnector for MongoConnector {
         RuleSet::builtin(Language::Mongo)
     }
 
-    /// Pipeline construction happens in the connector (paper, section
-    /// III.D): the accumulated stage list is wrapped in brackets here.
     fn preprocess(&self, query: &str) -> String {
-        format!("[ {query} ]")
+        mongo_rules::wrap_pipeline(query)
     }
 
     fn execute(&self, query: &str, namespace: &str, collection: &str) -> Result<Vec<Value>> {
-        let target = format!("{namespace}.{collection}");
         self.store
-            .aggregate(&target, query)
+            .aggregate(&mongo_rules::target(namespace, collection), query)
+            .map_err(PolyFrameError::backend)
+    }
+
+    fn execute_traced(
+        &self,
+        query: &str,
+        namespace: &str,
+        collection: &str,
+    ) -> Result<(Vec<Value>, Span)> {
+        self.store
+            .aggregate_traced(&mongo_rules::target(namespace, collection), query)
             .map_err(PolyFrameError::backend)
     }
 
     fn dataset_ref(&self, namespace: &str, collection: &str) -> String {
-        format!("{namespace}.{collection}")
+        mongo_rules::target(namespace, collection)
     }
 }
 
@@ -174,6 +230,12 @@ impl DatabaseConnector for Neo4jConnector {
 
     fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
         self.store.query(query).map_err(PolyFrameError::backend)
+    }
+
+    fn execute_traced(&self, query: &str, _ns: &str, _coll: &str) -> Result<(Vec<Value>, Span)> {
+        self.store
+            .query_traced(query)
+            .map_err(PolyFrameError::backend)
     }
 }
 
@@ -216,6 +278,25 @@ impl DatabaseConnector for SqlClusterConnector {
     fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
         self.cluster.query(query).map_err(PolyFrameError::backend)
     }
+
+    fn execute_traced(&self, query: &str, _ns: &str, _coll: &str) -> Result<(Vec<Value>, Span)> {
+        let mut timer = SpanTimer::start("execute");
+        let rows = self.cluster.query(query).map_err(PolyFrameError::backend)?;
+        timer.span_mut().set_metric("rows_out", rows.len() as i64);
+        timer
+            .span_mut()
+            .set_metric("shards", self.cluster.num_shards() as i64);
+        if let Some(stats) = self.cluster.last_stats() {
+            timer.span_mut().set_metric(
+                "simulated_wall_ns",
+                stats.simulated_wall().as_nanos() as i64,
+            );
+            for child in stats.to_spans() {
+                timer.span_mut().push_child(child);
+            }
+        }
+        Ok((rows, timer.finish()))
+    }
 }
 
 /// Connector for a sharded MongoDB cluster.
@@ -240,17 +321,43 @@ impl DatabaseConnector for MongoClusterConnector {
     }
 
     fn preprocess(&self, query: &str) -> String {
-        format!("[ {query} ]")
+        mongo_rules::wrap_pipeline(query)
     }
 
     fn execute(&self, query: &str, namespace: &str, collection: &str) -> Result<Vec<Value>> {
-        let target = format!("{namespace}.{collection}");
         self.cluster
-            .aggregate(&target, query)
+            .aggregate(&mongo_rules::target(namespace, collection), query)
             .map_err(PolyFrameError::backend)
     }
 
+    fn execute_traced(
+        &self,
+        query: &str,
+        namespace: &str,
+        collection: &str,
+    ) -> Result<(Vec<Value>, Span)> {
+        let mut timer = SpanTimer::start("execute");
+        let rows = self
+            .cluster
+            .aggregate(&mongo_rules::target(namespace, collection), query)
+            .map_err(PolyFrameError::backend)?;
+        timer.span_mut().set_metric("rows_out", rows.len() as i64);
+        timer
+            .span_mut()
+            .set_metric("shards", self.cluster.num_shards() as i64);
+        if let Some(stats) = self.cluster.last_stats() {
+            timer.span_mut().set_metric(
+                "simulated_wall_ns",
+                stats.simulated_wall().as_nanos() as i64,
+            );
+            for child in stats.to_spans() {
+                timer.span_mut().push_child(child);
+            }
+        }
+        Ok((rows, timer.finish()))
+    }
+
     fn dataset_ref(&self, namespace: &str, collection: &str) -> String {
-        format!("{namespace}.{collection}")
+        mongo_rules::target(namespace, collection)
     }
 }

@@ -9,7 +9,9 @@ use crate::rewrite::config::subst;
 use crate::rewrite::RuleSet;
 use crate::translate::Translator;
 use polyframe_datamodel::Value;
+use polyframe_observe::{QueryTrace, Span, SpanTimer, TraceCell};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Scalar functions usable with [`AFrame::map`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,6 +103,12 @@ pub struct AFrame {
     query: String,
     series_attr: Option<String>,
     shape: Shape,
+    /// One span per transformation applied so far (the `rewrite` stage's
+    /// children in the next action's trace).
+    rewrite_spans: Vec<Span>,
+    /// Most recent action's trace, shared along derivations so any frame
+    /// in the chain can answer [`AFrame::last_trace`].
+    trace: Arc<TraceCell>,
 }
 
 impl std::fmt::Debug for AFrame {
@@ -125,6 +133,8 @@ impl Clone for AFrame {
             query: self.query.clone(),
             series_attr: self.series_attr.clone(),
             shape: self.shape,
+            rewrite_spans: self.rewrite_spans.clone(),
+            trace: Arc::clone(&self.trace),
         }
     }
 }
@@ -160,6 +170,8 @@ impl AFrame {
             query,
             series_attr: None,
             shape: Shape::Records,
+            rewrite_spans: Vec::new(),
+            trace: Arc::new(TraceCell::new()),
         })
     }
 
@@ -198,11 +210,20 @@ impl AFrame {
         self.translator.rules()
     }
 
-    fn derive(&self, query: String) -> AFrame {
+    /// Derive the next frame in the chain, recording the rewrite as a
+    /// span named after the operation. `shape` is chosen by the caller:
+    /// shape-preserving operations (filter, sort) pass `self.shape` so an
+    /// aggregated frame stays aggregated, while reshaping operations
+    /// (projections, joins) reset to [`Shape::Records`].
+    fn derive(&self, op: &str, started: Instant, query: String, shape: Shape) -> AFrame {
+        let span = Span::new(op)
+            .with_duration(started.elapsed())
+            .with_metric("query_len", query.len() as i64);
         let mut next = self.clone();
         next.query = query;
         next.series_attr = None;
-        next.shape = Shape::Records;
+        next.shape = shape;
+        next.rewrite_spans.push(span);
         next
     }
 
@@ -210,43 +231,56 @@ impl AFrame {
 
     /// Project attributes (`df[['a', 'b']]`).
     pub fn select(&self, attributes: &[&str]) -> Result<AFrame> {
-        Ok(self.derive(self.translator.project(&self.query, attributes)?))
+        let t0 = Instant::now();
+        let q = self.translator.project(&self.query, attributes)?;
+        Ok(self.derive("project", t0, q, Shape::Records))
     }
 
     /// Extract one attribute as a series (`df['a']`).
     pub fn col(&self, attribute: &str) -> Result<AFrame> {
-        let mut next = self.derive(self.translator.project(&self.query, &[attribute])?);
+        let t0 = Instant::now();
+        let q = self.translator.project(&self.query, &[attribute])?;
+        let mut next = self.derive("project", t0, q, Shape::Records);
         next.series_attr = Some(attribute.to_string());
         Ok(next)
     }
 
-    /// Filter rows by a boolean expression (`df[mask]`).
+    /// Filter rows by a boolean expression (`df[mask]`). Filtering keeps
+    /// the frame's shape: filtering aggregated rows yields aggregated rows.
     pub fn mask(&self, predicate: &Expr) -> Result<AFrame> {
-        Ok(self.derive(self.translator.filter(&self.query, predicate)?))
+        let t0 = Instant::now();
+        let q = self.translator.filter(&self.query, predicate)?;
+        Ok(self.derive("filter", t0, q, self.shape))
     }
 
     /// Project a single computed expression under `alias`
     /// (`df['lang'] == 'en'` as a derived boolean column).
     pub fn with_column(&self, alias: &str, expr: &Expr) -> Result<AFrame> {
-        Ok(self.derive(self.translator.project_computed(&self.query, alias, expr)?))
+        let t0 = Instant::now();
+        let q = self.translator.project_computed(&self.query, alias, expr)?;
+        Ok(self.derive("project_computed", t0, q, Shape::Records))
     }
 
     /// Map a scalar function over the current series
     /// (`df['stringu1'].map(str.upper)`).
     pub fn map(&self, func: MapFunc) -> Result<AFrame> {
         let attr = self.series_attr()?.to_string();
-        let mut next = self.derive(self.translator.map_function(
-            self.base_series_query()?,
-            &attr,
-            func.rule_key(),
-        )?);
+        let t0 = Instant::now();
+        let q = self
+            .translator
+            .map_function(self.base_series_query()?, &attr, func.rule_key())?;
+        let mut next = self.derive("map", t0, q, Shape::Records);
         next.series_attr = Some(attr);
         Ok(next)
     }
 
     /// Sort by an attribute (`df.sort_values('a', ascending=False)`).
+    /// Sorting keeps the frame's shape: a sorted aggregated frame is still
+    /// aggregated.
     pub fn sort_values(&self, attribute: &str, ascending: bool) -> Result<AFrame> {
-        Ok(self.derive(self.translator.sort(&self.query, attribute, ascending)?))
+        let t0 = Instant::now();
+        let q = self.translator.sort(&self.query, attribute, ascending)?;
+        Ok(self.derive("sort", t0, q, self.shape))
     }
 
     /// Group rows by an attribute.
@@ -265,29 +299,26 @@ impl AFrame {
 
     /// Equi-join with separate key attributes.
     pub fn merge_on(&self, right: &AFrame, left_on: &str, right_on: &str) -> Result<AFrame> {
+        let t0 = Instant::now();
         let right_from = self
             .connector
             .dataset_ref(&right.namespace, &right.collection);
-        Ok(self.derive(self.translator.join(
-            &self.query,
-            &right.query,
-            &right_from,
-            left_on,
-            right_on,
-        )?))
+        let q = self
+            .translator
+            .join(&self.query, &right.query, &right_from, left_on, right_on)?;
+        Ok(self.derive("join", t0, q, Shape::Records))
     }
 
     /// `df['a'].value_counts()` — a generic rule composed from the
     /// group-by and sort rules: counts per distinct value, most frequent
     /// first.
     pub fn value_counts(&self, attribute: &str) -> Result<AFrame> {
-        let grouped = self
-            .translator
-            .groupby_agg(&self.query, attribute, attribute, "count", "cnt")?;
+        let t0 = Instant::now();
+        let grouped =
+            self.translator
+                .groupby_agg(&self.query, attribute, attribute, "count", "cnt")?;
         let sorted = self.translator.sort(&grouped, "cnt", false)?;
-        let mut next = self.derive(sorted);
-        next.shape = Shape::Aggregated;
-        Ok(next)
+        Ok(self.derive("value_counts", t0, sorted, Shape::Aggregated))
     }
 
     /// One-hot encode an attribute (`pd.get_dummies(df['a'])`) — a generic
@@ -295,14 +326,14 @@ impl AFrame {
     /// indicator column per value.
     pub fn get_dummies(&self, attribute: &str) -> Result<AFrame> {
         // Query 1 (action): distinct values via group-by count.
-        let distinct_q = self.translator.groupby_agg(
-            &self.query,
-            attribute,
-            attribute,
-            "count",
-            "cnt",
+        let distinct_q =
+            self.translator
+                .groupby_agg(&self.query, attribute, attribute, "count", "cnt")?;
+        let rows = self.run(
+            "get_dummies",
+            "return_value",
+            self.translator.return_value(&distinct_q)?,
         )?;
-        let rows = self.run(self.translator.return_value(&distinct_q)?)?;
         let mut values: Vec<Value> = rows
             .into_iter()
             .map(|row| row.get_path(attribute))
@@ -314,14 +345,19 @@ impl AFrame {
                 "no known values in {attribute}"
             )));
         }
-        // Query 2 (transformation): indicator projection per value.
+        // Query 2 (transformation): indicator projection per value. The
+        // alias goes into the query text as an identifier, so it must be
+        // sanitized — a raw string value like `don't` or `a b` would
+        // otherwise break the query (or worse, splice into it).
+        let t0 = Instant::now();
         let alias_rule = self.translator.rules().attribute("computed_alias")?;
+        let mut taken = std::collections::HashSet::new();
         let items: Vec<String> = values
             .iter()
             .map(|v| {
                 let expr = Expr::Col(attribute.to_string()).eq(Expr::Lit(v.clone()));
                 let rendered = self.translator.render_expr(&expr)?;
-                let alias = format!("{attribute}_{v}");
+                let alias = dummy_alias(attribute, v, &mut taken);
                 Ok(subst(
                     alias_rule,
                     &[("alias", alias.as_str()), ("expr", rendered.as_str())],
@@ -331,47 +367,94 @@ impl AFrame {
         let projection = self.translator.join_items(&items)?;
         let q = subst(
             self.translator.rules().query("project")?,
-            &[("subquery", self.query.as_str()), ("projection", projection.as_str())],
+            &[
+                ("subquery", self.query.as_str()),
+                ("projection", projection.as_str()),
+            ],
         );
-        Ok(self.derive(q))
+        Ok(self.derive("get_dummies", t0, q, Shape::Records))
     }
 
     // --------------------------------------------------------------- actions
 
-    fn run(&self, final_query: String) -> Result<Vec<Value>> {
+    /// Ship `final_query` to the backend, recording the full lifecycle as
+    /// a [`QueryTrace`]: a `query` root with `rewrite` (the accumulated
+    /// transformation spans), `preprocess`, the connector's `execute` span
+    /// (whose children carry backend internals), and `postprocess`.
+    fn run(&self, action: &str, wrapper: &str, final_query: String) -> Result<Vec<Value>> {
+        let total = Instant::now();
+
+        let rewrite_time: Duration = self.rewrite_spans.iter().map(Span::duration).sum();
+        let mut rewrite = Span::new("rewrite")
+            .with_duration(rewrite_time)
+            .with_metric("passes", self.rewrite_spans.len() as i64);
+        for span in &self.rewrite_spans {
+            rewrite.push_child(span.clone());
+        }
+
+        let mut pre = SpanTimer::start("preprocess");
         let prepared = self.connector.preprocess(&final_query);
-        let rows = self
-            .connector
-            .execute(&prepared, &self.namespace, &self.collection)?;
-        Ok(self.connector.postprocess(rows))
+        pre.span_mut()
+            .set_metric("query_len", prepared.len() as i64);
+        let pre = pre.finish();
+
+        let (rows, execute) =
+            self.connector
+                .execute_traced(&prepared, &self.namespace, &self.collection)?;
+
+        let mut post = SpanTimer::start("postprocess");
+        let rows = self.connector.postprocess(rows);
+        post.span_mut().set_metric("rows_out", rows.len() as i64);
+        let post = post.finish();
+
+        let root = Span::new("query")
+            .with_duration(total.elapsed())
+            .with_metric("query_len", final_query.len() as i64)
+            .with_note("action", action)
+            .with_note("wrapper", wrapper)
+            .with_note("backend", self.connector.name())
+            .with_child(rewrite)
+            .with_child(pre)
+            .with_child(execute)
+            .with_child(post);
+        self.trace.put(QueryTrace::new(root));
+        Ok(rows)
     }
 
     /// First `n` rows (`df.head(n)`).
     pub fn head(&self, n: usize) -> Result<ResultSet> {
-        Ok(ResultSet::new(self.run(self.translator.limit(&self.query, n)?)?))
+        let q = self.translator.limit(&self.query, n)?;
+        Ok(ResultSet::new(self.run("head", "limit", q)?))
     }
 
     /// All rows.
     pub fn collect(&self) -> Result<ResultSet> {
-        let wrapped = match self.shape {
-            Shape::Records => self.translator.return_all(&self.query)?,
-            Shape::Aggregated => self.translator.return_value(&self.query)?,
+        let (wrapper, wrapped) = match self.shape {
+            Shape::Records => ("return_all", self.translator.return_all(&self.query)?),
+            Shape::Aggregated => ("return_value", self.translator.return_value(&self.query)?),
         };
-        Ok(ResultSet::new(self.run(wrapped)?))
+        Ok(ResultSet::new(self.run("collect", wrapper, wrapped)?))
     }
 
     /// Row count (`len(df)`).
     #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> Result<usize> {
-        let rows = self.run(self.translator.count_all(&self.query)?)?;
+        let q = self.translator.count_all(&self.query)?;
+        let rows = self.run("len", "count_all", q)?;
         match rows.first() {
             // MongoDB's $count emits nothing on empty input.
             None => Ok(0),
-            Some(row) => ResultSet::new(vec![row.clone()])
-                .scalar()?
-                .as_i64()
-                .map(|n| n as usize)
-                .ok_or_else(|| PolyFrameError::Result("count was not an integer".to_string())),
+            Some(row) => {
+                let n = ResultSet::new(vec![row.clone()])
+                    .scalar()?
+                    .as_i64()
+                    .ok_or_else(|| {
+                        PolyFrameError::Result("count was not an integer".to_string())
+                    })?;
+                usize::try_from(n).map_err(|_| {
+                    PolyFrameError::Result(format!("count out of range for usize: {n}"))
+                })
+            }
         }
     }
 
@@ -381,7 +464,7 @@ impl AFrame {
         let q = self
             .translator
             .agg_value(&self.query, &attr, func.rule_key())?;
-        let rows = self.run(self.translator.return_value(&q)?)?;
+        let rows = self.run("agg", "return_value", self.translator.return_value(&q)?)?;
         ResultSet::new(rows).scalar()
     }
 
@@ -425,15 +508,38 @@ impl AFrame {
             }
         }
         let q = self.translator.agg_multi(&self.query, &entries)?;
-        let rows = self.run(self.translator.return_value(&q)?)?;
+        let rows = self.run(
+            "describe",
+            "return_value",
+            self.translator.return_value(&q)?,
+        )?;
         Ok(ResultSet::new(rows))
+    }
+
+    // ---------------------------------------------------------- observability
+
+    /// Run [`AFrame::collect`] and render the resulting query-lifecycle
+    /// trace as an indented span tree (stage, duration, metrics, notes).
+    pub fn explain(&self) -> Result<String> {
+        self.collect()?;
+        let trace = self
+            .trace
+            .get()
+            .ok_or_else(|| PolyFrameError::Result("no trace recorded".to_string()))?;
+        Ok(trace.render())
+    }
+
+    /// The trace of the most recent action executed by this frame — or by
+    /// any frame in the same derivation chain (the cell is shared along
+    /// [`Clone`] and the transformation methods).
+    pub fn last_trace(&self) -> Option<QueryTrace> {
+        self.trace.get()
     }
 
     fn series_attr(&self) -> Result<&str> {
         self.series_attr.as_deref().ok_or_else(|| {
             PolyFrameError::Unsupported(
-                "this operation applies to a single-column frame (use .col(..) first)"
-                    .to_string(),
+                "this operation applies to a single-column frame (use .col(..) first)".to_string(),
             )
         })
     }
@@ -473,6 +579,7 @@ impl GroupBy {
     }
 
     fn agg_on_with_alias(&self, attribute: &str, func: AggFunc, alias: &str) -> Result<AFrame> {
+        let t0 = Instant::now();
         let q = self.frame.translator.groupby_agg(
             &self.frame.query,
             &self.key,
@@ -480,8 +587,34 @@ impl GroupBy {
             func.rule_key(),
             alias,
         )?;
-        let mut next = self.frame.derive(q);
-        next.shape = Shape::Aggregated;
-        Ok(next)
+        Ok(self.frame.derive("groupby_agg", t0, q, Shape::Aggregated))
     }
+}
+
+/// Build a safe, unique indicator-column alias for [`AFrame::get_dummies`]:
+/// every character outside `[A-Za-z0-9_]` becomes `_`, and collisions
+/// (e.g. `a b` vs `a_b`, or `1.5` vs `1_5`) get a numeric suffix.
+fn dummy_alias(
+    attribute: &str,
+    value: &Value,
+    taken: &mut std::collections::HashSet<String>,
+) -> String {
+    let raw = format!("{attribute}_{value}");
+    let base: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let mut alias = base.clone();
+    let mut i = 2;
+    while !taken.insert(alias.clone()) {
+        alias = format!("{base}_{i}");
+        i += 1;
+    }
+    alias
 }

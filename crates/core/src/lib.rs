@@ -62,8 +62,8 @@ pub use translate::Translator;
 /// Convenience imports for applications.
 pub mod prelude {
     pub use crate::connector::{
-        AsterixConnector, DatabaseConnector, MongoClusterConnector, MongoConnector,
-        Neo4jConnector, PostgresConnector, SqlClusterConnector,
+        AsterixConnector, DatabaseConnector, MongoClusterConnector, MongoConnector, Neo4jConnector,
+        PostgresConnector, SqlClusterConnector,
     };
     pub use crate::dataframe::{AFrame, AggFunc, GroupBy, MapFunc};
     pub use crate::expr::{col, lit, Expr};

@@ -122,7 +122,11 @@ impl fmt::Display for ResultSet {
             }
             writeln!(f)?;
             if ri == 0 {
-                writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)))?;
+                writeln!(
+                    f,
+                    "{}",
+                    "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+                )?;
             }
         }
         Ok(())

@@ -158,7 +158,8 @@ min = min(t.$attribute)
 
     #[test]
     fn comments_ignored() {
-        let cfg = Config::parse("; a comment\n[A]\nx = 1 ; not a comment marker mid-line\n").unwrap();
+        let cfg =
+            Config::parse("; a comment\n[A]\nx = 1 ; not a comment marker mid-line\n").unwrap();
         assert_eq!(cfg.get("A", "x"), Some("1 ; not a comment marker mid-line"));
     }
 
@@ -183,10 +184,13 @@ min = min(t.$attribute)
     #[test]
     fn substitution() {
         assert_eq!(
-            subst("SELECT $agg_func FROM ($subquery) t", &[
-                ("agg_func", "MAX(t.age)"),
-                ("subquery", "SELECT VALUE t FROM d t"),
-            ]),
+            subst(
+                "SELECT $agg_func FROM ($subquery) t",
+                &[
+                    ("agg_func", "MAX(t.age)"),
+                    ("subquery", "SELECT VALUE t FROM d t"),
+                ]
+            ),
             "SELECT MAX(t.age) FROM (SELECT VALUE t FROM d t) t"
         );
     }
@@ -208,7 +212,10 @@ min = min(t.$attribute)
     #[test]
     fn longest_name_first() {
         assert_eq!(
-            subst("$attr_alias and $attr", &[("attr", "x"), ("attr_alias", "y")]),
+            subst(
+                "$attr_alias and $attr",
+                &[("attr", "x"), ("attr_alias", "y")]
+            ),
             "y and x"
         );
     }

@@ -54,8 +54,7 @@ pub struct RuleSet {
 impl RuleSet {
     /// Load the built-in rules for `language`.
     pub fn builtin(language: Language) -> RuleSet {
-        let config =
-            Config::parse(language.config_text()).expect("embedded configs must parse");
+        let config = Config::parse(language.config_text()).expect("embedded configs must parse");
         RuleSet {
             language_name: language.name().to_string(),
             config: Arc::new(config),
@@ -140,7 +139,10 @@ impl RuleSet {
     /// The `[NULL]` missing-value predicate.
     pub fn is_missing(&self, operand: &str) -> Result<String> {
         let template = self.template("NULL", "is_missing")?;
-        Ok(crate::rewrite::config::subst(template, &[("operand", operand)]))
+        Ok(crate::rewrite::config::subst(
+            template,
+            &[("operand", operand)],
+        ))
     }
 }
 
@@ -204,8 +206,14 @@ mod tests {
         let mongo = RuleSet::builtin(Language::Mongo);
         assert_eq!(mongo.query("records").unwrap(), r#"{ "$match": {} }"#);
         assert_eq!(mongo.function("min").unwrap(), r#""$min": "$$attribute""#);
-        assert_eq!(mongo.function("std").unwrap(), r#""$stdDevPop": "$$attribute""#);
-        assert_eq!(mongo.comparison("eq").unwrap(), r#""$eq": ["$$left", $right]"#);
+        assert_eq!(
+            mongo.function("std").unwrap(),
+            r#""$stdDevPop": "$$attribute""#
+        );
+        assert_eq!(
+            mongo.comparison("eq").unwrap(),
+            r#""$eq": ["$$left", $right]"#
+        );
 
         let sqlpp = RuleSet::builtin(Language::SqlPlusPlus);
         assert_eq!(
@@ -218,7 +226,9 @@ mod tests {
     #[test]
     fn string_literals_differ_by_language() {
         assert_eq!(
-            RuleSet::builtin(Language::Sql).string_literal("en").unwrap(),
+            RuleSet::builtin(Language::Sql)
+                .string_literal("en")
+                .unwrap(),
             "'en'"
         );
         assert_eq!(

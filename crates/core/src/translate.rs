@@ -50,7 +50,22 @@ impl Translator {
         match v {
             Value::Str(s) => self.rules.string_literal(s),
             Value::Int(i) => Ok(i.to_string()),
-            Value::Double(d) => Ok(format!("{d:?}")),
+            Value::Double(d) => {
+                // `{d:?}` would happily print `NaN` / `inf`, which no
+                // target language parses as a literal — reject up front.
+                if !d.is_finite() {
+                    return Err(PolyFrameError::Unsupported(format!(
+                        "non-finite double literal ({d}) has no query representation"
+                    )));
+                }
+                // Debug formatting guarantees a `.` or exponent, so the
+                // text stays a double in every target language.
+                let text = format!("{d:?}");
+                Ok(match self.rules.template_opt("LITERALS", "double") {
+                    Some(rule) => subst(rule, &[("value", &text)]),
+                    None => text,
+                })
+            }
             Value::Bool(b) => Ok(b.to_string()),
             Value::Null | Value::Missing => {
                 Ok(self.rules.template("LITERALS", "null")?.to_string())
@@ -184,10 +199,7 @@ impl Translator {
     /// Operation: map a scalar function over a series
     /// (`df['stringu1'].map(str.upper)`).
     pub fn map_function(&self, subquery: &str, attribute: &str, func_key: &str) -> Result<String> {
-        let func = subst(
-            self.rules.function(func_key)?,
-            &[("attribute", attribute)],
-        );
+        let func = subst(self.rules.function(func_key)?, &[("attribute", attribute)]);
         Ok(subst(
             self.rules.query("map")?,
             &[
@@ -203,7 +215,10 @@ impl Translator {
 
     /// Operation: count all records.
     pub fn count_all(&self, subquery: &str) -> Result<String> {
-        Ok(subst(self.rules.query("count_all")?, &[("subquery", subquery)]))
+        Ok(subst(
+            self.rules.query("count_all")?,
+            &[("subquery", subquery)],
+        ))
     }
 
     /// Operation: filter by predicate.
@@ -236,10 +251,7 @@ impl Translator {
     /// Operation: a single aggregate value (`df['a'].max()`). The output
     /// alias is the function key itself.
     pub fn agg_value(&self, subquery: &str, attribute: &str, func_key: &str) -> Result<String> {
-        let func = subst(
-            self.rules.function(func_key)?,
-            &[("attribute", attribute)],
-        );
+        let func = subst(self.rules.function(func_key)?, &[("attribute", attribute)]);
         Ok(subst(
             self.rules.query("agg_value")?,
             &[
@@ -334,13 +346,19 @@ impl Translator {
 
     /// Action wrapper: return all rows.
     pub fn return_all(&self, subquery: &str) -> Result<String> {
-        Ok(subst(self.rules.limit_rule("return_all")?, &[("subquery", subquery)]))
+        Ok(subst(
+            self.rules.limit_rule("return_all")?,
+            &[("subquery", subquery)],
+        ))
     }
 
     /// Action wrapper: return scalar/aggregated rows (no row-shaping
     /// cleanup stages).
     pub fn return_value(&self, subquery: &str) -> Result<String> {
-        Ok(subst(self.rules.limit_rule("return_value")?, &[("subquery", subquery)]))
+        Ok(subst(
+            self.rules.limit_rule("return_value")?,
+            &[("subquery", subquery)],
+        ))
     }
 }
 
@@ -430,6 +448,29 @@ mod tests {
     }
 
     #[test]
+    fn double_literals_stay_parseable() {
+        for lang in [
+            Language::SqlPlusPlus,
+            Language::Sql,
+            Language::Mongo,
+            Language::Cypher,
+        ] {
+            let tr = t(lang);
+            // A whole-number double must keep its decimal point so the
+            // target language still types it as a double.
+            assert_eq!(tr.literal(&Value::Double(2.0)).unwrap(), "2.0");
+            assert_eq!(tr.literal(&Value::Double(0.5)).unwrap(), "0.5");
+            for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+                let err = tr.literal(&Value::Double(bad)).unwrap_err();
+                assert!(
+                    matches!(err, PolyFrameError::Unsupported(_)),
+                    "{lang:?}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn arithmetic_rendering() {
         let e = (col("onePercent") * lit(2)) + lit(1);
         assert_eq!(
@@ -506,10 +547,7 @@ mod tests {
         let trc = t(Language::Cypher);
         let q1c = trc.records("Test", "Users").unwrap();
         let qc = trc.agg_value(&q1c, "age", "min").unwrap();
-        assert_eq!(
-            qc,
-            "MATCH(t: Users)\n WITH {'min': min(t.age)} AS t"
-        );
+        assert_eq!(qc, "MATCH(t: Users)\n WITH {'min': min(t.age)} AS t");
     }
 
     #[test]
@@ -517,8 +555,16 @@ mod tests {
         let tr = t(Language::Mongo);
         let q1 = tr.records("Test", "data").unwrap();
         let q = tr.groupby_agg(&q1, "twenty", "four", "max", "max").unwrap();
-        assert!(q.contains(r#""$group": { "_id": { "twenty": "$twenty" }, "max": { "$max": "$four" } }"#), "{q}");
-        assert!(q.contains(r#""$addFields": { "twenty": "$_id.twenty" }"#), "{q}");
+        assert!(
+            q.contains(
+                r#""$group": { "_id": { "twenty": "$twenty" }, "max": { "$max": "$four" } }"#
+            ),
+            "{q}"
+        );
+        assert!(
+            q.contains(r#""$addFields": { "twenty": "$_id.twenty" }"#),
+            "{q}"
+        );
     }
 
     #[test]
@@ -542,7 +588,12 @@ mod tests {
             .unwrap();
         assert!(qm.contains(r#""let": { "left": "$unique1" }"#), "{qm}");
         assert!(qm.contains(r#""$eq": ["$unique1", "$$left"]"#), "{qm}");
-        assert!(qm.contains(r#""$unwind": { "path": "$rightData", "preserveNullAndEmptyArrays": false }"#), "{qm}");
+        assert!(
+            qm.contains(
+                r#""$unwind": { "path": "$rightData", "preserveNullAndEmptyArrays": false }"#
+            ),
+            "{qm}"
+        );
     }
 
     #[test]
@@ -568,6 +619,9 @@ mod tests {
         let trm = t(Language::Mongo);
         let q1m = trm.records("Default", "data").unwrap();
         let qm = trm.map_function(&q1m, "stringu1", "upper").unwrap();
-        assert!(qm.contains(r#""$project": { "stringu1": { "$toUpper": "$stringu1" } }"#), "{qm}");
+        assert!(
+            qm.contains(r#""$project": { "stringu1": { "$toUpper": "$stringu1" } }"#),
+            "{qm}"
+        );
     }
 }

@@ -71,7 +71,10 @@ fn result_set_accessors() {
 fn collect_returns_all_rows() {
     let af = small_frame();
     assert_eq!(af.collect().unwrap().len(), 10);
-    assert_eq!(af.mask(&col("g").eq(0)).unwrap().collect().unwrap().len(), 5);
+    assert_eq!(
+        af.mask(&col("g").eq(0)).unwrap().collect().unwrap().len(),
+        5
+    );
 }
 
 #[test]
@@ -164,8 +167,13 @@ abs = abs(.$attribute)
     // Wire the custom rules through a stock connector — transformations
     // never execute, so this exercises pure retargeting.
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    let af = AFrame::with_rules("ns", "events", Arc::new(PostgresConnector::new(engine)), custom)
-        .unwrap();
+    let af = AFrame::with_rules(
+        "ns",
+        "events",
+        Arc::new(PostgresConnector::new(engine)),
+        custom,
+    )
+    .unwrap();
     assert_eq!(af.query(), "SCAN ns/events");
     let chained = af
         .mask(&(col("kind").eq("click") & col("n").ge(3)))
@@ -180,11 +188,16 @@ abs = abs(.$attribute)
 
 #[test]
 fn missing_rule_is_a_config_error() {
-    let incomplete = RuleSet::from_config_text("broken", "[QUERIES]\nrecords = R $collection\n")
-        .unwrap();
+    let incomplete =
+        RuleSet::from_config_text("broken", "[QUERIES]\nrecords = R $collection\n").unwrap();
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    let af = AFrame::with_rules("n", "c", Arc::new(PostgresConnector::new(engine)), incomplete)
-        .unwrap();
+    let af = AFrame::with_rules(
+        "n",
+        "c",
+        Arc::new(PostgresConnector::new(engine)),
+        incomplete,
+    )
+    .unwrap();
     let err = af.select(&["x"]).unwrap_err();
     assert!(matches!(err, PolyFrameError::Config(_)), "{err}");
 }
@@ -195,10 +208,18 @@ fn merge_on_differing_keys() {
     engine.create_dataset("T", "lhs", Some("id"));
     engine.create_dataset("T", "rhs", Some("rid"));
     engine
-        .load("T", "lhs", (0..10i64).map(|i| record! {"id" => i, "k" => i % 3}))
+        .load(
+            "T",
+            "lhs",
+            (0..10i64).map(|i| record! {"id" => i, "k" => i % 3}),
+        )
         .unwrap();
     engine
-        .load("T", "rhs", (0..3i64).map(|i| record! {"rid" => i, "k2" => i}))
+        .load(
+            "T",
+            "rhs",
+            (0..3i64).map(|i| record! {"rid" => i, "k2" => i}),
+        )
         .unwrap();
     let conn = Arc::new(PostgresConnector::new(engine));
     let l = AFrame::new("T", "lhs", Arc::clone(&conn) as Arc<dyn DatabaseConnector>).unwrap();

@@ -16,7 +16,13 @@ const DS: &str = "wisconsin";
 const DS2: &str = "wisconsin2";
 
 /// Indexes the paper's benchmark creates on every system.
-const INDEXED: [&str; 5] = ["unique1", "ten", "onePercent", "tenPercent", "oddOnePercent"];
+const INDEXED: [&str; 5] = [
+    "unique1",
+    "ten",
+    "onePercent",
+    "tenPercent",
+    "oddOnePercent",
+];
 
 fn frames() -> Vec<AFrame> {
     let records = generate(&WisconsinConfig::new(N));
@@ -194,7 +200,12 @@ fn expr9_sort_desc_head() {
             .map(|r| r.get_path("unique1").as_i64().unwrap())
             .collect();
         let n = N as i64;
-        assert_eq!(got, vec![n - 1, n - 2, n - 3, n - 4, n - 5], "{}", af.backend());
+        assert_eq!(
+            got,
+            vec![n - 1, n - 2, n - 3, n - 4, n - 5],
+            "{}",
+            af.backend()
+        );
     }
 }
 
@@ -254,7 +265,11 @@ fn describe_composes_generic_rule() {
         assert_eq!(row.get_path("min_unique1"), Value::Int(0));
         assert_eq!(row.get_path("max_unique1"), Value::Int(N as i64 - 1));
         let avg = row.get_path("avg_unique1").as_f64().unwrap();
-        assert!((avg - (N as f64 - 1.0) / 2.0).abs() < 1e-6, "{}", af.backend());
+        assert!(
+            (avg - (N as f64 - 1.0) / 2.0).abs() < 1e-6,
+            "{}",
+            af.backend()
+        );
         assert!(row.get_path("std_unique1").as_f64().unwrap() > 0.0);
     }
 }

@@ -307,10 +307,9 @@ impl<'a> Parser<'a> {
                         s.push(ch);
                     }
                     other => {
-                        return Err(self.err(format!(
-                            "invalid escape {:?}",
-                            other.map(|c| c as char)
-                        )))
+                        return Err(
+                            self.err(format!("invalid escape {:?}", other.map(|c| c as char)))
+                        )
                     }
                 },
                 Some(b) if b < 0x80 => s.push(b as char),
@@ -335,7 +334,9 @@ impl<'a> Parser<'a> {
     fn parse_hex4(&mut self) -> Result<u32> {
         let mut code = 0u32;
         for _ in 0..4 {
-            let b = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let b = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (b as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;

@@ -50,10 +50,7 @@ impl Record {
 
     /// Look a field up by name.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.fields
-            .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v)
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }
 
     /// Field lookup that maps absence to [`Value::Missing`] (open-record

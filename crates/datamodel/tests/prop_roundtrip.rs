@@ -1,84 +1,137 @@
-//! Property-based tests for the data model: JSON round-tripping, total-order
-//! laws and three-valued-logic laws.
+//! Randomized tests for the data model: JSON round-tripping, total-order
+//! laws and three-valued-logic laws. Cases come from a seeded
+//! [`polyframe_observe::Rng`] so runs are deterministic and the suite
+//! needs no external property-testing dependency (offline builds).
 
 use polyframe_datamodel::{
     cmp_total, parse_json, sql_eq, to_json_pretty, to_json_string, Record, TriBool, Value,
 };
-use proptest::prelude::*;
+use polyframe_observe::Rng;
 
-/// Strategy producing arbitrary values (without `Missing`, which has no JSON
-/// spelling and never round-trips by design).
-fn arb_value() -> impl Strategy<Value = Value> {
-    let leaf = prop_oneof![
-        Just(Value::Null),
-        any::<bool>().prop_map(Value::Bool),
-        any::<i64>().prop_map(Value::Int),
-        (-1.0e12f64..1.0e12f64).prop_map(Value::Double),
-        "[a-zA-Z0-9 _\\-\"\\\\]{0,12}".prop_map(Value::Str),
-    ];
-    leaf.prop_recursive(3, 24, 6, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
-            prop::collection::vec(("[a-z]{1,6}", inner), 0..5).prop_map(|fields| {
-                let mut r = Record::new();
-                for (k, v) in fields {
-                    r.insert(k, v);
-                }
-                Value::Obj(r)
-            }),
-        ]
-    })
+const CASES: usize = 192;
+
+const STR_CHARS: &[char] = &['a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '_', '-', '"', '\\'];
+
+fn gen_string(rng: &mut Rng, max_len: usize, chars: &[char]) -> String {
+    let len = rng.gen_range_usize(max_len + 1);
+    (0..len).map(|_| *rng.choose(chars)).collect()
 }
 
-proptest! {
-    #[test]
-    fn json_roundtrip_compact(v in arb_value()) {
+/// Arbitrary value of bounded depth (without `Missing`, which has no JSON
+/// spelling and never round-trips by design).
+fn gen_value(rng: &mut Rng, depth: usize) -> Value {
+    let composite = depth > 0 && rng.gen_range_usize(3) == 0;
+    if composite {
+        if rng.gen_bool() {
+            let n = rng.gen_range_usize(5);
+            Value::Array((0..n).map(|_| gen_value(rng, depth - 1)).collect())
+        } else {
+            let n = rng.gen_range_usize(5);
+            let mut r = Record::new();
+            for _ in 0..n {
+                let key: String = (0..1 + rng.gen_range_usize(6))
+                    .map(|_| (b'a' + rng.gen_range_usize(26) as u8) as char)
+                    .collect();
+                let v = gen_value(rng, depth - 1);
+                r.insert(key, v);
+            }
+            Value::Obj(r)
+        }
+    } else {
+        match rng.gen_range_usize(5) {
+            0 => Value::Null,
+            1 => Value::Bool(rng.gen_bool()),
+            2 => Value::Int(rng.next_u64() as i64),
+            3 => Value::Double((rng.gen_f64() - 0.5) * 2.0e12),
+            _ => Value::Str(gen_string(rng, 12, STR_CHARS)),
+        }
+    }
+}
+
+#[test]
+fn json_roundtrip_compact() {
+    let mut rng = Rng::seed_from_u64(0x1501);
+    for _ in 0..CASES {
+        let v = gen_value(&mut rng, 3);
         let text = to_json_string(&v);
         let back = parse_json(&text).unwrap();
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v, "compact roundtrip of {text}");
     }
+}
 
-    #[test]
-    fn json_roundtrip_pretty(v in arb_value()) {
+#[test]
+fn json_roundtrip_pretty() {
+    let mut rng = Rng::seed_from_u64(0x1502);
+    for _ in 0..CASES {
+        let v = gen_value(&mut rng, 3);
         let text = to_json_pretty(&v);
         let back = parse_json(&text).unwrap();
-        prop_assert_eq!(back, v);
+        assert_eq!(back, v, "pretty roundtrip of {text}");
     }
+}
 
-    #[test]
-    fn total_order_is_total_and_antisymmetric(a in arb_value(), b in arb_value()) {
+#[test]
+fn total_order_is_total_and_antisymmetric() {
+    let mut rng = Rng::seed_from_u64(0x02D2);
+    for _ in 0..CASES {
+        let a = gen_value(&mut rng, 3);
+        let b = gen_value(&mut rng, 3);
         let ab = cmp_total(&a, &b);
         let ba = cmp_total(&b, &a);
-        prop_assert_eq!(ab, ba.reverse());
+        assert_eq!(ab, ba.reverse(), "{a:?} vs {b:?}");
     }
+}
 
-    #[test]
-    fn total_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
-        use std::cmp::Ordering::*;
-        let mut v = [a, b, c];
+#[test]
+fn total_order_is_transitive() {
+    use std::cmp::Ordering::Greater;
+    let mut rng = Rng::seed_from_u64(0x02D3);
+    for _ in 0..CASES {
+        let mut v = [
+            gen_value(&mut rng, 3),
+            gen_value(&mut rng, 3),
+            gen_value(&mut rng, 3),
+        ];
         v.sort_by(cmp_total);
-        prop_assert_ne!(cmp_total(&v[0], &v[1]), Greater);
-        prop_assert_ne!(cmp_total(&v[1], &v[2]), Greater);
-        prop_assert_ne!(cmp_total(&v[0], &v[2]), Greater);
+        assert_ne!(cmp_total(&v[0], &v[1]), Greater);
+        assert_ne!(cmp_total(&v[1], &v[2]), Greater);
+        assert_ne!(cmp_total(&v[0], &v[2]), Greater);
     }
+}
 
-    #[test]
-    fn sql_eq_reflexive_for_known_scalars(i in any::<i64>(), s in "[a-z]{0,8}") {
-        prop_assert_eq!(sql_eq(&Value::Int(i), &Value::Int(i)), TriBool::True);
-        prop_assert_eq!(sql_eq(&Value::str(s.clone()), &Value::str(s)), TriBool::True);
+#[test]
+fn sql_eq_reflexive_for_known_scalars() {
+    let mut rng = Rng::seed_from_u64(0x50E1);
+    for _ in 0..CASES {
+        let i = rng.next_u64() as i64;
+        let s: String = (0..rng.gen_range_usize(9))
+            .map(|_| (b'a' + rng.gen_range_usize(26) as u8) as char)
+            .collect();
+        assert_eq!(sql_eq(&Value::Int(i), &Value::Int(i)), TriBool::True);
+        assert_eq!(
+            sql_eq(&Value::str(s.clone()), &Value::str(s)),
+            TriBool::True
+        );
     }
+}
 
-    #[test]
-    fn unknown_always_propagates(v in arb_value()) {
-        prop_assert_eq!(sql_eq(&v, &Value::Missing), TriBool::Unknown);
-        prop_assert_eq!(sql_eq(&Value::Null, &v), TriBool::Unknown);
+#[test]
+fn unknown_always_propagates() {
+    let mut rng = Rng::seed_from_u64(0x9814);
+    for _ in 0..CASES {
+        let v = gen_value(&mut rng, 3);
+        assert_eq!(sql_eq(&v, &Value::Missing), TriBool::Unknown);
+        assert_eq!(sql_eq(&Value::Null, &v), TriBool::Unknown);
     }
+}
 
-    #[test]
-    fn tribool_de_morgan(a in 0..3u8, b in 0..3u8) {
-        let t = |x: u8| match x { 0 => TriBool::True, 1 => TriBool::False, _ => TriBool::Unknown };
-        let (a, b) = (t(a), t(b));
-        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
-        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+#[test]
+fn tribool_de_morgan() {
+    let all = [TriBool::True, TriBool::False, TriBool::Unknown];
+    for a in all {
+        for b in all {
+            assert_eq!(a.and(b).not(), a.not().or(b.not()));
+            assert_eq!(a.or(b).not(), a.not().and(b.not()));
+        }
     }
 }

@@ -136,7 +136,11 @@ pub fn split(stages: &[Stage]) -> Result<MongoDistributed> {
 
 /// Shard-side partial grouping: group `rows` and emit per-group partial
 /// states (`{_id, <acc>: <partial doc>}`).
-pub fn partial_group(rows: Vec<Value>, id: &GroupId, accs: &[(String, Accum)]) -> Result<Vec<Value>> {
+pub fn partial_group(
+    rows: Vec<Value>,
+    id: &GroupId,
+    accs: &[(String, Accum)],
+) -> Result<Vec<Value>> {
     let fresh = || -> Vec<GroupAcc> { accs.iter().map(|(_, a)| GroupAcc::new(a)).collect() };
     let vars = Vars::new();
     let mut groups: BTreeMap<OrdKey, Vec<GroupAcc>> = BTreeMap::new();
@@ -163,10 +167,7 @@ pub fn partial_group(rows: Vec<Value>, id: &GroupId, accs: &[(String, Accum)]) -
 
 /// Coordinator-side merge of shard partial groups into final `$group`
 /// output documents.
-pub fn merge_groups(
-    parts: Vec<Vec<Value>>,
-    accs: &[(String, Accum)],
-) -> Result<Vec<Value>> {
+pub fn merge_groups(parts: Vec<Vec<Value>>, accs: &[(String, Accum)]) -> Result<Vec<Value>> {
     let fresh = || -> Vec<GroupAcc> { accs.iter().map(|(_, a)| GroupAcc::new(a)).collect() };
     let mut groups: BTreeMap<OrdKey, (Value, Vec<GroupAcc>)> = BTreeMap::new();
     for doc in parts.into_iter().flatten() {
@@ -289,19 +290,19 @@ mod tests {
 
     #[test]
     fn lookup_is_rejected() {
-        let stages = parse_pipeline(
-            r#"[{"$lookup":{"from":"x","as":"x","pipeline":[]}},{"$count":"c"}]"#,
-        )
-        .unwrap();
+        let stages =
+            parse_pipeline(r#"[{"$lookup":{"from":"x","as":"x","pipeline":[]}},{"$count":"c"}]"#)
+                .unwrap();
         assert!(matches!(split(&stages), Err(DocError::ShardedLookup(_))));
     }
 
     #[test]
     fn count_splits() {
-        let stages =
-            parse_pipeline(r#"[{"$match":{}},{"$count":"count"}]"#).unwrap();
+        let stages = parse_pipeline(r#"[{"$match":{}},{"$count":"count"}]"#).unwrap();
         match split(&stages).unwrap() {
-            MongoDistributed::SumCount { shard_stages, name, .. } => {
+            MongoDistributed::SumCount {
+                shard_stages, name, ..
+            } => {
                 assert_eq!(shard_stages.len(), 2);
                 assert_eq!(name, "count");
             }
@@ -404,7 +405,10 @@ mod tests {
             ],
         ];
         let merged = merge_topk(parts, &[("u".to_string(), true)], Some(3));
-        let us: Vec<i64> = merged.iter().map(|d| d.get_path("u").as_i64().unwrap()).collect();
+        let us: Vec<i64> = merged
+            .iter()
+            .map(|d| d.get_path("u").as_i64().unwrap())
+            .collect();
         assert_eq!(us, vec![9, 7, 5]);
     }
 

@@ -80,9 +80,7 @@ pub enum MongoExpr {
 pub fn parse_expr(v: &Value) -> Result<MongoExpr> {
     match v {
         Value::Str(s) if s.starts_with("$$") => Ok(MongoExpr::VarRef(s[2..].to_string())),
-        Value::Str(s) if s.starts_with('$') => {
-            Ok(MongoExpr::FieldRef(super::split_path(&s[1..])))
-        }
+        Value::Str(s) if s.starts_with('$') => Ok(MongoExpr::FieldRef(super::split_path(&s[1..]))),
         Value::Obj(obj) if obj.len() == 1 => {
             let (op, body) = obj.iter().next().unwrap();
             match op {
@@ -296,10 +294,7 @@ pub fn eval(expr: &MongoExpr, doc: &Value, vars: &Vars) -> Result<Value> {
                 Value::Int(i) => Ok(Value::Int(i.abs())),
                 Value::Double(d) => Ok(Value::Double(d.abs())),
                 Value::Missing | Value::Null => Ok(Value::Null),
-                other => Err(DocError::Exec(format!(
-                    "$abs over {}",
-                    other.type_name()
-                ))),
+                other => Err(DocError::Exec(format!("$abs over {}", other.type_name()))),
             }
         }
     }
@@ -322,7 +317,9 @@ mod tests {
     use polyframe_datamodel::{parse_json, record};
 
     fn doc() -> Value {
-        Value::Obj(record! {"a" => 5i64, "s" => "abc", "nested" => Value::Obj(record!{"x" => 1i64})})
+        Value::Obj(
+            record! {"a" => 5i64, "s" => "abc", "nested" => Value::Obj(record!{"x" => 1i64})},
+        )
     }
 
     fn ev(json: &str) -> Value {
@@ -352,7 +349,10 @@ mod tests {
             ev(r#"{"$and": [{"$eq": ["$a", 5]}, {"$gt": ["$a", 1]}]}"#),
             Value::Bool(true)
         );
-        assert_eq!(ev(r#"{"$or": ["$gone", {"$eq": ["$a", 5]}]}"#), Value::Bool(true));
+        assert_eq!(
+            ev(r#"{"$or": ["$gone", {"$eq": ["$a", 5]}]}"#),
+            Value::Bool(true)
+        );
         assert_eq!(ev(r#"{"$not": ["$gone"]}"#), Value::Bool(true));
     }
 

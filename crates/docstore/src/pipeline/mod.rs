@@ -144,9 +144,16 @@ pub fn parse_stage(v: &Value) -> Result<Stage> {
             let mut items = Vec::new();
             for (k, val) in m.iter() {
                 match val {
-                    Value::Int(1) | Value::Bool(true) => items.push(ProjectItem::Include(k.to_string())),
-                    Value::Int(0) | Value::Bool(false) => items.push(ProjectItem::Exclude(k.to_string())),
-                    other => items.push(ProjectItem::Computed(k.to_string(), expr::parse_expr(other)?)),
+                    Value::Int(1) | Value::Bool(true) => {
+                        items.push(ProjectItem::Include(k.to_string()))
+                    }
+                    Value::Int(0) | Value::Bool(false) => {
+                        items.push(ProjectItem::Exclude(k.to_string()))
+                    }
+                    other => items.push(ProjectItem::Computed(
+                        k.to_string(),
+                        expr::parse_expr(other)?,
+                    )),
                 }
             }
             Ok(Stage::Project(items))
@@ -213,7 +220,9 @@ pub fn parse_stage(v: &Value) -> Result<Stage> {
         }
         "$limit" => match body.as_i64() {
             Some(n) if n >= 0 => Ok(Stage::Limit(n as u64)),
-            _ => Err(DocError::Pipeline("$limit takes a non-negative integer".to_string())),
+            _ => Err(DocError::Pipeline(
+                "$limit takes a non-negative integer".to_string(),
+            )),
         },
         "$count" => match body.as_str() {
             Some(name) => Ok(Stage::Count(name.to_string())),
@@ -275,7 +284,9 @@ pub fn parse_stage(v: &Value) -> Result<Stage> {
         },
         "$out" => match body.as_str() {
             Some(name) => Ok(Stage::Out(name.to_string())),
-            None => Err(DocError::Pipeline("$out takes a collection name".to_string())),
+            None => Err(DocError::Pipeline(
+                "$out takes a collection name".to_string(),
+            )),
         },
         other => Err(DocError::Pipeline(format!("unsupported stage {other}"))),
     }
@@ -299,7 +310,9 @@ fn parse_accum(v: &Value) -> Result<Accum> {
         "$avg" => Ok(Accum::Avg(e)),
         "$stdDevPop" => Ok(Accum::StdDevPop(e)),
         "$count" => Ok(Accum::Count(e)),
-        other => Err(DocError::Pipeline(format!("unsupported accumulator {other}"))),
+        other => Err(DocError::Pipeline(format!(
+            "unsupported accumulator {other}"
+        ))),
     }
 }
 
@@ -332,7 +345,10 @@ mod tests {
         .unwrap();
         assert_eq!(stages.len(), 5);
         assert_eq!(stages[0], Stage::Match(None));
-        assert!(matches!(&stages[1], Stage::Match(Some(MongoExpr::Cmp(CmpOp::Eq, _, _)))));
+        assert!(matches!(
+            &stages[1],
+            Stage::Match(Some(MongoExpr::Cmp(CmpOp::Eq, _, _)))
+        ));
         assert_eq!(
             stages[2],
             Stage::Project(vec![
@@ -340,7 +356,10 @@ mod tests {
                 ProjectItem::Include("address".into())
             ])
         );
-        assert_eq!(stages[3], Stage::Project(vec![ProjectItem::Exclude("_id".into())]));
+        assert_eq!(
+            stages[3],
+            Stage::Project(vec![ProjectItem::Exclude("_id".into())])
+        );
         assert_eq!(stages[4], Stage::Limit(10));
     }
 
@@ -428,6 +447,9 @@ mod tests {
     #[test]
     fn direct_equality_match() {
         let stages = parse_pipeline(r#"[{"$match": {"lang": "en"}}]"#).unwrap();
-        assert!(matches!(&stages[0], Stage::Match(Some(MongoExpr::Cmp(CmpOp::Eq, _, _)))));
+        assert!(matches!(
+            &stages[0],
+            Stage::Match(Some(MongoExpr::Cmp(CmpOp::Eq, _, _)))
+        ));
     }
 }

@@ -76,7 +76,11 @@ pub type IndexProbe<'a> = &'a dyn Fn(&str) -> Option<bool>;
 /// Optimize a parsed pipeline. `index_info(attr)` returns `Some(complete)`
 /// when an index on `attr` exists, and `use_indexes` is the ablation master
 /// switch.
-pub fn optimize(stages: &[Stage], index_info: IndexProbe<'_>, use_indexes: bool) -> PhysicalPipeline {
+pub fn optimize(
+    stages: &[Stage],
+    index_info: IndexProbe<'_>,
+    use_indexes: bool,
+) -> PhysicalPipeline {
     let mut stages = normalize(stages);
     let mut source = Source::CollScan;
 
@@ -375,8 +379,7 @@ mod tests {
 
     #[test]
     fn ablation_switch_disables_indexes() {
-        let stages =
-            parse_pipeline(r#"[{"$match":{"$expr":{"$eq":["$ten",3]}}}]"#).unwrap();
+        let stages = parse_pipeline(r#"[{"$match":{"$expr":{"$eq":["$ten",3]}}}]"#).unwrap();
         let phys = optimize(&stages, &probe_all_complete, false);
         assert_eq!(phys.source, Source::CollScan);
     }

@@ -6,8 +6,9 @@ use crate::pipeline::exec::run_pipeline;
 use crate::pipeline::expr::Vars;
 use crate::pipeline::optimizer::{optimize, PhysicalPipeline};
 use crate::pipeline::{parse_pipeline, Stage};
-use parking_lot::RwLock;
 use polyframe_datamodel::{Record, Value};
+use polyframe_observe::sync::RwLock;
+use polyframe_observe::{Span, SpanTimer};
 use polyframe_storage::{NullPolicy, Table, TableOptions};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
@@ -143,6 +144,75 @@ impl DocStore {
         Ok(results)
     }
 
+    /// Like [`DocStore::aggregate`], but also reports where the time went
+    /// as an `execute` span with `parse`/`plan`/`exec` children. The `plan`
+    /// child carries the chosen access path; `docs_scanned` is reported for
+    /// collection scans (index access paths only touch matching entries).
+    pub fn aggregate_traced(
+        &self,
+        collection: &str,
+        pipeline_json: &str,
+    ) -> Result<(Vec<Value>, Span)> {
+        let started = std::time::Instant::now();
+
+        let mut parse_t = SpanTimer::start("parse");
+        let stages = parse_pipeline(pipeline_json)?;
+        parse_t
+            .span_mut()
+            .set_metric("query_len", pipeline_json.len() as i64);
+        parse_t.span_mut().set_metric("stages", stages.len() as i64);
+        let parse_span = parse_t.finish();
+
+        let body = match stages.split_last() {
+            Some((Stage::Out(_), rest)) => rest,
+            _ => &stages[..],
+        };
+        let (rows, plan_span, exec_span) = {
+            let map = self.collections.read();
+            let mut plan_t = SpanTimer::start("plan");
+            let phys = self.optimize_for(&map, collection, body)?;
+            let access_path = phys.describe();
+            let index_used = access_path.contains("IXSCAN");
+            plan_t
+                .span_mut()
+                .set_metric("index_used", i64::from(index_used));
+            plan_t.span_mut().set_note("access_path", &access_path);
+            let plan_span = plan_t.finish();
+
+            let mut exec_t = SpanTimer::start("exec");
+            let rows = run_pipeline(&map, collection, &phys, &Vars::new())?;
+            if !index_used {
+                if let Some(table) = map.get(collection) {
+                    exec_t
+                        .span_mut()
+                        .set_metric("docs_scanned", table.stats().record_count() as i64);
+                }
+            }
+            exec_t.span_mut().set_metric("docs_out", rows.len() as i64);
+            (rows, plan_span, exec_t.finish())
+        };
+        // `$out` (only reachable through the save-results rule) still
+        // writes its target collection on the traced path.
+        let rows = if let Some(Stage::Out(target)) = stages.last() {
+            self.create_collection(target);
+            let docs = rows
+                .into_iter()
+                .map(|v| v.into_obj().map_err(|e| DocError::Exec(e.to_string())))
+                .collect::<Result<Vec<_>>>()?;
+            self.insert_many(target, docs)?;
+            Vec::new()
+        } else {
+            rows
+        };
+
+        let span = Span::new("execute")
+            .with_duration(started.elapsed())
+            .with_child(parse_span)
+            .with_child(plan_span)
+            .with_child(exec_span);
+        Ok((rows, span))
+    }
+
     /// EXPLAIN-style description of the access path chosen for a pipeline.
     pub fn explain(&self, collection: &str, pipeline_json: &str) -> Result<String> {
         let stages = parse_pipeline(pipeline_json)?;
@@ -169,7 +239,12 @@ impl DocStore {
 
     /// Index point-probe (used by the cluster layer). Returns matching
     /// documents.
-    pub fn probe_index(&self, collection: &str, attribute: &str, key: &Value) -> Result<Vec<Record>> {
+    pub fn probe_index(
+        &self,
+        collection: &str,
+        attribute: &str,
+        key: &Value,
+    ) -> Result<Vec<Record>> {
         let map = self.collections.read();
         let table = map
             .get(collection)

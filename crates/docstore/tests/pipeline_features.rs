@@ -48,7 +48,7 @@ fn unwind_duplicates_per_element_and_preserves_optionally() {
         )
         .unwrap();
     assert_eq!(out[0].get_path("n"), Value::Int(6)); // ids 0,10,20 × 2 elements
-    // With preserve: array-less docs pass through once.
+                                                     // With preserve: array-less docs pass through once.
     let out = s
         .aggregate(
             "c",
@@ -99,7 +99,10 @@ fn sort_ties_are_stable_under_secondary_key() {
             r#"[{"$sort":{"grp":1,"v":-1}},{"$project":{"_id":0,"tags":0}},{"$limit":3}]"#,
         )
         .unwrap();
-    let vs: Vec<i64> = out.iter().map(|d| d.get_path("v").as_i64().unwrap()).collect();
+    let vs: Vec<i64> = out
+        .iter()
+        .map(|d| d.get_path("v").as_i64().unwrap())
+        .collect();
     assert_eq!(vs, vec![27, 24, 21]); // grp 0, descending v
 }
 
@@ -141,15 +144,24 @@ fn match_direct_field_equality_shorthand() {
 fn index_and_collscan_agree() {
     let s = store();
     let before = s
-        .aggregate("c", r#"[{"$match":{"$expr":{"$eq":["$grp",2]}}},{"$count":"n"}]"#)
+        .aggregate(
+            "c",
+            r#"[{"$match":{"$expr":{"$eq":["$grp",2]}}},{"$count":"n"}]"#,
+        )
         .unwrap();
     s.create_index("c", "grp").unwrap();
     let after = s
-        .aggregate("c", r#"[{"$match":{"$expr":{"$eq":["$grp",2]}}},{"$count":"n"}]"#)
+        .aggregate(
+            "c",
+            r#"[{"$match":{"$expr":{"$eq":["$grp",2]}}},{"$count":"n"}]"#,
+        )
         .unwrap();
     assert_eq!(before, after);
     assert!(s
-        .explain("c", r#"[{"$match":{"$expr":{"$eq":["$grp",2]}}},{"$count":"n"}]"#)
+        .explain(
+            "c",
+            r#"[{"$match":{"$expr":{"$eq":["$grp",2]}}},{"$count":"n"}]"#
+        )
         .unwrap()
         .contains("IXSCAN"));
 }
@@ -167,9 +179,7 @@ fn error_paths() {
     ));
     assert!(s.aggregate("c", "not json").is_err());
     // $out mid-pipeline is rejected.
-    assert!(s
-        .aggregate("c", r#"[{"$out":"x"},{"$match":{}}]"#)
-        .is_err());
+    assert!(s.aggregate("c", r#"[{"$out":"x"},{"$match":{}}]"#).is_err());
 }
 
 #[test]

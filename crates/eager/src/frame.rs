@@ -83,8 +83,7 @@ impl EagerFrame {
 
     /// `pd.read_json` analogue: parse NDJSON text and materialize a frame.
     pub fn read_json(text: &str, budget: &MemoryBudget) -> Result<EagerFrame> {
-        let values =
-            parse_json_stream(text).map_err(|e| EagerError::Data(e.to_string()))?;
+        let values = parse_json_stream(text).map_err(|e| EagerError::Data(e.to_string()))?;
         // Charge the parsed representation transiently, at a multiple of
         // its size: Pandas' creator's rule of thumb (cited by the paper) is
         // "5 to 10 times as much RAM as the size of your dataset", and JSON
@@ -93,10 +92,7 @@ impl EagerFrame {
         let _transient = budget.alloc(parse_bytes.saturating_mul(3))?;
         let records: Vec<Record> = values
             .into_iter()
-            .map(|v| {
-                v.into_obj()
-                    .map_err(|e| EagerError::Data(e.to_string()))
-            })
+            .map(|v| v.into_obj().map_err(|e| EagerError::Data(e.to_string())))
             .collect::<Result<_>>()?;
         Self::from_records(&records, budget)
     }
@@ -298,8 +294,7 @@ impl EagerFrame {
     pub fn describe(&self) -> Result<EagerFrame> {
         let stats = ["count", "mean", "std", "min", "max"];
         let mut columns = vec!["stat".to_string()];
-        let mut data: Vec<Vec<Value>> =
-            vec![stats.iter().map(|s| Value::str(*s)).collect()];
+        let mut data: Vec<Vec<Value>> = vec![stats.iter().map(|s| Value::str(*s)).collect()];
         for (ci, name) in self.columns.iter().enumerate() {
             if !self.data[ci].iter().any(Value::is_numeric) {
                 continue;
@@ -442,9 +437,6 @@ mod tests {
     #[test]
     fn unknown_column() {
         let f = frame();
-        assert!(matches!(
-            f.col("zzz"),
-            Err(EagerError::UnknownColumn(_))
-        ));
+        assert!(matches!(f.col("zzz"), Err(EagerError::UnknownColumn(_))));
     }
 }

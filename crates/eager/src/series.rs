@@ -18,7 +18,11 @@ fn values_size(values: &[Value]) -> usize {
 
 impl Series {
     /// Build a series, charging the budget for the copy.
-    pub fn new(name: impl Into<String>, values: Vec<Value>, budget: &MemoryBudget) -> Result<Series> {
+    pub fn new(
+        name: impl Into<String>,
+        values: Vec<Value>,
+        budget: &MemoryBudget,
+    ) -> Result<Series> {
         let alloc = budget.alloc(values_size(&values))?;
         Ok(Series {
             name: name.into(),
@@ -78,7 +82,11 @@ impl Series {
 
     /// `series != value`.
     pub fn ne(&self, rhs: &Value, budget: &MemoryBudget) -> Result<BoolMask> {
-        self.compare_mask(rhs, budget, |o| matches!(o, Some(x) if x != Ordering::Equal))
+        self.compare_mask(
+            rhs,
+            budget,
+            |o| matches!(o, Some(x) if x != Ordering::Equal),
+        )
     }
 
     /// `series > value`.
@@ -112,11 +120,7 @@ impl Series {
 
     /// Eagerly apply `f` to every value (the expression-5 trap: the whole
     /// mapped column exists before any `head`).
-    pub fn map(
-        &self,
-        budget: &MemoryBudget,
-        f: impl Fn(&Value) -> Value,
-    ) -> Result<Series> {
+    pub fn map(&self, budget: &MemoryBudget, f: impl Fn(&Value) -> Value) -> Result<Series> {
         Series::new(
             format!("{}_mapped", self.name),
             self.values.iter().map(f).collect(),
@@ -227,7 +231,10 @@ impl BoolMask {
     /// Build a mask, charging the budget one byte per row.
     pub fn new(bits: Vec<bool>, budget: &MemoryBudget) -> Result<BoolMask> {
         let alloc = budget.alloc(bits.len())?;
-        Ok(BoolMask { bits, _alloc: alloc })
+        Ok(BoolMask {
+            bits,
+            _alloc: alloc,
+        })
     }
 
     /// Row count.

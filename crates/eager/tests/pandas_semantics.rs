@@ -3,17 +3,13 @@
 //! OOM matrix depends on.
 
 use polyframe_datamodel::{record, Value};
-use polyframe_eager::{AggKind, EagerFrame, EagerError, MemoryBudget};
+use polyframe_eager::{AggKind, EagerError, EagerFrame, MemoryBudget};
 use polyframe_wisconsin::{generate_json, WisconsinConfig};
 
 #[test]
 fn schema_inference_unions_all_records() {
     let b = MemoryBudget::unlimited();
-    let f = EagerFrame::read_json(
-        "{\"a\":1}\n{\"b\":2}\n{\"a\":3,\"c\":true}\n",
-        &b,
-    )
-    .unwrap();
+    let f = EagerFrame::read_json("{\"a\":1}\n{\"b\":2}\n{\"a\":3,\"c\":true}\n", &b).unwrap();
     assert_eq!(f.columns(), &["a", "b", "c"]);
     // Absent cells become nulls after inference (Pandas NaN analogue).
     let rows = f.to_records();
@@ -71,10 +67,7 @@ fn sort_is_a_full_copy_even_for_head() {
     let sorted = f.sort_values("v", true).unwrap();
     assert!(b.used() >= before * 2 - before / 10);
     let top = sorted.head(3).unwrap();
-    assert_eq!(
-        top.to_records()[0].get_or_missing("v"),
-        Value::Int(0)
-    );
+    assert_eq!(top.to_records()[0].get_or_missing("v"), Value::Int(0));
 }
 
 #[test]
@@ -104,16 +97,8 @@ fn groupby_agg_kinds() {
 #[test]
 fn merge_suffixes_colliding_columns() {
     let b = MemoryBudget::unlimited();
-    let l = EagerFrame::from_records(
-        &[record! {"k" => 1i64, "x" => 10i64}],
-        &b,
-    )
-    .unwrap();
-    let r = EagerFrame::from_records(
-        &[record! {"k" => 1i64, "x" => 20i64}],
-        &b,
-    )
-    .unwrap();
+    let l = EagerFrame::from_records(&[record! {"k" => 1i64, "x" => 10i64}], &b).unwrap();
+    let r = EagerFrame::from_records(&[record! {"k" => 1i64, "x" => 20i64}], &b).unwrap();
     let j = l.merge(&r, "k", "k").unwrap();
     assert!(j.columns().contains(&"x".to_string()));
     assert!(j.columns().contains(&"x_y".to_string()));

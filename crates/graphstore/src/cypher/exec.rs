@@ -199,7 +199,11 @@ fn eval_func(f: CFunc, v: Value) -> Result<Value> {
             Value::Int(i) => Value::Int(i),
             Value::Double(d) => Value::Int(d as i64),
             Value::Bool(b) => Value::Int(i64::from(b)),
-            Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+            Value::Str(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null),
             _ => Value::Null,
         }),
         CFunc::ToString => Ok(Value::Str(v.to_string())),
@@ -246,9 +250,9 @@ fn plan<'q>(q: &'q CypherQuery, ctx: &Ctx<'_>) -> Result<Plan<'q>> {
         ));
     }
     let (var, label) = &first.patterns[0];
-    let label = label.clone().ok_or_else(|| {
-        GraphError::Semantic("the first MATCH pattern needs a label".to_string())
-    })?;
+    let label = label
+        .clone()
+        .ok_or_else(|| GraphError::Semantic("the first MATCH pattern needs a label".to_string()))?;
     let store = ctx.label(&label)?;
 
     let join = q.matches.get(1);
@@ -275,9 +279,7 @@ fn plan<'q>(q: &'q CypherQuery, ctx: &Ctx<'_>) -> Result<Plan<'q>> {
     // WHERE, when that WITH is a pass-through).
     let (pred, from_with) = match (&first.where_, q.withs.first()) {
         (Some(p), _) => (Some(p), false),
-        (None, Some(w)) if matches!(w.binding, WithBinding::Var(_)) => {
-            (w.where_.as_ref(), true)
-        }
+        (None, Some(w)) if matches!(w.binding, WithBinding::Var(_)) => (w.where_.as_ref(), true),
         _ => (None, false),
     };
 
@@ -424,7 +426,10 @@ pub fn execute(
     labels: &HashMap<String, LabelStore>,
     use_indexes: bool,
 ) -> Result<Vec<Value>> {
-    let ctx = Ctx { labels, use_indexes };
+    let ctx = Ctx {
+        labels,
+        use_indexes,
+    };
     let plan = plan(q, &ctx)?;
 
     if plan.access == Access::MetadataCount {
@@ -434,7 +439,15 @@ pub fn execute(
 
     let store = ctx.label(&plan.label)?;
     let var = plan.var.clone();
-    let mk = move |idx: usize, label: &str| -> Env { vec![(var.clone(), GVal::Node { label: label.to_string(), idx })] };
+    let mk = move |idx: usize, label: &str| -> Env {
+        vec![(
+            var.clone(),
+            GVal::Node {
+                label: label.to_string(),
+                idx,
+            },
+        )]
+    };
     let label_name = plan.label.clone();
 
     let mut rows: EnvIter<'_> = match &plan.access {
@@ -466,7 +479,10 @@ pub fn execute(
 
     // Residual predicate from the anchor clause.
     if let Some(pred) = &plan.residual {
-        let ctx2 = Ctx { labels, use_indexes };
+        let ctx2 = Ctx {
+            labels,
+            use_indexes,
+        };
         rows = Box::new(rows.filter_map(move |env| match env {
             Ok(env) => match ctx2.filter_pass(pred, &env) {
                 Ok(true) => Some(Ok(env)),
@@ -491,7 +507,10 @@ pub fn execute(
     }
 
     // RETURN.
-    let ctx3 = Ctx { labels, use_indexes };
+    let ctx3 = Ctx {
+        labels,
+        use_indexes,
+    };
     match &q.ret {
         ReturnClause::CountStar(_) => {
             let mut n = 0i64;
@@ -580,7 +599,10 @@ fn apply_join<'a>(
         .get(&new_label)
         .ok_or_else(|| GraphError::UnknownLabel(new_label.clone()))?;
     let indexed = use_indexes && inner.has_index(&new_prop);
-    let ctx = Ctx { labels, use_indexes };
+    let ctx = Ctx {
+        labels,
+        use_indexes,
+    };
 
     Ok(Box::new(rows.flat_map(move |env| {
         let env = match env {
@@ -629,14 +651,20 @@ fn apply_with<'a>(
     use_indexes: bool,
     strip_where: bool,
 ) -> Result<EnvIter<'a>> {
-    let ctx = Ctx { labels, use_indexes };
+    let ctx = Ctx {
+        labels,
+        use_indexes,
+    };
     let mut rows: EnvIter<'a> = match &w.binding {
         WithBinding::Var(_) => rows,
         WithBinding::MapProject { var, entries } => {
             let var = var.clone();
             Box::new(rows.map(move |env| {
                 let env = env?;
-                let ctx = Ctx { labels, use_indexes };
+                let ctx = Ctx {
+                    labels,
+                    use_indexes,
+                };
                 let map = build_map(&ctx, &env, &var, entries)?;
                 let mut out = env;
                 env_set(&mut out, &var, GVal::Val(map));
@@ -654,7 +682,10 @@ fn apply_with<'a>(
                 let alias = alias.clone();
                 Box::new(rows.map(move |env| {
                     let env = env?;
-                    let ctx = Ctx { labels, use_indexes };
+                    let ctx = Ctx {
+                        labels,
+                        use_indexes,
+                    };
                     let map = build_map(&ctx, &env, &alias, entries)?;
                     Ok(vec![(alias.clone(), GVal::Val(map))])
                 }))
@@ -664,7 +695,10 @@ fn apply_with<'a>(
 
     if !strip_where {
         if let Some(pred) = &w.where_ {
-            let ctx2 = Ctx { labels, use_indexes };
+            let ctx2 = Ctx {
+                labels,
+                use_indexes,
+            };
             rows = Box::new(rows.filter_map(move |env| match env {
                 Ok(env) => match ctx2.filter_pass(pred, &env) {
                     Ok(true) => Some(Ok(env)),
@@ -677,7 +711,10 @@ fn apply_with<'a>(
     }
 
     if let Some((key, desc)) = &w.order_by {
-        let ctx2 = Ctx { labels, use_indexes };
+        let ctx2 = Ctx {
+            labels,
+            use_indexes,
+        };
         let collected: Result<Vec<Env>> = rows.collect();
         let mut keyed: Vec<(Value, Env)> = Vec::new();
         for env in collected? {
@@ -697,7 +734,12 @@ fn apply_with<'a>(
 }
 
 /// Build a projection map (`t{...}`).
-fn build_map(ctx: &Ctx<'_>, env: &Env, var: &str, entries: &[crate::cypher::parser::Entry]) -> Result<Value> {
+fn build_map(
+    ctx: &Ctx<'_>,
+    env: &Env,
+    var: &str,
+    entries: &[crate::cypher::parser::Entry],
+) -> Result<Value> {
     let mut rec = Record::new();
     for entry in entries {
         match &entry.expr {
@@ -714,7 +756,10 @@ fn build_map(ctx: &Ctx<'_>, env: &Env, var: &str, entries: &[crate::cypher::pars
             EntryExpr::Expr(e) => {
                 let v = ctx.eval(e, env)?;
                 // Cypher map projections omit missing properties as null.
-                rec.insert(entry.alias.clone(), if v.is_missing() { Value::Null } else { v });
+                rec.insert(
+                    entry.alias.clone(),
+                    if v.is_missing() { Value::Null } else { v },
+                );
             }
         }
     }
@@ -943,7 +988,10 @@ pub fn explain(
     labels: &HashMap<String, LabelStore>,
     use_indexes: bool,
 ) -> Result<String> {
-    let ctx = Ctx { labels, use_indexes };
+    let ctx = Ctx {
+        labels,
+        use_indexes,
+    };
     let p = plan(q, &ctx)?;
     let access = match &p.access {
         Access::MetadataCount => format!("MetadataCount({})", p.label),

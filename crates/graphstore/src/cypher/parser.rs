@@ -382,9 +382,7 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                     pos += 1;
                 }
                 let mut is_float = false;
-                if pos < b.len()
-                    && b[pos] == b'.'
-                    && b.get(pos + 1).is_some_and(u8::is_ascii_digit)
+                if pos < b.len() && b[pos] == b'.' && b.get(pos + 1).is_some_and(u8::is_ascii_digit)
                 {
                     is_float = true;
                     pos += 1;
@@ -394,13 +392,15 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                 }
                 let text = std::str::from_utf8(&b[start..pos]).unwrap();
                 if is_float {
-                    out.push(Tok::Double(text.parse().map_err(|_| {
-                        GraphError::Syntax(format!("bad number {text}"))
-                    })?));
+                    out.push(Tok::Double(
+                        text.parse()
+                            .map_err(|_| GraphError::Syntax(format!("bad number {text}")))?,
+                    ));
                 } else {
-                    out.push(Tok::Int(text.parse().map_err(|_| {
-                        GraphError::Syntax(format!("bad number {text}"))
-                    })?));
+                    out.push(Tok::Int(
+                        text.parse()
+                            .map_err(|_| GraphError::Syntax(format!("bad number {text}")))?,
+                    ));
                 }
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
@@ -511,7 +511,9 @@ impl P {
     fn ident(&mut self) -> Result<String> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            t => Err(GraphError::Syntax(format!("expected identifier, got {t:?}"))),
+            t => Err(GraphError::Syntax(format!(
+                "expected identifier, got {t:?}"
+            ))),
         }
     }
 
@@ -675,8 +677,7 @@ impl P {
         }
         // RETURN var (bare)
         if let Tok::Ident(name) = self.peek().clone() {
-            if !is_kw_name(&name)
-                && !matches!(self.peek2(), Tok::LParen | Tok::Dot | Tok::DotStar)
+            if !is_kw_name(&name) && !matches!(self.peek2(), Tok::LParen | Tok::Dot | Tok::DotStar)
             {
                 self.bump();
                 return Ok(ReturnClause::Var(name));
@@ -885,8 +886,8 @@ fn build_call(name: &str, mut args: Vec<CExpr>) -> Result<CExpr> {
 
 fn is_kw_name(s: &str) -> bool {
     [
-        "match", "with", "where", "return", "order", "by", "limit", "as", "and", "or", "not",
-        "is", "null", "desc", "asc", "count",
+        "match", "with", "where", "return", "order", "by", "limit", "as", "and", "or", "not", "is",
+        "null", "desc", "asc", "count",
     ]
     .iter()
     .any(|k| s.eq_ignore_ascii_case(k))
@@ -955,8 +956,8 @@ mod tests {
         let q = parse("MATCH(t: data) WITH t ORDER BY t.unique1 DESC RETURN t LIMIT 5").unwrap();
         let ob = q.withs[0].order_by.as_ref().unwrap();
         assert!(ob.1);
-        let q2 = parse("MATCH(t: data) WITH t WHERE t.ten = 3 AND t.two = 1 RETURN t LIMIT 5")
-            .unwrap();
+        let q2 =
+            parse("MATCH(t: data) WITH t WHERE t.ten = 3 AND t.two = 1 RETURN t LIMIT 5").unwrap();
         assert!(matches!(
             q2.withs[0].where_.as_ref().unwrap(),
             CExpr::Bin(CBinOp::And, _, _)
@@ -984,19 +985,19 @@ mod tests {
 
     #[test]
     fn is_null_and_functions() {
-        let q = parse("MATCH(t: data) WITH t WHERE t.tenPercent IS NULL RETURN COUNT(*) AS t")
-            .unwrap();
+        let q =
+            parse("MATCH(t: data) WITH t WHERE t.tenPercent IS NULL RETURN COUNT(*) AS t").unwrap();
         assert!(matches!(
             q.withs[0].where_.as_ref().unwrap(),
             CExpr::IsNull(_, false)
         ));
-        let q2 = parse(
-            "MATCH(t: data) WITH t{'u':upper(t.stringu1)} RETURN t LIMIT 5",
-        )
-        .unwrap();
+        let q2 = parse("MATCH(t: data) WITH t{'u':upper(t.stringu1)} RETURN t LIMIT 5").unwrap();
         match &q2.withs[0].binding {
             WithBinding::MapProject { entries, .. } => {
-                assert!(matches!(&entries[0].expr, EntryExpr::Expr(CExpr::Func(CFunc::Upper, _))));
+                assert!(matches!(
+                    &entries[0].expr,
+                    EntryExpr::Expr(CExpr::Func(CFunc::Upper, _))
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }

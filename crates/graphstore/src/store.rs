@@ -2,8 +2,8 @@
 //! label metadata counts and property indexes.
 
 use crate::error::{GraphError, Result};
-use parking_lot::RwLock;
 use polyframe_datamodel::{Record, Value};
+use polyframe_observe::sync::RwLock;
 use std::collections::HashMap;
 
 pub(crate) use polyframe_storage::{BPlusTree, Direction, ScanRange};
@@ -237,9 +237,7 @@ impl GraphStore {
         records: impl IntoIterator<Item = Record>,
     ) -> Result<usize> {
         let mut map = self.labels.write();
-        let store = map
-            .entry(label.to_string())
-            .or_insert_with(LabelStore::new);
+        let store = map.entry(label.to_string()).or_insert_with(LabelStore::new);
         let mut n = 0;
         for rec in records {
             store.insert(rec)?;
@@ -271,6 +269,44 @@ impl GraphStore {
         let ast = crate::cypher::parse(cypher)?;
         let map = self.labels.read();
         crate::cypher::execute(&ast, &map, self.use_indexes)
+    }
+
+    /// Like [`GraphStore::query`], but also reports where the time went as
+    /// an `execute` span with `parse`/`plan`/`exec` children. The `plan`
+    /// child carries the chosen access path and whether an index was used.
+    pub fn query_traced(&self, cypher: &str) -> Result<(Vec<Value>, polyframe_observe::Span)> {
+        use polyframe_observe::{Span, SpanTimer};
+        let started = std::time::Instant::now();
+
+        let mut parse_t = SpanTimer::start("parse");
+        let ast = crate::cypher::parse(cypher)?;
+        parse_t
+            .span_mut()
+            .set_metric("query_len", cypher.len() as i64);
+        let parse_span = parse_t.finish();
+
+        let map = self.labels.read();
+        let mut plan_t = SpanTimer::start("plan");
+        let access_path = crate::cypher::explain(&ast, &map, self.use_indexes)?;
+        let index_used =
+            access_path.contains("NodeIndexSeek") || access_path.contains("NodeIndexRange");
+        plan_t
+            .span_mut()
+            .set_metric("index_used", i64::from(index_used));
+        plan_t.span_mut().set_note("access_path", &access_path);
+        let plan_span = plan_t.finish();
+
+        let mut exec_t = SpanTimer::start("exec");
+        let rows = crate::cypher::execute(&ast, &map, self.use_indexes)?;
+        exec_t.span_mut().set_metric("rows_out", rows.len() as i64);
+        let exec_span = exec_t.finish();
+
+        let span = Span::new("execute")
+            .with_duration(started.elapsed())
+            .with_child(parse_span)
+            .with_child(plan_span)
+            .with_child(exec_span);
+        Ok((rows, span))
     }
 
     /// EXPLAIN-style description of the chosen access path.
@@ -315,7 +351,9 @@ mod tests {
         let store = map.get("L").unwrap();
         assert_eq!(store.strings.len(), 1);
         assert!(matches!(
-            store.nodes[0].iter().find(|(p, _)| *p == store.name_ids["s"]),
+            store.nodes[0]
+                .iter()
+                .find(|(p, _)| *p == store.name_ids["s"]),
             Some((_, InlineProp::StrRef(0)))
         ));
     }

@@ -111,9 +111,7 @@ fn scalar_aggregation_map() {
 fn grouped_aggregation_map() {
     let g = users_graph();
     let out = g
-        .query(
-            "MATCH(t: Users)\n WITH {'lang': t.lang, 'cnt': count(t.lang)} AS t\n RETURN t",
-        )
+        .query("MATCH(t: Users)\n WITH {'lang': t.lang, 'cnt': count(t.lang)} AS t\n RETURN t")
         .unwrap();
     assert_eq!(out.len(), 3);
     let en = out

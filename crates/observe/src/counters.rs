@@ -1,0 +1,137 @@
+//! Thread-safe monotonic counters.
+//!
+//! Traces answer "where did *this* query's time go"; counters answer
+//! "how much work has this process done overall" (queries executed,
+//! index probes, rewrite passes). They are plain relaxed atomics — cheap
+//! enough to leave on in benchmarks.
+
+use crate::sync::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// One monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time copy of a counter registry.
+pub type CounterSnapshot = BTreeMap<String, u64>;
+
+/// A named registry of counters. `counter()` interns by name so call
+/// sites can hold the `Arc` and bump it lock-free afterwards.
+#[derive(Debug, Default)]
+pub struct Counters {
+    inner: Mutex<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Counters {
+        Counters::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static Counters {
+        static GLOBAL: OnceLock<Counters> = OnceLock::new();
+        GLOBAL.get_or_init(Counters::new)
+    }
+
+    /// Fetch (creating if needed) the counter named `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.inner.lock();
+        if let Some(c) = map.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// Convenience: bump `name` by `n` without holding the `Arc`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Copy out all counter values.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Zero every registered counter.
+    pub fn reset_all(&self) {
+        for c in self.inner.lock().values() {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let reg = Counters::new();
+        reg.add("queries", 2);
+        reg.counter("queries").incr();
+        assert_eq!(reg.snapshot()["queries"], 3);
+        reg.reset_all();
+        assert_eq!(reg.snapshot()["queries"], 0);
+    }
+
+    #[test]
+    fn interning_shares_state() {
+        let reg = Counters::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(5);
+        assert_eq!(b.get(), 5);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let reg = Arc::new(Counters::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let reg = reg.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        reg.counter("hits").incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.snapshot()["hits"], 4000);
+    }
+}

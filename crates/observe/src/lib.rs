@@ -1,0 +1,32 @@
+//! # polyframe-observe
+//!
+//! Zero-dependency observability layer for the PolyFrame workspace.
+//!
+//! The paper's evaluation (Table 1, Figs. 5-10) rests on attributing wall
+//! time to the right stage — incremental query formation vs. compilation
+//! vs. backend execution. This crate provides the plumbing every other
+//! crate uses to make that attribution:
+//!
+//! * [`trace`] — a `QueryTrace` span tree covering the full query
+//!   lifecycle (rewrite → preprocess → parse/plan → execute-per-shard →
+//!   postprocess) with per-span durations and named metrics (query-string
+//!   lengths, rewrite pass counts, rows scanned, index hits).
+//! * [`counters`] — cheap thread-safe monotonic counters for
+//!   process-lifetime tallies (queries executed, index probes, ...).
+//! * [`sync`] — `Mutex`/`RwLock` wrappers over `std::sync` with
+//!   guard-returning (non-`Result`) APIs, shared by all crates so lock
+//!   idiom stays uniform without external dependencies.
+//! * [`rng`] — a small deterministic PRNG (SplitMix64) for reproducible
+//!   data generation and property-style tests in offline builds.
+//!
+//! The crate deliberately has **no dependencies** (not even workspace
+//! ones) so it can sit underneath every other PolyFrame crate.
+
+pub mod counters;
+pub mod rng;
+pub mod sync;
+pub mod trace;
+
+pub use counters::{Counter, CounterSnapshot, Counters};
+pub use rng::Rng;
+pub use trace::{QueryTrace, Span, SpanTimer, TraceCell};

@@ -1,0 +1,445 @@
+//! Query-lifecycle span trees.
+//!
+//! A [`QueryTrace`] records where a query's wall time went, stage by
+//! stage, mirroring the lifecycle the paper's evaluation attributes time
+//! to: incremental **rewrite** (query formation), connector
+//! **preprocess**, backend **parse**/**plan**/**execute** (per shard on
+//! clusters), and **postprocess**. Each [`Span`] carries a duration,
+//! integer metrics (query length, rewrite passes, rows scanned, index
+//! hits, ...) and string notes (access path, dialect), plus child spans.
+//!
+//! Stage names used across the workspace (`Span::new` takes any name, but
+//! sticking to these keeps harness reports mergeable):
+//!
+//! | name          | emitted by                               |
+//! |---------------|------------------------------------------|
+//! | `query`       | root span of an action                   |
+//! | `rewrite`     | AFrame query formation (child per op)    |
+//! | `preprocess`  | connector query finalization             |
+//! | `execute`     | connector round trip                     |
+//! | `parse`       | backend parser                           |
+//! | `plan`        | backend logical/physical planning        |
+//! | `exec`        | backend plan execution                   |
+//! | `shard[i]`    | per-shard execution on clusters          |
+//! | `merge`       | cluster-side result merge                |
+//! | `postprocess` | connector result normalization           |
+
+use crate::sync::Mutex;
+use std::fmt;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// One timed stage of a query's life, with metrics and child stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    name: String,
+    duration: Duration,
+    metrics: Vec<(String, i64)>,
+    notes: Vec<(String, String)>,
+    children: Vec<Span>,
+}
+
+impl Span {
+    /// A zero-duration span named `name`.
+    pub fn new(name: impl Into<String>) -> Span {
+        Span {
+            name: name.into(),
+            duration: Duration::ZERO,
+            metrics: Vec::new(),
+            notes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder-style duration setter.
+    pub fn with_duration(mut self, d: Duration) -> Span {
+        self.duration = d;
+        self
+    }
+
+    /// Builder-style metric setter.
+    pub fn with_metric(mut self, key: impl Into<String>, value: i64) -> Span {
+        self.set_metric(key, value);
+        self
+    }
+
+    /// Builder-style note setter.
+    pub fn with_note(mut self, key: impl Into<String>, value: impl Into<String>) -> Span {
+        self.set_note(key, value);
+        self
+    }
+
+    /// Builder-style child appender.
+    pub fn with_child(mut self, child: Span) -> Span {
+        self.children.push(child);
+        self
+    }
+
+    /// Stage name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stage duration.
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+
+    /// Overwrite the duration.
+    pub fn set_duration(&mut self, d: Duration) {
+        self.duration = d;
+    }
+
+    /// Set (or overwrite) a named integer metric.
+    pub fn set_metric(&mut self, key: impl Into<String>, value: i64) {
+        let key = key.into();
+        if let Some(slot) = self.metrics.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((key, value));
+        }
+    }
+
+    /// Set (or overwrite) a named string note.
+    pub fn set_note(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.notes.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.notes.push((key, value));
+        }
+    }
+
+    /// Append a child stage.
+    pub fn push_child(&mut self, child: Span) {
+        self.children.push(child);
+    }
+
+    /// Look up a metric on this span only.
+    pub fn metric(&self, key: &str) -> Option<i64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| *v)
+    }
+
+    /// Look up a note on this span only.
+    pub fn note(&self, key: &str) -> Option<&str> {
+        self.notes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All metrics in insertion order.
+    pub fn metrics(&self) -> &[(String, i64)] {
+        &self.metrics
+    }
+
+    /// All notes in insertion order.
+    pub fn notes(&self) -> &[(String, String)] {
+        &self.notes
+    }
+
+    /// Child stages in execution order.
+    pub fn children(&self) -> &[Span] {
+        &self.children
+    }
+
+    /// Depth-first search for the first span named `name` (including self).
+    pub fn find(&self, name: &str) -> Option<&Span> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Sum of durations over every span in the subtree whose name equals
+    /// `name` (e.g. total `exec` time across shards).
+    pub fn total_named(&self, name: &str) -> Duration {
+        let mut total = if self.name == name {
+            self.duration
+        } else {
+            Duration::ZERO
+        };
+        for c in &self.children {
+            total += c.total_named(name);
+        }
+        total
+    }
+
+    /// Sum of a metric over every span in the subtree that defines it.
+    pub fn sum_metric(&self, key: &str) -> i64 {
+        self.metric(key).unwrap_or(0) + self.children.iter().map(|c| c.sum_metric(key)).sum::<i64>()
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let _ = write!(
+            out,
+            "{:indent$}{} {:?}",
+            "",
+            self.name,
+            self.duration,
+            indent = depth * 2
+        );
+        for (k, v) in &self.metrics {
+            let _ = write!(out, " {k}={v}");
+        }
+        for (k, v) in &self.notes {
+            let _ = write!(out, " {k}={v:?}");
+        }
+        out.push('\n');
+        for c in &self.children {
+            c.render_into(out, depth + 1);
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        out.push_str("{\"name\":");
+        json_string(&self.name, out);
+        let _ = write!(out, ",\"duration_ns\":{}", self.duration.as_nanos());
+        if !self.metrics.is_empty() {
+            out.push_str(",\"metrics\":{");
+            for (i, (k, v)) in self.metrics.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_string(k, out);
+                let _ = write!(out, ":{v}");
+            }
+            out.push('}');
+        }
+        if !self.notes.is_empty() {
+            out.push_str(",\"notes\":{");
+            for (i, (k, v)) in self.notes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json_string(k, out);
+                out.push(':');
+                json_string(v, out);
+            }
+            out.push('}');
+        }
+        if !self.children.is_empty() {
+            out.push_str(",\"children\":[");
+            for (i, c) in self.children.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                c.json_into(out);
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+}
+
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Times a span under construction; `finish()` stamps the elapsed wall
+/// time and returns the completed [`Span`].
+#[derive(Debug)]
+pub struct SpanTimer {
+    span: Span,
+    started: Instant,
+}
+
+impl SpanTimer {
+    /// Start timing a stage named `name`.
+    pub fn start(name: impl Into<String>) -> SpanTimer {
+        SpanTimer {
+            span: Span::new(name),
+            started: Instant::now(),
+        }
+    }
+
+    /// The span being built (for metrics/notes/children before finishing).
+    pub fn span_mut(&mut self) -> &mut Span {
+        &mut self.span
+    }
+
+    /// Stop the clock and return the completed span.
+    pub fn finish(mut self) -> Span {
+        self.span.duration = self.started.elapsed();
+        self.span
+    }
+}
+
+/// A completed query-lifecycle trace: one span tree rooted at the action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    root: Span,
+}
+
+impl QueryTrace {
+    /// Wrap a completed root span.
+    pub fn new(root: Span) -> QueryTrace {
+        QueryTrace { root }
+    }
+
+    /// The root span.
+    pub fn root(&self) -> &Span {
+        &self.root
+    }
+
+    /// Total wall time of the traced action.
+    pub fn duration(&self) -> Duration {
+        self.root.duration
+    }
+
+    /// Depth-first lookup of a stage by name.
+    pub fn span(&self, name: &str) -> Option<&Span> {
+        self.root.find(name)
+    }
+
+    /// Total time attributed to a stage name anywhere in the tree.
+    pub fn stage_total(&self, name: &str) -> Duration {
+        self.root.total_named(name)
+    }
+
+    /// Human-readable indented rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render_into(&mut out, 0);
+        out
+    }
+
+    /// Compact JSON rendering of the whole tree.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.root.json_into(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for QueryTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Thread-safe slot holding the most recent trace (used by `AFrame` for
+/// `last_trace()`; actions overwrite it, readers clone it out).
+#[derive(Debug, Default)]
+pub struct TraceCell {
+    slot: Mutex<Option<QueryTrace>>,
+}
+
+impl TraceCell {
+    /// An empty cell.
+    pub fn new() -> TraceCell {
+        TraceCell::default()
+    }
+
+    /// Store a trace, replacing any previous one.
+    pub fn put(&self, trace: QueryTrace) {
+        *self.slot.lock() = Some(trace);
+    }
+
+    /// Clone out the most recent trace, if any.
+    pub fn get(&self) -> Option<QueryTrace> {
+        self.slot.lock().clone()
+    }
+
+    /// Remove and return the most recent trace.
+    pub fn take(&self) -> Option<QueryTrace> {
+        self.slot.lock().take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> QueryTrace {
+        let root = Span::new("query")
+            .with_duration(Duration::from_micros(10))
+            .with_child(
+                Span::new("rewrite")
+                    .with_duration(Duration::from_micros(2))
+                    .with_metric("ops", 3),
+            )
+            .with_child(
+                Span::new("execute")
+                    .with_duration(Duration::from_micros(7))
+                    .with_note("backend", "sqlengine")
+                    .with_child(Span::new("exec").with_duration(Duration::from_micros(4)))
+                    .with_child(
+                        Span::new("exec")
+                            .with_duration(Duration::from_micros(2))
+                            .with_metric("rows_scanned", 100),
+                    ),
+            );
+        QueryTrace::new(root)
+    }
+
+    #[test]
+    fn lookup_and_totals() {
+        let t = sample();
+        assert_eq!(t.span("rewrite").unwrap().metric("ops"), Some(3));
+        assert_eq!(t.stage_total("exec"), Duration::from_micros(6));
+        assert_eq!(t.root().sum_metric("rows_scanned"), 100);
+        assert!(t.span("missing").is_none());
+    }
+
+    #[test]
+    fn render_is_indented() {
+        let text = sample().render();
+        assert!(text.starts_with("query"));
+        assert!(text.contains("\n  rewrite"));
+        assert!(text.contains("\n    exec"));
+        assert!(text.contains("ops=3"));
+        assert!(text.contains("backend=\"sqlengine\""));
+    }
+
+    #[test]
+    fn json_shape() {
+        let json = sample().to_json();
+        assert!(json.starts_with("{\"name\":\"query\""));
+        assert!(json.contains("\"metrics\":{\"ops\":3}"));
+        assert!(json.contains("\"notes\":{\"backend\":\"sqlengine\"}"));
+        assert!(json.contains("\"children\":["));
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut out = String::new();
+        json_string("a\"b\\c\nd", &mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn timer_produces_nonzero_duration() {
+        let mut t = SpanTimer::start("exec");
+        t.span_mut().set_metric("rows_out", 1);
+        std::hint::black_box((0..100).sum::<u64>());
+        let span = t.finish();
+        assert!(span.duration() > Duration::ZERO);
+        assert_eq!(span.metric("rows_out"), Some(1));
+    }
+
+    #[test]
+    fn trace_cell_stores_latest() {
+        let cell = TraceCell::new();
+        assert!(cell.get().is_none());
+        cell.put(sample());
+        assert!(cell.get().is_some());
+        assert!(cell.take().is_some());
+        assert!(cell.get().is_none());
+    }
+}

@@ -25,8 +25,10 @@ impl Database {
         options: TableOptions,
     ) -> &mut Table {
         let key = (namespace.to_string(), dataset.to_string());
-        self.tables
-            .insert(key.clone(), Table::new(format!("{namespace}.{dataset}"), options));
+        self.tables.insert(
+            key.clone(),
+            Table::new(format!("{namespace}.{dataset}"), options),
+        );
         self.tables.get_mut(&key).unwrap()
     }
 
@@ -58,7 +60,9 @@ impl Database {
 
     /// Iterate `(namespace, dataset)` names.
     pub fn dataset_names(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.tables.keys().map(|(ns, ds)| (ns.as_str(), ds.as_str()))
+        self.tables
+            .keys()
+            .map(|(ns, ds)| (ns.as_str(), ds.as_str()))
     }
 }
 

@@ -10,9 +10,11 @@ use crate::plan::builder::build_logical;
 use crate::plan::logical::LogicalPlan;
 use crate::plan::optimizer::optimize;
 use crate::plan::physical::{plan_physical, PhysicalPlan, PlannerOptions};
-use parking_lot::RwLock;
 use polyframe_datamodel::{Record, Value};
+use polyframe_observe::sync::RwLock;
+use polyframe_observe::{Span, SpanTimer};
 use polyframe_storage::TableOptions;
+use std::time::Instant;
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -90,7 +92,12 @@ impl Engine {
     }
 
     /// Bulk-load records into a dataset.
-    pub fn load(&self, namespace: &str, dataset: &str, records: impl IntoIterator<Item = Record>) -> Result<()> {
+    pub fn load(
+        &self,
+        namespace: &str,
+        dataset: &str,
+        records: impl IntoIterator<Item = Record>,
+    ) -> Result<()> {
         let mut db = self.db.write();
         let table = db.dataset_mut(namespace, dataset)?;
         table.insert_all(records);
@@ -112,6 +119,58 @@ impl Engine {
     pub fn query(&self, sql: &str) -> Result<Vec<Value>> {
         let logical = self.compile_to_logical(sql)?;
         self.execute_logical(&logical)
+    }
+
+    /// Like [`Engine::query`], but also reports where the time went as an
+    /// `execute` span with `parse`/`plan`/`exec` children. The `plan` child
+    /// carries the chosen access path and whether an index was used.
+    pub fn query_traced(&self, sql: &str) -> Result<(Vec<Value>, Span)> {
+        let started = Instant::now();
+
+        let mut parse_t = SpanTimer::start("parse");
+        let stmt = parse(sql, self.config.dialect)?;
+        let logical = build_logical(&stmt, &self.config.default_namespace)?;
+        parse_t.span_mut().set_metric("query_len", sql.len() as i64);
+        let parse_span = parse_t.finish();
+
+        let mut plan_t = SpanTimer::start("plan");
+        let logical = optimize(logical, self.config.personality.optimizer_passes);
+        let db = self.db.read();
+        let physical = plan_physical(
+            &logical,
+            &db,
+            &PlannerOptions {
+                personality: self.config.personality.clone(),
+                use_indexes: self.config.use_indexes,
+            },
+        )?;
+        let display = physical.display();
+        // Scan leaves render last in the plan tree; that line is the
+        // access path.
+        let access_path = display.lines().last().unwrap_or("").trim().to_string();
+        let index_used = display.contains("IndexScan") || display.contains("PrimaryIndexCount");
+        plan_t.span_mut().set_metric(
+            "optimizer_passes",
+            self.config.personality.optimizer_passes as i64,
+        );
+        plan_t
+            .span_mut()
+            .set_metric("index_used", i64::from(index_used));
+        plan_t.span_mut().set_note("access_path", access_path);
+        let plan_span = plan_t.finish();
+
+        let mut exec_t = SpanTimer::start("exec");
+        let rows = Executor::new(&db).run(&physical)?;
+        exec_t.span_mut().set_metric("rows_out", rows.len() as i64);
+        let exec_span = exec_t.finish();
+
+        let span = Span::new("execute")
+            .with_duration(started.elapsed())
+            .with_note("dialect", format!("{:?}", self.config.dialect))
+            .with_child(parse_span)
+            .with_child(plan_span)
+            .with_child(exec_span);
+        Ok((rows, span))
     }
 
     /// Compile query text to an optimized logical plan (runs the full
@@ -196,7 +255,12 @@ impl Engine {
 
     /// All (known) keys of an index in sorted order — the index-only key
     /// extraction the cluster layer's repartition join uses.
-    pub fn index_keys(&self, namespace: &str, dataset: &str, attribute: &str) -> Result<Vec<Value>> {
+    pub fn index_keys(
+        &self,
+        namespace: &str,
+        dataset: &str,
+        attribute: &str,
+    ) -> Result<Vec<Value>> {
         let db = self.db.read();
         let table = db.dataset(namespace, dataset)?;
         match table.index_on(attribute) {
@@ -274,9 +338,7 @@ mod tests {
     #[test]
     fn sqlpp_end_to_end() {
         let e = users_engine(EngineConfig::asterixdb());
-        let rows = e
-            .query("SELECT VALUE COUNT(*) FROM Test.Users")
-            .unwrap();
+        let rows = e.query("SELECT VALUE COUNT(*) FROM Test.Users").unwrap();
         assert_eq!(rows, vec![Value::Int(50)]);
 
         let rows = e

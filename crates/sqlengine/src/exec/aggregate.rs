@@ -40,10 +40,21 @@ pub struct Accumulator {
 #[derive(Debug, Clone)]
 enum State {
     Count(i64),
-    Sum { sum: f64, int_only: bool, seen: bool },
+    Sum {
+        sum: f64,
+        int_only: bool,
+        seen: bool,
+    },
     MinMax(Option<Value>),
-    Avg { sum: f64, count: i64 },
-    Std { sum: f64, sumsq: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
+    Std {
+        sum: f64,
+        sumsq: f64,
+        count: i64,
+    },
 }
 
 impl Accumulator {
@@ -86,7 +97,14 @@ impl Accumulator {
             (_, None) => {
                 return Err(EngineError::exec("only COUNT accepts a bare row"));
             }
-            (State::Sum { sum, int_only, seen }, Some(v)) => {
+            (
+                State::Sum {
+                    sum,
+                    int_only,
+                    seen,
+                },
+                Some(v),
+            ) => {
                 if let Some(x) = v.as_f64() {
                     *sum += x;
                     *seen = true;
@@ -135,7 +153,11 @@ impl Accumulator {
     pub fn finalize(&self) -> Value {
         match &self.state {
             State::Count(n) => Value::Int(*n),
-            State::Sum { sum, int_only, seen } => {
+            State::Sum {
+                sum,
+                int_only,
+                seen,
+            } => {
                 if !*seen {
                     Value::Null
                 } else if *int_only {
@@ -169,7 +191,11 @@ impl Accumulator {
     pub fn to_partial(&self) -> Value {
         match &self.state {
             State::Count(n) => Value::Obj(record! {"count" => *n}),
-            State::Sum { sum, int_only, seen } => Value::Obj(record! {
+            State::Sum {
+                sum,
+                int_only,
+                seen,
+            } => Value::Obj(record! {
                 "sum" => *sum,
                 "int_only" => *int_only,
                 "seen" => *seen,
@@ -197,7 +223,11 @@ impl Accumulator {
         let get_b = |k: &str| partial.get_path(k).as_bool().unwrap_or(false);
         match &mut self.state {
             State::Count(n) => *n += get_i("count"),
-            State::Sum { sum, int_only, seen } => {
+            State::Sum {
+                sum,
+                int_only,
+                seen,
+            } => {
                 *sum += get_f("sum");
                 *int_only &= get_b("int_only");
                 *seen |= get_b("seen");

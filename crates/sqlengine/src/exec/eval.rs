@@ -210,7 +210,11 @@ fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
         ScalarFunc::ToInt => match arg {
             Value::Int(i) => Ok(Value::Int(*i)),
             Value::Double(d) => Ok(Value::Int(*d as i64)),
-            Value::Str(s) => Ok(s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null)),
+            Value::Str(s) => Ok(s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null)),
             Value::Bool(b) => Ok(Value::Int(i64::from(*b))),
             _ => Ok(Value::Null),
         },
@@ -314,7 +318,11 @@ mod tests {
         assert_eq!(eval(&isnull, &row()).unwrap(), Value::Bool(true));
         let ismissing = Scalar::Is(Box::new(Scalar::Field("n".into())), IsKind::Missing, false);
         assert_eq!(eval(&ismissing, &row()).unwrap(), Value::Bool(false));
-        let isunk = Scalar::Is(Box::new(Scalar::Field("gone".into())), IsKind::Unknown, false);
+        let isunk = Scalar::Is(
+            Box::new(Scalar::Field("gone".into())),
+            IsKind::Unknown,
+            false,
+        );
         assert_eq!(eval(&isunk, &row()).unwrap(), Value::Bool(true));
         let neg = Scalar::Is(Box::new(Scalar::Field("a".into())), IsKind::Unknown, true);
         assert_eq!(eval(&neg, &row()).unwrap(), Value::Bool(true));
@@ -327,7 +335,10 @@ mod tests {
             Box::new(Scalar::Field("n".into())),
             Box::new(Scalar::Lit(Value::Bool(false))),
         );
-        assert_eq!(eval(&unknown_and_false, &row()).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval(&unknown_and_false, &row()).unwrap(),
+            Value::Bool(false)
+        );
         let unknown_or_true = Scalar::Bin(
             BinOp::Or,
             Box::new(Scalar::Field("n".into())),

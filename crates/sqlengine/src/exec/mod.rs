@@ -43,9 +43,9 @@ impl<'a> Executor<'a> {
     }
 
     fn index<'t>(&self, table: &'t Table, attr: &str) -> Result<&'t polyframe_storage::Index> {
-        table.index_on(attr).ok_or_else(|| {
-            EngineError::exec(format!("no index on attribute {attr} (planner bug)"))
-        })
+        table
+            .index_on(attr)
+            .ok_or_else(|| EngineError::exec(format!("no index on attribute {attr} (planner bug)")))
     }
 
     /// Build the iterator tree for `plan`.
@@ -141,12 +141,14 @@ impl<'a> Executor<'a> {
             } => {
                 let table = self.table(dataset)?;
                 let index = self.index(table, attr)?;
-                let iter = index.scan(&ScanRange::all(), *direction).map(move |(_, rid)| {
-                    table
-                        .get(rid)
-                        .map(|r| Value::Obj(r.clone()))
-                        .ok_or_else(|| EngineError::exec("dangling index entry"))
-                });
+                let iter = index
+                    .scan(&ScanRange::all(), *direction)
+                    .map(move |(_, rid)| {
+                        table
+                            .get(rid)
+                            .map(|r| Value::Obj(r.clone()))
+                            .ok_or_else(|| EngineError::exec("dangling index entry"))
+                    });
                 match limit {
                     Some(n) => Ok(Box::new(iter.take(*n as usize))),
                     None => Ok(Box::new(iter)),
@@ -548,14 +550,8 @@ mod tests {
     #[test]
     fn project_merge_stars() {
         let row = make_record([
-            (
-                "l".to_string(),
-                Value::Obj(record! {"a" => 1i64}),
-            ),
-            (
-                "r".to_string(),
-                Value::Obj(record! {"b" => 2i64}),
-            ),
+            ("l".to_string(), Value::Obj(record! {"a" => 1i64})),
+            ("r".to_string(), Value::Obj(record! {"b" => 2i64})),
         ]);
         let spec = ProjectSpec::MergeStars(vec!["l".into(), "r".into()]);
         let out = project_row(&spec, &row).unwrap();

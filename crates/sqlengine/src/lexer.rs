@@ -65,7 +65,11 @@ pub fn tokenize(input: &str, dialect: Dialect) -> Result<Vec<Token>> {
                 pos += 1;
             }
             b'=' => {
-                pos += if bytes.get(pos + 1) == Some(&b'=') { 2 } else { 1 };
+                pos += if bytes.get(pos + 1) == Some(&b'=') {
+                    2
+                } else {
+                    1
+                };
                 out.push(Token::Eq);
             }
             b'!' => {
@@ -193,10 +197,12 @@ fn lex_quoted(bytes: &[u8], start: usize, quote: u8) -> Result<(String, usize)> 
                 2
             };
             let end = (pos + width).min(bytes.len());
-            s.push_str(std::str::from_utf8(&bytes[pos..end]).map_err(|_| EngineError::Lex {
-                offset: pos,
-                message: "invalid UTF-8".to_string(),
-            })?);
+            s.push_str(
+                std::str::from_utf8(&bytes[pos..end]).map_err(|_| EngineError::Lex {
+                    offset: pos,
+                    message: "invalid UTF-8".to_string(),
+                })?,
+            );
             pos = end;
         }
     }
@@ -265,7 +271,11 @@ mod tests {
         assert!(sql.contains(&Token::QuotedIdent("two".into())));
         assert!(sql.contains(&Token::Str("en".into())));
 
-        let sqlpp = tokenize(r#"SELECT `two` FROM t WHERE x = "en""#, Dialect::SqlPlusPlus).unwrap();
+        let sqlpp = tokenize(
+            r#"SELECT `two` FROM t WHERE x = "en""#,
+            Dialect::SqlPlusPlus,
+        )
+        .unwrap();
         assert!(sqlpp.contains(&Token::QuotedIdent("two".into())));
         assert!(sqlpp.contains(&Token::Str("en".into())));
     }

@@ -170,7 +170,11 @@ impl Parser {
         let limit = if self.eat_kw("limit") {
             match self.bump() {
                 Token::Int(n) if n >= 0 => Some(n as u64),
-                t => return Err(EngineError::parse(format!("expected LIMIT count, found {t}"))),
+                t => {
+                    return Err(EngineError::parse(format!(
+                        "expected LIMIT count, found {t}"
+                    )))
+                }
             }
         } else {
             None
@@ -432,7 +436,9 @@ impl Parser {
                 self.expect(&Token::RParen)?;
                 Ok(e)
             }
-            Token::Ident(s) if s.eq_ignore_ascii_case("true") => Ok(AstExpr::Lit(Value::Bool(true))),
+            Token::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                Ok(AstExpr::Lit(Value::Bool(true)))
+            }
             Token::Ident(s) if s.eq_ignore_ascii_case("false") => {
                 Ok(AstExpr::Lit(Value::Bool(false)))
             }

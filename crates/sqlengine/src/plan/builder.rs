@@ -64,9 +64,10 @@ impl Builder {
         }
 
         // 3. Aggregation?
-        let has_agg = stmt.items.iter().any(|it| {
-            matches!(it, SelectItem::Expr { expr, .. } if top_level_agg(expr).is_some())
-        });
+        let has_agg = stmt
+            .items
+            .iter()
+            .any(|it| matches!(it, SelectItem::Expr { expr, .. } if top_level_agg(expr).is_some()));
 
         if has_agg || !stmt.group_by.is_empty() {
             plan = self.build_aggregate(stmt, plan, &ctx)?;
@@ -256,11 +257,7 @@ impl Builder {
                 let arg = match args {
                     [AstExpr::Star] => AggArg::Star,
                     [single] => AggArg::Expr(self.resolve(single, ctx)?),
-                    _ => {
-                        return Err(EngineError::plan(
-                            "aggregates take exactly one argument",
-                        ))
-                    }
+                    _ => return Err(EngineError::plan("aggregates take exactly one argument")),
                 };
                 let mut name = alias
                     .clone()
@@ -276,24 +273,23 @@ impl Builder {
                     arg,
                 });
                 out_cols.push((
-                    alias.clone().unwrap_or_else(|| func.display_name().to_string()),
+                    alias
+                        .clone()
+                        .unwrap_or_else(|| func.display_name().to_string()),
                     Scalar::Field(name),
                 ));
             } else {
                 // Must reference a group key.
                 let scalar = self.resolve(expr, ctx)?;
-                let key = group_by
-                    .iter()
-                    .find(|(_, g)| *g == scalar)
-                    .ok_or_else(|| {
-                        EngineError::plan(format!(
-                            "select item {i} is neither an aggregate nor a group key"
-                        ))
-                    })?;
+                let key = group_by.iter().find(|(_, g)| *g == scalar).ok_or_else(|| {
+                    EngineError::plan(format!(
+                        "select item {i} is neither an aggregate nor a group key"
+                    ))
+                })?;
                 let name = match expr {
-                    AstExpr::Path(parts) => {
-                        alias.clone().unwrap_or_else(|| parts.last().unwrap().clone())
-                    }
+                    AstExpr::Path(parts) => alias
+                        .clone()
+                        .unwrap_or_else(|| parts.last().unwrap().clone()),
                     _ => alias.clone().unwrap_or_else(|| key.0.clone()),
                 };
                 out_cols.push((name, Scalar::Field(key.0.clone())));
@@ -390,9 +386,7 @@ impl Builder {
         }
         match (ctx.single(), parts) {
             (Some(b), [only]) if only == b => Ok(Scalar::Input),
-            (Some(b), [head, rest @ ..]) if head == b && !rest.is_empty() => {
-                Ok(nested_field(rest))
-            }
+            (Some(b), [head, rest @ ..]) if head == b && !rest.is_empty() => Ok(nested_field(rest)),
             (_, [field]) => Ok(Scalar::Field(field.clone())),
             (Some(_), parts) => {
                 // Unqualified nested path (`a.b` where `a` is a field).
@@ -442,7 +436,11 @@ fn output_name(expr: &AstExpr, alias: Option<&str>, index: usize) -> String {
 
 /// Decompose an `ON` predicate into `(left_key, right_key)` scalars
 /// evaluated on the left/right input rows respectively.
-fn split_equi_join(on: &Scalar, left_binding: &str, right_binding: &str) -> Result<(Scalar, Scalar)> {
+fn split_equi_join(
+    on: &Scalar,
+    left_binding: &str,
+    right_binding: &str,
+) -> Result<(Scalar, Scalar)> {
     if let Scalar::Bin(BinOp::Eq, a, b) = on {
         let classify = |s: &Scalar| -> Option<(bool, String)> {
             match s {
@@ -562,7 +560,9 @@ mod tests {
                     }
                     _ => panic!(),
                 }
-                assert!(matches!(input.as_ref(), LogicalPlan::Aggregate { group_by, .. } if group_by.len() == 1));
+                assert!(
+                    matches!(input.as_ref(), LogicalPlan::Aggregate { group_by, .. } if group_by.len() == 1)
+                );
             }
             other => panic!("unexpected {other}"),
         }
@@ -582,9 +582,7 @@ mod tests {
     #[test]
     fn join_key_order_normalized() {
         // ON r.k = l.k must still put the left key first.
-        let p = plan_sql(
-            "SELECT COUNT(*) FROM (SELECT l.*, r.* FROM a l JOIN b r ON r.k = l.k) t",
-        );
+        let p = plan_sql("SELECT COUNT(*) FROM (SELECT l.*, r.* FROM a l JOIN b r ON r.k = l.k) t");
         fn find_join(p: &LogicalPlan) -> Option<(&Scalar, &Scalar)> {
             match p {
                 LogicalPlan::Join {

@@ -19,9 +19,7 @@
 
 use crate::error::{EngineError, Result};
 use crate::exec::{aggregate_rows, project_row};
-use crate::plan::logical::{
-    AggExpr, AggMode, LogicalPlan, ProjectSpec, Scalar,
-};
+use crate::plan::logical::{AggExpr, AggMode, LogicalPlan, ProjectSpec, Scalar};
 use polyframe_datamodel::{cmp_total, Value};
 
 /// A distributed execution strategy for one query.
@@ -129,7 +127,10 @@ pub fn split(plan: &LogicalPlan) -> Result<DistributedQuery> {
             }),
         },
         LogicalPlan::Limit { input, n } => match input.as_ref() {
-            LogicalPlan::Sort { input: sort_in, keys } => Ok(DistributedQuery::TopK {
+            LogicalPlan::Sort {
+                input: sort_in,
+                keys,
+            } => Ok(DistributedQuery::TopK {
                 shard_plan: LogicalPlan::Limit {
                     input: Box::new(LogicalPlan::Sort {
                         input: sort_in.clone(),
@@ -142,7 +143,10 @@ pub fn split(plan: &LogicalPlan) -> Result<DistributedQuery> {
                 post_project: None,
             }),
             LogicalPlan::Project { input: p_in, spec } => match p_in.as_ref() {
-                LogicalPlan::Sort { input: sort_in, keys } => Ok(DistributedQuery::TopK {
+                LogicalPlan::Sort {
+                    input: sort_in,
+                    keys,
+                } => Ok(DistributedQuery::TopK {
                     shard_plan: LogicalPlan::Limit {
                         input: Box::new(LogicalPlan::Sort {
                             input: sort_in.clone(),

@@ -331,7 +331,9 @@ impl LogicalPlan {
                 right_key,
                 ..
             } => {
-                out.push_str(&format!("{pad}Join[{kind:?}] {left_key:?} = {right_key:?}\n"));
+                out.push_str(&format!(
+                    "{pad}Join[{kind:?}] {left_key:?} = {right_key:?}\n"
+                ));
                 left.fmt_indent(out, depth + 1);
                 right.fmt_indent(out, depth + 1);
             }
@@ -353,8 +355,14 @@ mod tests {
     fn referenced_fields() {
         let s = Scalar::Bin(
             BinOp::And,
-            Box::new(Scalar::eq(Scalar::Field("a".into()), Scalar::Lit(Value::Int(1)))),
-            Box::new(Scalar::eq(Scalar::Field("b".into()), Scalar::Field("a".into()))),
+            Box::new(Scalar::eq(
+                Scalar::Field("a".into()),
+                Scalar::Lit(Value::Int(1)),
+            )),
+            Box::new(Scalar::eq(
+                Scalar::Field("b".into()),
+                Scalar::Field("a".into()),
+            )),
         );
         assert_eq!(
             s.referenced_fields(),

@@ -72,11 +72,7 @@ fn rewrite(plan: LogicalPlan) -> LogicalPlan {
             {
                 return LogicalPlan::Filter {
                     input: inner_input,
-                    predicate: Scalar::Bin(
-                        BinOp::And,
-                        Box::new(inner_pred),
-                        Box::new(predicate),
-                    ),
+                    predicate: Scalar::Bin(BinOp::And, Box::new(inner_pred), Box::new(predicate)),
                 };
             }
             LogicalPlan::Filter {
@@ -242,10 +238,7 @@ mod tests {
                     assert!(matches!(input.as_ref(), LogicalPlan::Scan { .. }));
                     match spec {
                         ProjectSpec::Columns(cols) => {
-                            assert!(matches!(
-                                &cols[0].1,
-                                Scalar::Call(ScalarFunc::Upper, _)
-                            ));
+                            assert!(matches!(&cols[0].1, Scalar::Call(ScalarFunc::Upper, _)));
                         }
                         _ => panic!(),
                     }

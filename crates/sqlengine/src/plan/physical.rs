@@ -233,7 +233,11 @@ impl PhysicalPlan {
                 ..
             } => out.push_str(&format!(
                 "{pad}IndexOnlyCount {dataset}({attr}){}\n",
-                if range.is_none() { " [unknown keys]" } else { "" }
+                if range.is_none() {
+                    " [unknown keys]"
+                } else {
+                    ""
+                }
             )),
             PrimaryIndexCount { dataset, .. } => {
                 out.push_str(&format!("{pad}PrimaryIndexCount {dataset}\n"))
@@ -260,7 +264,10 @@ impl PhysicalPlan {
                 left.0, left.1, right.0, right.1
             )),
             IndexNLJoin { outer, inner, .. } => {
-                out.push_str(&format!("{pad}IndexNLJoin inner={}({})\n", inner.0, inner.1));
+                out.push_str(&format!(
+                    "{pad}IndexNLJoin inner={}({})\n",
+                    inner.0, inner.1
+                ));
                 outer.fmt_indent(out, depth + 1);
             }
             HashJoin { left, right, .. } => {
@@ -277,7 +284,10 @@ impl PhysicalPlan {
                 input.fmt_indent(out, depth + 1);
             }
             Aggregate {
-                input, group_by, mode, ..
+                input,
+                group_by,
+                mode,
+                ..
             } => {
                 out.push_str(&format!(
                     "{pad}Aggregate[{mode:?}] groups={}\n",
@@ -335,11 +345,9 @@ impl Conjunct {
                 Box::new(Scalar::Field(a.clone())),
                 Box::new(Scalar::Lit(v.clone())),
             ),
-            Conjunct::Unknown(a) => Scalar::Is(
-                Box::new(Scalar::Field(a.clone())),
-                IsKind::Unknown,
-                false,
-            ),
+            Conjunct::Unknown(a) => {
+                Scalar::Is(Box::new(Scalar::Field(a.clone())), IsKind::Unknown, false)
+            }
             Conjunct::Other(s) => s.clone(),
         }
     }
@@ -731,13 +739,15 @@ impl<'a> Planner<'a> {
 
     fn translate_limit(&self, input: &LogicalPlan, n: u64) -> Result<PhysicalPlan> {
         // Sort + Limit: try an index-ordered scan (expr 9), else top-k sort.
-        if let LogicalPlan::Sort { input: sort_in, keys } = input {
+        if let LogicalPlan::Sort {
+            input: sort_in,
+            keys,
+        } = input
+        {
             if keys.len() == 1 {
                 if let (Scalar::Field(attr), desc) = (&keys[0].0, keys[0].1) {
                     if let Stripped::Scan(ds) = strip_reshape(sort_in) {
-                        if self.has_index(&ds, attr)
-                            && self.personality().backward_index_scans
-                        {
+                        if self.has_index(&ds, attr) && self.personality().backward_index_scans {
                             // Secondary indexes that skip nulls cannot serve
                             // an ORDER BY that must include unknown rows —
                             // unless the scan is limited and descending
@@ -796,8 +806,7 @@ impl<'a> Planner<'a> {
         // Index nested-loop join when the inner (right) side is a bare scan
         // with an index on its join key.
         if *kind == JoinKind::Inner {
-            if let (Stripped::Scan(rds), Scalar::Field(rattr)) = (strip_reshape(right), right_key)
-            {
+            if let (Stripped::Scan(rds), Scalar::Field(rattr)) = (strip_reshape(right), right_key) {
                 if self.has_index(&rds, rattr) {
                     return Ok(PhysicalPlan::IndexNLJoin {
                         outer: Box::new(self.translate(left)?),

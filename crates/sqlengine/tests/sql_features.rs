@@ -90,7 +90,9 @@ fn where_three_valued_logic_drops_unknowns() {
     assert_eq!(rows[0].get_path("count"), Value::Int(16));
     // IS NULL picks up exactly the absent ones.
     let rows = e
-        .query("SELECT COUNT(*) FROM (SELECT t.* FROM (SELECT * FROM t) t WHERE t.\"opt\" IS NULL) x")
+        .query(
+            "SELECT COUNT(*) FROM (SELECT t.* FROM (SELECT * FROM t) t WHERE t.\"opt\" IS NULL) x",
+        )
         .unwrap();
     assert_eq!(rows[0].get_path("count"), Value::Int(4));
     // OR with one unknown side still passes when the other side is true.
@@ -213,9 +215,7 @@ fn sqlpp_dialect_distinctions() {
     )
     .unwrap();
     // IS MISSING vs IS NULL vs IS UNKNOWN all differ in SQL++.
-    let count = |q: &str| -> i64 {
-        e.query(q).unwrap()[0].as_i64().unwrap()
-    };
+    let count = |q: &str| -> i64 { e.query(q).unwrap()[0].as_i64().unwrap() };
     assert_eq!(
         count("SELECT VALUE COUNT(*) FROM (SELECT VALUE t FROM d t WHERE t.b IS MISSING) t"),
         1

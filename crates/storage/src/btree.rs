@@ -248,7 +248,8 @@ impl BPlusTree {
                     separators,
                     children,
                 } => {
-                    let idx = separators.partition_point(|s| entry_cmp(s, probe) != Ordering::Greater);
+                    let idx =
+                        separators.partition_point(|s| entry_cmp(s, probe) != Ordering::Greater);
                     node = children[idx];
                 }
                 Node::Leaf { .. } => return node,
@@ -265,8 +266,7 @@ impl BPlusTree {
                 separators,
                 children,
             } => {
-                let idx =
-                    separators.partition_point(|s| entry_cmp(s, &entry) != Ordering::Greater);
+                let idx = separators.partition_point(|s| entry_cmp(s, &entry) != Ordering::Greater);
                 let child = children[idx];
                 let split = self.insert_into(child, entry)?;
                 let (sep, new_child) = split;
@@ -313,14 +313,13 @@ impl BPlusTree {
     }
 
     fn split_leaf(&mut self, node: NodeId) -> ((Value, u64), NodeId) {
-        let (right_entries, old_next) = if let Node::Leaf { entries, next, .. } =
-            &mut self.nodes[node]
-        {
-            let mid = entries.len() / 2;
-            (entries.split_off(mid), *next)
-        } else {
-            unreachable!()
-        };
+        let (right_entries, old_next) =
+            if let Node::Leaf { entries, next, .. } = &mut self.nodes[node] {
+                let mid = entries.len() / 2;
+                (entries.split_off(mid), *next)
+            } else {
+                unreachable!()
+            };
         let sep = right_entries[0].clone();
         let right = self.alloc(Node::Leaf {
             entries: right_entries,
@@ -618,7 +617,12 @@ mod tests {
             .collect();
         assert_eq!(
             keys,
-            vec![Value::Null, Value::Int(10), Value::str("a"), Value::str("b")]
+            vec![
+                Value::Null,
+                Value::Int(10),
+                Value::str("a"),
+                Value::str("b")
+            ]
         );
     }
 

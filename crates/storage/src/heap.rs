@@ -83,11 +83,7 @@ impl TableHeap {
 
     /// Approximate heap footprint in bytes.
     pub fn approx_size(&self) -> usize {
-        self.slots
-            .iter()
-            .flatten()
-            .map(Record::approx_size)
-            .sum()
+        self.slots.iter().flatten().map(Record::approx_size).sum()
     }
 }
 

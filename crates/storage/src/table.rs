@@ -133,7 +133,9 @@ impl Table {
 
     /// The primary index, if the table declared a primary key.
     pub fn primary_index(&self) -> Option<&Index> {
-        self.indexes.iter().find(|ix| ix.kind() == IndexKind::Primary)
+        self.indexes
+            .iter()
+            .find(|ix| ix.kind() == IndexKind::Primary)
     }
 
     /// All indexes.

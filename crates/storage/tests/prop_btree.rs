@@ -1,18 +1,28 @@
-//! Property-based tests: the B+tree must agree with a sorted vector model.
+//! Randomized tests: the B+tree must agree with a sorted vector model.
+//! Cases come from a seeded [`polyframe_observe::Rng`] so runs are
+//! deterministic and the suite needs no external property-testing
+//! dependency (offline builds).
 
 use polyframe_datamodel::{cmp_total, Value};
+use polyframe_observe::Rng;
 use polyframe_storage::{BPlusTree, Direction, KeyBound, ScanRange};
-use proptest::prelude::*;
+
+const CASES: usize = 48;
 
 fn model_sort(entries: &mut [(i64, u64)]) {
-    entries.sort_by(|a, b| {
-        cmp_total(&Value::Int(a.0), &Value::Int(b.0)).then(a.1.cmp(&b.1))
-    });
+    entries.sort_by(|a, b| cmp_total(&Value::Int(a.0), &Value::Int(b.0)).then(a.1.cmp(&b.1)));
 }
 
-proptest! {
-    #[test]
-    fn forward_scan_matches_sorted_model(keys in prop::collection::vec(-50i64..50, 0..300)) {
+fn gen_keys(rng: &mut Rng, max_len: usize) -> Vec<i64> {
+    let len = rng.gen_range_usize(max_len);
+    (0..len).map(|_| rng.gen_range_i64(-50, 50)).collect()
+}
+
+#[test]
+fn forward_scan_matches_sorted_model() {
+    let mut rng = Rng::seed_from_u64(0xB1);
+    for _ in 0..CASES {
+        let keys = gen_keys(&mut rng, 300);
         let mut tree = BPlusTree::new();
         let mut model: Vec<(i64, u64)> = Vec::new();
         for (i, k) in keys.iter().enumerate() {
@@ -24,11 +34,15 @@ proptest! {
             .scan(&ScanRange::all(), Direction::Forward)
             .map(|(k, p)| (k.as_i64().unwrap(), p))
             .collect();
-        prop_assert_eq!(got, model);
+        assert_eq!(got, model);
     }
+}
 
-    #[test]
-    fn backward_scan_is_reverse_of_forward(keys in prop::collection::vec(-50i64..50, 0..300)) {
+#[test]
+fn backward_scan_is_reverse_of_forward() {
+    let mut rng = Rng::seed_from_u64(0xB2);
+    for _ in 0..CASES {
+        let keys = gen_keys(&mut rng, 300);
         let mut tree = BPlusTree::new();
         for (i, k) in keys.iter().enumerate() {
             tree.insert(Value::Int(*k), i as u64);
@@ -42,17 +56,19 @@ proptest! {
             .map(|(k, p)| (k.as_i64().unwrap(), p))
             .collect();
         bwd.reverse();
-        prop_assert_eq!(fwd, bwd);
+        assert_eq!(fwd, bwd);
     }
+}
 
-    #[test]
-    fn range_scans_match_filtered_model(
-        keys in prop::collection::vec(-50i64..50, 0..300),
-        lo in -60i64..60,
-        width in 0i64..40,
-        lo_incl in any::<bool>(),
-        hi_incl in any::<bool>(),
-    ) {
+#[test]
+fn range_scans_match_filtered_model() {
+    let mut rng = Rng::seed_from_u64(0xB3);
+    for _ in 0..CASES {
+        let keys = gen_keys(&mut rng, 300);
+        let lo = rng.gen_range_i64(-60, 60);
+        let width = rng.gen_range_i64(0, 40);
+        let lo_incl = rng.gen_bool();
+        let hi_incl = rng.gen_bool();
         let hi = lo + width;
         let mut tree = BPlusTree::new();
         let mut model: Vec<(i64, u64)> = Vec::new();
@@ -68,27 +84,38 @@ proptest! {
         };
         let expected: Vec<(i64, u64)> = model.into_iter().filter(|(k, _)| in_range(*k)).collect();
         let range = ScanRange {
-            lo: if lo_incl { KeyBound::Included(Value::Int(lo)) } else { KeyBound::Excluded(Value::Int(lo)) },
-            hi: if hi_incl { KeyBound::Included(Value::Int(hi)) } else { KeyBound::Excluded(Value::Int(hi)) },
+            lo: if lo_incl {
+                KeyBound::Included(Value::Int(lo))
+            } else {
+                KeyBound::Excluded(Value::Int(lo))
+            },
+            hi: if hi_incl {
+                KeyBound::Included(Value::Int(hi))
+            } else {
+                KeyBound::Excluded(Value::Int(hi))
+            },
         };
         let got: Vec<(i64, u64)> = tree
             .scan(&range, Direction::Forward)
             .map(|(k, p)| (k.as_i64().unwrap(), p))
             .collect();
-        prop_assert_eq!(&got, &expected);
+        assert_eq!(&got, &expected);
         let mut bwd: Vec<(i64, u64)> = tree
             .scan(&range, Direction::Backward)
             .map(|(k, p)| (k.as_i64().unwrap(), p))
             .collect();
         bwd.reverse();
-        prop_assert_eq!(bwd, expected);
+        assert_eq!(bwd, expected);
     }
+}
 
-    #[test]
-    fn inserts_then_removes_leave_survivors(
-        keys in prop::collection::vec(0i64..40, 1..200),
-        remove_mask in prop::collection::vec(any::<bool>(), 200),
-    ) {
+#[test]
+fn inserts_then_removes_leave_survivors() {
+    let mut rng = Rng::seed_from_u64(0xB4);
+    for _ in 0..CASES {
+        let len = 1 + rng.gen_range_usize(199);
+        let keys: Vec<i64> = (0..len).map(|_| rng.gen_range_i64(0, 40)).collect();
+        let remove_mask: Vec<bool> = (0..200).map(|_| rng.gen_bool()).collect();
         let mut tree = BPlusTree::new();
         for (i, k) in keys.iter().enumerate() {
             tree.insert(Value::Int(*k), i as u64);
@@ -96,7 +123,7 @@ proptest! {
         let mut survivors: Vec<(i64, u64)> = Vec::new();
         for (i, k) in keys.iter().enumerate() {
             if remove_mask[i % remove_mask.len()] {
-                prop_assert!(tree.remove(&Value::Int(*k), i as u64));
+                assert!(tree.remove(&Value::Int(*k), i as u64));
             } else {
                 survivors.push((*k, i as u64));
             }
@@ -106,8 +133,12 @@ proptest! {
             .scan(&ScanRange::all(), Direction::Forward)
             .map(|(k, p)| (k.as_i64().unwrap(), p))
             .collect();
-        prop_assert_eq!(got, survivors);
-        prop_assert_eq!(tree.first().map(|(k, p)| (k.as_i64().unwrap(), p)),
-                        tree.scan(&ScanRange::all(), Direction::Forward).next().map(|(k,p)| (k.as_i64().unwrap(), p)));
+        assert_eq!(got, survivors);
+        assert_eq!(
+            tree.first().map(|(k, p)| (k.as_i64().unwrap(), p)),
+            tree.scan(&ScanRange::all(), Direction::Forward)
+                .next()
+                .map(|(k, p)| (k.as_i64().unwrap(), p))
+        );
     }
 }

@@ -23,9 +23,7 @@
 //! the same relative shapes as the paper's 1–10 GB files.
 
 use polyframe_datamodel::{to_json_string, Record, Value};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use polyframe_observe::Rng;
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -164,8 +162,8 @@ fn make_record(unique1: usize, unique2: usize, missing_every: usize) -> Record {
 /// Generate the dataset as records.
 pub fn generate(config: &WisconsinConfig) -> Vec<Record> {
     let mut unique1: Vec<usize> = (0..config.num_records).collect();
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    unique1.shuffle(&mut rng);
+    let mut rng = Rng::seed_from_u64(config.seed);
+    rng.shuffle(&mut unique1);
     unique1
         .into_iter()
         .enumerate()

@@ -1,0 +1,42 @@
+//! Prints the query-lifecycle trace of the paper's Table I expression
+//! (`af[af['lang'] == 'en'][['name', 'address']]`) on two backends.
+
+use polyframe::prelude::*;
+use polyframe_datamodel::record;
+use polyframe_docstore::DocStore;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), PolyFrameError> {
+    let users: Vec<_> = (0..1000)
+        .map(|i| {
+            record! {
+                "id" => i,
+                "name" => format!("user{i}"),
+                "address" => format!("{i} Main St"),
+                "lang" => if i % 4 == 0 { "en" } else { "de" }
+            }
+        })
+        .collect();
+
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    engine.create_dataset("Test", "Users", Some("id"));
+    engine.load("Test", "Users", users.clone()).unwrap();
+    engine.create_index("Test", "Users", "lang").unwrap();
+    let pg = AFrame::new("Test", "Users", Arc::new(PostgresConnector::new(engine)))?;
+
+    let store = Arc::new(DocStore::new());
+    store.create_collection("Test.Users");
+    store.insert_many("Test.Users", users).unwrap();
+    store.create_index("Test.Users", "lang").unwrap();
+    let mongo = AFrame::new("Test", "Users", Arc::new(MongoConnector::new(store)))?;
+
+    for af in [pg, mongo] {
+        let frame = af
+            .mask(&col("lang").eq("en"))?
+            .select(&["name", "address"])?;
+        println!("--- {} ---", frame.backend());
+        print!("{}", frame.explain()?);
+    }
+    Ok(())
+}

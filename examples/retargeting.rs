@@ -37,7 +37,10 @@ fn analysis(af: &AFrame) -> polyframe::Result<()> {
     println!("-- generated query --\n{}\n", chained.query());
     let sample = chained.head(3)?;
     println!("-- first 3 rows --\n{sample}");
-    println!("-- count of english users: {}\n", af.mask(&col("lang").eq("en"))?.len()?);
+    println!(
+        "-- count of english users: {}\n",
+        af.mask(&col("lang").eq("en"))?.len()?
+    );
     Ok(())
 }
 
@@ -97,8 +100,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let af = AFrame::with_rules("Test", "Users", conn, custom_rules)?;
     // The override changes the generated text; our SQL engine only speaks
     // LIMIT, so we just print the query instead of running it.
-    let q = polyframe::Translator::new(af.rules().clone())
-        .limit(af.query(), 10)?;
+    let q = polyframe::Translator::new(af.rules().clone()).limit(af.query(), 10)?;
     println!("custom limit rule generates:\n{q}");
     Ok(())
 }

@@ -63,13 +63,19 @@ fn expr9_backward_index_scan_is_pg12_only() {
     let q = "SELECT t.* FROM (SELECT * FROM data) t ORDER BY t.\"unique1\" DESC LIMIT 5";
     let p12 = engine(EngineConfig::postgres());
     let plan = p12.explain(q).unwrap();
-    assert!(plan.contains("IndexOrderedScan") && plan.contains("Backward"), "pg12: {plan}");
+    assert!(
+        plan.contains("IndexOrderedScan") && plan.contains("Backward"),
+        "pg12: {plan}"
+    );
 
     // "Greenplum was not able to use the backward-index scan ... instead it
     // did a table scan."
     let p95 = engine(EngineConfig::greenplum());
     let plan = p95.explain(q).unwrap();
-    assert!(plan.contains("Sort") && plan.contains("SeqScan"), "pg95: {plan}");
+    assert!(
+        plan.contains("Sort") && plan.contains("SeqScan"),
+        "pg95: {plan}"
+    );
 }
 
 #[test]
@@ -80,7 +86,10 @@ fn expr13_nulls_in_index_is_postgres_only() {
     let plan = p12
         .explain("SELECT COUNT(*) FROM (SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"tenPercent\" IS NULL) t")
         .unwrap();
-    assert!(plan.contains("IndexOnlyCount") && plan.contains("unknown keys"), "pg12: {plan}");
+    assert!(
+        plan.contains("IndexOnlyCount") && plan.contains("unknown keys"),
+        "pg12: {plan}"
+    );
 
     // AsterixDB "support[s] data with missing attributes, but missing
     // values are not present in their indexes" -> scan.
@@ -163,5 +172,8 @@ fn mongo_sort_limit_uses_backward_index() {
             r#"[{"$match":{}},{"$sort":{"unique1":-1}},{"$project":{"_id":0}},{"$limit":5}]"#,
         )
         .unwrap();
-    assert!(explain.contains("IXSCAN ordered(unique1 desc)"), "{explain}");
+    assert!(
+        explain.contains("IXSCAN ordered(unique1 desc)"),
+        "{explain}"
+    );
 }

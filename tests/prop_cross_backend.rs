@@ -1,15 +1,21 @@
-//! Property-based cross-backend agreement: random filter/aggregate
-//! programs over random data must return identical answers on all four
-//! substrates — the strongest evidence that one set of DataFrame semantics
-//! survives four very different query languages.
+//! Randomized cross-backend agreement: random filter/aggregate programs
+//! over random data must return identical answers on all four substrates —
+//! the strongest evidence that one set of DataFrame semantics survives
+//! four very different query languages.
+//!
+//! Cases are generated from a seeded [`polyframe_observe::Rng`] so runs
+//! are deterministic and the suite needs no external property-testing
+//! dependency (offline builds).
 
 use polyframe::prelude::*;
 use polyframe_datamodel::{record, Record, Value};
 use polyframe_docstore::DocStore;
 use polyframe_graphstore::GraphStore;
+use polyframe_observe::Rng;
 use polyframe_sqlengine::{Engine, EngineConfig};
-use proptest::prelude::*;
 use std::sync::Arc;
+
+const CASES: usize = 24;
 
 /// A randomly generated filter program.
 #[derive(Debug, Clone)]
@@ -22,24 +28,37 @@ enum Pred {
 
 const ATTRS: [&str; 3] = ["a", "b", "c"];
 
-fn arb_pred() -> impl Strategy<Value = Pred> {
-    // Comparisons draw only from the never-null attributes `a`/`b`: MongoDB
-    // evaluates `$lt`/`$ne` under the BSON *total* order (missing < 0 is
-    // true!) while SQL/Cypher three-valued logic rejects unknown
-    // comparisons — a real cross-system divergence the paper's benchmark
-    // also sidesteps by filtering only non-null attributes. `isna` is the
-    // portable missing-value test and may use any attribute.
-    let leaf = prop_oneof![
-        (0..6u8, 0..2usize, -5i64..15).prop_map(|(op, ai, v)| Pred::Cmp(op, ATTRS[ai], v)),
-        (0..3usize).prop_map(|ai| Pred::IsNa(ATTRS[ai])),
-    ];
-    leaf.prop_recursive(2, 6, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Pred::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Pred::Or(Box::new(a), Box::new(b))),
-        ]
-    })
+/// Random predicate of bounded depth.
+///
+/// Comparisons draw only from the never-null attributes `a`/`b`: MongoDB
+/// evaluates `$lt`/`$ne` under the BSON *total* order (missing < 0 is
+/// true!) while SQL/Cypher three-valued logic rejects unknown
+/// comparisons — a real cross-system divergence the paper's benchmark
+/// also sidesteps by filtering only non-null attributes. `isna` is the
+/// portable missing-value test and may use any attribute.
+///
+/// NOT is excluded from the generator: three-valued semantics make
+/// NOT(unknown) differ legitimately between SQL and Mongo truthiness;
+/// PolyFrame's benchmark programs never negate unknowns either.
+fn gen_pred(rng: &mut Rng, depth: usize) -> Pred {
+    if depth > 0 && rng.gen_range_usize(3) == 0 {
+        let a = Box::new(gen_pred(rng, depth - 1));
+        let b = Box::new(gen_pred(rng, depth - 1));
+        return if rng.gen_bool() {
+            Pred::And(a, b)
+        } else {
+            Pred::Or(a, b)
+        };
+    }
+    if rng.gen_range_usize(4) == 0 {
+        Pred::IsNa(ATTRS[rng.gen_range_usize(3)])
+    } else {
+        Pred::Cmp(
+            rng.gen_range_i64(0, 6) as u8,
+            ATTRS[rng.gen_range_usize(2)],
+            rng.gen_range_i64(-5, 15),
+        )
+    }
 }
 
 impl Pred {
@@ -83,6 +102,28 @@ impl Pred {
     }
 }
 
+/// Random rows `(a, b, optional c)`; `a` optionally confined to `0..4`
+/// for group-by keys.
+fn gen_rows(rng: &mut Rng, max_len: usize, small_a: bool) -> Vec<(i64, i64, Option<i64>)> {
+    let len = 1 + rng.gen_range_usize(max_len - 1);
+    (0..len)
+        .map(|_| {
+            let a = if small_a {
+                rng.gen_range_i64(0, 4)
+            } else {
+                rng.gen_range_i64(-5, 15)
+            };
+            let b = rng.gen_range_i64(-5, 15);
+            let c = if rng.gen_bool() {
+                Some(rng.gen_range_i64(-5, 15))
+            } else {
+                None
+            };
+            (a, b, c)
+        })
+        .collect()
+}
+
 fn make_records(rows: &[(i64, i64, Option<i64>)]) -> Vec<Record> {
     rows.iter()
         .enumerate()
@@ -124,30 +165,33 @@ fn backends(records: &[Record]) -> Vec<AFrame> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn filtered_counts_agree_across_backends(
-        rows in prop::collection::vec((-5i64..15, -5i64..15, prop::option::of(-5i64..15)), 1..40),
-        pred in arb_pred(),
-    ) {
-        // NOT is excluded from the generator: three-valued semantics make
-        // NOT(unknown) differ legitimately between SQL and Mongo truthiness;
-        // PolyFrame's benchmark programs never negate unknowns either.
+#[test]
+fn filtered_counts_agree_across_backends() {
+    let mut rng = Rng::seed_from_u64(0xF117E2);
+    for case in 0..CASES {
+        let rows = gen_rows(&mut rng, 40, false);
+        let pred = gen_pred(&mut rng, 2);
         let records = make_records(&rows);
         let expected = records.iter().filter(|r| pred.eval(r)).count();
         let expr = pred.to_expr();
         for af in backends(&records) {
             let got = af.mask(&expr).unwrap().len().unwrap();
-            prop_assert_eq!(got, expected, "{} pred {:?}", af.backend(), pred);
+            assert_eq!(
+                got,
+                expected,
+                "case {case}: {} pred {:?}",
+                af.backend(),
+                pred
+            );
         }
     }
+}
 
-    #[test]
-    fn aggregates_agree_across_backends(
-        rows in prop::collection::vec((-5i64..15, -5i64..15, prop::option::of(-5i64..15)), 1..30),
-    ) {
+#[test]
+fn aggregates_agree_across_backends() {
+    let mut rng = Rng::seed_from_u64(0xA66);
+    for case in 0..CASES {
+        let rows = gen_rows(&mut rng, 30, false);
         let records = make_records(&rows);
         let known_a: Vec<i64> = rows.iter().map(|(a, _, _)| *a).collect();
         let expect_max = Value::Int(*known_a.iter().max().unwrap());
@@ -155,29 +199,56 @@ proptest! {
         let expect_mean = known_a.iter().sum::<i64>() as f64 / known_a.len() as f64;
         for af in backends(&records) {
             let series = af.col("a").unwrap();
-            prop_assert_eq!(series.max().unwrap(), expect_max.clone(), "{}", af.backend());
-            prop_assert_eq!(series.min().unwrap(), expect_min.clone(), "{}", af.backend());
+            assert_eq!(
+                series.max().unwrap(),
+                expect_max.clone(),
+                "case {case}: {}",
+                af.backend()
+            );
+            assert_eq!(
+                series.min().unwrap(),
+                expect_min.clone(),
+                "case {case}: {}",
+                af.backend()
+            );
             let mean = series.mean().unwrap().as_f64().unwrap();
-            prop_assert!((mean - expect_mean).abs() < 1e-9, "{}", af.backend());
+            assert!(
+                (mean - expect_mean).abs() < 1e-9,
+                "case {case}: {}",
+                af.backend()
+            );
         }
     }
+}
 
-    #[test]
-    fn groupby_counts_agree_across_backends(
-        rows in prop::collection::vec((0i64..4, -5i64..15, prop::option::of(-5i64..15)), 1..30),
-    ) {
+#[test]
+fn groupby_counts_agree_across_backends() {
+    let mut rng = Rng::seed_from_u64(0x62011B);
+    for case in 0..CASES {
+        let rows = gen_rows(&mut rng, 30, true);
         let records = make_records(&rows);
         let mut expected = std::collections::BTreeMap::new();
         for (a, _, _) in &rows {
             *expected.entry(*a).or_insert(0i64) += 1;
         }
         for af in backends(&records) {
-            let out = af.groupby("a").agg(polyframe::AggFunc::Count).unwrap().collect().unwrap();
-            prop_assert_eq!(out.len(), expected.len(), "{}", af.backend());
+            let out = af
+                .groupby("a")
+                .agg(polyframe::AggFunc::Count)
+                .unwrap()
+                .collect()
+                .unwrap();
+            assert_eq!(out.len(), expected.len(), "case {case}: {}", af.backend());
             for row in out.rows() {
                 let key = row.get_path("a").as_i64().unwrap();
                 let cnt = row.get_path("cnt").as_i64().unwrap();
-                prop_assert_eq!(cnt, expected[&key], "{} key {}", af.backend(), key);
+                assert_eq!(
+                    cnt,
+                    expected[&key],
+                    "case {case}: {} key {}",
+                    af.backend(),
+                    key
+                );
             }
         }
     }

@@ -74,7 +74,9 @@ fn table1_operation_3_boolean_column() {
         .with_column("is_eq", &col("lang").eq("en"))
         .unwrap();
     assert!(
-        derived.query().ends_with("WITH t{'is_eq': t.lang = \"en\"}"),
+        derived
+            .query()
+            .ends_with("WITH t{'is_eq': t.lang = \"en\"}"),
         "{}",
         derived.query()
     );

@@ -121,9 +121,7 @@ fn appendix_f_sql_queries_run_verbatim() {
     assert_eq!(rows.len(), 5);
 
     let rows = e
-        .query(
-            "SELECT MIN(\"unique1\")\n FROM (SELECT unique1\n FROM (SELECT * FROM data) t) t;",
-        )
+        .query("SELECT MIN(\"unique1\")\n FROM (SELECT unique1\n FROM (SELECT * FROM data) t) t;")
         .unwrap();
     assert_eq!(rows[0].get_path("min"), Value::Int(0));
 
