@@ -1,0 +1,27 @@
+//! Ablation: morsel-parallel full-scan aggregate at 1/2/4/8 workers.
+//!
+//! Times the expression-6 shape (`SUM` over a full scan — every record is
+//! touched, one scalar comes out) on the PostgreSQL personality as the
+//! worker count grows. 1 worker is the serial executor; higher counts
+//! split the heap into slot-range morsels merged deterministically, so
+//! the speedup here is pure intra-query parallelism with identical output.
+
+use polyframe_bench::ablations::{scan_engine, SCAN_QUERY};
+use polyframe_bench::microbench::Runner;
+
+const N: usize = 60_000;
+
+fn main() {
+    let mut c = Runner::from_args();
+    let mut g = c.benchmark_group("parallel_scan");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for workers in [1usize, 2, 4, 8] {
+        let engine = scan_engine(N, workers);
+        g.bench_function(format!("workers_{workers}"), |b| {
+            b.iter(|| engine.query(SCAN_QUERY).unwrap())
+        });
+    }
+    g.finish();
+}

@@ -1,0 +1,41 @@
+//! Ablation: plan-cache cold vs warm compile per engine personality.
+//!
+//! PolyFrame's incremental query formation re-issues near-identical query
+//! text on every dataframe action, so compile time is pure overhead the
+//! paper attributes to "query preparation" (its Empty-dataset baseline,
+//! Figure 5 exprs 2/10). The catalog-versioned plan cache turns the warm
+//! path into a hash probe; this bench quantifies the gap per personality —
+//! the AsterixDB personality's many optimizer passes make its cold compile
+//! the priciest and its cache win the largest.
+
+use polyframe_bench::ablations::{plan_cache_engine, query_text, PERSONALITIES};
+use polyframe_bench::microbench::Runner;
+
+fn main() {
+    let mut c = Runner::from_args();
+    for personality in PERSONALITIES {
+        let engine = plan_cache_engine(personality);
+        let mut g = c.benchmark_group(format!("plan_cache_{personality}"));
+        g.sample_size(50);
+        g.warm_up_time(std::time::Duration::from_millis(100));
+        g.measurement_time(std::time::Duration::from_millis(500));
+        // Cold: every iteration compiles a query text the cache has never
+        // seen (a fresh literal), so each one pays parse + optimize + plan.
+        let mut i = 0usize;
+        g.bench_function("cold_compile", |b| {
+            b.iter(|| {
+                i += 1;
+                engine
+                    .compile_to_physical(&query_text(personality, i))
+                    .unwrap()
+            })
+        });
+        // Warm: the same text every time — version probe + shared handle.
+        let warm_query = query_text(personality, 0);
+        engine.compile_to_physical(&warm_query).unwrap();
+        g.bench_function("warm_compile", |b| {
+            b.iter(|| engine.compile_to_physical(&warm_query).unwrap())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,220 @@
+//! Ablations for the intra-node performance work: plan-cache cold vs warm
+//! compile times per engine personality, and morsel-parallel scan scaling
+//! across worker counts.
+//!
+//! The measurement cores live here so the `ablation_plan_cache` /
+//! `ablation_parallel_scan` micro-benches and the harness's `ablations`
+//! subcommand (text tables + `--json` report) share one setup and one
+//! definition of each measurement.
+
+use polyframe_sqlengine::{Engine, EngineConfig, ExecOptions};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+use std::time::{Duration, Instant};
+
+/// Namespace/dataset the ablation engines load.
+pub const NS: &str = "Bench";
+/// Dataset name.
+pub const DS: &str = "wisconsin";
+
+/// The full-scan aggregate the parallel-scan ablation times (expression-6
+/// shape: every record is scanned, one scalar comes out, so the morsel
+/// pipeline — scan + partial agg + merge — dominates end to end).
+pub const SCAN_QUERY: &str = "SELECT SUM(\"unique1\") FROM (SELECT * FROM Bench.wisconsin) t";
+
+/// The engine personalities the plan-cache ablation compares. AsterixDB
+/// runs many more optimizer passes than the PostgreSQL personalities, so
+/// its cold compile is the most expensive and its cache win the largest.
+pub const PERSONALITIES: [&str; 3] = ["asterixdb", "postgres", "greenplum"];
+
+fn config_for(personality: &str) -> EngineConfig {
+    match personality {
+        "asterixdb" => EngineConfig::asterixdb(),
+        "postgres" => EngineConfig::postgres(),
+        "greenplum" => EngineConfig::greenplum(),
+        other => panic!("unknown personality {other}"),
+    }
+}
+
+/// A compile-only engine for the plan-cache ablation: tiny dataset (the
+/// planner only consults the catalog) with the benchmark's standard index
+/// so index selection runs during planning.
+pub fn plan_cache_engine(personality: &str) -> Engine {
+    let engine = Engine::new(config_for(personality));
+    engine.create_dataset(NS, DS, Some("unique2"));
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(100)))
+        .unwrap();
+    engine.create_index(NS, DS, "ten").unwrap();
+    engine
+}
+
+/// The `i`-th distinct query text of the paper's expression-10 selection
+/// shape, in `personality`'s dialect. Each `i` is a distinct plan-cache
+/// key, so compiling `query_text(p, 0..n)` measures pure cold compiles.
+pub fn query_text(personality: &str, i: usize) -> String {
+    match personality {
+        "asterixdb" => {
+            format!("SELECT VALUE t FROM (SELECT VALUE t FROM {NS}.{DS} t) t WHERE t.ten = {i}")
+        }
+        _ => format!("SELECT t.* FROM (SELECT * FROM {NS}.{DS}) t WHERE t.\"ten\" = {i}"),
+    }
+}
+
+/// Cold vs warm compile medians for one engine personality.
+#[derive(Debug, Clone)]
+pub struct PlanCacheAblation {
+    /// Personality name (see [`PERSONALITIES`]).
+    pub personality: &'static str,
+    /// Median first-compile time (cache miss: parse + optimize + plan).
+    pub cold: Duration,
+    /// Median re-compile time (cache hit: version probe + shared handle).
+    pub warm: Duration,
+    /// The engine's cache hit rate over the whole measurement.
+    pub hit_rate: f64,
+}
+
+impl PlanCacheAblation {
+    /// Warm compile as a fraction of cold (< 0.1 is the acceptance bar for
+    /// the AsterixDB personality).
+    pub fn warm_over_cold(&self) -> f64 {
+        self.warm.as_secs_f64() / self.cold.as_secs_f64().max(1e-12)
+    }
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Measure cold vs warm compiles for every personality: `samples` distinct
+/// query texts compiled twice each — first pass all misses, second pass
+/// all hits.
+pub fn plan_cache_ablation(samples: usize) -> Vec<PlanCacheAblation> {
+    // Stay under the cache capacity so the second pass is all hits.
+    let samples = samples.clamp(1, 64);
+    PERSONALITIES
+        .iter()
+        .map(|&personality| {
+            let engine = plan_cache_engine(personality);
+            let texts: Vec<String> = (0..samples).map(|i| query_text(personality, i)).collect();
+            let mut cold = Vec::with_capacity(samples);
+            for q in &texts {
+                let t0 = Instant::now();
+                engine.compile_to_physical(q).unwrap();
+                cold.push(t0.elapsed());
+            }
+            let mut warm = Vec::with_capacity(samples);
+            for q in &texts {
+                let t0 = Instant::now();
+                engine.compile_to_physical(q).unwrap();
+                warm.push(t0.elapsed());
+            }
+            PlanCacheAblation {
+                personality,
+                cold: median(cold),
+                warm: median(warm),
+                hit_rate: engine.plan_cache_stats().hit_rate(),
+            }
+        })
+        .collect()
+}
+
+/// An engine loaded with `num_records` Wisconsin records whose executor
+/// uses `workers` morsel workers (1 = the serial path).
+pub fn scan_engine(num_records: usize, workers: usize) -> Engine {
+    let engine = Engine::new(config_for("postgres").with_exec(ExecOptions::with_workers(workers)));
+    engine.create_dataset(NS, DS, Some("unique2"));
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(num_records)))
+        .unwrap();
+    engine
+}
+
+/// Median full-scan aggregate time at one worker count.
+#[derive(Debug, Clone)]
+pub struct ParallelScanAblation {
+    /// Morsel workers (1 = serial execution).
+    pub workers: usize,
+    /// Median elapsed time of [`SCAN_QUERY`].
+    pub elapsed: Duration,
+    /// Speedup vs the 1-worker (serial) entry of the same run.
+    pub speedup: f64,
+}
+
+/// Measure [`SCAN_QUERY`] over `num_records` records at each worker count.
+/// `worker_counts` should include 1 — the serial baseline every speedup is
+/// computed against. Samples interleave round-robin across the worker
+/// counts, so slow drift on a shared/noisy host lands evenly on every
+/// count instead of biasing whichever happened to be measured last.
+pub fn parallel_scan_ablation(
+    num_records: usize,
+    worker_counts: &[usize],
+    samples: usize,
+) -> Vec<ParallelScanAblation> {
+    let samples = samples.max(1);
+    let engines: Vec<Engine> = worker_counts
+        .iter()
+        .map(|&w| scan_engine(num_records, w))
+        .collect();
+    // Warm-up: first touch of each fresh heap + plan-cache fill, so the
+    // timed runs measure execution only.
+    for engine in &engines {
+        engine.query(SCAN_QUERY).unwrap();
+    }
+    let mut times: Vec<Vec<Duration>> = vec![Vec::with_capacity(samples); engines.len()];
+    for _ in 0..samples {
+        for (engine, out) in engines.iter().zip(times.iter_mut()) {
+            let t0 = Instant::now();
+            engine.query(SCAN_QUERY).unwrap();
+            out.push(t0.elapsed());
+        }
+    }
+    let medians: Vec<Duration> = times.into_iter().map(median).collect();
+    let base = worker_counts
+        .iter()
+        .position(|&w| w <= 1)
+        .map(|i| medians[i]);
+    worker_counts
+        .iter()
+        .zip(medians)
+        .map(|(&workers, elapsed)| ParallelScanAblation {
+            workers,
+            elapsed,
+            speedup: base.unwrap_or(elapsed).as_secs_f64() / elapsed.as_secs_f64().max(1e-12),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_texts_are_distinct_cache_keys() {
+        for p in PERSONALITIES {
+            let texts: std::collections::HashSet<String> =
+                (0..64).map(|i| query_text(p, i)).collect();
+            assert_eq!(texts.len(), 64, "{p}");
+        }
+    }
+
+    #[test]
+    fn plan_cache_ablation_reports_all_personalities() {
+        let results = plan_cache_ablation(4);
+        assert_eq!(results.len(), PERSONALITIES.len());
+        for r in &results {
+            // Two passes over distinct texts: half the lookups hit.
+            assert!((r.hit_rate - 0.5).abs() < 1e-9, "{}", r.personality);
+            assert!(r.warm_over_cold() < 1.0, "{}", r.personality);
+        }
+    }
+
+    #[test]
+    fn parallel_scan_ablation_is_anchored_at_serial() {
+        let results = parallel_scan_ablation(2_000, &[1, 2], 2);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].workers, 1);
+        assert!((results[0].speedup - 1.0).abs() < 1e-9);
+        assert!(results[1].speedup > 0.0);
+    }
+}

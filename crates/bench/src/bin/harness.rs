@@ -94,11 +94,16 @@ fn main() {
         }
         "translate" => translate(),
         "sizes" => sizes(scale),
+        "ablations" => {
+            let records = get_flag("--records", 60_000);
+            let samples = get_flag("--samples", 15);
+            ablations(records, samples, get_str_flag("--json"));
+        }
         _ => {
             eprintln!(
-                "usage: harness <single-node|speedup|scaleup|translate|sizes> [options]\n\
+                "usage: harness <single-node|speedup|scaleup|translate|sizes|ablations> [options]\n\
                  options: --size xs|s|m|l|xl|empty|all, --scale N, --shards N, --records N,\n\
-                 --json PATH (single-node: per-stage trace report)"
+                 --samples N (ablations), --json PATH (single-node/ablations: JSON report)"
             );
         }
     }
@@ -202,6 +207,70 @@ fn cluster_tables(setups: &[MultiNodeSetup], params: &BenchParams, is_speedup: b
         }
         println!("\n{}:", kind.name());
         print!("{}", table.render());
+    }
+}
+
+/// The intra-node performance ablations: plan-cache cold vs warm compiles
+/// per personality, and morsel-parallel scan scaling over worker counts.
+fn ablations(records: usize, samples: usize, json_path: Option<String>) {
+    use polyframe_bench::ablations::{parallel_scan_ablation, plan_cache_ablation};
+
+    println!("\n=== Ablation: plan cache (cold vs warm compile) ===");
+    let cache = plan_cache_ablation(samples.min(64));
+    let mut table = Table::new(&["personality", "cold", "warm", "warm/cold", "hit rate"]);
+    for r in &cache {
+        table.row(vec![
+            r.personality.to_string(),
+            fmt_duration(r.cold),
+            fmt_duration(r.warm),
+            format!("{:.1}%", r.warm_over_cold() * 100.0),
+            format!("{:.0}%", r.hit_rate * 100.0),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\n=== Ablation: morsel-parallel scan ({records} records, SUM over full scan) ===");
+    let scan = parallel_scan_ablation(records, &[1, 2, 4, 8], samples);
+    let mut table = Table::new(&["workers", "median", "speedup"]);
+    for r in &scan {
+        table.row(vec![
+            r.workers.to_string(),
+            fmt_duration(r.elapsed),
+            fmt_ratio(r.speedup),
+        ]);
+    }
+    print!("{}", table.render());
+
+    if let Some(path) = json_path {
+        let mut recs: Vec<String> = cache
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"ablation\":\"plan_cache\",\"personality\":\"{}\",\"cold_ns\":{},\"warm_ns\":{},\"warm_over_cold\":{:.6},\"hit_rate\":{:.4}}}",
+                    r.personality,
+                    r.cold.as_nanos(),
+                    r.warm.as_nanos(),
+                    r.warm_over_cold(),
+                    r.hit_rate
+                )
+            })
+            .collect();
+        recs.extend(scan.iter().map(|r| {
+            format!(
+                "{{\"ablation\":\"parallel_scan\",\"records\":{records},\"workers\":{},\"elapsed_ns\":{},\"speedup\":{:.4}}}",
+                r.workers,
+                r.elapsed.as_nanos(),
+                r.speedup
+            )
+        }));
+        let body = format!("[\n{}\n]\n", recs.join(",\n"));
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("\nwrote {} JSON records to {path}", recs.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }
 

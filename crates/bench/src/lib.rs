@@ -13,6 +13,7 @@
 //! plus a JSON report with per-stage trace breakdowns; the micro-benches
 //! (`benches/`, built on [`microbench`]) provide per-figure timings.
 
+pub mod ablations;
 pub mod expressions;
 pub mod microbench;
 pub mod params;

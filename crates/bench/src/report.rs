@@ -55,21 +55,24 @@ impl Table {
 }
 
 /// The stage names broken out per record in the JSON report, in lifecycle
-/// order (`shard` aggregates every `shard[i]` span).
-pub const REPORT_STAGES: [&str; 8] = [
+/// order (`shard` aggregates every `shard[i]` span; `morsel` every
+/// `morsel[i]` span of intra-node parallel execution).
+pub const REPORT_STAGES: [&str; 9] = [
     "rewrite",
     "preprocess",
     "parse",
     "plan",
     "exec",
+    "morsel",
     "shard",
     "merge",
     "postprocess",
 ];
 
 /// Total time attributed to a report stage anywhere in the trace. `shard`
-/// sums every span whose name starts with `shard[`; other names sum exact
-/// matches (via `QueryTrace::stage_total`).
+/// sums every span whose name starts with `shard[`, `morsel` every
+/// `morsel[`; other names sum exact matches (via
+/// `QueryTrace::stage_total`).
 pub fn report_stage_total(trace: &polyframe_observe::QueryTrace, stage: &str) -> Duration {
     fn prefixed(span: &polyframe_observe::Span, prefix: &str) -> Duration {
         let own = if span.name().starts_with(prefix) {
@@ -83,10 +86,10 @@ pub fn report_stage_total(trace: &polyframe_observe::QueryTrace, stage: &str) ->
             .map(|c| prefixed(c, prefix))
             .sum::<Duration>()
     }
-    if stage == "shard" {
-        prefixed(trace.root(), "shard[")
-    } else {
-        trace.stage_total(stage)
+    match stage {
+        "shard" => prefixed(trace.root(), "shard["),
+        "morsel" => prefixed(trace.root(), "morsel["),
+        _ => trace.stage_total(stage),
     }
 }
 
@@ -128,6 +131,17 @@ pub fn json_record(
             ));
         }
         out.push('}');
+        // Plan-cache observability: every cache-aware backend stamps its
+        // plan span with `cache_hit`/`cache_lookup`, so the hit rate of
+        // this run's final action falls out of the trace.
+        let lookups = trace.root().sum_metric("cache_lookup");
+        if lookups > 0 {
+            let hits = trace.root().sum_metric("cache_hit");
+            out.push_str(&format!(
+                ",\"plan_cache\":{{\"hits\":{hits},\"lookups\":{lookups},\"hit_rate\":{:.4}}}",
+                hits as f64 / lookups as f64
+            ));
+        }
         out.push_str(&format!(",\"trace\":{}", trace.to_json()));
     }
     out.push('}');

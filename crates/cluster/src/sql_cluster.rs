@@ -30,11 +30,14 @@ impl SqlCluster {
     /// Build a cluster with an explicit dispatch mode.
     pub fn with_mode(
         n: usize,
-        config: EngineConfig,
+        mut config: EngineConfig,
         partition_key: impl Into<String>,
         mode: ExecMode,
     ) -> SqlCluster {
         assert!(n >= 1, "a cluster needs at least one shard");
+        // Budget cores jointly: shards × morsel workers ≤ available cores
+        // (sequential dispatch hands each shard the full budget instead).
+        config.exec.workers = mode.workers_per_shard(n);
         SqlCluster {
             shards: (0..n)
                 .map(|_| Arc::new(Engine::new(config.clone())))

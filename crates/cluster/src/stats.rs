@@ -25,14 +25,26 @@ pub enum ExecMode {
 
 impl ExecMode {
     /// Threads when the host has at least `shards` cores, else sequential.
+    /// The core budget honours the `POLYFRAME_THREADS` override (see
+    /// [`polyframe_sqlengine::available_threads`]).
     pub fn auto(shards: usize) -> ExecMode {
-        let cores = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        if cores >= shards {
+        if polyframe_sqlengine::available_threads() >= shards {
             ExecMode::Threads
         } else {
             ExecMode::Sequential
+        }
+    }
+
+    /// Morsel-worker budget for each shard engine, so concurrent shards
+    /// and intra-shard morsel workers jointly stay within the core budget:
+    /// `shards × workers ≤ cores` under [`ExecMode::Threads`] (shards run
+    /// concurrently), while [`ExecMode::Sequential`] runs one shard at a
+    /// time and hands each the full budget.
+    pub fn workers_per_shard(self, shards: usize) -> usize {
+        let cores = polyframe_sqlengine::available_threads();
+        match self {
+            ExecMode::Threads => (cores / shards.max(1)).max(1),
+            ExecMode::Sequential => cores.max(1),
         }
     }
 }
@@ -148,5 +160,18 @@ mod tests {
     fn auto_mode_is_consistent() {
         // On any machine, 1 shard can run threaded.
         assert_eq!(ExecMode::auto(1), ExecMode::Threads);
+    }
+
+    #[test]
+    fn worker_budget_is_joint() {
+        let cores = polyframe_sqlengine::available_threads();
+        // Concurrent shards split the budget: shards × workers ≤ cores.
+        for shards in 1..=8 {
+            let w = ExecMode::Threads.workers_per_shard(shards);
+            assert!(w >= 1);
+            assert!(shards * w <= cores.max(shards), "shards={shards} w={w}");
+        }
+        // Sequential shards run alone and get the whole budget.
+        assert_eq!(ExecMode::Sequential.workers_per_shard(4), cores.max(1));
     }
 }

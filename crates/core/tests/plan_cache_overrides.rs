@@ -1,0 +1,66 @@
+//! User-overridden rewrite rules ([`RuleSet::with_overrides`]) change the
+//! query text PolyFrame emits, so the backend plan cache must key the
+//! overridden queries separately from the built-in ones — equal answers,
+//! distinct cache entries, no stale-plan reuse across rule sets.
+
+use polyframe::prelude::*;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+use std::sync::Arc;
+
+const NS: &str = "Test";
+const DS: &str = "wisconsin";
+
+fn backend() -> (Arc<Engine>, Arc<PostgresConnector>) {
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    engine.create_dataset(NS, DS, Some("unique2"));
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(500)))
+        .unwrap();
+    (
+        Arc::clone(&engine),
+        Arc::new(PostgresConnector::new(engine)),
+    )
+}
+
+#[test]
+fn overridden_rules_get_their_own_cache_entries() {
+    let (engine, conn) = backend();
+
+    let af = AFrame::new(NS, DS, conn.clone()).unwrap();
+    let expected = af.mask(&col("ten").eq(3)).unwrap().len().unwrap();
+    let entries_after_builtin = engine.plan_cache_len();
+    assert!(entries_after_builtin > 0);
+
+    // The same logical dataframe program again: pure cache hits, no new
+    // entries.
+    let af2 = AFrame::new(NS, DS, conn.clone()).unwrap();
+    assert_eq!(
+        af2.mask(&col("ten").eq(3)).unwrap().len().unwrap(),
+        expected
+    );
+    assert_eq!(engine.plan_cache_len(), entries_after_builtin);
+    assert!(engine.plan_cache_stats().hits > 0);
+
+    // Layer a user rewrite that changes the emitted SQL (extra parentheses
+    // around the predicate) without changing its meaning.
+    let rules = conn
+        .rules()
+        .with_overrides(
+            "[QUERIES]\nfilter = SELECT t.*\n FROM ($subquery) t\n WHERE ($predicate)\n",
+        )
+        .unwrap();
+    let af3 = AFrame::with_rules(NS, DS, conn.clone(), rules).unwrap();
+    assert_eq!(
+        af3.mask(&col("ten").eq(3)).unwrap().len().unwrap(),
+        expected
+    );
+
+    // Different query text → different cache key: the overridden program
+    // compiled fresh entries instead of reusing the built-in ones.
+    assert!(
+        engine.plan_cache_len() > entries_after_builtin,
+        "overridden rule set should add cache entries ({} vs {entries_after_builtin})",
+        engine.plan_cache_len()
+    );
+}

@@ -8,10 +8,31 @@ use crate::pipeline::optimizer::{optimize, PhysicalPipeline};
 use crate::pipeline::{parse_pipeline, Stage};
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::RwLock;
-use polyframe_observe::{Span, SpanTimer};
+use polyframe_observe::{CacheStats, Span, SpanTimer, VersionedCache};
 use polyframe_storage::{NullPolicy, Table, TableOptions};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cached plans per store (`(collection, pipeline text)` keys).
+const PLAN_CACHE_CAPACITY: usize = 128;
+
+/// A compiled pipeline: the parsed stage list plus the physical pipeline
+/// optimized for its body (everything before a trailing `$out`).
+struct CachedPipeline {
+    stages: Vec<Stage>,
+    body: PhysicalPipeline,
+}
+
+/// A compiled pipeline plus how compilation went (cache hit or miss) and
+/// the timed `parse`/`plan` spans describing it.
+struct Compiled {
+    plan: Arc<CachedPipeline>,
+    hit: bool,
+    parse_span: Span,
+    plan_span: Span,
+}
 
 /// A MongoDB-like document store.
 pub struct DocStore {
@@ -19,6 +40,11 @@ pub struct DocStore {
     next_id: AtomicI64,
     /// Ablation switch: disable index selection in the pipeline optimizer.
     use_indexes: bool,
+    /// Catalog version: bumped on DDL and inserts (inserts can change
+    /// `Index::is_complete`, which changes the optimizer's index choices).
+    version: AtomicU64,
+    /// Compiled pipelines keyed by `(collection, pipeline text)`.
+    plan_cache: VersionedCache<(String, String), CachedPipeline>,
 }
 
 impl Default for DocStore {
@@ -34,6 +60,8 @@ impl DocStore {
             collections: RwLock::new(HashMap::new()),
             next_id: AtomicI64::new(1),
             use_indexes: true,
+            version: AtomicU64::new(0),
+            plan_cache: VersionedCache::new(PLAN_CACHE_CAPACITY),
         }
     }
 
@@ -60,6 +88,12 @@ impl DocStore {
                 },
             ),
         );
+        self.bump_version();
+    }
+
+    /// Advance the catalog version, invalidating every cached plan.
+    fn bump_version(&self) {
+        self.version.fetch_add(1, Ordering::Release);
     }
 
     /// Insert documents, assigning `_id`s where absent.
@@ -87,6 +121,8 @@ impl DocStore {
             table.insert(doc);
             n += 1;
         }
+        drop(map);
+        self.bump_version();
         Ok(n)
     }
 
@@ -96,7 +132,10 @@ impl DocStore {
         let table = map
             .get_mut(collection)
             .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;
-        Ok(table.create_index(attribute))
+        let name = table.create_index(attribute);
+        drop(map);
+        self.bump_version();
+        Ok(name)
     }
 
     /// O(1) metadata count — the fast path `aggregate` pipelines CANNOT use
@@ -114,10 +153,76 @@ impl DocStore {
         self.collections.read().keys().cloned().collect()
     }
 
+    /// The one text-compile path: probe the plan cache at the current
+    /// catalog version; on a miss, parse the pipeline and optimize its
+    /// body. Shared by `aggregate`, `aggregate_traced` and `explain`.
+    fn compiled(
+        &self,
+        map: &HashMap<String, Table>,
+        collection: &str,
+        pipeline_json: &str,
+    ) -> Result<Compiled> {
+        let version = self.version.load(Ordering::Acquire);
+        let key = (collection.to_string(), pipeline_json.to_string());
+        let probe_started = std::time::Instant::now();
+        if let Some(plan) = self.plan_cache.get(&key, version) {
+            let mut parse_span = Span::new("parse").with_duration(Duration::ZERO);
+            parse_span.set_metric("query_len", pipeline_json.len() as i64);
+            parse_span.set_metric("stages", plan.stages.len() as i64);
+            return Ok(Compiled {
+                plan,
+                hit: true,
+                parse_span,
+                plan_span: Span::new("plan").with_duration(probe_started.elapsed()),
+            });
+        }
+        let mut parse_t = SpanTimer::start("parse");
+        let stages = parse_pipeline(pipeline_json)?;
+        parse_t
+            .span_mut()
+            .set_metric("query_len", pipeline_json.len() as i64);
+        parse_t.span_mut().set_metric("stages", stages.len() as i64);
+        let parse_span = parse_t.finish();
+
+        let plan_t = SpanTimer::start("plan");
+        let body = match stages.split_last() {
+            Some((Stage::Out(_), rest)) => rest,
+            _ => &stages[..],
+        };
+        let phys = self.optimize_for(map, collection, body)?;
+        let plan = self
+            .plan_cache
+            .insert(key, version, CachedPipeline { stages, body: phys });
+        Ok(Compiled {
+            plan,
+            hit: false,
+            parse_span,
+            plan_span: plan_t.finish(),
+        })
+    }
+
     /// Run an aggregation pipeline given as JSON text.
     pub fn aggregate(&self, collection: &str, pipeline_json: &str) -> Result<Vec<Value>> {
-        let stages = parse_pipeline(pipeline_json)?;
-        self.aggregate_stages(collection, &stages)
+        let (results, out_target) = {
+            let map = self.collections.read();
+            let compiled = self.compiled(&map, collection, pipeline_json)?;
+            let out_target = match compiled.plan.stages.last() {
+                Some(Stage::Out(target)) => Some(target.clone()),
+                _ => None,
+            };
+            let rows = run_pipeline(&map, collection, &compiled.plan.body, &Vars::new())?;
+            (rows, out_target)
+        };
+        if let Some(target) = out_target {
+            self.create_collection(&target);
+            let docs = results
+                .into_iter()
+                .map(|v| v.into_obj().map_err(|e| DocError::Exec(e.to_string())))
+                .collect::<Result<Vec<_>>>()?;
+            self.insert_many(&target, docs)?;
+            return Ok(Vec::new());
+        }
+        Ok(results)
     }
 
     /// Run a parsed aggregation pipeline.
@@ -155,32 +260,24 @@ impl DocStore {
     ) -> Result<(Vec<Value>, Span)> {
         let started = std::time::Instant::now();
 
-        let mut parse_t = SpanTimer::start("parse");
-        let stages = parse_pipeline(pipeline_json)?;
-        parse_t
-            .span_mut()
-            .set_metric("query_len", pipeline_json.len() as i64);
-        parse_t.span_mut().set_metric("stages", stages.len() as i64);
-        let parse_span = parse_t.finish();
-
-        let body = match stages.split_last() {
-            Some((Stage::Out(_), rest)) => rest,
-            _ => &stages[..],
-        };
-        let (rows, plan_span, exec_span) = {
+        let (rows, out_target, parse_span, plan_span, exec_span) = {
             let map = self.collections.read();
-            let mut plan_t = SpanTimer::start("plan");
-            let phys = self.optimize_for(&map, collection, body)?;
-            let access_path = phys.describe();
+            let Compiled {
+                plan,
+                hit,
+                parse_span,
+                mut plan_span,
+            } = self.compiled(&map, collection, pipeline_json)?;
+            let access_path = plan.body.describe();
             let index_used = access_path.contains("IXSCAN");
-            plan_t
-                .span_mut()
-                .set_metric("index_used", i64::from(index_used));
-            plan_t.span_mut().set_note("access_path", &access_path);
-            let plan_span = plan_t.finish();
+            plan_span.set_metric("index_used", i64::from(index_used));
+            plan_span.set_note("access_path", &access_path);
+            plan_span.set_note("cache", if hit { "hit" } else { "miss" });
+            plan_span.set_metric("cache_hit", i64::from(hit));
+            plan_span.set_metric("cache_lookup", 1);
 
             let mut exec_t = SpanTimer::start("exec");
-            let rows = run_pipeline(&map, collection, &phys, &Vars::new())?;
+            let rows = run_pipeline(&map, collection, &plan.body, &Vars::new())?;
             if !index_used {
                 if let Some(table) = map.get(collection) {
                     exec_t
@@ -189,17 +286,21 @@ impl DocStore {
                 }
             }
             exec_t.span_mut().set_metric("docs_out", rows.len() as i64);
-            (rows, plan_span, exec_t.finish())
+            let out_target = match plan.stages.last() {
+                Some(Stage::Out(target)) => Some(target.clone()),
+                _ => None,
+            };
+            (rows, out_target, parse_span, plan_span, exec_t.finish())
         };
         // `$out` (only reachable through the save-results rule) still
         // writes its target collection on the traced path.
-        let rows = if let Some(Stage::Out(target)) = stages.last() {
-            self.create_collection(target);
+        let rows = if let Some(target) = out_target {
+            self.create_collection(&target);
             let docs = rows
                 .into_iter()
                 .map(|v| v.into_obj().map_err(|e| DocError::Exec(e.to_string())))
                 .collect::<Result<Vec<_>>>()?;
-            self.insert_many(target, docs)?;
+            self.insert_many(&target, docs)?;
             Vec::new()
         } else {
             rows
@@ -215,10 +316,17 @@ impl DocStore {
 
     /// EXPLAIN-style description of the access path chosen for a pipeline.
     pub fn explain(&self, collection: &str, pipeline_json: &str) -> Result<String> {
-        let stages = parse_pipeline(pipeline_json)?;
         let map = self.collections.read();
-        let phys = self.optimize_for(&map, collection, &stages)?;
-        Ok(phys.describe())
+        Ok(self
+            .compiled(&map, collection, pipeline_json)?
+            .plan
+            .body
+            .describe())
+    }
+
+    /// Plan-cache hit/miss tallies since construction.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
     }
 
     fn optimize_for(

@@ -188,10 +188,19 @@ fn inline_to_value(p: InlineProp, strings: &[String]) -> Value {
     }
 }
 
+/// Cached parsed queries per store.
+const PLAN_CACHE_CAPACITY: usize = 128;
+
 /// The graph store: labels with their node stores.
 pub struct GraphStore {
     labels: RwLock<HashMap<String, LabelStore>>,
     use_indexes: bool,
+    /// Catalog version: bumped on label DDL and inserts, invalidating the
+    /// plan cache (access paths are re-derived per execution, but the
+    /// guard keeps the cache discipline uniform across backends).
+    version: std::sync::atomic::AtomicU64,
+    /// Parsed queries keyed by Cypher text.
+    plan_cache: polyframe_observe::VersionedCache<String, crate::cypher::CypherQuery>,
 }
 
 impl Default for GraphStore {
@@ -206,15 +215,43 @@ impl GraphStore {
         GraphStore {
             labels: RwLock::new(HashMap::new()),
             use_indexes: true,
+            version: std::sync::atomic::AtomicU64::new(0),
+            plan_cache: polyframe_observe::VersionedCache::new(PLAN_CACHE_CAPACITY),
         }
     }
 
     /// Empty store with index usage disabled (ablation benchmarks).
     pub fn without_indexes() -> GraphStore {
         GraphStore {
-            labels: RwLock::new(HashMap::new()),
             use_indexes: false,
+            ..GraphStore::new()
         }
+    }
+
+    /// Advance the catalog version, invalidating every cached query.
+    fn bump_version(&self) {
+        self.version
+            .fetch_add(1, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Cache-aware parse: probe the cache at the current catalog version,
+    /// parse and insert on a miss. Returns the shared AST and whether the
+    /// lookup hit. Shared by `query`, `query_traced` and `explain`.
+    fn parsed(&self, cypher: &str) -> Result<(std::sync::Arc<crate::cypher::CypherQuery>, bool)> {
+        let version = self.version.load(std::sync::atomic::Ordering::Acquire);
+        if let Some(ast) = self.plan_cache.get(&cypher.to_string(), version) {
+            return Ok((ast, true));
+        }
+        let ast = crate::cypher::parse(cypher)?;
+        Ok((
+            self.plan_cache.insert(cypher.to_string(), version, ast),
+            false,
+        ))
+    }
+
+    /// Plan-cache hit/miss tallies since construction.
+    pub fn plan_cache_stats(&self) -> polyframe_observe::CacheStats {
+        self.plan_cache.stats()
     }
 
     /// Whether the planner may use indexes.
@@ -228,6 +265,7 @@ impl GraphStore {
             .write()
             .entry(label.to_string())
             .or_insert_with(LabelStore::new);
+        self.bump_version();
     }
 
     /// Insert nodes under a label.
@@ -243,6 +281,8 @@ impl GraphStore {
             store.insert(rec)?;
             n += 1;
         }
+        drop(map);
+        self.bump_version();
         Ok(n)
     }
 
@@ -253,6 +293,8 @@ impl GraphStore {
             .get_mut(label)
             .ok_or_else(|| GraphError::UnknownLabel(label.to_string()))?;
         store.create_index(prop);
+        drop(map);
+        self.bump_version();
         Ok(())
     }
 
@@ -266,20 +308,21 @@ impl GraphStore {
 
     /// Execute a Cypher query.
     pub fn query(&self, cypher: &str) -> Result<Vec<Value>> {
-        let ast = crate::cypher::parse(cypher)?;
+        let (ast, _) = self.parsed(cypher)?;
         let map = self.labels.read();
         crate::cypher::execute(&ast, &map, self.use_indexes)
     }
 
     /// Like [`GraphStore::query`], but also reports where the time went as
     /// an `execute` span with `parse`/`plan`/`exec` children. The `plan`
-    /// child carries the chosen access path and whether an index was used.
+    /// child carries the chosen access path, whether an index was used,
+    /// and whether the parsed query came from the cache.
     pub fn query_traced(&self, cypher: &str) -> Result<(Vec<Value>, polyframe_observe::Span)> {
         use polyframe_observe::{Span, SpanTimer};
         let started = std::time::Instant::now();
 
         let mut parse_t = SpanTimer::start("parse");
-        let ast = crate::cypher::parse(cypher)?;
+        let (ast, hit) = self.parsed(cypher)?;
         parse_t
             .span_mut()
             .set_metric("query_len", cypher.len() as i64);
@@ -294,6 +337,11 @@ impl GraphStore {
             .span_mut()
             .set_metric("index_used", i64::from(index_used));
         plan_t.span_mut().set_note("access_path", &access_path);
+        plan_t
+            .span_mut()
+            .set_note("cache", if hit { "hit" } else { "miss" });
+        plan_t.span_mut().set_metric("cache_hit", i64::from(hit));
+        plan_t.span_mut().set_metric("cache_lookup", 1);
         let plan_span = plan_t.finish();
 
         let mut exec_t = SpanTimer::start("exec");
@@ -311,7 +359,7 @@ impl GraphStore {
 
     /// EXPLAIN-style description of the chosen access path.
     pub fn explain(&self, cypher: &str) -> Result<String> {
-        let ast = crate::cypher::parse(cypher)?;
+        let (ast, _) = self.parsed(cypher)?;
         let map = self.labels.read();
         crate::cypher::explain(&ast, &map, self.use_indexes)
     }

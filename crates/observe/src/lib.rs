@@ -13,6 +13,8 @@
 //!   lengths, rewrite pass counts, rows scanned, index hits).
 //! * [`counters`] — cheap thread-safe monotonic counters for
 //!   process-lifetime tallies (queries executed, index probes, ...).
+//! * [`cache`] — a versioned LRU used as the plan cache by every backend,
+//!   with hit/miss stats the harness folds into its reports.
 //! * [`sync`] — `Mutex`/`RwLock` wrappers over `std::sync` with
 //!   guard-returning (non-`Result`) APIs, shared by all crates so lock
 //!   idiom stays uniform without external dependencies.
@@ -22,11 +24,13 @@
 //! The crate deliberately has **no dependencies** (not even workspace
 //! ones) so it can sit underneath every other PolyFrame crate.
 
+pub mod cache;
 pub mod counters;
 pub mod rng;
 pub mod sync;
 pub mod trace;
 
+pub use cache::{CacheStats, VersionedCache};
 pub use counters::{Counter, CounterSnapshot, Counters};
 pub use rng::Rng;
 pub use trace::{QueryTrace, Span, SpanTimer, TraceCell};

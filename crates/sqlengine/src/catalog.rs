@@ -9,12 +9,27 @@ use std::collections::HashMap;
 #[derive(Debug, Default)]
 pub struct Database {
     tables: HashMap<(String, String), Table>,
+    /// Monotonic catalog version: bumped on DDL and bulk loads, consumed
+    /// by the plan cache to invalidate entries compiled against an older
+    /// catalog (a new index — or new data making an index incomplete —
+    /// changes which physical plan is correct).
+    version: u64,
 }
 
 impl Database {
     /// Empty database.
     pub fn new() -> Database {
         Database::default()
+    }
+
+    /// Current catalog version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Advance the catalog version (callers: DDL and bulk-load paths).
+    pub fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// Create a dataset. Replaces any existing dataset of the same name.
@@ -29,6 +44,7 @@ impl Database {
             key.clone(),
             Table::new(format!("{namespace}.{dataset}"), options),
         );
+        self.version += 1;
         self.tables.get_mut(&key).unwrap()
     }
 
@@ -70,6 +86,16 @@ impl Database {
 mod tests {
     use super::*;
     use polyframe_datamodel::record;
+
+    #[test]
+    fn version_bumps_on_ddl() {
+        let mut db = Database::new();
+        assert_eq!(db.version(), 0);
+        db.create_dataset("Test", "Users", TableOptions::default());
+        assert_eq!(db.version(), 1);
+        db.bump_version();
+        assert_eq!(db.version(), 2);
+    }
 
     #[test]
     fn create_and_lookup() {

@@ -11,7 +11,7 @@
 /// * SQL++ has `IS UNKNOWN`/`IS MISSING` in addition to `IS NULL`; plain
 ///   SQL only has `IS NULL` (absent fields cannot occur in a relational
 ///   row, so `IS NULL` covers the "unknown" case).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Dialect {
     /// Standard SQL (the PostgreSQL / Greenplum surface).
     Sql,

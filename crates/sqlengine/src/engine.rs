@@ -3,18 +3,20 @@
 use crate::catalog::Database;
 use crate::dialect::Dialect;
 use crate::error::Result;
-use crate::exec::Executor;
+use crate::exec::{ExecOptions, Executor};
 use crate::parser::parse;
 use crate::personality::Personality;
 use crate::plan::builder::build_logical;
+use crate::plan::cache::{CacheOutcome, CachedPlan, PlanCache};
 use crate::plan::logical::LogicalPlan;
 use crate::plan::optimizer::optimize;
 use crate::plan::physical::{plan_physical, PhysicalPlan, PlannerOptions};
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::RwLock;
-use polyframe_observe::{Span, SpanTimer};
+use polyframe_observe::{CacheStats, Span, SpanTimer};
 use polyframe_storage::TableOptions;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -27,6 +29,8 @@ pub struct EngineConfig {
     pub default_namespace: String,
     /// Master index-selection switch (ablation benchmarks flip this off).
     pub use_indexes: bool,
+    /// Execution tuning: morsel-parallel worker count and morsel size.
+    pub exec: ExecOptions,
 }
 
 impl EngineConfig {
@@ -37,6 +41,7 @@ impl EngineConfig {
             personality: Personality::asterixdb(),
             default_namespace: "Default".to_string(),
             use_indexes: true,
+            exec: ExecOptions::default(),
         }
     }
 
@@ -47,6 +52,7 @@ impl EngineConfig {
             personality: Personality::postgres12(),
             default_namespace: "public".to_string(),
             use_indexes: true,
+            exec: ExecOptions::default(),
         }
     }
 
@@ -57,7 +63,14 @@ impl EngineConfig {
             personality: Personality::postgres95(),
             default_namespace: "public".to_string(),
             use_indexes: true,
+            exec: ExecOptions::default(),
         }
+    }
+
+    /// Same config with different execution options (builder-style).
+    pub fn with_exec(mut self, exec: ExecOptions) -> EngineConfig {
+        self.exec = exec;
+        self
     }
 }
 
@@ -66,6 +79,16 @@ impl EngineConfig {
 pub struct Engine {
     config: EngineConfig,
     db: RwLock<Database>,
+    plan_cache: PlanCache,
+}
+
+/// A compiled query: the shared cache entry, whether it came from the
+/// cache, and the timed `parse`/`plan` spans describing how.
+struct Compiled {
+    plan: Arc<CachedPlan>,
+    outcome: CacheOutcome,
+    parse_span: Span,
+    plan_span: Span,
 }
 
 impl Engine {
@@ -74,6 +97,7 @@ impl Engine {
         Engine {
             config,
             db: RwLock::new(Database::new()),
+            plan_cache: PlanCache::new(),
         }
     }
 
@@ -101,13 +125,18 @@ impl Engine {
         let mut db = self.db.write();
         let table = db.dataset_mut(namespace, dataset)?;
         table.insert_all(records);
+        // Loads can flip `Index::is_complete`, which changes which physical
+        // plan is *correct* (not just fastest) — invalidate cached plans.
+        db.bump_version();
         Ok(())
     }
 
     /// Create a secondary index.
     pub fn create_index(&self, namespace: &str, dataset: &str, attribute: &str) -> Result<String> {
         let mut db = self.db.write();
-        Ok(db.dataset_mut(namespace, dataset)?.create_index(attribute))
+        let name = db.dataset_mut(namespace, dataset)?.create_index(attribute);
+        db.bump_version();
+        Ok(name)
     }
 
     /// Number of records in a dataset.
@@ -115,53 +144,106 @@ impl Engine {
         Ok(self.db.read().dataset(namespace, dataset)?.len())
     }
 
-    /// Parse, plan, optimize and execute a query.
-    pub fn query(&self, sql: &str) -> Result<Vec<Value>> {
-        let logical = self.compile_to_logical(sql)?;
-        self.execute_logical(&logical)
+    fn planner_options(&self) -> PlannerOptions {
+        PlannerOptions {
+            personality: self.config.personality.clone(),
+            use_indexes: self.config.use_indexes,
+        }
     }
 
-    /// Like [`Engine::query`], but also reports where the time went as an
-    /// `execute` span with `parse`/`plan`/`exec` children. The `plan` child
-    /// carries the chosen access path and whether an index was used.
-    pub fn query_traced(&self, sql: &str) -> Result<(Vec<Value>, Span)> {
-        let started = Instant::now();
-
+    /// The one compile path: probe the plan cache at the current catalog
+    /// version; on a miss, parse + optimize + plan and insert. Every
+    /// query-text entry point (`query`, `query_traced`, `explain`,
+    /// `compile_to_logical`, `compile_to_physical`) routes through here so
+    /// they can never drift apart. `db` is the caller's read guard — the
+    /// version probe and the physical planning see one catalog snapshot.
+    fn compiled(&self, sql: &str, db: &Database) -> Result<Compiled> {
+        let version = db.version();
+        let probe_started = Instant::now();
+        if let Some(plan) = self.plan_cache.get(self.config.dialect, sql, version) {
+            // Parse was skipped entirely; keep the span (zero time) so the
+            // trace shape is stable for stage-attribution consumers.
+            let mut parse_span = Span::new("parse").with_duration(Duration::ZERO);
+            parse_span.set_metric("query_len", sql.len() as i64);
+            return Ok(Compiled {
+                plan,
+                outcome: CacheOutcome::Hit,
+                parse_span,
+                plan_span: Span::new("plan").with_duration(probe_started.elapsed()),
+            });
+        }
         let mut parse_t = SpanTimer::start("parse");
         let stmt = parse(sql, self.config.dialect)?;
         let logical = build_logical(&stmt, &self.config.default_namespace)?;
         parse_t.span_mut().set_metric("query_len", sql.len() as i64);
         let parse_span = parse_t.finish();
 
-        let mut plan_t = SpanTimer::start("plan");
+        let plan_t = SpanTimer::start("plan");
         let logical = optimize(logical, self.config.personality.optimizer_passes);
+        let physical = plan_physical(&logical, db, &self.planner_options())?;
+        let plan = self.plan_cache.insert(
+            self.config.dialect,
+            sql,
+            version,
+            CachedPlan { logical, physical },
+        );
+        Ok(Compiled {
+            plan,
+            outcome: CacheOutcome::Miss,
+            parse_span,
+            plan_span: plan_t.finish(),
+        })
+    }
+
+    /// Parse, plan, optimize and execute a query.
+    pub fn query(&self, sql: &str) -> Result<Vec<Value>> {
         let db = self.db.read();
-        let physical = plan_physical(
-            &logical,
-            &db,
-            &PlannerOptions {
-                personality: self.config.personality.clone(),
-                use_indexes: self.config.use_indexes,
-            },
-        )?;
-        let display = physical.display();
+        let compiled = self.compiled(sql, &db)?;
+        let (rows, _) = Executor::new(&db).run_with(&compiled.plan.physical, &self.config.exec)?;
+        Ok(rows)
+    }
+
+    /// Like [`Engine::query`], but also reports where the time went as an
+    /// `execute` span with `parse`/`plan`/`exec` children. The `plan` child
+    /// carries the chosen access path, whether an index was used, and
+    /// whether the plan came from the cache; the `exec` child carries the
+    /// worker parallelism and one `morsel[i]` child per morsel.
+    pub fn query_traced(&self, sql: &str) -> Result<(Vec<Value>, Span)> {
+        let started = Instant::now();
+        let db = self.db.read();
+        let Compiled {
+            plan,
+            outcome,
+            parse_span,
+            mut plan_span,
+        } = self.compiled(sql, &db)?;
+
+        let display = plan.physical.display();
         // Scan leaves render last in the plan tree; that line is the
         // access path.
         let access_path = display.lines().last().unwrap_or("").trim().to_string();
         let index_used = display.contains("IndexScan") || display.contains("PrimaryIndexCount");
-        plan_t.span_mut().set_metric(
+        plan_span.set_metric(
             "optimizer_passes",
             self.config.personality.optimizer_passes as i64,
         );
-        plan_t
-            .span_mut()
-            .set_metric("index_used", i64::from(index_used));
-        plan_t.span_mut().set_note("access_path", access_path);
-        let plan_span = plan_t.finish();
+        plan_span.set_metric("index_used", i64::from(index_used));
+        plan_span.set_note("access_path", access_path);
+        plan_span.set_note("cache", outcome.as_str());
+        plan_span.set_metric("cache_hit", i64::from(outcome.is_hit()));
+        plan_span.set_metric("cache_lookup", 1);
 
         let mut exec_t = SpanTimer::start("exec");
-        let rows = Executor::new(&db).run(&physical)?;
+        let (rows, report) = Executor::new(&db).run_with(&plan.physical, &self.config.exec)?;
         exec_t.span_mut().set_metric("rows_out", rows.len() as i64);
+        exec_t
+            .span_mut()
+            .set_metric("parallelism", report.parallelism as i64);
+        for (i, elapsed) in report.morsel_times.iter().enumerate() {
+            exec_t
+                .span_mut()
+                .push_child(Span::new(format!("morsel[{i}]")).with_duration(*elapsed));
+        }
         let exec_span = exec_t.finish();
 
         let span = Span::new("execute")
@@ -175,54 +257,41 @@ impl Engine {
 
     /// Compile query text to an optimized logical plan (runs the full
     /// optimizer-pass count of this engine's personality — the paper's
-    /// query-preparation overhead lives here).
+    /// query-preparation overhead lives here — unless the plan cache
+    /// already holds the compiled query).
     pub fn compile_to_logical(&self, sql: &str) -> Result<LogicalPlan> {
-        let stmt = parse(sql, self.config.dialect)?;
-        let logical = build_logical(&stmt, &self.config.default_namespace)?;
-        Ok(optimize(logical, self.config.personality.optimizer_passes))
+        let db = self.db.read();
+        Ok(self.compiled(sql, &db)?.plan.logical.clone())
     }
 
     /// Plan and execute a pre-built logical plan (used by the cluster layer).
     pub fn execute_logical(&self, logical: &LogicalPlan) -> Result<Vec<Value>> {
         let db = self.db.read();
-        let physical = plan_physical(
-            logical,
-            &db,
-            &PlannerOptions {
-                personality: self.config.personality.clone(),
-                use_indexes: self.config.use_indexes,
-            },
-        )?;
-        Executor::new(&db).run(&physical)
+        let physical = plan_physical(logical, &db, &self.planner_options())?;
+        let (rows, _) = Executor::new(&db).run_with(&physical, &self.config.exec)?;
+        Ok(rows)
     }
 
     /// Return the physical plan chosen for `sql`, as an EXPLAIN-style tree.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let logical = self.compile_to_logical(sql)?;
         let db = self.db.read();
-        let physical = plan_physical(
-            &logical,
-            &db,
-            &PlannerOptions {
-                personality: self.config.personality.clone(),
-                use_indexes: self.config.use_indexes,
-            },
-        )?;
-        Ok(physical.display())
+        Ok(self.compiled(sql, &db)?.plan.physical.display())
     }
 
     /// Compile to a physical plan without executing (exposed for tests).
     pub fn compile_to_physical(&self, sql: &str) -> Result<PhysicalPlan> {
-        let logical = self.compile_to_logical(sql)?;
         let db = self.db.read();
-        plan_physical(
-            &logical,
-            &db,
-            &PlannerOptions {
-                personality: self.config.personality.clone(),
-                use_indexes: self.config.use_indexes,
-            },
-        )
+        Ok(self.compiled(sql, &db)?.plan.physical.clone())
+    }
+
+    /// Plan-cache hit/miss tallies since construction.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Number of plans currently cached.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
     }
 
     /// Index point-probe used by the cluster layer's cross-shard joins:

@@ -40,4 +40,6 @@ pub use catalog::Database;
 pub use dialect::Dialect;
 pub use engine::{Engine, EngineConfig};
 pub use error::{EngineError, Result};
+pub use exec::{available_threads, ExecOptions, ExecReport};
 pub use personality::Personality;
+pub use plan::cache::PlanCache;

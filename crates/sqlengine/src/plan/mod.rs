@@ -3,12 +3,14 @@
 //! `polyframe-cluster`.
 
 pub mod builder;
+pub mod cache;
 pub mod distributed;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
 
 pub use builder::build_logical;
+pub use cache::{CacheOutcome, CachedPlan, PlanCache};
 pub use logical::{AggArg, AggExpr, AggFunc, LogicalPlan, ProjectSpec, Scalar, ScalarFunc};
 pub use optimizer::optimize;
 pub use physical::{plan_physical, PhysicalPlan};

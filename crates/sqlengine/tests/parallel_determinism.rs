@@ -1,0 +1,187 @@
+//! Determinism suite for morsel-driven parallel execution: every plan shape
+//! the parallel path accepts must produce **byte-identical** results to
+//! serial execution over seeded Wisconsin data — scans, filters,
+//! projections, scalar and grouped aggregates, and sorts (including ties,
+//! where first-morsel-wins must equal the serial stable order).
+
+use polyframe_datamodel::{to_json_string, Value};
+use polyframe_sqlengine::{Engine, EngineConfig, ExecOptions};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+
+const N: usize = 3_000;
+const NS: &str = "Bench";
+const DS: &str = "wisconsin";
+
+/// Small morsels so even this laptop-sized dataset splits into many
+/// (`N / 256 ≈ 12` per scan), exercising the merge paths properly.
+const MORSEL_ROWS: usize = 256;
+
+fn load(engine: &Engine) {
+    engine.create_dataset(NS, DS, Some("unique2"));
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(N)))
+        .unwrap();
+}
+
+/// The same data behind a serial engine and a 4-worker parallel engine.
+fn pair(config: fn() -> EngineConfig) -> (Engine, Engine) {
+    let serial = Engine::new(config().with_exec(ExecOptions::serial()));
+    let parallel = Engine::new(config().with_exec(ExecOptions {
+        workers: 4,
+        morsel_rows: MORSEL_ROWS,
+    }));
+    load(&serial);
+    load(&parallel);
+    (serial, parallel)
+}
+
+/// Render rows as NDJSON so "identical" means byte-identical, not merely
+/// structurally equal.
+fn ndjson(rows: &[Value]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&to_json_string(r));
+        out.push('\n');
+    }
+    out
+}
+
+fn assert_identical(serial: &Engine, parallel: &Engine, sql: &str) {
+    let a = serial.query(sql).unwrap();
+    let b = parallel.query(sql).unwrap();
+    assert_eq!(
+        ndjson(&a),
+        ndjson(&b),
+        "parallel diverged from serial: {sql}"
+    );
+}
+
+#[test]
+fn full_scan_is_deterministic() {
+    let (s, p) = pair(EngineConfig::postgres);
+    assert_identical(&s, &p, "SELECT * FROM Bench.wisconsin");
+}
+
+#[test]
+fn filtered_scans_are_deterministic() {
+    let (s, p) = pair(EngineConfig::postgres);
+    for sql in [
+        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t WHERE t.\"onePercent\" < 7",
+        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t WHERE t.\"two\" = 1",
+        // Empty result set.
+        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t WHERE t.\"unique1\" < 0",
+    ] {
+        assert_identical(&s, &p, sql);
+    }
+}
+
+#[test]
+fn projections_are_deterministic() {
+    let (s, p) = pair(EngineConfig::postgres);
+    assert_identical(
+        &s,
+        &p,
+        "SELECT t.\"unique1\", t.\"stringu1\" FROM (SELECT * FROM Bench.wisconsin) t",
+    );
+}
+
+#[test]
+fn scalar_aggregates_are_deterministic() {
+    let (s, p) = pair(EngineConfig::postgres);
+    for sql in [
+        "SELECT COUNT(*) FROM (SELECT * FROM Bench.wisconsin) t",
+        "SELECT SUM(\"unique1\") FROM (SELECT * FROM Bench.wisconsin) t",
+        "SELECT MIN(\"stringu1\") FROM (SELECT * FROM Bench.wisconsin) t",
+        "SELECT MAX(\"unique1\") FROM (SELECT * FROM Bench.wisconsin) t",
+        "SELECT AVG(\"ten\") FROM (SELECT * FROM Bench.wisconsin) t",
+        // `tenPercent` is absent from every tenth record: COUNT(attr) must
+        // skip missing values identically on both paths.
+        "SELECT COUNT(\"tenPercent\") FROM (SELECT * FROM Bench.wisconsin) t",
+        // Aggregate over an empty input: one row with a null aggregate.
+        "SELECT SUM(\"unique1\") FROM (SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t WHERE t.\"unique1\" < 0) t",
+    ] {
+        assert_identical(&s, &p, sql);
+    }
+}
+
+#[test]
+fn grouped_aggregates_are_deterministic() {
+    let (s, p) = pair(EngineConfig::postgres);
+    for sql in [
+        "SELECT \"ten\", SUM(\"unique1\") AS s FROM (SELECT * FROM Bench.wisconsin) t GROUP BY \"ten\"",
+        "SELECT \"twenty\", COUNT(\"twenty\") AS cnt FROM (SELECT * FROM Bench.wisconsin) t GROUP BY \"twenty\"",
+        "SELECT \"four\", MAX(\"unique1\") AS m FROM (SELECT * FROM Bench.wisconsin) t GROUP BY \"four\"",
+        // A missing group key forms its own group on both paths.
+        "SELECT \"tenPercent\", COUNT(\"tenPercent\") AS cnt FROM (SELECT * FROM Bench.wisconsin) t GROUP BY \"tenPercent\"",
+    ] {
+        assert_identical(&s, &p, sql);
+    }
+}
+
+#[test]
+fn sorts_are_deterministic() {
+    let (s, p) = pair(EngineConfig::postgres);
+    for sql in [
+        // Unique sort key.
+        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t ORDER BY t.\"unique1\"",
+        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t ORDER BY t.\"stringu1\" DESC",
+        // Massive ties: the k-way merge's chunk-order tiebreak must
+        // reproduce the serial stable sort exactly.
+        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t ORDER BY t.\"ten\"",
+        // Top-k through the sort+limit path.
+        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t ORDER BY t.\"unique1\" DESC LIMIT 25",
+    ] {
+        assert_identical(&s, &p, sql);
+    }
+}
+
+#[test]
+fn index_rid_chunks_are_deterministic() {
+    let (s, p) = pair(EngineConfig::postgres);
+    for e in [&s, &p] {
+        e.create_index(NS, DS, "onePercent").unwrap();
+    }
+    let sql = "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t WHERE t.\"onePercent\" <= 49";
+    // Both engines must actually take the rid-list path for this to test
+    // IndexScan morsels.
+    assert!(p.explain(sql).unwrap().contains("IndexScan"));
+    assert_identical(&s, &p, sql);
+}
+
+#[test]
+fn sqlpp_dialect_is_deterministic() {
+    let (s, p) = pair(EngineConfig::asterixdb);
+    for sql in [
+        "SELECT VALUE t FROM (SELECT VALUE t FROM Bench.wisconsin t) t WHERE t.ten = 3",
+        "SELECT SUM(unique1) FROM (SELECT VALUE t FROM Bench.wisconsin t) t",
+        "SELECT VALUE t FROM (SELECT VALUE t FROM Bench.wisconsin t) t ORDER BY t.twenty",
+    ] {
+        assert_identical(&s, &p, sql);
+    }
+}
+
+#[test]
+fn parallel_execution_actually_engages() {
+    let (s, p) = pair(EngineConfig::postgres);
+    let sql = "SELECT SUM(\"unique1\") FROM (SELECT * FROM Bench.wisconsin) t";
+
+    let (_, span) = p.query_traced(sql).unwrap();
+    let exec = span.find("exec").unwrap();
+    let workers = exec.metric("parallelism").unwrap();
+    assert!(workers >= 2, "expected parallel execution, got {workers}");
+    let morsels = exec
+        .children()
+        .iter()
+        .filter(|c| c.name().starts_with("morsel["))
+        .count();
+    assert!(
+        morsels >= N / MORSEL_ROWS,
+        "expected ≥{} morsel spans, got {morsels}",
+        N / MORSEL_ROWS
+    );
+
+    let (_, span) = s.query_traced(sql).unwrap();
+    let exec = span.find("exec").unwrap();
+    assert_eq!(exec.metric("parallelism"), Some(1));
+    assert!(exec.children().is_empty());
+}

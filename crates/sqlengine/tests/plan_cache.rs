@@ -1,0 +1,129 @@
+//! Plan-cache behaviour: repeated query text is answered from the cache,
+//! DDL and bulk loads invalidate stale plans (a stale plan is a
+//! *correctness* bug once an index appears or loses completeness), and the
+//! cache is observable through stats and the query trace.
+
+use polyframe_datamodel::{record, Value};
+use polyframe_sqlengine::{Engine, EngineConfig};
+
+const NS: &str = "Test";
+const DS: &str = "t";
+
+fn engine() -> Engine {
+    let e = Engine::new(EngineConfig::postgres());
+    e.create_dataset(NS, DS, Some("id"));
+    e.load(
+        NS,
+        DS,
+        (0..100i64).map(|i| record! { "id" => i, "ten" => i % 10 }),
+    )
+    .unwrap();
+    e
+}
+
+#[test]
+fn repeated_query_hits_cache() {
+    let e = engine();
+    let sql = "SELECT COUNT(*) FROM (SELECT * FROM Test.t) t";
+    assert_eq!(e.query(sql).unwrap()[0].get_path("count"), Value::Int(100));
+    assert_eq!(e.query(sql).unwrap()[0].get_path("count"), Value::Int(100));
+    let stats = e.plan_cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 1));
+    assert_eq!(e.plan_cache_len(), 1);
+    assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+}
+
+#[test]
+fn all_compile_entry_points_share_one_cache() {
+    let e = engine();
+    let sql = "SELECT t.* FROM (SELECT * FROM Test.t) t WHERE t.\"ten\" = 3";
+    // explain, compile_to_logical, compile_to_physical and query all route
+    // through the same compile path: one miss, then hits.
+    e.explain(sql).unwrap();
+    e.compile_to_logical(sql).unwrap();
+    e.compile_to_physical(sql).unwrap();
+    e.query(sql).unwrap();
+    let stats = e.plan_cache_stats();
+    assert_eq!((stats.hits, stats.misses), (3, 1));
+    assert_eq!(e.plan_cache_len(), 1);
+}
+
+#[test]
+fn traced_hit_reports_cache_and_skips_parse() {
+    let e = engine();
+    let sql = "SELECT COUNT(*) FROM (SELECT * FROM Test.t) t";
+
+    let (_, cold) = e.query_traced(sql).unwrap();
+    let plan = cold.find("plan").unwrap();
+    assert_eq!(plan.note("cache"), Some("miss"));
+    assert_eq!(plan.metric("cache_hit"), Some(0));
+    assert_eq!(plan.metric("cache_lookup"), Some(1));
+
+    let (_, warm) = e.query_traced(sql).unwrap();
+    let plan = warm.find("plan").unwrap();
+    assert_eq!(plan.note("cache"), Some("hit"));
+    assert_eq!(plan.metric("cache_hit"), Some(1));
+    // Parse was skipped entirely; the span survives (zero time) so the
+    // trace shape stays stable for stage-attribution consumers.
+    let parse = warm.find("parse").unwrap();
+    assert_eq!(parse.duration(), std::time::Duration::ZERO);
+    assert!(parse.metric("query_len").unwrap() > 0);
+}
+
+#[test]
+fn create_index_invalidates_cached_plan() {
+    let e = engine();
+    let sql = "SELECT t.* FROM (SELECT * FROM Test.t) t WHERE t.\"ten\" = 3";
+    // Warm the cache with the index-less plan.
+    assert!(e.explain(sql).unwrap().contains("SeqScan"));
+    assert_eq!(e.query(sql).unwrap().len(), 10);
+
+    e.create_index(NS, DS, "ten").unwrap();
+
+    // A stale cache would still serve the SeqScan plan; the version bump
+    // forces a re-plan that discovers the new index.
+    assert!(e.explain(sql).unwrap().contains("IndexScan"));
+    assert_eq!(e.query(sql).unwrap().len(), 10);
+}
+
+#[test]
+fn load_invalidates_cached_plan() {
+    let e = engine();
+    let sql = "SELECT COUNT(*) FROM (SELECT * FROM Test.t) t";
+    assert_eq!(e.query(sql).unwrap()[0].get_path("count"), Value::Int(100));
+
+    // Loads can flip index completeness, which changes plan *correctness* —
+    // they must invalidate, not just DDL.
+    e.load(
+        NS,
+        DS,
+        (100..150i64).map(|i| record! { "id" => i, "ten" => i % 10 }),
+    )
+    .unwrap();
+
+    assert_eq!(e.query(sql).unwrap()[0].get_path("count"), Value::Int(150));
+    let stats = e.plan_cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, 2));
+}
+
+#[test]
+fn dialects_key_separate_entries() {
+    // The same query text under different dialects must not collide.
+    let sql = "SELECT VALUE COUNT(*) FROM Test.t";
+    let e = Engine::new(EngineConfig::asterixdb());
+    e.create_dataset(NS, DS, Some("id"));
+    e.load(NS, DS, (0..10i64).map(|i| record! { "id" => i }))
+        .unwrap();
+    e.query(sql).unwrap();
+    e.query(sql).unwrap();
+    assert_eq!(e.plan_cache_stats().hits, 1);
+
+    let pg = Engine::new(EngineConfig::postgres());
+    pg.create_dataset(NS, DS, Some("id"));
+    pg.load(NS, DS, (0..10i64).map(|i| record! { "id" => i }))
+        .unwrap();
+    // Postgres parses this dialect-specific text differently (and rejects
+    // it) — its cache stays independent either way.
+    let _ = pg.query(sql);
+    assert_eq!(pg.plan_cache_stats().hits, 0);
+}

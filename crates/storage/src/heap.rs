@@ -81,6 +81,26 @@ impl TableHeap {
             .filter_map(|(i, s)| s.as_ref().map(|r| (RecordId(i as u64), r)))
     }
 
+    /// Total number of slots, live **and** tombstoned — the exclusive upper
+    /// bound for slot-range partitioning (morsel scans).
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Sequential scan restricted to the half-open slot range `[lo, hi)`.
+    ///
+    /// Concatenating `scan_range` over a partition of `0..num_slots()` in
+    /// range order yields exactly `scan()` — the property morsel-parallel
+    /// scans rely on for determinism.
+    pub fn scan_range(&self, lo: usize, hi: usize) -> impl Iterator<Item = (RecordId, &Record)> {
+        let hi = hi.min(self.slots.len());
+        let lo = lo.min(hi);
+        self.slots[lo..hi]
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(move |r| (RecordId((lo + i) as u64), r)))
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn approx_size(&self) -> usize {
         self.slots.iter().flatten().map(Record::approx_size).sum()
@@ -117,6 +137,26 @@ mod tests {
         assert!(heap.get(a).is_none());
         assert!(heap.get(b).is_some());
         assert_eq!(heap.scan().count(), 1);
+    }
+
+    #[test]
+    fn range_scans_partition_full_scan() {
+        let mut heap = TableHeap::new();
+        for i in 0..10i64 {
+            heap.insert(record! {"x" => i});
+        }
+        heap.delete(RecordId(3));
+        heap.delete(RecordId(7));
+        assert_eq!(heap.num_slots(), 10);
+        let full: Vec<RecordId> = heap.scan().map(|(rid, _)| rid).collect();
+        let mut pieced = Vec::new();
+        for lo in (0..10).step_by(4) {
+            pieced.extend(heap.scan_range(lo, lo + 4).map(|(rid, _)| rid));
+        }
+        assert_eq!(pieced, full);
+        // Out-of-range bounds clamp instead of panicking.
+        assert_eq!(heap.scan_range(8, 99).count(), 2);
+        assert_eq!(heap.scan_range(99, 4).count(), 0);
     }
 
     #[test]
