@@ -8,6 +8,8 @@
 //! harness scaleup     [--shards N] [--records N]                   Fig 10
 //! harness translate                                                Table I / Fig 2 / Fig 4
 //! harness sizes       [--scale N]                                  Table IV
+//! harness faults      [--records N] [--shards N] [--seed N]
+//!                      [--json PATH]                                recovery overhead
 //! ```
 //!
 //! `--scale` sets the XS record count (default 20 000; the paper used
@@ -99,11 +101,18 @@ fn main() {
             let samples = get_flag("--samples", 15);
             ablations(records, samples, get_str_flag("--json"));
         }
+        "faults" => {
+            let records = get_flag("--records", 5_000);
+            let shards = get_flag("--shards", 4);
+            let seed = get_flag("--seed", 42) as u64;
+            faults(records, shards, seed, get_str_flag("--json"));
+        }
         _ => {
             eprintln!(
-                "usage: harness <single-node|speedup|scaleup|translate|sizes|ablations> [options]\n\
+                "usage: harness <single-node|speedup|scaleup|translate|sizes|ablations|faults> [options]\n\
                  options: --size xs|s|m|l|xl|empty|all, --scale N, --shards N, --records N,\n\
-                 --samples N (ablations), --json PATH (single-node/ablations: JSON report)"
+                 --samples N (ablations), --seed N (faults),\n\
+                 --json PATH (single-node/ablations/faults: JSON report)"
             );
         }
     }
@@ -266,6 +275,75 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
         let body = format!("[\n{}\n]\n", recs.join(",\n"));
         match std::fs::write(&path, body) {
             Ok(()) => println!("\nwrote {} JSON records to {path}", recs.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Recovery overhead: every backend runs the same expression fault-free
+/// and under a seeded fault plan with recovery enabled; the report shows
+/// what the recovery cost and that the result survived intact.
+fn faults(records: usize, shards: usize, seed: u64, json_path: Option<String>) {
+    use polyframe_bench::faults::{cluster_runs, single_node_runs, FAULT_BUDGET};
+
+    println!(
+        "\n=== Fault recovery: {records} records, {shards} shards, seed {seed}, \
+         {FAULT_BUDGET} injected faults per scenario ==="
+    );
+    let mut runs = single_node_runs(records, seed);
+    runs.extend(cluster_runs(shards, records, seed));
+
+    let mut table = Table::new(&[
+        "system",
+        "scenario",
+        "baseline",
+        "faulted",
+        "overhead",
+        "retries",
+        "failovers",
+        "injected",
+        "dropped",
+        "result",
+    ]);
+    for run in &runs {
+        table.row(vec![
+            run.system.clone(),
+            run.scenario.to_string(),
+            fmt_duration(run.baseline),
+            fmt_duration(run.faulted),
+            fmt_ratio(run.overhead()),
+            run.retries.to_string(),
+            run.failovers.to_string(),
+            run.faults_injected.to_string(),
+            run.partial_shards.to_string(),
+            if run.identical {
+                "identical"
+            } else {
+                "partial"
+            }
+            .to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let losing = runs
+        .iter()
+        .filter(|r| r.scenario != "partial" && !r.identical)
+        .count();
+    if losing > 0 {
+        eprintln!("\n{losing} recovery run(s) changed the result");
+        std::process::exit(1);
+    }
+    println!("\nall retry/failover recoveries returned fault-free results");
+
+    if let Some(path) = json_path {
+        let recs: Vec<String> = runs.iter().map(|r| r.to_json(records, seed)).collect();
+        let body = format!("[\n{}\n]\n", recs.join(",\n"));
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {} JSON records to {path}", recs.len()),
             Err(e) => {
                 eprintln!("cannot write {path}: {e}");
                 std::process::exit(1);

@@ -11,10 +11,13 @@
 //!
 //! The `harness` binary regenerates every figure's data as text tables
 //! plus a JSON report with per-stage trace breakdowns; the micro-benches
-//! (`benches/`, built on [`microbench`]) provide per-figure timings.
+//! (`benches/`, built on [`microbench`]) provide per-figure timings. The
+//! [`faults`] module adds a recovery-overhead report (`harness faults`)
+//! measuring what retry, failover and partial-result degradation cost.
 
 pub mod ablations;
 pub mod expressions;
+pub mod faults;
 pub mod microbench;
 pub mod params;
 pub mod report;

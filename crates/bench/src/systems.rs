@@ -181,6 +181,23 @@ impl SingleNodeSetup {
         AFrame::new(NS, ds, conn).expect("frame creation")
     }
 
+    /// Install (or clear) a fault-injection plan on one backend, for the
+    /// recovery-overhead report (`harness faults`).
+    pub fn set_fault_plan(
+        &self,
+        kind: SystemKind,
+        plan: Option<Arc<polyframe_observe::FaultPlan>>,
+    ) {
+        match kind {
+            SystemKind::Asterix => self.asterix.set_fault_plan(plan),
+            SystemKind::Postgres => self.postgres.set_fault_plan(plan),
+            SystemKind::GreenplumSingle => self.greenplum.set_fault_plan(plan),
+            SystemKind::Mongo => self.mongo.set_fault_plan(plan),
+            SystemKind::Neo4j => self.neo4j.set_fault_plan(plan),
+            SystemKind::Pandas => {}
+        }
+    }
+
     /// Pandas "DataFrame creation": parse the JSON into eager frames
     /// (`df` and `df2`). Fails with `MemoryError` past the budget.
     pub fn pandas_create(&self) -> polyframe_eager::Result<(EagerFrame, EagerFrame)> {
@@ -284,6 +301,20 @@ impl MultiNodeSetup {
             ClusterKind::Asterix => self.asterix.take_simulated_elapsed(),
             ClusterKind::Greenplum => self.greenplum.take_simulated_elapsed(),
             ClusterKind::Mongo => self.mongo.take_simulated_elapsed(),
+        }
+    }
+
+    /// Install (or clear) a fault-injection plan on one cluster's shard
+    /// boundary, for the recovery-overhead report (`harness faults`).
+    pub fn set_fault_plan(
+        &self,
+        kind: ClusterKind,
+        plan: Option<Arc<polyframe_observe::FaultPlan>>,
+    ) {
+        match kind {
+            ClusterKind::Asterix => self.asterix.set_fault_plan(plan),
+            ClusterKind::Greenplum => self.greenplum.set_fault_plan(plan),
+            ClusterKind::Mongo => self.mongo.set_fault_plan(plan),
         }
     }
 

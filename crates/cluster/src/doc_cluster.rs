@@ -1,13 +1,16 @@
 //! Sharded MongoDB ("mongos") cluster.
 
 use crate::partition::shard_for;
+use crate::resilience::{run_resilient, shard_fault, ShardOutcome, ShardPolicy};
 use crate::stats::{ExecMode, QueryStats, StatsRecorder};
 use polyframe_datamodel::{Record, Value};
 use polyframe_docstore::distributed::{
     apply_stages_to_rows, merge_counts, merge_groups, merge_topk, partial_group, split,
     MongoDistributed,
 };
-use polyframe_docstore::{DocStore, Result};
+use polyframe_docstore::{DocError, DocStore, Result};
+use polyframe_observe::sync::Mutex;
+use polyframe_observe::FaultPlan;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -19,6 +22,9 @@ pub struct MongoCluster {
     next_id: AtomicI64,
     mode: ExecMode,
     stats: StatsRecorder,
+    /// Optional fault plan consulted at the shard-dispatch boundary
+    /// (sites `mongo-cluster/shard[i]`).
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl MongoCluster {
@@ -35,7 +41,19 @@ impl MongoCluster {
             next_id: AtomicI64::new(1),
             mode,
             stats: StatsRecorder::new(),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) a fault-injection plan consulted before every
+    /// shard dispatch (sites `mongo-cluster/shard[i]`).
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.lock() = plan;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().clone()
     }
 
     /// Drain the accumulated simulated-parallel elapsed time
@@ -127,9 +145,22 @@ impl MongoCluster {
         Ok(total)
     }
 
-    /// Run an aggregation pipeline across the cluster. `$lookup` pipelines
-    /// are rejected (the paper's expression-12 restriction).
+    /// Run an aggregation pipeline across the cluster with the default
+    /// (no-failover) shard policy. `$lookup` pipelines are rejected (the
+    /// paper's expression-12 restriction).
     pub fn aggregate(&self, collection: &str, pipeline_json: &str) -> Result<Vec<Value>> {
+        self.aggregate_with(collection, pipeline_json, &ShardPolicy::default())
+    }
+
+    /// Run an aggregation pipeline across the cluster under an explicit
+    /// shard resilience policy (failover re-dispatch and, on opt-in,
+    /// partial results from the surviving shards).
+    pub fn aggregate_with(
+        &self,
+        collection: &str,
+        pipeline_json: &str,
+        policy: &ShardPolicy,
+    ) -> Result<Vec<Value>> {
         let compile_start = Instant::now();
         let stages = polyframe_docstore::parse_pipeline(pipeline_json)?;
         let strategy = split(&stages)?;
@@ -140,15 +171,16 @@ impl MongoCluster {
                 shard_stages,
                 limit,
             } => {
-                let (parts, shard_times) = self.run_shards(collection, move |shard, coll| {
+                let mut scatter = self.run_shards(collection, policy, move |shard, coll| {
                     shard.aggregate_stages(coll, &shard_stages)
                 })?;
                 let merge_start = Instant::now();
+                let parts = std::mem::take(&mut scatter.parts);
                 let mut rows: Vec<Value> = parts.into_iter().flatten().collect();
                 if let Some(n) = limit {
                     rows.truncate(n as usize);
                 }
-                self.record(compile, shard_times, merge_start.elapsed());
+                self.record(compile, merge_start.elapsed(), scatter);
                 Ok(rows)
             }
             MongoDistributed::SumCount {
@@ -156,13 +188,14 @@ impl MongoCluster {
                 name,
                 post,
             } => {
-                let (parts, shard_times) = self.run_shards(collection, move |shard, coll| {
+                let mut scatter = self.run_shards(collection, policy, move |shard, coll| {
                     shard.aggregate_stages(coll, &shard_stages)
                 })?;
                 let merge_start = Instant::now();
+                let parts = std::mem::take(&mut scatter.parts);
                 let merged = merge_counts(parts, &name);
                 let out = apply_stages_to_rows(merged, &post);
-                self.record(compile, shard_times, merge_start.elapsed());
+                self.record(compile, merge_start.elapsed(), scatter);
                 out
             }
             MongoDistributed::Regroup {
@@ -174,14 +207,15 @@ impl MongoCluster {
                 // Each shard runs the pre-group prefix AND the partial
                 // grouping, so the reduction happens shard-side.
                 let accs_for_merge = accs.clone();
-                let (parts, shard_times) = self.run_shards(collection, move |shard, coll| {
+                let mut scatter = self.run_shards(collection, policy, move |shard, coll| {
                     let rows = shard.aggregate_stages(coll, &shard_stages)?;
                     partial_group(rows, &id, &accs)
                 })?;
                 let merge_start = Instant::now();
+                let parts = std::mem::take(&mut scatter.parts);
                 let merged = merge_groups(parts, &accs_for_merge)?;
                 let out = apply_stages_to_rows(merged, &post);
-                self.record(compile, shard_times, merge_start.elapsed());
+                self.record(compile, merge_start.elapsed(), scatter);
                 out
             }
             MongoDistributed::TopK {
@@ -190,63 +224,53 @@ impl MongoCluster {
                 limit,
                 post,
             } => {
-                let (parts, shard_times) = self.run_shards(collection, move |shard, coll| {
+                let mut scatter = self.run_shards(collection, policy, move |shard, coll| {
                     shard.aggregate_stages(coll, &shard_stages)
                 })?;
                 let merge_start = Instant::now();
+                let parts = std::mem::take(&mut scatter.parts);
                 let merged = merge_topk(parts, &sort, limit);
                 let out = apply_stages_to_rows(merged, &post);
-                self.record(compile, shard_times, merge_start.elapsed());
+                self.record(compile, merge_start.elapsed(), scatter);
                 out
             }
         }
     }
 
-    fn record(&self, compile: Duration, shard_times: Vec<Duration>, merge: Duration) {
+    fn record<T>(&self, compile: Duration, merge: Duration, scatter: ShardOutcome<T>) {
         self.stats.record(QueryStats {
             compile,
-            shard_times,
+            shard_times: scatter.shard_times,
             merge,
+            failovers: scatter.failovers,
+            dropped_shards: scatter.dropped_shards,
         });
     }
 
-    /// Run one unit of work per shard, timing each.
-    fn run_shards<F>(&self, collection: &str, work: F) -> Result<(Vec<Vec<Value>>, Vec<Duration>)>
+    /// Run one unit of work per shard, timing each, with per-shard
+    /// failover under `policy`.
+    fn run_shards<F>(
+        &self,
+        collection: &str,
+        policy: &ShardPolicy,
+        work: F,
+    ) -> Result<ShardOutcome<Vec<Value>>>
     where
         F: Fn(&DocStore, &str) -> Result<Vec<Value>> + Sync,
     {
-        match self.mode {
-            ExecMode::Threads => std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for shard in &self.shards {
-                    let shard = Arc::clone(shard);
-                    let collection = collection.to_string();
-                    let work = &work;
-                    handles.push(scope.spawn(move || {
-                        let start = Instant::now();
-                        work(&shard, &collection).map(|rows| (rows, start.elapsed()))
-                    }));
+        let faults = self.fault_plan();
+        run_resilient(
+            self.shards.len(),
+            self.mode,
+            policy,
+            DocError::is_transient,
+            |i| {
+                if let Some(msg) = shard_fault(faults.as_deref(), "mongo-cluster", i) {
+                    return Err(DocError::Transient(msg));
                 }
-                let mut parts = Vec::new();
-                let mut times = Vec::new();
-                for h in handles {
-                    let (rows, t) = h.join().expect("shard thread panicked")?;
-                    parts.push(rows);
-                    times.push(t);
-                }
-                Ok((parts, times))
-            }),
-            ExecMode::Sequential => {
-                let mut parts = Vec::new();
-                let mut times = Vec::new();
-                for shard in &self.shards {
-                    let start = Instant::now();
-                    parts.push(work(shard, collection)?);
-                    times.push(start.elapsed());
-                }
-                Ok((parts, times))
-            }
-        }
+                work(&self.shards[i], collection)
+            },
+        )
     }
 }
 
@@ -349,6 +373,40 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, DocError::ShardedLookup(_)));
+    }
+
+    #[test]
+    fn failover_and_partial_degradation() {
+        // Failover: the first two dispatches fail, re-dispatch recovers
+        // the full result.
+        let c = cluster(3);
+        let plan = Arc::new(FaultPlan::new(8).with_error_rate(1.0).with_max_faults(2));
+        c.set_fault_plan(Some(Arc::clone(&plan)));
+        let out = c
+            .aggregate_with(
+                "d",
+                r#"[{"$match":{}},{"$count":"count"}]"#,
+                &ShardPolicy::failover(3),
+            )
+            .unwrap();
+        assert_eq!(out[0].get_path("count"), Value::Int(100));
+        assert_eq!(plan.faults_injected(), 2);
+        assert!(c.last_stats().unwrap().failovers > 0);
+
+        // Partial: a permanently dead shard fails the query unless the
+        // caller opts into partial results.
+        let c = cluster(3);
+        c.set_fault_plan(Some(Arc::new(
+            FaultPlan::new(1).with_error_rate(1.0).for_sites("shard[0]"),
+        )));
+        let q = r#"[{"$match":{}},{"$count":"count"}]"#;
+        assert!(c.aggregate_with("d", q, &ShardPolicy::default()).is_err());
+        let out = c
+            .aggregate_with("d", q, &ShardPolicy::default().with_allow_partial(true))
+            .unwrap();
+        let lost = c.shard(0).count_documents("d").unwrap() as i64;
+        assert_eq!(out[0].get_path("count"), Value::Int(100 - lost));
+        assert_eq!(c.last_stats().unwrap().dropped_shards, vec![0]);
     }
 
     #[test]

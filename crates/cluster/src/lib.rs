@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 //! # polyframe-cluster
 //!
@@ -19,13 +20,20 @@
 //! * join + count → parallel **repartition join** over index keys
 //!   (SQL engines), and a hard **error** for sharded MongoDB `$lookup`
 //!   (the paper could not run expression 12 on distributed MongoDB).
+//!
+//! Shard dispatch is resilient ([`resilience`]): transiently-failing
+//! shards fail over (re-dispatch), and with explicit opt-in a query
+//! degrades to partial results from the healthy shards, with the gap
+//! recorded in [`QueryStats::dropped_shards`].
 
 pub mod doc_cluster;
 pub mod partition;
+pub mod resilience;
 pub mod sql_cluster;
 pub mod stats;
 
 pub use doc_cluster::MongoCluster;
 pub use partition::shard_for;
+pub use resilience::{run_resilient, shard_fault, ShardOutcome, ShardPolicy};
 pub use sql_cluster::SqlCluster;
 pub use stats::{ExecMode, QueryStats};

@@ -1,0 +1,280 @@
+//! Per-shard failover and partial-result degradation.
+//!
+//! The cluster tier treats shard failures the way a real coordinator
+//! does: a transiently-failing shard has its work re-dispatched (up to
+//! [`ShardPolicy::failover_retries`] times), and — only when the caller
+//! explicitly opts in via [`ShardPolicy::allow_partial`] — a shard that
+//! keeps failing transiently is dropped from the result with the gap
+//! recorded in [`ShardOutcome::dropped_shards`], instead of failing the
+//! whole query. Fatal (non-transient) errors always propagate.
+//!
+//! [`run_resilient`] is generic over the shard work and error type so
+//! [`crate::SqlCluster`] and [`crate::MongoCluster`] share one failover
+//! loop; [`shard_fault`] is the shared fault-injection boundary both
+//! clusters consult before dispatching a shard's work.
+
+use crate::stats::ExecMode;
+use polyframe_observe::{FaultKind, FaultPlan};
+use std::time::{Duration, Instant};
+
+/// Per-query resilience policy for shard dispatch.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// How many times a shard's work is re-dispatched after a transient
+    /// failure before the shard is considered lost.
+    pub failover_retries: u32,
+    /// Degrade to partial results: drop shards that keep failing
+    /// transiently instead of failing the query. Off by default —
+    /// partial results are only ever returned on explicit opt-in, and
+    /// the dropped shards are reported so callers can surface the gap.
+    pub allow_partial: bool,
+}
+
+impl ShardPolicy {
+    /// Fail over up to `retries` times per shard.
+    pub fn failover(retries: u32) -> ShardPolicy {
+        ShardPolicy {
+            failover_retries: retries,
+            allow_partial: false,
+        }
+    }
+
+    /// Builder: opt in (or out) of partial results.
+    pub fn with_allow_partial(mut self, allow: bool) -> ShardPolicy {
+        self.allow_partial = allow;
+        self
+    }
+}
+
+/// What resilient shard dispatch produced.
+#[derive(Debug)]
+pub struct ShardOutcome<T> {
+    /// One result per *surviving* shard, in shard order.
+    pub parts: Vec<T>,
+    /// Time spent per shard (every shard, including dropped ones, so
+    /// the simulated critical path still covers the work that failed).
+    pub shard_times: Vec<Duration>,
+    /// Total shard-work re-dispatches across the query.
+    pub failovers: usize,
+    /// Shards dropped under [`ShardPolicy::allow_partial`].
+    pub dropped_shards: Vec<usize>,
+}
+
+/// Consult a fault plan at a cluster shard boundary (site
+/// `"<cluster>/shard[<i>]"`). Returns the message of an injected
+/// transient failure; latency faults sleep inline and return `None`.
+pub fn shard_fault(plan: Option<&FaultPlan>, cluster: &str, shard: usize) -> Option<String> {
+    let plan = plan?;
+    let site = format!("{cluster}/shard[{shard}]");
+    match plan.next_fault(&site) {
+        None => None,
+        Some(FaultKind::Error) => Some(format!("injected fault at {site}")),
+        Some(FaultKind::Latency(d)) => {
+            std::thread::sleep(d);
+            None
+        }
+        Some(FaultKind::Hang(d)) => {
+            std::thread::sleep(d);
+            Some(format!("injected hang at {site}"))
+        }
+    }
+}
+
+/// Run one unit of work per shard with per-shard failover and optional
+/// partial-result degradation.
+///
+/// `work(i)` executes shard `i`'s unit; `is_transient` classifies its
+/// errors. A transient failure is re-dispatched immediately (backoff is
+/// the connector driver's job, not the coordinator's) up to
+/// `policy.failover_retries` times. A shard still failing transiently is
+/// dropped when `policy.allow_partial` is set, otherwise its error fails
+/// the query. Fatal errors fail the query regardless.
+pub fn run_resilient<T, E, P, F>(
+    shards: usize,
+    mode: ExecMode,
+    policy: &ShardPolicy,
+    is_transient: P,
+    work: F,
+) -> Result<ShardOutcome<T>, E>
+where
+    T: Send,
+    E: Send,
+    P: Fn(&E) -> bool + Sync,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    struct ShardRun<T, E> {
+        result: Result<T, E>,
+        elapsed: Duration,
+        failovers: usize,
+    }
+    let run_one = |i: usize| -> ShardRun<T, E> {
+        let start = Instant::now();
+        let mut failovers = 0usize;
+        loop {
+            match work(i) {
+                Ok(v) => {
+                    return ShardRun {
+                        result: Ok(v),
+                        elapsed: start.elapsed(),
+                        failovers,
+                    }
+                }
+                Err(e) => {
+                    if is_transient(&e) && (failovers as u32) < policy.failover_retries {
+                        failovers += 1;
+                        continue;
+                    }
+                    return ShardRun {
+                        result: Err(e),
+                        elapsed: start.elapsed(),
+                        failovers,
+                    };
+                }
+            }
+        }
+    };
+
+    let runs: Vec<ShardRun<T, E>> = match mode {
+        ExecMode::Threads => std::thread::scope(|scope| {
+            let run_one = &run_one;
+            let handles: Vec<_> = (0..shards)
+                .map(|i| scope.spawn(move || run_one(i)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard thread panicked"))
+                .collect()
+        }),
+        ExecMode::Sequential => (0..shards).map(run_one).collect(),
+    };
+
+    let mut out = ShardOutcome {
+        parts: Vec::with_capacity(shards),
+        shard_times: Vec::with_capacity(shards),
+        failovers: 0,
+        dropped_shards: Vec::new(),
+    };
+    for (i, run) in runs.into_iter().enumerate() {
+        out.failovers += run.failovers;
+        out.shard_times.push(run.elapsed);
+        match run.result {
+            Ok(v) => out.parts.push(v),
+            Err(e) if policy.allow_partial && is_transient(&e) => out.dropped_shards.push(i),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[derive(Debug, PartialEq)]
+    enum TestErr {
+        Transient,
+        Fatal,
+    }
+
+    fn transient(e: &TestErr) -> bool {
+        matches!(e, TestErr::Transient)
+    }
+
+    #[test]
+    fn failover_retries_until_success() {
+        for mode in [ExecMode::Threads, ExecMode::Sequential] {
+            // Every shard fails its first two dispatches, then succeeds.
+            let attempts: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+            let out = run_resilient(
+                3,
+                mode,
+                &ShardPolicy::failover(2),
+                transient,
+                |i| -> Result<usize, TestErr> {
+                    if attempts[i].fetch_add(1, Ordering::SeqCst) < 2 {
+                        Err(TestErr::Transient)
+                    } else {
+                        Ok(i * 10)
+                    }
+                },
+            )
+            .unwrap();
+            assert_eq!(out.parts, vec![0, 10, 20], "{mode:?}");
+            assert_eq!(out.failovers, 6);
+            assert!(out.dropped_shards.is_empty());
+            assert_eq!(out.shard_times.len(), 3);
+        }
+    }
+
+    #[test]
+    fn exhausted_failover_fails_without_partial() {
+        let err = run_resilient(
+            2,
+            ExecMode::Sequential,
+            &ShardPolicy::failover(1),
+            transient,
+            |i| -> Result<usize, TestErr> {
+                if i == 1 {
+                    Err(TestErr::Transient)
+                } else {
+                    Ok(0)
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TestErr::Transient);
+    }
+
+    #[test]
+    fn allow_partial_drops_transient_shards() {
+        let out = run_resilient(
+            4,
+            ExecMode::Threads,
+            &ShardPolicy::failover(1).with_allow_partial(true),
+            transient,
+            |i| -> Result<usize, TestErr> {
+                if i == 2 {
+                    Err(TestErr::Transient)
+                } else {
+                    Ok(i)
+                }
+            },
+        )
+        .unwrap();
+        assert_eq!(out.parts, vec![0, 1, 3]);
+        assert_eq!(out.dropped_shards, vec![2]);
+        assert_eq!(out.failovers, 1); // shard 2 was re-dispatched once
+        assert_eq!(out.shard_times.len(), 4); // dropped shard still timed
+    }
+
+    #[test]
+    fn fatal_errors_propagate_even_with_partial() {
+        let err = run_resilient(
+            2,
+            ExecMode::Sequential,
+            &ShardPolicy::failover(3).with_allow_partial(true),
+            transient,
+            |i| -> Result<usize, TestErr> {
+                if i == 0 {
+                    Err(TestErr::Fatal)
+                } else {
+                    Ok(1)
+                }
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, TestErr::Fatal);
+    }
+
+    #[test]
+    fn shard_fault_names_sites_per_shard() {
+        let plan = FaultPlan::new(11)
+            .with_error_rate(1.0)
+            .for_sites("shard[1]");
+        assert_eq!(shard_fault(Some(&plan), "sql-cluster", 0), None);
+        let msg = shard_fault(Some(&plan), "sql-cluster", 1).unwrap();
+        assert!(msg.contains("sql-cluster/shard[1]"), "{msg}");
+        assert_eq!(shard_fault(None, "sql-cluster", 1), None);
+    }
+}

@@ -1,8 +1,11 @@
 //! Sharded SQL/SQL++ cluster (AsterixDB cluster / Greenplum).
 
 use crate::partition::shard_for;
+use crate::resilience::{run_resilient, shard_fault, ShardOutcome, ShardPolicy};
 use crate::stats::{ExecMode, QueryStats, StatsRecorder};
 use polyframe_datamodel::{cmp_total, Record, Value};
+use polyframe_observe::sync::Mutex;
+use polyframe_observe::FaultPlan;
 use polyframe_sqlengine::plan::distributed::{
     merge_aggregate_parts, merge_concat, merge_topk, split, DistributedQuery,
 };
@@ -18,6 +21,9 @@ pub struct SqlCluster {
     partition_key: String,
     mode: ExecMode,
     stats: StatsRecorder,
+    /// Optional fault plan consulted at the shard-dispatch boundary
+    /// (sites `sql-cluster/shard[i]`).
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl SqlCluster {
@@ -45,7 +51,19 @@ impl SqlCluster {
             partition_key: partition_key.into(),
             mode,
             stats: StatsRecorder::new(),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) a fault-injection plan consulted before every
+    /// shard dispatch (sites `sql-cluster/shard[i]`).
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.lock() = plan;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().clone()
     }
 
     /// Number of shards.
@@ -125,8 +143,16 @@ impl SqlCluster {
         Ok(n)
     }
 
-    /// Execute a query across the cluster.
+    /// Execute a query across the cluster with the default (no-failover)
+    /// shard policy.
     pub fn query(&self, sql: &str) -> Result<Vec<Value>> {
+        self.query_with(sql, &ShardPolicy::default())
+    }
+
+    /// Execute a query across the cluster under an explicit shard
+    /// resilience policy (failover re-dispatch and, on opt-in, partial
+    /// results from the surviving shards).
+    pub fn query_with(&self, sql: &str, policy: &ShardPolicy) -> Result<Vec<Value>> {
         let compile_start = Instant::now();
         // Compile once (the coordinator's plan; every shard shares the same
         // catalog shape).
@@ -136,10 +162,11 @@ impl SqlCluster {
 
         match strategy {
             DistributedQuery::Concat { shard_plan, limit } => {
-                let (parts, shard_times) = self.scatter(&shard_plan)?;
+                let mut scatter = self.scatter(&shard_plan, policy)?;
                 let merge_start = Instant::now();
+                let parts = std::mem::take(&mut scatter.parts);
                 let out = merge_concat(parts, limit);
-                self.record(compile, shard_times, merge_start.elapsed());
+                self.record(compile, merge_start.elapsed(), scatter);
                 Ok(out)
             }
             DistributedQuery::ScalarAgg {
@@ -147,10 +174,11 @@ impl SqlCluster {
                 aggs,
                 project,
             } => {
-                let (parts, shard_times) = self.scatter(&shard_plan)?;
+                let mut scatter = self.scatter(&shard_plan, policy)?;
                 let merge_start = Instant::now();
+                let parts = std::mem::take(&mut scatter.parts);
                 let out = merge_aggregate_parts(parts, &[], &aggs, &project);
-                self.record(compile, shard_times, merge_start.elapsed());
+                self.record(compile, merge_start.elapsed(), scatter);
                 out
             }
             DistributedQuery::GroupAgg {
@@ -159,10 +187,11 @@ impl SqlCluster {
                 aggs,
                 project,
             } => {
-                let (parts, shard_times) = self.scatter(&shard_plan)?;
+                let mut scatter = self.scatter(&shard_plan, policy)?;
                 let merge_start = Instant::now();
+                let parts = std::mem::take(&mut scatter.parts);
                 let out = merge_aggregate_parts(parts, &group_names, &aggs, &project);
-                self.record(compile, shard_times, merge_start.elapsed());
+                self.record(compile, merge_start.elapsed(), scatter);
                 out
             }
             DistributedQuery::TopK {
@@ -171,10 +200,11 @@ impl SqlCluster {
                 limit,
                 post_project,
             } => {
-                let (parts, shard_times) = self.scatter(&shard_plan)?;
+                let mut scatter = self.scatter(&shard_plan, policy)?;
                 let merge_start = Instant::now();
+                let parts = std::mem::take(&mut scatter.parts);
                 let out = merge_topk(parts, &keys, limit, post_project.as_ref());
-                self.record(compile, shard_times, merge_start.elapsed());
+                self.record(compile, merge_start.elapsed(), scatter);
                 out
             }
             DistributedQuery::JoinCount {
@@ -183,73 +213,69 @@ impl SqlCluster {
                 output,
                 project,
             } => {
-                let (count, shard_times, merge) = self.repartition_join_count(&left, &right)?;
+                let (count, merge, extract) = self.repartition_join_count(&left, &right, policy)?;
                 let mut rec = Record::new();
                 rec.insert(output, Value::Int(count as i64));
                 let row = Value::Obj(rec);
                 let projected = polyframe_sqlengine::exec::project_row(&project, &row)?;
-                self.record(compile, shard_times, merge);
+                self.stats.record(QueryStats {
+                    compile,
+                    shard_times: extract.shard_times,
+                    merge,
+                    failovers: extract.failovers,
+                    dropped_shards: extract.dropped_shards,
+                });
                 Ok(vec![projected])
             }
         }
     }
 
-    fn record(&self, compile: Duration, shard_times: Vec<Duration>, merge: Duration) {
+    fn record<T>(&self, compile: Duration, merge: Duration, scatter: ShardOutcome<T>) {
         self.stats.record(QueryStats {
             compile,
-            shard_times,
+            shard_times: scatter.shard_times,
             merge,
+            failovers: scatter.failovers,
+            dropped_shards: scatter.dropped_shards,
         });
     }
 
-    /// Run a logical plan on every shard, timing each shard's work.
-    fn scatter(&self, plan: &LogicalPlan) -> Result<(Vec<Vec<Value>>, Vec<Duration>)> {
-        match self.mode {
-            ExecMode::Threads => std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for shard in &self.shards {
-                    let shard = Arc::clone(shard);
-                    let plan = plan.clone();
-                    handles.push(scope.spawn(move || {
-                        let start = Instant::now();
-                        let rows = shard.execute_logical(&plan);
-                        rows.map(|r| (r, start.elapsed()))
-                    }));
+    /// Run a logical plan on every shard, timing each shard's work, with
+    /// per-shard failover under `policy`.
+    fn scatter(
+        &self,
+        plan: &LogicalPlan,
+        policy: &ShardPolicy,
+    ) -> Result<ShardOutcome<Vec<Value>>> {
+        let faults = self.fault_plan();
+        run_resilient(
+            self.shards.len(),
+            self.mode,
+            policy,
+            EngineError::is_transient,
+            |i| {
+                if let Some(msg) = shard_fault(faults.as_deref(), "sql-cluster", i) {
+                    return Err(EngineError::transient(msg));
                 }
-                let mut parts = Vec::new();
-                let mut times = Vec::new();
-                for h in handles {
-                    let (rows, t) = h.join().expect("shard thread panicked")?;
-                    parts.push(rows);
-                    times.push(t);
-                }
-                Ok((parts, times))
-            }),
-            ExecMode::Sequential => {
-                let mut parts = Vec::new();
-                let mut times = Vec::new();
-                for shard in &self.shards {
-                    let start = Instant::now();
-                    parts.push(shard.execute_logical(plan)?);
-                    times.push(start.elapsed());
-                }
-                Ok((parts, times))
-            }
-        }
+                self.shards[i].execute_logical(plan)
+            },
+        )
     }
 
     /// Parallel repartition join + count over two datasets' join-key
-    /// indexes. Returns `(count, per-shard times, merge critical path)`:
+    /// indexes. Returns `(count, merge critical path, extraction outcome)`:
     ///
     /// 1. each shard extracts its sorted join keys (index-only) for both
-    ///    sides and buckets them by hash — one unit of shard work;
+    ///    sides and buckets them by hash — one unit of shard work, run
+    ///    with per-shard failover under `policy`;
     /// 2. one task per partition merges its left/right keys and counts
     ///    pair products — the merge critical path is the slowest partition.
     fn repartition_join_count(
         &self,
         left: &(String, String, String),
         right: &(String, String, String),
-    ) -> Result<(usize, Vec<Duration>, Duration)> {
+        policy: &ShardPolicy,
+    ) -> Result<(usize, Duration, ShardOutcome<()>)> {
         let n = self.shards.len();
 
         // Phase 1: per-shard key extraction + bucketing (both sides).
@@ -268,38 +294,28 @@ impl SqlCluster {
             Ok((l, r))
         };
 
-        let per_shard: Vec<((Buckets, Buckets), Duration)> = match self.mode {
-            ExecMode::Threads => std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for shard in &self.shards {
-                    let shard = Arc::clone(shard);
-                    let extract_one = &extract_one;
-                    handles.push(scope.spawn(move || {
-                        let start = Instant::now();
-                        extract_one(&shard).map(|b| (b, start.elapsed()))
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("extract thread panicked"))
-                    .collect::<Result<Vec<_>>>()
-            })?,
-            ExecMode::Sequential => {
-                let mut out = Vec::new();
-                for shard in &self.shards {
-                    let start = Instant::now();
-                    let buckets = extract_one(shard)?;
-                    out.push((buckets, start.elapsed()));
-                }
-                out
+        let faults = self.fault_plan();
+        let ShardOutcome {
+            parts: per_shard,
+            shard_times,
+            failovers,
+            dropped_shards,
+        } = run_resilient(n, self.mode, policy, EngineError::is_transient, |i| {
+            if let Some(msg) = shard_fault(faults.as_deref(), "sql-cluster", i) {
+                return Err(EngineError::transient(msg));
             }
+            extract_one(&self.shards[i])
+        })?;
+        let extract = ShardOutcome {
+            parts: Vec::new(),
+            shard_times,
+            failovers,
+            dropped_shards,
         };
 
-        let mut shard_times = Vec::with_capacity(n);
         let mut left_parts: Vec<Vec<Value>> = (0..n).map(|_| Vec::new()).collect();
         let mut right_parts: Vec<Vec<Value>> = (0..n).map(|_| Vec::new()).collect();
-        for ((lbuckets, rbuckets), t) in per_shard {
-            shard_times.push(t);
+        for (lbuckets, rbuckets) in per_shard {
             for (i, b) in lbuckets.into_iter().enumerate() {
                 left_parts[i].extend(b);
             }
@@ -343,7 +359,7 @@ impl SqlCluster {
                 }
             }
         }
-        Ok((count, shard_times, merge_critical))
+        Ok((count, merge_critical, extract))
     }
 
     /// EXPLAIN helper: how the coordinator would distribute `sql`.
@@ -517,6 +533,55 @@ mod tests {
         ] {
             assert_eq!(single.query(q).unwrap(), multi.query(q).unwrap(), "{q}");
         }
+    }
+
+    #[test]
+    fn failover_recovers_from_injected_faults() {
+        let baseline = cluster(3)
+            .query("SELECT VALUE COUNT(*) FROM Test.Users")
+            .unwrap();
+        let c = cluster(3);
+        let plan = Arc::new(FaultPlan::new(5).with_error_rate(1.0).with_max_faults(2));
+        c.set_fault_plan(Some(Arc::clone(&plan)));
+        let rows = c
+            .query_with(
+                "SELECT VALUE COUNT(*) FROM Test.Users",
+                &ShardPolicy::failover(3),
+            )
+            .unwrap();
+        assert_eq!(rows, baseline);
+        assert_eq!(plan.faults_injected(), 2);
+        let stats = c.last_stats().unwrap();
+        assert!(stats.failovers > 0);
+        assert!(stats.dropped_shards.is_empty());
+    }
+
+    #[test]
+    fn partial_results_drop_failed_shard_on_opt_in() {
+        let c = cluster(4);
+        c.set_fault_plan(Some(Arc::new(
+            FaultPlan::new(1).with_error_rate(1.0).for_sites("shard[2]"),
+        )));
+        // Without the explicit opt-in, a dead shard fails the query.
+        assert!(c
+            .query_with(
+                "SELECT VALUE COUNT(*) FROM Test.Users",
+                &ShardPolicy::failover(1),
+            )
+            .is_err());
+        // With it, the count covers the surviving shards and the gap is
+        // recorded.
+        let rows = c
+            .query_with(
+                "SELECT VALUE COUNT(*) FROM Test.Users",
+                &ShardPolicy::failover(1).with_allow_partial(true),
+            )
+            .unwrap();
+        let lost = c.shard(2).dataset_len("Test", "Users").unwrap() as i64;
+        assert_eq!(rows, vec![Value::Int(100 - lost)]);
+        let stats = c.last_stats().unwrap();
+        assert_eq!(stats.dropped_shards, vec![2]);
+        assert_eq!(stats.shard_times.len(), 4);
     }
 
     #[test]

@@ -54,10 +54,15 @@ impl ExecMode {
 pub struct QueryStats {
     /// Coordinator-side compile/split time.
     pub compile: Duration,
-    /// Per-shard execution times.
+    /// Per-shard execution times (every shard, including dropped ones).
     pub shard_times: Vec<Duration>,
     /// Coordinator-side merge time.
     pub merge: Duration,
+    /// Shard-work re-dispatches after transient failures.
+    pub failovers: usize,
+    /// Shards dropped under partial-result degradation (the result
+    /// covers only the remaining shards).
+    pub dropped_shards: Vec<usize>,
 }
 
 impl QueryStats {
@@ -76,13 +81,18 @@ impl QueryStats {
     /// Fold this breakdown into trace spans using the workspace's
     /// canonical stage names (`polyframe_observe::trace`): the
     /// coordinator's compile/split work as `plan`, one `shard[i]` per
-    /// shard, and the coordinator-side `merge`.
+    /// shard (dropped shards carry a `status: dropped` note), and the
+    /// coordinator-side `merge`.
     pub fn to_spans(&self) -> Vec<polyframe_observe::Span> {
         use polyframe_observe::Span;
         let mut spans = Vec::with_capacity(self.shard_times.len() + 2);
         spans.push(Span::new("plan").with_duration(self.compile));
         for (i, t) in self.shard_times.iter().enumerate() {
-            spans.push(Span::new(format!("shard[{i}]")).with_duration(*t));
+            let mut span = Span::new(format!("shard[{i}]")).with_duration(*t);
+            if self.dropped_shards.contains(&i) {
+                span.set_note("status", "dropped");
+            }
+            spans.push(span);
         }
         spans.push(Span::new("merge").with_duration(self.merge));
         spans
@@ -137,6 +147,7 @@ mod tests {
                 Duration::from_millis(20),
             ],
             merge: Duration::from_millis(2),
+            ..Default::default()
         };
         assert_eq!(q.simulated_wall(), Duration::from_millis(43));
     }

@@ -1,22 +1,40 @@
-//! Database connectors.
+//! Database connectors: the request-based backend API.
 //!
 //! A connector is the paper's "abstract class that makes connections to
 //! database engines": it supplies the default rule set for its language,
 //! pre-processes the final query (e.g. wrapping a MongoDB stage list in
 //! `[...]`), executes it, and post-processes results. Implementing this
 //! trait (plus, usually, a configuration file) is all a new backend needs.
+//!
+//! The execution surface is request-based: callers build a
+//! [`QueryRequest`] (query text, target dataset, [`ExecPolicy`]) and call
+//! [`DatabaseConnector::execute`], which drives the single-attempt
+//! [`DatabaseConnector::dispatch`] through the shared resilience driver
+//! [`execute_request`] — retry with exponential backoff and deterministic
+//! jitter, a per-action deadline budget, and always-on tracing. A
+//! connector implementor only writes `dispatch` (one attempt, one span);
+//! retries, deadlines and the `attempt`/`retry[i]` trace topology come
+//! for free.
 
 use crate::error::{PolyFrameError, Result};
+use crate::request::{QueryRequest, QueryResponse};
 use crate::rewrite::{Language, RuleSet};
-use polyframe_cluster::{MongoCluster, SqlCluster};
+use polyframe_cluster::{MongoCluster, QueryStats, ShardPolicy, SqlCluster};
 use polyframe_datamodel::Value;
-use polyframe_docstore::DocStore;
-use polyframe_graphstore::GraphStore;
-use polyframe_observe::{Span, SpanTimer};
-use polyframe_sqlengine::Engine;
+use polyframe_docstore::{DocError, DocStore};
+use polyframe_graphstore::{GraphError, GraphStore};
+use polyframe_observe::{Deadline, FaultPlan, Span, SpanTimer};
+use polyframe_sqlengine::{Engine, EngineError};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A connection to one backend database system.
+///
+/// Implementors write [`dispatch`](Self::dispatch) — one attempt of one
+/// request, returning rows plus the backend's execution span. Callers
+/// use [`execute`](Self::execute), which layers the request's
+/// [`ExecPolicy`](crate::request::ExecPolicy) (retry/backoff/deadline)
+/// on top via [`execute_request`].
 pub trait DatabaseConnector: Send + Sync {
     /// Human-readable backend name (used in benchmark output).
     fn name(&self) -> &str;
@@ -29,28 +47,25 @@ pub trait DatabaseConnector: Send + Sync {
         query.to_string()
     }
 
-    /// Execute a query. `namespace`/`collection` identify the frame's base
-    /// dataset for backends whose query text does not embed the target
-    /// (MongoDB pipelines).
-    fn execute(&self, query: &str, namespace: &str, collection: &str) -> Result<Vec<Value>>;
+    /// Run **one attempt** of the request against the backend. Returns
+    /// the rows and the backend's `execute` span (tracing is always on).
+    /// Implementations must not retry internally — whole-query retry is
+    /// the driver's job — but cluster backends may fail over individual
+    /// shards within the attempt.
+    fn dispatch(&self, req: &QueryRequest) -> Result<QueryResponse>;
 
-    /// Execute a query and report where the time went as an `execute`
-    /// span (see `polyframe_observe::trace` for the stage vocabulary).
-    ///
-    /// The default implementation wraps [`execute`](Self::execute) in one
-    /// timed span; backends with visible internals override it to split
-    /// out `parse`/`plan`/`exec` (and per-shard) time, so third-party
-    /// connectors get tracing for free and built-in ones get attribution.
-    fn execute_traced(
-        &self,
-        query: &str,
-        namespace: &str,
-        collection: &str,
-    ) -> Result<(Vec<Value>, Span)> {
-        let mut timer = SpanTimer::start("execute");
-        let rows = self.execute(query, namespace, collection)?;
-        timer.span_mut().set_metric("rows_out", rows.len() as i64);
-        Ok((rows, timer.finish()))
+    /// The fault plan governing this connector's backend, if any. The
+    /// driver uses it to report the `faults_injected` metric.
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        None
+    }
+
+    /// Execute a request under its policy: retry with backoff on
+    /// transient errors, enforce the deadline budget, and record every
+    /// attempt in the returned span. Provided — drives
+    /// [`dispatch`](Self::dispatch) through [`execute_request`].
+    fn execute(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        execute_request(self, req).map_err(|failure| failure.error)
     }
 
     /// Post-process result rows (default: identity).
@@ -63,6 +78,201 @@ pub trait DatabaseConnector: Send + Sync {
     /// namespace-qualified.
     fn dataset_ref(&self, _namespace: &str, collection: &str) -> String {
         collection.to_string()
+    }
+}
+
+/// A failed execution: the error plus the driver span covering every
+/// attempt that was made. [`DatabaseConnector::execute`] discards the
+/// span; [`crate::AFrame`] keeps it so failed actions still appear in
+/// [`crate::AFrame::last_trace`].
+#[derive(Debug)]
+pub struct ExecFailure {
+    /// Why the request failed.
+    pub error: PolyFrameError,
+    /// The driver `execute` span with one child per attempt.
+    pub span: Span,
+}
+
+impl From<ExecFailure> for PolyFrameError {
+    fn from(failure: ExecFailure) -> PolyFrameError {
+        failure.error
+    }
+}
+
+/// The shared resilience driver behind [`DatabaseConnector::execute`].
+///
+/// Runs [`DatabaseConnector::dispatch`] up to `1 + retry.max_retries`
+/// times, sleeping the policy's (deterministically jittered) backoff
+/// between attempts and giving up early — with a fatal
+/// [`PolyFrameError::DeadlineExceeded`] — once the deadline budget is
+/// spent. The returned span is named `execute` and carries:
+///
+/// * one child per attempt (`attempt`, then `retry[1]`, `retry[2]`, ...);
+///   the successful attempt's child is the backend's own span renamed,
+///   so backend internals (`parse`/`plan`/`exec`, `shard[i]`) stay
+///   visible; failed attempts carry an `error` note;
+/// * the successful backend span's metrics and notes, copied up so
+///   existing `execute`-level assertions (shard counts, cache metrics)
+///   hold regardless of retry depth;
+/// * `retries`, `faults_injected` (delta against the connector's fault
+///   plan) and, when a deadline was set, `deadline_remaining_ns`.
+// The Err variant intentionally carries the full driver span so failed
+// actions keep their trace; both variants are the same order of size.
+#[allow(clippy::result_large_err)]
+pub fn execute_request(
+    connector: &(impl DatabaseConnector + ?Sized),
+    req: &QueryRequest,
+) -> std::result::Result<QueryResponse, ExecFailure> {
+    let policy = &req.policy;
+    let deadline = policy.deadline.map(Deadline::start);
+    let faults_before = connector
+        .fault_plan()
+        .map(|p| p.faults_injected())
+        .unwrap_or(0);
+
+    let mut driver = SpanTimer::start("execute");
+    let mut retries: u32 = 0;
+    let outcome = loop {
+        let label = if retries == 0 {
+            "attempt".to_string()
+        } else {
+            format!("retry[{retries}]")
+        };
+        if let Some(d) = &deadline {
+            if d.expired() {
+                break Err(PolyFrameError::DeadlineExceeded(format!(
+                    "budget of {:?} exhausted before {label} of query against {}",
+                    d.budget(),
+                    connector.name(),
+                )));
+            }
+        }
+        if retries > 0 {
+            let mut pause = policy.retry.backoff(retries);
+            if let Some(d) = &deadline {
+                pause = pause.min(d.remaining());
+            }
+            if !pause.is_zero() {
+                std::thread::sleep(pause);
+            }
+        }
+        let attempt_start = Instant::now();
+        match connector.dispatch(req) {
+            Ok(mut response) => {
+                response.span.set_name(label);
+                break Ok(response);
+            }
+            Err(error) => {
+                let mut failed = Span::new(label).with_duration(attempt_start.elapsed());
+                failed.set_note("error", error.to_string());
+                driver.span_mut().push_child(failed);
+                if error.is_retryable() && retries < policy.retry.max_retries {
+                    retries += 1;
+                    continue;
+                }
+                break Err(error);
+            }
+        }
+    };
+
+    let finalize = |driver: &mut SpanTimer| {
+        driver.span_mut().set_metric("retries", retries as i64);
+        let faults_after = connector
+            .fault_plan()
+            .map(|p| p.faults_injected())
+            .unwrap_or(0);
+        driver
+            .span_mut()
+            .set_metric("faults_injected", (faults_after - faults_before) as i64);
+        if let Some(d) = &deadline {
+            driver
+                .span_mut()
+                .set_metric("deadline_remaining_ns", d.remaining().as_nanos() as i64);
+        }
+    };
+
+    match outcome {
+        Ok(QueryResponse { rows, span }) => {
+            // Copy the backend span's metrics and notes to the driver
+            // span so `execute`-level assertions see them directly.
+            for (key, value) in span.metrics() {
+                driver.span_mut().set_metric(key.clone(), *value);
+            }
+            for (key, value) in span.notes() {
+                driver.span_mut().set_note(key.clone(), value.clone());
+            }
+            driver.span_mut().set_metric("rows_out", rows.len() as i64);
+            driver.span_mut().push_child(span);
+            finalize(&mut driver);
+            Ok(QueryResponse {
+                rows,
+                span: driver.finish(),
+            })
+        }
+        Err(error) => {
+            driver.span_mut().set_note("error", error.to_string());
+            finalize(&mut driver);
+            Err(ExecFailure {
+                error,
+                span: driver.finish(),
+            })
+        }
+    }
+}
+
+/// Map an engine error into the PolyFrame taxonomy.
+fn engine_err(e: EngineError) -> PolyFrameError {
+    if e.is_transient() {
+        PolyFrameError::transient(e)
+    } else {
+        PolyFrameError::backend(e)
+    }
+}
+
+/// Map a document-store error into the PolyFrame taxonomy.
+fn doc_err(e: DocError) -> PolyFrameError {
+    if e.is_transient() {
+        PolyFrameError::transient(e)
+    } else {
+        PolyFrameError::backend(e)
+    }
+}
+
+/// Map a graph-store error into the PolyFrame taxonomy.
+fn graph_err(e: GraphError) -> PolyFrameError {
+    if e.is_transient() {
+        PolyFrameError::transient(e)
+    } else {
+        PolyFrameError::backend(e)
+    }
+}
+
+/// Derive the cluster shard policy from a request: the request's retry
+/// budget doubles as the per-shard failover budget, and `allow_partial`
+/// passes through.
+fn shard_policy(req: &QueryRequest) -> ShardPolicy {
+    ShardPolicy {
+        failover_retries: req.policy.retry.max_retries,
+        allow_partial: req.policy.allow_partial,
+    }
+}
+
+/// Fold a cluster query's outcome into its `execute` span: row/shard
+/// counts, the simulated critical path, failover/partial metrics, and
+/// one `shard[i]` child per shard (shared by both cluster connectors).
+fn fold_cluster_stats(span: &mut Span, rows_out: usize, shards: usize, stats: Option<QueryStats>) {
+    span.set_metric("rows_out", rows_out as i64);
+    span.set_metric("shards", shards as i64);
+    if let Some(stats) = stats {
+        span.set_metric(
+            "simulated_wall_ns",
+            stats.simulated_wall().as_nanos() as i64,
+        );
+        span.set_metric("failovers", stats.failovers as i64);
+        span.set_metric("partial_shards", stats.dropped_shards.len() as i64);
+        for child in stats.to_spans() {
+            span.push_child(child);
+        }
     }
 }
 
@@ -104,14 +314,13 @@ impl DatabaseConnector for AsterixConnector {
         RuleSet::builtin(Language::SqlPlusPlus)
     }
 
-    fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
-        self.engine.query(query).map_err(PolyFrameError::backend)
+    fn dispatch(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let (rows, span) = self.engine.query_traced(&req.query).map_err(engine_err)?;
+        Ok(QueryResponse::new(rows, span))
     }
 
-    fn execute_traced(&self, query: &str, _ns: &str, _coll: &str) -> Result<(Vec<Value>, Span)> {
-        self.engine
-            .query_traced(query)
-            .map_err(PolyFrameError::backend)
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.engine.fault_plan()
     }
 }
 
@@ -149,14 +358,13 @@ impl DatabaseConnector for PostgresConnector {
         RuleSet::builtin(Language::Sql)
     }
 
-    fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
-        self.engine.query(query).map_err(PolyFrameError::backend)
+    fn dispatch(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let (rows, span) = self.engine.query_traced(&req.query).map_err(engine_err)?;
+        Ok(QueryResponse::new(rows, span))
     }
 
-    fn execute_traced(&self, query: &str, _ns: &str, _coll: &str) -> Result<(Vec<Value>, Span)> {
-        self.engine
-            .query_traced(query)
-            .map_err(PolyFrameError::backend)
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.engine.fault_plan()
     }
 }
 
@@ -185,21 +393,17 @@ impl DatabaseConnector for MongoConnector {
         mongo_rules::wrap_pipeline(query)
     }
 
-    fn execute(&self, query: &str, namespace: &str, collection: &str) -> Result<Vec<Value>> {
-        self.store
-            .aggregate(&mongo_rules::target(namespace, collection), query)
-            .map_err(PolyFrameError::backend)
+    fn dispatch(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let target = mongo_rules::target(&req.namespace, &req.collection);
+        let (rows, span) = self
+            .store
+            .aggregate_traced(&target, &req.query)
+            .map_err(doc_err)?;
+        Ok(QueryResponse::new(rows, span))
     }
 
-    fn execute_traced(
-        &self,
-        query: &str,
-        namespace: &str,
-        collection: &str,
-    ) -> Result<(Vec<Value>, Span)> {
-        self.store
-            .aggregate_traced(&mongo_rules::target(namespace, collection), query)
-            .map_err(PolyFrameError::backend)
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.store.fault_plan()
     }
 
     fn dataset_ref(&self, namespace: &str, collection: &str) -> String {
@@ -228,14 +432,13 @@ impl DatabaseConnector for Neo4jConnector {
         RuleSet::builtin(Language::Cypher)
     }
 
-    fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
-        self.store.query(query).map_err(PolyFrameError::backend)
+    fn dispatch(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let (rows, span) = self.store.query_traced(&req.query).map_err(graph_err)?;
+        Ok(QueryResponse::new(rows, span))
     }
 
-    fn execute_traced(&self, query: &str, _ns: &str, _coll: &str) -> Result<(Vec<Value>, Span)> {
-        self.store
-            .query_traced(query)
-            .map_err(PolyFrameError::backend)
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.store.fault_plan()
     }
 }
 
@@ -275,27 +478,23 @@ impl DatabaseConnector for SqlClusterConnector {
         RuleSet::builtin(self.language)
     }
 
-    fn execute(&self, query: &str, _ns: &str, _coll: &str) -> Result<Vec<Value>> {
-        self.cluster.query(query).map_err(PolyFrameError::backend)
+    fn dispatch(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let mut timer = SpanTimer::start("execute");
+        let rows = self
+            .cluster
+            .query_with(&req.query, &shard_policy(req))
+            .map_err(engine_err)?;
+        fold_cluster_stats(
+            timer.span_mut(),
+            rows.len(),
+            self.cluster.num_shards(),
+            self.cluster.last_stats(),
+        );
+        Ok(QueryResponse::new(rows, timer.finish()))
     }
 
-    fn execute_traced(&self, query: &str, _ns: &str, _coll: &str) -> Result<(Vec<Value>, Span)> {
-        let mut timer = SpanTimer::start("execute");
-        let rows = self.cluster.query(query).map_err(PolyFrameError::backend)?;
-        timer.span_mut().set_metric("rows_out", rows.len() as i64);
-        timer
-            .span_mut()
-            .set_metric("shards", self.cluster.num_shards() as i64);
-        if let Some(stats) = self.cluster.last_stats() {
-            timer.span_mut().set_metric(
-                "simulated_wall_ns",
-                stats.simulated_wall().as_nanos() as i64,
-            );
-            for child in stats.to_spans() {
-                timer.span_mut().push_child(child);
-            }
-        }
-        Ok((rows, timer.finish()))
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.cluster.fault_plan()
     }
 }
 
@@ -324,37 +523,24 @@ impl DatabaseConnector for MongoClusterConnector {
         mongo_rules::wrap_pipeline(query)
     }
 
-    fn execute(&self, query: &str, namespace: &str, collection: &str) -> Result<Vec<Value>> {
-        self.cluster
-            .aggregate(&mongo_rules::target(namespace, collection), query)
-            .map_err(PolyFrameError::backend)
-    }
-
-    fn execute_traced(
-        &self,
-        query: &str,
-        namespace: &str,
-        collection: &str,
-    ) -> Result<(Vec<Value>, Span)> {
+    fn dispatch(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let target = mongo_rules::target(&req.namespace, &req.collection);
         let mut timer = SpanTimer::start("execute");
         let rows = self
             .cluster
-            .aggregate(&mongo_rules::target(namespace, collection), query)
-            .map_err(PolyFrameError::backend)?;
-        timer.span_mut().set_metric("rows_out", rows.len() as i64);
-        timer
-            .span_mut()
-            .set_metric("shards", self.cluster.num_shards() as i64);
-        if let Some(stats) = self.cluster.last_stats() {
-            timer.span_mut().set_metric(
-                "simulated_wall_ns",
-                stats.simulated_wall().as_nanos() as i64,
-            );
-            for child in stats.to_spans() {
-                timer.span_mut().push_child(child);
-            }
-        }
-        Ok((rows, timer.finish()))
+            .aggregate_with(&target, &req.query, &shard_policy(req))
+            .map_err(doc_err)?;
+        fold_cluster_stats(
+            timer.span_mut(),
+            rows.len(),
+            self.cluster.num_shards(),
+            self.cluster.last_stats(),
+        );
+        Ok(QueryResponse::new(rows, timer.finish()))
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.cluster.fault_plan()
     }
 
     fn dataset_ref(&self, namespace: &str, collection: &str) -> String {

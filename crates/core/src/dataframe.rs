@@ -1,9 +1,10 @@
 //! The lazy DataFrame: transformations rewrite the underlying query,
 //! actions ship it to the backend.
 
-use crate::connector::DatabaseConnector;
+use crate::connector::{execute_request, DatabaseConnector};
 use crate::error::{PolyFrameError, Result};
 use crate::expr::Expr;
+use crate::request::{ExecPolicy, QueryRequest, QueryResponse};
 use crate::result::ResultSet;
 use crate::rewrite::config::subst;
 use crate::rewrite::RuleSet;
@@ -103,6 +104,9 @@ pub struct AFrame {
     query: String,
     series_attr: Option<String>,
     shape: Shape,
+    /// Resilience policy every action ships with its [`QueryRequest`]
+    /// (retry/backoff, deadline budget, partial-result opt-in).
+    policy: ExecPolicy,
     /// One span per transformation applied so far (the `rewrite` stage's
     /// children in the next action's trace).
     rewrite_spans: Vec<Span>,
@@ -133,6 +137,7 @@ impl Clone for AFrame {
             query: self.query.clone(),
             series_attr: self.series_attr.clone(),
             shape: self.shape,
+            policy: self.policy.clone(),
             rewrite_spans: self.rewrite_spans.clone(),
             trace: Arc::clone(&self.trace),
         }
@@ -170,6 +175,7 @@ impl AFrame {
             query,
             series_attr: None,
             shape: Shape::Records,
+            policy: ExecPolicy::default(),
             rewrite_spans: Vec::new(),
             trace: Arc::new(TraceCell::new()),
         })
@@ -203,6 +209,50 @@ impl AFrame {
     /// The backend's name.
     pub fn backend(&self) -> &str {
         self.connector.name()
+    }
+
+    // ------------------------------------------------------------ resilience
+
+    /// The execution policy actions run under.
+    pub fn policy(&self) -> &ExecPolicy {
+        &self.policy
+    }
+
+    /// A frame whose actions run under `policy`. The policy is inherited
+    /// by derived frames (transformations and clones).
+    pub fn with_policy(&self, policy: ExecPolicy) -> AFrame {
+        let mut next = self.clone();
+        next.policy = policy;
+        next
+    }
+
+    /// A frame whose actions retry transient backend failures under
+    /// `retry` (exponential backoff with deterministic jitter). Cluster
+    /// backends also use `retry.max_retries` as the per-shard failover
+    /// budget.
+    pub fn with_retry(&self, retry: polyframe_observe::RetryPolicy) -> AFrame {
+        let mut next = self.clone();
+        next.policy.retry = retry;
+        next
+    }
+
+    /// A frame whose actions must finish (all attempts and backoffs)
+    /// within `budget`; exceeding it fails with
+    /// [`PolyFrameError::DeadlineExceeded`](crate::PolyFrameError).
+    pub fn with_deadline(&self, budget: Duration) -> AFrame {
+        let mut next = self.clone();
+        next.policy.deadline = Some(budget);
+        next
+    }
+
+    /// A frame that explicitly accepts partial results: cluster actions
+    /// may answer from the healthy shards when others stay down, with the
+    /// gap recorded in the trace (`partial_shards` metric, per-shard
+    /// `dropped` notes).
+    pub fn allow_partial_results(&self) -> AFrame {
+        let mut next = self.clone();
+        next.policy.allow_partial = true;
+        next
     }
 
     /// The rule set in use.
@@ -379,8 +429,11 @@ impl AFrame {
 
     /// Ship `final_query` to the backend, recording the full lifecycle as
     /// a [`QueryTrace`]: a `query` root with `rewrite` (the accumulated
-    /// transformation spans), `preprocess`, the connector's `execute` span
-    /// (whose children carry backend internals), and `postprocess`.
+    /// transformation spans), `preprocess`, the resilience driver's
+    /// `execute` span (whose `attempt`/`retry[i]` children carry backend
+    /// internals), and `postprocess`. The trace is recorded even when the
+    /// action fails, so retried and failed attempts stay inspectable
+    /// through [`AFrame::last_trace`].
     fn run(&self, action: &str, wrapper: &str, final_query: String) -> Result<Vec<Value>> {
         let total = Instant::now();
 
@@ -398,27 +451,41 @@ impl AFrame {
             .set_metric("query_len", prepared.len() as i64);
         let pre = pre.finish();
 
-        let (rows, execute) =
-            self.connector
-                .execute_traced(&prepared, &self.namespace, &self.collection)?;
+        let request = QueryRequest::new(prepared, &self.namespace, &self.collection)
+            .with_policy(self.policy.clone());
+        let outcome = execute_request(self.connector.as_ref(), &request);
 
-        let mut post = SpanTimer::start("postprocess");
-        let rows = self.connector.postprocess(rows);
-        post.span_mut().set_metric("rows_out", rows.len() as i64);
-        let post = post.finish();
+        let (result, execute) = match outcome {
+            Ok(QueryResponse { rows, span }) => {
+                let mut post = SpanTimer::start("postprocess");
+                let rows = self.connector.postprocess(rows);
+                post.span_mut().set_metric("rows_out", rows.len() as i64);
+                (Ok((rows, post.finish())), span)
+            }
+            Err(failure) => (Err(failure.error), failure.span),
+        };
 
-        let root = Span::new("query")
-            .with_duration(total.elapsed())
+        let mut root = Span::new("query")
             .with_metric("query_len", final_query.len() as i64)
             .with_note("action", action)
             .with_note("wrapper", wrapper)
             .with_note("backend", self.connector.name())
             .with_child(rewrite)
             .with_child(pre)
-            .with_child(execute)
-            .with_child(post);
+            .with_child(execute);
+        let rows = match result {
+            Ok((rows, post)) => {
+                root.push_child(post);
+                Ok(rows)
+            }
+            Err(error) => {
+                root.set_note("error", error.to_string());
+                Err(error)
+            }
+        };
+        root.set_duration(total.elapsed());
         self.trace.put(QueryTrace::new(root));
-        Ok(rows)
+        rows
     }
 
     /// First `n` rows (`df.head(n)`).

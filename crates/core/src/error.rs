@@ -1,4 +1,4 @@
-//! PolyFrame error type.
+//! PolyFrame error type and retryability taxonomy.
 
 use std::fmt;
 
@@ -10,10 +10,34 @@ pub enum PolyFrameError {
     /// The requested operation cannot be expressed against this backend
     /// (e.g. a Cypher join whose right side is not a base frame).
     Unsupported(String),
-    /// The backend database reported an error.
+    /// The backend database reported a permanent error.
     Backend(String),
     /// Result post-processing failed (unexpected result shape).
     Result(String),
+    /// A transient backend condition (dropped connection, shard timeout,
+    /// injected fault). The only retryable kind.
+    Transient(String),
+    /// The action's deadline budget was exhausted. Fatal and
+    /// non-retryable: retrying cannot create more time.
+    DeadlineExceeded(String),
+}
+
+/// Coarse classification of a [`PolyFrameError`], for matching without
+/// destructuring the message payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// [`PolyFrameError::Config`]
+    Config,
+    /// [`PolyFrameError::Unsupported`]
+    Unsupported,
+    /// [`PolyFrameError::Backend`]
+    Backend,
+    /// [`PolyFrameError::Result`]
+    Result,
+    /// [`PolyFrameError::Transient`]
+    Transient,
+    /// [`PolyFrameError::DeadlineExceeded`]
+    DeadlineExceeded,
 }
 
 impl fmt::Display for PolyFrameError {
@@ -23,6 +47,8 @@ impl fmt::Display for PolyFrameError {
             PolyFrameError::Unsupported(m) => write!(f, "unsupported operation: {m}"),
             PolyFrameError::Backend(m) => write!(f, "backend error: {m}"),
             PolyFrameError::Result(m) => write!(f, "result error: {m}"),
+            PolyFrameError::Transient(m) => write!(f, "transient backend error: {m}"),
+            PolyFrameError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
         }
     }
 }
@@ -30,9 +56,33 @@ impl fmt::Display for PolyFrameError {
 impl std::error::Error for PolyFrameError {}
 
 impl PolyFrameError {
-    /// Wrap any backend error.
+    /// Wrap any backend error as permanent.
     pub fn backend(e: impl fmt::Display) -> PolyFrameError {
         PolyFrameError::Backend(e.to_string())
+    }
+
+    /// Wrap any backend error as transient (retryable).
+    pub fn transient(e: impl fmt::Display) -> PolyFrameError {
+        PolyFrameError::Transient(e.to_string())
+    }
+
+    /// This error's coarse classification.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            PolyFrameError::Config(_) => ErrorKind::Config,
+            PolyFrameError::Unsupported(_) => ErrorKind::Unsupported,
+            PolyFrameError::Backend(_) => ErrorKind::Backend,
+            PolyFrameError::Result(_) => ErrorKind::Result,
+            PolyFrameError::Transient(_) => ErrorKind::Transient,
+            PolyFrameError::DeadlineExceeded(_) => ErrorKind::DeadlineExceeded,
+        }
+    }
+
+    /// Whether retrying the failed operation may succeed. Only
+    /// [`PolyFrameError::Transient`] is retryable; everything else —
+    /// including [`PolyFrameError::DeadlineExceeded`] — is fatal.
+    pub fn is_retryable(&self) -> bool {
+        self.kind() == ErrorKind::Transient
     }
 }
 

@@ -40,21 +40,24 @@
 //! paper's appendix (see `configs/`); [`rewrite::RuleSet::with_overrides`]
 //! layers user-defined rewrites on top.
 
+#[deny(clippy::unwrap_used)]
 pub mod connector;
 pub mod dataframe;
 pub mod error;
 pub mod expr;
+pub mod request;
 pub mod result;
 pub mod rewrite;
 pub mod translate;
 
 pub use connector::{
-    AsterixConnector, DatabaseConnector, MongoClusterConnector, MongoConnector, Neo4jConnector,
-    PostgresConnector, SqlClusterConnector,
+    execute_request, AsterixConnector, DatabaseConnector, ExecFailure, MongoClusterConnector,
+    MongoConnector, Neo4jConnector, PostgresConnector, SqlClusterConnector,
 };
 pub use dataframe::{AFrame, AggFunc, GroupBy, MapFunc};
-pub use error::{PolyFrameError, Result};
+pub use error::{ErrorKind, PolyFrameError, Result};
 pub use expr::{col, lit, Expr};
+pub use request::{ExecPolicy, QueryRequest, QueryResponse};
 pub use result::ResultSet;
 pub use rewrite::{Language, RuleSet};
 pub use translate::Translator;
@@ -67,7 +70,9 @@ pub mod prelude {
     };
     pub use crate::dataframe::{AFrame, AggFunc, GroupBy, MapFunc};
     pub use crate::expr::{col, lit, Expr};
+    pub use crate::request::{ExecPolicy, QueryRequest, QueryResponse};
     pub use crate::result::ResultSet;
     pub use crate::rewrite::{Language, RuleSet};
-    pub use crate::PolyFrameError;
+    pub use crate::{ErrorKind, PolyFrameError};
+    pub use polyframe_observe::{FaultPlan, RetryPolicy};
 }

@@ -1,0 +1,123 @@
+//! The request/response types of the connector API.
+//!
+//! A [`QueryRequest`] is everything a backend needs to run one query:
+//! the (preprocessed) query text, the target dataset, and the
+//! [`ExecPolicy`] governing how hard the driver should try — retries
+//! with backoff, a wall-clock deadline budget, and whether the caller
+//! accepts partial results from a degraded cluster. A [`QueryResponse`]
+//! carries the rows plus the execution trace span; tracing is always on.
+
+use polyframe_datamodel::Value;
+use polyframe_observe::{RetryPolicy, Span};
+use std::time::Duration;
+
+/// How resiliently a request should be executed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecPolicy {
+    /// Whole-query retry with backoff, driven by the connector's
+    /// [`crate::connector::execute_request`] driver. Cluster connectors
+    /// additionally map `retry.max_retries` to per-shard failover.
+    pub retry: RetryPolicy,
+    /// Wall-clock budget for the whole action (all attempts and
+    /// backoffs). Exceeding it is a fatal, non-retryable error.
+    pub deadline: Option<Duration>,
+    /// Explicit opt-in to partial results: a cluster backend may answer
+    /// from its healthy shards, recording the gap in the trace. Off by
+    /// default — without it a degraded shard is failed over and, if it
+    /// stays down, the action errors.
+    pub allow_partial: bool,
+}
+
+impl ExecPolicy {
+    /// Builder: set the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ExecPolicy {
+        self.retry = retry;
+        self
+    }
+
+    /// Builder: set the deadline budget.
+    pub fn with_deadline(mut self, budget: Duration) -> ExecPolicy {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Builder: opt in (or out) of partial results.
+    pub fn with_allow_partial(mut self, allow: bool) -> ExecPolicy {
+        self.allow_partial = allow;
+        self
+    }
+}
+
+/// One query shipped to a backend.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryRequest {
+    /// The final (already preprocessed) query text.
+    pub query: String,
+    /// Namespace of the frame's base dataset, for backends whose query
+    /// text does not embed the target (MongoDB pipelines).
+    pub namespace: String,
+    /// Collection/dataset name of the frame's base dataset.
+    pub collection: String,
+    /// Resilience policy for this request.
+    pub policy: ExecPolicy,
+}
+
+impl QueryRequest {
+    /// A request with the default (single-attempt, no deadline) policy.
+    pub fn new(
+        query: impl Into<String>,
+        namespace: impl Into<String>,
+        collection: impl Into<String>,
+    ) -> QueryRequest {
+        QueryRequest {
+            query: query.into(),
+            namespace: namespace.into(),
+            collection: collection.into(),
+            policy: ExecPolicy::default(),
+        }
+    }
+
+    /// Builder: replace the whole policy.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> QueryRequest {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder: set the retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> QueryRequest {
+        self.policy.retry = retry;
+        self
+    }
+
+    /// Builder: set the deadline budget.
+    pub fn with_deadline(mut self, budget: Duration) -> QueryRequest {
+        self.policy.deadline = Some(budget);
+        self
+    }
+
+    /// Builder: opt in to partial results.
+    pub fn with_allow_partial(mut self, allow: bool) -> QueryRequest {
+        self.policy.allow_partial = allow;
+        self
+    }
+}
+
+/// What a backend attempt (or the full driver) produced: result rows
+/// plus the execution span. Tracing is not optional in this API — every
+/// response carries its span.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Result rows.
+    pub rows: Vec<Value>,
+    /// The execution span: from `dispatch`, the backend's own `execute`
+    /// span; from `execute`/`execute_request`, the driver span whose
+    /// children are the `attempt`/`retry[i]` spans.
+    pub span: Span,
+}
+
+impl QueryResponse {
+    /// Bundle rows with their span.
+    pub fn new(rows: Vec<Value>, span: Span) -> QueryResponse {
+        QueryResponse { rows, span }
+    }
+}

@@ -1,0 +1,307 @@
+//! End-to-end resilience tests: deterministic fault injection, retry
+//! with backoff, deadline budgets, failover, and partial-result
+//! degradation — through the public request-based connector API.
+
+use polyframe::prelude::*;
+use polyframe_cluster::{MongoCluster, SqlCluster};
+use polyframe_docstore::DocStore;
+use polyframe_graphstore::GraphStore;
+use polyframe_observe::{FaultPlan, RetryPolicy};
+use polyframe_sqlengine::{Engine, EngineConfig};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 300;
+const NS: &str = "Test";
+const DS: &str = "wisconsin";
+
+/// One single-node backend with a handle for installing fault plans.
+struct Backend {
+    frame: AFrame,
+    install: Box<dyn Fn(Option<Arc<FaultPlan>>)>,
+}
+
+/// All four single-node backends, loaded with the same Wisconsin data.
+fn backends() -> Vec<Backend> {
+    let records = generate(&WisconsinConfig::new(N));
+    let mut out = Vec::new();
+
+    for config in [EngineConfig::asterixdb(), EngineConfig::postgres()] {
+        let sqlpp = matches!(config.dialect, polyframe_sqlengine::Dialect::SqlPlusPlus);
+        let engine = Arc::new(Engine::new(config));
+        engine.create_dataset(NS, DS, Some("unique2"));
+        engine.load(NS, DS, records.clone()).unwrap();
+        let conn: Arc<dyn DatabaseConnector> = if sqlpp {
+            Arc::new(AsterixConnector::new(Arc::clone(&engine)))
+        } else {
+            Arc::new(PostgresConnector::new(Arc::clone(&engine)))
+        };
+        out.push(Backend {
+            frame: AFrame::new(NS, DS, conn).unwrap(),
+            install: Box::new(move |p| engine.set_fault_plan(p)),
+        });
+    }
+
+    let mongo = Arc::new(DocStore::new());
+    let coll = format!("{NS}.{DS}");
+    mongo.create_collection(&coll);
+    mongo.insert_many(&coll, records.clone()).unwrap();
+    out.push(Backend {
+        frame: AFrame::new(NS, DS, Arc::new(MongoConnector::new(Arc::clone(&mongo)))).unwrap(),
+        install: Box::new(move |p| mongo.set_fault_plan(p)),
+    });
+
+    let neo = Arc::new(GraphStore::new());
+    neo.insert_nodes(DS, records).unwrap();
+    out.push(Backend {
+        frame: AFrame::new(NS, DS, Arc::new(Neo4jConnector::new(Arc::clone(&neo)))).unwrap(),
+        install: Box::new(move |p| neo.set_fault_plan(p)),
+    });
+
+    out
+}
+
+fn sorted_head(frame: &AFrame) -> ResultSet {
+    frame
+        .mask(&col("ten").eq(3))
+        .unwrap()
+        .sort_values("unique1", true)
+        .unwrap()
+        .head(20)
+        .unwrap()
+}
+
+/// Injected faults consumed by retry leave results byte-identical to a
+/// fault-free run, on all four query languages.
+#[test]
+fn retry_recovers_byte_identical_rows_on_all_languages() {
+    for backend in backends() {
+        let name = backend.frame.backend().to_string();
+        let baseline = format!("{:?}", sorted_head(&backend.frame).rows());
+
+        // Every operation fails until the two-fault budget is spent.
+        let plan = Arc::new(FaultPlan::new(42).with_error_rate(1.0).with_max_faults(2));
+        (backend.install)(Some(Arc::clone(&plan)));
+        let resilient = backend.frame.with_retry(RetryPolicy::retries(3));
+        let recovered = format!("{:?}", sorted_head(&resilient).rows());
+        assert_eq!(baseline, recovered, "{name}");
+        assert_eq!(plan.faults_injected(), 2, "{name}");
+
+        // The trace shows both failed attempts and the recovery metrics.
+        let trace = resilient.last_trace().unwrap();
+        let execute = trace.span("execute").unwrap();
+        assert_eq!(execute.metric("retries"), Some(2), "{name}");
+        assert_eq!(execute.metric("faults_injected"), Some(2), "{name}");
+        assert!(execute.find("attempt").is_some(), "{name}");
+        assert!(execute.find("retry[1]").is_some(), "{name}");
+        assert!(execute.find("retry[2]").is_some(), "{name}");
+        assert!(
+            execute.find("retry[1]").unwrap().note("error").is_some(),
+            "{name}"
+        );
+
+        // Without retries the same plan would have failed the action.
+        (backend.install)(None);
+    }
+}
+
+/// Equal seeds produce equal fault sequences end to end: two identical
+/// stacks running the same actions log identical injections.
+#[test]
+fn fault_plans_are_deterministic_end_to_end() {
+    let run = || {
+        let records = generate(&WisconsinConfig::new(N));
+        let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+        engine.create_dataset(NS, DS, Some("unique2"));
+        engine.load(NS, DS, records).unwrap();
+        let plan = Arc::new(FaultPlan::new(7).with_error_rate(0.4));
+        engine.set_fault_plan(Some(Arc::clone(&plan)));
+        let af = AFrame::new(NS, DS, Arc::new(PostgresConnector::new(engine)))
+            .unwrap()
+            .with_retry(RetryPolicy::retries(8));
+        let mut outcomes = Vec::new();
+        for _ in 0..5 {
+            outcomes.push(af.len().map_err(|e| e.to_string()));
+        }
+        (outcomes, plan.log(), plan.faults_injected())
+    };
+    let (outcomes_a, log_a, injected_a) = run();
+    let (outcomes_b, log_b, injected_b) = run();
+    assert_eq!(outcomes_a, outcomes_b);
+    assert_eq!(log_a, log_b);
+    assert_eq!(injected_a, injected_b);
+    assert!(injected_a > 0, "seed 7 at rate 0.4 should inject something");
+}
+
+/// A deadline budget is fatal: when the backend keeps failing, the driver
+/// stops with `DeadlineExceeded` — classified non-retryable — instead of
+/// burning the full retry budget.
+#[test]
+fn deadline_exceeded_is_fatal_and_non_retryable() {
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    engine.create_dataset(NS, DS, Some("unique2"));
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(50)))
+        .unwrap();
+    engine.set_fault_plan(Some(Arc::new(FaultPlan::new(1).with_error_rate(1.0))));
+
+    let af = AFrame::new(NS, DS, Arc::new(PostgresConnector::new(engine)))
+        .unwrap()
+        .with_retry(RetryPolicy::retries(10_000))
+        .with_deadline(Duration::from_millis(20));
+    let err = af.len().unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::DeadlineExceeded, "{err}");
+    assert!(!err.is_retryable(), "{err}");
+
+    // The trace records how the action died and the exhausted budget.
+    let trace = af.last_trace().unwrap();
+    let execute = trace.span("execute").unwrap();
+    assert!(execute.note("error").unwrap().contains("deadline exceeded"));
+    let remaining = execute.metric("deadline_remaining_ns").unwrap();
+    assert_eq!(remaining, 0, "budget should be fully spent");
+    // It retried at least once before the budget ran out, but nowhere
+    // near the (absurd) retry budget.
+    let retries = execute.metric("retries").unwrap();
+    assert!((1..10_000).contains(&retries), "retries = {retries}");
+}
+
+/// Transient errors are the only retryable kind.
+#[test]
+fn error_taxonomy_classifies_retryability() {
+    let transient = PolyFrameError::transient("shard timeout");
+    assert_eq!(transient.kind(), ErrorKind::Transient);
+    assert!(transient.is_retryable());
+    for fatal in [
+        PolyFrameError::Config("bad".into()),
+        PolyFrameError::Unsupported("no".into()),
+        PolyFrameError::backend("boom"),
+        PolyFrameError::Result("shape".into()),
+        PolyFrameError::DeadlineExceeded("late".into()),
+    ] {
+        assert!(!fatal.is_retryable(), "{fatal}");
+        assert_ne!(fatal.kind(), ErrorKind::Transient);
+    }
+}
+
+/// Bugfix regression: a failed action still records its trace, with the
+/// failed attempts visible, instead of losing the partially-built span.
+#[test]
+fn failed_actions_still_record_traces() {
+    let engine = Arc::new(Engine::new(EngineConfig::asterixdb()));
+    engine.create_dataset(NS, DS, Some("unique2"));
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(50)))
+        .unwrap();
+    engine.set_fault_plan(Some(Arc::new(FaultPlan::new(2).with_error_rate(1.0))));
+
+    let af = AFrame::new(NS, DS, Arc::new(AsterixConnector::new(engine)))
+        .unwrap()
+        .with_retry(RetryPolicy::retries(2));
+    let err = af.collect().unwrap_err();
+    assert!(
+        err.is_retryable(),
+        "exhausted retries stay transient: {err}"
+    );
+
+    let trace = af.last_trace().expect("failed action must leave a trace");
+    assert!(trace.root().note("error").is_some());
+    let execute = trace.span("execute").unwrap();
+    assert_eq!(execute.metric("retries"), Some(2));
+    for attempt in ["attempt", "retry[1]", "retry[2]"] {
+        let span = execute.find(attempt).unwrap_or_else(|| {
+            panic!("missing {attempt}: {}", trace.render());
+        });
+        assert!(span.note("error").is_some(), "{attempt}");
+    }
+    // The rewrite/preprocess stages made it into the trace too.
+    assert!(trace.span("preprocess").is_some());
+}
+
+/// Cluster failover: a shard that fails transiently is re-dispatched
+/// within the attempt, and the recovery is visible in the trace.
+#[test]
+fn sql_cluster_failover_recovers_with_trace() {
+    let cluster = Arc::new(SqlCluster::new(4, EngineConfig::postgres(), "unique2"));
+    cluster.create_dataset(NS, DS, Some("unique2"));
+    cluster
+        .load(NS, DS, generate(&WisconsinConfig::new(N)))
+        .unwrap();
+    let af = AFrame::new(
+        NS,
+        DS,
+        Arc::new(SqlClusterConnector::greenplum(Arc::clone(&cluster))),
+    )
+    .unwrap();
+    assert_eq!(af.len().unwrap(), N);
+
+    let plan = Arc::new(FaultPlan::new(5).with_error_rate(1.0).with_max_faults(2));
+    cluster.set_fault_plan(Some(Arc::clone(&plan)));
+    let resilient = af.with_retry(RetryPolicy::retries(3));
+    assert_eq!(resilient.len().unwrap(), N);
+    assert_eq!(plan.faults_injected(), 2);
+
+    let trace = resilient.last_trace().unwrap();
+    let execute = trace.span("execute").unwrap();
+    assert!(
+        execute.metric("failovers").unwrap() > 0,
+        "{}",
+        trace.render()
+    );
+    assert_eq!(execute.metric("partial_shards"), Some(0));
+}
+
+/// Partial results are opt-in: without the opt-in a dead shard fails the
+/// action; with it, the healthy shards answer and the trace accounts for
+/// the gap.
+#[test]
+fn partial_results_account_for_the_dropped_shard() {
+    let cluster = Arc::new(MongoCluster::new(4));
+    let coll = format!("{NS}.{DS}");
+    cluster.create_collection(&coll);
+    cluster
+        .insert_many(&coll, generate(&WisconsinConfig::new(N)))
+        .unwrap();
+    let af = AFrame::new(
+        NS,
+        DS,
+        Arc::new(MongoClusterConnector::new(Arc::clone(&cluster))),
+    )
+    .unwrap();
+    let total = af.len().unwrap();
+    assert_eq!(total, N);
+    let lost = cluster.shard(2).count_documents(&coll).unwrap();
+    assert!(lost > 0, "shard 2 should hold data");
+
+    // Shard 2 is permanently down.
+    cluster.set_fault_plan(Some(Arc::new(
+        FaultPlan::new(11)
+            .with_error_rate(1.0)
+            .for_sites("shard[2]"),
+    )));
+
+    // Without the opt-in the action fails (transient, so retryable —
+    // but the shard never comes back).
+    let err = af.len().unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Transient, "{err}");
+
+    // With the opt-in the healthy shards answer, and the trace records
+    // exactly which shard was dropped.
+    let partial = af.allow_partial_results();
+    assert_eq!(partial.len().unwrap(), N - lost);
+    let trace = partial.last_trace().unwrap();
+    let execute = trace.span("execute").unwrap();
+    assert_eq!(
+        execute.metric("partial_shards"),
+        Some(1),
+        "{}",
+        trace.render()
+    );
+    let dropped = execute.find("shard[2]").unwrap();
+    assert_eq!(
+        dropped.note("status"),
+        Some("dropped"),
+        "{}",
+        trace.render()
+    );
+}

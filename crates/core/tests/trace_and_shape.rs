@@ -243,10 +243,7 @@ fn cluster_trace_reports_shards_and_merge() {
     assert_eq!(execute.metric("shards"), Some(3));
     for i in 0..3 {
         assert!(
-            execute
-                .children()
-                .iter()
-                .any(|c| c.name() == format!("shard[{i}]")),
+            execute.find(&format!("shard[{i}]")).is_some(),
             "missing shard[{i}]: {}",
             trace.render()
         );
@@ -267,8 +264,14 @@ fn len_rejects_negative_counts() {
         fn rules(&self) -> polyframe::RuleSet {
             polyframe::RuleSet::builtin(polyframe::Language::Sql)
         }
-        fn execute(&self, _q: &str, _ns: &str, _coll: &str) -> polyframe::Result<Vec<Value>> {
-            Ok(vec![Value::Int(-1)])
+        fn dispatch(
+            &self,
+            _req: &polyframe::QueryRequest,
+        ) -> polyframe::Result<polyframe::QueryResponse> {
+            Ok(polyframe::QueryResponse::new(
+                vec![Value::Int(-1)],
+                polyframe_observe::Span::new("execute"),
+            ))
         }
     }
     let af = AFrame::new(NS, DS, Arc::new(BadCountConnector)).unwrap();

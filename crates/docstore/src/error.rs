@@ -14,6 +14,9 @@ pub enum DocError {
     /// `$lookup` against a sharded collection (paper: expression 12 cannot
     /// run on distributed MongoDB).
     ShardedLookup(String),
+    /// A transient (retryable) backend condition: a dropped connection,
+    /// a shard timeout, or an injected fault. Retrying may succeed.
+    Transient(String),
 }
 
 impl fmt::Display for DocError {
@@ -25,11 +28,19 @@ impl fmt::Display for DocError {
             DocError::ShardedLookup(c) => {
                 write!(f, "$lookup from sharded collection {c} is not allowed")
             }
+            DocError::Transient(m) => write!(f, "{m}"),
         }
     }
 }
 
 impl std::error::Error for DocError {}
+
+impl DocError {
+    /// Whether retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DocError::Transient(_))
+    }
+}
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, DocError>;

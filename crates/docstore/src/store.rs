@@ -7,8 +7,8 @@ use crate::pipeline::expr::Vars;
 use crate::pipeline::optimizer::{optimize, PhysicalPipeline};
 use crate::pipeline::{parse_pipeline, Stage};
 use polyframe_datamodel::{Record, Value};
-use polyframe_observe::sync::RwLock;
-use polyframe_observe::{CacheStats, Span, SpanTimer, VersionedCache};
+use polyframe_observe::sync::{Mutex, RwLock};
+use polyframe_observe::{CacheStats, FaultKind, FaultPlan, Span, SpanTimer, VersionedCache};
 use polyframe_storage::{NullPolicy, Table, TableOptions};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -45,6 +45,8 @@ pub struct DocStore {
     version: AtomicU64,
     /// Compiled pipelines keyed by `(collection, pipeline text)`.
     plan_cache: VersionedCache<(String, String), CachedPipeline>,
+    /// Optional fault-injection plan consulted at `aggregate` entry points.
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl Default for DocStore {
@@ -62,7 +64,41 @@ impl DocStore {
             use_indexes: true,
             version: AtomicU64::new(0),
             plan_cache: VersionedCache::new(PLAN_CACHE_CAPACITY),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) a fault-injection plan consulted at every
+    /// `aggregate` entry point. Cluster shard execution
+    /// ([`DocStore::aggregate_stages`]) is exempt — the cluster layer
+    /// injects at its own shard boundary instead.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.lock() = plan;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().clone()
+    }
+
+    /// Consult the fault plan before running a pipeline.
+    fn check_faults(&self) -> Result<()> {
+        let plan = self.faults.lock().clone();
+        if let Some(plan) = plan {
+            let site = "docstore";
+            match plan.next_fault(site) {
+                None => {}
+                Some(FaultKind::Error) => {
+                    return Err(DocError::Transient(format!("injected fault at {site}")))
+                }
+                Some(FaultKind::Latency(d)) => std::thread::sleep(d),
+                Some(FaultKind::Hang(d)) => {
+                    std::thread::sleep(d);
+                    return Err(DocError::Transient(format!("injected hang at {site}")));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Empty store with index selection disabled (ablation benchmarks).
@@ -203,6 +239,7 @@ impl DocStore {
 
     /// Run an aggregation pipeline given as JSON text.
     pub fn aggregate(&self, collection: &str, pipeline_json: &str) -> Result<Vec<Value>> {
+        self.check_faults()?;
         let (results, out_target) = {
             let map = self.collections.read();
             let compiled = self.compiled(&map, collection, pipeline_json)?;
@@ -258,6 +295,7 @@ impl DocStore {
         collection: &str,
         pipeline_json: &str,
     ) -> Result<(Vec<Value>, Span)> {
+        self.check_faults()?;
         let started = std::time::Instant::now();
 
         let (rows, out_target, parse_span, plan_span, exec_span) = {

@@ -15,6 +15,9 @@ pub enum GraphError {
     Exec(String),
     /// Property value not storable in a node record (nested structures).
     UnsupportedProperty(String),
+    /// A transient (retryable) backend condition: a dropped connection,
+    /// a shard timeout, or an injected fault. Retrying may succeed.
+    Transient(String),
 }
 
 impl fmt::Display for GraphError {
@@ -27,11 +30,19 @@ impl fmt::Display for GraphError {
             GraphError::UnsupportedProperty(m) => {
                 write!(f, "unsupported property value: {m}")
             }
+            GraphError::Transient(m) => write!(f, "{m}"),
         }
     }
 }
 
 impl std::error::Error for GraphError {}
+
+impl GraphError {
+    /// Whether retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, GraphError::Transient(_))
+    }
+}
 
 /// Result alias.
 pub type Result<T> = std::result::Result<T, GraphError>;

@@ -201,6 +201,8 @@ pub struct GraphStore {
     version: std::sync::atomic::AtomicU64,
     /// Parsed queries keyed by Cypher text.
     plan_cache: polyframe_observe::VersionedCache<String, crate::cypher::CypherQuery>,
+    /// Optional fault-injection plan consulted at query entry points.
+    faults: polyframe_observe::sync::Mutex<Option<std::sync::Arc<polyframe_observe::FaultPlan>>>,
 }
 
 impl Default for GraphStore {
@@ -217,7 +219,39 @@ impl GraphStore {
             use_indexes: true,
             version: std::sync::atomic::AtomicU64::new(0),
             plan_cache: polyframe_observe::VersionedCache::new(PLAN_CACHE_CAPACITY),
+            faults: polyframe_observe::sync::Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) a fault-injection plan consulted at every query
+    /// entry point.
+    pub fn set_fault_plan(&self, plan: Option<std::sync::Arc<polyframe_observe::FaultPlan>>) {
+        *self.faults.lock() = plan;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<std::sync::Arc<polyframe_observe::FaultPlan>> {
+        self.faults.lock().clone()
+    }
+
+    /// Consult the fault plan before running a query.
+    fn check_faults(&self) -> Result<()> {
+        let plan = self.faults.lock().clone();
+        if let Some(plan) = plan {
+            let site = "graphstore";
+            match plan.next_fault(site) {
+                None => {}
+                Some(polyframe_observe::FaultKind::Error) => {
+                    return Err(GraphError::Transient(format!("injected fault at {site}")))
+                }
+                Some(polyframe_observe::FaultKind::Latency(d)) => std::thread::sleep(d),
+                Some(polyframe_observe::FaultKind::Hang(d)) => {
+                    std::thread::sleep(d);
+                    return Err(GraphError::Transient(format!("injected hang at {site}")));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Empty store with index usage disabled (ablation benchmarks).
@@ -308,6 +342,7 @@ impl GraphStore {
 
     /// Execute a Cypher query.
     pub fn query(&self, cypher: &str) -> Result<Vec<Value>> {
+        self.check_faults()?;
         let (ast, _) = self.parsed(cypher)?;
         let map = self.labels.read();
         crate::cypher::execute(&ast, &map, self.use_indexes)
@@ -319,6 +354,7 @@ impl GraphStore {
     /// and whether the parsed query came from the cache.
     pub fn query_traced(&self, cypher: &str) -> Result<(Vec<Value>, polyframe_observe::Span)> {
         use polyframe_observe::{Span, SpanTimer};
+        self.check_faults()?;
         let started = std::time::Instant::now();
 
         let mut parse_t = SpanTimer::start("parse");

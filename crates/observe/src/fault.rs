@@ -1,0 +1,312 @@
+//! Deterministic fault injection.
+//!
+//! Real distributed backends fail: shards time out, nodes drop queries,
+//! connections flap. A [`FaultPlan`] makes that failure behaviour
+//! *testable and reproducible*: every injection site (a shard, a
+//! single-node engine) asks the plan whether its next operation should
+//! fail, run slow, or hang, and the answer is a pure function of the
+//! plan's seed, the site name, and how many draws that site has made —
+//! independent of thread scheduling. Equal seeds therefore produce equal
+//! fault sequences per site, which is what makes retry/failover tests
+//! deterministic.
+//!
+//! Sites are free-form strings; the workspace uses
+//! `sqlengine/<Dialect>`, `docstore`, `graphstore` for the single-node
+//! engines and `sql-cluster/shard[i]` / `mongo-cluster/shard[i]` for the
+//! cluster layer.
+
+use crate::rng::Rng;
+use crate::sync::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails immediately with a transient (retryable) error.
+    Error,
+    /// The operation runs, but only after the given added latency.
+    Latency(Duration),
+    /// The operation hangs for the given duration and then fails with a
+    /// transient timeout-style error (a hung call that a client gave up
+    /// on; the bounded sleep keeps tests finite).
+    Hang(Duration),
+}
+
+/// A fault the plan injected, for determinism assertions and reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// The injection site that drew the fault.
+    pub site: String,
+    /// What was injected.
+    pub kind: FaultKind,
+    /// The site's draw index (0-based) at which it fired.
+    pub draw: u64,
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// Rates are independent probabilities evaluated in order
+/// (error, then latency, then hang) against one uniform draw per
+/// operation; a `max_faults` budget caps the total number of injections
+/// (draws keep advancing once the budget is spent, so the decision
+/// stream stays aligned across runs), and `for_sites` restricts
+/// injection to sites containing a substring (e.g. one shard).
+///
+/// ```
+/// use polyframe_observe::fault::{FaultKind, FaultPlan};
+///
+/// // Fail the first two operations, then behave.
+/// let plan = FaultPlan::new(42).with_error_rate(1.0).with_max_faults(2);
+/// assert_eq!(plan.next_fault("engine"), Some(FaultKind::Error));
+/// assert_eq!(plan.next_fault("engine"), Some(FaultKind::Error));
+/// assert_eq!(plan.next_fault("engine"), None);
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    error_rate: f64,
+    latency_rate: f64,
+    latency: Duration,
+    hang_rate: f64,
+    hang: Duration,
+    max_faults: Option<u64>,
+    site_filter: Option<String>,
+    injected: AtomicU64,
+    draws: Mutex<HashMap<String, u64>>,
+    log: Mutex<Vec<FaultEvent>>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (rates all zero) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Probability in `[0, 1]` that an operation fails outright.
+    pub fn with_error_rate(mut self, rate: f64) -> FaultPlan {
+        self.error_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability and duration of added latency.
+    pub fn with_latency(mut self, rate: f64, latency: Duration) -> FaultPlan {
+        self.latency_rate = rate.clamp(0.0, 1.0);
+        self.latency = latency;
+        self
+    }
+
+    /// Probability and duration of a hang (sleep, then transient failure).
+    pub fn with_hang(mut self, rate: f64, hang: Duration) -> FaultPlan {
+        self.hang_rate = rate.clamp(0.0, 1.0);
+        self.hang = hang;
+        self
+    }
+
+    /// Cap the total number of injected faults across all sites.
+    pub fn with_max_faults(mut self, n: u64) -> FaultPlan {
+        self.max_faults = Some(n);
+        self
+    }
+
+    /// Only inject at sites whose name contains `filter` (e.g.
+    /// `"shard[1]"` to fail one shard of a cluster).
+    pub fn for_sites(mut self, filter: impl Into<String>) -> FaultPlan {
+        self.site_filter = Some(filter.into());
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Ask whether `site`'s next operation should be faulted. Advances
+    /// the site's draw counter; the decision depends only on
+    /// `(seed, site, draw index)`.
+    pub fn next_fault(&self, site: &str) -> Option<FaultKind> {
+        if let Some(filter) = &self.site_filter {
+            if !site.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        let draw = {
+            let mut draws = self.draws.lock();
+            let slot = draws.entry(site.to_string()).or_insert(0);
+            let current = *slot;
+            *slot += 1;
+            current
+        };
+        let kind = self.decide(site, draw)?;
+        // Spend budget only on faults that would actually fire; the draw
+        // above is consumed either way, so the per-site decision stream
+        // is identical across runs regardless of budget.
+        if let Some(max) = self.max_faults {
+            let granted = self
+                .injected
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                    (n < max).then_some(n + 1)
+                })
+                .is_ok();
+            if !granted {
+                return None;
+            }
+        } else {
+            self.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        self.log.lock().push(FaultEvent {
+            site: site.to_string(),
+            kind,
+            draw,
+        });
+        Some(kind)
+    }
+
+    /// The pure decision function: what would fire at `(site, draw)`.
+    fn decide(&self, site: &str, draw: u64) -> Option<FaultKind> {
+        let mut rng = Rng::seed_from_u64(
+            self.seed ^ fnv1a64(site.as_bytes()) ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let u = rng.gen_f64();
+        if u < self.error_rate {
+            Some(FaultKind::Error)
+        } else if u < self.error_rate + self.latency_rate {
+            Some(FaultKind::Latency(self.latency))
+        } else if u < self.error_rate + self.latency_rate + self.hang_rate {
+            Some(FaultKind::Hang(self.hang))
+        } else {
+            None
+        }
+    }
+
+    /// Total faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot the injection log without draining it.
+    pub fn log(&self) -> Vec<FaultEvent> {
+        self.log.lock().clone()
+    }
+
+    /// Drain the injection log.
+    pub fn take_log(&self) -> Vec<FaultEvent> {
+        std::mem::take(&mut self.log.lock())
+    }
+}
+
+/// FNV-1a over the site name, so distinct sites get distinct streams.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_fault_sequence() {
+        let mk = || {
+            FaultPlan::new(1234)
+                .with_error_rate(0.3)
+                .with_latency(0.2, Duration::from_millis(1))
+                .with_hang(0.1, Duration::from_millis(2))
+        };
+        let a = mk();
+        let b = mk();
+        let seq_a: Vec<_> = (0..200).map(|_| a.next_fault("site")).collect();
+        let seq_b: Vec<_> = (0..200).map(|_| b.next_fault("site")).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(a.log(), b.log());
+        assert!(a.faults_injected() > 0);
+    }
+
+    #[test]
+    fn sites_draw_independent_streams() {
+        // Interleaving order must not matter: each site's decisions
+        // depend only on its own draw index.
+        let a = FaultPlan::new(7).with_error_rate(0.5);
+        let b = FaultPlan::new(7).with_error_rate(0.5);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for _ in 0..50 {
+            left.push(a.next_fault("x"));
+            right.push(b.next_fault("y")); // advance y first on plan b
+            right.push(b.next_fault("x"));
+            left.push(a.next_fault("y"));
+        }
+        let xs_a: Vec<_> = left.iter().step_by(2).collect();
+        let xs_b: Vec<_> = right.iter().skip(1).step_by(2).collect();
+        assert_eq!(xs_a, xs_b);
+    }
+
+    #[test]
+    fn budget_caps_injections_but_not_draws() {
+        let plan = FaultPlan::new(9).with_error_rate(1.0).with_max_faults(3);
+        let fired: Vec<_> = (0..10).map(|_| plan.next_fault("s")).collect();
+        assert_eq!(fired.iter().filter(|f| f.is_some()).count(), 3);
+        assert!(fired[..3].iter().all(Option::is_some));
+        assert_eq!(plan.faults_injected(), 3);
+        assert_eq!(plan.log().len(), 3);
+    }
+
+    #[test]
+    fn site_filter_restricts_injection() {
+        let plan = FaultPlan::new(3).with_error_rate(1.0).for_sites("shard[1]");
+        assert_eq!(plan.next_fault("sql-cluster/shard[0]"), None);
+        assert_eq!(
+            plan.next_fault("sql-cluster/shard[1]"),
+            Some(FaultKind::Error)
+        );
+        assert_eq!(plan.faults_injected(), 1);
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let plan = FaultPlan::new(0);
+        for _ in 0..100 {
+            assert_eq!(plan.next_fault("anywhere"), None);
+        }
+        assert_eq!(plan.faults_injected(), 0);
+    }
+
+    #[test]
+    fn rates_partition_into_kinds() {
+        let plan = FaultPlan::new(99)
+            .with_error_rate(0.2)
+            .with_latency(0.2, Duration::from_millis(5))
+            .with_hang(0.2, Duration::from_millis(7));
+        let mut errors = 0;
+        let mut lat = 0;
+        let mut hang = 0;
+        let mut none = 0;
+        for _ in 0..1000 {
+            match plan.next_fault("s") {
+                Some(FaultKind::Error) => errors += 1,
+                Some(FaultKind::Latency(d)) => {
+                    assert_eq!(d, Duration::from_millis(5));
+                    lat += 1;
+                }
+                Some(FaultKind::Hang(d)) => {
+                    assert_eq!(d, Duration::from_millis(7));
+                    hang += 1;
+                }
+                None => none += 1,
+            }
+        }
+        // Loose bounds: each bucket should land near 200/1000.
+        for (name, n) in [("error", errors), ("latency", lat), ("hang", hang)] {
+            assert!((100..320).contains(&n), "{name}: {n}");
+        }
+        assert!((280..520).contains(&none), "none: {none}");
+    }
+}

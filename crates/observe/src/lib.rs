@@ -20,17 +20,25 @@
 //!   idiom stays uniform without external dependencies.
 //! * [`rng`] — a small deterministic PRNG (SplitMix64) for reproducible
 //!   data generation and property-style tests in offline builds.
+//! * [`fault`] — a seeded, deterministic fault-injection plan the
+//!   engines and clusters consult so failure behaviour is reproducible.
+//! * [`policy`] — retry/backoff (with deterministic jitter) and
+//!   per-action deadline budgets shared by the resilient execution path.
 //!
 //! The crate deliberately has **no dependencies** (not even workspace
 //! ones) so it can sit underneath every other PolyFrame crate.
 
 pub mod cache;
 pub mod counters;
+pub mod fault;
+pub mod policy;
 pub mod rng;
 pub mod sync;
 pub mod trace;
 
 pub use cache::{CacheStats, VersionedCache};
 pub use counters::{Counter, CounterSnapshot, Counters};
+pub use fault::{FaultEvent, FaultKind, FaultPlan};
+pub use policy::{Deadline, RetryPolicy};
 pub use rng::Rng;
 pub use trace::{QueryTrace, Span, SpanTimer, TraceCell};

@@ -1,0 +1,194 @@
+//! Retry and deadline policies for resilient query execution.
+//!
+//! [`RetryPolicy`] describes exponential backoff with deterministic,
+//! seeded jitter (so a fixed seed reproduces the identical backoff
+//! trace); [`Deadline`] is a started wall-clock budget an action must
+//! finish within. Both are plain data shared by the connector layer
+//! (whole-query retry) and the cluster layer (per-shard failover).
+
+use crate::rng::Rng;
+use std::time::{Duration, Instant};
+
+/// Exponential backoff with a retry cap and seeded jitter.
+///
+/// Retry `i` (1-based) waits `base * 2^(i-1)`, capped at `max_backoff`,
+/// scaled by a jitter factor in `[1 - jitter, 1 + jitter]` drawn
+/// deterministically from `(seed, i)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the first attempt (0 = no retry).
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Jitter fraction in `[0, 1]`: each backoff is scaled by a factor
+    /// in `[1 - jitter, 1 + jitter]`.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No retries: a single attempt, surfacing the first error.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 0,
+            base_backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Up to `n` retries with a 1 ms base, 64 ms cap and 10% jitter.
+    pub fn retries(n: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: n,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(64),
+            jitter: 0.1,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Builder: override the base backoff.
+    pub fn with_base_backoff(mut self, base: Duration) -> RetryPolicy {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Builder: override the backoff cap.
+    pub fn with_max_backoff(mut self, cap: Duration) -> RetryPolicy {
+        self.max_backoff = cap;
+        self
+    }
+
+    /// Builder: override the jitter fraction.
+    pub fn with_jitter(mut self, jitter: f64) -> RetryPolicy {
+        self.jitter = jitter.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Builder: override the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> RetryPolicy {
+        self.seed = seed;
+        self
+    }
+
+    /// The backoff to sleep before retry `retry` (1-based). Deterministic
+    /// for a fixed policy.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        // Saturate the exponent so huge retry counts cannot overflow.
+        let doublings = (retry - 1).min(20);
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << doublings)
+            .min(self.max_backoff);
+        if self.jitter <= 0.0 {
+            return exp;
+        }
+        let u = Rng::seed_from_u64(self.seed ^ (retry as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .gen_f64();
+        let factor = 1.0 + self.jitter * (2.0 * u - 1.0);
+        exp.mul_f64(factor)
+    }
+}
+
+/// A started per-action time budget.
+#[derive(Debug, Clone)]
+pub struct Deadline {
+    started: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// Start the clock on a budget.
+    pub fn start(budget: Duration) -> Deadline {
+        Deadline {
+            started: Instant::now(),
+            budget,
+        }
+    }
+
+    /// The full budget.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Time left, saturating at zero.
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.started.elapsed())
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_zero()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy::retries(10)
+            .with_base_backoff(Duration::from_millis(2))
+            .with_max_backoff(Duration::from_millis(16))
+            .with_jitter(0.0);
+        assert_eq!(p.backoff(1), Duration::from_millis(2));
+        assert_eq!(p.backoff(2), Duration::from_millis(4));
+        assert_eq!(p.backoff(3), Duration::from_millis(8));
+        assert_eq!(p.backoff(4), Duration::from_millis(16));
+        assert_eq!(p.backoff(5), Duration::from_millis(16)); // capped
+        assert_eq!(p.backoff(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::retries(5)
+            .with_base_backoff(Duration::from_millis(10))
+            .with_max_backoff(Duration::from_secs(1))
+            .with_jitter(0.25)
+            .with_seed(42);
+        let q = p.clone();
+        for i in 1..=5 {
+            assert_eq!(p.backoff(i), q.backoff(i));
+            let nominal = Duration::from_millis(10).saturating_mul(1 << (i - 1));
+            let b = p.backoff(i);
+            assert!(
+                b >= nominal.mul_f64(0.75) && b <= nominal.mul_f64(1.25),
+                "{b:?}"
+            );
+        }
+        // A different seed shifts the jitter.
+        let r = p.clone().with_seed(43);
+        assert!((1..=5).any(|i| r.backoff(i) != p.backoff(i)));
+    }
+
+    #[test]
+    fn huge_retry_counts_do_not_overflow() {
+        let p = RetryPolicy::retries(u32::MAX).with_jitter(0.0);
+        assert_eq!(p.backoff(u32::MAX), p.max_backoff);
+    }
+
+    #[test]
+    fn deadline_counts_down() {
+        let d = Deadline::start(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining() <= Duration::from_secs(60));
+        let z = Deadline::start(Duration::ZERO);
+        assert!(z.expired());
+        assert_eq!(z.remaining(), Duration::ZERO);
+    }
+}

@@ -80,6 +80,12 @@ impl Span {
         &self.name
     }
 
+    /// Rename the stage (used by the retry driver to re-label a backend
+    /// span as one `attempt`/`retry[i]` of a resilient execution).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
     /// Stage duration.
     pub fn duration(&self) -> Duration {
         self.duration

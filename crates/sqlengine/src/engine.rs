@@ -2,7 +2,7 @@
 
 use crate::catalog::Database;
 use crate::dialect::Dialect;
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::exec::{ExecOptions, Executor};
 use crate::parser::parse;
 use crate::personality::Personality;
@@ -12,8 +12,8 @@ use crate::plan::logical::LogicalPlan;
 use crate::plan::optimizer::optimize;
 use crate::plan::physical::{plan_physical, PhysicalPlan, PlannerOptions};
 use polyframe_datamodel::{Record, Value};
-use polyframe_observe::sync::RwLock;
-use polyframe_observe::{CacheStats, Span, SpanTimer};
+use polyframe_observe::sync::{Mutex, RwLock};
+use polyframe_observe::{CacheStats, FaultKind, FaultPlan, Span, SpanTimer};
 use polyframe_storage::TableOptions;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,6 +80,7 @@ pub struct Engine {
     config: EngineConfig,
     db: RwLock<Database>,
     plan_cache: PlanCache,
+    faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 /// A compiled query: the shared cache entry, whether it came from the
@@ -98,7 +99,40 @@ impl Engine {
             config,
             db: RwLock::new(Database::new()),
             plan_cache: PlanCache::new(),
+            faults: Mutex::new(None),
         }
+    }
+
+    /// Install (or clear) a fault-injection plan consulted at every
+    /// query entry point. Cluster shard execution is exempt — the
+    /// cluster layer injects at its own shard boundary instead.
+    pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        *self.faults.lock() = plan;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.faults.lock().clone()
+    }
+
+    /// Consult the fault plan before running a query.
+    fn check_faults(&self) -> Result<()> {
+        let plan = self.faults.lock().clone();
+        if let Some(plan) = plan {
+            let site = format!("sqlengine/{:?}", self.config.dialect);
+            match plan.next_fault(&site) {
+                None => {}
+                Some(FaultKind::Error) => {
+                    return Err(EngineError::transient(format!("injected fault at {site}")))
+                }
+                Some(FaultKind::Latency(d)) => std::thread::sleep(d),
+                Some(FaultKind::Hang(d)) => {
+                    std::thread::sleep(d);
+                    return Err(EngineError::transient(format!("injected hang at {site}")));
+                }
+            }
+        }
+        Ok(())
     }
 
     /// This engine's configuration.
@@ -197,6 +231,7 @@ impl Engine {
 
     /// Parse, plan, optimize and execute a query.
     pub fn query(&self, sql: &str) -> Result<Vec<Value>> {
+        self.check_faults()?;
         let db = self.db.read();
         let compiled = self.compiled(sql, &db)?;
         let (rows, _) = Executor::new(&db).run_with(&compiled.plan.physical, &self.config.exec)?;
@@ -209,6 +244,7 @@ impl Engine {
     /// whether the plan came from the cache; the `exec` child carries the
     /// worker parallelism and one `morsel[i]` child per morsel.
     pub fn query_traced(&self, sql: &str) -> Result<(Vec<Value>, Span)> {
+        self.check_faults()?;
         let started = Instant::now();
         let db = self.db.read();
         let Compiled {

@@ -35,6 +35,12 @@ pub enum EngineError {
         /// The missing dataset's name.
         dataset: String,
     },
+    /// A transient (retryable) backend condition: a dropped connection,
+    /// a shard timeout, or an injected fault. Retrying may succeed.
+    Transient {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -49,6 +55,7 @@ impl fmt::Display for EngineError {
             EngineError::UnknownDataset { namespace, dataset } => {
                 write!(f, "unknown dataset: {namespace}.{dataset}")
             }
+            EngineError::Transient { message } => write!(f, "{message}"),
         }
     }
 }
@@ -75,6 +82,18 @@ impl EngineError {
         EngineError::Parse {
             message: message.into(),
         }
+    }
+
+    /// Shorthand constructor for transient (retryable) errors.
+    pub fn transient(message: impl Into<String>) -> EngineError {
+        EngineError::Transient {
+            message: message.into(),
+        }
+    }
+
+    /// Whether retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::Transient { .. })
     }
 }
 
