@@ -34,7 +34,7 @@ fn ablation(c: &mut Runner) {
 
     // (b) backend compile cost for the deep onion (filters merge into one).
     let engine = Engine::new(EngineConfig::asterixdb());
-    engine.create_dataset("Test", "data", Some("ten"));
+    engine.create_dataset("Test", "data", Some("ten")).unwrap();
     let mut g = c.benchmark_group("chain_compile");
     for depth in [1usize, 8, 32, 64] {
         let q = build_chain(&tr, depth);

@@ -22,7 +22,9 @@ fn engines() -> (Engine, Engine) {
         ..EngineConfig::postgres()
     });
     for engine in [&on, &off] {
-        engine.create_dataset("public", "data", Some("unique2"));
+        engine
+            .create_dataset("public", "data", Some("unique2"))
+            .unwrap();
         engine.load("public", "data", records.clone()).unwrap();
         for attr in ["unique1", "ten", "onePercent", "tenPercent"] {
             engine.create_index("public", "data", attr).unwrap();

@@ -40,7 +40,7 @@ fn config_for(personality: &str) -> EngineConfig {
 /// so index selection runs during planning.
 pub fn plan_cache_engine(personality: &str) -> Engine {
     let engine = Engine::new(config_for(personality));
-    engine.create_dataset(NS, DS, Some("unique2"));
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
     engine
         .load(NS, DS, generate(&WisconsinConfig::new(100)))
         .unwrap();
@@ -123,7 +123,7 @@ pub fn plan_cache_ablation(samples: usize) -> Vec<PlanCacheAblation> {
 /// uses `workers` morsel workers (1 = the serial path).
 pub fn scan_engine(num_records: usize, workers: usize) -> Engine {
     let engine = Engine::new(config_for("postgres").with_exec(ExecOptions::with_workers(workers)));
-    engine.create_dataset(NS, DS, Some("unique2"));
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
     engine
         .load(NS, DS, generate(&WisconsinConfig::new(num_records)))
         .unwrap();

@@ -10,6 +10,7 @@
 //! harness sizes       [--scale N]                                  Table IV
 //! harness faults      [--records N] [--shards N] [--seed N]
 //!                      [--json PATH]                                recovery overhead
+//! harness recovery    [--records N] [--seed N] [--json PATH]       WAL crash recovery
 //! ```
 //!
 //! `--scale` sets the XS record count (default 20 000; the paper used
@@ -107,12 +108,17 @@ fn main() {
             let seed = get_flag("--seed", 42) as u64;
             faults(records, shards, seed, get_str_flag("--json"));
         }
+        "recovery" => {
+            let records = get_flag("--records", 5_000);
+            let seed = get_flag("--seed", 42) as u64;
+            recovery(records, seed, get_str_flag("--json"));
+        }
         _ => {
             eprintln!(
-                "usage: harness <single-node|speedup|scaleup|translate|sizes|ablations|faults> [options]\n\
+                "usage: harness <single-node|speedup|scaleup|translate|sizes|ablations|faults|recovery> [options]\n\
                  options: --size xs|s|m|l|xl|empty|all, --scale N, --shards N, --records N,\n\
-                 --samples N (ablations), --seed N (faults),\n\
-                 --json PATH (single-node/ablations/faults: JSON report)"
+                 --samples N (ablations), --seed N (faults/recovery),\n\
+                 --json PATH (single-node/ablations/faults/recovery: JSON report)"
             );
         }
     }
@@ -338,6 +344,78 @@ fn faults(records: usize, shards: usize, seed: u64, json_path: Option<String>) {
         std::process::exit(1);
     }
     println!("\nall retry/failover recoveries returned fault-free results");
+
+    if let Some(path) = json_path {
+        let recs: Vec<String> = runs.iter().map(|r| r.to_json(records, seed)).collect();
+        let body = format!("[\n{}\n]\n", recs.join(",\n"));
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {} JSON records to {path}", recs.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Durability cost: every backend loads with the WAL on, restarts from
+/// snapshot + log tail, and proves the rebuilt store byte-identical;
+/// a torn final write must recover to exactly the committed prefix.
+fn recovery(records: usize, seed: u64, json_path: Option<String>) {
+    use polyframe_bench::recovery::recovery_runs;
+
+    println!("\n=== Crash recovery: {records} records, seed {seed} ===");
+    let runs = recovery_runs(records, seed);
+
+    let mut table = Table::new(&[
+        "system",
+        "load",
+        "recover",
+        "appends",
+        "checkpoints",
+        "snapshot ops",
+        "replayed",
+        "rows",
+        "lsn",
+        "state",
+        "torn tail",
+    ]);
+    for run in &runs {
+        table.row(vec![
+            run.system.to_string(),
+            fmt_duration(run.load),
+            fmt_duration(run.recover),
+            run.appends.to_string(),
+            run.checkpoints.to_string(),
+            run.report.snapshot_ops.to_string(),
+            run.report.replayed_records.to_string(),
+            run.report.restored_rows.to_string(),
+            run.report.recovered_lsn.to_string(),
+            if run.identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+            .to_string(),
+            if run.torn_lossless {
+                "lossless"
+            } else {
+                "LOST DATA"
+            }
+            .to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let broken = runs
+        .iter()
+        .filter(|r| !r.identical || !r.torn_lossless)
+        .count();
+    if broken > 0 {
+        eprintln!("\n{broken} recovery run(s) diverged from the committed state");
+        std::process::exit(1);
+    }
+    println!("\nall recoveries rebuilt byte-identical stores from snapshot + log tail");
 
     if let Some(path) = json_path {
         let recs: Vec<String> = runs.iter().map(|r| r.to_json(records, seed)).collect();

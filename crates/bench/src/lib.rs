@@ -13,13 +13,17 @@
 //! plus a JSON report with per-stage trace breakdowns; the micro-benches
 //! (`benches/`, built on [`microbench`]) provide per-figure timings. The
 //! [`faults`] module adds a recovery-overhead report (`harness faults`)
-//! measuring what retry, failover and partial-result degradation cost.
+//! measuring what retry, failover and partial-result degradation cost,
+//! and the [`recovery`] module a durability report (`harness recovery`)
+//! measuring what WAL-based crash recovery costs and proving the
+//! rebuilt stores byte-identical.
 
 pub mod ablations;
 pub mod expressions;
 pub mod faults;
 pub mod microbench;
 pub mod params;
+pub mod recovery;
 pub mod report;
 pub mod systems;
 pub mod timing;

@@ -1,0 +1,281 @@
+//! The durability report behind `harness recovery`: measure what crash
+//! recovery costs.
+//!
+//! Every single-node backend loads the same Wisconsin data with the
+//! write-ahead log enabled, then simulates a process restart: volatile
+//! state is wiped and rebuilt from the latest checkpoint plus the
+//! committed log tail. The report compares the rebuilt store against
+//! the pre-crash state byte-for-byte (via the checkpoint encoding) and
+//! shows what the log cost (appends, checkpoints) and what recovery
+//! restored (snapshot ops, replayed records, rows, recovered LSN).
+//!
+//! A second scenario per backend tears the *next* durable write — only
+//! a prefix of the frame reaches the media before the simulated process
+//! death — and checks that the store comes back holding exactly the
+//! committed prefix: a torn tail is data loss of the in-flight op only,
+//! never of committed history.
+
+use polyframe_docstore::DocStore;
+use polyframe_graphstore::GraphStore;
+use polyframe_observe::FaultPlan;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use polyframe_storage::{encode_ops, CheckpointPolicy, LogMedia, RecoveryReport, WalStats};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NS: &str = "Test";
+const DS: &str = "wisconsin";
+
+/// Checkpoint every N appends: small enough that the load crosses
+/// several checkpoint boundaries even at smoke-test sizes.
+const CHECKPOINT_EVERY: u64 = 4;
+
+/// One line of the recovery report.
+#[derive(Debug, Clone)]
+pub struct RecoveryRun {
+    /// System name (paper legend).
+    pub system: &'static str,
+    /// Wall time to load the data with the WAL enabled.
+    pub load: Duration,
+    /// Wall time to rebuild the store from snapshot + log tail.
+    pub recover: Duration,
+    /// Log frames appended during the load.
+    pub appends: u64,
+    /// Snapshot checkpoints installed during the load.
+    pub checkpoints: u64,
+    /// What recovery found and did.
+    pub report: RecoveryReport,
+    /// Whether the rebuilt store is byte-identical to the pre-crash one.
+    pub identical: bool,
+    /// Whether a torn final write recovered to exactly the committed
+    /// prefix (and the store stayed writable afterwards).
+    pub torn_lossless: bool,
+}
+
+impl RecoveryRun {
+    /// The report line as a JSON record.
+    pub fn to_json(&self, records: usize, seed: u64) -> String {
+        format!(
+            "{{\"system\":\"{}\",\"records\":{records},\"seed\":{seed},\
+             \"load_ns\":{},\"recover_ns\":{},\"appends\":{},\"checkpoints\":{},\
+             \"snapshot_ops\":{},\"replayed_records\":{},\"restored_rows\":{},\
+             \"recovered_lsn\":{},\"identical\":{},\"torn_lossless\":{}}}",
+            self.system,
+            self.load.as_nanos(),
+            self.recover.as_nanos(),
+            self.appends,
+            self.checkpoints,
+            self.report.snapshot_ops,
+            self.report.replayed_records,
+            self.report.restored_rows,
+            self.report.recovered_lsn,
+            self.identical,
+            self.torn_lossless,
+        )
+    }
+}
+
+/// One durable store under test, behind a uniform face.
+enum Store {
+    Sql(Engine),
+    Doc(DocStore),
+    Graph(GraphStore),
+}
+
+impl Store {
+    fn build(system: &'static str) -> Store {
+        let policy = CheckpointPolicy::every(CHECKPOINT_EVERY);
+        match system {
+            "AsterixDB" | "PostgreSQL" => {
+                let e = Engine::new(if system == "AsterixDB" {
+                    EngineConfig::asterixdb()
+                } else {
+                    EngineConfig::postgres()
+                });
+                e.enable_durability(LogMedia::new(), policy)
+                    .expect("fresh media recovers clean");
+                Store::Sql(e)
+            }
+            "MongoDB" => {
+                let d = DocStore::new();
+                d.enable_durability(LogMedia::new(), policy)
+                    .expect("fresh media recovers clean");
+                Store::Doc(d)
+            }
+            "Neo4j" => {
+                let g = GraphStore::new();
+                g.enable_durability(LogMedia::new(), policy)
+                    .expect("fresh media recovers clean");
+                Store::Graph(g)
+            }
+            other => panic!("unknown system {other}"),
+        }
+    }
+
+    /// The store's WAL fault-site prefix (`{site}/wal/append` etc.).
+    fn wal_site(&self) -> String {
+        match self {
+            Store::Sql(e) => format!("sqlengine/{:?}", e.config().dialect),
+            Store::Doc(_) => "docstore".to_string(),
+            Store::Graph(_) => "graphstore".to_string(),
+        }
+    }
+
+    fn create(&self) -> Result<(), String> {
+        match self {
+            Store::Sql(e) => e
+                .create_dataset(NS, DS, Some("unique2"))
+                .map_err(|e| e.to_string()),
+            Store::Doc(d) => d.create_collection(DS).map_err(|e| e.to_string()),
+            Store::Graph(g) => g.create_label(DS).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn ingest(&self, batch: &[polyframe_datamodel::Record]) -> Result<(), String> {
+        match self {
+            Store::Sql(e) => e.load(NS, DS, batch.to_vec()).map_err(|e| e.to_string()),
+            Store::Doc(d) => d
+                .insert_many(DS, batch.to_vec())
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            Store::Graph(g) => g
+                .insert_nodes(DS, batch.to_vec())
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    fn index(&self, attr: &str) -> Result<(), String> {
+        match self {
+            Store::Sql(e) => e
+                .create_index(NS, DS, attr)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            Store::Doc(d) => d
+                .create_index(DS, attr)
+                .map(|_| ())
+                .map_err(|e| e.to_string()),
+            Store::Graph(g) => g.create_index(DS, attr).map_err(|e| e.to_string()),
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        match self {
+            Store::Sql(e) => encode_ops(&e.durable_snapshot()),
+            Store::Doc(d) => encode_ops(&d.durable_snapshot()),
+            Store::Graph(g) => encode_ops(&g.durable_snapshot()),
+        }
+    }
+
+    fn wal_stats(&self) -> WalStats {
+        match self {
+            Store::Sql(e) => e.wal_stats(),
+            Store::Doc(d) => d.wal_stats(),
+            Store::Graph(g) => g.wal_stats(),
+        }
+        .expect("durability is enabled")
+    }
+
+    fn recover(&self) -> RecoveryReport {
+        match self {
+            Store::Sql(e) => e.recover().expect("clean log recovers"),
+            Store::Doc(d) => d.recover().expect("clean log recovers"),
+            Store::Graph(g) => g.recover().expect("clean log recovers"),
+        }
+    }
+
+    fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
+        match self {
+            Store::Sql(e) => e.set_fault_plan(plan),
+            Store::Doc(d) => d.set_fault_plan(plan),
+            Store::Graph(g) => g.set_fault_plan(plan),
+        }
+    }
+}
+
+/// Load → restart → verify, then tear the next write and verify again,
+/// for one backend.
+fn run_system(
+    system: &'static str,
+    records: &[polyframe_datamodel::Record],
+    seed: u64,
+) -> RecoveryRun {
+    let store = Store::build(system);
+    let batch = (records.len() / 8).max(1);
+
+    let t0 = Instant::now();
+    store.create().expect("create is durable and clean");
+    for chunk in records.chunks(batch) {
+        store.ingest(chunk).expect("ingest is durable and clean");
+    }
+    store.index("unique1").expect("index is durable and clean");
+    let load = t0.elapsed();
+
+    let stats = store.wal_stats();
+    let before = store.snapshot();
+
+    // Simulated restart: wipe volatile state, rebuild from the media.
+    let t0 = Instant::now();
+    let report = store.recover();
+    let recover = t0.elapsed();
+    let identical = store.snapshot() == before;
+
+    // Tear the next durable write mid-frame: the store must come back
+    // holding exactly the committed prefix and stay writable.
+    store.set_fault_plan(Some(Arc::new(FaultPlan::torn_at(
+        seed,
+        format!("{}/wal/append", store.wal_site()),
+        0,
+    ))));
+    let torn_failed = store.ingest(&records[..batch.min(records.len())]).is_err();
+    store.set_fault_plan(None);
+    let torn_lossless = torn_failed
+        && store.snapshot() == before
+        && store.ingest(&records[..batch.min(records.len())]).is_ok();
+
+    RecoveryRun {
+        system,
+        load,
+        recover,
+        appends: stats.appends,
+        checkpoints: stats.checkpoints,
+        report,
+        identical,
+        torn_lossless,
+    }
+}
+
+/// The full report: all four single-node backends over the same data.
+pub fn recovery_runs(records: usize, seed: u64) -> Vec<RecoveryRun> {
+    let data = generate(&WisconsinConfig::new(records));
+    ["AsterixDB", "PostgreSQL", "MongoDB", "Neo4j"]
+        .into_iter()
+        .map(|system| run_system(system, &data, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_backend_recovers_byte_identical() {
+        for run in recovery_runs(400, 7) {
+            assert!(run.identical, "{}: recovery changed the state", run.system);
+            assert!(run.torn_lossless, "{}: torn tail lost data", run.system);
+            assert!(run.checkpoints > 0, "{}: never checkpointed", run.system);
+            assert!(
+                run.report.snapshot_ops > 0,
+                "{}: snapshot unused",
+                run.system
+            );
+            assert!(
+                run.report.restored_rows >= 400,
+                "{}: restored only {} rows",
+                run.system,
+                run.report.restored_rows
+            );
+        }
+    }
+}

@@ -117,7 +117,7 @@ impl SingleNodeSetup {
         let greenplum = Arc::new(Engine::new(EngineConfig::greenplum()));
         for engine in [&asterix, &postgres, &greenplum] {
             for ds in [DS, DS2] {
-                engine.create_dataset(NS, ds, Some("unique2"));
+                engine.create_dataset(NS, ds, Some("unique2")).unwrap();
                 engine.load(NS, ds, records.clone()).unwrap();
                 for attr in INDEXED {
                     engine.create_index(NS, ds, attr).unwrap();
@@ -128,7 +128,7 @@ impl SingleNodeSetup {
         let mongo = Arc::new(DocStore::new());
         for ds in [DS, DS2] {
             let coll = format!("{NS}.{ds}");
-            mongo.create_collection(&coll);
+            mongo.create_collection(&coll).unwrap();
             mongo.insert_many(&coll, records.clone()).unwrap();
             for attr in INDEXED {
                 mongo.create_index(&coll, attr).unwrap();
@@ -137,7 +137,7 @@ impl SingleNodeSetup {
 
         let neo4j = Arc::new(GraphStore::new());
         for ds in [DS, DS2] {
-            neo4j.create_label(ds);
+            neo4j.create_label(ds).unwrap();
             neo4j.insert_nodes(ds, records.clone()).unwrap();
             for attr in INDEXED {
                 neo4j.create_index(ds, attr).unwrap();
@@ -265,7 +265,7 @@ impl MultiNodeSetup {
         ));
         for cluster in [&asterix, &greenplum] {
             for ds in [DS, DS2] {
-                cluster.create_dataset(NS, ds, Some("unique2"));
+                cluster.create_dataset(NS, ds, Some("unique2")).unwrap();
                 cluster.load(NS, ds, records.clone()).unwrap();
                 for attr in INDEXED {
                     cluster.create_index(NS, ds, attr).unwrap();
@@ -276,7 +276,7 @@ impl MultiNodeSetup {
         let mongo = Arc::new(MongoCluster::new(shards));
         for ds in [DS, DS2] {
             let coll = format!("{NS}.{ds}");
-            mongo.create_collection(&coll);
+            mongo.create_collection(&coll).unwrap();
             mongo.insert_many(&coll, records.clone()).unwrap();
             for attr in INDEXED {
                 mongo.create_index(&coll, attr).unwrap();

@@ -1,8 +1,8 @@
 //! Sharded MongoDB ("mongos") cluster.
 
 use crate::partition::shard_for;
-use crate::resilience::{run_resilient, shard_fault, ShardOutcome, ShardPolicy};
-use crate::stats::{ExecMode, QueryStats, StatsRecorder};
+use crate::resilience::{run_resilient, shard_fault, ShardFault, ShardOutcome, ShardPolicy};
+use crate::stats::{ExecMode, QueryStats, RecoveryCounters, StatsRecorder};
 use polyframe_datamodel::{Record, Value};
 use polyframe_docstore::distributed::{
     apply_stages_to_rows, merge_counts, merge_groups, merge_topk, partial_group, split,
@@ -11,6 +11,7 @@ use polyframe_docstore::distributed::{
 use polyframe_docstore::{DocError, DocStore, Result};
 use polyframe_observe::sync::Mutex;
 use polyframe_observe::FaultPlan;
+use polyframe_storage::{CheckpointPolicy, LogMedia, RecoveryReport};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -83,9 +84,41 @@ impl MongoCluster {
     }
 
     /// Create a collection on every shard.
-    pub fn create_collection(&self, name: &str) {
+    pub fn create_collection(&self, name: &str) -> Result<()> {
         for s in &self.shards {
-            s.create_collection(name);
+            s.create_collection(name)?;
+        }
+        Ok(())
+    }
+
+    /// Give every shard its own write-ahead log (a fresh [`LogMedia`]
+    /// per shard, as each node of a real cluster owns its own disk) and
+    /// recover whatever committed state each log holds. A shard that
+    /// crashes mid-query afterwards rebuilds from its own log before
+    /// rejoining.
+    pub fn enable_durability(&self, policy: CheckpointPolicy) -> Result<Vec<RecoveryReport>> {
+        self.shards
+            .iter()
+            .map(|s| s.enable_durability(LogMedia::new(), policy))
+            .collect()
+    }
+
+    /// Handle an injected crash on shard `i`: when the shard has a log,
+    /// rebuild it (counting the recovery), then report a transient
+    /// failure so the failover loop re-dispatches against the rebuilt
+    /// shard. Without a log the crash degrades to a plain transient
+    /// fault.
+    fn recover_shard(&self, i: usize, msg: String, recovery: &RecoveryCounters) -> DocError {
+        if !self.shards[i].durability_enabled() {
+            return DocError::Transient(msg);
+        }
+        let start = Instant::now();
+        match self.shards[i].recover() {
+            Ok(report) => {
+                recovery.record(report.replayed_records, start.elapsed());
+                DocError::Transient(format!("{msg}; shard rebuilt from log"))
+            }
+            Err(e) => e,
         }
     }
 
@@ -171,16 +204,17 @@ impl MongoCluster {
                 shard_stages,
                 limit,
             } => {
-                let mut scatter = self.run_shards(collection, policy, move |shard, coll| {
-                    shard.aggregate_stages(coll, &shard_stages)
-                })?;
+                let (mut scatter, recovery) =
+                    self.run_shards(collection, policy, move |shard, coll| {
+                        shard.aggregate_stages(coll, &shard_stages)
+                    })?;
                 let merge_start = Instant::now();
                 let parts = std::mem::take(&mut scatter.parts);
                 let mut rows: Vec<Value> = parts.into_iter().flatten().collect();
                 if let Some(n) = limit {
                     rows.truncate(n as usize);
                 }
-                self.record(compile, merge_start.elapsed(), scatter);
+                self.record(compile, merge_start.elapsed(), scatter, &recovery);
                 Ok(rows)
             }
             MongoDistributed::SumCount {
@@ -188,14 +222,15 @@ impl MongoCluster {
                 name,
                 post,
             } => {
-                let mut scatter = self.run_shards(collection, policy, move |shard, coll| {
-                    shard.aggregate_stages(coll, &shard_stages)
-                })?;
+                let (mut scatter, recovery) =
+                    self.run_shards(collection, policy, move |shard, coll| {
+                        shard.aggregate_stages(coll, &shard_stages)
+                    })?;
                 let merge_start = Instant::now();
                 let parts = std::mem::take(&mut scatter.parts);
                 let merged = merge_counts(parts, &name);
                 let out = apply_stages_to_rows(merged, &post);
-                self.record(compile, merge_start.elapsed(), scatter);
+                self.record(compile, merge_start.elapsed(), scatter, &recovery);
                 out
             }
             MongoDistributed::Regroup {
@@ -207,15 +242,16 @@ impl MongoCluster {
                 // Each shard runs the pre-group prefix AND the partial
                 // grouping, so the reduction happens shard-side.
                 let accs_for_merge = accs.clone();
-                let mut scatter = self.run_shards(collection, policy, move |shard, coll| {
-                    let rows = shard.aggregate_stages(coll, &shard_stages)?;
-                    partial_group(rows, &id, &accs)
-                })?;
+                let (mut scatter, recovery) =
+                    self.run_shards(collection, policy, move |shard, coll| {
+                        let rows = shard.aggregate_stages(coll, &shard_stages)?;
+                        partial_group(rows, &id, &accs)
+                    })?;
                 let merge_start = Instant::now();
                 let parts = std::mem::take(&mut scatter.parts);
                 let merged = merge_groups(parts, &accs_for_merge)?;
                 let out = apply_stages_to_rows(merged, &post);
-                self.record(compile, merge_start.elapsed(), scatter);
+                self.record(compile, merge_start.elapsed(), scatter, &recovery);
                 out
             }
             MongoDistributed::TopK {
@@ -224,27 +260,37 @@ impl MongoCluster {
                 limit,
                 post,
             } => {
-                let mut scatter = self.run_shards(collection, policy, move |shard, coll| {
-                    shard.aggregate_stages(coll, &shard_stages)
-                })?;
+                let (mut scatter, recovery) =
+                    self.run_shards(collection, policy, move |shard, coll| {
+                        shard.aggregate_stages(coll, &shard_stages)
+                    })?;
                 let merge_start = Instant::now();
                 let parts = std::mem::take(&mut scatter.parts);
                 let merged = merge_topk(parts, &sort, limit);
                 let out = apply_stages_to_rows(merged, &post);
-                self.record(compile, merge_start.elapsed(), scatter);
+                self.record(compile, merge_start.elapsed(), scatter, &recovery);
                 out
             }
         }
     }
 
-    fn record<T>(&self, compile: Duration, merge: Duration, scatter: ShardOutcome<T>) {
-        self.stats.record(QueryStats {
+    fn record<T>(
+        &self,
+        compile: Duration,
+        merge: Duration,
+        scatter: ShardOutcome<T>,
+        recovery: &RecoveryCounters,
+    ) {
+        let mut stats = QueryStats {
             compile,
             shard_times: scatter.shard_times,
             merge,
             failovers: scatter.failovers,
             dropped_shards: scatter.dropped_shards,
-        });
+            ..QueryStats::default()
+        };
+        recovery.fold_into(&mut stats);
+        self.stats.record(stats);
     }
 
     /// Run one unit of work per shard, timing each, with per-shard
@@ -254,23 +300,29 @@ impl MongoCluster {
         collection: &str,
         policy: &ShardPolicy,
         work: F,
-    ) -> Result<ShardOutcome<Vec<Value>>>
+    ) -> Result<(ShardOutcome<Vec<Value>>, RecoveryCounters)>
     where
         F: Fn(&DocStore, &str) -> Result<Vec<Value>> + Sync,
     {
         let faults = self.fault_plan();
-        run_resilient(
+        let recovery = RecoveryCounters::new();
+        let out = run_resilient(
             self.shards.len(),
             self.mode,
             policy,
             DocError::is_transient,
             |i| {
-                if let Some(msg) = shard_fault(faults.as_deref(), "mongo-cluster", i) {
-                    return Err(DocError::Transient(msg));
+                match shard_fault(faults.as_deref(), "mongo-cluster", i) {
+                    Some(ShardFault::Transient(msg)) => return Err(DocError::Transient(msg)),
+                    Some(ShardFault::Crash(msg)) => {
+                        return Err(self.recover_shard(i, msg, &recovery))
+                    }
+                    None => {}
                 }
                 work(&self.shards[i], collection)
             },
-        )
+        )?;
+        Ok((out, recovery))
     }
 }
 
@@ -282,7 +334,7 @@ mod tests {
 
     fn cluster(n: usize) -> MongoCluster {
         let c = MongoCluster::new(n);
-        c.create_collection("d");
+        c.create_collection("d").unwrap();
         c.insert_many(
             "d",
             (0..100i64).map(|i| record! {"grp" => i % 4, "val" => i}),
@@ -407,6 +459,35 @@ mod tests {
         let lost = c.shard(0).count_documents("d").unwrap() as i64;
         assert_eq!(out[0].get_path("count"), Value::Int(100 - lost));
         assert_eq!(c.last_stats().unwrap().dropped_shards, vec![0]);
+    }
+
+    #[test]
+    fn crashed_shard_rebuilds_from_its_log() {
+        let c = MongoCluster::new(3);
+        c.enable_durability(CheckpointPolicy::never()).unwrap();
+        c.create_collection("d").unwrap();
+        c.insert_many(
+            "d",
+            (0..100i64).map(|i| record! {"grp" => i % 4, "val" => i}),
+        )
+        .unwrap();
+        c.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(
+            9,
+            "mongo-cluster/shard[1]",
+            0,
+        ))));
+        let out = c
+            .aggregate_with(
+                "d",
+                r#"[{"$match":{}},{"$count":"count"}]"#,
+                &ShardPolicy::failover(2),
+            )
+            .unwrap();
+        assert_eq!(out[0].get_path("count"), Value::Int(100));
+        let stats = c.last_stats().unwrap();
+        assert_eq!(stats.recovered_shards, 1);
+        assert!(stats.replayed_records > 0);
+        assert!(stats.to_spans().iter().any(|s| s.name() == "recovery"));
     }
 
     #[test]

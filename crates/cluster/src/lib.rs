@@ -34,6 +34,6 @@ pub mod stats;
 
 pub use doc_cluster::MongoCluster;
 pub use partition::shard_for;
-pub use resilience::{run_resilient, shard_fault, ShardOutcome, ShardPolicy};
+pub use resilience::{run_resilient, shard_fault, ShardFault, ShardOutcome, ShardPolicy};
 pub use sql_cluster::SqlCluster;
-pub use stats::{ExecMode, QueryStats};
+pub use stats::{ExecMode, QueryStats, RecoveryCounters};

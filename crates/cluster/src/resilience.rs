@@ -60,22 +60,39 @@ pub struct ShardOutcome<T> {
     pub dropped_shards: Vec<usize>,
 }
 
+/// An injected failure at a cluster shard boundary, classified by what
+/// the coordinator must do about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardFault {
+    /// Transient failure; re-dispatching the shard's work is enough.
+    Transient(String),
+    /// Simulated process crash: the shard's in-memory state is gone and
+    /// it must rebuild from its own write-ahead log before rejoining.
+    Crash(String),
+}
+
 /// Consult a fault plan at a cluster shard boundary (site
-/// `"<cluster>/shard[<i>]"`). Returns the message of an injected
-/// transient failure; latency faults sleep inline and return `None`.
-pub fn shard_fault(plan: Option<&FaultPlan>, cluster: &str, shard: usize) -> Option<String> {
+/// `"<cluster>/shard[<i>]"`). Returns the injected failure, if any;
+/// latency faults sleep inline and return `None`.
+pub fn shard_fault(plan: Option<&FaultPlan>, cluster: &str, shard: usize) -> Option<ShardFault> {
     let plan = plan?;
     let site = format!("{cluster}/shard[{shard}]");
     match plan.next_fault(&site) {
         None => None,
-        Some(FaultKind::Error) => Some(format!("injected fault at {site}")),
+        Some(FaultKind::Error) => Some(ShardFault::Transient(format!("injected fault at {site}"))),
         Some(FaultKind::Latency(d)) => {
             std::thread::sleep(d);
             None
         }
         Some(FaultKind::Hang(d)) => {
             std::thread::sleep(d);
-            Some(format!("injected hang at {site}"))
+            Some(ShardFault::Transient(format!("injected hang at {site}")))
+        }
+        // A torn write at the shard boundary is a crash mid-write: the
+        // shard dies either way, and the WAL layer (not the coordinator)
+        // owns torn-frame semantics.
+        Some(FaultKind::Crash) | Some(FaultKind::TornWrite(_)) => {
+            Some(ShardFault::Crash(format!("injected crash at {site}")))
         }
     }
 }
@@ -273,8 +290,24 @@ mod tests {
             .with_error_rate(1.0)
             .for_sites("shard[1]");
         assert_eq!(shard_fault(Some(&plan), "sql-cluster", 0), None);
-        let msg = shard_fault(Some(&plan), "sql-cluster", 1).unwrap();
-        assert!(msg.contains("sql-cluster/shard[1]"), "{msg}");
+        let fault = shard_fault(Some(&plan), "sql-cluster", 1).unwrap();
+        match fault {
+            ShardFault::Transient(msg) => {
+                assert!(msg.contains("sql-cluster/shard[1]"), "{msg}")
+            }
+            other => panic!("expected transient fault, got {other:?}"),
+        }
         assert_eq!(shard_fault(None, "sql-cluster", 1), None);
+    }
+
+    #[test]
+    fn shard_fault_classifies_crashes() {
+        let plan = FaultPlan::crash_at(7, "sql-cluster/shard[0]", 0);
+        match shard_fault(Some(&plan), "sql-cluster", 0) {
+            Some(ShardFault::Crash(msg)) => {
+                assert!(msg.contains("sql-cluster/shard[0]"), "{msg}")
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
     }
 }

@@ -1,8 +1,8 @@
 //! Sharded SQL/SQL++ cluster (AsterixDB cluster / Greenplum).
 
 use crate::partition::shard_for;
-use crate::resilience::{run_resilient, shard_fault, ShardOutcome, ShardPolicy};
-use crate::stats::{ExecMode, QueryStats, StatsRecorder};
+use crate::resilience::{run_resilient, shard_fault, ShardFault, ShardOutcome, ShardPolicy};
+use crate::stats::{ExecMode, QueryStats, RecoveryCounters, StatsRecorder};
 use polyframe_datamodel::{cmp_total, Record, Value};
 use polyframe_observe::sync::Mutex;
 use polyframe_observe::FaultPlan;
@@ -11,6 +11,7 @@ use polyframe_sqlengine::plan::distributed::{
 };
 use polyframe_sqlengine::plan::logical::LogicalPlan;
 use polyframe_sqlengine::{Engine, EngineConfig, EngineError, Result};
+use polyframe_storage::{CheckpointPolicy, LogMedia, RecoveryReport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -94,9 +95,46 @@ impl SqlCluster {
     }
 
     /// Create a dataset on every shard.
-    pub fn create_dataset(&self, namespace: &str, dataset: &str, primary_key: Option<&str>) {
+    pub fn create_dataset(
+        &self,
+        namespace: &str,
+        dataset: &str,
+        primary_key: Option<&str>,
+    ) -> Result<()> {
         for s in &self.shards {
-            s.create_dataset(namespace, dataset, primary_key);
+            s.create_dataset(namespace, dataset, primary_key)?;
+        }
+        Ok(())
+    }
+
+    /// Give every shard its own write-ahead log (a fresh [`LogMedia`]
+    /// per shard, as each node of a real cluster owns its own disk) and
+    /// recover whatever committed state each log holds. A shard that
+    /// crashes mid-query afterwards rebuilds from its own log before
+    /// rejoining.
+    pub fn enable_durability(&self, policy: CheckpointPolicy) -> Result<Vec<RecoveryReport>> {
+        self.shards
+            .iter()
+            .map(|s| s.enable_durability(LogMedia::new(), policy))
+            .collect()
+    }
+
+    /// Handle an injected crash on shard `i`: when the shard has a log,
+    /// rebuild it (counting the recovery), then report a transient
+    /// failure so the failover loop re-dispatches against the rebuilt
+    /// shard. Without a log the crash degrades to a plain transient
+    /// fault.
+    fn recover_shard(&self, i: usize, msg: String, recovery: &RecoveryCounters) -> EngineError {
+        if !self.shards[i].durability_enabled() {
+            return EngineError::transient(msg);
+        }
+        let start = Instant::now();
+        match self.shards[i].recover() {
+            Ok(report) => {
+                recovery.record(report.replayed_records, start.elapsed());
+                EngineError::transient(format!("{msg}; shard rebuilt from log"))
+            }
+            Err(e) => e,
         }
     }
 
@@ -162,11 +200,11 @@ impl SqlCluster {
 
         match strategy {
             DistributedQuery::Concat { shard_plan, limit } => {
-                let mut scatter = self.scatter(&shard_plan, policy)?;
+                let (mut scatter, recovery) = self.scatter(&shard_plan, policy)?;
                 let merge_start = Instant::now();
                 let parts = std::mem::take(&mut scatter.parts);
                 let out = merge_concat(parts, limit);
-                self.record(compile, merge_start.elapsed(), scatter);
+                self.record(compile, merge_start.elapsed(), scatter, &recovery);
                 Ok(out)
             }
             DistributedQuery::ScalarAgg {
@@ -174,11 +212,11 @@ impl SqlCluster {
                 aggs,
                 project,
             } => {
-                let mut scatter = self.scatter(&shard_plan, policy)?;
+                let (mut scatter, recovery) = self.scatter(&shard_plan, policy)?;
                 let merge_start = Instant::now();
                 let parts = std::mem::take(&mut scatter.parts);
                 let out = merge_aggregate_parts(parts, &[], &aggs, &project);
-                self.record(compile, merge_start.elapsed(), scatter);
+                self.record(compile, merge_start.elapsed(), scatter, &recovery);
                 out
             }
             DistributedQuery::GroupAgg {
@@ -187,11 +225,11 @@ impl SqlCluster {
                 aggs,
                 project,
             } => {
-                let mut scatter = self.scatter(&shard_plan, policy)?;
+                let (mut scatter, recovery) = self.scatter(&shard_plan, policy)?;
                 let merge_start = Instant::now();
                 let parts = std::mem::take(&mut scatter.parts);
                 let out = merge_aggregate_parts(parts, &group_names, &aggs, &project);
-                self.record(compile, merge_start.elapsed(), scatter);
+                self.record(compile, merge_start.elapsed(), scatter, &recovery);
                 out
             }
             DistributedQuery::TopK {
@@ -200,11 +238,11 @@ impl SqlCluster {
                 limit,
                 post_project,
             } => {
-                let mut scatter = self.scatter(&shard_plan, policy)?;
+                let (mut scatter, recovery) = self.scatter(&shard_plan, policy)?;
                 let merge_start = Instant::now();
                 let parts = std::mem::take(&mut scatter.parts);
                 let out = merge_topk(parts, &keys, limit, post_project.as_ref());
-                self.record(compile, merge_start.elapsed(), scatter);
+                self.record(compile, merge_start.elapsed(), scatter, &recovery);
                 out
             }
             DistributedQuery::JoinCount {
@@ -213,31 +251,44 @@ impl SqlCluster {
                 output,
                 project,
             } => {
-                let (count, merge, extract) = self.repartition_join_count(&left, &right, policy)?;
+                let (count, merge, extract, recovery) =
+                    self.repartition_join_count(&left, &right, policy)?;
                 let mut rec = Record::new();
                 rec.insert(output, Value::Int(count as i64));
                 let row = Value::Obj(rec);
                 let projected = polyframe_sqlengine::exec::project_row(&project, &row)?;
-                self.stats.record(QueryStats {
+                let mut stats = QueryStats {
                     compile,
                     shard_times: extract.shard_times,
                     merge,
                     failovers: extract.failovers,
                     dropped_shards: extract.dropped_shards,
-                });
+                    ..QueryStats::default()
+                };
+                recovery.fold_into(&mut stats);
+                self.stats.record(stats);
                 Ok(vec![projected])
             }
         }
     }
 
-    fn record<T>(&self, compile: Duration, merge: Duration, scatter: ShardOutcome<T>) {
-        self.stats.record(QueryStats {
+    fn record<T>(
+        &self,
+        compile: Duration,
+        merge: Duration,
+        scatter: ShardOutcome<T>,
+        recovery: &RecoveryCounters,
+    ) {
+        let mut stats = QueryStats {
             compile,
             shard_times: scatter.shard_times,
             merge,
             failovers: scatter.failovers,
             dropped_shards: scatter.dropped_shards,
-        });
+            ..QueryStats::default()
+        };
+        recovery.fold_into(&mut stats);
+        self.stats.record(stats);
     }
 
     /// Run a logical plan on every shard, timing each shard's work, with
@@ -246,20 +297,26 @@ impl SqlCluster {
         &self,
         plan: &LogicalPlan,
         policy: &ShardPolicy,
-    ) -> Result<ShardOutcome<Vec<Value>>> {
+    ) -> Result<(ShardOutcome<Vec<Value>>, RecoveryCounters)> {
         let faults = self.fault_plan();
-        run_resilient(
+        let recovery = RecoveryCounters::new();
+        let out = run_resilient(
             self.shards.len(),
             self.mode,
             policy,
             EngineError::is_transient,
             |i| {
-                if let Some(msg) = shard_fault(faults.as_deref(), "sql-cluster", i) {
-                    return Err(EngineError::transient(msg));
+                match shard_fault(faults.as_deref(), "sql-cluster", i) {
+                    Some(ShardFault::Transient(msg)) => return Err(EngineError::transient(msg)),
+                    Some(ShardFault::Crash(msg)) => {
+                        return Err(self.recover_shard(i, msg, &recovery))
+                    }
+                    None => {}
                 }
                 self.shards[i].execute_logical(plan)
             },
-        )
+        )?;
+        Ok((out, recovery))
     }
 
     /// Parallel repartition join + count over two datasets' join-key
@@ -275,8 +332,9 @@ impl SqlCluster {
         left: &(String, String, String),
         right: &(String, String, String),
         policy: &ShardPolicy,
-    ) -> Result<(usize, Duration, ShardOutcome<()>)> {
+    ) -> Result<(usize, Duration, ShardOutcome<()>, RecoveryCounters)> {
         let n = self.shards.len();
+        let recovery = RecoveryCounters::new();
 
         // Phase 1: per-shard key extraction + bucketing (both sides).
         type Buckets = Vec<Vec<Value>>;
@@ -301,8 +359,10 @@ impl SqlCluster {
             failovers,
             dropped_shards,
         } = run_resilient(n, self.mode, policy, EngineError::is_transient, |i| {
-            if let Some(msg) = shard_fault(faults.as_deref(), "sql-cluster", i) {
-                return Err(EngineError::transient(msg));
+            match shard_fault(faults.as_deref(), "sql-cluster", i) {
+                Some(ShardFault::Transient(msg)) => return Err(EngineError::transient(msg)),
+                Some(ShardFault::Crash(msg)) => return Err(self.recover_shard(i, msg, &recovery)),
+                None => {}
             }
             extract_one(&self.shards[i])
         })?;
@@ -359,7 +419,7 @@ impl SqlCluster {
                 }
             }
         }
-        Ok((count, merge_critical, extract))
+        Ok((count, merge_critical, extract, recovery))
     }
 
     /// EXPLAIN helper: how the coordinator would distribute `sql`.
@@ -414,7 +474,7 @@ mod tests {
 
     fn cluster(n: usize) -> SqlCluster {
         let c = SqlCluster::new(n, EngineConfig::asterixdb(), "id");
-        c.create_dataset("Test", "Users", Some("id"));
+        c.create_dataset("Test", "Users", Some("id")).unwrap();
         c.load(
             "Test",
             "Users",
@@ -585,10 +645,75 @@ mod tests {
     }
 
     #[test]
+    fn crashed_shard_rebuilds_from_its_log() {
+        let c = SqlCluster::new(3, EngineConfig::asterixdb(), "id");
+        c.enable_durability(CheckpointPolicy::never()).unwrap();
+        c.create_dataset("Test", "Users", Some("id")).unwrap();
+        c.load(
+            "Test",
+            "Users",
+            (0..100i64).map(|i| record! {"id" => i, "grp" => i % 4}),
+        )
+        .unwrap();
+        // Kill shard 1 on its first dispatch: it must rebuild from its
+        // own log and the failover re-dispatch then sees the full data.
+        c.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(
+            9,
+            "sql-cluster/shard[1]",
+            0,
+        ))));
+        let rows = c
+            .query_with(
+                "SELECT VALUE COUNT(*) FROM Test.Users",
+                &ShardPolicy::failover(2),
+            )
+            .unwrap();
+        assert_eq!(rows, vec![Value::Int(100)]);
+        let stats = c.last_stats().unwrap();
+        assert_eq!(stats.recovered_shards, 1);
+        assert!(
+            stats.replayed_records > 0,
+            "shard 1 should replay its create+load records"
+        );
+        let spans = stats.to_spans();
+        let recovery = spans
+            .iter()
+            .find(|s| s.name() == "recovery")
+            .expect("recovery span in the trace tree");
+        assert_eq!(recovery.metric("recovered_shards"), Some(1));
+        assert_eq!(
+            recovery.metric("replayed_records"),
+            Some(stats.replayed_records as i64)
+        );
+    }
+
+    #[test]
+    fn crash_without_durability_is_a_plain_transient() {
+        let c = cluster(3);
+        c.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(
+            9,
+            "sql-cluster/shard[1]",
+            0,
+        ))));
+        // No log to rebuild from: the crash degrades to a transient
+        // failure, failover still answers, nothing claims recovery.
+        let rows = c
+            .query_with(
+                "SELECT VALUE COUNT(*) FROM Test.Users",
+                &ShardPolicy::failover(2),
+            )
+            .unwrap();
+        assert_eq!(rows, vec![Value::Int(100)]);
+        let stats = c.last_stats().unwrap();
+        assert_eq!(stats.recovered_shards, 0);
+        assert!(stats.to_spans().iter().all(|s| s.name() != "recovery"));
+    }
+
+    #[test]
     fn both_modes_agree_and_record_stats() {
         for mode in [ExecMode::Threads, ExecMode::Sequential] {
             let c = SqlCluster::with_mode(3, EngineConfig::asterixdb(), "id", mode);
-            c.create_dataset("Test", "Users", Some("id"));
+            c.create_dataset("Test", "Users", Some("id")).unwrap();
             c.load(
                 "Test",
                 "Users",

@@ -11,6 +11,7 @@
 //! in parallel.
 
 use polyframe_observe::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
 
 /// How shard work is dispatched.
@@ -63,6 +64,13 @@ pub struct QueryStats {
     /// Shards dropped under partial-result degradation (the result
     /// covers only the remaining shards).
     pub dropped_shards: Vec<usize>,
+    /// Shards that crashed during this query and rebuilt themselves from
+    /// their own write-ahead logs before rejoining.
+    pub recovered_shards: usize,
+    /// Total log records replayed across those shard recoveries.
+    pub replayed_records: u64,
+    /// Wall time spent in shard recovery across the query.
+    pub recovery_time: Duration,
 }
 
 impl QueryStats {
@@ -95,7 +103,45 @@ impl QueryStats {
             spans.push(span);
         }
         spans.push(Span::new("merge").with_duration(self.merge));
+        if self.recovered_shards > 0 {
+            let mut span = Span::new("recovery").with_duration(self.recovery_time);
+            span.set_metric("recovered_shards", self.recovered_shards as i64);
+            span.set_metric("replayed_records", self.replayed_records as i64);
+            spans.push(span);
+        }
         spans
+    }
+}
+
+/// Thread-safe accumulator for shard-recovery work observed during one
+/// query's dispatch (the failover loop may run shards on separate
+/// threads, and a crashed shard rebuilds inside its dispatch closure).
+#[derive(Debug, Default)]
+pub struct RecoveryCounters {
+    shards: AtomicUsize,
+    records: AtomicU64,
+    nanos: AtomicU64,
+}
+
+impl RecoveryCounters {
+    /// Fresh (all-zero) counters for one query.
+    pub fn new() -> RecoveryCounters {
+        RecoveryCounters::default()
+    }
+
+    /// Record one shard recovery that replayed `replayed` log records.
+    pub fn record(&self, replayed: u64, elapsed: Duration) {
+        self.shards.fetch_add(1, Ordering::Relaxed);
+        self.records.fetch_add(replayed, Ordering::Relaxed);
+        self.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Fold the accumulated counters into a query's stats.
+    pub fn fold_into(&self, stats: &mut QueryStats) {
+        stats.recovered_shards = self.shards.load(Ordering::Relaxed);
+        stats.replayed_records = self.records.load(Ordering::Relaxed);
+        stats.recovery_time = Duration::from_nanos(self.nanos.load(Ordering::Relaxed));
     }
 }
 

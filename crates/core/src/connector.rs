@@ -224,6 +224,8 @@ pub fn execute_request(
 fn engine_err(e: EngineError) -> PolyFrameError {
     if e.is_transient() {
         PolyFrameError::transient(e)
+    } else if e.is_corruption() {
+        PolyFrameError::Corruption(e.to_string())
     } else {
         PolyFrameError::backend(e)
     }
@@ -233,6 +235,8 @@ fn engine_err(e: EngineError) -> PolyFrameError {
 fn doc_err(e: DocError) -> PolyFrameError {
     if e.is_transient() {
         PolyFrameError::transient(e)
+    } else if e.is_corruption() {
+        PolyFrameError::Corruption(e.to_string())
     } else {
         PolyFrameError::backend(e)
     }
@@ -242,6 +246,8 @@ fn doc_err(e: DocError) -> PolyFrameError {
 fn graph_err(e: GraphError) -> PolyFrameError {
     if e.is_transient() {
         PolyFrameError::transient(e)
+    } else if e.is_corruption() {
+        PolyFrameError::Corruption(e.to_string())
     } else {
         PolyFrameError::backend(e)
     }

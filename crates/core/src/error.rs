@@ -20,6 +20,12 @@ pub enum PolyFrameError {
     /// The action's deadline budget was exhausted. Fatal and
     /// non-retryable: retrying cannot create more time.
     DeadlineExceeded(String),
+    /// Durable state (write-ahead log or snapshot) failed its integrity
+    /// check: a complete, committed record whose checksum does not
+    /// match, or a committed snapshot that does not decode. Fatal and
+    /// non-retryable: re-reading a damaged log cannot repair it, and
+    /// masking it as transient would make the retry driver spin on it.
+    Corruption(String),
 }
 
 /// Coarse classification of a [`PolyFrameError`], for matching without
@@ -38,6 +44,8 @@ pub enum ErrorKind {
     Transient,
     /// [`PolyFrameError::DeadlineExceeded`]
     DeadlineExceeded,
+    /// [`PolyFrameError::Corruption`]
+    Corruption,
 }
 
 impl fmt::Display for PolyFrameError {
@@ -49,6 +57,7 @@ impl fmt::Display for PolyFrameError {
             PolyFrameError::Result(m) => write!(f, "result error: {m}"),
             PolyFrameError::Transient(m) => write!(f, "transient backend error: {m}"),
             PolyFrameError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            PolyFrameError::Corruption(m) => write!(f, "durable-state corruption: {m}"),
         }
     }
 }
@@ -75,12 +84,14 @@ impl PolyFrameError {
             PolyFrameError::Result(_) => ErrorKind::Result,
             PolyFrameError::Transient(_) => ErrorKind::Transient,
             PolyFrameError::DeadlineExceeded(_) => ErrorKind::DeadlineExceeded,
+            PolyFrameError::Corruption(_) => ErrorKind::Corruption,
         }
     }
 
     /// Whether retrying the failed operation may succeed. Only
     /// [`PolyFrameError::Transient`] is retryable; everything else —
-    /// including [`PolyFrameError::DeadlineExceeded`] — is fatal.
+    /// including [`PolyFrameError::DeadlineExceeded`] and
+    /// [`PolyFrameError::Corruption`] — is fatal.
     pub fn is_retryable(&self) -> bool {
         self.kind() == ErrorKind::Transient
     }

@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 fn small_frame() -> AFrame {
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    engine.create_dataset("T", "d", Some("id"));
+    engine.create_dataset("T", "d", Some("id")).unwrap();
     engine
         .load(
             "T",
@@ -205,8 +205,8 @@ fn missing_rule_is_a_config_error() {
 #[test]
 fn merge_on_differing_keys() {
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    engine.create_dataset("T", "lhs", Some("id"));
-    engine.create_dataset("T", "rhs", Some("rid"));
+    engine.create_dataset("T", "lhs", Some("id")).unwrap();
+    engine.create_dataset("T", "rhs", Some("rid")).unwrap();
     engine
         .load(
             "T",
@@ -230,7 +230,7 @@ fn merge_on_differing_keys() {
 #[test]
 fn get_dummies_errors_on_all_unknown_column() {
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    engine.create_dataset("T", "d", Some("id"));
+    engine.create_dataset("T", "d", Some("id")).unwrap();
     engine
         .load("T", "d", (0..5i64).map(|i| record! {"id" => i}))
         .unwrap();

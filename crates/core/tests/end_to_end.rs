@@ -28,8 +28,8 @@ fn frames() -> Vec<AFrame> {
     let records = generate(&WisconsinConfig::new(N));
 
     let asterix = Arc::new(Engine::new(EngineConfig::asterixdb()));
-    asterix.create_dataset(NS, DS, Some("unique2"));
-    asterix.create_dataset(NS, DS2, Some("unique2"));
+    asterix.create_dataset(NS, DS, Some("unique2")).unwrap();
+    asterix.create_dataset(NS, DS2, Some("unique2")).unwrap();
     asterix.load(NS, DS, records.clone()).unwrap();
     asterix.load(NS, DS2, records.clone()).unwrap();
     for attr in INDEXED {
@@ -38,8 +38,8 @@ fn frames() -> Vec<AFrame> {
     }
 
     let postgres = Arc::new(Engine::new(EngineConfig::postgres()));
-    postgres.create_dataset(NS, DS, Some("unique2"));
-    postgres.create_dataset(NS, DS2, Some("unique2"));
+    postgres.create_dataset(NS, DS, Some("unique2")).unwrap();
+    postgres.create_dataset(NS, DS2, Some("unique2")).unwrap();
     postgres.load(NS, DS, records.clone()).unwrap();
     postgres.load(NS, DS2, records.clone()).unwrap();
     for attr in INDEXED {
@@ -50,8 +50,8 @@ fn frames() -> Vec<AFrame> {
     let mongo = Arc::new(DocStore::new());
     let coll = format!("{NS}.{DS}");
     let coll2 = format!("{NS}.{DS2}");
-    mongo.create_collection(&coll);
-    mongo.create_collection(&coll2);
+    mongo.create_collection(&coll).unwrap();
+    mongo.create_collection(&coll2).unwrap();
     mongo.insert_many(&coll, records.clone()).unwrap();
     mongo.insert_many(&coll2, records.clone()).unwrap();
     for attr in INDEXED {

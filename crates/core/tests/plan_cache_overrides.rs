@@ -13,7 +13,7 @@ const DS: &str = "wisconsin";
 
 fn backend() -> (Arc<Engine>, Arc<PostgresConnector>) {
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    engine.create_dataset(NS, DS, Some("unique2"));
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
     engine
         .load(NS, DS, generate(&WisconsinConfig::new(500)))
         .unwrap();

@@ -30,7 +30,7 @@ fn backends() -> Vec<Backend> {
     for config in [EngineConfig::asterixdb(), EngineConfig::postgres()] {
         let sqlpp = matches!(config.dialect, polyframe_sqlengine::Dialect::SqlPlusPlus);
         let engine = Arc::new(Engine::new(config));
-        engine.create_dataset(NS, DS, Some("unique2"));
+        engine.create_dataset(NS, DS, Some("unique2")).unwrap();
         engine.load(NS, DS, records.clone()).unwrap();
         let conn: Arc<dyn DatabaseConnector> = if sqlpp {
             Arc::new(AsterixConnector::new(Arc::clone(&engine)))
@@ -45,7 +45,7 @@ fn backends() -> Vec<Backend> {
 
     let mongo = Arc::new(DocStore::new());
     let coll = format!("{NS}.{DS}");
-    mongo.create_collection(&coll);
+    mongo.create_collection(&coll).unwrap();
     mongo.insert_many(&coll, records.clone()).unwrap();
     out.push(Backend {
         frame: AFrame::new(NS, DS, Arc::new(MongoConnector::new(Arc::clone(&mongo)))).unwrap(),
@@ -113,7 +113,7 @@ fn fault_plans_are_deterministic_end_to_end() {
     let run = || {
         let records = generate(&WisconsinConfig::new(N));
         let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-        engine.create_dataset(NS, DS, Some("unique2"));
+        engine.create_dataset(NS, DS, Some("unique2")).unwrap();
         engine.load(NS, DS, records).unwrap();
         let plan = Arc::new(FaultPlan::new(7).with_error_rate(0.4));
         engine.set_fault_plan(Some(Arc::clone(&plan)));
@@ -140,7 +140,7 @@ fn fault_plans_are_deterministic_end_to_end() {
 #[test]
 fn deadline_exceeded_is_fatal_and_non_retryable() {
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    engine.create_dataset(NS, DS, Some("unique2"));
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
     engine
         .load(NS, DS, generate(&WisconsinConfig::new(50)))
         .unwrap();
@@ -178,10 +178,16 @@ fn error_taxonomy_classifies_retryability() {
         PolyFrameError::backend("boom"),
         PolyFrameError::Result("shape".into()),
         PolyFrameError::DeadlineExceeded("late".into()),
+        PolyFrameError::Corruption("crc mismatch".into()),
     ] {
         assert!(!fatal.is_retryable(), "{fatal}");
         assert_ne!(fatal.kind(), ErrorKind::Transient);
     }
+    // Corruption keeps its own kind so callers can special-case it.
+    assert_eq!(
+        PolyFrameError::Corruption("crc mismatch".into()).kind(),
+        ErrorKind::Corruption
+    );
 }
 
 /// Bugfix regression: a failed action still records its trace, with the
@@ -189,7 +195,7 @@ fn error_taxonomy_classifies_retryability() {
 #[test]
 fn failed_actions_still_record_traces() {
     let engine = Arc::new(Engine::new(EngineConfig::asterixdb()));
-    engine.create_dataset(NS, DS, Some("unique2"));
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
     engine
         .load(NS, DS, generate(&WisconsinConfig::new(50)))
         .unwrap();
@@ -223,7 +229,7 @@ fn failed_actions_still_record_traces() {
 #[test]
 fn sql_cluster_failover_recovers_with_trace() {
     let cluster = Arc::new(SqlCluster::new(4, EngineConfig::postgres(), "unique2"));
-    cluster.create_dataset(NS, DS, Some("unique2"));
+    cluster.create_dataset(NS, DS, Some("unique2")).unwrap();
     cluster
         .load(NS, DS, generate(&WisconsinConfig::new(N)))
         .unwrap();
@@ -258,7 +264,7 @@ fn sql_cluster_failover_recovers_with_trace() {
 fn partial_results_account_for_the_dropped_shard() {
     let cluster = Arc::new(MongoCluster::new(4));
     let coll = format!("{NS}.{DS}");
-    cluster.create_collection(&coll);
+    cluster.create_collection(&coll).unwrap();
     cluster
         .insert_many(&coll, generate(&WisconsinConfig::new(N)))
         .unwrap();
@@ -304,4 +310,43 @@ fn partial_results_account_for_the_dropped_shard() {
         "{}",
         trace.render()
     );
+}
+
+/// Corruption is fatal through the connector path: when a crash forces
+/// recovery from a log whose committed bytes were tampered with, the
+/// driver surfaces `ErrorKind::Corruption` immediately — retrying
+/// cannot un-corrupt a log, so none of the retry budget is spent.
+#[test]
+fn corruption_is_fatal_and_never_retried() {
+    use polyframe_storage::{CheckpointPolicy, LogMedia};
+
+    let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+    let media = LogMedia::new();
+    engine
+        .enable_durability(Arc::clone(&media), CheckpointPolicy::never())
+        .unwrap();
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(50)))
+        .unwrap();
+
+    // Flip one byte inside the first committed frame's payload, then
+    // kill the process at the next query. Recovery replays the log,
+    // hits the CRC mismatch on a *committed* record, and must refuse
+    // to serve rather than guess.
+    media.corrupt_log_byte(12);
+    engine.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(1, "sqlengine/Sql", 0))));
+
+    let af = AFrame::new(NS, DS, Arc::new(PostgresConnector::new(engine)))
+        .unwrap()
+        .with_retry(RetryPolicy::retries(5));
+    let err = af.len().unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Corruption, "{err}");
+    assert!(!err.is_retryable(), "{err}");
+
+    // The trace shows a single attempt: the whole retry budget is intact.
+    let trace = af.last_trace().unwrap();
+    let execute = trace.span("execute").unwrap();
+    assert_eq!(execute.metric("retries"), Some(0));
+    assert!(execute.note("error").unwrap().contains("corruption"));
 }

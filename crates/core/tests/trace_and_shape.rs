@@ -21,18 +21,18 @@ fn frames() -> Vec<AFrame> {
     let records = generate(&WisconsinConfig::new(N));
 
     let asterix = Arc::new(Engine::new(EngineConfig::asterixdb()));
-    asterix.create_dataset(NS, DS, Some("unique2"));
+    asterix.create_dataset(NS, DS, Some("unique2")).unwrap();
     asterix.load(NS, DS, records.clone()).unwrap();
     asterix.create_index(NS, DS, "ten").unwrap();
 
     let postgres = Arc::new(Engine::new(EngineConfig::postgres()));
-    postgres.create_dataset(NS, DS, Some("unique2"));
+    postgres.create_dataset(NS, DS, Some("unique2")).unwrap();
     postgres.load(NS, DS, records.clone()).unwrap();
     postgres.create_index(NS, DS, "ten").unwrap();
 
     let mongo = Arc::new(DocStore::new());
     let coll = format!("{NS}.{DS}");
-    mongo.create_collection(&coll);
+    mongo.create_collection(&coll).unwrap();
     mongo.insert_many(&coll, records.clone()).unwrap();
     mongo.create_index(&coll, "ten").unwrap();
 
@@ -231,7 +231,7 @@ fn cluster_trace_reports_shards_and_merge() {
         EngineConfig::postgres(),
         "unique2",
     ));
-    cluster.create_dataset(NS, DS, Some("unique2"));
+    cluster.create_dataset(NS, DS, Some("unique2")).unwrap();
     cluster
         .load(NS, DS, generate(&WisconsinConfig::new(N)))
         .unwrap();
@@ -288,7 +288,7 @@ fn len_rejects_negative_counts() {
 #[test]
 fn get_dummies_sanitizes_aliases() {
     let engine = Arc::new(Engine::new(EngineConfig::asterixdb()));
-    engine.create_dataset(NS, "messy", Some("id"));
+    engine.create_dataset(NS, "messy", Some("id")).unwrap();
     engine
         .load(
             NS,
@@ -330,7 +330,7 @@ fn get_dummies_sanitizes_aliases() {
 #[test]
 fn get_dummies_renders_double_literals() {
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    engine.create_dataset(NS, "doubles", Some("id"));
+    engine.create_dataset(NS, "doubles", Some("id")).unwrap();
     engine
         .load(
             NS,

@@ -17,6 +17,9 @@ pub enum DocError {
     /// A transient (retryable) backend condition: a dropped connection,
     /// a shard timeout, or an injected fault. Retrying may succeed.
     Transient(String),
+    /// The store's write-ahead log or snapshot failed its integrity
+    /// check. Non-retryable: the durable state itself is damaged.
+    Corruption(String),
 }
 
 impl fmt::Display for DocError {
@@ -29,6 +32,7 @@ impl fmt::Display for DocError {
                 write!(f, "$lookup from sharded collection {c} is not allowed")
             }
             DocError::Transient(m) => write!(f, "{m}"),
+            DocError::Corruption(m) => write!(f, "log corruption: {m}"),
         }
     }
 }
@@ -39,6 +43,11 @@ impl DocError {
     /// Whether retrying the failed operation may succeed.
     pub fn is_transient(&self) -> bool {
         matches!(self, DocError::Transient(_))
+    }
+
+    /// Whether this error reports damaged durable state.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, DocError::Corruption(_))
     }
 }
 

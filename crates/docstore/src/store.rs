@@ -8,10 +8,15 @@ use crate::pipeline::optimizer::{optimize, PhysicalPipeline};
 use crate::pipeline::{parse_pipeline, Stage};
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::{Mutex, RwLock};
-use polyframe_observe::{CacheStats, FaultKind, FaultPlan, Span, SpanTimer, VersionedCache};
-use polyframe_storage::{NullPolicy, Table, TableOptions};
+use polyframe_observe::{
+    CacheStats, CatalogVersion, FaultKind, FaultPlan, Span, SpanTimer, VersionedCache,
+};
+use polyframe_storage::{
+    CheckpointPolicy, DurableOp, IndexKind, LogMedia, NullPolicy, RecoveryReport, Table,
+    TableOptions, Wal, WalError, WalStats,
+};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,11 +47,15 @@ pub struct DocStore {
     use_indexes: bool,
     /// Catalog version: bumped on DDL and inserts (inserts can change
     /// `Index::is_complete`, which changes the optimizer's index choices).
-    version: AtomicU64,
+    /// Shared helper with the other substrates; crash recovery advances
+    /// it past the pre-crash value.
+    version: CatalogVersion,
     /// Compiled pipelines keyed by `(collection, pipeline text)`.
     plan_cache: VersionedCache<(String, String), CachedPipeline>,
     /// Optional fault-injection plan consulted at `aggregate` entry points.
     faults: Mutex<Option<Arc<FaultPlan>>>,
+    /// Optional write-ahead log (see [`DocStore::enable_durability`]).
+    wal: Mutex<Option<Arc<Wal>>>,
 }
 
 impl Default for DocStore {
@@ -62,9 +71,10 @@ impl DocStore {
             collections: RwLock::new(HashMap::new()),
             next_id: AtomicI64::new(1),
             use_indexes: true,
-            version: AtomicU64::new(0),
+            version: CatalogVersion::new(),
             plan_cache: VersionedCache::new(PLAN_CACHE_CAPACITY),
             faults: Mutex::new(None),
+            wal: Mutex::new(None),
         }
     }
 
@@ -73,7 +83,10 @@ impl DocStore {
     /// ([`DocStore::aggregate_stages`]) is exempt — the cluster layer
     /// injects at its own shard boundary instead.
     pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
-        *self.faults.lock() = plan;
+        *self.faults.lock() = plan.clone();
+        if let Some(wal) = self.wal() {
+            wal.set_faults(plan);
+        }
     }
 
     /// The currently installed fault plan, if any.
@@ -96,6 +109,9 @@ impl DocStore {
                     std::thread::sleep(d);
                     return Err(DocError::Transient(format!("injected hang at {site}")));
                 }
+                Some(FaultKind::Crash) | Some(FaultKind::TornWrite(_)) => {
+                    return Err(self.simulate_query_crash(site));
+                }
             }
         }
         Ok(())
@@ -111,67 +127,216 @@ impl DocStore {
 
     /// Create (or replace) a collection. Every collection has a unique-`_id`
     /// primary index, like MongoDB.
-    pub fn create_collection(&self, name: &str) {
-        self.collections.write().insert(
-            name.to_string(),
-            Table::new(
-                name,
-                TableOptions {
-                    primary_key: Some("_id".to_string()),
-                    // Paper (section IV.E): "missing values are not present
-                    // in their indexes" for MongoDB.
-                    secondary_null_policy: NullPolicy::SkipNulls,
-                },
-            ),
-        );
-        self.bump_version();
+    pub fn create_collection(&self, name: &str) -> Result<()> {
+        let mut map = self.collections.write();
+        self.durable_apply(
+            &mut map,
+            DurableOp::Create {
+                namespace: String::new(),
+                name: name.to_string(),
+                key: None,
+            },
+        )
     }
 
     /// Advance the catalog version, invalidating every cached plan.
     fn bump_version(&self) {
-        self.version.fetch_add(1, Ordering::Release);
+        self.version.bump();
     }
 
-    /// Insert documents, assigning `_id`s where absent.
+    /// Insert documents, assigning `_id`s where absent. The durable log
+    /// records the post-assignment documents, so replay reproduces the
+    /// same `_id`s without re-running the counter.
     pub fn insert_many(
         &self,
         collection: &str,
         docs: impl IntoIterator<Item = Record>,
     ) -> Result<usize> {
         let mut map = self.collections.write();
-        let table = map
-            .get_mut(collection)
-            .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;
-        let mut n = 0;
-        for mut doc in docs {
-            if !doc.contains("_id") {
-                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-                // `_id` leads the document, like MongoDB's insertion rule.
-                let mut with_id = Record::with_capacity(doc.len() + 1);
-                with_id.insert("_id", id);
-                for (k, v) in doc.iter() {
-                    with_id.insert(k.to_string(), v.clone());
-                }
-                doc = with_id;
-            }
-            table.insert(doc);
-            n += 1;
+        // Validate before logging so the op can never fail post-append.
+        if !map.contains_key(collection) {
+            return Err(DocError::UnknownCollection(collection.to_string()));
         }
-        drop(map);
-        self.bump_version();
+        let docs: Vec<Record> = docs
+            .into_iter()
+            .map(|doc| {
+                if doc.contains("_id") {
+                    doc
+                } else {
+                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                    // `_id` leads the document, like MongoDB's insertion rule.
+                    let mut with_id = Record::with_capacity(doc.len() + 1);
+                    with_id.insert("_id", id);
+                    for (k, v) in doc.iter() {
+                        with_id.insert(k.to_string(), v.clone());
+                    }
+                    with_id
+                }
+            })
+            .collect();
+        let n = docs.len();
+        self.durable_apply(
+            &mut map,
+            DurableOp::Ingest {
+                namespace: String::new(),
+                name: collection.to_string(),
+                records: docs,
+            },
+        )?;
         Ok(n)
     }
 
     /// Create a secondary index.
     pub fn create_index(&self, collection: &str, attribute: &str) -> Result<String> {
         let mut map = self.collections.write();
-        let table = map
-            .get_mut(collection)
+        if !map.contains_key(collection) {
+            return Err(DocError::UnknownCollection(collection.to_string()));
+        }
+        self.durable_apply(
+            &mut map,
+            DurableOp::Index {
+                namespace: String::new(),
+                name: collection.to_string(),
+                attribute: attribute.to_string(),
+            },
+        )?;
+        let name = map
+            .get(collection)
+            .and_then(|t| t.index_on(attribute).map(|ix| ix.name().to_string()))
             .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;
-        let name = table.create_index(attribute);
-        drop(map);
-        self.bump_version();
         Ok(name)
+    }
+
+    /// Attach a write-ahead log backed by `media` and recover whatever
+    /// committed state it holds (empty media recovers to an empty store).
+    /// Subsequent DDL and inserts are logged before they are applied.
+    pub fn enable_durability(
+        &self,
+        media: Arc<LogMedia>,
+        policy: CheckpointPolicy,
+    ) -> Result<RecoveryReport> {
+        let wal = Arc::new(Wal::new(media, "docstore", policy));
+        wal.set_faults(self.faults.lock().clone());
+        let mut map = self.collections.write();
+        let report = self.recover_locked(&mut map, &wal)?;
+        *self.wal.lock() = Some(wal);
+        Ok(report)
+    }
+
+    /// Whether a WAL is attached.
+    pub fn durability_enabled(&self) -> bool {
+        self.wal.lock().is_some()
+    }
+
+    /// WAL activity counters, when durability is enabled.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal().map(|w| w.stats())
+    }
+
+    /// Wipe in-memory state and rebuild it from the attached log, as a
+    /// restarted process would. Errors when durability is not enabled.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        let wal = self
+            .wal()
+            .ok_or_else(|| DocError::Exec("durability is not enabled".to_string()))?;
+        let mut map = self.collections.write();
+        self.recover_locked(&mut map, &wal)
+    }
+
+    /// The compacted op list that rebuilds this store's current state
+    /// from empty — what a checkpoint writes. Exposed so tests can
+    /// assert two stores are byte-identical.
+    pub fn durable_snapshot(&self) -> Vec<DurableOp> {
+        snapshot_ops(&self.collections.read())
+    }
+
+    fn wal(&self) -> Option<Arc<Wal>> {
+        self.wal.lock().clone()
+    }
+
+    /// An injected `Crash` at the query site: the process "dies" and
+    /// restarts, rebuilding the store from its log before the caller's
+    /// retry arrives.
+    fn simulate_query_crash(&self, site: &str) -> DocError {
+        if let Some(wal) = self.wal() {
+            let mut map = self.collections.write();
+            if let Err(e) = self.recover_locked(&mut map, &wal) {
+                return e;
+            }
+        }
+        DocError::Transient(format!("process crashed at {site}; store recovered"))
+    }
+
+    /// Replace the collection map with the state recovered from `wal`'s
+    /// media. The catalog version advances strictly past its pre-crash
+    /// value (stale plan-cache entries must miss) and the `_id` counter
+    /// resumes past the largest recovered `_id`.
+    fn recover_locked(
+        &self,
+        map: &mut HashMap<String, Table>,
+        wal: &Wal,
+    ) -> Result<RecoveryReport> {
+        let pre_crash_version = self.version.current();
+        let (ops, report) = wal.recover().map_err(wal_err)?;
+        let mut fresh = HashMap::new();
+        for op in ops {
+            apply_op(&mut fresh, op)?;
+        }
+        let max_id = fresh
+            .values()
+            .flat_map(|t| t.heap().scan())
+            .filter_map(|(_, r)| match r.get("_id") {
+                Some(Value::Int(id)) => Some(*id),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0);
+        self.next_id
+            .store(max_id.saturating_add(1).max(1), Ordering::Release);
+        self.version.advance_past(pre_crash_version);
+        *map = fresh;
+        Ok(report)
+    }
+
+    /// Log `op` (when durability is on), apply it, and checkpoint when
+    /// due. An injected crash at any WAL site wipes the store, recovers
+    /// it from the log, and surfaces as a transient error.
+    fn durable_apply(&self, map: &mut HashMap<String, Table>, op: DurableOp) -> Result<()> {
+        if let Some(wal) = self.wal() {
+            if let Err(e) = wal.append(&op) {
+                return Err(self.crash_recover(map, &wal, e));
+            }
+        }
+        apply_op(map, op)?;
+        self.bump_version();
+        if let Some(wal) = self.wal() {
+            if wal.checkpoint_due() {
+                let ops = snapshot_ops(map);
+                if let Err(e) = wal.checkpoint(&ops) {
+                    return Err(self.crash_recover(map, &wal, e));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle a WAL failure under the store's write lock: crashes
+    /// recover in place, corruption is surfaced as fatal.
+    fn crash_recover(
+        &self,
+        map: &mut HashMap<String, Table>,
+        wal: &Wal,
+        err: WalError,
+    ) -> DocError {
+        match err {
+            WalError::Crashed { site } => match self.recover_locked(map, wal) {
+                Ok(_) => DocError::Transient(format!(
+                    "process crashed at {site}; store recovered from log"
+                )),
+                Err(e) => e,
+            },
+            WalError::Corruption(m) => DocError::Corruption(m),
+        }
     }
 
     /// O(1) metadata count — the fast path `aggregate` pipelines CANNOT use
@@ -198,7 +363,7 @@ impl DocStore {
         collection: &str,
         pipeline_json: &str,
     ) -> Result<Compiled> {
-        let version = self.version.load(Ordering::Acquire);
+        let version = self.version.current();
         let key = (collection.to_string(), pipeline_json.to_string());
         let probe_started = std::time::Instant::now();
         if let Some(plan) = self.plan_cache.get(&key, version) {
@@ -251,7 +416,7 @@ impl DocStore {
             (rows, out_target)
         };
         if let Some(target) = out_target {
-            self.create_collection(&target);
+            self.create_collection(&target)?;
             let docs = results
                 .into_iter()
                 .map(|v| v.into_obj().map_err(|e| DocError::Exec(e.to_string())))
@@ -275,7 +440,7 @@ impl DocStore {
             run_pipeline(&map, collection, &phys, &Vars::new())?
         };
         if let Some(target) = out_target {
-            self.create_collection(&target);
+            self.create_collection(&target)?;
             let docs = results
                 .into_iter()
                 .map(|v| v.into_obj().map_err(|e| DocError::Exec(e.to_string())))
@@ -333,7 +498,7 @@ impl DocStore {
         // `$out` (only reachable through the save-results rule) still
         // writes its target collection on the traced path.
         let rows = if let Some(target) = out_target {
-            self.create_collection(&target);
+            self.create_collection(&target)?;
             let docs = rows
                 .into_iter()
                 .map(|v| v.into_obj().map_err(|e| DocError::Exec(e.to_string())))
@@ -414,6 +579,90 @@ impl DocStore {
     }
 }
 
+/// Map a WAL failure observed during recovery itself.
+fn wal_err(e: WalError) -> DocError {
+    match e {
+        WalError::Crashed { site } => {
+            DocError::Transient(format!("process crashed at {site} during recovery"))
+        }
+        WalError::Corruption(m) => DocError::Corruption(m),
+    }
+}
+
+/// Apply a logged op to the collection map. Ops were validated before
+/// they were logged, so a failure here means the log references state
+/// it never created — corruption, not a user error.
+fn apply_op(map: &mut HashMap<String, Table>, op: DurableOp) -> Result<()> {
+    match op {
+        DurableOp::Create { name, .. } => {
+            map.insert(
+                name.clone(),
+                Table::new(
+                    name,
+                    TableOptions {
+                        primary_key: Some("_id".to_string()),
+                        // Paper (section IV.E): "missing values are not
+                        // present in their indexes" for MongoDB.
+                        secondary_null_policy: NullPolicy::SkipNulls,
+                    },
+                ),
+            );
+        }
+        DurableOp::Ingest { name, records, .. } => {
+            let table = map.get_mut(&name).ok_or_else(|| {
+                DocError::Corruption(format!("log ingests into unknown collection {name}"))
+            })?;
+            table.insert_all(records);
+        }
+        DurableOp::Index {
+            name, attribute, ..
+        } => {
+            let table = map.get_mut(&name).ok_or_else(|| {
+                DocError::Corruption(format!("log indexes unknown collection {name}"))
+            })?;
+            table.create_index(&attribute);
+        }
+    }
+    Ok(())
+}
+
+/// The compacted op list that rebuilds `map` from empty: per collection
+/// (sorted by name) a `Create`, its secondary `Index`es, and one
+/// `Ingest` of the heap in scan order — so replay feeds every B+tree
+/// the same key sequence the original history did.
+fn snapshot_ops(map: &HashMap<String, Table>) -> Vec<DurableOp> {
+    let mut names: Vec<String> = map.keys().cloned().collect();
+    names.sort();
+    let mut ops = Vec::new();
+    for name in names {
+        let Some(table) = map.get(&name) else {
+            continue;
+        };
+        ops.push(DurableOp::Create {
+            namespace: String::new(),
+            name: name.clone(),
+            key: None,
+        });
+        for ix in table
+            .indexes()
+            .iter()
+            .filter(|ix| ix.kind() == IndexKind::Secondary)
+        {
+            ops.push(DurableOp::Index {
+                namespace: String::new(),
+                name: name.clone(),
+                attribute: ix.attribute().to_string(),
+            });
+        }
+        ops.push(DurableOp::Ingest {
+            namespace: String::new(),
+            name,
+            records: table.heap().scan().map(|(_, r)| r.clone()).collect(),
+        });
+    }
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -421,7 +670,7 @@ mod tests {
 
     fn users_store() -> DocStore {
         let store = DocStore::new();
-        store.create_collection("Test.Users");
+        store.create_collection("Test.Users").unwrap();
         let langs = ["en", "fr", "en", "de", "en"];
         store
             .insert_many(
@@ -549,7 +798,7 @@ mod tests {
     #[test]
     fn lookup_unwind_count_join() {
         let store = users_store();
-        store.create_collection("Test.Users2");
+        store.create_collection("Test.Users2").unwrap();
         store
             .insert_many(
                 "Test.Users2",
@@ -575,7 +824,7 @@ mod tests {
     #[test]
     fn missing_value_count_via_lt_null() {
         let store = DocStore::new();
-        store.create_collection("c");
+        store.create_collection("c").unwrap();
         store
             .insert_many(
                 "c",

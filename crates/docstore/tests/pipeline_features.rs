@@ -6,7 +6,7 @@ use polyframe_docstore::{DocError, DocStore};
 
 fn store() -> DocStore {
     let s = DocStore::new();
-    s.create_collection("c");
+    s.create_collection("c").unwrap();
     s.insert_many(
         "c",
         (0..30i64).map(|i| {
@@ -185,7 +185,7 @@ fn error_paths() {
 #[test]
 fn lookup_without_index_still_correct() {
     let s = store();
-    s.create_collection("other");
+    s.create_collection("other").unwrap();
     s.insert_many("other", (0..10i64).map(|i| record! {"k" => i}))
         .unwrap();
     // No index on other.k: the general per-document pipeline path runs.

@@ -18,6 +18,9 @@ pub enum GraphError {
     /// A transient (retryable) backend condition: a dropped connection,
     /// a shard timeout, or an injected fault. Retrying may succeed.
     Transient(String),
+    /// The store's write-ahead log or snapshot failed its integrity
+    /// check. Non-retryable: the durable state itself is damaged.
+    Corruption(String),
 }
 
 impl fmt::Display for GraphError {
@@ -31,6 +34,7 @@ impl fmt::Display for GraphError {
                 write!(f, "unsupported property value: {m}")
             }
             GraphError::Transient(m) => write!(f, "{m}"),
+            GraphError::Corruption(m) => write!(f, "log corruption: {m}"),
         }
     }
 }
@@ -41,6 +45,11 @@ impl GraphError {
     /// Whether retrying the failed operation may succeed.
     pub fn is_transient(&self) -> bool {
         matches!(self, GraphError::Transient(_))
+    }
+
+    /// Whether this error reports damaged durable state.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, GraphError::Corruption(_))
     }
 }
 

@@ -4,7 +4,12 @@
 use crate::error::{GraphError, Result};
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::RwLock;
+use polyframe_observe::CatalogVersion;
+use polyframe_storage::{
+    CheckpointPolicy, DurableOp, LogMedia, RecoveryReport, Wal, WalError, WalStats,
+};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 pub(crate) use polyframe_storage::{BPlusTree, Direction, ScanRange};
 
@@ -127,6 +132,14 @@ impl LabelStore {
         self.indexes.contains_key(prop)
     }
 
+    /// Indexed property names, sorted (checkpoint snapshots need a
+    /// deterministic order).
+    pub fn index_props(&self) -> Vec<String> {
+        let mut props: Vec<String> = self.indexes.keys().cloned().collect();
+        props.sort();
+        props
+    }
+
     /// Index lookup: node indices with `prop == key`.
     pub fn index_lookup(&self, prop: &str, key: &Value) -> Option<Vec<usize>> {
         let tree = self.indexes.get(prop)?;
@@ -188,6 +201,104 @@ fn inline_to_value(p: InlineProp, strings: &[String]) -> Value {
     }
 }
 
+/// Pre-append validation: every property must be a scalar (or absent),
+/// mirroring the checks [`LabelStore::insert`] performs, so a logged
+/// ingest can never fail when applied.
+fn validate_node(record: &Record) -> Result<()> {
+    for (name, value) in record.iter() {
+        match value {
+            Value::Int(_)
+            | Value::Double(_)
+            | Value::Bool(_)
+            | Value::Str(_)
+            | Value::Null
+            | Value::Missing => {}
+            other => {
+                return Err(GraphError::UnsupportedProperty(format!(
+                    "{name}: {} (Neo4j properties are scalars)",
+                    other.type_name()
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Map a WAL failure observed during recovery itself.
+fn wal_err(e: WalError) -> GraphError {
+    match e {
+        WalError::Crashed { site } => {
+            GraphError::Transient(format!("process crashed at {site} during recovery"))
+        }
+        WalError::Corruption(m) => GraphError::Corruption(m),
+    }
+}
+
+/// Apply a logged op to the label map. Ops were validated before they
+/// were logged, so a failure here means the log is inconsistent with
+/// the state it claims to rebuild — corruption, not a user error.
+fn apply_op(map: &mut HashMap<String, LabelStore>, op: DurableOp) -> Result<()> {
+    match op {
+        DurableOp::Create { name, .. } => {
+            map.entry(name).or_insert_with(LabelStore::new);
+        }
+        DurableOp::Ingest { name, records, .. } => {
+            let store = map.entry(name.clone()).or_insert_with(LabelStore::new);
+            for rec in records {
+                store
+                    .insert(rec)
+                    .map_err(|e| GraphError::Corruption(format!("replaying {name} ingest: {e}")))?;
+            }
+        }
+        DurableOp::Index {
+            name, attribute, ..
+        } => {
+            let store = map.get_mut(&name).ok_or_else(|| {
+                GraphError::Corruption(format!("log indexes unknown label {name}"))
+            })?;
+            store.create_index(&attribute);
+        }
+    }
+    Ok(())
+}
+
+/// The compacted op list that rebuilds `map` from empty: per label
+/// (sorted by name) a `Create`, its property `Index`es, and one
+/// `Ingest` of the nodes in insertion order. Replaying materialized
+/// nodes re-registers property names and re-fills the string store in
+/// the original encounter order, so the rebuilt layout is identical.
+fn snapshot_ops(map: &HashMap<String, LabelStore>) -> Vec<DurableOp> {
+    let mut names: Vec<String> = map.keys().cloned().collect();
+    names.sort();
+    let mut ops = Vec::new();
+    for name in names {
+        let Some(store) = map.get(&name) else {
+            continue;
+        };
+        ops.push(DurableOp::Create {
+            namespace: String::new(),
+            name: name.clone(),
+            key: None,
+        });
+        for prop in store.index_props() {
+            ops.push(DurableOp::Index {
+                namespace: String::new(),
+                name: name.clone(),
+                attribute: prop,
+            });
+        }
+        ops.push(DurableOp::Ingest {
+            namespace: String::new(),
+            name: name.clone(),
+            records: store
+                .node_indices()
+                .map(|idx| store.materialize(idx))
+                .collect(),
+        });
+    }
+    ops
+}
+
 /// Cached parsed queries per store.
 const PLAN_CACHE_CAPACITY: usize = 128;
 
@@ -197,12 +308,16 @@ pub struct GraphStore {
     use_indexes: bool,
     /// Catalog version: bumped on label DDL and inserts, invalidating the
     /// plan cache (access paths are re-derived per execution, but the
-    /// guard keeps the cache discipline uniform across backends).
-    version: std::sync::atomic::AtomicU64,
+    /// guard keeps the cache discipline uniform across backends). Shared
+    /// helper with the other substrates; crash recovery advances it past
+    /// the pre-crash value.
+    version: CatalogVersion,
     /// Parsed queries keyed by Cypher text.
     plan_cache: polyframe_observe::VersionedCache<String, crate::cypher::CypherQuery>,
     /// Optional fault-injection plan consulted at query entry points.
     faults: polyframe_observe::sync::Mutex<Option<std::sync::Arc<polyframe_observe::FaultPlan>>>,
+    /// Optional write-ahead log (see [`GraphStore::enable_durability`]).
+    wal: polyframe_observe::sync::Mutex<Option<Arc<Wal>>>,
 }
 
 impl Default for GraphStore {
@@ -217,16 +332,20 @@ impl GraphStore {
         GraphStore {
             labels: RwLock::new(HashMap::new()),
             use_indexes: true,
-            version: std::sync::atomic::AtomicU64::new(0),
+            version: CatalogVersion::new(),
             plan_cache: polyframe_observe::VersionedCache::new(PLAN_CACHE_CAPACITY),
             faults: polyframe_observe::sync::Mutex::new(None),
+            wal: polyframe_observe::sync::Mutex::new(None),
         }
     }
 
     /// Install (or clear) a fault-injection plan consulted at every query
     /// entry point.
     pub fn set_fault_plan(&self, plan: Option<std::sync::Arc<polyframe_observe::FaultPlan>>) {
-        *self.faults.lock() = plan;
+        *self.faults.lock() = plan.clone();
+        if let Some(wal) = self.wal() {
+            wal.set_faults(plan);
+        }
     }
 
     /// The currently installed fault plan, if any.
@@ -249,6 +368,10 @@ impl GraphStore {
                     std::thread::sleep(d);
                     return Err(GraphError::Transient(format!("injected hang at {site}")));
                 }
+                Some(polyframe_observe::FaultKind::Crash)
+                | Some(polyframe_observe::FaultKind::TornWrite(_)) => {
+                    return Err(self.simulate_query_crash(site));
+                }
             }
         }
         Ok(())
@@ -264,15 +387,14 @@ impl GraphStore {
 
     /// Advance the catalog version, invalidating every cached query.
     fn bump_version(&self) {
-        self.version
-            .fetch_add(1, std::sync::atomic::Ordering::Release);
+        self.version.bump();
     }
 
     /// Cache-aware parse: probe the cache at the current catalog version,
     /// parse and insert on a miss. Returns the shared AST and whether the
     /// lookup hit. Shared by `query`, `query_traced` and `explain`.
     fn parsed(&self, cypher: &str) -> Result<(std::sync::Arc<crate::cypher::CypherQuery>, bool)> {
-        let version = self.version.load(std::sync::atomic::Ordering::Acquire);
+        let version = self.version.current();
         if let Some(ast) = self.plan_cache.get(&cypher.to_string(), version) {
             return Ok((ast, true));
         }
@@ -294,42 +416,177 @@ impl GraphStore {
     }
 
     /// Create an (empty) label.
-    pub fn create_label(&self, label: &str) {
-        self.labels
-            .write()
-            .entry(label.to_string())
-            .or_insert_with(LabelStore::new);
-        self.bump_version();
+    pub fn create_label(&self, label: &str) -> Result<()> {
+        let mut map = self.labels.write();
+        self.durable_apply(
+            &mut map,
+            DurableOp::Create {
+                namespace: String::new(),
+                name: label.to_string(),
+                key: None,
+            },
+        )
     }
 
-    /// Insert nodes under a label.
+    /// Insert nodes under a label (created implicitly when absent).
     pub fn insert_nodes(
         &self,
         label: &str,
         records: impl IntoIterator<Item = Record>,
     ) -> Result<usize> {
-        let mut map = self.labels.write();
-        let store = map.entry(label.to_string()).or_insert_with(LabelStore::new);
-        let mut n = 0;
-        for rec in records {
-            store.insert(rec)?;
-            n += 1;
+        let records: Vec<Record> = records.into_iter().collect();
+        // Validate before logging: `LabelStore::insert` rejects non-scalar
+        // properties, and a logged op must never fail when applied.
+        for rec in &records {
+            validate_node(rec)?;
         }
-        drop(map);
-        self.bump_version();
+        let n = records.len();
+        let mut map = self.labels.write();
+        self.durable_apply(
+            &mut map,
+            DurableOp::Ingest {
+                namespace: String::new(),
+                name: label.to_string(),
+                records,
+            },
+        )?;
         Ok(n)
     }
 
     /// Create a property index on a label.
     pub fn create_index(&self, label: &str, prop: &str) -> Result<()> {
         let mut map = self.labels.write();
-        let store = map
-            .get_mut(label)
-            .ok_or_else(|| GraphError::UnknownLabel(label.to_string()))?;
-        store.create_index(prop);
-        drop(map);
+        if !map.contains_key(label) {
+            return Err(GraphError::UnknownLabel(label.to_string()));
+        }
+        self.durable_apply(
+            &mut map,
+            DurableOp::Index {
+                namespace: String::new(),
+                name: label.to_string(),
+                attribute: prop.to_string(),
+            },
+        )
+    }
+
+    /// Attach a write-ahead log backed by `media` and recover whatever
+    /// committed state it holds (empty media recovers to an empty store).
+    /// Subsequent DDL and inserts are logged before they are applied.
+    pub fn enable_durability(
+        &self,
+        media: Arc<LogMedia>,
+        policy: CheckpointPolicy,
+    ) -> Result<RecoveryReport> {
+        let wal = Arc::new(Wal::new(media, "graphstore", policy));
+        wal.set_faults(self.faults.lock().clone());
+        let mut map = self.labels.write();
+        let report = self.recover_locked(&mut map, &wal)?;
+        *self.wal.lock() = Some(wal);
+        Ok(report)
+    }
+
+    /// Whether a WAL is attached.
+    pub fn durability_enabled(&self) -> bool {
+        self.wal.lock().is_some()
+    }
+
+    /// WAL activity counters, when durability is enabled.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal().map(|w| w.stats())
+    }
+
+    /// Wipe in-memory state and rebuild it from the attached log, as a
+    /// restarted process would. Errors when durability is not enabled.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        let wal = self
+            .wal()
+            .ok_or_else(|| GraphError::Exec("durability is not enabled".to_string()))?;
+        let mut map = self.labels.write();
+        self.recover_locked(&mut map, &wal)
+    }
+
+    /// The compacted op list that rebuilds this store's current state
+    /// from empty — what a checkpoint writes. Exposed so tests can
+    /// assert two stores are byte-identical.
+    pub fn durable_snapshot(&self) -> Vec<DurableOp> {
+        snapshot_ops(&self.labels.read())
+    }
+
+    fn wal(&self) -> Option<Arc<Wal>> {
+        self.wal.lock().clone()
+    }
+
+    /// An injected `Crash` at the query site: the process "dies" and
+    /// restarts, rebuilding the store from its log before the caller's
+    /// retry arrives.
+    fn simulate_query_crash(&self, site: &str) -> GraphError {
+        if let Some(wal) = self.wal() {
+            let mut map = self.labels.write();
+            if let Err(e) = self.recover_locked(&mut map, &wal) {
+                return e;
+            }
+        }
+        GraphError::Transient(format!("process crashed at {site}; store recovered"))
+    }
+
+    /// Replace the label map with the state recovered from `wal`'s media,
+    /// keeping the catalog version strictly past its pre-crash value so
+    /// queries cached before the crash can never be served again.
+    fn recover_locked(
+        &self,
+        map: &mut HashMap<String, LabelStore>,
+        wal: &Wal,
+    ) -> Result<RecoveryReport> {
+        let pre_crash_version = self.version.current();
+        let (ops, report) = wal.recover().map_err(wal_err)?;
+        let mut fresh = HashMap::new();
+        for op in ops {
+            apply_op(&mut fresh, op)?;
+        }
+        self.version.advance_past(pre_crash_version);
+        *map = fresh;
+        Ok(report)
+    }
+
+    /// Log `op` (when durability is on), apply it, and checkpoint when
+    /// due. An injected crash at any WAL site wipes the store, recovers
+    /// it from the log, and surfaces as a transient error.
+    fn durable_apply(&self, map: &mut HashMap<String, LabelStore>, op: DurableOp) -> Result<()> {
+        if let Some(wal) = self.wal() {
+            if let Err(e) = wal.append(&op) {
+                return Err(self.crash_recover(map, &wal, e));
+            }
+        }
+        apply_op(map, op)?;
         self.bump_version();
+        if let Some(wal) = self.wal() {
+            if wal.checkpoint_due() {
+                let ops = snapshot_ops(map);
+                if let Err(e) = wal.checkpoint(&ops) {
+                    return Err(self.crash_recover(map, &wal, e));
+                }
+            }
+        }
         Ok(())
+    }
+
+    /// Handle a WAL failure under the store's write lock: crashes
+    /// recover in place, corruption is surfaced as fatal.
+    fn crash_recover(
+        &self,
+        map: &mut HashMap<String, LabelStore>,
+        wal: &Wal,
+        err: WalError,
+    ) -> GraphError {
+        match err {
+            WalError::Crashed { site } => match self.recover_locked(map, wal) {
+                Ok(_) => GraphError::Transient(format!(
+                    "process crashed at {site}; store recovered from log"
+                )),
+                Err(e) => e,
+            },
+            WalError::Corruption(m) => GraphError::Corruption(m),
+        }
     }
 
     /// O(1) metadata count for a label.

@@ -32,6 +32,15 @@ pub enum FaultKind {
     /// transient timeout-style error (a hung call that a client gave up
     /// on; the bounded sleep keeps tests finite).
     Hang(Duration),
+    /// The process dies at this point. Durable state written *before* the
+    /// crash survives; everything volatile is lost. Stores react by
+    /// wiping in-memory state and recovering from their log.
+    Crash,
+    /// The process dies *mid-write*: only a prefix of the in-flight
+    /// durable write reaches the media. The payload is deterministic
+    /// entropy (a pure function of seed, site, and draw) the writer uses
+    /// to pick the prefix length, so torn tails replay byte-identically.
+    TornWrite(u64),
 }
 
 /// A fault the plan injected, for determinism assertions and reports.
@@ -71,11 +80,21 @@ pub struct FaultPlan {
     latency: Duration,
     hang_rate: f64,
     hang: Duration,
+    crash_rate: f64,
+    torn_rate: f64,
+    target: Option<(String, u64, TargetKind)>,
     max_faults: Option<u64>,
     site_filter: Option<String>,
     injected: AtomicU64,
     draws: Mutex<HashMap<String, u64>>,
     log: Mutex<Vec<FaultEvent>>,
+}
+
+/// What an exactly-targeted plan fires (see [`FaultPlan::crash_at`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TargetKind {
+    Crash,
+    Torn,
 }
 
 impl FaultPlan {
@@ -105,6 +124,41 @@ impl FaultPlan {
         self.hang_rate = rate.clamp(0.0, 1.0);
         self.hang = hang;
         self
+    }
+
+    /// Probability in `[0, 1]` that an operation crashes the process.
+    pub fn with_crash_rate(mut self, rate: f64) -> FaultPlan {
+        self.crash_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability in `[0, 1]` that a durable write is torn (only a
+    /// prefix reaches the media before the process dies).
+    pub fn with_torn_rate(mut self, rate: f64) -> FaultPlan {
+        self.torn_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// A plan that fires exactly one [`FaultKind::Crash`] at `site`'s
+    /// `draw`-th operation (0-based) and nothing anywhere else. This is
+    /// the "kill the process *here*" primitive the crash-recovery
+    /// property tests sweep over every injection site.
+    pub fn crash_at(seed: u64, site: impl Into<String>, draw: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            target: Some((site.into(), draw, TargetKind::Crash)),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A plan that fires exactly one [`FaultKind::TornWrite`] at `site`'s
+    /// `draw`-th operation (0-based) and nothing anywhere else.
+    pub fn torn_at(seed: u64, site: impl Into<String>, draw: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            target: Some((site.into(), draw, TargetKind::Torn)),
+            ..FaultPlan::default()
+        }
     }
 
     /// Cap the total number of injected faults across all sites.
@@ -171,21 +225,56 @@ impl FaultPlan {
         let mut rng = Rng::seed_from_u64(
             self.seed ^ fnv1a64(site.as_bytes()) ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15),
         );
-        let u = rng.gen_f64();
-        if u < self.error_rate {
-            Some(FaultKind::Error)
-        } else if u < self.error_rate + self.latency_rate {
-            Some(FaultKind::Latency(self.latency))
-        } else if u < self.error_rate + self.latency_rate + self.hang_rate {
-            Some(FaultKind::Hang(self.hang))
-        } else {
-            None
+        if let Some((t_site, t_draw, kind)) = &self.target {
+            if site != t_site || draw != *t_draw {
+                return None;
+            }
+            return Some(match kind {
+                TargetKind::Crash => FaultKind::Crash,
+                TargetKind::Torn => FaultKind::TornWrite(rng.next_u64()),
+            });
         }
+        let u = rng.gen_f64();
+        let mut edge = self.error_rate;
+        if u < edge {
+            return Some(FaultKind::Error);
+        }
+        edge += self.latency_rate;
+        if u < edge {
+            return Some(FaultKind::Latency(self.latency));
+        }
+        edge += self.hang_rate;
+        if u < edge {
+            return Some(FaultKind::Hang(self.hang));
+        }
+        edge += self.crash_rate;
+        if u < edge {
+            return Some(FaultKind::Crash);
+        }
+        edge += self.torn_rate;
+        if u < edge {
+            return Some(FaultKind::TornWrite(rng.next_u64()));
+        }
+        None
     }
 
     /// Total faults injected so far.
     pub fn faults_injected(&self) -> u64 {
         self.injected.load(Ordering::SeqCst)
+    }
+
+    /// Per-site draw counts so far, sorted by site name. A clean run of a
+    /// workload under a zero-rate plan enumerates exactly the `(site,
+    /// draw)` space the crash-recovery sweep must cover.
+    pub fn draw_counts(&self) -> Vec<(String, u64)> {
+        let mut counts: Vec<(String, u64)> = self
+            .draws
+            .lock()
+            .iter()
+            .map(|(site, n)| (site.clone(), *n))
+            .collect();
+        counts.sort();
+        counts
     }
 
     /// Snapshot the injection log without draining it.
@@ -280,6 +369,59 @@ mod tests {
     }
 
     #[test]
+    fn crash_at_fires_exactly_once() {
+        let plan = FaultPlan::crash_at(11, "store/wal/append", 2);
+        assert_eq!(plan.next_fault("store/wal/append"), None);
+        assert_eq!(plan.next_fault("other/site"), None);
+        assert_eq!(plan.next_fault("store/wal/append"), None);
+        assert_eq!(plan.next_fault("store/wal/append"), Some(FaultKind::Crash));
+        assert_eq!(plan.next_fault("store/wal/append"), None);
+        assert_eq!(plan.faults_injected(), 1);
+    }
+
+    #[test]
+    fn torn_at_entropy_is_deterministic() {
+        let draw = |seed| {
+            let plan = FaultPlan::torn_at(seed, "s", 0);
+            plan.next_fault("s")
+        };
+        let a = draw(5);
+        let b = draw(5);
+        assert_eq!(a, b);
+        assert!(matches!(a, Some(FaultKind::TornWrite(_))));
+        assert_ne!(a, draw(6));
+    }
+
+    #[test]
+    fn draw_counts_enumerate_sites() {
+        let plan = FaultPlan::new(0);
+        plan.next_fault("b");
+        plan.next_fault("a");
+        plan.next_fault("a");
+        assert_eq!(
+            plan.draw_counts(),
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn crash_and_torn_rates_partition() {
+        let plan = FaultPlan::new(13).with_crash_rate(0.3).with_torn_rate(0.3);
+        let mut crash = 0;
+        let mut torn = 0;
+        for _ in 0..1000 {
+            match plan.next_fault("s") {
+                Some(FaultKind::Crash) => crash += 1,
+                Some(FaultKind::TornWrite(_)) => torn += 1,
+                Some(other) => panic!("unexpected kind {other:?}"),
+                None => {}
+            }
+        }
+        assert!((180..420).contains(&crash), "crash: {crash}");
+        assert!((180..420).contains(&torn), "torn: {torn}");
+    }
+
+    #[test]
     fn rates_partition_into_kinds() {
         let plan = FaultPlan::new(99)
             .with_error_rate(0.2)
@@ -300,6 +442,7 @@ mod tests {
                     assert_eq!(d, Duration::from_millis(7));
                     hang += 1;
                 }
+                Some(other) => panic!("zero-rate kind fired: {other:?}"),
                 None => none += 1,
             }
         }

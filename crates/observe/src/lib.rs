@@ -36,7 +36,7 @@ pub mod rng;
 pub mod sync;
 pub mod trace;
 
-pub use cache::{CacheStats, VersionedCache};
+pub use cache::{CacheStats, CatalogVersion, VersionedCache};
 pub use counters::{Counter, CounterSnapshot, Counters};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use policy::{Deadline, RetryPolicy};

@@ -2,6 +2,7 @@
 //! "schemas" in PostgreSQL) containing tables.
 
 use crate::error::{EngineError, Result};
+use polyframe_observe::CatalogVersion;
 use polyframe_storage::{Table, TableOptions};
 use std::collections::HashMap;
 
@@ -12,8 +13,10 @@ pub struct Database {
     /// Monotonic catalog version: bumped on DDL and bulk loads, consumed
     /// by the plan cache to invalidate entries compiled against an older
     /// catalog (a new index — or new data making an index incomplete —
-    /// changes which physical plan is correct).
-    version: u64,
+    /// changes which physical plan is correct). The shared
+    /// [`CatalogVersion`] helper is also used by the document and graph
+    /// stores, and crash recovery advances it past the pre-crash value.
+    version: CatalogVersion,
 }
 
 impl Database {
@@ -24,12 +27,19 @@ impl Database {
 
     /// Current catalog version.
     pub fn version(&self) -> u64 {
-        self.version
+        self.version.current()
     }
 
     /// Advance the catalog version (callers: DDL and bulk-load paths).
-    pub fn bump_version(&mut self) {
-        self.version += 1;
+    pub fn bump_version(&self) {
+        self.version.bump();
+    }
+
+    /// Move the catalog version strictly past `seen` (recovery: `seen`
+    /// is the pre-crash version, so every plan cached before the crash
+    /// misses afterwards).
+    pub fn advance_version_past(&self, seen: u64) {
+        self.version.advance_past(seen);
     }
 
     /// Create a dataset. Replaces any existing dataset of the same name.
@@ -44,7 +54,7 @@ impl Database {
             key.clone(),
             Table::new(format!("{namespace}.{dataset}"), options),
         );
-        self.version += 1;
+        self.version.bump();
         self.tables.get_mut(&key).unwrap()
     }
 

@@ -14,7 +14,10 @@ use crate::plan::physical::{plan_physical, PhysicalPlan, PlannerOptions};
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::{Mutex, RwLock};
 use polyframe_observe::{CacheStats, FaultKind, FaultPlan, Span, SpanTimer};
-use polyframe_storage::TableOptions;
+use polyframe_storage::{
+    CheckpointPolicy, DurableOp, IndexKind, LogMedia, RecoveryReport, TableOptions, Wal, WalError,
+    WalStats,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -81,6 +84,7 @@ pub struct Engine {
     db: RwLock<Database>,
     plan_cache: PlanCache,
     faults: Mutex<Option<Arc<FaultPlan>>>,
+    wal: Mutex<Option<Arc<Wal>>>,
 }
 
 /// A compiled query: the shared cache entry, whether it came from the
@@ -100,14 +104,19 @@ impl Engine {
             db: RwLock::new(Database::new()),
             plan_cache: PlanCache::new(),
             faults: Mutex::new(None),
+            wal: Mutex::new(None),
         }
     }
 
     /// Install (or clear) a fault-injection plan consulted at every
-    /// query entry point. Cluster shard execution is exempt — the
-    /// cluster layer injects at its own shard boundary instead.
+    /// query entry point and at the WAL's durability sites. Cluster
+    /// shard execution is exempt — the cluster layer injects at its own
+    /// shard boundary instead.
     pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
-        *self.faults.lock() = plan;
+        *self.faults.lock() = plan.clone();
+        if let Some(wal) = self.wal() {
+            wal.set_faults(plan);
+        }
     }
 
     /// The currently installed fault plan, if any.
@@ -119,7 +128,7 @@ impl Engine {
     fn check_faults(&self) -> Result<()> {
         let plan = self.faults.lock().clone();
         if let Some(plan) = plan {
-            let site = format!("sqlengine/{:?}", self.config.dialect);
+            let site = self.site();
             match plan.next_fault(&site) {
                 None => {}
                 Some(FaultKind::Error) => {
@@ -130,9 +139,27 @@ impl Engine {
                     std::thread::sleep(d);
                     return Err(EngineError::transient(format!("injected hang at {site}")));
                 }
+                Some(FaultKind::Crash) | Some(FaultKind::TornWrite(_)) => {
+                    return Err(self.simulate_query_crash(&site));
+                }
             }
         }
         Ok(())
+    }
+
+    /// A crash fault at a *query* (read-only) site: no committed state
+    /// is at risk, but the process restart wipes memory. With durability
+    /// enabled we model the restart faithfully — recover from the log —
+    /// so the caller's retry lands on the rebuilt store; without it the
+    /// crash degrades to a plain transient fault.
+    fn simulate_query_crash(&self, site: &str) -> EngineError {
+        if let Some(wal) = self.wal() {
+            let mut db = self.db.write();
+            if let Err(e) = self.recover_locked(&mut db, &wal) {
+                return e;
+            }
+        }
+        EngineError::transient(format!("process crashed at {site}; store recovered"))
     }
 
     /// This engine's configuration.
@@ -140,13 +167,128 @@ impl Engine {
         &self.config
     }
 
+    /// This engine's fault/WAL site name.
+    fn site(&self) -> String {
+        format!("sqlengine/{:?}", self.config.dialect)
+    }
+
+    fn wal(&self) -> Option<Arc<Wal>> {
+        self.wal.lock().clone()
+    }
+
+    /// Attach a write-ahead log on `media` and recover whatever state it
+    /// holds (a fresh media recovers to an empty engine; a media carried
+    /// over from a "previous process" rebuilds its exact committed
+    /// state). From here on every DDL, load, and index build is logged
+    /// before it is applied, and checkpoints follow `policy`.
+    pub fn enable_durability(
+        &self,
+        media: Arc<LogMedia>,
+        policy: CheckpointPolicy,
+    ) -> Result<RecoveryReport> {
+        let wal = Arc::new(Wal::new(media, self.site(), policy));
+        wal.set_faults(self.faults.lock().clone());
+        let mut db = self.db.write();
+        let report = self.recover_locked(&mut db, &wal)?;
+        *self.wal.lock() = Some(wal);
+        Ok(report)
+    }
+
+    /// Whether a WAL is attached.
+    pub fn durability_enabled(&self) -> bool {
+        self.wal.lock().is_some()
+    }
+
+    /// WAL activity counters, when durability is enabled.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.wal().map(|w| w.stats())
+    }
+
+    /// Wipe in-memory state and rebuild it from the attached log, as a
+    /// restarted process would. Errors when durability is not enabled.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        let wal = self
+            .wal()
+            .ok_or_else(|| EngineError::exec("durability is not enabled"))?;
+        let mut db = self.db.write();
+        self.recover_locked(&mut db, &wal)
+    }
+
+    /// Replace `db` with the state recovered from `wal`'s media, keeping
+    /// the catalog version strictly past its pre-crash value so plans
+    /// cached before the crash can never be served again.
+    fn recover_locked(&self, db: &mut Database, wal: &Wal) -> Result<RecoveryReport> {
+        let pre_crash_version = db.version();
+        let (ops, report) = wal.recover().map_err(wal_err)?;
+        let mut fresh = Database::new();
+        for op in ops {
+            apply_op(&mut fresh, op, &self.config.personality)?;
+        }
+        fresh.advance_version_past(pre_crash_version);
+        *db = fresh;
+        Ok(report)
+    }
+
+    /// Log `op` (when durability is on), apply it, and checkpoint when
+    /// due. An injected crash at any WAL site wipes the store, recovers
+    /// it from the log, and surfaces as a transient error — the store
+    /// the caller retries against is the rebuilt one.
+    fn durable_apply(&self, db: &mut Database, op: DurableOp) -> Result<()> {
+        if let Some(wal) = self.wal() {
+            if let Err(e) = wal.append(&op) {
+                return Err(self.crash_recover(db, &wal, e));
+            }
+        }
+        apply_op(db, op, &self.config.personality)?;
+        if let Some(wal) = self.wal() {
+            if wal.checkpoint_due() {
+                let ops = snapshot_ops(db);
+                if let Err(e) = wal.checkpoint(&ops) {
+                    return Err(self.crash_recover(db, &wal, e));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Handle a WAL failure under the store's write lock: crashes
+    /// recover in place, corruption is surfaced as fatal.
+    fn crash_recover(&self, db: &mut Database, wal: &Wal, err: WalError) -> EngineError {
+        match err {
+            WalError::Crashed { site } => match self.recover_locked(db, wal) {
+                Ok(_) => EngineError::transient(format!(
+                    "process crashed at {site}; store recovered from log"
+                )),
+                Err(e) => e,
+            },
+            WalError::Corruption(m) => EngineError::Corruption { message: m },
+        }
+    }
+
+    /// The compacted op list that rebuilds this engine's current state
+    /// from empty — what a checkpoint writes. Exposed so tests can
+    /// assert two stores are byte-identical (equal op encodings imply
+    /// equal heaps, in order, and equal index definitions).
+    pub fn durable_snapshot(&self) -> Vec<DurableOp> {
+        snapshot_ops(&self.db.read())
+    }
+
     /// Create a dataset.
-    pub fn create_dataset(&self, namespace: &str, dataset: &str, primary_key: Option<&str>) {
-        let options = TableOptions {
-            primary_key: primary_key.map(str::to_string),
-            secondary_null_policy: self.config.personality.secondary_null_policy(),
-        };
-        self.db.write().create_dataset(namespace, dataset, options);
+    pub fn create_dataset(
+        &self,
+        namespace: &str,
+        dataset: &str,
+        primary_key: Option<&str>,
+    ) -> Result<()> {
+        let mut db = self.db.write();
+        self.durable_apply(
+            &mut db,
+            DurableOp::Create {
+                namespace: namespace.to_string(),
+                name: dataset.to_string(),
+                key: primary_key.map(str::to_string),
+            },
+        )
     }
 
     /// Bulk-load records into a dataset.
@@ -157,20 +299,36 @@ impl Engine {
         records: impl IntoIterator<Item = Record>,
     ) -> Result<()> {
         let mut db = self.db.write();
-        let table = db.dataset_mut(namespace, dataset)?;
-        table.insert_all(records);
-        // Loads can flip `Index::is_complete`, which changes which physical
-        // plan is *correct* (not just fastest) — invalidate cached plans.
-        db.bump_version();
-        Ok(())
+        // Validate before logging so the op can never fail post-append.
+        db.dataset(namespace, dataset)?;
+        let records: Vec<Record> = records.into_iter().collect();
+        self.durable_apply(
+            &mut db,
+            DurableOp::Ingest {
+                namespace: namespace.to_string(),
+                name: dataset.to_string(),
+                records,
+            },
+        )
     }
 
     /// Create a secondary index.
     pub fn create_index(&self, namespace: &str, dataset: &str, attribute: &str) -> Result<String> {
         let mut db = self.db.write();
-        let name = db.dataset_mut(namespace, dataset)?.create_index(attribute);
-        db.bump_version();
-        Ok(name)
+        db.dataset(namespace, dataset)?;
+        self.durable_apply(
+            &mut db,
+            DurableOp::Index {
+                namespace: namespace.to_string(),
+                name: dataset.to_string(),
+                attribute: attribute.to_string(),
+            },
+        )?;
+        Ok(db
+            .dataset(namespace, dataset)?
+            .index_on(attribute)
+            .map(|ix| ix.name().to_string())
+            .unwrap_or_default())
     }
 
     /// Number of records in a dataset.
@@ -413,6 +571,102 @@ impl Engine {
     }
 }
 
+/// Map a WAL failure outside any crash-recovery context (i.e. during
+/// recovery itself, where no fault sites are drawn).
+fn wal_err(e: WalError) -> EngineError {
+    match e {
+        WalError::Crashed { site } => EngineError::transient(format!("process crashed at {site}")),
+        WalError::Corruption(m) => EngineError::Corruption { message: m },
+    }
+}
+
+/// Apply one logged op to the catalog. Infallible for ops that went
+/// through the validated durable path; a failure here means the log
+/// references state it never created — corruption, not a user error.
+fn apply_op(db: &mut Database, op: DurableOp, personality: &Personality) -> Result<()> {
+    match op {
+        DurableOp::Create {
+            namespace,
+            name,
+            key,
+        } => {
+            let options = TableOptions {
+                primary_key: key,
+                secondary_null_policy: personality.secondary_null_policy(),
+            };
+            db.create_dataset(&namespace, &name, options);
+        }
+        DurableOp::Ingest {
+            namespace,
+            name,
+            records,
+        } => {
+            db.dataset_mut(&namespace, &name)
+                .map_err(|_| EngineError::Corruption {
+                    message: format!("log ingests into unknown dataset {namespace}.{name}"),
+                })?
+                .insert_all(records);
+            // Loads can flip `Index::is_complete`, which changes which
+            // physical plan is *correct* — invalidate cached plans.
+            db.bump_version();
+        }
+        DurableOp::Index {
+            namespace,
+            name,
+            attribute,
+        } => {
+            db.dataset_mut(&namespace, &name)
+                .map_err(|_| EngineError::Corruption {
+                    message: format!("log indexes unknown dataset {namespace}.{name}"),
+                })?
+                .create_index(&attribute);
+            db.bump_version();
+        }
+    }
+    Ok(())
+}
+
+/// Compact the catalog into an op list that replays to identical state:
+/// per dataset (sorted for determinism) a `Create`, the secondary-index
+/// DDL, then one `Ingest` of the heap in scan order. Creating indexes
+/// before the ingest feeds the B+trees the same key sequence as the
+/// original history did (heap order), so the rebuilt trees match.
+fn snapshot_ops(db: &Database) -> Vec<DurableOp> {
+    let mut names: Vec<(String, String)> = db
+        .dataset_names()
+        .map(|(ns, ds)| (ns.to_string(), ds.to_string()))
+        .collect();
+    names.sort();
+    let mut ops = Vec::new();
+    for (namespace, name) in names {
+        let Ok(table) = db.dataset(&namespace, &name) else {
+            continue;
+        };
+        ops.push(DurableOp::Create {
+            namespace: namespace.clone(),
+            name: name.clone(),
+            key: table.primary_key().map(str::to_string),
+        });
+        for ix in table
+            .indexes()
+            .iter()
+            .filter(|ix| ix.kind() == IndexKind::Secondary)
+        {
+            ops.push(DurableOp::Index {
+                namespace: namespace.clone(),
+                name: name.clone(),
+                attribute: ix.attribute().to_string(),
+            });
+        }
+        ops.push(DurableOp::Ingest {
+            namespace,
+            name,
+            records: table.heap().scan().map(|(_, r)| r.clone()).collect(),
+        });
+    }
+    ops
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -420,7 +674,7 @@ mod tests {
 
     fn users_engine(config: EngineConfig) -> Engine {
         let engine = Engine::new(config);
-        engine.create_dataset("Test", "Users", Some("id"));
+        engine.create_dataset("Test", "Users", Some("id")).unwrap();
         let langs = ["en", "fr", "en", "de", "en"];
         engine
             .load(

@@ -41,6 +41,12 @@ pub enum EngineError {
         /// Human-readable description.
         message: String,
     },
+    /// The engine's write-ahead log or snapshot failed its integrity
+    /// check. Non-retryable: the durable state itself is damaged.
+    Corruption {
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -56,6 +62,7 @@ impl fmt::Display for EngineError {
                 write!(f, "unknown dataset: {namespace}.{dataset}")
             }
             EngineError::Transient { message } => write!(f, "{message}"),
+            EngineError::Corruption { message } => write!(f, "log corruption: {message}"),
         }
     }
 }
@@ -94,6 +101,11 @@ impl EngineError {
     /// Whether retrying the failed operation may succeed.
     pub fn is_transient(&self) -> bool {
         matches!(self, EngineError::Transient { .. })
+    }
+
+    /// Whether this error reports damaged durable state.
+    pub fn is_corruption(&self) -> bool {
+        matches!(self, EngineError::Corruption { .. })
     }
 }
 

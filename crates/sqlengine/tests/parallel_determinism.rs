@@ -17,7 +17,7 @@ const DS: &str = "wisconsin";
 const MORSEL_ROWS: usize = 256;
 
 fn load(engine: &Engine) {
-    engine.create_dataset(NS, DS, Some("unique2"));
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
     engine
         .load(NS, DS, generate(&WisconsinConfig::new(N)))
         .unwrap();

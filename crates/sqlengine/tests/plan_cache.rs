@@ -11,7 +11,7 @@ const DS: &str = "t";
 
 fn engine() -> Engine {
     let e = Engine::new(EngineConfig::postgres());
-    e.create_dataset(NS, DS, Some("id"));
+    e.create_dataset(NS, DS, Some("id")).unwrap();
     e.load(
         NS,
         DS,
@@ -111,7 +111,7 @@ fn dialects_key_separate_entries() {
     // The same query text under different dialects must not collide.
     let sql = "SELECT VALUE COUNT(*) FROM Test.t";
     let e = Engine::new(EngineConfig::asterixdb());
-    e.create_dataset(NS, DS, Some("id"));
+    e.create_dataset(NS, DS, Some("id")).unwrap();
     e.load(NS, DS, (0..10i64).map(|i| record! { "id" => i }))
         .unwrap();
     e.query(sql).unwrap();
@@ -119,11 +119,45 @@ fn dialects_key_separate_entries() {
     assert_eq!(e.plan_cache_stats().hits, 1);
 
     let pg = Engine::new(EngineConfig::postgres());
-    pg.create_dataset(NS, DS, Some("id"));
+    pg.create_dataset(NS, DS, Some("id")).unwrap();
     pg.load(NS, DS, (0..10i64).map(|i| record! { "id" => i }))
         .unwrap();
     // Postgres parses this dialect-specific text differently (and rejects
     // it) — its cache stays independent either way.
     let _ = pg.query(sql);
     assert_eq!(pg.plan_cache_stats().hits, 0);
+}
+
+#[test]
+fn recovery_invalidates_cached_plans() {
+    use polyframe_storage::{CheckpointPolicy, LogMedia};
+    let e = Engine::new(EngineConfig::postgres());
+    e.enable_durability(LogMedia::new(), CheckpointPolicy::every(8))
+        .unwrap();
+    e.create_dataset(NS, DS, Some("id")).unwrap();
+    e.load(
+        NS,
+        DS,
+        (0..100i64).map(|i| record! { "id" => i, "ten" => i % 10 }),
+    )
+    .unwrap();
+    let sql = "SELECT COUNT(*) FROM (SELECT * FROM Test.t) t";
+    assert_eq!(e.query(sql).unwrap()[0].get_path("count"), Value::Int(100));
+    assert_eq!(e.query(sql).unwrap()[0].get_path("count"), Value::Int(100));
+    assert_eq!(
+        (e.plan_cache_stats().hits, e.plan_cache_stats().misses),
+        (1, 1)
+    );
+
+    // Simulated restart: wipe volatile state, rebuild from the log. The
+    // catalog version advances past its pre-crash value, so a cached
+    // plan keyed to the old version can never be served across restart.
+    e.recover().unwrap();
+    assert_eq!(e.query(sql).unwrap()[0].get_path("count"), Value::Int(100));
+    let stats = e.plan_cache_stats();
+    assert_eq!(
+        (stats.hits, stats.misses),
+        (1, 2),
+        "the first post-recovery lookup must miss"
+    );
 }

@@ -7,7 +7,7 @@ use polyframe_sqlengine::{Dialect, Engine, EngineConfig, EngineError};
 
 fn engine() -> Engine {
     let e = Engine::new(EngineConfig::postgres());
-    e.create_dataset("public", "t", Some("id"));
+    e.create_dataset("public", "t", Some("id")).unwrap();
     e.load(
         "public",
         "t",
@@ -39,7 +39,7 @@ fn distinct_eliminates_duplicates() {
 #[test]
 fn left_join_keeps_unmatched_rows() {
     let e = engine();
-    e.create_dataset("public", "small", Some("id"));
+    e.create_dataset("public", "small", Some("id")).unwrap();
     e.load(
         "public",
         "small",
@@ -170,7 +170,7 @@ fn order_by_multiple_keys() {
 #[test]
 fn empty_dataset_aggregates() {
     let e = Engine::new(EngineConfig::postgres());
-    e.create_dataset("public", "empty", None);
+    e.create_dataset("public", "empty", None).unwrap();
     let rows = e
         .query("SELECT COUNT(*) FROM (SELECT * FROM empty) x")
         .unwrap();
@@ -204,7 +204,7 @@ fn error_paths() {
 fn sqlpp_dialect_distinctions() {
     let e = Engine::new(EngineConfig::asterixdb());
     assert_eq!(e.config().dialect, Dialect::SqlPlusPlus);
-    e.create_dataset("Default", "d", None);
+    e.create_dataset("Default", "d", None).unwrap();
     e.load(
         "Default",
         "d",
@@ -234,7 +234,7 @@ fn sqlpp_dialect_distinctions() {
 #[test]
 fn nested_field_navigation() {
     let e = Engine::new(EngineConfig::postgres());
-    e.create_dataset("public", "nested", None);
+    e.create_dataset("public", "nested", None).unwrap();
     e.load(
         "public",
         "nested",
@@ -259,7 +259,7 @@ fn index_and_seqscan_agree() {
         use_indexes: false,
         ..EngineConfig::postgres()
     });
-    without.create_dataset("public", "t", Some("id"));
+    without.create_dataset("public", "t", Some("id")).unwrap();
     without
         .load(
             "public",

@@ -1,0 +1,275 @@
+//! Lossless binary encoding of the PolyFrame data model.
+//!
+//! The write-ahead log cannot use the workspace's JSON printer: JSON is
+//! *lossy* for this data model — `Missing` and `Null` both print as
+//! `null`, and non-finite doubles degrade to `null` — so a JSON round
+//! trip would not recover byte-identical state. This codec keeps every
+//! distinction: values are tagged, integers stay integers, and doubles
+//! round-trip through their IEEE bit pattern (`f64::to_bits`), which
+//! preserves NaN payloads and signed zeros.
+//!
+//! Layout is little-endian throughout. Strings and sequences carry a
+//! `u32` length prefix. Decoding is bounds-checked and returns a
+//! descriptive error instead of panicking, because the decoder's input
+//! is whatever survived a (possibly torn or corrupted) log.
+
+use polyframe_datamodel::{Record, Value};
+
+/// Append a `u32` in little-endian order.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian order.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Append one tagged [`Value`].
+pub fn put_value(buf: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Missing => buf.push(0),
+        Value::Null => buf.push(1),
+        Value::Bool(b) => {
+            buf.push(2);
+            buf.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            buf.push(3);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            buf.push(4);
+            put_u64(buf, d.to_bits());
+        }
+        Value::Str(s) => {
+            buf.push(5);
+            put_str(buf, s);
+        }
+        Value::Array(items) => {
+            buf.push(6);
+            put_u32(buf, items.len() as u32);
+            for item in items {
+                put_value(buf, item);
+            }
+        }
+        Value::Obj(r) => {
+            buf.push(7);
+            put_record(buf, r);
+        }
+    }
+}
+
+/// Append one [`Record`] (field count, then `(name, value)` pairs in
+/// field order — order is part of the data model and must survive).
+pub fn put_record(buf: &mut Vec<u8>, record: &Record) {
+    put_u32(buf, record.len() as u32);
+    for (name, value) in record.iter() {
+        put_str(buf, name);
+        put_value(buf, value);
+    }
+}
+
+/// Bounds-checked reader over an encoded byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+/// Decoding failure: truncated input or an unknown tag. The WAL maps
+/// this to its corruption error — a complete, CRC-valid frame that does
+/// not decode indicates a codec bug or deliberate tampering.
+pub type DecodeError = String;
+
+impl<'a> Reader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(format!(
+                "truncated input: wanted {n} bytes, {} left",
+                self.remaining()
+            ));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        let mut arr = [0u8; 8];
+        arr.copy_from_slice(b);
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| format!("invalid utf-8 string: {e}"))
+    }
+
+    /// Read one tagged [`Value`].
+    pub fn value(&mut self) -> Result<Value, DecodeError> {
+        match self.u8()? {
+            0 => Ok(Value::Missing),
+            1 => Ok(Value::Null),
+            2 => Ok(Value::Bool(self.u8()? != 0)),
+            3 => {
+                let b = self.take(8)?;
+                let mut arr = [0u8; 8];
+                arr.copy_from_slice(b);
+                Ok(Value::Int(i64::from_le_bytes(arr)))
+            }
+            4 => Ok(Value::Double(f64::from_bits(self.u64()?))),
+            5 => Ok(Value::Str(self.str()?)),
+            6 => {
+                let n = self.u32()? as usize;
+                let mut items = Vec::with_capacity(n.min(1 << 16));
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::Array(items))
+            }
+            7 => Ok(Value::Obj(self.record()?)),
+            tag => Err(format!("unknown value tag {tag}")),
+        }
+    }
+
+    /// Read one [`Record`].
+    pub fn record(&mut self) -> Result<Record, DecodeError> {
+        let n = self.u32()? as usize;
+        let mut record = Record::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let name = self.str()?;
+            let value = self.value()?;
+            record.insert(name, value);
+        }
+        Ok(record)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    fn round_trip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        put_value(&mut buf, v);
+        let mut r = Reader::new(&buf);
+        let out = r.value().expect("decode");
+        assert!(r.is_empty(), "trailing bytes after {v:?}");
+        out
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Missing,
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(0),
+            Value::Int(i64::MAX),
+            Value::str(""),
+            Value::str("héllo ✓"),
+        ] {
+            assert_eq!(round_trip(&v), v);
+        }
+    }
+
+    #[test]
+    fn doubles_round_trip_bit_exact() {
+        for bits in [
+            0u64,
+            f64::to_bits(-0.0),
+            f64::to_bits(1.5),
+            f64::to_bits(f64::INFINITY),
+            f64::to_bits(f64::NEG_INFINITY),
+            f64::to_bits(f64::NAN),
+            0x7FF8_0000_0000_0001, // NaN with a payload
+        ] {
+            let v = Value::Double(f64::from_bits(bits));
+            let out = round_trip(&v);
+            match out {
+                Value::Double(d) => assert_eq!(d.to_bits(), bits),
+                other => panic!("expected double, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn missing_and_null_stay_distinct() {
+        // The JSON printer collapses these; the codec must not.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        put_value(&mut a, &Value::Missing);
+        put_value(&mut b, &Value::Null);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nested_records_round_trip() {
+        let rec = record! {
+            "name" => "ada",
+            "tags" => Value::Array(vec![Value::Int(1), Value::str("x"), Value::Null]),
+            "addr" => Value::Obj(record! {"city" => "london", "zip" => Value::Missing}),
+        };
+        let mut buf = Vec::new();
+        put_record(&mut buf, &rec);
+        let out = Reader::new(&buf).record().expect("decode");
+        assert_eq!(out, rec);
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::str("hello world"));
+        for cut in 0..buf.len() {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(r.value().is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let mut r = Reader::new(&[42u8]);
+        assert!(r.value().unwrap_err().contains("unknown value tag"));
+    }
+}

@@ -15,15 +15,28 @@
 //!   values — the paper's expression 13 hinges on exactly this difference).
 //! * [`table`] — heap + indexes + statistics glued together.
 //! * [`stats`] — table statistics used by the query optimizers.
+//! * [`codec`] — a lossless binary encoding of the data model, used by the
+//!   write-ahead log (the JSON printer is lossy for `Missing` and
+//!   non-finite doubles, so byte-identical recovery needs its own codec).
+//! * [`wal`] — the durability layer: an append-only, CRC-checksummed,
+//!   length-prefixed write-ahead log with snapshot checkpoints, torn-tail
+//!   truncation, and deterministic crash/torn-write fault injection.
 
 pub mod btree;
+#[deny(clippy::unwrap_used)]
+pub mod codec;
 pub mod heap;
 pub mod index;
 pub mod stats;
 pub mod table;
+#[deny(clippy::unwrap_used)]
+pub mod wal;
 
 pub use btree::{BPlusTree, Direction, KeyBound, ScanRange};
 pub use heap::{RecordId, TableHeap};
 pub use index::{Index, IndexKind, NullPolicy};
 pub use stats::TableStats;
 pub use table::{Table, TableOptions};
+pub use wal::{
+    encode_ops, CheckpointPolicy, DurableOp, LogMedia, RecoveryReport, Wal, WalError, WalStats,
+};

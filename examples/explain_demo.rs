@@ -20,13 +20,13 @@ fn main() -> Result<(), PolyFrameError> {
         .collect();
 
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    engine.create_dataset("Test", "Users", Some("id"));
+    engine.create_dataset("Test", "Users", Some("id")).unwrap();
     engine.load("Test", "Users", users.clone()).unwrap();
     engine.create_index("Test", "Users", "lang").unwrap();
     let pg = AFrame::new("Test", "Users", Arc::new(PostgresConnector::new(engine)))?;
 
     let store = Arc::new(DocStore::new());
-    store.create_collection("Test.Users");
+    store.create_collection("Test.Users").unwrap();
     store.insert_many("Test.Users", users).unwrap();
     store.create_index("Test.Users", "lang").unwrap();
     let mongo = AFrame::new("Test", "Users", Arc::new(MongoConnector::new(store)))?;

@@ -14,7 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    AsterixDB/PostgreSQL/MongoDB/Neo4j server; here it is the bundled
     //    SQL++ engine).
     let engine = Arc::new(Engine::new(EngineConfig::asterixdb()));
-    engine.create_dataset("Test", "Users", Some("id"));
+    engine.create_dataset("Test", "Users", Some("id")).unwrap();
     let langs = ["en", "fr", "en", "de", "en", "es"];
     engine.load(
         "Test",

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ...and retargeted by constructing a different connector each time.
     println!("================ AsterixDB (SQL++) ================");
     let asterix = Arc::new(Engine::new(EngineConfig::asterixdb()));
-    asterix.create_dataset("Test", "Users", Some("id"));
+    asterix.create_dataset("Test", "Users", Some("id")).unwrap();
     asterix.load("Test", "Users", records.clone())?;
     analysis(&AFrame::new(
         "Test",
@@ -60,7 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("================ PostgreSQL (SQL) =================");
     let postgres = Arc::new(Engine::new(EngineConfig::postgres()));
-    postgres.create_dataset("Test", "Users", Some("id"));
+    postgres
+        .create_dataset("Test", "Users", Some("id"))
+        .unwrap();
     postgres.load("Test", "Users", records.clone())?;
     analysis(&AFrame::new(
         "Test",
@@ -70,7 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("================ MongoDB (pipelines) ==============");
     let mongo = Arc::new(DocStore::new());
-    mongo.create_collection("Test.Users");
+    mongo.create_collection("Test.Users").unwrap();
     mongo.insert_many("Test.Users", records.clone())?;
     analysis(&AFrame::new(
         "Test",
@@ -91,7 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // query change (the paper's custom-rules feature).
     println!("=========== user-defined rewrite override =========");
     let engine = Arc::new(Engine::new(EngineConfig::postgres()));
-    engine.create_dataset("Test", "Users", Some("id"));
+    engine.create_dataset("Test", "Users", Some("id")).unwrap();
     engine.load("Test", "Users", dataset())?;
     let conn = Arc::new(PostgresConnector::new(engine));
     let custom_rules = conn

@@ -18,7 +18,7 @@ fn sql_cluster_frames(shards: usize, config: EngineConfig) -> (AFrame, AFrame) {
     let cluster = Arc::new(SqlCluster::new(shards, config.clone(), "unique2"));
     let records = generate(&WisconsinConfig::new(N));
     for ds in [DS, DS2] {
-        cluster.create_dataset(NS, ds, Some("unique2"));
+        cluster.create_dataset(NS, ds, Some("unique2")).unwrap();
         cluster.load(NS, ds, records.clone()).unwrap();
         for attr in ["unique1", "ten", "onePercent"] {
             cluster.create_index(NS, ds, attr).unwrap();
@@ -39,7 +39,7 @@ fn mongo_cluster_frames(shards: usize) -> (AFrame, AFrame) {
     let records = generate(&WisconsinConfig::new(N));
     for ds in [DS, DS2] {
         let coll = format!("{NS}.{ds}");
-        cluster.create_collection(&coll);
+        cluster.create_collection(&coll).unwrap();
         cluster.insert_many(&coll, records.clone()).unwrap();
         cluster.create_index(&coll, "unique1").unwrap();
     }

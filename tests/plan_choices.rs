@@ -13,7 +13,7 @@ fn engine(config: EngineConfig) -> Engine {
     let e = Engine::new(config);
     let ns = e.config().default_namespace.clone();
     let records = generate(&WisconsinConfig::new(N));
-    e.create_dataset(&ns, "data", Some("unique2"));
+    e.create_dataset(&ns, "data", Some("unique2")).unwrap();
     e.load(&ns, "data", records).unwrap();
     for attr in ["unique1", "ten", "onePercent", "tenPercent"] {
         e.create_index(&ns, "data", attr).unwrap();
@@ -105,7 +105,7 @@ fn expr12_index_only_join_is_asterixdb_only() {
     let a = engine(EngineConfig::asterixdb());
     let ns = "Default";
     let records = generate(&WisconsinConfig::new(N));
-    a.create_dataset(ns, "rightData", Some("unique2"));
+    a.create_dataset(ns, "rightData", Some("unique2")).unwrap();
     a.load(ns, "rightData", records.clone()).unwrap();
     a.create_index(ns, "rightData", "unique1").unwrap();
     let plan = a
@@ -115,7 +115,8 @@ fn expr12_index_only_join_is_asterixdb_only() {
 
     // PostgreSQL "used index nested loop joins followed by data scans."
     let p = engine(EngineConfig::postgres());
-    p.create_dataset("public", "rightData", Some("unique2"));
+    p.create_dataset("public", "rightData", Some("unique2"))
+        .unwrap();
     p.load("public", "rightData", records).unwrap();
     p.create_index("public", "rightData", "unique1").unwrap();
     let plan = p
@@ -147,7 +148,7 @@ fn neo4j_metadata_count_vs_mongo_pipeline_scan() {
     // not enabled as part of a MongoDB aggregation pipeline": the pipeline
     // count is a COLLSCAN even though count_documents() is O(1).
     let store = DocStore::new();
-    store.create_collection("data");
+    store.create_collection("data").unwrap();
     store
         .insert_many("data", generate(&WisconsinConfig::new(N)))
         .unwrap();
@@ -161,7 +162,7 @@ fn neo4j_metadata_count_vs_mongo_pipeline_scan() {
 #[test]
 fn mongo_sort_limit_uses_backward_index() {
     let store = DocStore::new();
-    store.create_collection("data");
+    store.create_collection("data").unwrap();
     store
         .insert_many("data", generate(&WisconsinConfig::new(N)))
         .unwrap();

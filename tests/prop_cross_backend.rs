@@ -139,17 +139,17 @@ fn make_records(rows: &[(i64, i64, Option<i64>)]) -> Vec<Record> {
 
 fn backends(records: &[Record]) -> Vec<AFrame> {
     let asterix = Arc::new(Engine::new(EngineConfig::asterixdb()));
-    asterix.create_dataset("T", "d", Some("id"));
+    asterix.create_dataset("T", "d", Some("id")).unwrap();
     asterix.load("T", "d", records.to_vec()).unwrap();
     asterix.create_index("T", "d", "a").unwrap();
 
     let postgres = Arc::new(Engine::new(EngineConfig::postgres()));
-    postgres.create_dataset("T", "d", Some("id"));
+    postgres.create_dataset("T", "d", Some("id")).unwrap();
     postgres.load("T", "d", records.to_vec()).unwrap();
     postgres.create_index("T", "d", "a").unwrap();
 
     let mongo = Arc::new(DocStore::new());
-    mongo.create_collection("T.d");
+    mongo.create_collection("T.d").unwrap();
     mongo.insert_many("T.d", records.to_vec()).unwrap();
     mongo.create_index("T.d", "a").unwrap();
 

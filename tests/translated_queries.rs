@@ -16,7 +16,8 @@ fn wisconsin_sql_engine(config: EngineConfig) -> Engine {
     let e = Engine::new(config);
     let records = generate(&WisconsinConfig::new(N));
     for ds in ["data", "leftData", "rightData"] {
-        e.create_dataset(&e.config().default_namespace.clone(), ds, Some("unique2"));
+        e.create_dataset(&e.config().default_namespace.clone(), ds, Some("unique2"))
+            .unwrap();
         e.load(&e.config().default_namespace.clone(), ds, records.clone())
             .unwrap();
         for attr in ["unique1", "ten", "onePercent", "tenPercent"] {
@@ -201,8 +202,8 @@ fn appendix_g_cypher_queries_run_verbatim() {
 fn appendix_h_mongo_pipelines_run_verbatim() {
     let store = DocStore::new();
     let records = generate(&WisconsinConfig::new(N));
-    store.create_collection("data");
-    store.create_collection("collection2");
+    store.create_collection("data").unwrap();
+    store.create_collection("collection2").unwrap();
     store.insert_many("data", records.clone()).unwrap();
     store.insert_many("collection2", records).unwrap();
     store.create_index("data", "unique1").unwrap();
