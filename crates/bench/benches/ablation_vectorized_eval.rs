@@ -1,0 +1,27 @@
+//! Ablation: row-at-a-time vs vectorized batch evaluation on one core.
+//!
+//! Times the filter+project scan of `ablations::VEC_QUERY` (a ~50%
+//! selective integer predicate projecting two integers and the
+//! dictionary-encoded `string4` column) on the PostgreSQL personality with
+//! one worker, switching only the evaluator: the recursive per-row
+//! `Scalar` interpreter vs compiled expression programs over columnar
+//! batches. Output is byte-identical either way, so the gap is pure
+//! per-tuple interpretation overhead.
+
+use polyframe_bench::ablations::{eval_engine, VEC_QUERY};
+use polyframe_bench::microbench::Runner;
+
+const N: usize = 100_000;
+
+fn main() {
+    let mut c = Runner::from_args();
+    let mut g = c.benchmark_group("vectorized_eval");
+    g.sample_size(15);
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_secs(2));
+    for (mode, vectorized) in [("rowwise", false), ("vectorized", true)] {
+        let engine = eval_engine(N, vectorized);
+        g.bench_function(mode, |b| b.iter(|| engine.query(VEC_QUERY).unwrap()));
+    }
+    g.finish();
+}

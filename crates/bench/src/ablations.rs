@@ -185,6 +185,87 @@ pub fn parallel_scan_ablation(
         .collect()
 }
 
+/// The filter+project scan the vectorized-eval ablation times: a ~50%
+/// selective integer predicate over every record, projecting an integer
+/// pair plus the four-valued `string4` column (dictionary-encoded on the
+/// batch path). Row-at-a-time execution clones each 16-field record and
+/// walks the `Scalar` tree per row; the batch path reads only the four
+/// referenced columns and runs compiled kernels over each selection
+/// vector — the gap between the two is the per-tuple interpretation
+/// overhead this ablation isolates.
+pub const VEC_QUERY: &str = "SELECT t.\"unique1\", t.\"unique2\", t.\"string4\" \
+     FROM (SELECT * FROM Bench.wisconsin) t WHERE t.\"onePercent\" < 50";
+
+/// An engine loaded with `num_records` Wisconsin records, executing
+/// single-threaded either row-at-a-time (`vectorized = false`) or on the
+/// batch-kernel path (`vectorized = true`).
+pub fn eval_engine(num_records: usize, vectorized: bool) -> Engine {
+    let exec = if vectorized {
+        ExecOptions::serial()
+    } else {
+        ExecOptions::rowwise()
+    };
+    let engine = Engine::new(config_for("postgres").with_exec(exec));
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(num_records)))
+        .unwrap();
+    engine
+}
+
+/// Median filter+project scan time for one evaluator mode.
+#[derive(Debug, Clone)]
+pub struct VectorizedEvalAblation {
+    /// `"rowwise"` (the reference interpreter) or `"vectorized"`.
+    pub mode: &'static str,
+    /// Median elapsed time of [`VEC_QUERY`].
+    pub elapsed: Duration,
+    /// Speedup vs the rowwise entry of the same run.
+    pub speedup: f64,
+}
+
+/// Measure [`VEC_QUERY`] over `num_records` records on the row-at-a-time
+/// and vectorized single-core paths. Samples interleave round-robin
+/// across the two modes (the same drift control as
+/// [`parallel_scan_ablation`]), and both engines are checked to return
+/// identical rows before any timing starts.
+pub fn vectorized_eval_ablation(num_records: usize, samples: usize) -> Vec<VectorizedEvalAblation> {
+    let samples = samples.max(1);
+    let engines = [
+        ("rowwise", eval_engine(num_records, false)),
+        ("vectorized", eval_engine(num_records, true)),
+    ];
+    // Warm-up doubles as the byte-identity check: a vectorized evaluator
+    // that diverges from the reference must never report a speedup.
+    let reference: Vec<String> = engines
+        .iter()
+        .map(|(_, e)| format!("{:?}", e.query(VEC_QUERY).unwrap()))
+        .collect();
+    assert_eq!(
+        reference[0], reference[1],
+        "vectorized output diverged from the row path"
+    );
+    let mut times: Vec<Vec<Duration>> = vec![Vec::with_capacity(samples); engines.len()];
+    for _ in 0..samples {
+        for ((_, engine), out) in engines.iter().zip(times.iter_mut()) {
+            let t0 = Instant::now();
+            engine.query(VEC_QUERY).unwrap();
+            out.push(t0.elapsed());
+        }
+    }
+    let medians: Vec<Duration> = times.into_iter().map(median).collect();
+    let base = medians[0];
+    engines
+        .iter()
+        .zip(medians)
+        .map(|((mode, _), elapsed)| VectorizedEvalAblation {
+            mode,
+            elapsed,
+            speedup: base.as_secs_f64() / elapsed.as_secs_f64().max(1e-12),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +288,16 @@ mod tests {
             assert!((r.hit_rate - 0.5).abs() < 1e-9, "{}", r.personality);
             assert!(r.warm_over_cold() < 1.0, "{}", r.personality);
         }
+    }
+
+    #[test]
+    fn vectorized_eval_ablation_is_anchored_at_rowwise() {
+        let results = vectorized_eval_ablation(2_000, 2);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].mode, "rowwise");
+        assert!((results[0].speedup - 1.0).abs() < 1e-9);
+        assert_eq!(results[1].mode, "vectorized");
+        assert!(results[1].speedup > 0.0);
     }
 
     #[test]

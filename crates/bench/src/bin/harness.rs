@@ -228,7 +228,9 @@ fn cluster_tables(setups: &[MultiNodeSetup], params: &BenchParams, is_speedup: b
 /// The intra-node performance ablations: plan-cache cold vs warm compiles
 /// per personality, and morsel-parallel scan scaling over worker counts.
 fn ablations(records: usize, samples: usize, json_path: Option<String>) {
-    use polyframe_bench::ablations::{parallel_scan_ablation, plan_cache_ablation};
+    use polyframe_bench::ablations::{
+        parallel_scan_ablation, plan_cache_ablation, vectorized_eval_ablation,
+    };
 
     println!("\n=== Ablation: plan cache (cold vs warm compile) ===");
     let cache = plan_cache_ablation(samples.min(64));
@@ -256,6 +258,20 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
     }
     print!("{}", table.render());
 
+    println!(
+        "\n=== Ablation: vectorized evaluation ({records} records, filter+project scan, 1 core) ==="
+    );
+    let vec_eval = vectorized_eval_ablation(records, samples);
+    let mut table = Table::new(&["evaluator", "median", "speedup"]);
+    for r in &vec_eval {
+        table.row(vec![
+            r.mode.to_string(),
+            fmt_duration(r.elapsed),
+            fmt_ratio(r.speedup),
+        ]);
+    }
+    print!("{}", table.render());
+
     if let Some(path) = json_path {
         let mut recs: Vec<String> = cache
             .iter()
@@ -274,6 +290,14 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
             format!(
                 "{{\"ablation\":\"parallel_scan\",\"records\":{records},\"workers\":{},\"elapsed_ns\":{},\"speedup\":{:.4}}}",
                 r.workers,
+                r.elapsed.as_nanos(),
+                r.speedup
+            )
+        }));
+        recs.extend(vec_eval.iter().map(|r| {
+            format!(
+                "{{\"ablation\":\"vectorized_eval\",\"records\":{records},\"evaluator\":\"{}\",\"elapsed_ns\":{},\"speedup\":{:.4}}}",
+                r.mode,
                 r.elapsed.as_nanos(),
                 r.speedup
             )

@@ -93,6 +93,14 @@ pub fn report_stage_total(trace: &polyframe_observe::QueryTrace, stage: &str) ->
     }
 }
 
+/// The `vectorized` note of the first exec span that carries one ("true"
+/// when the batch path ran, "fallback" when the plan stayed row-at-a-time;
+/// `None` when vectorization was disabled or no engine exec ran).
+fn vectorized_mode(span: &polyframe_observe::Span) -> Option<&str> {
+    span.note("vectorized")
+        .or_else(|| span.children().iter().find_map(vectorized_mode))
+}
+
 /// One `(system, expression)` record of the harness's JSON report: the
 /// two timing points, the per-stage breakdown, and the full span tree.
 pub fn json_record(
@@ -142,6 +150,18 @@ pub fn json_record(
                 hits as f64 / lookups as f64
             ));
         }
+        // Vectorized-execution observability: an exec span that attempted
+        // batch compilation carries a `vectorized` note ("true" when the
+        // batch path ran, "fallback" when this plan shape stayed on the
+        // row path), batch counters, and a `compile(expr)` child span.
+        if let Some(mode) = vectorized_mode(trace.root()) {
+            out.push_str(&format!(
+                ",\"vectorized\":{{\"mode\":\"{mode}\",\"batches\":{},\"batch_rows\":{},\"compile_ns\":{}}}",
+                trace.root().sum_metric("batches"),
+                trace.root().sum_metric("batch_rows"),
+                trace.root().total_named("compile(expr)").as_nanos()
+            ));
+        }
         out.push_str(&format!(",\"trace\":{}", trace.to_json()));
     }
     out.push('}');
@@ -179,6 +199,39 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("AFrame-AsterixDB"));
         assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn json_record_surfaces_vectorized_block() {
+        use polyframe_observe::{QueryTrace, Span};
+        let mut exec = Span::new("exec").with_duration(Duration::from_micros(40));
+        exec.set_note("vectorized", "true");
+        exec.set_metric("batches", 3);
+        exec.set_metric("batch_rows", 1024);
+        exec.push_child(Span::new("compile(expr)").with_duration(Duration::from_micros(5)));
+        let trace = QueryTrace::new(Span::new("query").with_child(exec));
+        let timing = crate::timing::Timing {
+            creation: Duration::ZERO,
+            expression: Duration::from_micros(50),
+            outcome: Err("unused".into()),
+            trace: Some(trace),
+        };
+        let rec = json_record("xs", 10, 1, "AFrame-PostgreSQL", &timing);
+        assert!(
+            rec.contains(
+                "\"vectorized\":{\"mode\":\"true\",\"batches\":3,\"batch_rows\":1024,\"compile_ns\":5000}"
+            ),
+            "missing vectorized block: {rec}"
+        );
+        // No exec span carries the note: the block stays absent.
+        let bare = crate::timing::Timing {
+            creation: Duration::ZERO,
+            expression: Duration::ZERO,
+            outcome: Err("unused".into()),
+            trace: Some(QueryTrace::new(Span::new("query"))),
+        };
+        let rec = json_record("xs", 10, 1, "AFrame-PostgreSQL", &bare);
+        assert!(!rec.contains("\"vectorized\""), "unexpected block: {rec}");
     }
 
     #[test]

@@ -53,6 +53,22 @@ impl Record {
         self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }
 
+    /// Field lookup with a position hint, for scans over records that share
+    /// a layout (rows of one table): `hint` is checked first and updated to
+    /// the found position, so after the first row each lookup is one slot
+    /// probe instead of a linear scan. Behaves exactly like [`Record::get`]
+    /// for any `hint` value.
+    pub fn get_hinted(&self, name: &str, hint: &mut usize) -> Option<&Value> {
+        if let Some((k, v)) = self.fields.get(*hint) {
+            if k == name {
+                return Some(v);
+            }
+        }
+        let pos = self.fields.iter().position(|(k, _)| k == name)?;
+        *hint = pos;
+        Some(&self.fields[pos].1)
+    }
+
     /// Field lookup that maps absence to [`Value::Missing`] (open-record
     /// semantics).
     pub fn get_or_missing(&self, name: &str) -> Value {
@@ -151,6 +167,24 @@ mod tests {
         assert_eq!(r.get_or_missing("y"), Value::Missing);
         assert!(r.contains("x"));
         assert!(!r.contains("y"));
+    }
+
+    #[test]
+    fn get_hinted_matches_get_for_any_hint() {
+        let r = record! { "a" => 1i64, "b" => 2i64, "c" => 3i64 };
+        for name in ["a", "b", "c", "zzz"] {
+            for start in 0..5 {
+                let mut hint = start;
+                assert_eq!(r.get_hinted(name, &mut hint), r.get(name), "{name}/{start}");
+            }
+        }
+        // The hint converges: a miss updates it to the found slot, so the
+        // next same-layout lookup is a single probe.
+        let mut hint = 0;
+        r.get_hinted("c", &mut hint);
+        assert_eq!(hint, 2);
+        let r2 = record! { "a" => 9i64, "b" => 8i64, "c" => 7i64 };
+        assert_eq!(r2.get_hinted("c", &mut hint), Some(&Value::Int(7)));
     }
 
     #[test]

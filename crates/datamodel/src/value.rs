@@ -147,6 +147,17 @@ impl Value {
         }
     }
 
+    /// Borrowing variant of [`Value::get_path`]: `None` stands for `Missing`
+    /// (absent field, or navigation into a non-object). Lets hot paths read
+    /// fields without cloning the stored value.
+    #[inline]
+    pub fn get_path_ref(&self, field: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(r) => r.get(field),
+            _ => None,
+        }
+    }
+
     /// Approximate number of heap + inline bytes this value occupies.
     ///
     /// Used by the eager (Pandas stand-in) frame for memory budgeting; it is
@@ -259,6 +270,16 @@ mod tests {
         assert_eq!(v.get_path("a"), Value::Int(1));
         assert_eq!(v.get_path("b"), Value::Missing);
         assert_eq!(Value::Int(3).get_path("a"), Value::Missing);
+    }
+
+    #[test]
+    fn path_navigation_by_reference() {
+        let mut r = Record::new();
+        r.insert("a", Value::Int(1));
+        let v = Value::Obj(r);
+        assert_eq!(v.get_path_ref("a"), Some(&Value::Int(1)));
+        assert_eq!(v.get_path_ref("b"), None);
+        assert_eq!(Value::Int(3).get_path_ref("a"), None);
     }
 
     #[test]

@@ -433,6 +433,30 @@ impl Engine {
         exec_t
             .span_mut()
             .set_metric("parallelism", report.parallelism as i64);
+        if self.config.exec.vectorized {
+            // `fallback` = vectorization was on but this plan shape (or
+            // its expressions) compiled to no batch program, so the row
+            // path ran.
+            exec_t.span_mut().set_note(
+                "vectorized",
+                if report.vectorized {
+                    "true"
+                } else {
+                    "fallback"
+                },
+            );
+        }
+        if report.vectorized {
+            exec_t
+                .span_mut()
+                .set_metric("batches", report.batches as i64);
+            exec_t
+                .span_mut()
+                .set_metric("batch_rows", report.batch_rows as i64);
+            exec_t
+                .span_mut()
+                .push_child(Span::new("compile(expr)").with_duration(report.compile_time));
+        }
         for (i, elapsed) in report.morsel_times.iter().enumerate() {
             exec_t
                 .span_mut()

@@ -4,57 +4,90 @@ use crate::ast::{BinOp, IsKind, UnaryOp};
 use crate::error::{EngineError, Result};
 use crate::plan::logical::{Scalar, ScalarFunc};
 use polyframe_datamodel::{sql_compare, Record, TriBool, Value};
+use std::borrow::Cow;
 use std::cmp::Ordering;
 
 /// Evaluate `scalar` against one row.
 pub fn eval(scalar: &Scalar, row: &Value) -> Result<Value> {
+    Ok(eval_ref(scalar, row)?.into_owned())
+}
+
+/// Evaluate `scalar` against one row, borrowing wherever the result is
+/// already stored somewhere — literals, field lookups and the input row
+/// itself come back as `Cow::Borrowed`, so filters and aggregate arguments
+/// never deep-clone per row. Only composite operators allocate.
+pub fn eval_ref<'a>(scalar: &'a Scalar, row: &'a Value) -> Result<Cow<'a, Value>> {
     match scalar {
-        Scalar::Input => Ok(row.clone()),
-        Scalar::Field(f) => Ok(row.get_path(f)),
-        Scalar::FieldOf(b, f) => Ok(row.get_path(b).get_path(f)),
-        Scalar::BindingRef(b) => Ok(row.get_path(b)),
-        Scalar::Lit(v) => Ok(v.clone()),
+        Scalar::Input => Ok(Cow::Borrowed(row)),
+        Scalar::Field(f) => Ok(borrowed_or_missing(row.get_path_ref(f))),
+        Scalar::FieldOf(b, f) => Ok(borrowed_or_missing(
+            row.get_path_ref(b).and_then(|v| v.get_path_ref(f)),
+        )),
+        Scalar::BindingRef(b) => Ok(borrowed_or_missing(row.get_path_ref(b))),
+        Scalar::Lit(v) => Ok(Cow::Borrowed(v)),
         Scalar::Un(op, a) => {
-            let v = eval(a, row)?;
-            match op {
-                UnaryOp::Not => Ok(truthy(&v).not().to_value()),
-                UnaryOp::Neg => match v {
-                    Value::Int(i) => Ok(Value::Int(-i)),
-                    Value::Double(d) => Ok(Value::Double(-d)),
-                    Value::Missing => Ok(Value::Missing),
-                    Value::Null => Ok(Value::Null),
-                    other => Err(EngineError::exec(format!(
-                        "cannot negate {}",
-                        other.type_name()
-                    ))),
-                },
-            }
+            let v = eval_ref(a, row)?;
+            Ok(Cow::Owned(eval_unop(*op, &v)?))
         }
         Scalar::Bin(op, a, b) => {
-            let lhs = eval(a, row)?;
-            let rhs = eval(b, row)?;
-            eval_binop(*op, &lhs, &rhs)
+            let lhs = eval_ref(a, row)?;
+            let rhs = eval_ref(b, row)?;
+            Ok(Cow::Owned(eval_binop(*op, &lhs, &rhs)?))
         }
         Scalar::Call(func, args) => {
             let vals = args
                 .iter()
-                .map(|a| eval(a, row))
+                .map(|a| eval_ref(a, row))
                 .collect::<Result<Vec<_>>>()?;
-            eval_func(*func, &vals)
+            Ok(Cow::Owned(eval_func(
+                *func,
+                vals.first().map(|c| c.as_ref()),
+            )?))
         }
         Scalar::Is(a, kind, negated) => {
-            let v = eval(a, row)?;
-            let hit = match kind {
-                // `IS NULL` follows relational semantics: a field absent
-                // from a loaded JSON record is NULL to SQL. SQL++ callers
-                // that need the distinction use IS MISSING.
-                IsKind::Null => v.is_unknown(),
-                IsKind::Missing => v.is_missing(),
-                IsKind::Unknown => v.is_unknown(),
-            };
-            Ok(Value::Bool(hit != *negated))
+            let v = eval_ref(a, row)?;
+            Ok(Cow::Owned(eval_is(&v, *kind, *negated)))
         }
     }
+}
+
+fn borrowed_or_missing(v: Option<&Value>) -> Cow<'_, Value> {
+    match v {
+        Some(v) => Cow::Borrowed(v),
+        None => Cow::Owned(Value::Missing),
+    }
+}
+
+/// Unary operator semantics (shared by the row evaluator and the batch
+/// kernels).
+pub(crate) fn eval_unop(op: UnaryOp, v: &Value) -> Result<Value> {
+    match op {
+        UnaryOp::Not => Ok(truthy(v).not().to_value()),
+        UnaryOp::Neg => match v {
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Double(d) => Ok(Value::Double(-d)),
+            Value::Missing => Ok(Value::Missing),
+            Value::Null => Ok(Value::Null),
+            other => Err(EngineError::exec(format!(
+                "cannot negate {}",
+                other.type_name()
+            ))),
+        },
+    }
+}
+
+/// `IS NULL` / `IS MISSING` / `IS UNKNOWN` semantics (shared by the row
+/// evaluator and the batch kernels).
+pub(crate) fn eval_is(v: &Value, kind: IsKind, negated: bool) -> Value {
+    let hit = match kind {
+        // `IS NULL` follows relational semantics: a field absent from a
+        // loaded JSON record is NULL to SQL. SQL++ callers that need the
+        // distinction use IS MISSING.
+        IsKind::Null => v.is_unknown(),
+        IsKind::Missing => v.is_missing(),
+        IsKind::Unknown => v.is_unknown(),
+    };
+    Value::Bool(hit != negated)
 }
 
 /// Truthiness under three-valued logic.
@@ -68,10 +101,12 @@ pub fn truthy(v: &Value) -> TriBool {
 
 /// `WHERE`-clause test: evaluate and keep only definite `True`.
 pub fn passes_filter(scalar: &Scalar, row: &Value) -> Result<bool> {
-    Ok(truthy(&eval(scalar, row)?).is_true())
+    Ok(truthy(eval_ref(scalar, row)?.as_ref()).is_true())
 }
 
-fn eval_binop(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value> {
+/// Binary operator semantics (shared by the row evaluator and the batch
+/// kernels).
+pub(crate) fn eval_binop(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value> {
     match op {
         BinOp::And => Ok(truthy(lhs).and(truthy(rhs)).to_value()),
         BinOp::Or => Ok(truthy(lhs).or(truthy(rhs)).to_value()),
@@ -174,10 +209,11 @@ fn arith(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value> {
     }
 }
 
-fn eval_func(func: ScalarFunc, args: &[Value]) -> Result<Value> {
-    let arg = args
-        .first()
-        .ok_or_else(|| EngineError::exec("function needs an argument"))?;
+/// Scalar function semantics (shared by the row evaluator and the batch
+/// kernels). All current functions are unary; extra arguments are
+/// evaluated (for their errors) but ignored, as before.
+pub(crate) fn eval_func(func: ScalarFunc, arg: Option<&Value>) -> Result<Value> {
+    let arg = arg.ok_or_else(|| EngineError::exec("function needs an argument"))?;
     if arg.is_missing() {
         return Ok(Value::Missing);
     }

@@ -9,8 +9,12 @@
 pub mod aggregate;
 pub mod eval;
 pub mod parallel;
+mod vector;
 
-pub use parallel::{available_threads, ExecOptions, ExecReport, DEFAULT_MORSEL_ROWS};
+pub use parallel::{
+    available_threads, batch_rows_override, default_batch_rows, ExecOptions, ExecReport,
+    DEFAULT_BATCH_ROWS, DEFAULT_MORSEL_ROWS, MAX_BATCH_ROWS,
+};
 
 use crate::catalog::Database;
 use crate::error::{EngineError, Result};
@@ -51,7 +55,7 @@ impl<'a> Executor<'a> {
         plan: &'a PhysicalPlan,
         opts: &ExecOptions,
     ) -> Result<(Vec<Value>, ExecReport)> {
-        if opts.workers > 1 {
+        if opts.workers > 1 || opts.vectorized {
             if let Some(result) = parallel::try_run(self.db, plan, opts) {
                 return result;
             }
@@ -545,6 +549,31 @@ impl<'p> AggState<'p> {
                     acc.merge_partial(&row.get_path(&agg.name))?;
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Fold one row's pre-evaluated group key and aggregate arguments (the
+    /// vectorized path computes both with batch programs, so this skips
+    /// the per-row `Scalar` walk). `args[i] == None` is `COUNT(*)`; a
+    /// slice shorter than the aggregate list updates only the leading
+    /// accumulators.
+    pub(crate) fn push_values(
+        &mut self,
+        key: Vec<OrdValue>,
+        args: &[Option<&Value>],
+    ) -> Result<()> {
+        self.saw_any = true;
+        let accs = if self.group_by.is_empty() {
+            &mut self.scalar_accs
+        } else {
+            let aggs = self.aggs;
+            self.groups
+                .entry(key)
+                .or_insert_with(|| aggs.iter().map(|a| Accumulator::new(a.func)).collect())
+        };
+        for (acc, arg) in accs.iter_mut().zip(args) {
+            acc.update(*arg)?;
         }
         Ok(())
     }

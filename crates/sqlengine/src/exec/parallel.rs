@@ -24,6 +24,7 @@
 
 use super::aggregate::{Accumulator, OrdValue};
 use super::eval::{eval, passes_filter};
+use super::vector;
 use super::{aggregate_rows, project_row, AggState};
 use crate::catalog::Database;
 use crate::error::{EngineError, Result};
@@ -39,14 +40,23 @@ use std::time::{Duration, Instant};
 /// Default number of heap slots (or index rids) per morsel.
 pub const DEFAULT_MORSEL_ROWS: usize = 4096;
 
+pub use polyframe_storage::{DEFAULT_BATCH_ROWS, MAX_BATCH_ROWS};
+
 /// Tuning knobs for query execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecOptions {
     /// Worker threads used for parallel-safe pipelines. `1` (or `0`)
-    /// executes everything on the serial streaming path.
+    /// executes everything single-threaded.
     pub workers: usize,
     /// Heap slots (or index rids) per morsel.
     pub morsel_rows: usize,
+    /// Use the vectorized batch path for whitelisted pipeline shapes
+    /// (columnar batches + compiled expression programs). Pipelines the
+    /// program compiler cannot express fall back to the row path either
+    /// way; results are byte-identical.
+    pub vectorized: bool,
+    /// Rows per column batch on the vectorized path.
+    pub batch_rows: usize,
 }
 
 impl Default for ExecOptions {
@@ -54,21 +64,33 @@ impl Default for ExecOptions {
         ExecOptions {
             workers: available_threads(),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            vectorized: true,
+            batch_rows: default_batch_rows(),
         }
     }
 }
 
 impl ExecOptions {
-    /// Force serial execution.
+    /// Force single-threaded execution (vectorization stays on).
     pub fn serial() -> ExecOptions {
         ExecOptions::with_workers(1)
+    }
+
+    /// Single-threaded row-at-a-time execution: the reference path every
+    /// other configuration must match byte-for-byte.
+    pub fn rowwise() -> ExecOptions {
+        ExecOptions {
+            workers: 1,
+            vectorized: false,
+            ..ExecOptions::default()
+        }
     }
 
     /// Parallel execution with exactly `workers` threads.
     pub fn with_workers(workers: usize) -> ExecOptions {
         ExecOptions {
             workers,
-            morsel_rows: DEFAULT_MORSEL_ROWS,
+            ..ExecOptions::default()
         }
     }
 }
@@ -92,27 +114,54 @@ pub fn thread_override(raw: Option<&str>) -> Option<usize> {
         .filter(|n| *n >= 1)
 }
 
+/// Batch size for the vectorized path: the `POLYFRAME_BATCH_SIZE`
+/// environment variable when set to a valid value, otherwise
+/// [`DEFAULT_BATCH_ROWS`].
+pub fn default_batch_rows() -> usize {
+    batch_rows_override(std::env::var("POLYFRAME_BATCH_SIZE").ok().as_deref())
+        .unwrap_or(DEFAULT_BATCH_ROWS)
+}
+
+/// Parse a `POLYFRAME_BATCH_SIZE`-style override. Zero and garbage are
+/// rejected (the default applies); absurdly large values clamp to
+/// [`MAX_BATCH_ROWS`] — an override can never panic or wedge execution.
+pub fn batch_rows_override(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|n| *n >= 1)
+        .map(|n| n.min(MAX_BATCH_ROWS))
+}
+
 /// How one plan execution actually ran.
 #[derive(Debug, Clone, Default)]
 pub struct ExecReport {
-    /// Worker threads used (`1` means the serial path ran).
+    /// Worker threads used (`1` means a single-threaded path ran).
     pub parallelism: usize,
     /// Per-morsel wall time, indexed by morsel; empty on the serial path.
     pub morsel_times: Vec<Duration>,
+    /// Whether the vectorized batch path ran (`false` = row-path
+    /// fallback, or vectorization disabled).
+    pub vectorized: bool,
+    /// Column batches processed on the vectorized path.
+    pub batches: usize,
+    /// Configured rows per batch (0 when the row path ran).
+    pub batch_rows: usize,
+    /// Time spent compiling expression programs (zero when vectorization
+    /// was not attempted).
+    pub compile_time: Duration,
 }
 
 impl ExecReport {
-    /// Report for a serial execution.
+    /// Report for a serial row-path execution.
     pub fn serial() -> ExecReport {
         ExecReport {
             parallelism: 1,
-            morsel_times: Vec::new(),
+            ..ExecReport::default()
         }
     }
 }
 
 /// Row-local operators a worker applies to each scanned row.
-enum MorselOp<'p> {
+pub(super) enum MorselOp<'p> {
     Filter(&'p Scalar),
     Project(&'p ProjectSpec),
 }
@@ -129,7 +178,7 @@ enum Leaf<'p> {
 }
 
 /// The blocking operator (if any) topping the parallel pipeline.
-enum Terminal<'p> {
+pub(super) enum Terminal<'p> {
     /// No blocking terminal: concatenate morsel outputs in morsel order.
     Collect,
     /// Per-morsel partial aggregation, merged by the coordinator.
@@ -146,18 +195,18 @@ enum Terminal<'p> {
 }
 
 /// A parallel-safe decomposition of a physical plan.
-struct ParallelPlan<'p> {
+pub(super) struct ParallelPlan<'p> {
     /// Projections sitting *above* the blocking terminal, outermost first;
     /// applied per result row after the merge.
     post: Vec<&'p ProjectSpec>,
-    terminal: Terminal<'p>,
+    pub(super) terminal: Terminal<'p>,
     /// Row-local ops between leaf and terminal, in application order.
-    ops: Vec<MorselOp<'p>>,
+    pub(super) ops: Vec<MorselOp<'p>>,
     leaf: Leaf<'p>,
 }
 
 /// What one worker hands back for one morsel.
-enum MorselOut {
+pub(super) enum MorselOut {
     /// Result rows (plain pipelines) or partial-aggregate rows.
     Rows(Vec<Value>),
     /// A sorted chunk of `(sort key, row)` pairs.
@@ -167,7 +216,7 @@ enum MorselOut {
 /// A sort key component with its direction baked in, so chunk sorting and
 /// the k-way merge heap share one `Ord`.
 #[derive(Clone, PartialEq, Eq)]
-enum SortKey {
+pub(super) enum SortKey {
     Asc(OrdValue),
     Desc(OrdValue),
 }
@@ -283,14 +332,28 @@ fn pipeline(plan: &PhysicalPlan) -> Option<(Vec<MorselOp<'_>>, Leaf<'_>)> {
     }
 }
 
-/// Try to run `plan` with morsel parallelism. `None` means the plan (or
-/// the data size) is not worth parallelizing — run the serial path.
+/// Try to run `plan` with morsel parallelism and/or vectorized batches.
+/// `None` means neither applies — run the serial row path.
 pub(super) fn try_run(
     db: &Database,
     plan: &PhysicalPlan,
     opts: &ExecOptions,
 ) -> Option<Result<(Vec<Value>, ExecReport)>> {
     let pp = analyze(plan)?;
+    // Compile the pipeline's scalar expressions into batch programs once
+    // per query; `None` (unsupported shape) falls back to the row path.
+    let mut compile_time = Duration::ZERO;
+    let vp = if opts.vectorized {
+        let started = Instant::now();
+        let vp = vector::compile(&pp);
+        compile_time = started.elapsed();
+        vp
+    } else {
+        None
+    };
+    if opts.workers <= 1 && vp.is_none() {
+        return None;
+    }
     let dataset = match pp.leaf {
         Leaf::Seq(ds) => ds,
         Leaf::Index { dataset, .. } => dataset,
@@ -324,13 +387,25 @@ pub(super) fn try_run(
         None => table.heap().num_slots(),
     };
     let step = opts.morsel_rows.max(1);
+    let batch_rows = opts.batch_rows.clamp(1, MAX_BATCH_ROWS);
     let ranges: Vec<(usize, usize)> = (0..domain)
         .step_by(step)
         .map(|lo| (lo, (lo + step).min(domain)))
         .collect();
-    if ranges.len() < 2 {
-        // A single morsel gains nothing over the serial path.
-        return None;
+    if opts.workers <= 1 || ranges.len() < 2 {
+        // Not enough work (or threads) to parallelize. A compiled
+        // pipeline still runs vectorized, single-threaded over the whole
+        // domain; otherwise a single morsel gains nothing over serial.
+        let vp = vp?;
+        return Some(run_sequential(
+            table,
+            rids.as_deref(),
+            domain,
+            &pp,
+            &vp,
+            batch_rows,
+            compile_time,
+        ));
     }
 
     let workers = opts.workers.min(ranges.len());
@@ -345,7 +420,7 @@ pub(super) fn try_run(
                     break;
                 };
                 let started = Instant::now();
-                let out = run_morsel(table, rids.as_deref(), lo, hi, &pp);
+                let out = run_morsel(table, rids.as_deref(), lo, hi, &pp, vp.as_ref(), batch_rows);
                 results.lock().push((i, started.elapsed(), out));
             });
         }
@@ -364,15 +439,72 @@ pub(super) fn try_run(
         }
     }
 
+    let vectorized = vp.is_some();
+    let batches = if vectorized {
+        ranges
+            .iter()
+            .map(|(lo, hi)| (hi - lo).div_ceil(batch_rows))
+            .sum()
+    } else {
+        0
+    };
     Some(merge(parts, &pp).map(|rows| {
         (
             rows,
             ExecReport {
                 parallelism: workers,
                 morsel_times,
+                vectorized,
+                batches,
+                batch_rows: if vectorized { batch_rows } else { 0 },
+                compile_time,
             },
         )
     }))
+}
+
+/// Single-threaded vectorized execution over the whole scan domain: one
+/// sink, run in the terminal's *original* aggregate mode (no partial
+/// round-trip), so the output is the serial path's, batch-produced.
+fn run_sequential(
+    table: &Table,
+    rids: Option<&[RecordId]>,
+    domain: usize,
+    pp: &ParallelPlan<'_>,
+    vp: &vector::VecPipeline,
+    batch_rows: usize,
+    compile_time: Duration,
+) -> Result<(Vec<Value>, ExecReport)> {
+    let mode = match &pp.terminal {
+        Terminal::Aggregate { mode, .. } => *mode,
+        _ => AggMode::Complete, // unused
+    };
+    let mut sink = MorselSink::with_agg_mode(&pp.terminal, mode);
+    vector::run_range(table, rids, 0, domain, vp, batch_rows, &mut sink)?;
+    // One whole-domain "chunk": the sort sink's stable sort + top-k
+    // truncation *is* the serial sort here, and collect outputs are
+    // already in scan order.
+    let mut rows = match sink.finish() {
+        MorselOut::Rows(rows) => rows,
+        MorselOut::Keyed(keyed) => keyed.into_iter().map(|(_, row)| row).collect(),
+    };
+    for spec in pp.post.iter().rev() {
+        rows = rows
+            .into_iter()
+            .map(|r| project_row(spec, &r))
+            .collect::<Result<Vec<Value>>>()?;
+    }
+    Ok((
+        rows,
+        ExecReport {
+            parallelism: 1,
+            morsel_times: Vec::new(),
+            vectorized: true,
+            batches: domain.div_ceil(batch_rows),
+            batch_rows,
+            compile_time,
+        },
+    ))
 }
 
 /// The per-morsel part of the terminal, fed one row at a time. Streaming
@@ -380,7 +512,7 @@ pub(super) fn try_run(
 /// morsels that fold rows immediately (dropping each clone right away,
 /// like the serial path) run ~2-3x faster than morsels that materialize
 /// their input first.
-enum MorselSink<'p> {
+pub(super) enum MorselSink<'p> {
     Collect(Vec<Value>),
     Aggregate(AggState<'p>),
     Sort {
@@ -392,10 +524,17 @@ enum MorselSink<'p> {
 
 impl<'p> MorselSink<'p> {
     fn new(terminal: &Terminal<'p>) -> MorselSink<'p> {
+        MorselSink::with_agg_mode(terminal, AggMode::Partial)
+    }
+
+    /// Like [`MorselSink::new`], but aggregating in `agg_mode` — the
+    /// single-sink sequential vectorized path runs the terminal's
+    /// original mode directly instead of the partial/merge round-trip.
+    pub(super) fn with_agg_mode(terminal: &Terminal<'p>, agg_mode: AggMode) -> MorselSink<'p> {
         match terminal {
             Terminal::Collect => MorselSink::Collect(Vec::new()),
             Terminal::Aggregate { group_by, aggs, .. } => {
-                MorselSink::Aggregate(AggState::new(group_by, aggs, AggMode::Partial))
+                MorselSink::Aggregate(AggState::new(group_by, aggs, agg_mode))
             }
             Terminal::Sort { keys, topk } => MorselSink::Sort {
                 keys,
@@ -405,7 +544,27 @@ impl<'p> MorselSink<'p> {
         }
     }
 
-    fn push(&mut self, row: Value) -> Result<()> {
+    /// Push an already-keyed row (the vectorized path evaluates sort keys
+    /// with batch programs).
+    pub(super) fn push_keyed(&mut self, key: Vec<SortKey>, row: Value) {
+        match self {
+            MorselSink::Sort { keyed, .. } => keyed.push((key, row)),
+            _ => unreachable!("keyed push on a non-sort sink"),
+        }
+    }
+
+    /// Fold pre-evaluated group key + aggregate arguments (the vectorized
+    /// path evaluates both with batch programs). `args[i] == None` is
+    /// `COUNT(*)`; a truncated slice updates only the leading
+    /// accumulators (used to reproduce row-order error precedence).
+    pub(super) fn push_agg(&mut self, key: Vec<OrdValue>, args: &[Option<&Value>]) -> Result<()> {
+        match self {
+            MorselSink::Aggregate(state) => state.push_values(key, args),
+            _ => unreachable!("aggregate push on a non-aggregate sink"),
+        }
+    }
+
+    pub(super) fn push(&mut self, row: Value) -> Result<()> {
         match self {
             MorselSink::Collect(rows) => rows.push(row),
             MorselSink::Aggregate(state) => state.push(&row)?,
@@ -417,7 +576,7 @@ impl<'p> MorselSink<'p> {
         Ok(())
     }
 
-    fn finish(self) -> MorselOut {
+    pub(super) fn finish(self) -> MorselOut {
         match self {
             MorselSink::Collect(rows) => MorselOut::Rows(rows),
             MorselSink::Aggregate(state) => MorselOut::Rows(state.finish()),
@@ -445,8 +604,14 @@ fn run_morsel(
     lo: usize,
     hi: usize,
     pp: &ParallelPlan<'_>,
+    vp: Option<&vector::VecPipeline>,
+    batch_rows: usize,
 ) -> Result<MorselOut> {
     let mut sink = MorselSink::new(&pp.terminal);
+    if let Some(vp) = vp {
+        vector::run_range(table, rids, lo, hi, vp, batch_rows, &mut sink)?;
+        return Ok(sink.finish());
+    }
     match rids {
         None => {
             for (_, record) in table.heap().scan_range(lo, hi) {
@@ -655,6 +820,30 @@ mod tests {
         assert_eq!(thread_override(Some("lots")), None);
         assert_eq!(thread_override(None), None);
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn batch_rows_override_parsing() {
+        assert_eq!(batch_rows_override(Some("512")), Some(512));
+        assert_eq!(batch_rows_override(Some(" 64 ")), Some(64));
+        // Zero and garbage are rejected — the default applies.
+        assert_eq!(batch_rows_override(Some("0")), None);
+        assert_eq!(batch_rows_override(Some("huge")), None);
+        assert_eq!(batch_rows_override(None), None);
+        // Absurdly large values clamp instead of panicking or wedging.
+        assert_eq!(batch_rows_override(Some("999999999")), Some(MAX_BATCH_ROWS));
+        assert!(default_batch_rows() >= 1);
+        assert!(default_batch_rows() <= MAX_BATCH_ROWS);
+    }
+
+    #[test]
+    fn exec_option_presets() {
+        let rowwise = ExecOptions::rowwise();
+        assert_eq!(rowwise.workers, 1);
+        assert!(!rowwise.vectorized);
+        let serial = ExecOptions::serial();
+        assert_eq!(serial.workers, 1);
+        assert!(serial.vectorized);
     }
 
     #[test]

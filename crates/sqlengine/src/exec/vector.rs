@@ -1,0 +1,1075 @@
+//! Vectorized batch execution: compiled expression programs over columnar
+//! morsels.
+//!
+//! The morsel scheduler in [`super::parallel`] decomposes a plan into a
+//! scan leaf, a chain of row-local operators and one blocking terminal.
+//! This module adds a second way to run that decomposition: instead of
+//! cloning every scanned record into a [`Value`] and walking the `Scalar`
+//! tree per row, a morsel is cut into [`ColumnBatch`]es (typed column
+//! vectors + per-lane presence tags, dictionary-encoded strings), and each
+//! `Scalar` tree is flattened once per query into an [`ExprProgram`] — a
+//! linear register program whose instructions run over a whole selection
+//! vector at a time.
+//!
+//! Byte-identity with the row path is the contract, enforced three ways:
+//!
+//! * Every instruction reuses the *same* semantic helpers as the row
+//!   evaluator (`eval_binop` / `eval_unop` / `eval_func` / `eval_is`), so
+//!   a batch kernel can never disagree with `eval()` on a value. The fast
+//!   kernels (integer compare/arithmetic, dictionary-memoized string
+//!   compare, presence-tag `IS NULL`/`IS MISSING`) are only taken where
+//!   they are provably equivalent.
+//! * Errors are *poisoned per lane* instead of raised mid-batch: each lane
+//!   records the first error it hits in program order, poisoned lanes are
+//!   skipped by later instructions, and the batch reports the error of the
+//!   lowest poisoned lane — exactly the row the serial scan would have
+//!   failed on.
+//! * Anything the compiler cannot express (join-scoped references,
+//!   `SELECT VALUE` feeding another operator, `MergeStars`) makes
+//!   [`compile`] return `None` and the caller falls back to the row path —
+//!   the same whitelist discipline `parallel::analyze` applies to plans.
+
+use super::aggregate::OrdValue;
+use super::eval::{eval_binop, eval_func, eval_is, eval_unop, truthy};
+use super::parallel::{MorselOp, MorselSink, ParallelPlan, SortKey, Terminal};
+use crate::ast::{BinOp, IsKind, UnaryOp};
+use crate::error::{EngineError, Result};
+use crate::plan::logical::{AggArg, ProjectSpec, Scalar, ScalarFunc};
+use polyframe_datamodel::{Record, Value};
+use polyframe_storage::{Column, ColumnBatch, Presence, RecordId, Table};
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+
+/// Where an instruction operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    /// A scan column (`scan_fields[i]`) or, after a projection stage, a
+    /// derived column of the current environment.
+    Col(usize),
+    /// A literal from the program's literal pool.
+    Lit(usize),
+    /// The output of instruction `i`.
+    Reg(usize),
+}
+
+/// One instruction of a flattened expression; instruction `i` writes
+/// register `i`.
+#[derive(Debug, Clone)]
+enum Instr {
+    Un(UnaryOp, Src),
+    Bin(BinOp, Src, Src),
+    /// All arguments are evaluated (for their errors), the first is used —
+    /// the row evaluator's convention.
+    Call(ScalarFunc, Vec<Src>),
+    Is(Src, IsKind, bool),
+}
+
+/// A `Scalar` tree flattened into a linear register program.
+#[derive(Debug, Clone)]
+struct ExprProgram {
+    instrs: Vec<Instr>,
+    lits: Vec<Value>,
+    result: Src,
+}
+
+/// One row-local stage of a vectorized pipeline.
+enum VecStage {
+    Filter(ExprProgram),
+    /// Output column names live in the compiler environment (and, for the
+    /// final projection, in [`RowEmit::Derived`]); the stage itself only
+    /// needs the programs.
+    Project(Vec<ExprProgram>),
+}
+
+/// How surviving lanes turn back into result rows.
+enum RowEmit {
+    /// No projection ran: the row is the scanned record.
+    Scanned,
+    /// The last projection's derived columns, zipped with their names.
+    Derived(Vec<String>),
+    /// `SELECT VALUE expr`: the row *is* the program's result.
+    Value(ExprProgram),
+}
+
+/// The compiled form of the pipeline's blocking terminal.
+enum VecTerminal {
+    Collect(RowEmit),
+    Sort {
+        emit: RowEmit,
+        keys: Vec<(ExprProgram, bool)>,
+    },
+    /// `args[i] == None` is `COUNT(*)`.
+    Agg {
+        keys: Vec<ExprProgram>,
+        args: Vec<Option<ExprProgram>>,
+    },
+}
+
+/// A fully compiled vectorized pipeline: which scan fields to transpose
+/// into columns, the stage programs, and the terminal.
+pub(super) struct VecPipeline {
+    scan_fields: Vec<String>,
+    stages: Vec<VecStage>,
+    terminal: VecTerminal,
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// The column environment a program compiles against: the physical scan
+/// columns until the first projection, that projection's output columns
+/// after.
+struct Compiler {
+    scan_fields: Vec<String>,
+    derived: Option<Vec<String>>,
+}
+
+impl Compiler {
+    fn resolve(&mut self, field: &str, lits: &mut Vec<Value>) -> Src {
+        match &self.derived {
+            // Duplicate output names resolve to the *last* occurrence —
+            // record insertion overwrites, so that is the value a field
+            // lookup on the projected row would see.
+            Some(names) => match names.iter().rposition(|n| n == field) {
+                Some(i) => Src::Col(i),
+                None => push_lit(lits, Value::Missing),
+            },
+            None => Src::Col(match self.scan_fields.iter().position(|n| n == field) {
+                Some(i) => i,
+                None => {
+                    self.scan_fields.push(field.to_string());
+                    self.scan_fields.len() - 1
+                }
+            }),
+        }
+    }
+
+    fn compile_expr(&mut self, scalar: &Scalar) -> Option<ExprProgram> {
+        let mut instrs = Vec::new();
+        let mut lits = Vec::new();
+        let result = self.compile_into(scalar, &mut instrs, &mut lits)?;
+        Some(ExprProgram {
+            instrs,
+            lits,
+            result,
+        })
+    }
+
+    /// Postorder flattening: operands compile before their operator, which
+    /// reproduces the row evaluator's evaluation (and therefore error)
+    /// order — `eval_binop` never short-circuits, so a linear program is
+    /// exact.
+    fn compile_into(
+        &mut self,
+        scalar: &Scalar,
+        instrs: &mut Vec<Instr>,
+        lits: &mut Vec<Value>,
+    ) -> Option<Src> {
+        Some(match scalar {
+            Scalar::Field(f) => self.resolve(f, lits),
+            Scalar::Lit(v) => push_lit(lits, v.clone()),
+            Scalar::Un(op, a) => {
+                let a = self.compile_into(a, instrs, lits)?;
+                instrs.push(Instr::Un(*op, a));
+                Src::Reg(instrs.len() - 1)
+            }
+            Scalar::Bin(op, a, b) => {
+                let a = self.compile_into(a, instrs, lits)?;
+                let b = self.compile_into(b, instrs, lits)?;
+                instrs.push(Instr::Bin(*op, a, b));
+                Src::Reg(instrs.len() - 1)
+            }
+            Scalar::Call(func, args) => {
+                let srcs = args
+                    .iter()
+                    .map(|a| self.compile_into(a, instrs, lits))
+                    .collect::<Option<Vec<Src>>>()?;
+                instrs.push(Instr::Call(*func, srcs));
+                Src::Reg(instrs.len() - 1)
+            }
+            Scalar::Is(a, kind, negated) => {
+                let a = self.compile_into(a, instrs, lits)?;
+                instrs.push(Instr::Is(a, *kind, *negated));
+                Src::Reg(instrs.len() - 1)
+            }
+            // Whole-row and join-scoped references need the materialized
+            // record; those pipelines stay on the row path.
+            Scalar::Input | Scalar::FieldOf(..) | Scalar::BindingRef(_) => return None,
+        })
+    }
+}
+
+fn push_lit(lits: &mut Vec<Value>, v: Value) -> Src {
+    lits.push(v);
+    Src::Lit(lits.len() - 1)
+}
+
+/// Compile a parallel-safe plan decomposition into a vectorized pipeline,
+/// or `None` for the row-path fallback.
+pub(super) fn compile(pp: &ParallelPlan<'_>) -> Option<VecPipeline> {
+    let mut c = Compiler {
+        scan_fields: Vec::new(),
+        derived: None,
+    };
+    let mut stages = Vec::new();
+    let mut value_emit: Option<ExprProgram> = None;
+    for op in &pp.ops {
+        if value_emit.is_some() {
+            // Operators above a `SELECT VALUE` see scalar rows, not
+            // records; the row path handles those.
+            return None;
+        }
+        match op {
+            MorselOp::Filter(pred) => stages.push(VecStage::Filter(c.compile_expr(pred)?)),
+            MorselOp::Project(ProjectSpec::Columns(cols)) => {
+                let mut names = Vec::with_capacity(cols.len());
+                let mut progs = Vec::with_capacity(cols.len());
+                for (name, expr) in cols {
+                    progs.push(c.compile_expr(expr)?);
+                    names.push(name.clone());
+                }
+                stages.push(VecStage::Project(progs));
+                c.derived = Some(names);
+            }
+            MorselOp::Project(ProjectSpec::Value(expr)) => value_emit = Some(c.compile_expr(expr)?),
+            MorselOp::Project(ProjectSpec::MergeStars(_)) => return None,
+        }
+    }
+    let emit = match (value_emit, &c.derived) {
+        (Some(prog), _) => RowEmit::Value(prog),
+        (None, Some(names)) => RowEmit::Derived(names.clone()),
+        (None, None) => RowEmit::Scanned,
+    };
+    let terminal = match &pp.terminal {
+        Terminal::Collect => VecTerminal::Collect(emit),
+        Terminal::Sort { keys, .. } => {
+            if matches!(emit, RowEmit::Value(_)) {
+                return None;
+            }
+            let keys = keys
+                .iter()
+                .map(|(expr, desc)| c.compile_expr(expr).map(|p| (p, *desc)))
+                .collect::<Option<Vec<_>>>()?;
+            VecTerminal::Sort { emit, keys }
+        }
+        Terminal::Aggregate { group_by, aggs, .. } => {
+            if matches!(emit, RowEmit::Value(_)) {
+                return None;
+            }
+            let keys = group_by
+                .iter()
+                .map(|(_, expr)| c.compile_expr(expr))
+                .collect::<Option<Vec<_>>>()?;
+            let args = aggs
+                .iter()
+                .map(|agg| match &agg.arg {
+                    AggArg::Star => Some(None),
+                    AggArg::Expr(expr) => c.compile_expr(expr).map(Some),
+                })
+                .collect::<Option<Vec<_>>>()?;
+            VecTerminal::Agg { keys, args }
+        }
+    };
+    Some(VecPipeline {
+        scan_fields: c.scan_fields,
+        stages,
+        terminal,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Error poisoning
+// ---------------------------------------------------------------------------
+
+/// Per-lane error state of one batch. A lane keeps the first error it hits
+/// (programs run in stage order, instructions in program order, so
+/// `or_insert` preserves "first in serial evaluation order"), and the
+/// batch fails with the error of the *lowest* poisoned lane — the row the
+/// serial scan would have failed on.
+#[derive(Default)]
+struct ErrTracker {
+    /// lane -> (terminal stage index, error).
+    errs: BTreeMap<u32, (u32, EngineError)>,
+}
+
+impl ErrTracker {
+    fn poison(&mut self, lane: u32, stage: u32, err: EngineError) {
+        self.errs.entry(lane).or_insert((stage, err));
+    }
+
+    fn poisoned(&self, lane: u32) -> bool {
+        !self.errs.is_empty() && self.errs.contains_key(&lane)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.errs.is_empty()
+    }
+
+    /// The error of the lowest poisoned lane.
+    fn first_err(&self) -> Option<EngineError> {
+        self.errs.values().next().map(|(_, e)| e.clone())
+    }
+
+    /// Lowest poisoned lane with its terminal stage.
+    fn first(&self) -> Option<(u32, u32, &EngineError)> {
+        self.errs.iter().next().map(|(l, (s, e))| (*l, *s, e))
+    }
+
+    fn get(&self, lane: u32) -> Option<(u32, &EngineError)> {
+        self.errs.get(&lane).map(|(s, e)| (*s, e))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Program execution
+// ---------------------------------------------------------------------------
+
+fn operand<'a>(
+    src: Src,
+    k: usize,
+    lane: u32,
+    batch: &'a ColumnBatch,
+    derived: Option<&'a [Vec<Value>]>,
+    lits: &'a [Value],
+    regs: &'a [Vec<Value>],
+) -> Cow<'a, Value> {
+    match src {
+        Src::Col(c) => match derived {
+            Some(cols) => Cow::Borrowed(&cols[c][k]),
+            None => batch.column(c).value_at(lane as usize),
+        },
+        Src::Lit(l) => Cow::Borrowed(&lits[l]),
+        Src::Reg(r) => Cow::Borrowed(&regs[r][k]),
+    }
+}
+
+/// Run one program over the selected lanes; the result vector is aligned
+/// with `sel`. Lanes that error are poisoned (placeholder `Null` in the
+/// output) rather than aborting the batch.
+fn run_program(
+    prog: &ExprProgram,
+    batch: &ColumnBatch,
+    sel: &[u32],
+    derived: Option<&[Vec<Value>]>,
+    stage: u32,
+    tracker: &mut ErrTracker,
+) -> Vec<Value> {
+    let mut regs: Vec<Vec<Value>> = Vec::with_capacity(prog.instrs.len());
+    for instr in &prog.instrs {
+        let out = match kernel(instr, batch, sel, derived, &prog.lits) {
+            Some(v) => v,
+            None => generic_instr(
+                instr, batch, sel, derived, &prog.lits, &regs, stage, tracker,
+            ),
+        };
+        regs.push(out);
+    }
+    match prog.result {
+        Src::Reg(r) => {
+            // Postorder flattening makes the root the last instruction.
+            debug_assert_eq!(r + 1, regs.len());
+            regs.pop().unwrap_or_default()
+        }
+        Src::Col(c) => sel
+            .iter()
+            .enumerate()
+            .map(|(k, &lane)| {
+                operand(Src::Col(c), k, lane, batch, derived, &prog.lits, &regs).into_owned()
+            })
+            .collect(),
+        Src::Lit(l) => vec![prog.lits[l].clone(); sel.len()],
+    }
+}
+
+/// Generic per-lane execution: exact row semantics via the shared `eval_*`
+/// helpers, skipping already-poisoned lanes.
+#[allow(clippy::too_many_arguments)]
+fn generic_instr(
+    instr: &Instr,
+    batch: &ColumnBatch,
+    sel: &[u32],
+    derived: Option<&[Vec<Value>]>,
+    lits: &[Value],
+    regs: &[Vec<Value>],
+    stage: u32,
+    tracker: &mut ErrTracker,
+) -> Vec<Value> {
+    let mut out = Vec::with_capacity(sel.len());
+    for (k, &lane) in sel.iter().enumerate() {
+        if tracker.poisoned(lane) {
+            out.push(Value::Null);
+            continue;
+        }
+        let r = match instr {
+            Instr::Un(op, a) => {
+                let v = operand(*a, k, lane, batch, derived, lits, regs);
+                eval_unop(*op, &v)
+            }
+            Instr::Bin(op, a, b) => {
+                let av = operand(*a, k, lane, batch, derived, lits, regs);
+                let bv = operand(*b, k, lane, batch, derived, lits, regs);
+                eval_binop(*op, &av, &bv)
+            }
+            Instr::Call(func, args) => {
+                let first = args
+                    .first()
+                    .map(|s| operand(*s, k, lane, batch, derived, lits, regs));
+                eval_func(*func, first.as_deref())
+            }
+            Instr::Is(a, kind, negated) => {
+                let v = operand(*a, k, lane, batch, derived, lits, regs);
+                Ok(eval_is(&v, *kind, *negated))
+            }
+        };
+        match r {
+            Ok(v) => out.push(v),
+            Err(e) => {
+                tracker.poison(lane, stage, e);
+                out.push(Value::Null);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Batch kernels
+// ---------------------------------------------------------------------------
+
+fn is_cmp(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    )
+}
+
+fn int_cmp(op: BinOp, a: i64, b: i64) -> bool {
+    match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => unreachable!("comparison operators only"),
+    }
+}
+
+/// Column-vs-literal fast paths, taken only where they are provably
+/// equivalent to `eval_binop`/`eval_is` (and can never error, so they need
+/// no tracker). `None` falls back to the generic per-lane loop.
+fn kernel(
+    instr: &Instr,
+    batch: &ColumnBatch,
+    sel: &[u32],
+    derived: Option<&[Vec<Value>]>,
+    lits: &[Value],
+) -> Option<Vec<Value>> {
+    if derived.is_some() {
+        return None;
+    }
+    match *instr {
+        Instr::Bin(op, Src::Col(c), Src::Lit(l)) => {
+            bin_col_lit(op, batch.column(c), &lits[l], sel, false)
+        }
+        Instr::Bin(op, Src::Lit(l), Src::Col(c)) => {
+            bin_col_lit(op, batch.column(c), &lits[l], sel, true)
+        }
+        Instr::Is(Src::Col(c), kind, negated) => {
+            let col = batch.column(c);
+            Some(
+                sel.iter()
+                    .map(|&lane| {
+                        let hit = match (kind, col.presence_at(lane as usize)) {
+                            (IsKind::Missing, p) => p == Presence::Missing,
+                            (IsKind::Null | IsKind::Unknown, p) => p != Presence::Present,
+                        };
+                        Value::Bool(hit != negated)
+                    })
+                    .collect(),
+            )
+        }
+        _ => None,
+    }
+}
+
+fn bin_col_lit(
+    op: BinOp,
+    col: &Column,
+    lit: &Value,
+    sel: &[u32],
+    lit_is_lhs: bool,
+) -> Option<Vec<Value>> {
+    match (col, lit) {
+        (Column::Int { data, tags }, Value::Int(x)) if is_cmp(op) => Some(
+            sel.iter()
+                .map(|&lane| {
+                    let i = lane as usize;
+                    match tags[i] {
+                        Presence::Present => Value::Bool(if lit_is_lhs {
+                            int_cmp(op, *x, data[i])
+                        } else {
+                            int_cmp(op, data[i], *x)
+                        }),
+                        Presence::Null => Value::Null,
+                        Presence::Missing => Value::Missing,
+                    }
+                })
+                .collect(),
+        ),
+        (Column::Int { data, tags }, Value::Int(x))
+            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) =>
+        {
+            Some(
+                sel.iter()
+                    .map(|&lane| {
+                        let i = lane as usize;
+                        match tags[i] {
+                            Presence::Present => {
+                                let (a, b) = if lit_is_lhs {
+                                    (*x, data[i])
+                                } else {
+                                    (data[i], *x)
+                                };
+                                Value::Int(match op {
+                                    BinOp::Add => a.wrapping_add(b),
+                                    BinOp::Sub => a.wrapping_sub(b),
+                                    _ => a.wrapping_mul(b),
+                                })
+                            }
+                            Presence::Null => Value::Null,
+                            Presence::Missing => Value::Missing,
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        // Dictionary-encoded strings: evaluate the comparison once per
+        // distinct value instead of once per row. Comparisons never error.
+        (Column::Str { codes, dict, tags }, lit) if is_cmp(op) => {
+            let side = |d: &Value| {
+                if lit_is_lhs {
+                    eval_binop(op, lit, d)
+                } else {
+                    eval_binop(op, d, lit)
+                }
+            };
+            let memo: Vec<Value> = dict.iter().map(&side).collect::<Result<_>>().ok()?;
+            let null_v = side(&Value::Null).ok()?;
+            let miss_v = side(&Value::Missing).ok()?;
+            Some(
+                sel.iter()
+                    .map(|&lane| {
+                        let i = lane as usize;
+                        match tags[i] {
+                            Presence::Present => memo[codes[i] as usize].clone(),
+                            Presence::Null => null_v.clone(),
+                            Presence::Missing => miss_v.clone(),
+                        }
+                    })
+                    .collect(),
+            )
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline driver
+// ---------------------------------------------------------------------------
+
+fn retain_mask<T>(v: &mut Vec<T>, keep: &[bool]) {
+    let mut i = 0;
+    v.retain(|_| {
+        let k = keep[i];
+        i += 1;
+        k
+    });
+}
+
+/// Drop poisoned lanes from the selection (and the aligned derived
+/// columns); their errors stay in the tracker for end-of-batch reporting.
+fn compact_poisoned(
+    sel: &mut Vec<u32>,
+    derived: &mut Option<Vec<Vec<Value>>>,
+    tracker: &ErrTracker,
+) {
+    if tracker.is_empty() {
+        return;
+    }
+    let keep: Vec<bool> = sel.iter().map(|&lane| !tracker.poisoned(lane)).collect();
+    retain_mask(sel, &keep);
+    if let Some(cols) = derived {
+        for col in cols.iter_mut() {
+            retain_mask(col, &keep);
+        }
+    }
+}
+
+fn apply_filter(
+    prog: &ExprProgram,
+    batch: &ColumnBatch,
+    sel: &mut Vec<u32>,
+    derived: &mut Option<Vec<Vec<Value>>>,
+    tracker: &mut ErrTracker,
+) {
+    // Single-comparison filters over physical columns keep the whole
+    // filter inside one typed loop over the selection vector.
+    if derived.is_none() && tracker.is_empty() {
+        if let [Instr::Bin(op, a, b)] = prog.instrs.as_slice() {
+            if prog.result == Src::Reg(0) && is_cmp(*op) {
+                let handled = match (*a, *b) {
+                    (Src::Col(c), Src::Lit(l)) => {
+                        filter_cmp(*op, batch.column(c), &prog.lits[l], sel, false)
+                    }
+                    (Src::Lit(l), Src::Col(c)) => {
+                        filter_cmp(*op, batch.column(c), &prog.lits[l], sel, true)
+                    }
+                    _ => false,
+                };
+                if handled {
+                    return;
+                }
+            }
+        }
+    }
+    let vals = run_program(prog, batch, sel, derived.as_deref(), 0, tracker);
+    let keep: Vec<bool> = sel
+        .iter()
+        .zip(&vals)
+        .map(|(&lane, v)| !tracker.poisoned(lane) && truthy(v).is_true())
+        .collect();
+    retain_mask(sel, &keep);
+    if let Some(cols) = derived {
+        for col in cols.iter_mut() {
+            retain_mask(col, &keep);
+        }
+    }
+}
+
+/// In-place selection-vector filter for `col <op> lit` — true when the
+/// column/literal pair had a typed fast path.
+fn filter_cmp(op: BinOp, col: &Column, lit: &Value, sel: &mut Vec<u32>, lit_is_lhs: bool) -> bool {
+    match (col, lit) {
+        (Column::Int { data, tags }, Value::Int(x)) => {
+            sel.retain(|&lane| {
+                let i = lane as usize;
+                tags[i] == Presence::Present
+                    && if lit_is_lhs {
+                        int_cmp(op, *x, data[i])
+                    } else {
+                        int_cmp(op, data[i], *x)
+                    }
+            });
+            true
+        }
+        (Column::Str { codes, dict, tags }, lit) => {
+            let pass: Vec<bool> = dict
+                .iter()
+                .map(|d| {
+                    let r = if lit_is_lhs {
+                        eval_binop(op, lit, d)
+                    } else {
+                        eval_binop(op, d, lit)
+                    };
+                    matches!(r, Ok(ref v) if truthy(v).is_true())
+                })
+                .collect();
+            sel.retain(|&lane| {
+                let i = lane as usize;
+                tags[i] == Presence::Present && pass[codes[i] as usize]
+            });
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Turn surviving lanes back into result rows (aligned with `sel`).
+fn emit_rows(
+    emit: &RowEmit,
+    batch: &ColumnBatch,
+    records: &[&Record],
+    sel: &[u32],
+    derived: &mut Option<Vec<Vec<Value>>>,
+    stage: u32,
+    tracker: &mut ErrTracker,
+) -> Vec<Value> {
+    match emit {
+        RowEmit::Scanned => sel
+            .iter()
+            .map(|&lane| Value::Obj(records[lane as usize].clone()))
+            .collect(),
+        RowEmit::Derived(names) => {
+            let Some(cols) = derived else {
+                unreachable!("derived emit without a projection stage");
+            };
+            (0..sel.len())
+                .map(|k| {
+                    let mut rec = Record::with_capacity(names.len());
+                    for (ci, name) in names.iter().enumerate() {
+                        rec.insert(
+                            name.clone(),
+                            std::mem::replace(&mut cols[ci][k], Value::Null),
+                        );
+                    }
+                    Value::Obj(rec)
+                })
+                .collect()
+        }
+        RowEmit::Value(prog) => run_program(prog, batch, sel, derived.as_deref(), stage, tracker),
+    }
+}
+
+/// Run one batch of records through the pipeline into the morsel sink.
+fn process_batch(vp: &VecPipeline, records: &[&Record], sink: &mut MorselSink<'_>) -> Result<()> {
+    let batch = ColumnBatch::from_records(records, &vp.scan_fields);
+    let mut sel: Vec<u32> = (0..records.len() as u32).collect();
+    let mut derived: Option<Vec<Vec<Value>>> = None;
+    let mut tracker = ErrTracker::default();
+
+    for vs in &vp.stages {
+        match vs {
+            VecStage::Filter(prog) => {
+                apply_filter(prog, &batch, &mut sel, &mut derived, &mut tracker)
+            }
+            VecStage::Project(progs) => {
+                let cols: Vec<Vec<Value>> = progs
+                    .iter()
+                    .map(|p| run_program(p, &batch, &sel, derived.as_deref(), 0, &mut tracker))
+                    .collect();
+                derived = Some(cols);
+                compact_poisoned(&mut sel, &mut derived, &tracker);
+            }
+        }
+        if sel.is_empty() && tracker.is_empty() {
+            return Ok(());
+        }
+    }
+
+    match &vp.terminal {
+        VecTerminal::Collect(emit) => {
+            let rows = emit_rows(emit, &batch, records, &sel, &mut derived, 0, &mut tracker);
+            if let Some(e) = tracker.first_err() {
+                return Err(e);
+            }
+            for row in rows {
+                sink.push(row)?;
+            }
+        }
+        VecTerminal::Sort { emit, keys } => {
+            let key_vals: Vec<Vec<Value>> = keys
+                .iter()
+                .enumerate()
+                .map(|(ki, (p, _))| {
+                    run_program(p, &batch, &sel, derived.as_deref(), ki as u32, &mut tracker)
+                })
+                .collect();
+            let rows = emit_rows(
+                emit,
+                &batch,
+                records,
+                &sel,
+                &mut derived,
+                keys.len() as u32,
+                &mut tracker,
+            );
+            if let Some(e) = tracker.first_err() {
+                return Err(e);
+            }
+            let mut key_vals = key_vals;
+            for (k, row) in rows.into_iter().enumerate() {
+                let key = keys
+                    .iter()
+                    .zip(key_vals.iter_mut())
+                    .map(|((_, desc), vals)| {
+                        let v = OrdValue(std::mem::replace(&mut vals[k], Value::Null));
+                        if *desc {
+                            SortKey::Desc(v)
+                        } else {
+                            SortKey::Asc(v)
+                        }
+                    })
+                    .collect();
+                sink.push_keyed(key, row);
+            }
+        }
+        VecTerminal::Agg { keys, args } => {
+            fold_aggregates(keys, args, &batch, &sel, &derived, &mut tracker, sink)?;
+        }
+    }
+    Ok(())
+}
+
+/// Fold surviving lanes into the aggregate sink, reproducing the serial
+/// per-row error order: for each lane in scan order, group-key errors come
+/// before any accumulator update, and the update of aggregate `j` runs
+/// before the argument error of aggregate `j+1`.
+#[allow(clippy::too_many_arguments)]
+fn fold_aggregates(
+    keys: &[ExprProgram],
+    args: &[Option<ExprProgram>],
+    batch: &ColumnBatch,
+    sel: &[u32],
+    derived: &Option<Vec<Vec<Value>>>,
+    tracker: &mut ErrTracker,
+    sink: &mut MorselSink<'_>,
+) -> Result<()> {
+    let nkeys = keys.len() as u32;
+    let mut key_vals: Vec<Vec<Value>> = keys
+        .iter()
+        .enumerate()
+        .map(|(ki, p)| run_program(p, batch, sel, derived.as_deref(), ki as u32, tracker))
+        .collect();
+    let arg_vals: Vec<Option<Vec<Value>>> = args
+        .iter()
+        .enumerate()
+        .map(|(ai, p)| {
+            p.as_ref().map(|p| {
+                run_program(
+                    p,
+                    batch,
+                    sel,
+                    derived.as_deref(),
+                    nkeys + ai as u32,
+                    tracker,
+                )
+            })
+        })
+        .collect();
+
+    for (k, &lane) in sel.iter().enumerate() {
+        // Errors on earlier (already filtered-out) lanes fire before this
+        // lane folds — the serial scan hit that row first.
+        if let Some((pl, _, e)) = tracker.first() {
+            if pl < lane {
+                return Err(e.clone());
+            }
+        }
+        let lane_poison = tracker.get(lane).map(|(s, e)| (s, e.clone()));
+        if let Some((s, e)) = &lane_poison {
+            if *s < nkeys {
+                return Err(e.clone());
+            }
+        }
+        let key: Vec<OrdValue> = key_vals
+            .iter_mut()
+            .map(|vals| OrdValue(std::mem::replace(&mut vals[k], Value::Null)))
+            .collect();
+        // An argument-program error at stage `nkeys + j` lets updates
+        // 0..j run first: an earlier aggregate's update error (e.g. SUM
+        // over a string) outranks a later aggregate's evaluation error,
+        // exactly as the row loop interleaves them.
+        let upto = match &lane_poison {
+            Some((s, _)) => (*s - nkeys) as usize,
+            None => args.len(),
+        };
+        let lane_args: Vec<Option<&Value>> = arg_vals
+            .iter()
+            .map(|vals| vals.as_ref().map(|v| &v[k]))
+            .collect();
+        sink.push_agg(key, &lane_args[..upto])?;
+        if let Some((_, e)) = lane_poison {
+            return Err(e);
+        }
+    }
+    if let Some(e) = tracker.first_err() {
+        return Err(e);
+    }
+    Ok(())
+}
+
+/// Scan `[lo, hi)` of the morsel domain (heap slots, or a chunk of the
+/// materialized rid list) in `batch_rows`-sized batches, feeding each
+/// through the pipeline into `sink`.
+pub(super) fn run_range(
+    table: &Table,
+    rids: Option<&[RecordId]>,
+    lo: usize,
+    hi: usize,
+    vp: &VecPipeline,
+    batch_rows: usize,
+    sink: &mut MorselSink<'_>,
+) -> Result<()> {
+    let step = batch_rows.max(1);
+    let mut refs: Vec<&Record> = Vec::with_capacity(step.min(hi.saturating_sub(lo)));
+    match rids {
+        None => {
+            let mut start = lo;
+            while start < hi {
+                let end = (start + step).min(hi);
+                refs.clear();
+                refs.extend(table.heap().scan_range(start, end).map(|(_, rec)| rec));
+                process_batch(vp, &refs, sink)?;
+                start = end;
+            }
+        }
+        Some(rids) => {
+            for chunk in rids[lo..hi].chunks(step) {
+                refs.clear();
+                for rid in chunk {
+                    refs.push(
+                        table
+                            .get(*rid)
+                            .ok_or_else(|| EngineError::exec("dangling index entry"))?,
+                    );
+                }
+                process_batch(vp, &refs, sink)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::eval::eval;
+    use polyframe_datamodel::record;
+
+    fn rows() -> Vec<Record> {
+        vec![
+            record! {"a" => 1i64, "s" => "x", "d" => 1.5},
+            record! {"a" => 2i64, "s" => "y", "n" => Value::Null},
+            record! {"a" => Value::Null, "s" => "x"},
+            record! {"s" => "z", "d" => 4.0},
+            record! {"a" => 5i64},
+        ]
+    }
+
+    /// Compile `expr`, run it over a batch, and compare every lane to the
+    /// row evaluator.
+    fn assert_program_matches_eval(expr: &Scalar) {
+        let recs = rows();
+        let refs: Vec<&Record> = recs.iter().collect();
+        let mut c = Compiler {
+            scan_fields: Vec::new(),
+            derived: None,
+        };
+        let prog = c.compile_expr(expr).expect("compilable");
+        let batch = ColumnBatch::from_records(&refs, &c.scan_fields);
+        let sel: Vec<u32> = (0..refs.len() as u32).collect();
+        let mut tracker = ErrTracker::default();
+        let got = run_program(&prog, &batch, &sel, None, 0, &mut tracker);
+        for (k, rec) in recs.iter().enumerate() {
+            let row = Value::Obj(rec.clone());
+            match eval(expr, &row) {
+                Ok(v) => {
+                    assert!(!tracker.poisoned(k as u32), "lane {k} wrongly poisoned");
+                    assert_eq!(got[k], v, "lane {k} diverges for {expr:?}");
+                }
+                Err(e) => {
+                    let (_, got_e) = tracker.get(k as u32).expect("lane poisoned");
+                    assert_eq!(got_e.to_string(), e.to_string(), "lane {k} error");
+                }
+            }
+        }
+    }
+
+    fn field(name: &str) -> Scalar {
+        Scalar::Field(name.into())
+    }
+
+    fn lit(v: impl Into<Value>) -> Scalar {
+        Scalar::Lit(v.into())
+    }
+
+    fn bin(op: BinOp, a: Scalar, b: Scalar) -> Scalar {
+        Scalar::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    #[test]
+    fn programs_match_row_eval() {
+        for expr in [
+            bin(BinOp::Lt, field("a"), lit(3i64)),
+            bin(BinOp::Eq, field("s"), lit("x")),
+            bin(BinOp::Ne, lit("x"), field("s")),
+            bin(BinOp::Add, field("a"), lit(10i64)),
+            bin(BinOp::Add, field("a"), field("d")),
+            bin(BinOp::Div, field("a"), lit(0i64)),
+            Scalar::Is(Box::new(field("n")), IsKind::Null, false),
+            Scalar::Is(Box::new(field("a")), IsKind::Missing, true),
+            Scalar::Un(
+                UnaryOp::Not,
+                Box::new(bin(BinOp::Gt, field("a"), lit(1i64))),
+            ),
+            Scalar::Call(ScalarFunc::Upper, vec![field("s")]),
+            bin(
+                BinOp::And,
+                bin(BinOp::Ge, field("a"), lit(1i64)),
+                bin(BinOp::Eq, field("s"), lit("x")),
+            ),
+            // Errors on some lanes only (string minus int).
+            bin(BinOp::Sub, field("s"), lit(1i64)),
+        ] {
+            assert_program_matches_eval(&expr);
+        }
+    }
+
+    #[test]
+    fn poisoned_lanes_report_lowest_lane_first() {
+        let recs = rows();
+        let refs: Vec<&Record> = recs.iter().collect();
+        let mut c = Compiler {
+            scan_fields: Vec::new(),
+            derived: None,
+        };
+        // `s - 1` errors on every lane with a string.
+        let prog = c
+            .compile_expr(&bin(BinOp::Sub, field("s"), lit(1i64)))
+            .unwrap();
+        let batch = ColumnBatch::from_records(&refs, &c.scan_fields);
+        let sel: Vec<u32> = (0..refs.len() as u32).collect();
+        let mut tracker = ErrTracker::default();
+        run_program(&prog, &batch, &sel, None, 0, &mut tracker);
+        let (lane, _, _) = tracker.first().expect("errors recorded");
+        assert_eq!(lane, 0, "lowest lane wins");
+    }
+
+    #[test]
+    fn join_scoped_references_do_not_compile() {
+        let mut c = Compiler {
+            scan_fields: Vec::new(),
+            derived: None,
+        };
+        assert!(c.compile_expr(&Scalar::Input).is_none());
+        assert!(c
+            .compile_expr(&Scalar::FieldOf("l".into(), "x".into()))
+            .is_none());
+        assert!(c.compile_expr(&Scalar::BindingRef("r".into())).is_none());
+    }
+
+    #[test]
+    fn filter_fast_path_matches_generic() {
+        let recs = rows();
+        let refs: Vec<&Record> = recs.iter().collect();
+        for expr in [
+            bin(BinOp::Lt, field("a"), lit(3i64)),
+            bin(BinOp::Gt, lit(3i64), field("a")),
+            bin(BinOp::Eq, field("s"), lit("x")),
+            bin(BinOp::Ne, field("s"), lit(1i64)),
+        ] {
+            let mut c = Compiler {
+                scan_fields: Vec::new(),
+                derived: None,
+            };
+            let prog = c.compile_expr(&expr).unwrap();
+            let batch = ColumnBatch::from_records(&refs, &c.scan_fields);
+            let mut fast: Vec<u32> = (0..refs.len() as u32).collect();
+            let mut tracker = ErrTracker::default();
+            apply_filter(&prog, &batch, &mut fast, &mut None, &mut tracker);
+            // Reference: generic truthiness over the program output.
+            let sel: Vec<u32> = (0..refs.len() as u32).collect();
+            let mut t2 = ErrTracker::default();
+            let vals = run_program(&prog, &batch, &sel, None, 0, &mut t2);
+            let slow: Vec<u32> = sel
+                .iter()
+                .zip(&vals)
+                .filter(|(_, v)| truthy(v).is_true())
+                .map(|(&l, _)| l)
+                .collect();
+            assert_eq!(fast, slow, "filter divergence for {expr:?}");
+        }
+    }
+}

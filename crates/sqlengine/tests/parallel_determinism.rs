@@ -23,12 +23,14 @@ fn load(engine: &Engine) {
         .unwrap();
 }
 
-/// The same data behind a serial engine and a 4-worker parallel engine.
+/// The same data behind a row-at-a-time serial engine (the reference) and
+/// a 4-worker parallel engine.
 fn pair(config: fn() -> EngineConfig) -> (Engine, Engine) {
-    let serial = Engine::new(config().with_exec(ExecOptions::serial()));
+    let serial = Engine::new(config().with_exec(ExecOptions::rowwise()));
     let parallel = Engine::new(config().with_exec(ExecOptions {
         workers: 4,
         morsel_rows: MORSEL_ROWS,
+        ..ExecOptions::default()
     }));
     load(&serial);
     load(&parallel);

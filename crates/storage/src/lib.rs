@@ -4,6 +4,9 @@
 //!
 //! The shared storage substrate underneath every PolyFrame database engine:
 //!
+//! * [`batch`] — typed columnar batches ([`batch::ColumnBatch`]) built from
+//!   heap/index scans, with per-lane presence tags and dictionary-encoded
+//!   string columns: the unit of work of vectorized query execution.
 //! * [`btree`] — an in-memory B+tree with duplicate keys, forward *and*
 //!   backward range scans and first/last (min/max) navigation. This is the
 //!   index structure behind the paper's analysis: index-only scans, backward
@@ -22,6 +25,7 @@
 //!   length-prefixed write-ahead log with snapshot checkpoints, torn-tail
 //!   truncation, and deterministic crash/torn-write fault injection.
 
+pub mod batch;
 pub mod btree;
 #[deny(clippy::unwrap_used)]
 pub mod codec;
@@ -32,6 +36,7 @@ pub mod table;
 #[deny(clippy::unwrap_used)]
 pub mod wal;
 
+pub use batch::{Column, ColumnBatch, Presence, DEFAULT_BATCH_ROWS, DICT_CAP, MAX_BATCH_ROWS};
 pub use btree::{BPlusTree, Direction, KeyBound, ScanRange};
 pub use heap::{RecordId, TableHeap};
 pub use index::{Index, IndexKind, NullPolicy};

@@ -12,7 +12,7 @@ use polyframe_datamodel::{record, Record, Value};
 use polyframe_docstore::DocStore;
 use polyframe_graphstore::GraphStore;
 use polyframe_observe::Rng;
-use polyframe_sqlengine::{Engine, EngineConfig};
+use polyframe_sqlengine::{Engine, EngineConfig, ExecOptions};
 use std::sync::Arc;
 
 const CASES: usize = 24;
@@ -219,6 +219,238 @@ fn aggregates_agree_across_backends() {
             );
         }
     }
+}
+
+/// Execution configurations every sqlengine-backed language must keep
+/// byte-identical: the row-at-a-time reference, the single-core vectorized
+/// batch path (small batches so every query spans several), and the
+/// morsel-parallel path with vectorized workers (small morsels so even
+/// these datasets split).
+fn exec_configs() -> [(&'static str, ExecOptions); 3] {
+    [
+        ("rowwise", ExecOptions::rowwise()),
+        (
+            "vectorized",
+            ExecOptions {
+                workers: 1,
+                batch_rows: 32,
+                ..ExecOptions::default()
+            },
+        ),
+        (
+            "parallel",
+            ExecOptions {
+                workers: 4,
+                morsel_rows: 48,
+                batch_rows: 16,
+                ..ExecOptions::default()
+            },
+        ),
+    ]
+}
+
+/// Rows deliberately hostile to a columnar evaluator: `a`/`c` are
+/// NULL/MISSING-heavy, `d` mixes non-finite doubles with nulls and gaps,
+/// and `e` is a low-cardinality string column that occasionally holds an
+/// integer (forcing dictionary demotion to generic storage). Only `b`
+/// (plain int) and `g` (small group key) are always present — the
+/// attributes portable predicates and group-bys are allowed to touch.
+fn gen_messy_records(rng: &mut Rng) -> Vec<Record> {
+    let len = 40 + rng.gen_range_usize(160);
+    (0..len)
+        .map(|i| {
+            let mut r = record! {
+                "id" => i as i64,
+                "b" => rng.gen_range_i64(-5, 15),
+                "g" => rng.gen_range_i64(0, 4),
+            };
+            match rng.gen_range_usize(4) {
+                0 | 1 => r.insert("a", rng.gen_range_i64(-5, 15)),
+                2 => r.insert("a", Value::Null),
+                _ => {} // missing
+            }
+            if rng.gen_range_usize(5) < 2 {
+                r.insert("c", rng.gen_range_i64(-5, 15));
+            }
+            match rng.gen_range_usize(10) {
+                0..=2 => r.insert("d", Value::Double(f64::NAN)),
+                3 => r.insert("d", Value::Double(f64::INFINITY)),
+                4 => r.insert("d", Value::Double(f64::NEG_INFINITY)),
+                5 => r.insert("d", Value::Null),
+                6 => {} // missing
+                _ => r.insert("d", rng.gen_range_i64(-100, 100) as f64 * 0.5),
+            }
+            match rng.gen_range_usize(10) {
+                0..=5 => r.insert("e", ["red", "green", "blue", "x"][rng.gen_range_usize(4)]),
+                6 => r.insert("e", rng.gen_range_i64(0, 100)), // type mix
+                7 => r.insert("e", Value::Null),
+                _ => {} // missing
+            }
+            r
+        })
+        .collect()
+}
+
+/// Predicate for the sqlengine byte-identity sweep: free to compare the
+/// NULL/MISSING-heavy `a` (three-valued logic rejects unknown lanes — a
+/// behaviour every exec path must reproduce exactly) and to `isna` any of
+/// the gappy attributes.
+fn gen_messy_pred(rng: &mut Rng, depth: usize) -> Pred {
+    if depth > 0 && rng.gen_range_usize(3) == 0 {
+        let a = Box::new(gen_messy_pred(rng, depth - 1));
+        let b = Box::new(gen_messy_pred(rng, depth - 1));
+        return if rng.gen_bool() {
+            Pred::And(a, b)
+        } else {
+            Pred::Or(a, b)
+        };
+    }
+    if rng.gen_range_usize(3) == 0 {
+        Pred::IsNa(["a", "c"][rng.gen_range_usize(2)])
+    } else {
+        Pred::Cmp(
+            rng.gen_range_i64(0, 6) as u8,
+            ["b", "a"][rng.gen_range_usize(2)],
+            rng.gen_range_i64(-5, 15),
+        )
+    }
+}
+
+/// Predicate for the cross-language count check: comparisons only on the
+/// always-present `b` (MongoDB's BSON total order sorts missing below
+/// ints) and `isna` only on `c`, which is gappy but never explicitly
+/// `Null` — the docstore's `isna` matches absence, not stored nulls,
+/// another divergence real MongoDB shares.
+fn gen_portable_pred(rng: &mut Rng, depth: usize) -> Pred {
+    if depth > 0 && rng.gen_range_usize(3) == 0 {
+        let a = Box::new(gen_portable_pred(rng, depth - 1));
+        let b = Box::new(gen_portable_pred(rng, depth - 1));
+        return if rng.gen_bool() {
+            Pred::And(a, b)
+        } else {
+            Pred::Or(a, b)
+        };
+    }
+    if rng.gen_range_usize(4) == 0 {
+        Pred::IsNa("c")
+    } else {
+        Pred::Cmp(
+            rng.gen_range_i64(0, 6) as u8,
+            "b",
+            rng.gen_range_i64(-5, 15),
+        )
+    }
+}
+
+/// One random action over a masked frame; `shape` picks among plain
+/// collect, a projection (NaN doubles and the mixed-type string column
+/// flow through the columnar emit), an ORDER BY with heavy ties, and a
+/// grouped aggregate (exercising batch-side key/argument programs).
+fn run_action(af: &AFrame, pred: &Pred, shape: usize, ascending: bool) -> String {
+    let masked = af.mask(&pred.to_expr()).unwrap();
+    let rs = match shape {
+        0 => masked.collect(),
+        1 => masked.select(&["b", "d", "e"]).unwrap().collect(),
+        2 => masked.sort_values("b", ascending).unwrap().collect(),
+        _ => masked
+            .groupby("g")
+            .agg(polyframe::AggFunc::Count)
+            .unwrap()
+            .collect(),
+    }
+    .unwrap();
+    format!("{:?}", rs.rows())
+}
+
+/// The tentpole's contract, swept randomly: for every language, vectorized
+/// and parallel execution must be **byte-identical** to the row-at-a-time
+/// reference — on data full of NULL/MISSING lanes, non-finite doubles, and
+/// mixed-type columns. The two non-sqlengine languages have no exec knobs,
+/// so their instances must agree with each other (determinism) and every
+/// language must report the same surviving-row count on portable filters.
+#[test]
+fn exec_paths_byte_identical_on_random_queries() {
+    let mut rng = Rng::seed_from_u64(0x7EC7);
+    for case in 0..CASES {
+        let records = gen_messy_records(&mut rng);
+        let pred = gen_messy_pred(&mut rng, 2);
+        let shape = rng.gen_range_usize(4);
+        let ascending = rng.gen_bool();
+
+        type ConfigFn = fn() -> EngineConfig;
+        for (lang, config) in [
+            ("sql++", EngineConfig::asterixdb as ConfigFn),
+            ("sql", EngineConfig::postgres as ConfigFn),
+        ] {
+            let mut outputs: Vec<(&str, String)> = Vec::new();
+            for (mode, exec) in exec_configs() {
+                let engine = Arc::new(Engine::new(config().with_exec(exec)));
+                engine.create_dataset("T", "d", Some("id")).unwrap();
+                engine.load("T", "d", records.clone()).unwrap();
+                engine.create_index("T", "d", "b").unwrap();
+                let af: AFrame = if lang == "sql++" {
+                    AFrame::new("T", "d", Arc::new(AsterixConnector::new(engine))).unwrap()
+                } else {
+                    AFrame::new("T", "d", Arc::new(PostgresConnector::new(engine))).unwrap()
+                };
+                outputs.push((mode, run_action(&af, &pred, shape, ascending)));
+            }
+            let (ref_mode, reference) = &outputs[0];
+            assert_eq!(*ref_mode, "rowwise");
+            for (mode, out) in &outputs[1..] {
+                assert_eq!(
+                    out, reference,
+                    "case {case}: {lang} {mode} diverged from rowwise (shape {shape}, pred {pred:?})"
+                );
+            }
+        }
+
+        // Mongo and Cypher run the same program twice (determinism) and
+        // must agree with the SQL engines on the surviving-row count. This
+        // uses the portable predicate: the messy one above may compare or
+        // `isna` the explicitly-NULL `a`, where the document and graph
+        // stores legitimately diverge (see `gen_portable_pred`).
+        let portable = gen_portable_pred(&mut rng, 2);
+        let expected = records.iter().filter(|r| portable.eval(r)).count();
+        for af in [mongo_frame(&records), neo4j_frame(&records)] {
+            let masked = af.mask(&portable.to_expr()).unwrap();
+            let n1 = masked.len().unwrap();
+            let n2 = masked.len().unwrap();
+            assert_eq!(n1, n2, "case {case}: {} nondeterministic", af.backend());
+            assert_eq!(
+                n1,
+                expected,
+                "case {case}: {} count (pred {portable:?})",
+                af.backend()
+            );
+        }
+        // The SQL engines saw the same rows survive.
+        let sql_count = {
+            let engine = Arc::new(Engine::new(
+                EngineConfig::postgres().with_exec(ExecOptions::rowwise()),
+            ));
+            engine.create_dataset("T", "d", Some("id")).unwrap();
+            engine.load("T", "d", records.clone()).unwrap();
+            let af = AFrame::new("T", "d", Arc::new(PostgresConnector::new(engine))).unwrap();
+            af.mask(&portable.to_expr()).unwrap().len().unwrap()
+        };
+        assert_eq!(sql_count, expected, "case {case}: sql count");
+    }
+}
+
+fn mongo_frame(records: &[Record]) -> AFrame {
+    let mongo = Arc::new(DocStore::new());
+    mongo.create_collection("T.d").unwrap();
+    mongo.insert_many("T.d", records.to_vec()).unwrap();
+    mongo.create_index("T.d", "b").unwrap();
+    AFrame::new("T", "d", Arc::new(MongoConnector::new(mongo))).unwrap()
+}
+
+fn neo4j_frame(records: &[Record]) -> AFrame {
+    let neo = Arc::new(GraphStore::new());
+    neo.insert_nodes("d", records.to_vec()).unwrap();
+    neo.create_index("d", "b").unwrap();
+    AFrame::new("T", "d", Arc::new(Neo4jConnector::new(neo))).unwrap()
 }
 
 #[test]
