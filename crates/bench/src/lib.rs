@@ -16,7 +16,11 @@
 //! measuring what retry, failover and partial-result degradation cost,
 //! and the [`recovery`] module a durability report (`harness recovery`)
 //! measuring what WAL-based crash recovery costs and proving the
-//! rebuilt stores byte-identical.
+//! rebuilt stores byte-identical. The [`serve`] module adds a
+//! concurrent-serving report (`harness serve`): closed-loop sessions
+//! over the multi-session server, reporting p50/p99 latency and
+//! aggregate QPS per session count, with and without a concurrent
+//! writer.
 
 pub mod ablations;
 pub mod expressions;
@@ -25,6 +29,7 @@ pub mod microbench;
 pub mod params;
 pub mod recovery;
 pub mod report;
+pub mod serve;
 pub mod systems;
 pub mod timing;
 

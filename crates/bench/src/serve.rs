@@ -1,0 +1,302 @@
+//! The concurrent-serving report behind `harness serve`: closed-loop
+//! sessions over one [`polyframe::Server`], reporting per-session-count
+//! latency percentiles and aggregate throughput.
+//!
+//! Each run starts a server over an AsterixDB-style engine loaded with
+//! Wisconsin data, opens N sessions, and has every session issue the
+//! same deterministic read mix back-to-back (closed loop: one request
+//! in flight per session). Runs repeat with a concurrent writer that
+//! keeps loading batches and issuing DDL against a scratch dataset, so
+//! the report shows what snapshot reads cost under write contention.
+//! The single-session run also replays the mix against the backend
+//! directly and checks the served rows are identical — the serving tier
+//! must not change results, only scheduling.
+
+use polyframe::prelude::*;
+use polyframe::Server;
+use polyframe_datamodel::Record;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const NS: &str = "Test";
+const DS: &str = "wisconsin";
+
+/// One line of the serving report: one session count, with or without a
+/// concurrent writer.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Concurrent closed-loop sessions.
+    pub sessions: usize,
+    /// Whether a writer was loading/DDLing concurrently.
+    pub with_writer: bool,
+    /// Read operations completed across all sessions.
+    pub ops: usize,
+    /// Wall time for the whole run.
+    pub elapsed: Duration,
+    /// Median per-operation latency.
+    pub p50: Duration,
+    /// 99th-percentile per-operation latency.
+    pub p99: Duration,
+    /// Aggregate reads per second.
+    pub qps: f64,
+    /// Admission-queue rejections absorbed by client-side retry.
+    pub rejected: u64,
+    /// Batches the concurrent writer committed (0 without a writer).
+    pub writer_batches: usize,
+    /// Whether served rows matched the direct (unserved) backend path.
+    /// Only checked on the single-session run; `true` elsewhere.
+    pub identical: bool,
+}
+
+impl ServeRun {
+    /// The report line as a JSON record.
+    pub fn to_json(&self, records: usize, seed: u64) -> String {
+        format!(
+            "{{\"sessions\":{},\"with_writer\":{},\"records\":{records},\"seed\":{seed},\
+             \"ops\":{},\"elapsed_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"qps\":{:.1},\
+             \"rejected\":{},\"writer_batches\":{},\"identical\":{}}}",
+            self.sessions,
+            self.with_writer,
+            self.ops,
+            self.elapsed.as_nanos(),
+            self.p50.as_nanos(),
+            self.p99.as_nanos(),
+            self.qps,
+            self.rejected,
+            self.writer_batches,
+            self.identical,
+        )
+    }
+}
+
+/// The deterministic read mix: every session cycles through these, with
+/// the equality keys varied by `(seed, op index)` so the plan cache is
+/// exercised without making results timing-dependent.
+fn read_query(seed: u64, op: usize) -> String {
+    match op % 4 {
+        0 => format!("SELECT VALUE COUNT(*) FROM {NS}.{DS}"),
+        1 => {
+            let key = (seed as usize).wrapping_add(op * 7) % 97;
+            format!("SELECT VALUE COUNT(*) FROM {NS}.{DS} t WHERE t.onePercent = {key} % 100")
+        }
+        2 => format!("SELECT VALUE MAX(t.unique1) FROM {NS}.{DS} t"),
+        _ => {
+            let key = (seed as usize).wrapping_add(op * 13) % 10;
+            format!("SELECT VALUE COUNT(*) FROM {NS}.{DS} t WHERE t.tenPercent = {key}")
+        }
+    }
+}
+
+fn percentile(sorted: &[Duration], pct: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// A retry policy generous enough that admission backpressure never
+/// fails a client — rejections cost a backoff, not the operation.
+fn client_policy() -> ExecPolicy {
+    ExecPolicy::default()
+        .with_retry(RetryPolicy::retries(64).with_base_backoff(Duration::from_micros(200)))
+}
+
+fn engine_with_data(records: usize) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(EngineConfig::asterixdb()));
+    engine
+        .create_dataset(NS, DS, Default::default())
+        .expect("create dataset");
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(records)))
+        .expect("load dataset");
+    engine
+}
+
+/// Run one (session count, writer on/off) cell of the report.
+fn run_cell(
+    records: usize,
+    seed: u64,
+    sessions: usize,
+    ops_per_session: usize,
+    workers: usize,
+    with_writer: bool,
+) -> ServeRun {
+    let engine = engine_with_data(records);
+    let server = Arc::new(Server::start(
+        Arc::new(AsterixConnector::new(Arc::clone(&engine))),
+        ServeConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity((sessions * 2).max(8)),
+    ));
+
+    // The writer interleaves batch loads and DDL on a scratch dataset:
+    // it contends on the master write lock and publishes snapshots, but
+    // never changes what the read mix observes.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = if with_writer {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        Some(std::thread::spawn(move || {
+            let mut batches = 0usize;
+            let mut next = 0i64;
+            while !stop.load(Ordering::Acquire) {
+                // Rotate the scratch dataset every 16 batches: the DDL
+                // interleaves with the loads, and the table stays small
+                // enough that its copy-on-write clone is bounded.
+                if batches.is_multiple_of(16) {
+                    engine
+                        .create_dataset(NS, "scratch", Default::default())
+                        .expect("writer ddl");
+                    engine
+                        .create_index(NS, "scratch", "id")
+                        .expect("writer index");
+                }
+                let batch: Vec<Record> = (0..64)
+                    .map(|i| {
+                        let mut r = Record::with_capacity(2);
+                        r.insert("id", next + i);
+                        r.insert("payload", format!("row{}", next + i));
+                        r
+                    })
+                    .collect();
+                next += 64;
+                engine.load(NS, "scratch", batch).expect("writer load");
+                batches += 1;
+                // Paced ingest: back-to-back loads would saturate a core
+                // with snapshot publication and measure CPU contention,
+                // not the serving tier.
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            batches
+        }))
+    } else {
+        None
+    };
+
+    let started = Instant::now();
+    let mut clients = Vec::new();
+    for s in 0..sessions {
+        let session = server.session();
+        let session_seed = seed.wrapping_add(s as u64);
+        clients.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(ops_per_session);
+            for op in 0..ops_per_session {
+                let req = QueryRequest::new(read_query(session_seed, op), NS, DS)
+                    .with_policy(client_policy());
+                let op_started = Instant::now();
+                session.execute(&req).expect("served read");
+                latencies.push(op_started.elapsed());
+            }
+            latencies
+        }));
+    }
+    let mut latencies: Vec<Duration> = Vec::with_capacity(sessions * ops_per_session);
+    for c in clients {
+        latencies.extend(c.join().expect("client session"));
+    }
+    let elapsed = started.elapsed();
+
+    stop.store(true, Ordering::Release);
+    let writer_batches = writer.map(|w| w.join().expect("writer")).unwrap_or(0);
+    server.drain();
+    let stats = server.stats();
+
+    // Identity check on the serial shape: replay the mix directly
+    // against the backend and compare rows.
+    let identical = if sessions == 1 {
+        let direct = AsterixConnector::new(Arc::clone(&engine));
+        let served = Server::start(
+            Arc::new(AsterixConnector::new(Arc::clone(&engine))),
+            ServeConfig::default().with_workers(workers),
+        );
+        let s = served.session();
+        (0..ops_per_session).all(|op| {
+            let req = QueryRequest::new(read_query(seed, op), NS, DS).with_policy(client_policy());
+            let direct_rows = direct.dispatch(&req).expect("direct read").rows;
+            let served_rows = s.execute(&req).expect("served read").rows;
+            direct_rows == served_rows
+        })
+    } else {
+        true
+    };
+
+    let ops = latencies.len();
+    latencies.sort();
+    ServeRun {
+        sessions,
+        with_writer,
+        ops,
+        elapsed,
+        p50: percentile(&latencies, 50.0),
+        p99: percentile(&latencies, 99.0),
+        qps: ops as f64 / elapsed.as_secs_f64().max(f64::EPSILON),
+        rejected: stats.rejected,
+        writer_batches,
+        identical,
+    }
+}
+
+/// The full report: session counts doubling from 1 to `max_sessions`,
+/// each without and (except the serial baseline) with a concurrent
+/// writer.
+pub fn serve_runs(
+    records: usize,
+    seed: u64,
+    max_sessions: usize,
+    ops_per_session: usize,
+    workers: usize,
+) -> Vec<ServeRun> {
+    let mut counts = Vec::new();
+    let mut s = 1;
+    while s <= max_sessions.max(1) {
+        counts.push(s);
+        s *= 2;
+    }
+    let mut runs = Vec::new();
+    for &sessions in &counts {
+        runs.push(run_cell(
+            records,
+            seed,
+            sessions,
+            ops_per_session,
+            workers,
+            false,
+        ));
+        if sessions > 1 {
+            runs.push(run_cell(
+                records,
+                seed,
+                sessions,
+                ops_per_session,
+                workers,
+                true,
+            ));
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_session_matches_direct_path() {
+        let run = run_cell(300, 7, 1, 12, 2, false);
+        assert!(run.identical, "served rows diverged from the direct path");
+        assert_eq!(run.ops, 12);
+        assert!(run.p50 <= run.p99);
+    }
+
+    #[test]
+    fn writer_contention_keeps_reads_flowing() {
+        let run = run_cell(300, 7, 4, 8, 4, true);
+        assert_eq!(run.ops, 32);
+        assert!(run.writer_batches > 0, "writer never committed a batch");
+        assert!(run.qps > 0.0);
+    }
+}

@@ -90,8 +90,9 @@ pub fn shard_fault(plan: Option<&FaultPlan>, cluster: &str, shard: usize) -> Opt
         }
         // A torn write at the shard boundary is a crash mid-write: the
         // shard dies either way, and the WAL layer (not the coordinator)
-        // owns torn-frame semantics.
-        Some(FaultKind::Crash) | Some(FaultKind::TornWrite(_)) => {
+        // owns torn-frame semantics. A panic in a shard worker likewise
+        // kills that shard's attempt from the coordinator's view.
+        Some(FaultKind::Crash) | Some(FaultKind::TornWrite(_)) | Some(FaultKind::Panic) => {
             Some(ShardFault::Crash(format!("injected crash at {site}")))
         }
     }

@@ -48,6 +48,8 @@ pub mod expr;
 pub mod request;
 pub mod result;
 pub mod rewrite;
+#[deny(clippy::unwrap_used)]
+pub mod serve;
 pub mod translate;
 
 pub use connector::{
@@ -60,6 +62,7 @@ pub use expr::{col, lit, Expr};
 pub use request::{ExecPolicy, QueryRequest, QueryResponse};
 pub use result::ResultSet;
 pub use rewrite::{Language, RuleSet};
+pub use serve::{ServeConfig, Server, SessionConnector};
 pub use translate::Translator;
 
 /// Convenience imports for applications.
@@ -73,6 +76,7 @@ pub mod prelude {
     pub use crate::request::{ExecPolicy, QueryRequest, QueryResponse};
     pub use crate::result::ResultSet;
     pub use crate::rewrite::{Language, RuleSet};
+    pub use crate::serve::{ServeConfig, Server, SessionConnector};
     pub use crate::{ErrorKind, PolyFrameError};
     pub use polyframe_observe::{FaultPlan, RetryPolicy};
 }

@@ -1,0 +1,420 @@
+//! The concurrent serving tier: multiple sessions over one backend.
+//!
+//! A [`Server`] wraps a [`DatabaseConnector`] with a bounded admission
+//! queue ([`polyframe_observe::FairQueue`]) drained by a fixed pool of
+//! worker threads. Each client obtains a [`SessionConnector`] — itself a
+//! `DatabaseConnector` — whose `dispatch` enqueues the request and
+//! blocks for the reply, so the whole resilience stack
+//! ([`crate::connector::execute_request`]: retry, backoff, deadlines,
+//! tracing) composes unchanged on top of the served path:
+//!
+//! * admission is bounded: a full queue rejects the request with a
+//!   *retryable* [`PolyFrameError::Transient`], so a client's own
+//!   `ExecPolicy` backs off and re-submits instead of piling on;
+//! * scheduling is fair: the queue round-robins across sessions, so one
+//!   chatty session cannot starve the others;
+//! * a panic inside a backend dispatch is caught at the worker boundary
+//!   and surfaced to that one client as a transient error — the worker
+//!   pool and the other sessions keep serving (the stores themselves
+//!   heal their masters from the WAL on the next access);
+//! * [`Server::drain`] stops admission, lets queued and in-flight work
+//!   finish, and joins the workers — a graceful shutdown with zero
+//!   dropped actions.
+//!
+//! Reads scale because the stores publish copy-on-write snapshots:
+//! worker threads pin a snapshot per query and never hold a store lock
+//! across execution, so concurrent readers proceed in parallel with at
+//! most one writer.
+
+use crate::connector::DatabaseConnector;
+use crate::error::{PolyFrameError, Result};
+use crate::request::{QueryRequest, QueryResponse};
+use crate::rewrite::RuleSet;
+use polyframe_datamodel::Value;
+use polyframe_observe::sync::Mutex;
+use polyframe_observe::{FairQueue, FaultPlan, QueueStats, SubmitError};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// How a [`Server`] is sized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Worker threads draining the admission queue (minimum 1).
+    pub workers: usize,
+    /// Admission-queue capacity across all sessions (minimum 1); a full
+    /// queue rejects new requests with a retryable error.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Builder: set the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> ServeConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Builder: set the admission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServeConfig {
+        self.queue_capacity = capacity;
+        self
+    }
+}
+
+/// One queued request: what to run and where to send the outcome.
+struct Job {
+    req: QueryRequest,
+    reply: mpsc::Sender<Result<QueryResponse>>,
+}
+
+/// A multi-session server over one backend connector.
+pub struct Server {
+    backend: Arc<dyn DatabaseConnector>,
+    queue: Arc<FairQueue<Job>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Start a server: spawn the worker pool over `backend`.
+    pub fn start(backend: Arc<dyn DatabaseConnector>, config: ServeConfig) -> Server {
+        let queue: Arc<FairQueue<Job>> = Arc::new(FairQueue::new(config.queue_capacity));
+        let mut workers = Vec::new();
+        for _ in 0..config.workers.max(1) {
+            let queue = Arc::clone(&queue);
+            let backend = Arc::clone(&backend);
+            workers.push(std::thread::spawn(move || {
+                while let Some((_session, job)) = queue.next_job() {
+                    // A backend panic must not take the worker (and with
+                    // it, the pool) down: catch it at this boundary and
+                    // surface it to the one client that hit it. The
+                    // store heals its poisoned master on next access.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| backend.dispatch(&job.req)));
+                    let result = outcome.unwrap_or_else(|payload| {
+                        Err(PolyFrameError::Transient(format!(
+                            "backend dispatch panicked: {}",
+                            panic_message(&payload)
+                        )))
+                    });
+                    // A client that gave up (dropped its receiver) is
+                    // not an error worth killing the worker over.
+                    let _ = job.reply.send(result);
+                    queue.job_done();
+                }
+            }));
+        }
+        Server {
+            backend,
+            queue,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The backend's human-readable name.
+    pub fn backend_name(&self) -> &str {
+        self.backend.name()
+    }
+
+    /// Open a session: a [`SessionConnector`] whose requests go through
+    /// this server's admission queue and worker pool.
+    pub fn session(&self) -> SessionConnector {
+        SessionConnector {
+            backend: Arc::clone(&self.backend),
+            queue: Arc::clone(&self.queue),
+            id: self.queue.register(),
+        }
+    }
+
+    /// Admission/completion counters since start.
+    pub fn stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Graceful shutdown: stop admitting, finish every queued and
+    /// in-flight job, then join the workers. Idempotent.
+    pub fn drain(&self) {
+        self.queue.close();
+        self.queue.wait_idle();
+        let handles = std::mem::take(&mut *self.workers.lock());
+        for handle in handles {
+            // Worker bodies catch dispatch panics, so join failures are
+            // not expected; a poisoned handle is simply discarded.
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// A session handle implementing [`DatabaseConnector`]: `dispatch`
+/// enqueues one attempt through the server and blocks for its reply,
+/// while the language-shaping methods delegate to the backend, so an
+/// [`crate::AFrame`] built over a session behaves exactly like one built
+/// over the backend directly.
+pub struct SessionConnector {
+    backend: Arc<dyn DatabaseConnector>,
+    queue: Arc<FairQueue<Job>>,
+    id: u64,
+}
+
+impl SessionConnector {
+    /// This session's scheduler slot id.
+    pub fn session_id(&self) -> u64 {
+        self.id
+    }
+}
+
+impl Drop for SessionConnector {
+    fn drop(&mut self) {
+        self.queue.unregister(self.id);
+    }
+}
+
+impl DatabaseConnector for SessionConnector {
+    fn name(&self) -> &str {
+        self.backend.name()
+    }
+
+    fn rules(&self) -> RuleSet {
+        self.backend.rules()
+    }
+
+    fn preprocess(&self, query: &str) -> String {
+        self.backend.preprocess(query)
+    }
+
+    fn dispatch(&self, req: &QueryRequest) -> Result<QueryResponse> {
+        let (reply, receive) = mpsc::channel();
+        let job = Job {
+            req: req.clone(),
+            reply,
+        };
+        match self.queue.submit(self.id, job) {
+            Ok(()) => {}
+            // Backpressure: retryable, so the caller's ExecPolicy backs
+            // off and re-submits instead of piling onto a full queue.
+            Err(SubmitError::Full(_)) => {
+                return Err(PolyFrameError::Transient(
+                    "admission queue is full".to_string(),
+                ))
+            }
+            Err(SubmitError::Closed(_)) => {
+                return Err(PolyFrameError::Backend("server is draining".to_string()))
+            }
+        }
+        receive.recv().map_err(|_| {
+            PolyFrameError::Backend("server dropped the request before replying".to_string())
+        })?
+    }
+
+    fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.backend.fault_plan()
+    }
+
+    fn postprocess(&self, rows: Vec<Value>) -> Vec<Value> {
+        self.backend.postprocess(rows)
+    }
+
+    fn dataset_ref(&self, namespace: &str, collection: &str) -> String {
+        self.backend.dataset_ref(namespace, collection)
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connector::AsterixConnector;
+    use polyframe_datamodel::record;
+    use polyframe_observe::RetryPolicy;
+    use polyframe_sqlengine::{Engine, EngineConfig};
+    use std::time::Duration;
+
+    fn engine_with_users(n: i64) -> Arc<Engine> {
+        let engine = Arc::new(Engine::new(EngineConfig::asterixdb()));
+        engine
+            .create_dataset("Test", "Users", Default::default())
+            .expect("create");
+        engine
+            .load(
+                "Test",
+                "Users",
+                (0..n).map(|i| record! {"id" => i, "age" => 20 + (i % 30)}),
+            )
+            .expect("load");
+        engine
+    }
+
+    fn count_req() -> QueryRequest {
+        QueryRequest::new("SELECT VALUE COUNT(*) FROM Test.Users;", "Test", "Users")
+    }
+
+    #[test]
+    fn served_results_match_the_direct_path() {
+        let engine = engine_with_users(32);
+        let direct = AsterixConnector::new(Arc::clone(&engine));
+        let expected = direct.dispatch(&count_req()).expect("direct").rows;
+
+        let server = Server::start(
+            Arc::new(AsterixConnector::new(engine)),
+            ServeConfig::default().with_workers(2),
+        );
+        let session = server.session();
+        let served = session.execute(&count_req()).expect("served").rows;
+        assert_eq!(served, expected);
+        server.drain();
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    /// A backend whose dispatch blocks until the test releases a token,
+    /// making queue-full scenarios deterministic.
+    struct GatedConnector {
+        tokens: std::sync::Mutex<mpsc::Receiver<()>>,
+    }
+
+    impl DatabaseConnector for GatedConnector {
+        fn name(&self) -> &str {
+            "gated"
+        }
+
+        fn rules(&self) -> RuleSet {
+            RuleSet::builtin(crate::rewrite::Language::Sql)
+        }
+
+        fn dispatch(&self, _req: &QueryRequest) -> Result<QueryResponse> {
+            self.tokens
+                .lock()
+                .expect("token gate")
+                .recv()
+                .map_err(|_| PolyFrameError::Backend("gate closed".to_string()))?;
+            Ok(QueryResponse::new(
+                vec![polyframe_datamodel::Value::Int(1)],
+                polyframe_observe::Span::new("execute"),
+            ))
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_a_retryable_error() {
+        let (release, tokens) = mpsc::channel();
+        let server = Arc::new(Server::start(
+            Arc::new(GatedConnector {
+                tokens: std::sync::Mutex::new(tokens),
+            }),
+            // One worker, capacity 1: one job in flight + one queued
+            // saturates the server.
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1),
+        ));
+
+        let in_flight = server.session();
+        let h1 = std::thread::spawn(move || in_flight.dispatch(&count_req()));
+        // Wait until the worker picked the first job up...
+        while server.stats().submitted < 1 || server.depth() > 0 {
+            std::thread::yield_now();
+        }
+        let queued = server.session();
+        let h2 = std::thread::spawn(move || queued.dispatch(&count_req()));
+        // ...and the second fills the queue.
+        while server.depth() < 1 {
+            std::thread::yield_now();
+        }
+
+        // A bare dispatch must now reject, retryably.
+        let probe = server.session();
+        let err = probe.dispatch(&count_req()).expect_err("queue is full");
+        assert!(err.is_retryable(), "rejection must be retryable: {err}");
+        assert!(err.to_string().contains("admission queue is full"), "{err}");
+        assert!(server.stats().rejected >= 1);
+
+        // A retry policy rides over the rejection: the driver backs off
+        // and re-submits until admitted.
+        let h3 =
+            std::thread::spawn(move || {
+                probe.execute(&count_req().with_retry(
+                    RetryPolicy::retries(100).with_base_backoff(Duration::from_millis(1)),
+                ))
+            });
+        for _ in 0..3 {
+            release.send(()).expect("release token");
+        }
+        h1.join().expect("in-flight thread").expect("in-flight job");
+        h2.join().expect("queued thread").expect("queued job");
+        let out = h3.join().expect("retry thread").expect("retried admission");
+        assert!(!out.rows.is_empty());
+    }
+
+    #[test]
+    fn drained_server_rejects_new_work_fatally() {
+        let server = Server::start(
+            Arc::new(AsterixConnector::new(engine_with_users(4))),
+            ServeConfig::default(),
+        );
+        let session = server.session();
+        server.drain();
+        let err = session.dispatch(&count_req()).expect_err("closed");
+        assert!(!err.is_retryable());
+        assert!(err.to_string().contains("draining"), "{err}");
+    }
+
+    #[test]
+    fn sessions_share_the_pool_fairly_under_load() {
+        let engine = engine_with_users(64);
+        let server = Arc::new(Server::start(
+            Arc::new(AsterixConnector::new(engine)),
+            ServeConfig::default()
+                .with_workers(2)
+                .with_queue_capacity(32),
+        ));
+        let mut clients = Vec::new();
+        for _ in 0..4 {
+            let session = server.session();
+            clients.push(std::thread::spawn(move || {
+                let policy = RetryPolicy::retries(16).with_base_backoff(Duration::from_millis(1));
+                for _ in 0..8 {
+                    let out = session
+                        .execute(&count_req().with_retry(policy.clone()))
+                        .expect("served query");
+                    assert_eq!(out.rows, vec![polyframe_datamodel::Value::Int(64)]);
+                }
+            }));
+        }
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        server.drain();
+        let stats = server.stats();
+        assert_eq!(stats.completed, stats.submitted - stats.rejected);
+        assert!(stats.completed >= 32);
+    }
+}

@@ -9,7 +9,7 @@ use crate::pipeline::{parse_pipeline, Stage};
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::{Mutex, RwLock};
 use polyframe_observe::{
-    CacheStats, CatalogVersion, FaultKind, FaultPlan, Span, SpanTimer, VersionedCache,
+    CacheStats, CatalogVersion, FaultKind, FaultPlan, SnapshotCell, Span, SpanTimer, VersionedCache,
 };
 use polyframe_storage::{
     CheckpointPolicy, DurableOp, IndexKind, LogMedia, NullPolicy, RecoveryReport, Table,
@@ -40,8 +40,15 @@ struct Compiled {
 }
 
 /// A MongoDB-like document store.
+///
+/// Writes mutate the master collection map under its write lock and then
+/// publish an immutable copy-on-write snapshot; reads pin the snapshot
+/// and never hold the lock across pipeline execution.
 pub struct DocStore {
     collections: RwLock<HashMap<String, Table>>,
+    /// The committed-state snapshot readers run against; republished
+    /// after every master mutation.
+    published: SnapshotCell<HashMap<String, Table>>,
     next_id: AtomicI64,
     /// Ablation switch: disable index selection in the pipeline optimizer.
     use_indexes: bool,
@@ -69,6 +76,7 @@ impl DocStore {
     pub fn new() -> DocStore {
         DocStore {
             collections: RwLock::new(HashMap::new()),
+            published: SnapshotCell::new(HashMap::new()),
             next_id: AtomicI64::new(1),
             use_indexes: true,
             version: CatalogVersion::new(),
@@ -112,9 +120,63 @@ impl DocStore {
                 Some(FaultKind::Crash) | Some(FaultKind::TornWrite(_)) => {
                     return Err(self.simulate_query_crash(site));
                 }
+                Some(FaultKind::Panic) => panic!("injected panic at {site}"),
             }
         }
         Ok(())
+    }
+
+    /// Pin the current committed snapshot for a read (one `Arc` clone).
+    fn pinned(&self) -> Arc<HashMap<String, Table>> {
+        self.published.load()
+    }
+
+    /// Publish a fresh snapshot of the master map. Callers hold the
+    /// master write lock and call this only after the mutation (or its
+    /// recovery) committed — a torn state is never published.
+    fn publish_locked(&self, map: &HashMap<String, Table>) {
+        self.published.publish(map.clone());
+    }
+
+    /// Epoch of the most recent snapshot publication (0 = construction).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.published.epoch()
+    }
+
+    /// Detect a master lock poisoned by a panic mid-write (an op
+    /// committed to the WAL but absent from memory) and rebuild through
+    /// the recovery path before serving anything.
+    fn heal_poisoned(&self) -> Result<()> {
+        if !self.collections.poisoned() {
+            return Ok(());
+        }
+        let mut map = self.collections.write();
+        if !self.collections.poisoned() {
+            return Ok(()); // another session healed while we waited
+        }
+        let wal = self.wal().ok_or_else(|| {
+            DocError::Corruption(
+                "store state torn by a panic mid-apply and no log is attached to rebuild from"
+                    .to_string(),
+            )
+        })?;
+        self.recover_locked(&mut map, &wal)?;
+        self.collections.clear_poison();
+        self.publish_locked(&map);
+        Ok(())
+    }
+
+    /// The injected-panic point between the WAL append (the commit
+    /// point) and the in-memory apply — see `FaultPlan::panic_at`. Gated
+    /// on an armed target so plans that never aim here draw nothing.
+    fn apply_panic_point(&self) {
+        let plan = self.faults.lock().clone();
+        if let Some(plan) = plan {
+            let site = "docstore/apply";
+            if plan.has_target_at(site) && plan.next_fault(site) == Some(FaultKind::Panic) {
+                panic!("injected panic at {site}");
+            }
+        }
     }
 
     /// Empty store with index selection disabled (ablation benchmarks).
@@ -128,15 +190,21 @@ impl DocStore {
     /// Create (or replace) a collection. Every collection has a unique-`_id`
     /// primary index, like MongoDB.
     pub fn create_collection(&self, name: &str) -> Result<()> {
+        self.heal_poisoned()?;
         let mut map = self.collections.write();
-        self.durable_apply(
+        let result = self.durable_apply(
             &mut map,
             DurableOp::Create {
                 namespace: String::new(),
                 name: name.to_string(),
                 key: None,
             },
-        )
+        );
+        // Publish on success AND failure: a failed apply may have
+        // crash-recovered the master in place, and that rebuilt state
+        // must become visible to readers.
+        self.publish_locked(&map);
+        result
     }
 
     /// Advance the catalog version, invalidating every cached plan.
@@ -152,6 +220,7 @@ impl DocStore {
         collection: &str,
         docs: impl IntoIterator<Item = Record>,
     ) -> Result<usize> {
+        self.heal_poisoned()?;
         let mut map = self.collections.write();
         // Validate before logging so the op can never fail post-append.
         if !map.contains_key(collection) {
@@ -175,31 +244,36 @@ impl DocStore {
             })
             .collect();
         let n = docs.len();
-        self.durable_apply(
+        let result = self.durable_apply(
             &mut map,
             DurableOp::Ingest {
                 namespace: String::new(),
                 name: collection.to_string(),
                 records: docs,
             },
-        )?;
+        );
+        self.publish_locked(&map);
+        result?;
         Ok(n)
     }
 
     /// Create a secondary index.
     pub fn create_index(&self, collection: &str, attribute: &str) -> Result<String> {
+        self.heal_poisoned()?;
         let mut map = self.collections.write();
         if !map.contains_key(collection) {
             return Err(DocError::UnknownCollection(collection.to_string()));
         }
-        self.durable_apply(
+        let result = self.durable_apply(
             &mut map,
             DurableOp::Index {
                 namespace: String::new(),
                 name: collection.to_string(),
                 attribute: attribute.to_string(),
             },
-        )?;
+        );
+        self.publish_locked(&map);
+        result?;
         let name = map
             .get(collection)
             .and_then(|t| t.index_on(attribute).map(|ix| ix.name().to_string()))
@@ -219,6 +293,8 @@ impl DocStore {
         wal.set_faults(self.faults.lock().clone());
         let mut map = self.collections.write();
         let report = self.recover_locked(&mut map, &wal)?;
+        self.collections.clear_poison();
+        self.publish_locked(&map);
         *self.wal.lock() = Some(wal);
         Ok(report)
     }
@@ -240,14 +316,18 @@ impl DocStore {
             .wal()
             .ok_or_else(|| DocError::Exec("durability is not enabled".to_string()))?;
         let mut map = self.collections.write();
-        self.recover_locked(&mut map, &wal)
+        let report = self.recover_locked(&mut map, &wal)?;
+        self.collections.clear_poison();
+        self.publish_locked(&map);
+        Ok(report)
     }
 
     /// The compacted op list that rebuilds this store's current state
     /// from empty — what a checkpoint writes. Exposed so tests can
     /// assert two stores are byte-identical.
     pub fn durable_snapshot(&self) -> Vec<DurableOp> {
-        snapshot_ops(&self.collections.read())
+        let _ = self.heal_poisoned();
+        snapshot_ops(&self.pinned())
     }
 
     fn wal(&self) -> Option<Arc<Wal>> {
@@ -263,6 +343,8 @@ impl DocStore {
             if let Err(e) = self.recover_locked(&mut map, &wal) {
                 return e;
             }
+            self.collections.clear_poison();
+            self.publish_locked(&map);
         }
         DocError::Transient(format!("process crashed at {site}; store recovered"))
     }
@@ -307,6 +389,10 @@ impl DocStore {
                 return Err(self.crash_recover(map, &wal, e));
             }
         }
+        // The op is now committed (on the log, when one is attached) but
+        // not yet applied in memory; a panic here leaves the master map
+        // torn and its lock poisoned, which `heal_poisoned` repairs.
+        self.apply_panic_point();
         apply_op(map, op)?;
         self.bump_version();
         if let Some(wal) = self.wal() {
@@ -342,7 +428,8 @@ impl DocStore {
     /// O(1) metadata count — the fast path `aggregate` pipelines CANNOT use
     /// (the paper's expression-1 observation).
     pub fn count_documents(&self, collection: &str) -> Result<usize> {
-        let map = self.collections.read();
+        self.heal_poisoned()?;
+        let map = self.pinned();
         let table = map
             .get(collection)
             .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;
@@ -351,7 +438,8 @@ impl DocStore {
 
     /// Names of all collections.
     pub fn collection_names(&self) -> Vec<String> {
-        self.collections.read().keys().cloned().collect()
+        let _ = self.heal_poisoned();
+        self.pinned().keys().cloned().collect()
     }
 
     /// The one text-compile path: probe the plan cache at the current
@@ -404,9 +492,10 @@ impl DocStore {
 
     /// Run an aggregation pipeline given as JSON text.
     pub fn aggregate(&self, collection: &str, pipeline_json: &str) -> Result<Vec<Value>> {
+        self.heal_poisoned()?;
         self.check_faults()?;
         let (results, out_target) = {
-            let map = self.collections.read();
+            let map = self.pinned();
             let compiled = self.compiled(&map, collection, pipeline_json)?;
             let out_target = match compiled.plan.stages.last() {
                 Some(Stage::Out(target)) => Some(target.clone()),
@@ -435,7 +524,8 @@ impl DocStore {
             _ => (stages, None),
         };
         let results = {
-            let map = self.collections.read();
+            self.heal_poisoned()?;
+            let map = self.pinned();
             let phys = self.optimize_for(&map, collection, stages)?;
             run_pipeline(&map, collection, &phys, &Vars::new())?
         };
@@ -460,11 +550,12 @@ impl DocStore {
         collection: &str,
         pipeline_json: &str,
     ) -> Result<(Vec<Value>, Span)> {
+        self.heal_poisoned()?;
         self.check_faults()?;
         let started = std::time::Instant::now();
 
         let (rows, out_target, parse_span, plan_span, exec_span) = {
-            let map = self.collections.read();
+            let map = self.pinned();
             let Compiled {
                 plan,
                 hit,
@@ -519,7 +610,8 @@ impl DocStore {
 
     /// EXPLAIN-style description of the access path chosen for a pipeline.
     pub fn explain(&self, collection: &str, pipeline_json: &str) -> Result<String> {
-        let map = self.collections.read();
+        self.heal_poisoned()?;
+        let map = self.pinned();
         Ok(self
             .compiled(&map, collection, pipeline_json)?
             .plan
@@ -556,7 +648,8 @@ impl DocStore {
         attribute: &str,
         key: &Value,
     ) -> Result<Vec<Record>> {
-        let map = self.collections.read();
+        self.heal_poisoned()?;
+        let map = self.pinned();
         let table = map
             .get(collection)
             .ok_or_else(|| DocError::UnknownCollection(collection.to_string()))?;

@@ -4,7 +4,7 @@
 use crate::error::{GraphError, Result};
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::RwLock;
-use polyframe_observe::CatalogVersion;
+use polyframe_observe::{CatalogVersion, SnapshotCell};
 use polyframe_storage::{
     CheckpointPolicy, DurableOp, LogMedia, RecoveryReport, Wal, WalError, WalStats,
 };
@@ -34,6 +34,10 @@ pub enum InlineProp {
 pub type NodeRecord = Vec<(u16, InlineProp)>;
 
 /// Per-label storage.
+///
+/// `Clone` deep-copies the records, string store and indexes — the unit
+/// of the copy-on-write snapshot [`GraphStore`] publishes for readers.
+#[derive(Clone)]
 pub struct LabelStore {
     prop_names: Vec<String>,
     name_ids: HashMap<String, u16>,
@@ -303,8 +307,15 @@ fn snapshot_ops(map: &HashMap<String, LabelStore>) -> Vec<DurableOp> {
 const PLAN_CACHE_CAPACITY: usize = 128;
 
 /// The graph store: labels with their node stores.
+///
+/// Writes mutate the master label map under its write lock and then
+/// publish an immutable copy-on-write snapshot; reads pin the snapshot
+/// and never hold the lock across query execution.
 pub struct GraphStore {
     labels: RwLock<HashMap<String, LabelStore>>,
+    /// The committed-state snapshot readers run against; republished
+    /// after every master mutation.
+    published: SnapshotCell<HashMap<String, LabelStore>>,
     use_indexes: bool,
     /// Catalog version: bumped on label DDL and inserts, invalidating the
     /// plan cache (access paths are re-derived per execution, but the
@@ -331,6 +342,7 @@ impl GraphStore {
     pub fn new() -> GraphStore {
         GraphStore {
             labels: RwLock::new(HashMap::new()),
+            published: SnapshotCell::new(HashMap::new()),
             use_indexes: true,
             version: CatalogVersion::new(),
             plan_cache: polyframe_observe::VersionedCache::new(PLAN_CACHE_CAPACITY),
@@ -372,9 +384,65 @@ impl GraphStore {
                 | Some(polyframe_observe::FaultKind::TornWrite(_)) => {
                     return Err(self.simulate_query_crash(site));
                 }
+                Some(polyframe_observe::FaultKind::Panic) => panic!("injected panic at {site}"),
             }
         }
         Ok(())
+    }
+
+    /// Pin the current committed snapshot for a read (one `Arc` clone).
+    fn pinned(&self) -> Arc<HashMap<String, LabelStore>> {
+        self.published.load()
+    }
+
+    /// Publish a fresh snapshot of the master map. Callers hold the
+    /// master write lock and call this only after the mutation (or its
+    /// recovery) committed — a torn state is never published.
+    fn publish_locked(&self, map: &HashMap<String, LabelStore>) {
+        self.published.publish(map.clone());
+    }
+
+    /// Epoch of the most recent snapshot publication (0 = construction).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.published.epoch()
+    }
+
+    /// Detect a master lock poisoned by a panic mid-write (an op
+    /// committed to the WAL but absent from memory) and rebuild through
+    /// the recovery path before serving anything.
+    fn heal_poisoned(&self) -> Result<()> {
+        if !self.labels.poisoned() {
+            return Ok(());
+        }
+        let mut map = self.labels.write();
+        if !self.labels.poisoned() {
+            return Ok(()); // another session healed while we waited
+        }
+        let wal = self.wal().ok_or_else(|| {
+            GraphError::Corruption(
+                "store state torn by a panic mid-apply and no log is attached to rebuild from"
+                    .to_string(),
+            )
+        })?;
+        self.recover_locked(&mut map, &wal)?;
+        self.labels.clear_poison();
+        self.publish_locked(&map);
+        Ok(())
+    }
+
+    /// The injected-panic point between the WAL append (the commit
+    /// point) and the in-memory apply — see `FaultPlan::panic_at`. Gated
+    /// on an armed target so plans that never aim here draw nothing.
+    fn apply_panic_point(&self) {
+        let plan = self.faults.lock().clone();
+        if let Some(plan) = plan {
+            let site = "graphstore/apply";
+            if plan.has_target_at(site)
+                && plan.next_fault(site) == Some(polyframe_observe::FaultKind::Panic)
+            {
+                panic!("injected panic at {site}");
+            }
+        }
     }
 
     /// Empty store with index usage disabled (ablation benchmarks).
@@ -417,15 +485,21 @@ impl GraphStore {
 
     /// Create an (empty) label.
     pub fn create_label(&self, label: &str) -> Result<()> {
+        self.heal_poisoned()?;
         let mut map = self.labels.write();
-        self.durable_apply(
+        let result = self.durable_apply(
             &mut map,
             DurableOp::Create {
                 namespace: String::new(),
                 name: label.to_string(),
                 key: None,
             },
-        )
+        );
+        // Publish on success AND failure: a failed apply may have
+        // crash-recovered the master in place, and that rebuilt state
+        // must become visible to readers.
+        self.publish_locked(&map);
+        result
     }
 
     /// Insert nodes under a label (created implicitly when absent).
@@ -441,32 +515,38 @@ impl GraphStore {
             validate_node(rec)?;
         }
         let n = records.len();
+        self.heal_poisoned()?;
         let mut map = self.labels.write();
-        self.durable_apply(
+        let result = self.durable_apply(
             &mut map,
             DurableOp::Ingest {
                 namespace: String::new(),
                 name: label.to_string(),
                 records,
             },
-        )?;
+        );
+        self.publish_locked(&map);
+        result?;
         Ok(n)
     }
 
     /// Create a property index on a label.
     pub fn create_index(&self, label: &str, prop: &str) -> Result<()> {
+        self.heal_poisoned()?;
         let mut map = self.labels.write();
         if !map.contains_key(label) {
             return Err(GraphError::UnknownLabel(label.to_string()));
         }
-        self.durable_apply(
+        let result = self.durable_apply(
             &mut map,
             DurableOp::Index {
                 namespace: String::new(),
                 name: label.to_string(),
                 attribute: prop.to_string(),
             },
-        )
+        );
+        self.publish_locked(&map);
+        result
     }
 
     /// Attach a write-ahead log backed by `media` and recover whatever
@@ -481,6 +561,8 @@ impl GraphStore {
         wal.set_faults(self.faults.lock().clone());
         let mut map = self.labels.write();
         let report = self.recover_locked(&mut map, &wal)?;
+        self.labels.clear_poison();
+        self.publish_locked(&map);
         *self.wal.lock() = Some(wal);
         Ok(report)
     }
@@ -502,14 +584,18 @@ impl GraphStore {
             .wal()
             .ok_or_else(|| GraphError::Exec("durability is not enabled".to_string()))?;
         let mut map = self.labels.write();
-        self.recover_locked(&mut map, &wal)
+        let report = self.recover_locked(&mut map, &wal)?;
+        self.labels.clear_poison();
+        self.publish_locked(&map);
+        Ok(report)
     }
 
     /// The compacted op list that rebuilds this store's current state
     /// from empty — what a checkpoint writes. Exposed so tests can
     /// assert two stores are byte-identical.
     pub fn durable_snapshot(&self) -> Vec<DurableOp> {
-        snapshot_ops(&self.labels.read())
+        let _ = self.heal_poisoned();
+        snapshot_ops(&self.pinned())
     }
 
     fn wal(&self) -> Option<Arc<Wal>> {
@@ -525,6 +611,8 @@ impl GraphStore {
             if let Err(e) = self.recover_locked(&mut map, &wal) {
                 return e;
             }
+            self.labels.clear_poison();
+            self.publish_locked(&map);
         }
         GraphError::Transient(format!("process crashed at {site}; store recovered"))
     }
@@ -557,6 +645,10 @@ impl GraphStore {
                 return Err(self.crash_recover(map, &wal, e));
             }
         }
+        // The op is now committed (on the log, when one is attached) but
+        // not yet applied in memory; a panic here leaves the master map
+        // torn and its lock poisoned, which `heal_poisoned` repairs.
+        self.apply_panic_point();
         apply_op(map, op)?;
         self.bump_version();
         if let Some(wal) = self.wal() {
@@ -591,7 +683,8 @@ impl GraphStore {
 
     /// O(1) metadata count for a label.
     pub fn count_nodes(&self, label: &str) -> Result<usize> {
-        let map = self.labels.read();
+        self.heal_poisoned()?;
+        let map = self.pinned();
         map.get(label)
             .map(LabelStore::count)
             .ok_or_else(|| GraphError::UnknownLabel(label.to_string()))
@@ -599,9 +692,10 @@ impl GraphStore {
 
     /// Execute a Cypher query.
     pub fn query(&self, cypher: &str) -> Result<Vec<Value>> {
+        self.heal_poisoned()?;
         self.check_faults()?;
         let (ast, _) = self.parsed(cypher)?;
-        let map = self.labels.read();
+        let map = self.pinned();
         crate::cypher::execute(&ast, &map, self.use_indexes)
     }
 
@@ -611,6 +705,7 @@ impl GraphStore {
     /// and whether the parsed query came from the cache.
     pub fn query_traced(&self, cypher: &str) -> Result<(Vec<Value>, polyframe_observe::Span)> {
         use polyframe_observe::{Span, SpanTimer};
+        self.heal_poisoned()?;
         self.check_faults()?;
         let started = std::time::Instant::now();
 
@@ -621,7 +716,7 @@ impl GraphStore {
             .set_metric("query_len", cypher.len() as i64);
         let parse_span = parse_t.finish();
 
-        let map = self.labels.read();
+        let map = self.pinned();
         let mut plan_t = SpanTimer::start("plan");
         let access_path = crate::cypher::explain(&ast, &map, self.use_indexes)?;
         let index_used =
@@ -652,8 +747,9 @@ impl GraphStore {
 
     /// EXPLAIN-style description of the chosen access path.
     pub fn explain(&self, cypher: &str) -> Result<String> {
+        self.heal_poisoned()?;
         let (ast, _) = self.parsed(cypher)?;
-        let map = self.labels.read();
+        let map = self.pinned();
         crate::cypher::explain(&ast, &map, self.use_indexes)
     }
 }

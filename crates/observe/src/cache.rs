@@ -61,6 +61,15 @@ impl CacheStats {
 #[derive(Debug, Default)]
 pub struct CatalogVersion(AtomicU64);
 
+/// Cloning captures the current value into an independent counter —
+/// what a copy-on-write snapshot of a store's catalog needs: the frozen
+/// version the snapshot's plans were compiled against.
+impl Clone for CatalogVersion {
+    fn clone(&self) -> CatalogVersion {
+        CatalogVersion(AtomicU64::new(self.current()))
+    }
+}
+
 impl CatalogVersion {
     /// A fresh counter starting at version 0.
     pub fn new() -> CatalogVersion {

@@ -41,6 +41,12 @@ pub enum FaultKind {
     /// entropy (a pure function of seed, site, and draw) the writer uses
     /// to pick the prefix length, so torn tails replay byte-identically.
     TornWrite(u64),
+    /// The executing *thread* panics in place — unlike [`FaultKind::Crash`]
+    /// the process survives, but whatever locks the thread held are
+    /// poisoned and the state they guard may be torn. This models a
+    /// defect (not a process death) and only fires from an exact
+    /// [`FaultPlan::panic_at`] target, never from random rates.
+    Panic,
 }
 
 /// A fault the plan injected, for determinism assertions and reports.
@@ -95,6 +101,7 @@ pub struct FaultPlan {
 enum TargetKind {
     Crash,
     Torn,
+    Panic,
 }
 
 impl FaultPlan {
@@ -159,6 +166,26 @@ impl FaultPlan {
             target: Some((site.into(), draw, TargetKind::Torn)),
             ..FaultPlan::default()
         }
+    }
+
+    /// A plan that fires exactly one [`FaultKind::Panic`] at `site`'s
+    /// `draw`-th operation (0-based) and nothing anywhere else. This is
+    /// the "die mid-critical-section" primitive the lock-poisoning
+    /// regression tests target at a store's `<site>/apply` point.
+    pub fn panic_at(seed: u64, site: impl Into<String>, draw: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            target: Some((site.into(), draw, TargetKind::Panic)),
+            ..FaultPlan::default()
+        }
+    }
+
+    /// Whether this plan has an exact target armed at `site` (any draw).
+    /// Stores use this to gate draws at optional sites (like the
+    /// panic-only apply point) so plans that never target them keep the
+    /// exact same per-site draw enumeration as before.
+    pub fn has_target_at(&self, site: &str) -> bool {
+        matches!(&self.target, Some((t_site, _, _)) if t_site == site)
     }
 
     /// Cap the total number of injected faults across all sites.
@@ -232,6 +259,7 @@ impl FaultPlan {
             return Some(match kind {
                 TargetKind::Crash => FaultKind::Crash,
                 TargetKind::Torn => FaultKind::TornWrite(rng.next_u64()),
+                TargetKind::Panic => FaultKind::Panic,
             });
         }
         let u = rng.gen_f64();
@@ -377,6 +405,29 @@ mod tests {
         assert_eq!(plan.next_fault("store/wal/append"), Some(FaultKind::Crash));
         assert_eq!(plan.next_fault("store/wal/append"), None);
         assert_eq!(plan.faults_injected(), 1);
+    }
+
+    #[test]
+    fn panic_at_fires_exactly_once_and_only_when_targeted() {
+        let plan = FaultPlan::panic_at(21, "engine/apply", 1);
+        assert!(plan.has_target_at("engine/apply"));
+        assert!(!plan.has_target_at("engine"));
+        assert_eq!(plan.next_fault("engine/apply"), None);
+        assert_eq!(plan.next_fault("engine/apply"), Some(FaultKind::Panic));
+        assert_eq!(plan.next_fault("engine/apply"), None);
+        assert_eq!(plan.faults_injected(), 1);
+    }
+
+    #[test]
+    fn random_rates_never_draw_panic() {
+        let plan = FaultPlan::new(77)
+            .with_error_rate(0.25)
+            .with_crash_rate(0.25)
+            .with_torn_rate(0.25);
+        assert!(!plan.has_target_at("s"));
+        for _ in 0..500 {
+            assert_ne!(plan.next_fault("s"), Some(FaultKind::Panic));
+        }
     }
 
     #[test]

@@ -24,21 +24,33 @@
 //!   engines and clusters consult so failure behaviour is reproducible.
 //! * [`policy`] — retry/backoff (with deterministic jitter) and
 //!   per-action deadline budgets shared by the resilient execution path.
+//! * [`epoch`] — the copy-on-write snapshot cell every store publishes
+//!   its committed state through, so readers pin an immutable epoch
+//!   instead of holding the store's lock across execution.
+//! * [`sched`] — the bounded, session-fair admission queue underneath
+//!   the concurrent serving tier (round-robin across sessions,
+//!   backpressure on overflow, graceful drain).
 //!
 //! The crate deliberately has **no dependencies** (not even workspace
 //! ones) so it can sit underneath every other PolyFrame crate.
 
 pub mod cache;
 pub mod counters;
+#[deny(clippy::unwrap_used)]
+pub mod epoch;
 pub mod fault;
 pub mod policy;
 pub mod rng;
+#[deny(clippy::unwrap_used)]
+pub mod sched;
 pub mod sync;
 pub mod trace;
 
 pub use cache::{CacheStats, CatalogVersion, VersionedCache};
 pub use counters::{Counter, CounterSnapshot, Counters};
+pub use epoch::SnapshotCell;
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use policy::{Deadline, RetryPolicy};
 pub use rng::Rng;
+pub use sched::{FairQueue, QueueStats, SubmitError};
 pub use trace::{QueryTrace, Span, SpanTimer, TraceCell};

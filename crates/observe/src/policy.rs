@@ -100,7 +100,10 @@ impl RetryPolicy {
         let u = Rng::seed_from_u64(self.seed ^ (retry as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
             .gen_f64();
         let factor = 1.0 + self.jitter * (2.0 * u - 1.0);
-        exp.mul_f64(factor)
+        // Saturating scale: `Duration::mul_f64` panics on overflow, which
+        // a caller can trigger with `max_backoff` near `Duration::MAX`
+        // and a jitter factor above 1.0.
+        Duration::try_from_secs_f64(exp.as_secs_f64() * factor).unwrap_or(Duration::MAX)
     }
 }
 
@@ -174,6 +177,23 @@ mod tests {
         // A different seed shifts the jitter.
         let r = p.clone().with_seed(43);
         assert!((1..=5).any(|i| r.backoff(i) != p.backoff(i)));
+    }
+
+    #[test]
+    fn huge_max_backoff_with_jitter_saturates() {
+        // Regression: `backoff` used `mul_f64`, which panics when the
+        // jittered factor pushes a `Duration::MAX` cap past the
+        // representable range.
+        let p = RetryPolicy::retries(8)
+            .with_base_backoff(Duration::MAX)
+            .with_max_backoff(Duration::MAX)
+            .with_jitter(1.0);
+        for retry in 1..=8 {
+            let b = p.backoff(retry);
+            assert!(b <= Duration::MAX);
+        }
+        // Determinism is preserved through the saturating path.
+        assert_eq!(p.backoff(3), p.backoff(3));
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! `.unwrap()`-on-poison noise: a poisoned lock is recovered rather than
 //! propagated, matching the workspace convention that panics in one query
 //! must not wedge the shared store for every later query.
+//!
+//! Recovery is **not** silent, though: a panic mid-write can leave the
+//! protected value torn (e.g. a WAL-committed op absent from memory), so
+//! the poison bit stays observable via [`Mutex::poisoned`] /
+//! [`RwLock::poisoned`]. Stores guarding multi-step state check it at
+//! their entry points, rebuild through their recovery path, and only then
+//! call `clear_poison` — acquiring a guard here never clears it
+//! implicitly.
 
 use std::fmt;
 use std::sync::PoisonError;
@@ -35,6 +43,18 @@ impl<T: ?Sized> Mutex<T> {
     /// Borrow the inner value mutably without locking.
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Whether a holder of this lock panicked and the value may be torn.
+    /// Guard acquisition recovers but never clears this bit; callers that
+    /// repaired the protected value clear it with [`Mutex::clear_poison`].
+    pub fn poisoned(&self) -> bool {
+        self.0.is_poisoned()
+    }
+
+    /// Clear the poison bit after the protected value has been repaired.
+    pub fn clear_poison(&self) {
+        self.0.clear_poison();
     }
 }
 
@@ -80,6 +100,19 @@ impl<T: ?Sized> RwLock<T> {
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
     }
+
+    /// Whether a writer holding this lock panicked and the value may be
+    /// torn. Guard acquisition recovers but never clears this bit;
+    /// callers that repaired the protected value clear it with
+    /// [`RwLock::clear_poison`].
+    pub fn poisoned(&self) -> bool {
+        self.0.is_poisoned()
+    }
+
+    /// Clear the poison bit after the protected value has been repaired.
+    pub fn clear_poison(&self) {
+        self.0.clear_poison();
+    }
 }
 
 impl<T: Default> Default for RwLock<T> {
@@ -123,5 +156,39 @@ mod tests {
         })
         .join();
         assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn poison_stays_observable_until_cleared() {
+        let m = std::sync::Arc::new(Mutex::new(0));
+        assert!(!m.poisoned());
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // Recovery at acquisition must not launder the poison bit.
+        assert!(m.poisoned());
+        drop(m.lock());
+        assert!(m.poisoned());
+        m.clear_poison();
+        assert!(!m.poisoned());
+    }
+
+    #[test]
+    fn rwlock_poison_observable_and_clearable() {
+        let l = std::sync::Arc::new(RwLock::new(vec![1]));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison it");
+        })
+        .join();
+        assert!(l.poisoned());
+        assert_eq!(l.read().len(), 1);
+        assert!(l.poisoned(), "read recovery must not clear poison");
+        l.clear_poison();
+        assert!(!l.poisoned());
     }
 }

@@ -5,11 +5,19 @@ use crate::error::{EngineError, Result};
 use polyframe_observe::CatalogVersion;
 use polyframe_storage::{Table, TableOptions};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// All data managed by one engine instance.
-#[derive(Debug, Default)]
+///
+/// Tables are held behind `Arc` so `Clone` — the copy-on-write snapshot
+/// the engine publishes for concurrent readers after each committed
+/// write — is a shallow map copy, and [`Database::dataset_mut`] deep-
+/// copies only the one table being mutated (and only while an older
+/// snapshot still shares it). The catalog version freezes at its
+/// current value in the clone.
+#[derive(Debug, Default, Clone)]
 pub struct Database {
-    tables: HashMap<(String, String), Table>,
+    tables: HashMap<(String, String), Arc<Table>>,
     /// Monotonic catalog version: bumped on DDL and bulk loads, consumed
     /// by the plan cache to invalidate entries compiled against an older
     /// catalog (a new index — or new data making an index incomplete —
@@ -52,26 +60,30 @@ impl Database {
         let key = (namespace.to_string(), dataset.to_string());
         self.tables.insert(
             key.clone(),
-            Table::new(format!("{namespace}.{dataset}"), options),
+            Arc::new(Table::new(format!("{namespace}.{dataset}"), options)),
         );
         self.version.bump();
-        self.tables.get_mut(&key).unwrap()
+        Arc::make_mut(self.tables.get_mut(&key).unwrap())
     }
 
     /// Look a dataset up.
     pub fn dataset(&self, namespace: &str, dataset: &str) -> Result<&Table> {
         self.tables
             .get(&(namespace.to_string(), dataset.to_string()))
+            .map(Arc::as_ref)
             .ok_or_else(|| EngineError::UnknownDataset {
                 namespace: namespace.to_string(),
                 dataset: dataset.to_string(),
             })
     }
 
-    /// Mutable dataset lookup.
+    /// Mutable dataset lookup. Copy-on-write: when a published snapshot
+    /// still shares the table, this clones it first (`Arc::make_mut`) so
+    /// readers pinning the snapshot are never disturbed.
     pub fn dataset_mut(&mut self, namespace: &str, dataset: &str) -> Result<&mut Table> {
         self.tables
             .get_mut(&(namespace.to_string(), dataset.to_string()))
+            .map(Arc::make_mut)
             .ok_or_else(|| EngineError::UnknownDataset {
                 namespace: namespace.to_string(),
                 dataset: dataset.to_string(),

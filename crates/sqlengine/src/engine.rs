@@ -13,7 +13,7 @@ use crate::plan::optimizer::optimize;
 use crate::plan::physical::{plan_physical, PhysicalPlan, PlannerOptions};
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::{Mutex, RwLock};
-use polyframe_observe::{CacheStats, FaultKind, FaultPlan, Span, SpanTimer};
+use polyframe_observe::{CacheStats, FaultKind, FaultPlan, SnapshotCell, Span, SpanTimer};
 use polyframe_storage::{
     CheckpointPolicy, DurableOp, IndexKind, LogMedia, RecoveryReport, TableOptions, Wal, WalError,
     WalStats,
@@ -79,9 +79,17 @@ impl EngineConfig {
 
 /// One database engine instance (an "AsterixDB cluster controller" or a
 /// "postgres server", depending on its config).
+///
+/// Writes mutate the master [`Database`] under `db`'s write lock and then
+/// publish an immutable copy-on-write snapshot through `published`; reads
+/// pin the current snapshot and never hold `db` across execution, so
+/// queries proceed concurrently with loads and DDL.
 pub struct Engine {
     config: EngineConfig,
     db: RwLock<Database>,
+    /// The committed-state snapshot readers run against (see
+    /// [`SnapshotCell`]); republished after every master mutation.
+    published: SnapshotCell<Database>,
     plan_cache: PlanCache,
     faults: Mutex<Option<Arc<FaultPlan>>>,
     wal: Mutex<Option<Arc<Wal>>>,
@@ -102,10 +110,52 @@ impl Engine {
         Engine {
             config,
             db: RwLock::new(Database::new()),
+            published: SnapshotCell::new(Database::new()),
             plan_cache: PlanCache::new(),
             faults: Mutex::new(None),
             wal: Mutex::new(None),
         }
+    }
+
+    /// Pin the current committed snapshot for a read. Cheap (one `Arc`
+    /// clone); the pinned state cannot change under the reader.
+    fn pinned(&self) -> Arc<Database> {
+        self.published.load()
+    }
+
+    /// Publish a fresh snapshot of the master state. Callers hold the
+    /// master write lock, so the clone is consistent, and call this only
+    /// after the mutation (or its recovery) committed — a torn state is
+    /// never published.
+    fn publish_locked(&self, db: &Database) {
+        self.published.publish(db.clone());
+    }
+
+    /// Epoch of the most recent snapshot publication (0 = construction).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.published.epoch()
+    }
+
+    /// Detect a master lock poisoned by a panic mid-write (the torn-state
+    /// hazard: an op committed to the WAL but absent from memory) and
+    /// rebuild through the recovery path before serving anything. Every
+    /// public entry point calls this first.
+    fn heal_poisoned(&self) -> Result<()> {
+        if !self.db.poisoned() {
+            return Ok(());
+        }
+        let mut db = self.db.write();
+        if !self.db.poisoned() {
+            return Ok(()); // another session healed while we waited
+        }
+        let wal = self.wal().ok_or_else(|| EngineError::Corruption {
+            message: "store state torn by a panic mid-apply and no log is attached to rebuild from"
+                .to_string(),
+        })?;
+        self.recover_locked(&mut db, &wal)?;
+        self.db.clear_poison();
+        self.publish_locked(&db);
+        Ok(())
     }
 
     /// Install (or clear) a fault-injection plan consulted at every
@@ -142,6 +192,7 @@ impl Engine {
                 Some(FaultKind::Crash) | Some(FaultKind::TornWrite(_)) => {
                     return Err(self.simulate_query_crash(&site));
                 }
+                Some(FaultKind::Panic) => panic!("injected panic at {site}"),
             }
         }
         Ok(())
@@ -158,6 +209,7 @@ impl Engine {
             if let Err(e) = self.recover_locked(&mut db, &wal) {
                 return e;
             }
+            self.publish_locked(&db);
         }
         EngineError::transient(format!("process crashed at {site}; store recovered"))
     }
@@ -191,6 +243,10 @@ impl Engine {
         let mut db = self.db.write();
         let report = self.recover_locked(&mut db, &wal)?;
         *self.wal.lock() = Some(wal);
+        // Recovery rebuilt a consistent state, healing any torn write a
+        // prior panic left behind.
+        self.db.clear_poison();
+        self.publish_locked(&db);
         Ok(report)
     }
 
@@ -211,7 +267,10 @@ impl Engine {
             .wal()
             .ok_or_else(|| EngineError::exec("durability is not enabled"))?;
         let mut db = self.db.write();
-        self.recover_locked(&mut db, &wal)
+        let report = self.recover_locked(&mut db, &wal)?;
+        self.db.clear_poison();
+        self.publish_locked(&db);
+        Ok(report)
     }
 
     /// Replace `db` with the state recovered from `wal`'s media, keeping
@@ -239,6 +298,7 @@ impl Engine {
                 return Err(self.crash_recover(db, &wal, e));
             }
         }
+        self.apply_panic_point();
         apply_op(db, op, &self.config.personality)?;
         if let Some(wal) = self.wal() {
             if wal.checkpoint_due() {
@@ -249,6 +309,23 @@ impl Engine {
             }
         }
         Ok(())
+    }
+
+    /// The injected-panic point between the WAL append (the commit
+    /// point) and the in-memory apply. A [`FaultPlan::panic_at`] target
+    /// at `<site>/apply` dies here while the master write lock is held:
+    /// the op is committed to the log but absent from memory, and the
+    /// lock is poisoned — exactly the torn state [`Engine::heal_poisoned`]
+    /// must repair. Gated on an armed target so plans that never aim
+    /// here draw nothing at this site.
+    fn apply_panic_point(&self) {
+        let plan = self.faults.lock().clone();
+        if let Some(plan) = plan {
+            let site = format!("{}/apply", self.site());
+            if plan.has_target_at(&site) && plan.next_fault(&site) == Some(FaultKind::Panic) {
+                panic!("injected panic at {site}");
+            }
+        }
     }
 
     /// Handle a WAL failure under the store's write lock: crashes
@@ -270,7 +347,9 @@ impl Engine {
     /// assert two stores are byte-identical (equal op encodings imply
     /// equal heaps, in order, and equal index definitions).
     pub fn durable_snapshot(&self) -> Vec<DurableOp> {
-        snapshot_ops(&self.db.read())
+        // Read the published snapshot: always a committed state, even
+        // while a write is mid-flight or the master is being healed.
+        snapshot_ops(&self.pinned())
     }
 
     /// Create a dataset.
@@ -280,15 +359,20 @@ impl Engine {
         dataset: &str,
         primary_key: Option<&str>,
     ) -> Result<()> {
+        self.heal_poisoned()?;
         let mut db = self.db.write();
-        self.durable_apply(
+        let result = self.durable_apply(
             &mut db,
             DurableOp::Create {
                 namespace: namespace.to_string(),
                 name: dataset.to_string(),
                 key: primary_key.map(str::to_string),
             },
-        )
+        );
+        // Publish success *and* failure outcomes: a crash-recovery error
+        // path rebuilt the master, which readers must also see.
+        self.publish_locked(&db);
+        result
     }
 
     /// Bulk-load records into a dataset.
@@ -298,42 +382,53 @@ impl Engine {
         dataset: &str,
         records: impl IntoIterator<Item = Record>,
     ) -> Result<()> {
+        self.heal_poisoned()?;
         let mut db = self.db.write();
         // Validate before logging so the op can never fail post-append.
-        db.dataset(namespace, dataset)?;
-        let records: Vec<Record> = records.into_iter().collect();
-        self.durable_apply(
-            &mut db,
-            DurableOp::Ingest {
-                namespace: namespace.to_string(),
-                name: dataset.to_string(),
-                records,
-            },
-        )
+        let result = db.dataset(namespace, dataset).map(|_| ()).and_then(|()| {
+            let records: Vec<Record> = records.into_iter().collect();
+            self.durable_apply(
+                &mut db,
+                DurableOp::Ingest {
+                    namespace: namespace.to_string(),
+                    name: dataset.to_string(),
+                    records,
+                },
+            )
+        });
+        self.publish_locked(&db);
+        result
     }
 
     /// Create a secondary index.
     pub fn create_index(&self, namespace: &str, dataset: &str, attribute: &str) -> Result<String> {
+        self.heal_poisoned()?;
         let mut db = self.db.write();
-        db.dataset(namespace, dataset)?;
-        self.durable_apply(
-            &mut db,
-            DurableOp::Index {
-                namespace: namespace.to_string(),
-                name: dataset.to_string(),
-                attribute: attribute.to_string(),
-            },
-        )?;
-        Ok(db
-            .dataset(namespace, dataset)?
-            .index_on(attribute)
-            .map(|ix| ix.name().to_string())
-            .unwrap_or_default())
+        let result = db.dataset(namespace, dataset).map(|_| ()).and_then(|()| {
+            self.durable_apply(
+                &mut db,
+                DurableOp::Index {
+                    namespace: namespace.to_string(),
+                    name: dataset.to_string(),
+                    attribute: attribute.to_string(),
+                },
+            )
+        });
+        let result = result.and_then(|()| {
+            Ok(db
+                .dataset(namespace, dataset)?
+                .index_on(attribute)
+                .map(|ix| ix.name().to_string())
+                .unwrap_or_default())
+        });
+        self.publish_locked(&db);
+        result
     }
 
     /// Number of records in a dataset.
     pub fn dataset_len(&self, namespace: &str, dataset: &str) -> Result<usize> {
-        Ok(self.db.read().dataset(namespace, dataset)?.len())
+        self.heal_poisoned()?;
+        Ok(self.pinned().dataset(namespace, dataset)?.len())
     }
 
     fn planner_options(&self) -> PlannerOptions {
@@ -388,9 +483,13 @@ impl Engine {
     }
 
     /// Parse, plan, optimize and execute a query.
+    ///
+    /// Runs against the pinned committed snapshot — the master lock is
+    /// never held across execution, so loads/DDL proceed concurrently.
     pub fn query(&self, sql: &str) -> Result<Vec<Value>> {
+        self.heal_poisoned()?;
         self.check_faults()?;
-        let db = self.db.read();
+        let db = self.pinned();
         let compiled = self.compiled(sql, &db)?;
         let (rows, _) = Executor::new(&db).run_with(&compiled.plan.physical, &self.config.exec)?;
         Ok(rows)
@@ -402,9 +501,10 @@ impl Engine {
     /// whether the plan came from the cache; the `exec` child carries the
     /// worker parallelism and one `morsel[i]` child per morsel.
     pub fn query_traced(&self, sql: &str) -> Result<(Vec<Value>, Span)> {
+        self.heal_poisoned()?;
         self.check_faults()?;
         let started = Instant::now();
-        let db = self.db.read();
+        let db = self.pinned();
         let Compiled {
             plan,
             outcome,
@@ -478,13 +578,15 @@ impl Engine {
     /// query-preparation overhead lives here — unless the plan cache
     /// already holds the compiled query).
     pub fn compile_to_logical(&self, sql: &str) -> Result<LogicalPlan> {
-        let db = self.db.read();
+        self.heal_poisoned()?;
+        let db = self.pinned();
         Ok(self.compiled(sql, &db)?.plan.logical.clone())
     }
 
     /// Plan and execute a pre-built logical plan (used by the cluster layer).
     pub fn execute_logical(&self, logical: &LogicalPlan) -> Result<Vec<Value>> {
-        let db = self.db.read();
+        self.heal_poisoned()?;
+        let db = self.pinned();
         let physical = plan_physical(logical, &db, &self.planner_options())?;
         let (rows, _) = Executor::new(&db).run_with(&physical, &self.config.exec)?;
         Ok(rows)
@@ -492,13 +594,15 @@ impl Engine {
 
     /// Return the physical plan chosen for `sql`, as an EXPLAIN-style tree.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let db = self.db.read();
+        self.heal_poisoned()?;
+        let db = self.pinned();
         Ok(self.compiled(sql, &db)?.plan.physical.display())
     }
 
     /// Compile to a physical plan without executing (exposed for tests).
     pub fn compile_to_physical(&self, sql: &str) -> Result<PhysicalPlan> {
-        let db = self.db.read();
+        self.heal_poisoned()?;
+        let db = self.pinned();
         Ok(self.compiled(sql, &db)?.plan.physical.clone())
     }
 
@@ -521,7 +625,8 @@ impl Engine {
         attribute: &str,
         key: &Value,
     ) -> Result<Vec<Record>> {
-        let db = self.db.read();
+        self.heal_poisoned()?;
+        let db = self.pinned();
         let table = db.dataset(namespace, dataset)?;
         match table.index_on(attribute) {
             Some(ix) => Ok(ix
@@ -548,7 +653,8 @@ impl Engine {
         dataset: &str,
         attribute: &str,
     ) -> Result<Vec<Value>> {
-        let db = self.db.read();
+        self.heal_poisoned()?;
+        let db = self.pinned();
         let table = db.dataset(namespace, dataset)?;
         match table.index_on(attribute) {
             Some(ix) => Ok(ix
@@ -580,7 +686,8 @@ impl Engine {
         attribute: &str,
         key: &Value,
     ) -> Result<usize> {
-        let db = self.db.read();
+        self.heal_poisoned()?;
+        let db = self.pinned();
         let table = db.dataset(namespace, dataset)?;
         match table.index_on(attribute) {
             Some(ix) => Ok(ix.lookup(key).len()),

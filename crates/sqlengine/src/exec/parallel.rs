@@ -98,11 +98,19 @@ impl ExecOptions {
 /// Worker-thread budget: the `POLYFRAME_THREADS` environment variable when
 /// set to a positive integer, otherwise the machine's available
 /// parallelism.
+///
+/// Read **once** and cached for the process lifetime: `ExecOptions`
+/// defaults sit on the per-query hot path, and re-reading the
+/// environment there is both a needless syscall and racy against
+/// `set_var` once multiple serving sessions run queries concurrently.
 pub fn available_threads() -> usize {
-    thread_override(std::env::var("POLYFRAME_THREADS").ok().as_deref()).unwrap_or_else(|| {
-        std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        thread_override(std::env::var("POLYFRAME_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
     })
 }
 
@@ -116,10 +124,14 @@ pub fn thread_override(raw: Option<&str>) -> Option<usize> {
 
 /// Batch size for the vectorized path: the `POLYFRAME_BATCH_SIZE`
 /// environment variable when set to a valid value, otherwise
-/// [`DEFAULT_BATCH_ROWS`].
+/// [`DEFAULT_BATCH_ROWS`]. Read once and cached, like
+/// [`available_threads`].
 pub fn default_batch_rows() -> usize {
-    batch_rows_override(std::env::var("POLYFRAME_BATCH_SIZE").ok().as_deref())
-        .unwrap_or(DEFAULT_BATCH_ROWS)
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        batch_rows_override(std::env::var("POLYFRAME_BATCH_SIZE").ok().as_deref())
+            .unwrap_or(DEFAULT_BATCH_ROWS)
+    })
 }
 
 /// Parse a `POLYFRAME_BATCH_SIZE`-style override. Zero and garbage are
@@ -820,6 +832,25 @@ mod tests {
         assert_eq!(thread_override(Some("lots")), None);
         assert_eq!(thread_override(None), None);
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn env_tuning_is_read_once_and_cached() {
+        // Regression: both knobs used to re-read the environment on
+        // every query, so a mid-run `set_var` silently changed execution
+        // behaviour (and raced against concurrent sessions). Prime the
+        // caches, then show later environment changes are ignored.
+        let threads = available_threads();
+        let batch = default_batch_rows();
+        std::env::set_var("POLYFRAME_THREADS", "1");
+        std::env::set_var("POLYFRAME_BATCH_SIZE", "17");
+        assert_eq!(available_threads(), threads);
+        assert_eq!(default_batch_rows(), batch);
+        std::env::remove_var("POLYFRAME_THREADS");
+        std::env::remove_var("POLYFRAME_BATCH_SIZE");
+        let opts = ExecOptions::default();
+        assert_eq!(opts.workers, threads);
+        assert_eq!(opts.batch_rows, batch);
     }
 
     #[test]
