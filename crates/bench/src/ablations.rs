@@ -266,6 +266,128 @@ pub fn vectorized_eval_ablation(num_records: usize, samples: usize) -> Vec<Vecto
         .collect()
 }
 
+/// The blocking-operator pipeline the join ablation times: a self-join of
+/// the Wisconsin table on its unique key (no index on `unique1`, so the
+/// planner picks a hash join), a ~50% selective filter over the merged
+/// rows, and a scalar `SUM` on top. Row-at-a-time execution materializes
+/// a record per join event and walks the `Scalar` tree through all three
+/// operators; the batch path probes the hash table per selection vector
+/// (dictionary codes where possible), fuses filter+project, and folds
+/// partial aggregates per morsel.
+pub const JOIN_QUERY: &str = "SELECT SUM(t.\"unique2\") AS s FROM \
+     (SELECT l.*, r.* FROM (SELECT * FROM Bench.wisconsin) l \
+      INNER JOIN (SELECT * FROM Bench.wisconsin) r ON l.\"unique1\" = r.\"unique1\") t \
+     WHERE t.\"onePercent\" < 50";
+
+/// An engine loaded with `num_records` Wisconsin records executing either
+/// row-at-a-time (`vectorized = false`) or with the full default
+/// configuration — vectorized batches *and* morsel workers — so the
+/// measured gap is the end-to-end win of the batch path on a multi-core
+/// host, the configuration users actually run.
+pub fn join_engine(num_records: usize, vectorized: bool) -> Engine {
+    let exec = if vectorized {
+        ExecOptions::default()
+    } else {
+        ExecOptions::rowwise()
+    };
+    let engine = Engine::new(config_for("postgres").with_exec(exec));
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(num_records)))
+        .unwrap();
+    engine
+}
+
+/// Measure [`JOIN_QUERY`] over `num_records` records row-at-a-time vs
+/// vectorized+parallel. Samples interleave round-robin across the two
+/// modes, and both engines are checked to return identical rows before
+/// any timing starts.
+pub fn join_vectorized_ablation(num_records: usize, samples: usize) -> Vec<VectorizedEvalAblation> {
+    let samples = samples.max(1);
+    let engines = [
+        ("rowwise", join_engine(num_records, false)),
+        ("vectorized", join_engine(num_records, true)),
+    ];
+    // Warm-up doubles as the byte-identity check.
+    let reference: Vec<String> = engines
+        .iter()
+        .map(|(_, e)| format!("{:?}", e.query(JOIN_QUERY).unwrap()))
+        .collect();
+    assert_eq!(
+        reference[0], reference[1],
+        "vectorized join output diverged from the row path"
+    );
+    let mut times: Vec<Vec<Duration>> = vec![Vec::with_capacity(samples); engines.len()];
+    for _ in 0..samples {
+        for ((_, engine), out) in engines.iter().zip(times.iter_mut()) {
+            let t0 = Instant::now();
+            engine.query(JOIN_QUERY).unwrap();
+            out.push(t0.elapsed());
+        }
+    }
+    let medians: Vec<Duration> = times.into_iter().map(median).collect();
+    let base = medians[0];
+    engines
+        .iter()
+        .zip(medians)
+        .map(|((mode, _), elapsed)| VectorizedEvalAblation {
+            mode,
+            elapsed,
+            speedup: base.as_secs_f64() / elapsed.as_secs_f64().max(1e-12),
+        })
+        .collect()
+}
+
+/// A representative query suite for the fallback-cause breakdown: for
+/// each, the exec trace reports `vectorized` as `true` or
+/// `fallback:<cause>`, so tallying the notes shows which operators run on
+/// the batch path and which still decline (and why).
+const FALLBACK_SUITE: [(&str, &str); 6] = [
+    ("filter+project", VEC_QUERY),
+    ("scalar aggregate", SCAN_QUERY),
+    ("hash join+filter+agg", JOIN_QUERY),
+    (
+        "distinct",
+        "SELECT DISTINCT \"ten\" FROM (SELECT * FROM Bench.wisconsin) t",
+    ),
+    (
+        "limit",
+        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t WHERE t.\"two\" = 0 LIMIT 10",
+    ),
+    (
+        "order by",
+        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t ORDER BY t.\"unique1\" DESC LIMIT 25",
+    ),
+];
+
+/// One query's vectorization outcome in the fallback breakdown.
+#[derive(Debug, Clone)]
+pub struct FallbackBreakdown {
+    /// Short label for the pipeline shape.
+    pub shape: &'static str,
+    /// The exec trace's `vectorized` note: `"true"`, or
+    /// `"fallback:<cause>"` naming the operator that declined.
+    pub mode: String,
+}
+
+/// Run the fallback suite on a default-configuration engine and report
+/// each query's `vectorized` trace note.
+pub fn fallback_breakdown(num_records: usize) -> Vec<FallbackBreakdown> {
+    let engine = join_engine(num_records, true);
+    FALLBACK_SUITE
+        .iter()
+        .map(|(shape, sql)| {
+            let (_, span) = engine.query_traced(sql).unwrap();
+            let mode = span
+                .find("exec")
+                .and_then(|e| e.note("vectorized"))
+                .unwrap_or("off")
+                .to_string();
+            FallbackBreakdown { shape, mode }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +409,25 @@ mod tests {
             // Two passes over distinct texts: half the lookups hit.
             assert!((r.hit_rate - 0.5).abs() < 1e-9, "{}", r.personality);
             assert!(r.warm_over_cold() < 1.0, "{}", r.personality);
+        }
+    }
+
+    #[test]
+    fn join_vectorized_ablation_is_anchored_at_rowwise() {
+        let results = join_vectorized_ablation(2_000, 2);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].mode, "rowwise");
+        assert!((results[0].speedup - 1.0).abs() < 1e-9);
+        assert_eq!(results[1].mode, "vectorized");
+        assert!(results[1].speedup > 0.0);
+    }
+
+    #[test]
+    fn fallback_breakdown_runs_blocking_operators_on_the_batch_path() {
+        let rows = fallback_breakdown(500);
+        assert_eq!(rows.len(), FALLBACK_SUITE.len());
+        for r in &rows {
+            assert_eq!(r.mode, "true", "{} fell back", r.shape);
         }
     }
 

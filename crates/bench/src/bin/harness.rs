@@ -247,7 +247,8 @@ fn cluster_tables(setups: &[MultiNodeSetup], params: &BenchParams, is_speedup: b
 /// per personality, and morsel-parallel scan scaling over worker counts.
 fn ablations(records: usize, samples: usize, json_path: Option<String>) {
     use polyframe_bench::ablations::{
-        parallel_scan_ablation, plan_cache_ablation, vectorized_eval_ablation,
+        fallback_breakdown, join_vectorized_ablation, parallel_scan_ablation, plan_cache_ablation,
+        vectorized_eval_ablation,
     };
 
     println!("\n=== Ablation: plan cache (cold vs warm compile) ===");
@@ -290,6 +291,29 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
     }
     print!("{}", table.render());
 
+    println!(
+        "\n=== Ablation: vectorized blocking operators ({records} records, \
+         hash join + filter + SUM, all cores) ==="
+    );
+    let join_eval = join_vectorized_ablation(records, samples);
+    let mut table = Table::new(&["evaluator", "median", "speedup"]);
+    for r in &join_eval {
+        table.row(vec![
+            r.mode.to_string(),
+            fmt_duration(r.elapsed),
+            fmt_ratio(r.speedup),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\n=== Vectorization coverage (per pipeline shape) ===");
+    let coverage = fallback_breakdown(records.min(5_000));
+    let mut table = Table::new(&["pipeline", "vectorized"]);
+    for r in &coverage {
+        table.row(vec![r.shape.to_string(), r.mode.clone()]);
+    }
+    print!("{}", table.render());
+
     if let Some(path) = json_path {
         let mut recs: Vec<String> = cache
             .iter()
@@ -318,6 +342,20 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
                 r.mode,
                 r.elapsed.as_nanos(),
                 r.speedup
+            )
+        }));
+        recs.extend(join_eval.iter().map(|r| {
+            format!(
+                "{{\"ablation\":\"vectorized_join\",\"records\":{records},\"evaluator\":\"{}\",\"elapsed_ns\":{},\"speedup\":{:.4}}}",
+                r.mode,
+                r.elapsed.as_nanos(),
+                r.speedup
+            )
+        }));
+        recs.extend(coverage.iter().map(|r| {
+            format!(
+                "{{\"ablation\":\"vectorized_coverage\",\"pipeline\":\"{}\",\"mode\":\"{}\"}}",
+                r.shape, r.mode
             )
         }));
         let body = format!("[\n{}\n]\n", recs.join(",\n"));

@@ -534,17 +534,19 @@ impl Engine {
             .span_mut()
             .set_metric("parallelism", report.parallelism as i64);
         if self.config.exec.vectorized {
-            // `fallback` = vectorization was on but this plan shape (or
-            // its expressions) compiled to no batch program, so the row
-            // path ran.
-            exec_t.span_mut().set_note(
-                "vectorized",
-                if report.vectorized {
-                    "true"
-                } else {
-                    "fallback"
-                },
-            );
+            // `fallback:<cause>` = vectorization was on but this plan
+            // shape (or its expressions) compiled to no batch program, so
+            // the row path ran; the cause names the operator or feature
+            // that declined.
+            let note = if report.vectorized {
+                "true".to_string()
+            } else {
+                match report.fallback {
+                    Some(cause) => format!("fallback:{cause}"),
+                    None => "fallback".to_string(),
+                }
+            };
+            exec_t.span_mut().set_note("vectorized", note);
         }
         if report.vectorized {
             exec_t

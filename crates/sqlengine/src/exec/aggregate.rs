@@ -216,6 +216,63 @@ impl Accumulator {
         }
     }
 
+    /// Merge another accumulator's state directly — bit-for-bit the same
+    /// arithmetic as `merge_partial(&other.to_partial())`, minus the
+    /// record round-trip. The vectorized final-aggregate merge folds
+    /// per-morsel states with this instead of rematerializing partial
+    /// rows.
+    pub fn merge_state(&mut self, other: &Accumulator) {
+        match (&mut self.state, &other.state) {
+            (State::Count(n), State::Count(m)) => *n += m,
+            (
+                State::Sum {
+                    sum,
+                    int_only,
+                    seen,
+                },
+                State::Sum {
+                    sum: s2,
+                    int_only: i2,
+                    seen: e2,
+                },
+            ) => {
+                *sum += s2;
+                *int_only &= i2;
+                *seen |= e2;
+            }
+            (State::MinMax(slot), State::MinMax(Some(v))) => {
+                let better = match (&self.func, slot.as_ref()) {
+                    (_, None) => true,
+                    (AggFunc::Min, Some(cur)) => cmp_total(v, cur) == Ordering::Less,
+                    (AggFunc::Max, Some(cur)) => cmp_total(v, cur) == Ordering::Greater,
+                    _ => unreachable!(),
+                };
+                if better {
+                    *slot = Some(v.clone());
+                }
+            }
+            (State::MinMax(_), State::MinMax(None)) => {}
+            (State::Avg { sum, count }, State::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            (
+                State::Std { sum, sumsq, count },
+                State::Std {
+                    sum: s2,
+                    sumsq: q2,
+                    count: c2,
+                },
+            ) => {
+                *sum += s2;
+                *sumsq += q2;
+                *count += c2;
+            }
+            // Accumulators merged across morsels always share a function.
+            _ => unreachable!("merge_state across aggregate kinds"),
+        }
+    }
+
     /// Merge a serialized partial state (from [`Accumulator::to_partial`]).
     pub fn merge_partial(&mut self, partial: &Value) -> Result<()> {
         let get_f = |k: &str| partial.get_path(k).as_f64().unwrap_or(0.0);
@@ -353,6 +410,51 @@ mod tests {
                 (Value::Double(a), Value::Double(b)) => assert!((a - b).abs() < 1e-9),
                 (a, b) => assert_eq!(a, b, "func {func:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn merge_state_equals_partial_roundtrip() {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::StdDev,
+        ] {
+            let vals: Vec<Value> = vec![
+                Value::Int(3),
+                Value::Double(1.5),
+                Value::Null,
+                Value::Int(-2),
+            ];
+            let mut a = Accumulator::new(func);
+            let mut b = Accumulator::new(func);
+            for v in &vals[..2] {
+                a.update(Some(v)).unwrap();
+            }
+            for v in &vals[2..] {
+                b.update(Some(v)).unwrap();
+            }
+            let mut via_partial = Accumulator::new(func);
+            via_partial.merge_partial(&a.to_partial()).unwrap();
+            via_partial.merge_partial(&b.to_partial()).unwrap();
+            let mut via_state = Accumulator::new(func);
+            via_state.merge_state(&a);
+            via_state.merge_state(&b);
+            // Bit-exact, not approximately equal: both run the same f64
+            // additions in the same order.
+            assert_eq!(
+                format!("{:?}", via_state.finalize()),
+                format!("{:?}", via_partial.finalize()),
+                "func {func:?}"
+            );
+            assert_eq!(
+                format!("{:?}", via_state.to_partial()),
+                format!("{:?}", via_partial.to_partial()),
+                "func {func:?} partial"
+            );
         }
     }
 

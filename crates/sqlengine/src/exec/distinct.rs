@@ -1,0 +1,158 @@
+//! Hash-set DISTINCT for the vectorized path.
+//!
+//! The row path deduplicates with `BTreeSet<OrdValue>` — O(log n) deep
+//! `cmp_total` comparisons per row. [`DistinctSet`] replaces the tree
+//! with hash probing (O(1) bucket check + one verifying comparison) for
+//! the *hash-safe* value domain, where hashing provably agrees with
+//! `cmp_total` equality (see [`super::join`]).
+//!
+//! The first non-hash-safe row (`NaN` anywhere inside it, or an integer
+//! past 2^53) permanently degrades the set to the row path's actual
+//! `BTreeSet`, rebuilt by replaying the kept rows in first-seen order —
+//! the same insertion sequence the row path performed, so the tree (and
+//! therefore every later broken-`Ord` membership test) is identical.
+
+use super::aggregate::OrdValue;
+use super::join::{hash_safe, value_hash};
+use polyframe_datamodel::{cmp_total, Value};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap};
+
+/// Order-preserving distinct filter, byte-identical to
+/// `BTreeSet<OrdValue>` insertion.
+pub(crate) struct DistinctSet {
+    /// Kept values in first-seen order (the replay sequence).
+    keys: Vec<Value>,
+    buckets: HashMap<u64, Vec<u32>>,
+    tree: Option<BTreeSet<OrdValue>>,
+}
+
+impl DistinctSet {
+    pub(crate) fn new() -> DistinctSet {
+        DistinctSet {
+            keys: Vec::new(),
+            buckets: HashMap::new(),
+            tree: None,
+        }
+    }
+
+    /// Number of kept (distinct) values so far.
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if `row` is new (the caller should keep it), false if it
+    /// duplicates an earlier row — exactly `BTreeSet::insert`'s answer on
+    /// the row path.
+    pub(crate) fn insert(&mut self, row: &Value) -> bool {
+        if self.tree.is_none() && !hash_safe(row) {
+            // Degrade: replay the kept rows in first-seen order. Within
+            // the hash-safe prefix cmp_total is a genuine total order, so
+            // this rebuilds the row path's tree node-for-node.
+            let mut tree = BTreeSet::new();
+            for k in &self.keys {
+                tree.insert(OrdValue(k.clone()));
+            }
+            self.tree = Some(tree);
+        }
+        if let Some(tree) = &mut self.tree {
+            let fresh = tree.insert(OrdValue(row.clone()));
+            if fresh {
+                self.keys.push(row.clone());
+            }
+            return fresh;
+        }
+        let h = value_hash(row);
+        let bucket = self.buckets.entry(h).or_default();
+        for &ki in bucket.iter() {
+            if cmp_total(&self.keys[ki as usize], row) == Ordering::Equal {
+                return false;
+            }
+        }
+        let idx = self.keys.len() as u32;
+        self.keys.push(row.clone());
+        bucket.push(idx);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    /// Reference: the row path's dedup.
+    fn reference(rows: &[Value]) -> Vec<Value> {
+        let mut seen: BTreeSet<OrdValue> = BTreeSet::new();
+        let mut out = Vec::new();
+        for row in rows {
+            if seen.insert(OrdValue(row.clone())) {
+                out.push(row.clone());
+            }
+        }
+        out
+    }
+
+    fn assert_matches_reference(rows: &[Value]) {
+        let mut set = DistinctSet::new();
+        let kept: Vec<Value> = rows.iter().filter(|r| set.insert(r)).cloned().collect();
+        assert_eq!(kept, reference(rows));
+        assert_eq!(set.len(), kept.len());
+    }
+
+    #[test]
+    fn dedups_mixed_safe_values() {
+        assert_matches_reference(&[
+            Value::Int(1),
+            Value::str("a"),
+            Value::Int(1),
+            Value::Double(1.0), // cmp_total-equal to Int(1): duplicate
+            Value::Null,
+            Value::Null,
+            Value::Obj(record! {"a" => 1i64}),
+            Value::Obj(record! {"a" => 1i64}),
+            Value::Obj(record! {"a" => 2i64}),
+            Value::Missing,
+        ]);
+    }
+
+    #[test]
+    fn degrades_on_nan_and_matches_tree() {
+        // NaN compares Equal to every number under cmp_total, so what
+        // counts as a "duplicate" after it depends on tree shape. The
+        // degraded set must agree with the row path exactly.
+        assert_matches_reference(&[
+            Value::Int(3),
+            Value::Int(5),
+            Value::Double(f64::NAN),
+            Value::Int(3),
+            Value::Int(4),
+            Value::Double(f64::NAN),
+            Value::str("s"),
+        ]);
+    }
+
+    #[test]
+    fn degrades_on_oversized_int() {
+        let big = (1i64 << 53) + 1;
+        assert_matches_reference(&[
+            Value::Int(big),
+            Value::Double(big as f64),
+            Value::Int(big),
+            Value::Int(1),
+        ]);
+    }
+
+    #[test]
+    fn nested_rows_dedup() {
+        let row = |a: i64, s: &str| Value::Obj(record! {"a" => a, "s" => s});
+        assert_matches_reference(&[
+            row(1, "x"),
+            row(1, "y"),
+            row(1, "x"),
+            row(2, "x"),
+            row(1, "x"),
+        ]);
+    }
+}

@@ -1,0 +1,332 @@
+//! Hash table over [`Value`] join keys for the vectorized hash join.
+//!
+//! The row-path hash join builds a `BTreeMap<OrdValue, Vec<Value>>` and
+//! probes it with `cmp_total`-ordered lookups — O(log n) three-way
+//! comparisons per probe. This table replaces that with open hashing:
+//! O(1) bucket probes verified by a single `cmp_total == Equal` check.
+//!
+//! Byte-identity with the tree is the contract, and it hinges on one
+//! subtlety: `cmp_total` is only a *genuine* total order on a subset of
+//! the value domain. `NaN` compares `Equal` to every number (broken
+//! `Ord`), and `Int`/`Double` cross-type comparison goes through `f64`,
+//! which is exact only for integers up to 2^53. Inside that *hash-safe*
+//! subset, "hash equal + `cmp_total` verifies `Equal`" coincides exactly
+//! with tree lookup, so the hash table is a drop-in replacement. Outside
+//! it, equality becomes order- and tree-shape-dependent, so the table
+//! **degrades to the row path's actual structure**: it rebuilds the
+//! `BTreeMap` by replaying the distinct keys in first-seen order — the
+//! same insertion sequence the row path performed — and serves every
+//! later operation from that tree. Degradation is exact, not
+//! approximate: the replayed tree is node-for-node the row path's tree,
+//! so even broken-`Ord` probes walk it identically.
+
+use super::aggregate::OrdValue;
+use polyframe_datamodel::{cmp_total, Value};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::OnceLock;
+
+/// Largest integer magnitude exactly representable as an `f64`: the
+/// boundary past which `cmp_total`'s Int/Double comparison loses
+/// precision.
+const MAX_SAFE_INT: i64 = 1 << 53;
+
+/// True when hashing `v` (numerics as normalized `f64` bits) agrees
+/// exactly with `cmp_total` equality — the precondition for serving this
+/// value from the hash structures instead of the row path's tree.
+pub(crate) fn hash_safe(v: &Value) -> bool {
+    match v {
+        Value::Missing | Value::Null | Value::Bool(_) | Value::Str(_) => true,
+        Value::Int(i) => i.abs() <= MAX_SAFE_INT,
+        Value::Double(d) => !d.is_nan(),
+        Value::Array(items) => items.iter().all(hash_safe),
+        Value::Obj(rec) => rec.iter().all(|(_, v)| hash_safe(v)),
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv(h: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(h, |h, b| (h ^ u64::from(*b)).wrapping_mul(FNV_PRIME))
+}
+
+/// FNV-1a over a hash-safe value. `Int` and `Double` hash as `f64` bits
+/// (with `-0.0` normalized to `+0.0`) so cross-type `cmp_total`-equal
+/// numerics collide, mirroring the comparison they must agree with.
+fn hash_value(h: u64, v: &Value) -> u64 {
+    match v {
+        Value::Missing => fnv(h, &[0x01]),
+        Value::Null => fnv(h, &[0x02]),
+        Value::Bool(b) => fnv(h, &[0x03, u8::from(*b)]),
+        Value::Int(i) => {
+            let d = *i as f64;
+            fnv(fnv(h, &[0x04]), &d.to_bits().to_le_bytes())
+        }
+        Value::Double(d) => {
+            let d = if *d == 0.0 { 0.0 } else { *d };
+            fnv(fnv(h, &[0x04]), &d.to_bits().to_le_bytes())
+        }
+        Value::Str(s) => fnv(fnv(h, &[0x05]), s.as_bytes()),
+        Value::Array(items) => {
+            let h = fnv(h, &[0x06]);
+            items.iter().fold(h, hash_value)
+        }
+        Value::Obj(rec) => {
+            // Records compare as (name, value) pairs in insertion order,
+            // so hash exactly that sequence.
+            let h = fnv(h, &[0x07]);
+            rec.iter().fold(h, |h, (k, v)| {
+                hash_value(fnv(fnv(h, &[0x08]), k.as_bytes()), v)
+            })
+        }
+    }
+}
+
+/// Hash one value from the offset basis.
+pub(crate) fn value_hash(v: &Value) -> u64 {
+    hash_value(FNV_OFFSET, v)
+}
+
+/// Hash table from join-key values to build-side row indexes.
+///
+/// Distinct keys live in `keys` in first-seen order with their matching
+/// build rows (insertion order) in `rows`; `buckets` maps hashes to key
+/// indexes. `tree` is the degraded form (see module docs): pre-built
+/// when a non-hash-safe *build* key forced degradation, lazily built the
+/// first time a non-hash-safe *probe* key needs row-path lookup
+/// semantics. `OnceLock` makes the lazy build safe under concurrent
+/// probing morsels.
+pub(crate) struct ValueHashTable {
+    keys: Vec<Value>,
+    rows: Vec<Vec<u32>>,
+    buckets: HashMap<u64, Vec<u32>>,
+    tree: OnceLock<BTreeMap<OrdValue, u32>>,
+    build_degraded: bool,
+}
+
+impl ValueHashTable {
+    pub(crate) fn new() -> ValueHashTable {
+        ValueHashTable {
+            keys: Vec::new(),
+            rows: Vec::new(),
+            buckets: HashMap::new(),
+            tree: OnceLock::new(),
+            build_degraded: false,
+        }
+    }
+
+    /// Number of distinct keys.
+    #[cfg(test)]
+    pub(crate) fn num_keys(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// The row path's tree, replayed from the distinct keys in first-seen
+    /// order. Within the hash-safe prefix that replay is exact: the row
+    /// path's duplicate inserts found `Equal` nodes without restructuring
+    /// the tree, and `entry()` keeps the original key, so first-seen
+    /// distinct keys in first-seen order rebuild the identical B-tree.
+    fn build_tree(&self) -> BTreeMap<OrdValue, u32> {
+        let mut tree = BTreeMap::new();
+        for (i, key) in self.keys.iter().enumerate() {
+            tree.entry(OrdValue(key.clone())).or_insert(i as u32);
+        }
+        tree
+    }
+
+    /// Insert one build row under `key`. Unknown keys must be filtered by
+    /// the caller (the row path skips them before the table).
+    pub(crate) fn insert(&mut self, key: Value, row: u32) {
+        if !self.build_degraded && !hash_safe(&key) {
+            // First non-hash-safe build key: snap to the row path's tree
+            // and stay there (its shape now matters for every later
+            // broken-`Ord` lookup).
+            let tree = self.build_tree();
+            let _ = self.tree.set(tree);
+            self.build_degraded = true;
+        }
+        if self.build_degraded {
+            if let Some(tree) = self.tree.get_mut() {
+                match tree.entry(OrdValue(key)) {
+                    std::collections::btree_map::Entry::Occupied(o) => {
+                        self.rows[*o.get() as usize].push(row);
+                    }
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        let idx = self.rows.len() as u32;
+                        // `keys` keeps growing so a later full rebuild (or
+                        // introspection) still sees every distinct key.
+                        self.keys.push(v.key().0.clone());
+                        self.rows.push(vec![row]);
+                        v.insert(idx);
+                    }
+                }
+            }
+            return;
+        }
+        let h = value_hash(&key);
+        let bucket = self.buckets.entry(h).or_default();
+        for &ki in bucket.iter() {
+            if cmp_total(&self.keys[ki as usize], &key) == Ordering::Equal {
+                self.rows[ki as usize].push(row);
+                return;
+            }
+        }
+        let idx = self.keys.len() as u32;
+        self.keys.push(key);
+        self.rows.push(vec![row]);
+        bucket.push(idx);
+    }
+
+    /// Build-side rows matching `key`, in build insertion order — exactly
+    /// `BTreeMap::get` on the row path's table. Unknown keys return no
+    /// match (callers handle the join's unknown-key semantics *before*
+    /// the lookup, as the row path does).
+    pub(crate) fn lookup(&self, key: &Value) -> Option<&[u32]> {
+        if !self.build_degraded && hash_safe(key) {
+            let h = value_hash(key);
+            let bucket = self.buckets.get(&h)?;
+            for &ki in bucket.iter() {
+                if cmp_total(&self.keys[ki as usize], key) == Ordering::Equal {
+                    return Some(&self.rows[ki as usize]);
+                }
+            }
+            return None;
+        }
+        // Row-path semantics required: a degraded build, or a probe key
+        // (NaN, oversized int) whose equality depends on tree shape.
+        let tree = self.tree.get_or_init(|| self.build_tree());
+        tree.get(&OrdValue(key.clone()))
+            .map(|&ki| self.rows[ki as usize].as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polyframe_datamodel::record;
+
+    /// Reference: the row path's build/probe structure.
+    fn reference(pairs: &[(Value, u32)]) -> BTreeMap<OrdValue, Vec<u32>> {
+        let mut tree: BTreeMap<OrdValue, Vec<u32>> = BTreeMap::new();
+        for (k, r) in pairs {
+            tree.entry(OrdValue(k.clone())).or_default().push(*r);
+        }
+        tree
+    }
+
+    fn assert_matches_reference(build: &[(Value, u32)], probes: &[Value]) {
+        let mut table = ValueHashTable::new();
+        for (k, r) in build {
+            table.insert(k.clone(), *r);
+        }
+        let tree = reference(build);
+        for p in probes {
+            let want = tree.get(&OrdValue(p.clone())).map(|v| v.as_slice());
+            assert_eq!(table.lookup(p), want, "probe {p:?}");
+        }
+    }
+
+    #[test]
+    fn hash_safe_boundaries() {
+        assert!(hash_safe(&Value::Int(MAX_SAFE_INT)));
+        assert!(!hash_safe(&Value::Int(MAX_SAFE_INT + 1)));
+        assert!(hash_safe(&Value::Double(1.5)));
+        assert!(!hash_safe(&Value::Double(f64::NAN)));
+        assert!(hash_safe(&Value::Array(vec![Value::Int(1), Value::Null])));
+        assert!(!hash_safe(&Value::Array(vec![Value::Double(f64::NAN)])));
+        assert!(hash_safe(&Value::Obj(record! {"a" => 1i64})));
+    }
+
+    #[test]
+    fn cross_type_numeric_keys_collide() {
+        // cmp_total(Int(2), Double(2.0)) == Equal, so they must share a
+        // hash and a key slot.
+        assert_eq!(value_hash(&Value::Int(2)), value_hash(&Value::Double(2.0)));
+        assert_eq!(
+            value_hash(&Value::Double(0.0)),
+            value_hash(&Value::Double(-0.0))
+        );
+        assert_matches_reference(
+            &[(Value::Int(2), 0), (Value::Double(2.0), 1)],
+            &[Value::Int(2), Value::Double(2.0), Value::Int(3)],
+        );
+    }
+
+    #[test]
+    fn lookup_matches_tree_on_mixed_keys() {
+        let build = vec![
+            (Value::Int(1), 0),
+            (Value::str("a"), 1),
+            (Value::Int(1), 2),
+            (Value::Bool(true), 3),
+            (Value::Double(1.0), 4),
+            (Value::Array(vec![Value::Int(7)]), 5),
+            (Value::Obj(record! {"k" => "v"}), 6),
+        ];
+        let probes = vec![
+            Value::Int(1),
+            Value::Double(1.0),
+            Value::str("a"),
+            Value::str("b"),
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Array(vec![Value::Int(7)]),
+            Value::Array(vec![Value::Int(8)]),
+            Value::Obj(record! {"k" => "v"}),
+            Value::Int(99),
+        ];
+        assert_matches_reference(&build, &probes);
+    }
+
+    #[test]
+    fn non_safe_build_key_degrades_to_tree() {
+        let build = vec![
+            (Value::Int(5), 0),
+            (Value::Double(f64::NAN), 1),
+            (Value::Int(5), 2),
+            (Value::Int(6), 3),
+        ];
+        // Probes include the broken-Ord case: NaN compares Equal to every
+        // number, so the outcome depends on tree shape — which the table
+        // reproduces exactly.
+        let probes = vec![
+            Value::Int(5),
+            Value::Int(6),
+            Value::Double(f64::NAN),
+            Value::Int(7),
+        ];
+        assert_matches_reference(&build, &probes);
+    }
+
+    #[test]
+    fn non_safe_probe_uses_row_path_tree() {
+        let build = vec![(Value::Int(1), 0), (Value::Int(2), 1), (Value::Int(3), 2)];
+        let mut table = ValueHashTable::new();
+        for (k, r) in &build {
+            table.insert(k.clone(), *r);
+        }
+        let tree = reference(&build);
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(
+            table.lookup(&nan),
+            tree.get(&OrdValue(nan.clone())).map(|v| v.as_slice())
+        );
+        // Hash-safe probes still work after the lazy tree build.
+        assert_eq!(table.lookup(&Value::Int(2)), Some(&[1u32][..]));
+    }
+
+    #[test]
+    fn duplicate_rows_keep_insertion_order() {
+        let mut table = ValueHashTable::new();
+        for (i, k) in [1i64, 2, 1, 1, 2].into_iter().enumerate() {
+            table.insert(Value::Int(k), i as u32);
+        }
+        assert_eq!(table.lookup(&Value::Int(1)), Some(&[0u32, 2, 3][..]));
+        assert_eq!(table.lookup(&Value::Int(2)), Some(&[1u32, 4][..]));
+        assert_eq!(table.num_keys(), 2);
+    }
+}

@@ -7,7 +7,11 @@
 //! join build sides) materialize internally.
 
 pub mod aggregate;
+#[deny(clippy::unwrap_used)]
+mod distinct;
 pub mod eval;
+#[deny(clippy::unwrap_used)]
+mod join;
 pub mod parallel;
 mod vector;
 
@@ -55,12 +59,20 @@ impl<'a> Executor<'a> {
         plan: &'a PhysicalPlan,
         opts: &ExecOptions,
     ) -> Result<(Vec<Value>, ExecReport)> {
+        let mut fallback = None;
         if opts.workers > 1 || opts.vectorized {
-            if let Some(result) = parallel::try_run(self.db, plan, opts) {
-                return result;
+            match parallel::try_run(self.db, plan, opts) {
+                parallel::TryRunOutcome::Ran(result) => return result,
+                // Remember *why* the batch/parallel path declined, so the
+                // trace can report `fallback:<cause>`.
+                parallel::TryRunOutcome::Fallback(cause) => fallback = Some(cause),
             }
         }
-        Ok((self.run(plan)?, ExecReport::serial()))
+        let report = ExecReport {
+            fallback,
+            ..ExecReport::serial()
+        };
+        Ok((self.run(plan)?, report))
     }
 
     fn table(&self, ds: &DatasetRef) -> Result<&'a Table> {
@@ -557,13 +569,16 @@ impl<'p> AggState<'p> {
     /// vectorized path computes both with batch programs, so this skips
     /// the per-row `Scalar` walk). `args[i] == None` is `COUNT(*)`; a
     /// slice shorter than the aggregate list updates only the leading
-    /// accumulators.
+    /// accumulators. In `Final` mode each argument is a serialized
+    /// partial state (the batch programs fetch `Field(agg.name)`), folded
+    /// with `merge_partial` like the row path's `push`.
     pub(crate) fn push_values(
         &mut self,
         key: Vec<OrdValue>,
         args: &[Option<&Value>],
     ) -> Result<()> {
         self.saw_any = true;
+        let mode = self.mode;
         let accs = if self.group_by.is_empty() {
             &mut self.scalar_accs
         } else {
@@ -573,9 +588,46 @@ impl<'p> AggState<'p> {
                 .or_insert_with(|| aggs.iter().map(|a| Accumulator::new(a.func)).collect())
         };
         for (acc, arg) in accs.iter_mut().zip(args) {
-            acc.update(*arg)?;
+            match (mode, arg) {
+                (AggMode::Final, Some(partial)) => acc.merge_partial(partial)?,
+                _ => acc.update(*arg)?,
+            }
         }
         Ok(())
+    }
+
+    /// Tear the state into its accumulator parts for a cross-morsel merge.
+    pub(crate) fn into_parts(self) -> AggParts {
+        AggParts {
+            groups: self.groups,
+            scalar_accs: self.scalar_accs,
+            saw_any: self.saw_any,
+        }
+    }
+
+    /// Fold one morsel's accumulator parts into this state — the
+    /// columnar-side final-aggregate merge: accumulator states combine
+    /// directly via [`Accumulator::merge_state`] instead of being
+    /// serialized to partial rows and re-aggregated.
+    pub(crate) fn absorb(&mut self, parts: AggParts) {
+        self.saw_any |= parts.saw_any;
+        if parts.saw_any {
+            for (acc, other) in self.scalar_accs.iter_mut().zip(&parts.scalar_accs) {
+                acc.merge_state(other);
+            }
+        }
+        for (key, accs) in parts.groups {
+            match self.groups.entry(key) {
+                std::collections::btree_map::Entry::Occupied(mut o) => {
+                    for (acc, other) in o.get_mut().iter_mut().zip(&accs) {
+                        acc.merge_state(other);
+                    }
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(accs);
+                }
+            }
+        }
     }
 
     /// Emit the output rows, ordered by group key.
@@ -613,6 +665,15 @@ impl<'p> AggState<'p> {
                 .collect()
         }
     }
+}
+
+/// One morsel's accumulator state, detached from the plan borrows so it
+/// can cross the worker/coordinator boundary (see [`AggState::into_parts`]
+/// and [`AggState::absorb`]).
+pub(crate) struct AggParts {
+    groups: BTreeMap<Vec<OrdValue>, Vec<Accumulator>>,
+    scalar_accs: Vec<Accumulator>,
+    saw_any: bool,
 }
 
 #[cfg(test)]

@@ -11,21 +11,29 @@
 //!
 //! * plain pipelines concatenate morsel outputs in morsel order — the same
 //!   row order a serial scan produces;
-//! * aggregates merge per-morsel partial states into a `BTreeMap` keyed by
-//!   the group values, the same ordered-group output as the serial path
-//!   (and the same combiner protocol the cluster coordinator uses);
+//! * aggregates fold each morsel in the terminal's own mode and merge the
+//!   accumulator states directly (`AggState::absorb`), the same ordered
+//!   group output as the serial path;
 //! * sorts stable-sort each chunk and k-way merge with the chunk index as
-//!   the tiebreak, reproducing the serial stable sort's tie order.
+//!   the tiebreak, reproducing the serial stable sort's tie order;
+//! * `LIMIT`-topped streaming pipelines run with a cooperative stop flag:
+//!   workers stop claiming morsels once the already-determined morsel
+//!   prefix satisfies the limit (see [`LimitGate`]);
+//! * joins build their hash table (or resolve their inner index) once on
+//!   the coordinator and probe per-batch on the vectorized path.
 //!
-//! Plans whose shape is not parallel-safe (joins, DISTINCT, `Final`-mode
-//! aggregates, LIMIT-topped pipelines that rely on early termination, and
-//! the index-only fast paths, which never touch the heap) fall back to the
-//! serial streaming executor unchanged.
+//! Plans whose shape still is not parallel-safe (nested blocking operators,
+//! the index-only fast paths, `VALUES`) fall back to the serial streaming
+//! executor unchanged, and [`TryRunOutcome::Fallback`] carries *why* so the
+//! trace can report `fallback:<cause>`.
 
-use super::aggregate::{Accumulator, OrdValue};
+use super::aggregate::OrdValue;
+use super::distinct::DistinctSet;
 use super::eval::{eval, passes_filter};
+use super::join::ValueHashTable;
 use super::vector;
-use super::{aggregate_rows, project_row, AggState};
+use super::{project_row, AggState};
+use crate::ast::JoinKind;
 use crate::catalog::Database;
 use crate::error::{EngineError, Result};
 use crate::plan::logical::{AggExpr, AggMode, ProjectSpec, Scalar};
@@ -33,8 +41,10 @@ use crate::plan::physical::{DatasetRef, PhysicalPlan};
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::Mutex;
 use polyframe_storage::{Direction, RecordId, ScanRange, Table};
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Analysis result: `Err` carries the row-path fallback cause.
+type AnalyzeResult<T> = std::result::Result<T, &'static str>;
 use std::time::{Duration, Instant};
 
 /// Default number of heap slots (or index rids) per morsel.
@@ -153,13 +163,17 @@ pub struct ExecReport {
     /// Whether the vectorized batch path ran (`false` = row-path
     /// fallback, or vectorization disabled).
     pub vectorized: bool,
-    /// Column batches processed on the vectorized path.
+    /// Column batches actually processed on the vectorized path (early-exit
+    /// `LIMIT` pipelines process fewer than the domain holds).
     pub batches: usize,
     /// Configured rows per batch (0 when the row path ran).
     pub batch_rows: usize,
     /// Time spent compiling expression programs (zero when vectorization
     /// was not attempted).
     pub compile_time: Duration,
+    /// Why the vectorized path declined, when it did (`None` when it ran,
+    /// or when vectorization was off).
+    pub fallback: Option<&'static str>,
 }
 
 impl ExecReport {
@@ -170,6 +184,15 @@ impl ExecReport {
             ..ExecReport::default()
         }
     }
+}
+
+/// What [`try_run`] decided.
+pub(super) enum TryRunOutcome {
+    /// The morsel/batch path ran (successfully or not).
+    Ran(Result<(Vec<Value>, ExecReport)>),
+    /// Neither morsel parallelism nor batches apply; the named operator or
+    /// expression shape is why. Run the serial row path.
+    Fallback(&'static str),
 }
 
 /// Row-local operators a worker applies to each scanned row.
@@ -193,7 +216,8 @@ enum Leaf<'p> {
 pub(super) enum Terminal<'p> {
     /// No blocking terminal: concatenate morsel outputs in morsel order.
     Collect,
-    /// Per-morsel partial aggregation, merged by the coordinator.
+    /// Per-morsel aggregation in the terminal's own mode, accumulator
+    /// states merged by the coordinator.
     Aggregate {
         group_by: &'p [(String, Scalar)],
         aggs: &'p [AggExpr],
@@ -206,23 +230,89 @@ pub(super) enum Terminal<'p> {
     },
 }
 
+/// The join (if any) sitting between the scan leaf and the row-local ops:
+/// the leaf side is probed morsel-by-morsel, the other side materializes
+/// once on the coordinator (see [`build_join_runtime`]).
+pub(super) struct JoinSpec<'p> {
+    /// Key expression over probe rows.
+    pub(super) probe_key: &'p Scalar,
+    /// Binding name for probe rows in the join output object.
+    pub(super) probe_binding: &'p str,
+    /// Binding name for build rows in the join output object.
+    pub(super) build_binding: &'p str,
+    /// Filters under the join on the probe side (no projections: the probe
+    /// row must stay the scanned record for the key and pair).
+    pub(super) probe_ops: Vec<MorselOp<'p>>,
+    pub(super) variant: JoinVariantSpec<'p>,
+}
+
+pub(super) enum JoinVariantSpec<'p> {
+    /// `PhysicalPlan::HashJoin`: build the right side eagerly, probe the
+    /// left.
+    Hash {
+        build: &'p PhysicalPlan,
+        build_key: &'p Scalar,
+        left: bool,
+    },
+    /// `PhysicalPlan::IndexNLJoin`: probe the inner index per outer row.
+    IndexNl { inner: &'p (DatasetRef, String) },
+}
+
+impl JoinSpec<'_> {
+    /// Fallback-cause label when this join cannot run vectorized.
+    fn cause(&self) -> &'static str {
+        match self.variant {
+            JoinVariantSpec::Hash { .. } => "hash_join",
+            JoinVariantSpec::IndexNl { .. } => "index_nl_join",
+        }
+    }
+}
+
 /// A parallel-safe decomposition of a physical plan.
 pub(super) struct ParallelPlan<'p> {
     /// Projections sitting *above* the blocking terminal, outermost first;
     /// applied per result row after the merge.
     post: Vec<&'p ProjectSpec>,
     pub(super) terminal: Terminal<'p>,
-    /// Row-local ops between leaf and terminal, in application order.
+    /// Row-local ops between the join (or leaf) and the terminal, in
+    /// application order.
     pub(super) ops: Vec<MorselOp<'p>>,
+    pub(super) join: Option<JoinSpec<'p>>,
     leaf: Leaf<'p>,
+    /// Peeled outermost `LIMIT`.
+    limit: Option<usize>,
+    /// Peeled `DISTINCT` (under the limit, above everything else).
+    distinct: bool,
+}
+
+impl ParallelPlan<'_> {
+    /// The limit, when satisfying it may stop the scan early: only a
+    /// streaming (`Collect`) pipeline without `DISTINCT` reproduces the
+    /// row path's `take(n)` — blocking terminals materialize their whole
+    /// input first, so every row (and error) beyond the limit still
+    /// matters there.
+    pub(super) fn early_exit_limit(&self) -> Option<usize> {
+        match (&self.terminal, self.distinct) {
+            (Terminal::Collect, false) => self.limit,
+            _ => None,
+        }
+    }
 }
 
 /// What one worker hands back for one morsel.
 pub(super) enum MorselOut {
-    /// Result rows (plain pipelines) or partial-aggregate rows.
+    /// Result rows (plain pipelines).
     Rows(Vec<Value>),
     /// A sorted chunk of `(sort key, row)` pairs.
     Keyed(Vec<(Vec<SortKey>, Value)>),
+    /// Rows collected under an early-exit limit, with the morsel's first
+    /// error *after* those rows (the sink stops at whichever comes first).
+    Limited {
+        rows: Vec<Value>,
+        err: Option<EngineError>,
+    },
+    /// One morsel's aggregate accumulator states.
+    Agg(super::AggParts),
 }
 
 /// A sort key component with its direction baked in, so chunk sorting and
@@ -250,12 +340,26 @@ impl PartialOrd for SortKey {
     }
 }
 
-/// Decompose `plan` into a parallel-safe shape, or `None` for the serial
-/// fallback.
-fn analyze(plan: &PhysicalPlan) -> Option<ParallelPlan<'_>> {
+/// Decompose `plan` into a parallel-safe shape; `Err` carries the
+/// fallback-cause label for the trace.
+fn analyze(plan: &PhysicalPlan) -> AnalyzeResult<ParallelPlan<'_>> {
+    // Peel the outermost LIMIT and a DISTINCT under it; both re-apply at
+    // the coordinator (or, for streaming pipelines, the limit gates the
+    // scan itself).
+    let mut node = plan;
+    let mut limit = None;
+    if let PhysicalPlan::Limit { input, n } = node {
+        limit = Some(*n as usize);
+        node = input;
+    }
+    let mut distinct = false;
+    if let PhysicalPlan::Distinct { input } = node {
+        distinct = true;
+        node = input;
+    }
+    let top = node;
     // Peel projections off the top; they re-apply per row after the merge.
     let mut post = Vec::new();
-    let mut node = plan;
     while let PhysicalPlan::Project { input, spec } = node {
         post.push(spec);
         node = input;
@@ -266,9 +370,9 @@ fn analyze(plan: &PhysicalPlan) -> Option<ParallelPlan<'_>> {
             group_by,
             aggs,
             mode,
-        } if *mode != AggMode::Final => {
-            let (ops, leaf) = pipeline(input)?;
-            Some(ParallelPlan {
+        } => {
+            let (ops, join, leaf) = pipeline(input)?;
+            Ok(ParallelPlan {
                 post,
                 terminal: Terminal::Aggregate {
                     group_by,
@@ -276,34 +380,48 @@ fn analyze(plan: &PhysicalPlan) -> Option<ParallelPlan<'_>> {
                     mode: *mode,
                 },
                 ops,
+                join,
                 leaf,
+                limit,
+                distinct,
             })
         }
         PhysicalPlan::Sort { input, keys, topk } => {
-            let (ops, leaf) = pipeline(input)?;
-            Some(ParallelPlan {
+            let (ops, join, leaf) = pipeline(input)?;
+            Ok(ParallelPlan {
                 post,
                 terminal: Terminal::Sort { keys, topk: *topk },
                 ops,
+                join,
                 leaf,
+                limit,
+                distinct,
             })
         }
         _ => {
             // No blocking terminal: every operator (including the peeled
-            // projections) is row-local, so re-walk from the root.
-            let (ops, leaf) = pipeline(plan)?;
-            Some(ParallelPlan {
+            // projections) is row-local, so re-walk from under the
+            // limit/distinct peel.
+            let (ops, join, leaf) = pipeline(top)?;
+            Ok(ParallelPlan {
                 post: Vec::new(),
                 terminal: Terminal::Collect,
                 ops,
+                join,
                 leaf,
+                limit,
+                distinct,
             })
         }
     }
 }
 
-/// Collect the row-local operator chain down to a partitionable scan leaf.
-fn pipeline(plan: &PhysicalPlan) -> Option<(Vec<MorselOp<'_>>, Leaf<'_>)> {
+/// Collect the row-local operator chain (and at most one join) down to a
+/// partitionable scan leaf.
+#[allow(clippy::type_complexity)]
+fn pipeline(
+    plan: &PhysicalPlan,
+) -> AnalyzeResult<(Vec<MorselOp<'_>>, Option<JoinSpec<'_>>, Leaf<'_>)> {
     let mut ops = Vec::new();
     let mut node = plan;
     loop {
@@ -318,7 +436,7 @@ fn pipeline(plan: &PhysicalPlan) -> Option<(Vec<MorselOp<'_>>, Leaf<'_>)> {
             }
             PhysicalPlan::SeqScan { dataset } => {
                 ops.reverse();
-                return Some((ops, Leaf::Seq(dataset)));
+                return Ok((ops, None, Leaf::Seq(dataset)));
             }
             PhysicalPlan::IndexScan {
                 dataset,
@@ -327,7 +445,107 @@ fn pipeline(plan: &PhysicalPlan) -> Option<(Vec<MorselOp<'_>>, Leaf<'_>)> {
                 direction,
             } => {
                 ops.reverse();
-                return Some((
+                return Ok((
+                    ops,
+                    None,
+                    Leaf::Index {
+                        dataset,
+                        attr,
+                        range,
+                        direction: *direction,
+                    },
+                ));
+            }
+            PhysicalPlan::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                left_binding,
+                right_binding,
+                kind,
+            } => {
+                // Build on the right, probe (= partition) on the left.
+                let (probe_ops, leaf) = probe_side(left, "hash_join")?;
+                ops.reverse();
+                return Ok((
+                    ops,
+                    Some(JoinSpec {
+                        probe_key: left_key,
+                        probe_binding: left_binding,
+                        build_binding: right_binding,
+                        probe_ops,
+                        variant: JoinVariantSpec::Hash {
+                            build: right,
+                            build_key: right_key,
+                            left: *kind == JoinKind::Left,
+                        },
+                    }),
+                    leaf,
+                ));
+            }
+            PhysicalPlan::IndexNLJoin {
+                outer,
+                outer_key,
+                inner,
+                outer_binding,
+                inner_binding,
+            } => {
+                let (probe_ops, leaf) = probe_side(outer, "index_nl_join")?;
+                ops.reverse();
+                return Ok((
+                    ops,
+                    Some(JoinSpec {
+                        probe_key: outer_key,
+                        probe_binding: outer_binding,
+                        build_binding: inner_binding,
+                        probe_ops,
+                        variant: JoinVariantSpec::IndexNl { inner },
+                    }),
+                    leaf,
+                ));
+            }
+            // Nested blocking operators under a row-local chain.
+            PhysicalPlan::Aggregate { .. } => return Err("aggregate"),
+            PhysicalPlan::Sort { .. } => return Err("sort"),
+            PhysicalPlan::Limit { .. } => return Err("limit"),
+            PhysicalPlan::Distinct { .. } => return Err("distinct"),
+            PhysicalPlan::Values { .. } => return Err("values"),
+            // The index-only fast paths never touch the heap; there is
+            // nothing to partition or batch.
+            _ => return Err("index_only"),
+        }
+    }
+}
+
+/// The probe side of a join must be a filter chain over a scan leaf:
+/// probe rows have to stay whole scanned records (the key expression and
+/// the output pair both reference the record), and a second join would
+/// need its own build. `cause` names the join that falls back otherwise.
+fn probe_side<'p>(
+    plan: &'p PhysicalPlan,
+    cause: &'static str,
+) -> AnalyzeResult<(Vec<MorselOp<'p>>, Leaf<'p>)> {
+    let mut ops = Vec::new();
+    let mut node = plan;
+    loop {
+        match node {
+            PhysicalPlan::Filter { input, predicate } => {
+                ops.push(MorselOp::Filter(predicate));
+                node = input;
+            }
+            PhysicalPlan::SeqScan { dataset } => {
+                ops.reverse();
+                return Ok((ops, Leaf::Seq(dataset)));
+            }
+            PhysicalPlan::IndexScan {
+                dataset,
+                attr,
+                range,
+                direction,
+            } => {
+                ops.reverse();
+                return Ok((
                     ops,
                     Leaf::Index {
                         dataset,
@@ -337,35 +555,173 @@ fn pipeline(plan: &PhysicalPlan) -> Option<(Vec<MorselOp<'_>>, Leaf<'_>)> {
                     },
                 ));
             }
-            // Joins, limits, distinct, nested blocking ops, the index-only
-            // fast paths: serial fallback.
-            _ => return None,
+            _ => return Err(cause),
         }
     }
 }
 
+/// Materialize the non-partitioned side of the join: drain the build
+/// stream into a [`ValueHashTable`] (hash join) or resolve the inner
+/// table + index (index nested-loop). Runs *before* the probe table
+/// resolves — the row path drains the build side during stream
+/// construction, so build errors outrank probe-side resolution errors.
+fn build_join_runtime<'q>(
+    db: &'q Database,
+    spec: &JoinSpec<'q>,
+) -> Result<vector::JoinRuntime<'q>> {
+    match &spec.variant {
+        JoinVariantSpec::Hash {
+            build, build_key, ..
+        } => {
+            let mut table = ValueHashTable::new();
+            // Bare-scan build with a plain field key: keep heap references
+            // instead of cloning every build record into the runtime (the
+            // generic stream below materializes each row as a `Value`).
+            if let PhysicalPlan::SeqScan { dataset } = build {
+                if let Scalar::Field(f) | Scalar::BindingRef(f) = build_key {
+                    let t = db.dataset(&dataset.namespace, &dataset.dataset)?;
+                    let mut refs: Vec<&Record> = Vec::new();
+                    let mut hint = 0usize;
+                    for (_, rec) in t.heap().scan() {
+                        // The row path skips unknown build keys.
+                        match rec.get_hinted(f, &mut hint) {
+                            Some(key) if !key.is_unknown() => {
+                                table.insert(key.clone(), refs.len() as u32);
+                                refs.push(rec);
+                            }
+                            _ => {}
+                        }
+                    }
+                    return Ok(vector::JoinRuntime::Hash {
+                        table,
+                        rows: vector::BuildRows::Records(refs),
+                    });
+                }
+            }
+            let mut rows: Vec<Value> = Vec::new();
+            for row in super::Executor::new(db).stream(build)? {
+                let row = row?;
+                let key = eval(build_key, &row)?;
+                // The row path skips unknown build keys before the table.
+                if key.is_unknown() {
+                    continue;
+                }
+                table.insert(key, rows.len() as u32);
+                rows.push(row);
+            }
+            Ok(vector::JoinRuntime::Hash {
+                table,
+                rows: vector::BuildRows::Owned(rows),
+            })
+        }
+        JoinVariantSpec::IndexNl { inner } => {
+            let table = db.dataset(&inner.0.namespace, &inner.0.dataset)?;
+            let index = table.index_on(&inner.1).ok_or_else(|| {
+                EngineError::exec(format!("no index on attribute {} (planner bug)", inner.1))
+            })?;
+            Ok(vector::JoinRuntime::IndexNl { table, index })
+        }
+    }
+}
+
+/// Cooperative early exit for `LIMIT` pipelines: workers record each
+/// completed morsel's row count (or `usize::MAX` for an error), and the
+/// gate latches `done` once the *contiguous prefix* of recorded morsels
+/// determines the query outcome — enough rows collected, or an error that
+/// fires before the limit fills. Morsel claims come off a sequential
+/// counter, so claimed morsels always form a prefix and the scan stops
+/// without evaluating (or erroring on) rows the serial `take(n)` would
+/// never have pulled.
+struct LimitGate {
+    n: usize,
+    done: AtomicBool,
+    outcomes: Mutex<Vec<Option<usize>>>,
+}
+
+impl LimitGate {
+    fn new(n: usize, morsels: usize) -> LimitGate {
+        LimitGate {
+            n,
+            // LIMIT 0 needs no rows at all.
+            done: AtomicBool::new(n == 0),
+            outcomes: Mutex::new(vec![None; morsels]),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.done.load(Ordering::Relaxed)
+    }
+
+    /// Record morsel `i`'s outcome: surviving row count, or `usize::MAX`
+    /// when the morsel hit an error before its own collection satisfied
+    /// the limit.
+    fn record(&self, i: usize, outcome: usize) {
+        let mut outcomes = self.outcomes.lock();
+        outcomes[i] = Some(outcome);
+        let mut total = 0usize;
+        for o in outcomes.iter() {
+            match o {
+                // An unfinished earlier morsel: outcome still open.
+                None => return,
+                // An error inside the determined prefix settles the query
+                // either way (it fires, or enough rows precede it — the
+                // merge walk decides which).
+                Some(usize::MAX) => break,
+                Some(rows) => {
+                    total += rows;
+                    if total >= self.n {
+                        break;
+                    }
+                }
+            }
+        }
+        self.done.store(true, Ordering::Relaxed);
+    }
+}
+
 /// Try to run `plan` with morsel parallelism and/or vectorized batches.
-/// `None` means neither applies — run the serial row path.
-pub(super) fn try_run(
-    db: &Database,
-    plan: &PhysicalPlan,
-    opts: &ExecOptions,
-) -> Option<Result<(Vec<Value>, ExecReport)>> {
-    let pp = analyze(plan)?;
+pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) -> TryRunOutcome {
+    use TryRunOutcome::{Fallback, Ran};
+    let pp = match analyze(plan) {
+        Ok(pp) => pp,
+        Err(cause) => return Fallback(cause),
+    };
     // Compile the pipeline's scalar expressions into batch programs once
-    // per query; `None` (unsupported shape) falls back to the row path.
+    // per query; an unsupported shape names the fallback cause.
     let mut compile_time = Duration::ZERO;
-    let vp = if opts.vectorized {
+    let compiled = if opts.vectorized {
         let started = Instant::now();
         let vp = vector::compile(&pp);
         compile_time = started.elapsed();
         vp
     } else {
-        None
+        Err(pp.join.as_ref().map(JoinSpec::cause).unwrap_or("disabled"))
     };
-    if opts.workers <= 1 && vp.is_none() {
-        return None;
-    }
+    let (vp, row_fallback) = match compiled {
+        Ok(vp) => (Some(vp), None),
+        Err(cause) => {
+            // Joins and early-exit limits exist only on the batch path:
+            // row-at-a-time morsels would drain the whole domain (firing
+            // errors `take(n)` never reaches) and cannot probe a build
+            // table. Single-worker row morsels gain nothing over serial.
+            if pp.join.is_some() || pp.early_exit_limit().is_some() || opts.workers <= 1 {
+                return Fallback(cause);
+            }
+            (None, Some(cause))
+        }
+    };
+
+    // The join's build side materializes before the probe table resolves
+    // (row-path error order: the build stream drains during stream
+    // construction).
+    let rt = match &pp.join {
+        Some(spec) => match build_join_runtime(db, spec) {
+            Ok(rt) => Some(rt),
+            Err(e) => return Ran(Err(e)),
+        },
+        None => None,
+    };
+
     let dataset = match pp.leaf {
         Leaf::Seq(ds) => ds,
         Leaf::Index { dataset, .. } => dataset,
@@ -373,7 +729,7 @@ pub(super) fn try_run(
     let table = match db.dataset(&dataset.namespace, &dataset.dataset) {
         Ok(t) => t,
         // The serial path would fail identically; surface the error here.
-        Err(e) => return Some(Err(e)),
+        Err(e) => return Ran(Err(e)),
     };
 
     // Materialize the scan domain: heap slots, or the rid list of one
@@ -388,7 +744,7 @@ pub(super) fn try_run(
         } => match table.index_on(attr) {
             Some(index) => Some(index.scan(range, *direction).map(|(_, rid)| rid).collect()),
             None => {
-                return Some(Err(EngineError::exec(format!(
+                return Ran(Err(EngineError::exec(format!(
                     "no index on attribute {attr} (planner bug)"
                 ))))
             }
@@ -407,60 +763,94 @@ pub(super) fn try_run(
     if opts.workers <= 1 || ranges.len() < 2 {
         // Not enough work (or threads) to parallelize. A compiled
         // pipeline still runs vectorized, single-threaded over the whole
-        // domain; otherwise a single morsel gains nothing over serial.
-        let vp = vp?;
-        return Some(run_sequential(
-            table,
-            rids.as_deref(),
-            domain,
-            &pp,
-            &vp,
-            batch_rows,
-            compile_time,
-        ));
+        // domain (with the limit stopping the scan early); otherwise a
+        // single morsel gains nothing over serial.
+        return match vp {
+            Some(vp) => Ran(run_sequential(
+                table,
+                rids.as_deref(),
+                domain,
+                &pp,
+                &vp,
+                rt.as_ref(),
+                batch_rows,
+                compile_time,
+            )),
+            None => Fallback(row_fallback.unwrap_or("disabled")),
+        };
     }
 
+    let early = pp.early_exit_limit();
+    let gate = early.map(|n| LimitGate::new(n, ranges.len()));
     let workers = opts.workers.min(ranges.len());
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, Duration, Result<MorselOut>)>> =
+    type MorselResult = Result<(MorselOut, usize)>;
+    let results: Mutex<Vec<(usize, Duration, MorselResult)>> =
         Mutex::new(Vec::with_capacity(ranges.len()));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
+                if gate.as_ref().is_some_and(LimitGate::is_done) {
+                    break;
+                }
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(lo, hi)) = ranges.get(i) else {
                     break;
                 };
                 let started = Instant::now();
-                let out = run_morsel(table, rids.as_deref(), lo, hi, &pp, vp.as_ref(), batch_rows);
+                let out = run_morsel(
+                    table,
+                    rids.as_deref(),
+                    lo,
+                    hi,
+                    &pp,
+                    vp.as_ref(),
+                    rt.as_ref(),
+                    early,
+                    batch_rows,
+                    gate.as_ref().map(|g| &g.done),
+                );
+                if let Some(g) = &gate {
+                    match &out {
+                        Ok((MorselOut::Limited { rows, err }, _)) => g.record(
+                            i,
+                            if err.is_some() {
+                                usize::MAX
+                            } else {
+                                rows.len()
+                            },
+                        ),
+                        Ok(_) => {}
+                        Err(_) => g.record(i, usize::MAX),
+                    }
+                }
                 results.lock().push((i, started.elapsed(), out));
             });
         }
     });
     let mut per_morsel = std::mem::take(&mut *results.lock());
+    // Claims come off a sequential counter, so the completed morsels are a
+    // contiguous prefix of the domain (shorter than `ranges` when the
+    // limit gate stopped the scan).
     per_morsel.sort_by_key(|(i, _, _)| *i);
 
     let mut morsel_times = Vec::with_capacity(per_morsel.len());
     let mut parts = Vec::with_capacity(per_morsel.len());
+    let mut batches = 0usize;
     for (_, elapsed, out) in per_morsel {
         morsel_times.push(elapsed);
         match out {
-            Ok(part) => parts.push(part),
+            Ok((part, b)) => {
+                parts.push(part);
+                batches += b;
+            }
             // First error in morsel order, so failures are deterministic.
-            Err(e) => return Some(Err(e)),
+            Err(e) => return Ran(Err(e)),
         }
     }
 
     let vectorized = vp.is_some();
-    let batches = if vectorized {
-        ranges
-            .iter()
-            .map(|(lo, hi)| (hi - lo).div_ceil(batch_rows))
-            .sum()
-    } else {
-        0
-    };
-    Some(merge(parts, &pp).map(|rows| {
+    Ran(merge(parts, &pp).map(|rows| {
         (
             rows,
             ExecReport {
@@ -470,51 +860,62 @@ pub(super) fn try_run(
                 batches,
                 batch_rows: if vectorized { batch_rows } else { 0 },
                 compile_time,
+                fallback: row_fallback,
             },
         )
     }))
 }
 
 /// Single-threaded vectorized execution over the whole scan domain: one
-/// sink, run in the terminal's *original* aggregate mode (no partial
-/// round-trip), so the output is the serial path's, batch-produced.
+/// sink, run in the terminal's own aggregate mode, so the output is the
+/// serial path's, batch-produced. An early-exit limit stops the batch
+/// loop as soon as the sink is satisfied.
+#[allow(clippy::too_many_arguments)]
 fn run_sequential(
     table: &Table,
     rids: Option<&[RecordId]>,
     domain: usize,
     pp: &ParallelPlan<'_>,
     vp: &vector::VecPipeline,
+    rt: Option<&vector::JoinRuntime<'_>>,
     batch_rows: usize,
     compile_time: Duration,
 ) -> Result<(Vec<Value>, ExecReport)> {
-    let mode = match &pp.terminal {
-        Terminal::Aggregate { mode, .. } => *mode,
-        _ => AggMode::Complete, // unused
+    let mut sink = MorselSink::new(&pp.terminal, pp.early_exit_limit());
+    let batches = vector::run_range(table, rids, 0, domain, vp, rt, batch_rows, &mut sink, None)?;
+    let rows = match sink {
+        MorselSink::Collect { rows, err, .. } => {
+            // A recorded error implies the limit never filled (the sink
+            // stops at whichever comes first), so it fires.
+            if let Some(e) = err {
+                return Err(e);
+            }
+            rows
+        }
+        MorselSink::Aggregate(state) => state.finish(),
+        MorselSink::Sort {
+            topk, mut keyed, ..
+        } => {
+            // One whole-domain "chunk": the stable sort + top-k truncation
+            // *is* the serial sort here.
+            keyed.sort_by(|(a, _), (b, _)| a.cmp(b));
+            if let Some(k) = topk {
+                keyed.truncate(k as usize);
+            }
+            keyed.into_iter().map(|(_, row)| row).collect()
+        }
     };
-    let mut sink = MorselSink::with_agg_mode(&pp.terminal, mode);
-    vector::run_range(table, rids, 0, domain, vp, batch_rows, &mut sink)?;
-    // One whole-domain "chunk": the sort sink's stable sort + top-k
-    // truncation *is* the serial sort here, and collect outputs are
-    // already in scan order.
-    let mut rows = match sink.finish() {
-        MorselOut::Rows(rows) => rows,
-        MorselOut::Keyed(keyed) => keyed.into_iter().map(|(_, row)| row).collect(),
-    };
-    for spec in pp.post.iter().rev() {
-        rows = rows
-            .into_iter()
-            .map(|r| project_row(spec, &r))
-            .collect::<Result<Vec<Value>>>()?;
-    }
+    let rows = finalize_rows(rows, pp)?;
     Ok((
         rows,
         ExecReport {
             parallelism: 1,
             morsel_times: Vec::new(),
             vectorized: true,
-            batches: domain.div_ceil(batch_rows),
+            batches,
             batch_rows,
             compile_time,
+            fallback: None,
         },
     ))
 }
@@ -525,7 +926,15 @@ fn run_sequential(
 /// like the serial path) run ~2-3x faster than morsels that materialize
 /// their input first.
 pub(super) enum MorselSink<'p> {
-    Collect(Vec<Value>),
+    Collect {
+        rows: Vec<Value>,
+        /// Early-exit limit; `None` collects everything.
+        limit: Option<usize>,
+        /// First error under an early-exit limit (recorded, not raised:
+        /// whether it fires depends on how many rows precede it
+        /// globally).
+        err: Option<EngineError>,
+    },
     Aggregate(AggState<'p>),
     Sort {
         keys: &'p [(Scalar, bool)],
@@ -535,24 +944,54 @@ pub(super) enum MorselSink<'p> {
 }
 
 impl<'p> MorselSink<'p> {
-    fn new(terminal: &Terminal<'p>) -> MorselSink<'p> {
-        MorselSink::with_agg_mode(terminal, AggMode::Partial)
-    }
-
-    /// Like [`MorselSink::new`], but aggregating in `agg_mode` — the
-    /// single-sink sequential vectorized path runs the terminal's
-    /// original mode directly instead of the partial/merge round-trip.
-    pub(super) fn with_agg_mode(terminal: &Terminal<'p>, agg_mode: AggMode) -> MorselSink<'p> {
+    fn new(terminal: &Terminal<'p>, limit: Option<usize>) -> MorselSink<'p> {
         match terminal {
-            Terminal::Collect => MorselSink::Collect(Vec::new()),
-            Terminal::Aggregate { group_by, aggs, .. } => {
-                MorselSink::Aggregate(AggState::new(group_by, aggs, agg_mode))
-            }
+            Terminal::Collect => MorselSink::Collect {
+                rows: Vec::new(),
+                limit,
+                err: None,
+            },
+            Terminal::Aggregate {
+                group_by,
+                aggs,
+                mode,
+            } => MorselSink::Aggregate(AggState::new(group_by, aggs, *mode)),
             Terminal::Sort { keys, topk } => MorselSink::Sort {
                 keys,
                 topk: *topk,
                 keyed: Vec::new(),
             },
+        }
+    }
+
+    /// The early-exit limit, when this sink runs under one.
+    pub(super) fn limit(&self) -> Option<usize> {
+        match self {
+            MorselSink::Collect { limit, .. } => *limit,
+            _ => None,
+        }
+    }
+
+    /// True once an early-exit limit needs no further input: enough rows
+    /// collected, or an error recorded (which settles this morsel's
+    /// contribution either way).
+    pub(super) fn satisfied(&self) -> bool {
+        match self {
+            MorselSink::Collect {
+                rows,
+                limit: Some(n),
+                err,
+            } => err.is_some() || rows.len() >= *n,
+            _ => false,
+        }
+    }
+
+    /// Record the first error under an early-exit limit.
+    pub(super) fn record_err(&mut self, e: EngineError) {
+        if let MorselSink::Collect { err, .. } = self {
+            if err.is_none() {
+                *err = Some(e);
+            }
         }
     }
 
@@ -578,7 +1017,7 @@ impl<'p> MorselSink<'p> {
 
     pub(super) fn push(&mut self, row: Value) -> Result<()> {
         match self {
-            MorselSink::Collect(rows) => rows.push(row),
+            MorselSink::Collect { rows, .. } => rows.push(row),
             MorselSink::Aggregate(state) => state.push(&row)?,
             MorselSink::Sort { keys, keyed, .. } => {
                 let key = sort_keys(keys, &row)?;
@@ -590,8 +1029,13 @@ impl<'p> MorselSink<'p> {
 
     pub(super) fn finish(self) -> MorselOut {
         match self {
-            MorselSink::Collect(rows) => MorselOut::Rows(rows),
-            MorselSink::Aggregate(state) => MorselOut::Rows(state.finish()),
+            MorselSink::Collect {
+                rows,
+                limit: Some(_),
+                err,
+            } => MorselOut::Limited { rows, err },
+            MorselSink::Collect { rows, .. } => MorselOut::Rows(rows),
+            MorselSink::Aggregate(state) => MorselOut::Agg(state.into_parts()),
             MorselSink::Sort {
                 topk, mut keyed, ..
             } => {
@@ -609,7 +1053,9 @@ impl<'p> MorselSink<'p> {
 }
 
 /// Scan one morsel, apply the row-local ops, and stream each surviving row
-/// into the per-morsel part of the terminal.
+/// into the per-morsel part of the terminal. Returns the morsel output and
+/// the number of column batches actually processed.
+#[allow(clippy::too_many_arguments)]
 fn run_morsel(
     table: &Table,
     rids: Option<&[RecordId]>,
@@ -617,12 +1063,15 @@ fn run_morsel(
     hi: usize,
     pp: &ParallelPlan<'_>,
     vp: Option<&vector::VecPipeline>,
+    rt: Option<&vector::JoinRuntime<'_>>,
+    limit: Option<usize>,
     batch_rows: usize,
-) -> Result<MorselOut> {
-    let mut sink = MorselSink::new(&pp.terminal);
+    stop: Option<&AtomicBool>,
+) -> Result<(MorselOut, usize)> {
+    let mut sink = MorselSink::new(&pp.terminal, limit);
     if let Some(vp) = vp {
-        vector::run_range(table, rids, lo, hi, vp, batch_rows, &mut sink)?;
-        return Ok(sink.finish());
+        let batches = vector::run_range(table, rids, lo, hi, vp, rt, batch_rows, &mut sink, stop)?;
+        return Ok((sink.finish(), batches));
     }
     match rids {
         None => {
@@ -643,7 +1092,7 @@ fn run_morsel(
             }
         }
     }
-    Ok(sink.finish())
+    Ok((sink.finish(), 0))
 }
 
 /// Apply filters/projections to one row; `None` means filtered out.
@@ -677,7 +1126,33 @@ fn sort_keys(keys: &[(Scalar, bool)], row: &Value) -> Result<Vec<SortKey>> {
 
 /// Merge per-morsel outputs (in morsel order) into the final row set.
 fn merge(parts: Vec<MorselOut>, pp: &ParallelPlan<'_>) -> Result<Vec<Value>> {
-    let mut rows = match &pp.terminal {
+    if let Some(n) = pp.early_exit_limit() {
+        // Replay the serial `take(n)`: rows in morsel (= scan) order until
+        // the limit fills; a morsel's recorded error fires only if it is
+        // reached first. Morsels past the determining prefix may hold
+        // partial (aborted) output, but the walk never reaches them.
+        let mut out = Vec::new();
+        for part in parts {
+            let MorselOut::Limited { rows, err } = part else {
+                continue;
+            };
+            for row in rows {
+                if out.len() >= n {
+                    return Ok(out);
+                }
+                out.push(row);
+            }
+            if out.len() >= n {
+                break;
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        out.truncate(n);
+        return Ok(out);
+    }
+    let rows = match &pp.terminal {
         Terminal::Collect => {
             let mut out = Vec::new();
             for part in parts {
@@ -692,20 +1167,23 @@ fn merge(parts: Vec<MorselOut>, pp: &ParallelPlan<'_>) -> Result<Vec<Value>> {
             aggs,
             mode,
         } => {
-            let mut partials = Vec::new();
+            // Fold every morsel's accumulator states into one state in the
+            // terminal's own mode — the columnar-side final-aggregate
+            // merge (no partial-row round trip).
+            let mut state = AggState::new(group_by, aggs, *mode);
             for part in parts {
-                if let MorselOut::Rows(r) = part {
-                    partials.extend(r);
+                if let MorselOut::Agg(p) = part {
+                    state.absorb(p);
                 }
             }
-            merge_partials(partials, group_by, aggs, *mode)?
+            state.finish()
         }
         Terminal::Sort { topk, .. } => {
             let chunks: Vec<Vec<(Vec<SortKey>, Value)>> = parts
                 .into_iter()
                 .map(|p| match p {
                     MorselOut::Keyed(c) => c,
-                    MorselOut::Rows(_) => Vec::new(),
+                    _ => Vec::new(),
                 })
                 .collect();
             let mut merged = kway_merge(chunks);
@@ -715,82 +1193,33 @@ fn merge(parts: Vec<MorselOut>, pp: &ParallelPlan<'_>) -> Result<Vec<Value>> {
             merged
         }
     };
-    // Re-apply the peeled post-terminal projections, innermost first.
+    finalize_rows(rows, pp)
+}
+
+/// Re-apply the peeled post-terminal operators: projections (innermost
+/// first), DISTINCT, then the limit. A limit without DISTINCT truncates
+/// *before* projecting — the row path's lazy `take(n)` never projects
+/// (or errors on) rows past the limit, and projections are 1:1.
+fn finalize_rows(mut rows: Vec<Value>, pp: &ParallelPlan<'_>) -> Result<Vec<Value>> {
+    if !pp.distinct {
+        if let Some(n) = pp.limit {
+            rows.truncate(n);
+        }
+    }
     for spec in pp.post.iter().rev() {
         rows = rows
             .into_iter()
             .map(|r| project_row(spec, &r))
             .collect::<Result<Vec<Value>>>()?;
     }
+    if pp.distinct {
+        let mut set = DistinctSet::new();
+        rows.retain(|r| set.insert(r));
+        if let Some(n) = pp.limit {
+            rows.truncate(n);
+        }
+    }
     Ok(rows)
-}
-
-/// Merge per-morsel partial-aggregate rows.
-///
-/// For an originally-`Complete` aggregate this is exactly the cluster
-/// coordinator's combiner (`Final` mode over the partial rows). For an
-/// originally-`Partial` aggregate (this engine is itself a shard) the
-/// merged state is re-serialized with `to_partial` so the coordinator
-/// upstream sees one partial row per group, as the serial path emits.
-fn merge_partials(
-    partials: Vec<Value>,
-    group_by: &[(String, Scalar)],
-    aggs: &[AggExpr],
-    original: AggMode,
-) -> Result<Vec<Value>> {
-    if original == AggMode::Complete {
-        let names: Vec<(String, Scalar)> = group_by
-            .iter()
-            .map(|(name, _)| (name.clone(), Scalar::Field(name.clone())))
-            .collect();
-        return aggregate_rows(partials, &names, aggs, AggMode::Final);
-    }
-
-    let fresh = || -> Vec<Accumulator> { aggs.iter().map(|a| Accumulator::new(a.func)).collect() };
-    let mut groups: BTreeMap<Vec<OrdValue>, Vec<Accumulator>> = BTreeMap::new();
-    let mut scalar_accs = fresh();
-    let mut saw_any = false;
-    for row in partials {
-        saw_any = true;
-        let accs = if group_by.is_empty() {
-            &mut scalar_accs
-        } else {
-            let key = group_by
-                .iter()
-                .map(|(name, _)| OrdValue(row.get_path(name)))
-                .collect();
-            groups.entry(key).or_insert_with(fresh)
-        };
-        for (agg, acc) in aggs.iter().zip(accs.iter_mut()) {
-            acc.merge_partial(&row.get_path(&agg.name))?;
-        }
-    }
-
-    let emit = |key: Option<&[OrdValue]>, accs: &[Accumulator]| -> Value {
-        let mut rec = Record::with_capacity(group_by.len() + aggs.len());
-        if let Some(key) = key {
-            for ((name, _), k) in group_by.iter().zip(key.iter()) {
-                rec.insert(name.clone(), k.0.clone());
-            }
-        }
-        for (agg, acc) in aggs.iter().zip(accs.iter()) {
-            rec.insert(agg.name.clone(), acc.to_partial());
-        }
-        Value::Obj(rec)
-    };
-
-    if group_by.is_empty() {
-        // Match the serial Partial-on-empty convention: emit nothing.
-        if !saw_any {
-            return Ok(vec![]);
-        }
-        Ok(vec![emit(None, &scalar_accs)])
-    } else {
-        Ok(groups
-            .iter()
-            .map(|(key, accs)| emit(Some(key), accs))
-            .collect())
-    }
 }
 
 /// K-way merge of sorted chunks. The heap key is `(sort key, chunk index)`
@@ -904,5 +1333,30 @@ mod tests {
             .collect();
         // Equal keys keep chunk order (chunk 0 before chunk 1).
         assert_eq!(names, ["c0-k1", "c1-k1", "c1-k2", "c0-k3"]);
+    }
+
+    #[test]
+    fn limit_gate_waits_for_the_prefix() {
+        let gate = LimitGate::new(5, 4);
+        assert!(!gate.is_done());
+        // Morsel 2 alone satisfies the count, but morsels 0/1 are still
+        // open — an earlier error could change the outcome.
+        gate.record(2, 7);
+        assert!(!gate.is_done());
+        gate.record(0, 1);
+        assert!(!gate.is_done());
+        // Prefix complete: 1 + 0 + 7 >= 5.
+        gate.record(1, 0);
+        assert!(gate.is_done());
+    }
+
+    #[test]
+    fn limit_gate_errors_and_zero() {
+        // An error inside the contiguous prefix settles the outcome.
+        let gate = LimitGate::new(100, 3);
+        gate.record(0, usize::MAX);
+        assert!(gate.is_done());
+        // LIMIT 0 needs nothing.
+        assert!(LimitGate::new(0, 3).is_done());
     }
 }

@@ -2,14 +2,21 @@
 //! morsels.
 //!
 //! The morsel scheduler in [`super::parallel`] decomposes a plan into a
-//! scan leaf, a chain of row-local operators and one blocking terminal.
-//! This module adds a second way to run that decomposition: instead of
-//! cloning every scanned record into a [`Value`] and walking the `Scalar`
-//! tree per row, a morsel is cut into [`ColumnBatch`]es (typed column
-//! vectors + per-lane presence tags, dictionary-encoded strings), and each
-//! `Scalar` tree is flattened once per query into an [`ExprProgram`] — a
-//! linear register program whose instructions run over a whole selection
-//! vector at a time.
+//! scan leaf, at most one join, a chain of row-local operators and one
+//! blocking terminal. This module adds a second way to run that
+//! decomposition: instead of cloning every scanned record into a [`Value`]
+//! and walking the `Scalar` tree per row, a morsel is cut into
+//! [`ColumnBatch`]es (typed column vectors + per-lane presence tags,
+//! dictionary-encoded strings), and each `Scalar` tree is flattened once
+//! per query into an [`ExprProgram`] — a linear register program whose
+//! instructions run over a whole selection vector at a time.
+//!
+//! A join splits the batch into two coordinate spaces. Before the join,
+//! programs index *lanes* (positions in the scanned batch). The join
+//! probes its build table per lane and emits join *events* — one per
+//! (probe row, build row) match, in the row path's emission order — and
+//! everything downstream (filters, projections, the terminal) runs in
+//! event space, reading the join's materialized output columns.
 //!
 //! Byte-identity with the row path is the contract, enforced three ways:
 //!
@@ -17,34 +24,41 @@
 //!   evaluator (`eval_binop` / `eval_unop` / `eval_func` / `eval_is`), so
 //!   a batch kernel can never disagree with `eval()` on a value. The fast
 //!   kernels (integer compare/arithmetic, dictionary-memoized string
-//!   compare, presence-tag `IS NULL`/`IS MISSING`) are only taken where
-//!   they are provably equivalent.
-//! * Errors are *poisoned per lane* instead of raised mid-batch: each lane
-//!   records the first error it hits in program order, poisoned lanes are
-//!   skipped by later instructions, and the batch reports the error of the
-//!   lowest poisoned lane — exactly the row the serial scan would have
-//!   failed on.
-//! * Anything the compiler cannot express (join-scoped references,
-//!   `SELECT VALUE` feeding another operator, `MergeStars`) makes
-//!   [`compile`] return `None` and the caller falls back to the row path —
-//!   the same whitelist discipline `parallel::analyze` applies to plans.
+//!   compare, presence-tag `IS NULL`/`IS MISSING`, the fused
+//!   filter+project pass, dictionary-code join probes) are only taken
+//!   where they are provably equivalent.
+//! * Errors are *poisoned per lane* (or per event) instead of raised
+//!   mid-batch: each lane records the first error it hits in program
+//!   order, poisoned lanes are skipped by later instructions, and the
+//!   batch reports the error of the lowest poisoned lane — exactly the
+//!   row the serial scan would have failed on. Under an early-exit
+//!   `LIMIT` the batch instead replays rows and errors in lane order into
+//!   the sink, which stops at whichever settles the limit first.
+//! * Anything the compiler cannot express makes [`compile`] return the
+//!   fallback cause and the caller falls back to the row path — the same
+//!   whitelist discipline `parallel::analyze` applies to plans.
 
 use super::aggregate::OrdValue;
-use super::eval::{eval_binop, eval_func, eval_is, eval_unop, truthy};
-use super::parallel::{MorselOp, MorselSink, ParallelPlan, SortKey, Terminal};
+use super::eval::{eval_binop, eval_func, eval_is, eval_unop, make_record, truthy};
+use super::join::ValueHashTable;
+use super::parallel::{JoinVariantSpec, MorselOp, MorselSink, ParallelPlan, SortKey, Terminal};
 use crate::ast::{BinOp, IsKind, UnaryOp};
 use crate::error::{EngineError, Result};
-use crate::plan::logical::{AggArg, ProjectSpec, Scalar, ScalarFunc};
+use crate::plan::logical::{AggArg, AggMode, ProjectSpec, Scalar, ScalarFunc};
 use polyframe_datamodel::{Record, Value};
-use polyframe_storage::{Column, ColumnBatch, Presence, RecordId, Table};
+use polyframe_storage::{Column, ColumnBatch, Index, Presence, RecordId, Table};
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Compile-time result: `Err` is the fallback cause reported in the trace.
+type CompileResult<T> = std::result::Result<T, &'static str>;
 
 /// Where an instruction operand comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Src {
-    /// A scan column (`scan_fields[i]`) or, after a projection stage, a
-    /// derived column of the current environment.
+    /// A scan column (`scan_fields[i]`) or, after a projection stage or a
+    /// join, a derived column of the current environment.
     Col(usize),
     /// A literal from the program's literal pool.
     Lit(usize),
@@ -62,6 +76,9 @@ enum Instr {
     /// the row evaluator's convention.
     Call(ScalarFunc, Vec<Src>),
     Is(Src, IsKind, bool),
+    /// `operand.get_path(field)` — field navigation into a row-valued
+    /// column (join output rows). Never errors.
+    Path(Src, String),
 }
 
 /// A `Scalar` tree flattened into a linear register program.
@@ -79,6 +96,13 @@ enum VecStage {
     /// final projection, in [`RowEmit::Derived`]); the stage itself only
     /// needs the programs.
     Project(Vec<ExprProgram>),
+    /// A filter immediately followed by a projection, fused into one
+    /// select-and-gather pass over the batch (no intermediate selection
+    /// materialization when the typed fast path applies).
+    Fused {
+        pred: ExprProgram,
+        progs: Vec<ExprProgram>,
+    },
 }
 
 /// How surviving lanes turn back into result rows.
@@ -87,6 +111,8 @@ enum RowEmit {
     Scanned,
     /// The last projection's derived columns, zipped with their names.
     Derived(Vec<String>),
+    /// The row *is* derived column `i` (join pair / merged-star output).
+    Col(usize),
     /// `SELECT VALUE expr`: the row *is* the program's result.
     Value(ExprProgram),
 }
@@ -98,17 +124,140 @@ enum VecTerminal {
         emit: RowEmit,
         keys: Vec<(ExprProgram, bool)>,
     },
-    /// `args[i] == None` is `COUNT(*)`.
+    /// `args[i] == None` is `COUNT(*)`. In `Final` aggregate mode every
+    /// argument program fetches the serialized partial state
+    /// (`Field(agg.name)`) instead of the original argument expression.
     Agg {
         keys: Vec<ExprProgram>,
         args: Vec<Option<ExprProgram>>,
     },
 }
 
+/// One output column the join materializes per emitted event.
+#[derive(Debug, Clone, PartialEq)]
+enum JoinCol {
+    /// A field of the probe record, read straight from scan column `i`.
+    ProbeField(usize),
+    /// The whole probe record as a row value.
+    ProbeRow,
+    /// The matched build row (or `Null` on a left-join miss).
+    BuildRow,
+    /// A field of the build row.
+    BuildField(String),
+    /// `MergeStars([probe, build])`: probe fields overlaid with build
+    /// fields, exactly like `project_row`.
+    Merged,
+    /// One field of the merged record, resolved lazily: the build row's
+    /// value when it has the field, the probe's scan column otherwise —
+    /// the overlay semantics of `Merged` without materializing the full
+    /// record per event.
+    MergedField { field: String, probe_col: usize },
+    /// The join pair record `{probe_binding: probe, build_binding: build}`
+    /// — the row the row-path join emits.
+    Pair,
+}
+
+/// The compiled join step: key program over probe lanes, plus the output
+/// columns downstream programs read.
+struct VecJoin {
+    key: ExprProgram,
+    cols: Vec<JoinCol>,
+    /// Left outer join: a probe lane with no match emits one event with a
+    /// `Null` build row.
+    left: bool,
+    /// The pipeline passed through `MergeStars`: every event must have a
+    /// mergeable build side (record or unknown), even when no program
+    /// materializes the merged record itself.
+    merged: bool,
+    probe_binding: String,
+    build_binding: String,
+}
+
+/// The materialized non-probe side of a join, built once per query by the
+/// coordinator (`parallel::build_join_runtime`).
+pub(super) enum JoinRuntime<'q> {
+    /// Hash join: build rows keyed by the build key expression, in the row
+    /// path's per-key insertion order.
+    Hash {
+        table: ValueHashTable,
+        rows: BuildRows<'q>,
+    },
+    /// Index nested-loop join: the inner table and the index probed per
+    /// outer row.
+    IndexNl { table: &'q Table, index: &'q Index },
+}
+
+/// Hash-join build rows: owned values when the build side runs an
+/// arbitrary pipeline, zero-copy heap references when it is a bare scan
+/// (the dominant case — a whole-table build otherwise clones every
+/// record just to park it in the join table).
+pub(super) enum BuildRows<'q> {
+    Owned(Vec<Value>),
+    Records(Vec<&'q Record>),
+}
+
+impl BuildRows<'_> {
+    fn get(&self, i: u32) -> BuildRef<'_> {
+        match self {
+            BuildRows::Owned(v) => BuildRef::Val(&v[i as usize]),
+            BuildRows::Records(r) => BuildRef::Rec(r[i as usize]),
+        }
+    }
+}
+
+/// One build row as seen by event emission: a value, or a record still
+/// living in the dataset heap.
+#[derive(Clone, Copy)]
+enum BuildRef<'a> {
+    Val(&'a Value),
+    Rec(&'a Record),
+}
+
+impl<'a> BuildRef<'a> {
+    /// The build binding's value for the output pair / whole-binding
+    /// reads. The record arm materializes here — and only here.
+    fn to_value(self) -> Value {
+        match self {
+            BuildRef::Val(v) => v.clone(),
+            BuildRef::Rec(r) => Value::Obj(r.clone()),
+        }
+    }
+
+    /// `build.get_path(f)` (single-segment field lookup, `Missing` when
+    /// absent or non-record), with a layout hint for same-table rows.
+    fn field(self, f: &str, hint: &mut usize) -> Option<&'a Value> {
+        match self {
+            BuildRef::Val(Value::Obj(r)) => r.get_hinted(f, hint),
+            BuildRef::Val(_) => None,
+            BuildRef::Rec(r) => r.get_hinted(f, hint),
+        }
+    }
+
+    /// True when `MergeStars` would reject this build side (any value
+    /// that is neither a record nor `Null`/`Missing`).
+    fn unmergeable(self) -> bool {
+        match self {
+            BuildRef::Val(v) => !matches!(v, Value::Obj(_) | Value::Null | Value::Missing),
+            BuildRef::Rec(_) => false,
+        }
+    }
+
+    fn type_name(self) -> &'static str {
+        match self {
+            BuildRef::Val(v) => v.type_name(),
+            BuildRef::Rec(_) => "object",
+        }
+    }
+}
+
 /// A fully compiled vectorized pipeline: which scan fields to transpose
-/// into columns, the stage programs, and the terminal.
+/// into columns, probe-side filters, the join, the post-join stages and
+/// the terminal.
 pub(super) struct VecPipeline {
     scan_fields: Vec<String>,
+    /// Probe-side filters (lane space, before the join).
+    pre_stages: Vec<VecStage>,
+    join: Option<VecJoin>,
     stages: Vec<VecStage>,
     terminal: VecTerminal,
 }
@@ -117,39 +266,156 @@ pub(super) struct VecPipeline {
 // Compilation
 // ---------------------------------------------------------------------------
 
-/// The column environment a program compiles against: the physical scan
-/// columns until the first projection, that projection's output columns
-/// after.
+/// The column environment a program compiles against.
+enum Env {
+    /// Physical scan columns (`scan_fields`).
+    Scan,
+    /// The output columns of the last projection stage.
+    Derived(Vec<String>),
+    /// Join output: references resolve against the two bindings and
+    /// materialize as join output columns.
+    Join { probe: String, build: String },
+    /// After `MergeStars`: the row is the merged probe+build record, but
+    /// field references resolve lazily through [`JoinCol::MergedField`]
+    /// so the record itself only materializes when something needs it
+    /// whole.
+    Merged,
+}
+
 struct Compiler {
     scan_fields: Vec<String>,
-    derived: Option<Vec<String>>,
+    env: Env,
+    join_cols: Vec<JoinCol>,
 }
 
 impl Compiler {
-    fn resolve(&mut self, field: &str, lits: &mut Vec<Value>) -> Src {
-        match &self.derived {
-            // Duplicate output names resolve to the *last* occurrence —
-            // record insertion overwrites, so that is the value a field
-            // lookup on the projected row would see.
-            Some(names) => match names.iter().rposition(|n| n == field) {
-                Some(i) => Src::Col(i),
-                None => push_lit(lits, Value::Missing),
-            },
-            None => Src::Col(match self.scan_fields.iter().position(|n| n == field) {
-                Some(i) => i,
-                None => {
-                    self.scan_fields.push(field.to_string());
-                    self.scan_fields.len() - 1
-                }
-            }),
+    fn scan() -> Compiler {
+        Compiler {
+            scan_fields: Vec::new(),
+            env: Env::Scan,
+            join_cols: Vec::new(),
         }
     }
 
-    fn compile_expr(&mut self, scalar: &Scalar) -> Option<ExprProgram> {
+    /// Index of scan column `field`, registering it on first use.
+    fn scan_col(&mut self, field: &str) -> usize {
+        match self.scan_fields.iter().position(|n| n == field) {
+            Some(i) => i,
+            None => {
+                self.scan_fields.push(field.to_string());
+                self.scan_fields.len() - 1
+            }
+        }
+    }
+
+    /// Index of join output column `col`, registering it on first use.
+    fn join_col(&mut self, col: JoinCol) -> usize {
+        match self.join_cols.iter().position(|c| *c == col) {
+            Some(i) => i,
+            None => {
+                self.join_cols.push(col);
+                self.join_cols.len() - 1
+            }
+        }
+    }
+
+    /// Which join side `name` references (`true` = probe); only meaningful
+    /// in the join environment.
+    fn join_side(&self, name: &str) -> Option<bool> {
+        match &self.env {
+            Env::Join { probe, build } => {
+                if name == probe.as_str() {
+                    Some(true)
+                } else if name == build.as_str() {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// `Field(f)` / `BindingRef(f)` — both evaluate as `row.get_path(f)`.
+    fn field_src(&mut self, f: &str, lits: &mut Vec<Value>) -> CompileResult<Src> {
+        match &self.env {
+            Env::Scan => {}
+            // Duplicate output names resolve to the *last* occurrence —
+            // record insertion overwrites, so that is the value a field
+            // lookup on the projected row would see.
+            Env::Derived(names) => {
+                return Ok(match names.iter().rposition(|n| n == f) {
+                    Some(i) => Src::Col(i),
+                    None => push_lit(lits, Value::Missing),
+                })
+            }
+            // A field of the merged record is the build row's value when
+            // the build has it, the probe's otherwise — resolved per
+            // event without materializing the whole record.
+            Env::Merged => {
+                let probe_col = self.scan_col(f);
+                return Ok(Src::Col(self.join_col(JoinCol::MergedField {
+                    field: f.to_string(),
+                    probe_col,
+                })));
+            }
+            // A join row is `{probe: .., build: ..}`: a field lookup hits
+            // one of the two bindings or Missing.
+            Env::Join { .. } => {
+                return Ok(match self.join_side(f) {
+                    Some(true) => Src::Col(self.join_col(JoinCol::ProbeRow)),
+                    Some(false) => Src::Col(self.join_col(JoinCol::BuildRow)),
+                    None => push_lit(lits, Value::Missing),
+                })
+            }
+        }
+        Ok(Src::Col(self.scan_col(f)))
+    }
+
+    /// `FieldOf(b, f)` — `row.get_path(b).get_path(f)`.
+    fn field_of_src(
+        &mut self,
+        b: &str,
+        f: &str,
+        instrs: &mut Vec<Instr>,
+        lits: &mut Vec<Value>,
+    ) -> CompileResult<Src> {
+        if matches!(self.env, Env::Merged) {
+            // `merged.get_path(b).get_path(f)`: the binding lookup is a
+            // lazy merged field, the inner navigation a Path instruction.
+            let base = self.field_src(b, lits)?;
+            instrs.push(Instr::Path(base, f.to_string()));
+            return Ok(Src::Reg(instrs.len() - 1));
+        }
+        if matches!(self.env, Env::Join { .. }) {
+            return Ok(match self.join_side(b) {
+                // Probe rows are scanned records, so a probe field *is* a
+                // scan column — no record materialization at all.
+                Some(true) => {
+                    let ci = self.scan_col(f);
+                    Src::Col(self.join_col(JoinCol::ProbeField(ci)))
+                }
+                Some(false) => Src::Col(self.join_col(JoinCol::BuildField(f.to_string()))),
+                None => push_lit(lits, Value::Missing),
+            });
+        }
+        Err("expr")
+    }
+
+    /// `Input` — the whole current row.
+    fn input_src(&mut self) -> CompileResult<Src> {
+        match self.env {
+            Env::Join { .. } => Ok(Src::Col(self.join_col(JoinCol::Pair))),
+            Env::Merged => Ok(Src::Col(self.join_col(JoinCol::Merged))),
+            _ => Err("expr"),
+        }
+    }
+
+    fn compile_expr(&mut self, scalar: &Scalar) -> CompileResult<ExprProgram> {
         let mut instrs = Vec::new();
         let mut lits = Vec::new();
         let result = self.compile_into(scalar, &mut instrs, &mut lits)?;
-        Some(ExprProgram {
+        Ok(ExprProgram {
             instrs,
             lits,
             result,
@@ -165,9 +431,13 @@ impl Compiler {
         scalar: &Scalar,
         instrs: &mut Vec<Instr>,
         lits: &mut Vec<Value>,
-    ) -> Option<Src> {
-        Some(match scalar {
-            Scalar::Field(f) => self.resolve(f, lits),
+    ) -> CompileResult<Src> {
+        Ok(match scalar {
+            // `BindingRef(b)` evaluates exactly like `Field(b)` (both are
+            // `row.get_path`), so they share one resolution.
+            Scalar::Field(f) | Scalar::BindingRef(f) => self.field_src(f, lits)?,
+            Scalar::FieldOf(b, f) => self.field_of_src(b, f, instrs, lits)?,
+            Scalar::Input => self.input_src()?,
             Scalar::Lit(v) => push_lit(lits, v.clone()),
             Scalar::Un(op, a) => {
                 let a = self.compile_into(a, instrs, lits)?;
@@ -184,7 +454,7 @@ impl Compiler {
                 let srcs = args
                     .iter()
                     .map(|a| self.compile_into(a, instrs, lits))
-                    .collect::<Option<Vec<Src>>>()?;
+                    .collect::<CompileResult<Vec<Src>>>()?;
                 instrs.push(Instr::Call(*func, srcs));
                 Src::Reg(instrs.len() - 1)
             }
@@ -193,9 +463,6 @@ impl Compiler {
                 instrs.push(Instr::Is(a, *kind, *negated));
                 Src::Reg(instrs.len() - 1)
             }
-            // Whole-row and join-scoped references need the materialized
-            // record; those pipelines stay on the row path.
-            Scalar::Input | Scalar::FieldOf(..) | Scalar::BindingRef(_) => return None,
         })
     }
 }
@@ -205,20 +472,84 @@ fn push_lit(lits: &mut Vec<Value>, v: Value) -> Src {
     Src::Lit(lits.len() - 1)
 }
 
-/// Compile a parallel-safe plan decomposition into a vectorized pipeline,
-/// or `None` for the row-path fallback.
-pub(super) fn compile(pp: &ParallelPlan<'_>) -> Option<VecPipeline> {
-    let mut c = Compiler {
-        scan_fields: Vec::new(),
-        derived: None,
-    };
+/// How the pipeline's surviving rows materialize, given the final
+/// environment.
+fn row_emit(c: &mut Compiler, value_emit: Option<ExprProgram>) -> RowEmit {
+    if let Some(prog) = value_emit {
+        return RowEmit::Value(prog);
+    }
+    match c.env {
+        Env::Join { .. } => {
+            let pi = c.join_col(JoinCol::Pair);
+            return RowEmit::Col(pi);
+        }
+        // Emitting the merged record itself is the one consumer that
+        // genuinely needs it materialized.
+        Env::Merged => {
+            let mi = c.join_col(JoinCol::Merged);
+            return RowEmit::Col(mi);
+        }
+        _ => {}
+    }
+    match &c.env {
+        Env::Scan => RowEmit::Scanned,
+        Env::Derived(names) => RowEmit::Derived(names.clone()),
+        Env::Join { .. } | Env::Merged => unreachable!("handled above"),
+    }
+}
+
+/// Peephole-fuse each filter with an immediately following projection into
+/// one [`VecStage::Fused`] pass.
+fn fuse_stages(stages: Vec<VecStage>) -> Vec<VecStage> {
+    let mut out: Vec<VecStage> = Vec::with_capacity(stages.len());
+    for stage in stages {
+        match stage {
+            VecStage::Project(progs) if matches!(out.last(), Some(VecStage::Filter(_))) => {
+                let Some(VecStage::Filter(pred)) = out.pop() else {
+                    unreachable!("just matched a filter");
+                };
+                out.push(VecStage::Fused { pred, progs });
+            }
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Compile a parallel-safe plan decomposition into a vectorized pipeline;
+/// `Err` carries the fallback cause for the trace.
+pub(super) fn compile(pp: &ParallelPlan<'_>) -> CompileResult<VecPipeline> {
+    let mut c = Compiler::scan();
+    let mut pre_stages = Vec::new();
+    let mut key_prog = None;
+    if let Some(spec) = &pp.join {
+        // Probe-side filters run in lane space, before the join; the key
+        // program compiles against the scan columns too.
+        for op in &spec.probe_ops {
+            match op {
+                MorselOp::Filter(pred) => pre_stages.push(VecStage::Filter(c.compile_expr(pred)?)),
+                // `probe_side` only admits filters; defensive.
+                MorselOp::Project(_) => return Err("join_probe"),
+            }
+        }
+        key_prog = Some(c.compile_expr(spec.probe_key)?);
+        c.env = Env::Join {
+            probe: spec.probe_binding.to_string(),
+            build: spec.build_binding.to_string(),
+        };
+    }
+
     let mut stages = Vec::new();
     let mut value_emit: Option<ExprProgram> = None;
+    // Latched when the pipeline passes through `MergeStars`: the row path
+    // errors there on any non-record build side, so every join event must
+    // check mergeability even if a later projection replaces the env.
+    let mut merged = false;
     for op in &pp.ops {
         if value_emit.is_some() {
             // Operators above a `SELECT VALUE` see scalar rows, not
             // records; the row path handles those.
-            return None;
+            return Err("select_value");
         }
         match op {
             MorselOp::Filter(pred) => stages.push(VecStage::Filter(c.compile_expr(pred)?)),
@@ -230,50 +561,86 @@ pub(super) fn compile(pp: &ParallelPlan<'_>) -> Option<VecPipeline> {
                     names.push(name.clone());
                 }
                 stages.push(VecStage::Project(progs));
-                c.derived = Some(names);
+                c.env = Env::Derived(names);
             }
             MorselOp::Project(ProjectSpec::Value(expr)) => value_emit = Some(c.compile_expr(expr)?),
-            MorselOp::Project(ProjectSpec::MergeStars(_)) => return None,
+            MorselOp::Project(ProjectSpec::MergeStars(bindings)) => {
+                // Supported exactly at the join: `SELECT l.*, r.*` over
+                // the pair. Field references downstream resolve lazily;
+                // the merged record only materializes if emitted whole.
+                let ok = match &c.env {
+                    Env::Join { probe, build } => {
+                        bindings.len() == 2 && bindings[0] == *probe && bindings[1] == *build
+                    }
+                    _ => false,
+                };
+                if !ok {
+                    return Err("merge_stars");
+                }
+                merged = true;
+                c.env = Env::Merged;
+            }
         }
     }
-    let emit = match (value_emit, &c.derived) {
-        (Some(prog), _) => RowEmit::Value(prog),
-        (None, Some(names)) => RowEmit::Derived(names.clone()),
-        (None, None) => RowEmit::Scanned,
-    };
+
     let terminal = match &pp.terminal {
-        Terminal::Collect => VecTerminal::Collect(emit),
+        Terminal::Collect => VecTerminal::Collect(row_emit(&mut c, value_emit)),
         Terminal::Sort { keys, .. } => {
-            if matches!(emit, RowEmit::Value(_)) {
-                return None;
+            if value_emit.is_some() {
+                return Err("select_value");
             }
+            let emit = row_emit(&mut c, None);
             let keys = keys
                 .iter()
                 .map(|(expr, desc)| c.compile_expr(expr).map(|p| (p, *desc)))
-                .collect::<Option<Vec<_>>>()?;
+                .collect::<CompileResult<Vec<_>>>()?;
             VecTerminal::Sort { emit, keys }
         }
-        Terminal::Aggregate { group_by, aggs, .. } => {
-            if matches!(emit, RowEmit::Value(_)) {
-                return None;
+        Terminal::Aggregate {
+            group_by,
+            aggs,
+            mode,
+        } => {
+            if value_emit.is_some() {
+                return Err("select_value");
             }
             let keys = group_by
                 .iter()
                 .map(|(_, expr)| c.compile_expr(expr))
-                .collect::<Option<Vec<_>>>()?;
-            let args = aggs
-                .iter()
-                .map(|agg| match &agg.arg {
-                    AggArg::Star => Some(None),
-                    AggArg::Expr(expr) => c.compile_expr(expr).map(Some),
-                })
-                .collect::<Option<Vec<_>>>()?;
+                .collect::<CompileResult<Vec<_>>>()?;
+            let mut args = Vec::with_capacity(aggs.len());
+            for agg in aggs.iter() {
+                args.push(match (*mode, &agg.arg) {
+                    // Final mode folds serialized partial states, fetched
+                    // by output name — even for `COUNT(*)`.
+                    (AggMode::Final, _) => {
+                        let partial = Scalar::Field(agg.name.clone());
+                        Some(c.compile_expr(&partial)?)
+                    }
+                    (_, AggArg::Star) => None,
+                    (_, AggArg::Expr(expr)) => Some(c.compile_expr(expr)?),
+                });
+            }
             VecTerminal::Agg { keys, args }
         }
     };
-    Some(VecPipeline {
+
+    let join = match (&pp.join, key_prog) {
+        (Some(spec), Some(key)) => Some(VecJoin {
+            key,
+            cols: std::mem::take(&mut c.join_cols),
+            left: matches!(spec.variant, JoinVariantSpec::Hash { left: true, .. }),
+            merged,
+            probe_binding: spec.probe_binding.to_string(),
+            build_binding: spec.build_binding.to_string(),
+        }),
+        _ => None,
+    };
+    Ok(VecPipeline {
         scan_fields: c.scan_fields,
-        stages,
+        pre_stages,
+        join,
+        stages: fuse_stages(stages),
         terminal,
     })
 }
@@ -286,7 +653,8 @@ pub(super) fn compile(pp: &ParallelPlan<'_>) -> Option<VecPipeline> {
 /// (programs run in stage order, instructions in program order, so
 /// `or_insert` preserves "first in serial evaluation order"), and the
 /// batch fails with the error of the *lowest* poisoned lane — the row the
-/// serial scan would have failed on.
+/// serial scan would have failed on. After a join the tracker is swapped
+/// into event space (see [`run_join`]).
 #[derive(Default)]
 struct ErrTracker {
     /// lane -> (terminal stage index, error).
@@ -420,6 +788,10 @@ fn generic_instr(
             Instr::Is(a, kind, negated) => {
                 let v = operand(*a, k, lane, batch, derived, lits, regs);
                 Ok(eval_is(&v, *kind, *negated))
+            }
+            Instr::Path(a, f) => {
+                let v = operand(*a, k, lane, batch, derived, lits, regs);
+                Ok(v.get_path(f))
             }
         };
         match r {
@@ -649,22 +1021,32 @@ fn apply_filter(
 }
 
 /// In-place selection-vector filter for `col <op> lit` — true when the
-/// column/literal pair had a typed fast path.
+/// column/literal pair had a typed fast path. The surviving lanes are
+/// compacted branch-free: every slot is written unconditionally and the
+/// write index advances by the comparison result, so the loop body has no
+/// data-dependent branches for the optimizer to trip on.
 fn filter_cmp(op: BinOp, col: &Column, lit: &Value, sel: &mut Vec<u32>, lit_is_lhs: bool) -> bool {
     match (col, lit) {
         (Column::Int { data, tags }, Value::Int(x)) => {
-            sel.retain(|&lane| {
-                let i = lane as usize;
-                tags[i] == Presence::Present
-                    && if lit_is_lhs {
-                        int_cmp(op, *x, data[i])
+            let mut w = 0usize;
+            for i in 0..sel.len() {
+                let lane = sel[i];
+                let li = lane as usize;
+                let keep = (tags[li] == Presence::Present)
+                    & if lit_is_lhs {
+                        int_cmp(op, *x, data[li])
                     } else {
-                        int_cmp(op, data[i], *x)
-                    }
-            });
+                        int_cmp(op, data[li], *x)
+                    };
+                sel[w] = lane;
+                w += keep as usize;
+            }
+            sel.truncate(w);
             true
         }
         (Column::Str { codes, dict, tags }, lit) => {
+            // One comparison per distinct dictionary value, then a
+            // branch-free code-indexed sweep.
             let pass: Vec<bool> = dict
                 .iter()
                 .map(|d| {
@@ -676,15 +1058,449 @@ fn filter_cmp(op: BinOp, col: &Column, lit: &Value, sel: &mut Vec<u32>, lit_is_l
                     matches!(r, Ok(ref v) if truthy(v).is_true())
                 })
                 .collect();
-            sel.retain(|&lane| {
-                let i = lane as usize;
-                tags[i] == Presence::Present && pass[codes[i] as usize]
-            });
+            let mut w = 0usize;
+            for i in 0..sel.len() {
+                let lane = sel[i];
+                let li = lane as usize;
+                let keep = tags[li] == Presence::Present && pass[codes[li] as usize];
+                sel[w] = lane;
+                w += keep as usize;
+            }
+            sel.truncate(w);
             true
         }
         _ => false,
     }
 }
+
+/// Fused filter+project: run the filter and the projection with the exact
+/// stage semantics (the typed one-pass loop when possible, the composed
+/// general path otherwise).
+fn run_fused(
+    pred: &ExprProgram,
+    progs: &[ExprProgram],
+    batch: &ColumnBatch,
+    sel: &mut Vec<u32>,
+    derived: &mut Option<Vec<Vec<Value>>>,
+    tracker: &mut ErrTracker,
+) {
+    if derived.is_none() && tracker.is_empty() {
+        if let Some(cols) = fused_fast(pred, progs, batch, sel) {
+            *derived = Some(cols);
+            return;
+        }
+    }
+    apply_filter(pred, batch, sel, derived, tracker);
+    let cols: Vec<Vec<Value>> = progs
+        .iter()
+        .map(|p| run_program(p, batch, sel, derived.as_deref(), 0, tracker))
+        .collect();
+    *derived = Some(cols);
+    compact_poisoned(sel, derived, tracker);
+}
+
+/// One-pass select-and-gather for a single-comparison filter feeding a
+/// plain column/literal projection: the selection is compacted branch-free
+/// and the projected values are gathered in the same sweep, with no
+/// intermediate selection vector between the two stages. `None` when the
+/// shapes don't fit (the caller composes the general stages instead).
+fn fused_fast(
+    pred: &ExprProgram,
+    progs: &[ExprProgram],
+    batch: &ColumnBatch,
+    sel: &mut Vec<u32>,
+) -> Option<Vec<Vec<Value>>> {
+    let [Instr::Bin(op, a, b)] = pred.instrs.as_slice() else {
+        return None;
+    };
+    if pred.result != Src::Reg(0) || !is_cmp(*op) {
+        return None;
+    }
+    let (col, lit, lit_is_lhs) = match (*a, *b) {
+        (Src::Col(c), Src::Lit(l)) => (c, &pred.lits[l], false),
+        (Src::Lit(l), Src::Col(c)) => (c, &pred.lits[l], true),
+        _ => return None,
+    };
+    // Every projected column must be a plain gather: a scan column or a
+    // literal, no instructions (instructions can error, which would need
+    // the poison machinery).
+    for p in progs {
+        if !p.instrs.is_empty() || matches!(p.result, Src::Reg(_)) {
+            return None;
+        }
+    }
+    enum Pred<'a> {
+        Int {
+            data: &'a [i64],
+            tags: &'a [Presence],
+            x: i64,
+        },
+        Dict {
+            codes: &'a [u32],
+            tags: &'a [Presence],
+            pass: Vec<bool>,
+        },
+    }
+    let pred_k = match (batch.column(col), lit) {
+        (Column::Int { data, tags }, Value::Int(x)) => Pred::Int { data, tags, x: *x },
+        (Column::Str { codes, dict, tags }, lit) => {
+            let pass: Vec<bool> = dict
+                .iter()
+                .map(|d| {
+                    let r = if lit_is_lhs {
+                        eval_binop(*op, lit, d)
+                    } else {
+                        eval_binop(*op, d, lit)
+                    };
+                    matches!(r, Ok(ref v) if truthy(v).is_true())
+                })
+                .collect();
+            Pred::Dict { codes, tags, pass }
+        }
+        _ => return None,
+    };
+    let mut cols: Vec<Vec<Value>> = vec![Vec::new(); progs.len()];
+    let mut w = 0usize;
+    for i in 0..sel.len() {
+        let lane = sel[i];
+        let li = lane as usize;
+        let keep = match &pred_k {
+            Pred::Int { data, tags, x } => {
+                (tags[li] == Presence::Present)
+                    & if lit_is_lhs {
+                        int_cmp(*op, *x, data[li])
+                    } else {
+                        int_cmp(*op, data[li], *x)
+                    }
+            }
+            Pred::Dict { codes, tags, pass } => {
+                tags[li] == Presence::Present && pass[codes[li] as usize]
+            }
+        };
+        sel[w] = lane;
+        if keep {
+            for (ci, p) in progs.iter().enumerate() {
+                cols[ci].push(match p.result {
+                    Src::Col(c) => batch.column(c).value_at(li).into_owned(),
+                    Src::Lit(l) => p.lits[l].clone(),
+                    Src::Reg(_) => unreachable!("trivial programs only"),
+                });
+            }
+        }
+        w += keep as usize;
+    }
+    sel.truncate(w);
+    Some(cols)
+}
+
+// ---------------------------------------------------------------------------
+// Join probing
+// ---------------------------------------------------------------------------
+
+/// Probe the join per surviving lane and switch the batch into event
+/// space: `sel` becomes the surviving event ids, `derived` the join's
+/// output columns, and the tracker an event-space tracker. Event order is
+/// the row path's emission order — probe lanes in scan order; per lane,
+/// hash matches in build insertion order, index matches in the pending
+/// stack's pop order; a left-join miss emits one `Null`-build event.
+fn run_join(
+    join: &VecJoin,
+    rt: &JoinRuntime<'_>,
+    batch: &ColumnBatch,
+    records: &[&Record],
+    sel: &mut Vec<u32>,
+    derived: &mut Option<Vec<Vec<Value>>>,
+    tracker: &mut ErrTracker,
+) {
+    // A bare-column key needs no gathered key vector: each lane's key
+    // reads straight from the typed column (zero-copy for strings, a
+    // stack `Value` for ints/doubles).
+    let trivial_key = match (join.key.instrs.is_empty(), join.key.result) {
+        (true, Src::Col(c)) => Some(c),
+        _ => None,
+    };
+    // Dictionary-code probing: a bare string column key looks up each
+    // distinct dictionary value at most once per batch. Dictionary values
+    // are strings (always hash-safe), so the memo agrees with per-row
+    // lookups exactly.
+    let dict_probe = match (trivial_key, rt) {
+        (Some(c), JoinRuntime::Hash { .. }) => match batch.column(c) {
+            Column::Str { codes, dict, tags } => Some((codes, dict, tags)),
+            _ => None,
+        },
+        _ => None,
+    };
+    let key_vals = if trivial_key.is_some() {
+        Vec::new()
+    } else {
+        run_program(&join.key, batch, sel, None, 0, tracker)
+    };
+    // The key of lane `lane` (selection position `k`), for the non-dict
+    // paths.
+    let key_at = |lane: u32, k: usize| -> Cow<'_, Value> {
+        match trivial_key {
+            Some(c) => batch.column(c).value_at(lane as usize),
+            None => Cow::Borrowed(&key_vals[k]),
+        }
+    };
+
+    // The event walk visits surviving lanes *and* poisoned lanes in lane
+    // order: a lane that errored earlier (probe filter or key program)
+    // becomes one poisoned event, exactly the one `Err` the row stream
+    // yields for that row. With no poisoned lanes (the common case) the
+    // selection vector itself is the visit order — no side table needed.
+    let mut visits: Vec<(u32, usize)> = Vec::new();
+    if !tracker.is_empty() {
+        visits.extend(sel.iter().enumerate().map(|(k, &l)| (l, k)));
+        for &lane in tracker.errs.keys() {
+            if sel.binary_search(&lane).is_err() {
+                visits.push((lane, usize::MAX));
+            }
+        }
+        visits.sort_unstable();
+    }
+
+    let mut memo: Vec<Option<Option<&[u32]>>> = match &dict_probe {
+        Some((_, dict, _)) => vec![None; dict.len()],
+        None => Vec::new(),
+    };
+    let mut ev: u32 = 0;
+    let mut sel_out: Vec<u32> = Vec::with_capacity(sel.len());
+    let mut cols: Vec<Vec<Value>> = (0..join.cols.len())
+        .map(|_| Vec::with_capacity(sel.len()))
+        .collect();
+    // Build rows of one table share a field layout: position hints turn
+    // the per-event record lookups into single slot probes.
+    let mut hints: Vec<usize> = vec![0; join.cols.len()];
+    let mut ev_tracker = ErrTracker::default();
+
+    let nvisits = if visits.is_empty() {
+        sel.len()
+    } else {
+        visits.len()
+    };
+    for idx in 0..nvisits {
+        let (lane, k) = if visits.is_empty() {
+            (sel[idx], idx)
+        } else {
+            visits[idx]
+        };
+        if let Some((_, e)) = tracker.get(lane) {
+            ev_tracker.poison(ev, 0, e.clone());
+            ev += 1;
+            continue;
+        }
+        match rt {
+            JoinRuntime::Hash { table, rows } => {
+                let matches: Option<&[u32]> = match &dict_probe {
+                    Some((codes, _, tags)) => {
+                        if tags[lane as usize] == Presence::Present {
+                            let code = codes[lane as usize] as usize;
+                            let (_, dict, _) = dict_probe.as_ref().expect("dict probe");
+                            *memo[code].get_or_insert_with(|| table.lookup(&dict[code]))
+                        } else {
+                            // Null/Missing keys never match (the row path
+                            // skips unknown keys before the lookup).
+                            None
+                        }
+                    }
+                    None => {
+                        let key = key_at(lane, k);
+                        if key.is_unknown() {
+                            None
+                        } else {
+                            table.lookup(&key)
+                        }
+                    }
+                };
+                match matches {
+                    Some(idxs) => {
+                        for &bi in idxs {
+                            emit_join_event(
+                                join,
+                                batch,
+                                records,
+                                lane,
+                                rows.get(bi),
+                                &mut cols,
+                                &mut hints,
+                                &mut sel_out,
+                                &mut ev,
+                                &mut ev_tracker,
+                            );
+                        }
+                    }
+                    None if join.left => emit_join_event(
+                        join,
+                        batch,
+                        records,
+                        lane,
+                        BuildRef::Val(&Value::Null),
+                        &mut cols,
+                        &mut hints,
+                        &mut sel_out,
+                        &mut ev,
+                        &mut ev_tracker,
+                    ),
+                    None => {}
+                }
+            }
+            JoinRuntime::IndexNl { table, index } => {
+                let key = key_at(lane, k);
+                if key.is_unknown() {
+                    continue;
+                }
+                let mut fetched: Vec<&Record> = Vec::new();
+                let mut dangling = false;
+                for rid in index.lookup(&key) {
+                    match table.get(rid) {
+                        Some(rec) => fetched.push(rec),
+                        None => {
+                            dangling = true;
+                            break;
+                        }
+                    }
+                }
+                if dangling {
+                    // The row path returns this error before any of the
+                    // lane's matches are observable (consumers stop at the
+                    // first `Err`), so the whole lane is one poisoned
+                    // event.
+                    ev_tracker.poison(ev, 0, EngineError::exec("dangling index entry"));
+                    ev += 1;
+                    continue;
+                }
+                // The row path pushes matches onto a pending stack and
+                // pops, so they emit in reverse lookup order.
+                for rec in fetched.iter().rev() {
+                    emit_join_event(
+                        join,
+                        batch,
+                        records,
+                        lane,
+                        BuildRef::Rec(rec),
+                        &mut cols,
+                        &mut hints,
+                        &mut sel_out,
+                        &mut ev,
+                        &mut ev_tracker,
+                    );
+                }
+            }
+        }
+    }
+    *sel = sel_out;
+    *derived = Some(cols);
+    *tracker = ev_tracker;
+}
+
+/// Materialize one join event's output columns. A `MergeStars` error
+/// poisons the event instead of emitting it (the row path fails on that
+/// row's projection).
+#[allow(clippy::too_many_arguments)]
+fn emit_join_event(
+    join: &VecJoin,
+    batch: &ColumnBatch,
+    records: &[&Record],
+    lane: u32,
+    build: BuildRef<'_>,
+    cols: &mut [Vec<Value>],
+    hints: &mut [usize],
+    sel_out: &mut Vec<u32>,
+    ev: &mut u32,
+    tracker: &mut ErrTracker,
+) {
+    // The row path's `MergeStars` projection errors on any non-record
+    // build side whether or not a downstream expression reads it, so the
+    // check runs per event, up front.
+    if join.merged && build.unmergeable() {
+        tracker.poison(
+            *ev,
+            0,
+            EngineError::exec(format!(
+                "cannot flatten non-record binding {} ({})",
+                join.build_binding,
+                build.type_name()
+            )),
+        );
+        *ev += 1;
+        return;
+    }
+    sel_out.push(*ev);
+    for ((c, col), hint) in cols.iter_mut().zip(&join.cols).zip(hints.iter_mut()) {
+        let v = match col {
+            JoinCol::ProbeField(ci) => batch.column(*ci).value_at(lane as usize).into_owned(),
+            JoinCol::ProbeRow => Value::Obj(records[lane as usize].clone()),
+            JoinCol::BuildRow => build.to_value(),
+            JoinCol::BuildField(f) => build.field(f, hint).cloned().unwrap_or(Value::Missing),
+            // `Merged` columns only come from `Env::Merged` contexts,
+            // which always latch `join.merged`, so the up-front check
+            // above guarantees this flatten cannot fail.
+            JoinCol::Merged => {
+                match merge_stars_pair(records[lane as usize], build, &join.build_binding) {
+                    Ok(v) => v,
+                    Err(_) => unreachable!("build validated by the merged check"),
+                }
+            }
+            // The merged record's field without the record: build's value
+            // when the (validated) build row has it, the probe's scan
+            // column otherwise — record insertion order makes the build
+            // side win on shared names.
+            JoinCol::MergedField { field, probe_col } => match build.field(field, hint) {
+                Some(v) => v.clone(),
+                None => batch
+                    .column(*probe_col)
+                    .value_at(lane as usize)
+                    .into_owned(),
+            },
+            JoinCol::Pair => make_record([
+                (
+                    join.probe_binding.clone(),
+                    Value::Obj(records[lane as usize].clone()),
+                ),
+                (join.build_binding.clone(), build.to_value()),
+            ]),
+        };
+        c.push(v);
+    }
+    *ev += 1;
+}
+
+/// `SELECT l.*, r.*` over one join pair, byte-identical to
+/// `project_row(MergeStars([probe, build]))` on the pair record: probe
+/// fields first, build fields overlaid; an unknown build side contributes
+/// nothing; any other non-record build value is the row path's flatten
+/// error.
+fn merge_stars_pair(probe: &Record, build: BuildRef<'_>, build_binding: &str) -> Result<Value> {
+    // Scanned records never hold duplicate field names (`Record::insert`
+    // overwrites), so cloning the probe wholesale matches inserting its
+    // fields one by one — without the quadratic duplicate scan.
+    let mut rec = probe.clone();
+    match build {
+        BuildRef::Rec(inner) => {
+            for (k, v) in inner.iter() {
+                rec.insert(k.to_string(), v.clone());
+            }
+        }
+        BuildRef::Val(Value::Obj(inner)) => {
+            for (k, v) in inner.iter() {
+                rec.insert(k.to_string(), v.clone());
+            }
+        }
+        BuildRef::Val(Value::Missing | Value::Null) => {}
+        BuildRef::Val(other) => {
+            return Err(EngineError::exec(format!(
+                "cannot flatten non-record binding {build_binding} ({})",
+                other.type_name()
+            )))
+        }
+    }
+    Ok(Value::Obj(rec))
+}
+
+// ---------------------------------------------------------------------------
+// Batch driver
+// ---------------------------------------------------------------------------
 
 /// Turn surviving lanes back into result rows (aligned with `sel`).
 fn emit_rows(
@@ -718,31 +1534,77 @@ fn emit_rows(
                 })
                 .collect()
         }
+        RowEmit::Col(c) => {
+            let Some(cols) = derived else {
+                unreachable!("column emit without derived columns");
+            };
+            (0..sel.len())
+                .map(|k| std::mem::replace(&mut cols[*c][k], Value::Null))
+                .collect()
+        }
         RowEmit::Value(prog) => run_program(prog, batch, sel, derived.as_deref(), stage, tracker),
     }
 }
 
+/// Run one row-local stage over the current selection.
+fn run_stage(
+    vs: &VecStage,
+    batch: &ColumnBatch,
+    sel: &mut Vec<u32>,
+    derived: &mut Option<Vec<Vec<Value>>>,
+    tracker: &mut ErrTracker,
+) {
+    match vs {
+        VecStage::Filter(prog) => apply_filter(prog, batch, sel, derived, tracker),
+        VecStage::Project(progs) => {
+            let cols: Vec<Vec<Value>> = progs
+                .iter()
+                .map(|p| run_program(p, batch, sel, derived.as_deref(), 0, tracker))
+                .collect();
+            *derived = Some(cols);
+            compact_poisoned(sel, derived, tracker);
+        }
+        VecStage::Fused { pred, progs } => run_fused(pred, progs, batch, sel, derived, tracker),
+    }
+}
+
 /// Run one batch of records through the pipeline into the morsel sink.
-fn process_batch(vp: &VecPipeline, records: &[&Record], sink: &mut MorselSink<'_>) -> Result<()> {
+fn process_batch(
+    vp: &VecPipeline,
+    rt: Option<&JoinRuntime<'_>>,
+    records: &[&Record],
+    sink: &mut MorselSink<'_>,
+) -> Result<()> {
     let batch = ColumnBatch::from_records(records, &vp.scan_fields);
     let mut sel: Vec<u32> = (0..records.len() as u32).collect();
     let mut derived: Option<Vec<Vec<Value>>> = None;
     let mut tracker = ErrTracker::default();
 
-    for vs in &vp.stages {
-        match vs {
-            VecStage::Filter(prog) => {
-                apply_filter(prog, &batch, &mut sel, &mut derived, &mut tracker)
-            }
-            VecStage::Project(progs) => {
-                let cols: Vec<Vec<Value>> = progs
-                    .iter()
-                    .map(|p| run_program(p, &batch, &sel, derived.as_deref(), 0, &mut tracker))
-                    .collect();
-                derived = Some(cols);
-                compact_poisoned(&mut sel, &mut derived, &tracker);
-            }
+    for vs in &vp.pre_stages {
+        run_stage(vs, &batch, &mut sel, &mut derived, &mut tracker);
+        if sel.is_empty() && tracker.is_empty() {
+            return Ok(());
         }
+    }
+    if let Some(join) = &vp.join {
+        let Some(rt) = rt else {
+            return Err(EngineError::exec("join runtime missing (executor bug)"));
+        };
+        run_join(
+            join,
+            rt,
+            &batch,
+            records,
+            &mut sel,
+            &mut derived,
+            &mut tracker,
+        );
+        if sel.is_empty() && tracker.is_empty() {
+            return Ok(());
+        }
+    }
+    for vs in &vp.stages {
+        run_stage(vs, &batch, &mut sel, &mut derived, &mut tracker);
         if sel.is_empty() && tracker.is_empty() {
             return Ok(());
         }
@@ -751,11 +1613,40 @@ fn process_batch(vp: &VecPipeline, records: &[&Record], sink: &mut MorselSink<'_
     match &vp.terminal {
         VecTerminal::Collect(emit) => {
             let rows = emit_rows(emit, &batch, records, &sel, &mut derived, 0, &mut tracker);
-            if let Some(e) = tracker.first_err() {
-                return Err(e);
-            }
-            for row in rows {
-                sink.push(row)?;
+            match sink.limit() {
+                None => {
+                    if let Some(e) = tracker.first_err() {
+                        return Err(e);
+                    }
+                    for row in rows {
+                        sink.push(row)?;
+                    }
+                }
+                Some(_) => {
+                    // Early-exit limit: replay rows and recorded errors in
+                    // lane order; the sink stops at whichever settles the
+                    // limit first — the serial `take(n)`'s event order.
+                    let mut events: BTreeMap<u32, Result<Value>> = tracker
+                        .errs
+                        .iter()
+                        .map(|(&l, (_, e))| (l, Err(e.clone())))
+                        .collect();
+                    for (&lane, row) in sel.iter().zip(rows) {
+                        events.entry(lane).or_insert(Ok(row));
+                    }
+                    for (_, event) in events {
+                        if sink.satisfied() {
+                            break;
+                        }
+                        match event {
+                            Ok(row) => sink.push(row)?,
+                            Err(e) => {
+                                sink.record_err(e);
+                                break;
+                            }
+                        }
+                    }
+                }
             }
         }
         VecTerminal::Sort { emit, keys } => {
@@ -840,8 +1731,9 @@ fn fold_aggregates(
         .collect();
 
     for (k, &lane) in sel.iter().enumerate() {
-        // Errors on earlier (already filtered-out) lanes fire before this
-        // lane folds — the serial scan hit that row first.
+        // Errors on earlier (already filtered-out or join-poisoned) lanes
+        // fire before this lane folds — the serial scan hit that row
+        // first.
         if let Some((pl, _, e)) = tracker.first() {
             if pl < lane {
                 return Err(e.clone());
@@ -882,44 +1774,83 @@ fn fold_aggregates(
 
 /// Scan `[lo, hi)` of the morsel domain (heap slots, or a chunk of the
 /// materialized rid list) in `batch_rows`-sized batches, feeding each
-/// through the pipeline into `sink`.
+/// through the pipeline into `sink`. Returns the number of batches
+/// actually processed: the loop stops as soon as the sink is satisfied
+/// (its own early-exit limit) or the shared `stop` flag latches (another
+/// worker's morsel settled the query).
+#[allow(clippy::too_many_arguments)]
 pub(super) fn run_range(
     table: &Table,
     rids: Option<&[RecordId]>,
     lo: usize,
     hi: usize,
     vp: &VecPipeline,
+    rt: Option<&JoinRuntime<'_>>,
     batch_rows: usize,
     sink: &mut MorselSink<'_>,
-) -> Result<()> {
+    stop: Option<&AtomicBool>,
+) -> Result<usize> {
     let step = batch_rows.max(1);
+    let halted =
+        |sink: &MorselSink<'_>| sink.satisfied() || stop.is_some_and(|s| s.load(Ordering::Relaxed));
+    let mut batches = 0usize;
     let mut refs: Vec<&Record> = Vec::with_capacity(step.min(hi.saturating_sub(lo)));
     match rids {
         None => {
             let mut start = lo;
             while start < hi {
+                if halted(sink) {
+                    break;
+                }
                 let end = (start + step).min(hi);
                 refs.clear();
                 refs.extend(table.heap().scan_range(start, end).map(|(_, rec)| rec));
-                process_batch(vp, &refs, sink)?;
+                process_batch(vp, rt, &refs, sink)?;
+                batches += 1;
                 start = end;
             }
         }
         Some(rids) => {
             for chunk in rids[lo..hi].chunks(step) {
-                refs.clear();
-                for rid in chunk {
-                    refs.push(
-                        table
-                            .get(*rid)
-                            .ok_or_else(|| EngineError::exec("dangling index entry"))?,
-                    );
+                if halted(sink) {
+                    break;
                 }
-                process_batch(vp, &refs, sink)?;
+                refs.clear();
+                let mut dangling = None;
+                for rid in chunk {
+                    match table.get(*rid) {
+                        Some(rec) => refs.push(rec),
+                        None => {
+                            dangling = Some(EngineError::exec("dangling index entry"));
+                            break;
+                        }
+                    }
+                }
+                match dangling {
+                    None => {
+                        process_batch(vp, rt, &refs, sink)?;
+                        batches += 1;
+                    }
+                    Some(e) => {
+                        // Under an early-exit limit the rows before the
+                        // dangling rid may still satisfy the query on
+                        // their own; feed them, then record the error for
+                        // the merge walk to place.
+                        if sink.limit().is_some() {
+                            process_batch(vp, rt, &refs, sink)?;
+                            batches += 1;
+                            if !sink.satisfied() {
+                                sink.record_err(e);
+                            }
+                            break;
+                        }
+                        return Err(e);
+                    }
+                }
             }
         }
     }
-    Ok(())
+    Ok(batches)
 }
 
 #[cfg(test)]
@@ -943,10 +1874,7 @@ mod tests {
     fn assert_program_matches_eval(expr: &Scalar) {
         let recs = rows();
         let refs: Vec<&Record> = recs.iter().collect();
-        let mut c = Compiler {
-            scan_fields: Vec::new(),
-            derived: None,
-        };
+        let mut c = Compiler::scan();
         let prog = c.compile_expr(expr).expect("compilable");
         let batch = ColumnBatch::from_records(&refs, &c.scan_fields);
         let sel: Vec<u32> = (0..refs.len() as u32).collect();
@@ -1011,10 +1939,7 @@ mod tests {
     fn poisoned_lanes_report_lowest_lane_first() {
         let recs = rows();
         let refs: Vec<&Record> = recs.iter().collect();
-        let mut c = Compiler {
-            scan_fields: Vec::new(),
-            derived: None,
-        };
+        let mut c = Compiler::scan();
         // `s - 1` errors on every lane with a string.
         let prog = c
             .compile_expr(&bin(BinOp::Sub, field("s"), lit(1i64)))
@@ -1028,16 +1953,58 @@ mod tests {
     }
 
     #[test]
-    fn join_scoped_references_do_not_compile() {
-        let mut c = Compiler {
-            scan_fields: Vec::new(),
-            derived: None,
-        };
-        assert!(c.compile_expr(&Scalar::Input).is_none());
+    fn scan_env_rejects_row_scoped_references() {
+        let mut c = Compiler::scan();
+        assert!(c.compile_expr(&Scalar::Input).is_err());
         assert!(c
             .compile_expr(&Scalar::FieldOf("l".into(), "x".into()))
-            .is_none());
-        assert!(c.compile_expr(&Scalar::BindingRef("r".into())).is_none());
+            .is_err());
+        // BindingRef evaluates exactly like Field — it compiles as a scan
+        // column.
+        let prog = c.compile_expr(&Scalar::BindingRef("r".into())).unwrap();
+        assert_eq!(prog.result, Src::Col(0));
+        assert_eq!(c.scan_fields, vec!["r".to_string()]);
+    }
+
+    #[test]
+    fn join_env_maps_references_to_join_columns() {
+        let mut c = Compiler::scan();
+        c.env = Env::Join {
+            probe: "l".into(),
+            build: "r".into(),
+        };
+        // A probe-side field reads its scan column through the join.
+        let p = c
+            .compile_expr(&Scalar::FieldOf("l".into(), "x".into()))
+            .unwrap();
+        assert_eq!(p.result, Src::Col(0));
+        assert_eq!(c.join_cols[0], JoinCol::ProbeField(0));
+        assert_eq!(c.scan_fields, vec!["x".to_string()]);
+        // Whole-binding references.
+        let p = c.compile_expr(&field("l")).unwrap();
+        assert_eq!(p.result, Src::Col(1));
+        assert_eq!(c.join_cols[1], JoinCol::ProbeRow);
+        let p = c.compile_expr(&Scalar::BindingRef("r".into())).unwrap();
+        assert_eq!(p.result, Src::Col(2));
+        assert_eq!(c.join_cols[2], JoinCol::BuildRow);
+        // Build-side field.
+        let p = c
+            .compile_expr(&Scalar::FieldOf("r".into(), "y".into()))
+            .unwrap();
+        assert_eq!(p.result, Src::Col(3));
+        assert_eq!(c.join_cols[3], JoinCol::BuildField("y".into()));
+        // The whole pair row.
+        let p = c.compile_expr(&Scalar::Input).unwrap();
+        assert_eq!(p.result, Src::Col(4));
+        assert_eq!(c.join_cols[4], JoinCol::Pair);
+        // A name that is neither binding is Missing on the pair record.
+        let p = c.compile_expr(&field("z")).unwrap();
+        assert_eq!(p.result, Src::Lit(0));
+        assert_eq!(p.lits[0], Value::Missing);
+        // Repeated references reuse the same join column.
+        let p = c.compile_expr(&field("l")).unwrap();
+        assert_eq!(p.result, Src::Col(1));
+        assert_eq!(c.join_cols.len(), 5);
     }
 
     #[test]
@@ -1050,10 +2017,7 @@ mod tests {
             bin(BinOp::Eq, field("s"), lit("x")),
             bin(BinOp::Ne, field("s"), lit(1i64)),
         ] {
-            let mut c = Compiler {
-                scan_fields: Vec::new(),
-                derived: None,
-            };
+            let mut c = Compiler::scan();
             let prog = c.compile_expr(&expr).unwrap();
             let batch = ColumnBatch::from_records(&refs, &c.scan_fields);
             let mut fast: Vec<u32> = (0..refs.len() as u32).collect();
@@ -1071,5 +2035,63 @@ mod tests {
                 .collect();
             assert_eq!(fast, slow, "filter divergence for {expr:?}");
         }
+    }
+
+    #[test]
+    fn fused_fast_matches_composed_stages() {
+        let recs = rows();
+        let refs: Vec<&Record> = recs.iter().collect();
+        for pred_expr in [
+            bin(BinOp::Lt, field("a"), lit(3i64)),
+            bin(BinOp::Eq, field("s"), lit("x")),
+        ] {
+            let mut c = Compiler::scan();
+            let pred = c.compile_expr(&pred_expr).unwrap();
+            let progs = vec![
+                c.compile_expr(&field("a")).unwrap(),
+                c.compile_expr(&field("s")).unwrap(),
+                c.compile_expr(&lit(7i64)).unwrap(),
+            ];
+            let batch = ColumnBatch::from_records(&refs, &c.scan_fields);
+            // Fast path.
+            let mut fast_sel: Vec<u32> = (0..refs.len() as u32).collect();
+            let fast_cols =
+                fused_fast(&pred, &progs, &batch, &mut fast_sel).expect("fast path applies");
+            // General composition: filter then project.
+            let mut sel: Vec<u32> = (0..refs.len() as u32).collect();
+            let mut derived = None;
+            let mut tracker = ErrTracker::default();
+            apply_filter(&pred, &batch, &mut sel, &mut derived, &mut tracker);
+            let slow_cols: Vec<Vec<Value>> = progs
+                .iter()
+                .map(|p| run_program(p, &batch, &sel, None, 0, &mut tracker))
+                .collect();
+            assert!(tracker.is_empty());
+            assert_eq!(fast_sel, sel, "selection divergence for {pred_expr:?}");
+            assert_eq!(fast_cols, slow_cols, "column divergence for {pred_expr:?}");
+        }
+    }
+
+    #[test]
+    fn merge_stars_pair_overlays_build_fields() {
+        let probe = record! {"a" => 1i64, "b" => "p"};
+        // Build object overlays shared fields.
+        let build = Value::Obj(record! {"b" => "q", "c" => 3i64});
+        let merged = merge_stars_pair(&probe, BuildRef::Val(&build), "r").unwrap();
+        assert_eq!(
+            merged,
+            Value::Obj(record! {"a" => 1i64, "b" => "q", "c" => 3i64})
+        );
+        // Unknown build side (left-join miss) contributes nothing.
+        for miss in [Value::Null, Value::Missing] {
+            let merged = merge_stars_pair(&probe, BuildRef::Val(&miss), "r").unwrap();
+            assert_eq!(merged, Value::Obj(probe.clone()));
+        }
+        // Non-record build value is the row path's flatten error.
+        let err = merge_stars_pair(&probe, BuildRef::Val(&Value::Int(9)), "r").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            EngineError::exec("cannot flatten non-record binding r (int)").to_string()
+        );
     }
 }

@@ -485,3 +485,247 @@ fn groupby_counts_agree_across_backends() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Blocking operators: join / DISTINCT / LIMIT pipelines
+// ---------------------------------------------------------------------------
+
+/// Left/right tables for the join sweeps. With `messy` keys the join
+/// attribute `k` mixes known ints with explicit NULL and absent lanes in
+/// *both* tables — the exec paths must reproduce the row path's
+/// join-on-NULL semantics exactly (unknown keys never match). Portable
+/// keys are always present: MongoDB's `$eq` runs under the BSON total
+/// order where null/missing keys match each other, so cross-language
+/// cardinality agreement is only defined for known keys.
+fn join_key(rng: &mut Rng, r: &mut Record, messy: bool) {
+    if messy {
+        match rng.gen_range_usize(10) {
+            0..=6 => r.insert("k", rng.gen_range_i64(0, 8)),
+            7 => r.insert("k", Value::Null),
+            _ => {} // missing
+        }
+    } else {
+        r.insert("k", rng.gen_range_i64(0, 8));
+    }
+}
+
+fn gen_join_tables(rng: &mut Rng, messy: bool) -> (Vec<Record>, Vec<Record>) {
+    let left: Vec<Record> = (0..30 + rng.gen_range_usize(60))
+        .map(|i| {
+            let mut r = record! {
+                "id" => i as i64,
+                "b" => rng.gen_range_i64(-5, 15),
+                "g" => rng.gen_range_i64(0, 4),
+            };
+            join_key(rng, &mut r, messy);
+            r
+        })
+        .collect();
+    // Smaller build side with duplicate keys (multi-match probe lanes).
+    let right: Vec<Record> = (0..8 + rng.gen_range_usize(24))
+        .map(|j| {
+            let mut r = record! {
+                "rid" => j as i64,
+                "p" => rng.gen_range_i64(100, 200),
+            };
+            join_key(rng, &mut r, messy);
+            r
+        })
+        .collect();
+    (left, right)
+}
+
+/// Load both join tables into one engine and hand back frames over them.
+fn join_frames(
+    config: EngineConfig,
+    sqlpp: bool,
+    left: &[Record],
+    right: &[Record],
+    with_index: bool,
+) -> (AFrame, AFrame) {
+    let engine = Arc::new(Engine::new(config));
+    engine.create_dataset("T", "l", Some("id")).unwrap();
+    engine.load("T", "l", left.to_vec()).unwrap();
+    engine.create_dataset("T", "r", Some("rid")).unwrap();
+    engine.load("T", "r", right.to_vec()).unwrap();
+    if with_index {
+        engine.create_index("T", "r", "k").unwrap();
+    }
+    let conn: Arc<dyn DatabaseConnector> = if sqlpp {
+        Arc::new(AsterixConnector::new(engine))
+    } else {
+        Arc::new(PostgresConnector::new(engine))
+    };
+    (
+        AFrame::new("T", "l", Arc::clone(&conn)).unwrap(),
+        AFrame::new("T", "r", conn).unwrap(),
+    )
+}
+
+/// Random join pipelines (filtered probe side, NULL/MISSING join keys,
+/// duplicate build keys, optionally an index on the build key so the
+/// planner may pick index nested-loop): vectorized and parallel execution
+/// must stay byte-identical to the row path on both SQL dialects, through
+/// plain collect, an early-exit LIMIT, and a grouped final aggregate.
+#[test]
+fn join_pipelines_byte_identical_across_exec_paths() {
+    let mut rng = Rng::seed_from_u64(0x7013);
+    for case in 0..CASES {
+        let (left, right) = gen_join_tables(&mut rng, true);
+        let shape = rng.gen_range_usize(3);
+        let limit = 1 + rng.gen_range_usize(20);
+        let with_index = rng.gen_bool();
+        let cmp = rng.gen_range_i64(-5, 15);
+
+        type ConfigFn = fn() -> EngineConfig;
+        for (lang, config) in [
+            ("sql++", EngineConfig::asterixdb as ConfigFn),
+            ("sql", EngineConfig::postgres as ConfigFn),
+        ] {
+            let mut outputs: Vec<(&str, String)> = Vec::new();
+            for (mode, exec) in exec_configs() {
+                let (lf, rf) = join_frames(
+                    config().with_exec(exec),
+                    lang == "sql++",
+                    &left,
+                    &right,
+                    with_index,
+                );
+                let joined = lf.mask(&col("b").lt(cmp)).unwrap().merge(&rf, "k").unwrap();
+                let rs = match shape {
+                    0 => joined.collect(),
+                    1 => joined.head(limit),
+                    _ => joined
+                        .groupby("g")
+                        .agg(polyframe::AggFunc::Count)
+                        .unwrap()
+                        .collect(),
+                }
+                .unwrap();
+                outputs.push((mode, format!("{:?}", rs.rows())));
+            }
+            let (ref_mode, reference) = &outputs[0];
+            assert_eq!(*ref_mode, "rowwise");
+            for (mode, out) in &outputs[1..] {
+                assert_eq!(
+                    out, reference,
+                    "case {case}: {lang} {mode} join diverged from rowwise \
+                     (shape {shape}, limit {limit}, index {with_index})"
+                );
+            }
+        }
+    }
+}
+
+/// Join cardinality agreement across all four languages, on portable
+/// (always-known) keys: SQL, SQL++, MongoDB's `$lookup`+`$unwind` and
+/// Cypher's double `MATCH` must all see the same number of join events as
+/// a reference nested loop.
+#[test]
+fn join_counts_agree_across_backends() {
+    let mut rng = Rng::seed_from_u64(0x701A);
+    for case in 0..CASES / 2 {
+        let (left, right) = gen_join_tables(&mut rng, false);
+        let expected: usize = left
+            .iter()
+            .map(|l| {
+                let k = l.get_or_missing("k");
+                right.iter().filter(|r| r.get_or_missing("k") == k).count()
+            })
+            .sum();
+
+        let mut frames: Vec<(AFrame, AFrame)> = vec![
+            join_frames(EngineConfig::asterixdb(), true, &left, &right, false),
+            join_frames(EngineConfig::postgres(), false, &left, &right, false),
+        ];
+        {
+            let mongo = Arc::new(DocStore::new());
+            mongo.create_collection("T.l").unwrap();
+            mongo.insert_many("T.l", left.clone()).unwrap();
+            mongo.create_collection("T.r").unwrap();
+            mongo.insert_many("T.r", right.clone()).unwrap();
+            let conn: Arc<dyn DatabaseConnector> = Arc::new(MongoConnector::new(mongo));
+            frames.push((
+                AFrame::new("T", "l", Arc::clone(&conn)).unwrap(),
+                AFrame::new("T", "r", conn).unwrap(),
+            ));
+        }
+        {
+            let neo = Arc::new(GraphStore::new());
+            neo.insert_nodes("l", left.clone()).unwrap();
+            neo.insert_nodes("r", right.clone()).unwrap();
+            let conn: Arc<dyn DatabaseConnector> = Arc::new(Neo4jConnector::new(neo));
+            frames.push((
+                AFrame::new("T", "l", Arc::clone(&conn)).unwrap(),
+                AFrame::new("T", "r", conn).unwrap(),
+            ));
+        }
+        // The bare join, no surrounding filter: the four languages shape
+        // the join row differently (star-merge, `{l, r}` pair, `$lookup`
+        // array, `t{.*, r}` map), so cardinality is the portable contract.
+        for (lf, rf) in frames {
+            let n = lf.merge(&rf, "k").unwrap().len().unwrap();
+            assert_eq!(n, expected, "case {case}: {} join count", lf.backend());
+        }
+    }
+}
+
+/// Random DISTINCT / LEFT JOIN / LIMIT statements straight through the SQL
+/// engines: every exec configuration must return byte-identical rows on
+/// both personalities, including DISTINCT over the mixed-type dictionary
+/// column `e` and LEFT JOIN misses over NULL/MISSING keys.
+#[test]
+fn distinct_and_left_join_exec_paths_byte_identical() {
+    let mut rng = Rng::seed_from_u64(0xD157);
+    for case in 0..CASES {
+        let records = gen_messy_records(&mut rng);
+        let (left, right) = gen_join_tables(&mut rng, true);
+        let shape = rng.gen_range_usize(6);
+        let limit = 1 + rng.gen_range_usize(12);
+        let cmp = rng.gen_range_i64(-5, 15);
+
+        type ConfigFn = fn() -> EngineConfig;
+        for (lang, config) in [
+            ("sql++", EngineConfig::asterixdb as ConfigFn),
+            ("sql", EngineConfig::postgres as ConfigFn),
+        ] {
+            // `SELECT l.*, r.*` is the SQL star-merge; SQL++ spells the
+            // pair projection `SELECT l, r` (per the translator configs).
+            let pair = if lang == "sql++" { "l, r" } else { "l.*, r.*" };
+            let sql = match shape {
+                0 => "SELECT DISTINCT g FROM (SELECT * FROM T.d) t".to_string(),
+                1 => "SELECT DISTINCT g, e FROM (SELECT * FROM T.d) t".to_string(),
+                2 => format!("SELECT DISTINCT b FROM (SELECT * FROM T.d) t WHERE t.b < {cmp}"),
+                3 => format!("SELECT DISTINCT g FROM (SELECT * FROM T.d) t LIMIT {limit}"),
+                4 => format!(
+                    "SELECT COUNT(*) AS c FROM (SELECT {pair} FROM (SELECT * FROM T.l) l \
+                     LEFT JOIN (SELECT * FROM T.r) r ON l.k = r.k) t"
+                ),
+                _ => format!(
+                    "SELECT t.* FROM (SELECT {pair} FROM (SELECT * FROM T.l) l \
+                     LEFT JOIN (SELECT * FROM T.r) r ON l.k = r.k) t LIMIT {limit}"
+                ),
+            };
+            let mut outputs: Vec<(&str, String)> = Vec::new();
+            for (mode, exec) in exec_configs() {
+                let engine = Engine::new(config().with_exec(exec));
+                engine.create_dataset("T", "d", Some("id")).unwrap();
+                engine.load("T", "d", records.clone()).unwrap();
+                engine.create_dataset("T", "l", Some("id")).unwrap();
+                engine.load("T", "l", left.clone()).unwrap();
+                engine.create_dataset("T", "r", Some("rid")).unwrap();
+                engine.load("T", "r", right.clone()).unwrap();
+                let rows = engine.query(&sql).unwrap();
+                outputs.push((mode, format!("{rows:?}")));
+            }
+            let (ref_mode, reference) = &outputs[0];
+            assert_eq!(*ref_mode, "rowwise");
+            for (mode, out) in &outputs[1..] {
+                assert_eq!(
+                    out, reference,
+                    "case {case}: {lang} {mode} diverged from rowwise: {sql}"
+                );
+            }
+        }
+    }
+}
