@@ -7,6 +7,7 @@
 //! subcommand (text tables + `--json` report) share one setup and one
 //! definition of each measurement.
 
+use polyframe_observe::{ExplainNode, ExplainReport};
 use polyframe_sqlengine::{Engine, EngineConfig, ExecOptions};
 use polyframe_wisconsin::{generate, WisconsinConfig};
 use std::time::{Duration, Instant};
@@ -338,6 +339,165 @@ pub fn join_vectorized_ablation(num_records: usize, samples: usize) -> Vec<Vecto
         .collect()
 }
 
+/// The index-selection scenario of the plan-quality ablation: two legal
+/// secondary indexes cover the conjuncts, but `two = 0` matches half the
+/// table while `onePercent = 5` matches 1%. The no-stats fallback ranks
+/// both conjuncts identically (equality on a secondary index) and breaks
+/// the tie by conjunct position — picking `two` — while the cost model
+/// sees the NDV gap and picks `onePercent`.
+pub const IDX_PLAN_QUERY: &str = "SELECT SUM(t.\"unique1\") AS s \
+     FROM (SELECT * FROM Bench.wisconsin) t \
+     WHERE t.\"two\" = 0 AND t.\"onePercent\" = 5";
+
+/// The join-order scenario: a small table joins the big one on a
+/// non-indexed unique key, so both sides are seqscans feeding a hash
+/// join. The rule-based plan always builds the right (big) side; the
+/// cost model sees the row-count gap and swaps the build side to the
+/// small table.
+pub const JOIN_PLAN_QUERY: &str = "SELECT SUM(t.\"unique2\") AS s FROM \
+     (SELECT l.*, r.* FROM (SELECT * FROM Bench.small) l \
+      INNER JOIN (SELECT * FROM Bench.wisconsin) r ON l.\"unique1\" = r.\"unique1\") t";
+
+/// An engine for the plan-quality ablation: the big Wisconsin table with
+/// secondary indexes on `two` and `onePercent`, plus a 1%-sized `small`
+/// table for the join scenario. Row-at-a-time execution isolates plan
+/// choice from the vectorized-execution wins measured elsewhere.
+pub fn plan_quality_engine(num_records: usize, use_stats: bool) -> Engine {
+    let engine = Engine::new(
+        config_for("postgres")
+            .with_exec(ExecOptions::rowwise())
+            .with_stats(use_stats),
+    );
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(num_records)))
+        .unwrap();
+    engine.create_index(NS, DS, "two").unwrap();
+    engine.create_index(NS, DS, "onePercent").unwrap();
+    engine.create_dataset(NS, "small", Some("unique2")).unwrap();
+    engine
+        .load(
+            NS,
+            "small",
+            generate(&WisconsinConfig::new((num_records / 100).max(50))),
+        )
+        .unwrap();
+    engine
+}
+
+/// Rule-based vs cost-based medians for one plan-quality scenario.
+#[derive(Debug, Clone)]
+pub struct PlanQualityAblation {
+    /// `"index-selection"` or `"join-order"`.
+    pub scenario: &'static str,
+    /// Access path / build side the no-stats rule fallback chose.
+    pub rule_plan: String,
+    /// Access path / build side the cost model chose.
+    pub cost_plan: String,
+    /// The alternative the cost model rejected (the rule's choice when it
+    /// appears among the alternatives, else the cheapest rejected one).
+    pub rejected: String,
+    /// Estimated cost of that rejected alternative.
+    pub rejected_cost: f64,
+    /// Median elapsed time under the rule-based plan.
+    pub rule: Duration,
+    /// Median elapsed time under the cost-based plan.
+    pub cost: Duration,
+    /// Rule-based median over cost-based median.
+    pub speedup: f64,
+    /// The cost-based engine's full [`ExplainReport`] as JSON, embedded
+    /// verbatim in the harness's `--json` output.
+    pub report_json: String,
+}
+
+/// The first decision point in the plan tree (the node carrying
+/// alternatives), depth-first.
+fn decision_node(report: &ExplainReport) -> Option<&ExplainNode> {
+    let mut stack: Vec<&ExplainNode> = report.root.iter().collect();
+    while let Some(node) = stack.pop() {
+        if !node.alternatives.is_empty() {
+            return Some(node);
+        }
+        stack.extend(node.children.iter());
+    }
+    None
+}
+
+/// The label the planner chose at `report`'s first decision point.
+fn chosen_label(report: &ExplainReport) -> String {
+    decision_node(report)
+        .and_then(|n| n.alternatives.iter().find(|a| a.chosen))
+        .map(|a| a.label.clone())
+        .unwrap_or_else(|| "none".to_string())
+}
+
+/// Measure both plan-quality scenarios over `num_records` records with
+/// statistics off (the deterministic rule fallback) and on (the cost
+/// model). Samples interleave round-robin across the two engines, and
+/// both are checked to return identical rows before any timing starts —
+/// stats may only change the plan, never the answer.
+pub fn plan_quality_ablation(num_records: usize, samples: usize) -> Vec<PlanQualityAblation> {
+    let samples = samples.max(1);
+    let rule_engine = plan_quality_engine(num_records, false);
+    let cost_engine = plan_quality_engine(num_records, true);
+    [
+        ("index-selection", IDX_PLAN_QUERY),
+        ("join-order", JOIN_PLAN_QUERY),
+    ]
+    .iter()
+    .map(|&(scenario, query)| {
+        // Warm-up doubles as the identity check.
+        let rule_out = format!("{:?}", rule_engine.query(query).unwrap());
+        let cost_out = format!("{:?}", cost_engine.query(query).unwrap());
+        assert_eq!(
+            rule_out, cost_out,
+            "cost-based plan changed the {scenario} result"
+        );
+        let rule_report = rule_engine.explain_report(query).unwrap();
+        let cost_report = cost_engine.explain_report(query).unwrap();
+        let rule_plan = chosen_label(&rule_report);
+        let cost_plan = chosen_label(&cost_report);
+        let rejected_alt = decision_node(&cost_report)
+            .map(|n| {
+                n.rejected()
+                    .find(|a| a.label == rule_plan)
+                    .or_else(|| {
+                        n.rejected()
+                            .min_by(|a, b| a.est_cost.total_cmp(&b.est_cost))
+                    })
+                    .cloned()
+            })
+            .unwrap_or_default();
+        let (rejected, rejected_cost) = rejected_alt
+            .map(|a| (a.label, a.est_cost))
+            .unwrap_or_else(|| ("none".to_string(), 0.0));
+        let mut rule_times = Vec::with_capacity(samples);
+        let mut cost_times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            rule_engine.query(query).unwrap();
+            rule_times.push(t0.elapsed());
+            let t0 = Instant::now();
+            cost_engine.query(query).unwrap();
+            cost_times.push(t0.elapsed());
+        }
+        let rule = median(rule_times);
+        let cost = median(cost_times);
+        PlanQualityAblation {
+            scenario,
+            rule_plan,
+            cost_plan,
+            rejected,
+            rejected_cost,
+            rule,
+            cost,
+            speedup: rule.as_secs_f64() / cost.as_secs_f64().max(1e-12),
+            report_json: cost_report.to_json(),
+        }
+    })
+    .collect()
+}
+
 /// A representative query suite for the fallback-cause breakdown: for
 /// each, the exec trace reports `vectorized` as `true` or
 /// `fallback:<cause>`, so tallying the notes shows which operators run on
@@ -428,6 +588,27 @@ mod tests {
         assert_eq!(rows.len(), FALLBACK_SUITE.len());
         for r in &rows {
             assert_eq!(r.mode, "true", "{} fell back", r.shape);
+        }
+    }
+
+    #[test]
+    fn plan_quality_ablation_flips_both_plans() {
+        let results = plan_quality_ablation(4_000, 1);
+        assert_eq!(results.len(), 2);
+        let idx = &results[0];
+        assert_eq!(idx.scenario, "index-selection");
+        assert_eq!(idx.rule_plan, "IndexScan(two=)");
+        assert_eq!(idx.cost_plan, "IndexScan(onePercent=)");
+        let join = &results[1];
+        assert_eq!(join.scenario, "join-order");
+        assert_ne!(join.rule_plan, join.cost_plan);
+        assert!(join.cost_plan.contains("build=l"), "{}", join.cost_plan);
+        for r in &results {
+            // The rejected alternative (the rule's choice) and its cost
+            // must survive into the structured report.
+            assert_eq!(r.rejected, r.rule_plan, "{}", r.scenario);
+            assert!(r.rejected_cost > 0.0, "{}", r.scenario);
+            assert!(r.report_json.contains("\"chosen\":false"), "{}", r.scenario);
         }
     }
 

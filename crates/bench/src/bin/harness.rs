@@ -248,7 +248,7 @@ fn cluster_tables(setups: &[MultiNodeSetup], params: &BenchParams, is_speedup: b
 fn ablations(records: usize, samples: usize, json_path: Option<String>) {
     use polyframe_bench::ablations::{
         fallback_breakdown, join_vectorized_ablation, parallel_scan_ablation, plan_cache_ablation,
-        vectorized_eval_ablation,
+        plan_quality_ablation, vectorized_eval_ablation,
     };
 
     println!("\n=== Ablation: plan cache (cold vs warm compile) ===");
@@ -306,6 +306,36 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
     }
     print!("{}", table.render());
 
+    println!(
+        "\n=== Ablation: plan quality ({records} records, cost-based vs rule-based planning) ==="
+    );
+    let quality = plan_quality_ablation(records, samples);
+    let mut table = Table::new(&[
+        "scenario",
+        "rule plan",
+        "cost plan",
+        "rule median",
+        "cost median",
+        "speedup",
+    ]);
+    for r in &quality {
+        table.row(vec![
+            r.scenario.to_string(),
+            r.rule_plan.clone(),
+            r.cost_plan.clone(),
+            fmt_duration(r.rule),
+            fmt_duration(r.cost),
+            fmt_ratio(r.speedup),
+        ]);
+    }
+    print!("{}", table.render());
+    for r in &quality {
+        println!(
+            "{}: cost model rejected {} at cost={:.0}",
+            r.scenario, r.rejected, r.rejected_cost
+        );
+    }
+
     println!("\n=== Vectorization coverage (per pipeline shape) ===");
     let coverage = fallback_breakdown(records.min(5_000));
     let mut table = Table::new(&["pipeline", "vectorized"]);
@@ -350,6 +380,25 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
                 r.mode,
                 r.elapsed.as_nanos(),
                 r.speedup
+            )
+        }));
+        recs.extend(quality.iter().map(|r| {
+            // `report_json` is the cost-based engine's ExplainReport,
+            // already JSON — embedded natively, not re-quoted.
+            format!(
+                "{{\"ablation\":\"plan_quality\",\"scenario\":\"{}\",\"records\":{records},\
+                 \"rule_plan\":\"{}\",\"cost_plan\":\"{}\",\"rejected\":\"{}\",\
+                 \"rejected_cost\":{:.2},\"rule_ns\":{},\"cost_ns\":{},\"speedup\":{:.4},\
+                 \"explain\":{}}}",
+                r.scenario,
+                r.rule_plan,
+                r.cost_plan,
+                r.rejected,
+                r.rejected_cost,
+                r.rule.as_nanos(),
+                r.cost.as_nanos(),
+                r.speedup,
+                r.report_json
             )
         }));
         recs.extend(coverage.iter().map(|r| {

@@ -23,7 +23,7 @@ use polyframe_cluster::{MongoCluster, QueryStats, ShardPolicy, SqlCluster};
 use polyframe_datamodel::Value;
 use polyframe_docstore::{DocError, DocStore};
 use polyframe_graphstore::{GraphError, GraphStore};
-use polyframe_observe::{Deadline, FaultPlan, Span, SpanTimer};
+use polyframe_observe::{Deadline, ExplainNode, FaultPlan, Span, SpanTimer};
 use polyframe_sqlengine::{Engine, EngineError};
 use std::sync::Arc;
 use std::time::Instant;
@@ -78,6 +78,13 @@ pub trait DatabaseConnector: Send + Sync {
     /// namespace-qualified.
     fn dataset_ref(&self, _namespace: &str, collection: &str) -> String {
         collection.to_string()
+    }
+
+    /// The backend's chosen plan for a (pre-processed) query, as a
+    /// structured tree with cost evidence — or `None` for backends that
+    /// expose no plan surface (default).
+    fn explain_plan(&self, _query: &str) -> Option<ExplainNode> {
+        None
     }
 }
 
@@ -328,6 +335,10 @@ impl DatabaseConnector for AsterixConnector {
     fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
         self.engine.fault_plan()
     }
+
+    fn explain_plan(&self, query: &str) -> Option<ExplainNode> {
+        self.engine.explain_report(query).ok().and_then(|r| r.root)
+    }
 }
 
 /// Connector for the PostgreSQL/Greenplum substrate (SQL).
@@ -371,6 +382,10 @@ impl DatabaseConnector for PostgresConnector {
 
     fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
         self.engine.fault_plan()
+    }
+
+    fn explain_plan(&self, query: &str) -> Option<ExplainNode> {
+        self.engine.explain_report(query).ok().and_then(|r| r.root)
     }
 }
 

@@ -10,7 +10,7 @@ use crate::rewrite::config::subst;
 use crate::rewrite::RuleSet;
 use crate::translate::Translator;
 use polyframe_datamodel::Value;
-use polyframe_observe::{QueryTrace, Span, SpanTimer, TraceCell};
+use polyframe_observe::{ExplainReport, QueryTrace, Span, SpanTimer, TraceCell};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -585,15 +585,32 @@ impl AFrame {
 
     // ---------------------------------------------------------- observability
 
-    /// Run [`AFrame::collect`] and render the resulting query-lifecycle
-    /// trace as an indented span tree (stage, duration, metrics, notes).
-    pub fn explain(&self) -> Result<String> {
+    /// Run [`AFrame::collect`] and return the structured
+    /// [`ExplainReport`]: the backend's chosen physical plan as a tree of
+    /// operators carrying estimated rows/cost, the personality flags
+    /// consulted at each, and the chosen-vs-rejected alternatives at each
+    /// planner decision point — plus the query-lifecycle trace of the run.
+    ///
+    /// `ExplainReport` implements `Display` with the old text rendering
+    /// (trace first), so `print!("{}", frame.explain()?)` keeps working.
+    pub fn explain(&self) -> Result<ExplainReport> {
         self.collect()?;
         let trace = self
             .trace
             .get()
             .ok_or_else(|| PolyFrameError::Result("no trace recorded".to_string()))?;
-        Ok(trace.render())
+        // The exact query collect() just shipped, so the plan in the
+        // report is the plan that ran.
+        let (_, wrapped) = match self.shape {
+            Shape::Records => ("return_all", self.translator.return_all(&self.query)?),
+            Shape::Aggregated => ("return_value", self.translator.return_value(&self.query)?),
+        };
+        let final_query = self.connector.preprocess(&wrapped);
+        let root = self.connector.explain_plan(&final_query);
+        let mut report = ExplainReport::for_plan(self.connector.name(), final_query);
+        report.root = root;
+        report.trace = Some(trace);
+        Ok(report)
     }
 
     /// The trace of the most recent action executed by this frame — or by

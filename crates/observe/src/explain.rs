@@ -1,0 +1,309 @@
+//! Structured `EXPLAIN` output: a plan tree with cost evidence.
+//!
+//! The old `explain()` surface returned a rendered string, which could not
+//! carry *why* a plan was chosen. [`ExplainReport`] is the structured
+//! replacement: a tree of [`ExplainNode`]s (operator, personality flags
+//! consulted, estimated rows/cost) where each decision point lists the
+//! chosen **and rejected** alternatives with their estimated costs.
+//! `Display` reproduces the old text rendering so existing consumers that
+//! `format!`/`print!` the report keep working; `to_json` emits the report
+//! natively for machine consumers (the bench harness `--json` path).
+//!
+//! Like the rest of this crate, everything is hand-rolled and dependency
+//! free; the JSON emitter mirrors [`crate::trace`]'s.
+
+use crate::trace::{json_string, QueryTrace};
+use std::fmt;
+
+/// One plan alternative considered at a decision point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanAlternative {
+    /// Short operator label, e.g. `IndexScan(onePercent)`.
+    pub label: String,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated total cost (abstract units).
+    pub est_cost: f64,
+    /// True for the alternative the planner picked.
+    pub chosen: bool,
+    /// Why it was picked or passed over, e.g. `cost` or `rule:first-legal`.
+    pub reason: String,
+}
+
+/// One operator of the chosen physical plan.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExplainNode {
+    /// Operator name, e.g. `IndexScan`.
+    pub operator: String,
+    /// Operator detail, e.g. `Bench.wisconsin(onePercent) Forward`.
+    pub detail: String,
+    /// Estimated output rows.
+    pub est_rows: f64,
+    /// Estimated cumulative cost (this operator plus its inputs).
+    pub est_cost: f64,
+    /// Personality feature flags consulted to admit this operator.
+    pub flags: Vec<String>,
+    /// Alternatives weighed at this decision point (chosen one included).
+    pub alternatives: Vec<PlanAlternative>,
+    /// Input operators.
+    pub children: Vec<ExplainNode>,
+}
+
+impl ExplainNode {
+    /// New node with no children or evidence attached yet.
+    pub fn new(operator: impl Into<String>, detail: impl Into<String>) -> ExplainNode {
+        ExplainNode {
+            operator: operator.into(),
+            detail: detail.into(),
+            ..ExplainNode::default()
+        }
+    }
+
+    /// This node's line in the plan rendering (without indentation).
+    fn headline(&self) -> String {
+        let mut line = self.operator.clone();
+        if !self.detail.is_empty() {
+            line.push(' ');
+            line.push_str(&self.detail);
+        }
+        line.push_str(&format!(
+            "  (rows={:.0} cost={:.0})",
+            self.est_rows, self.est_cost
+        ));
+        line
+    }
+
+    /// Depth-first search for a node by operator name.
+    pub fn find(&self, operator: &str) -> Option<&ExplainNode> {
+        if self.operator == operator {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(operator))
+    }
+
+    /// The rejected alternatives at this decision point.
+    pub fn rejected(&self) -> impl Iterator<Item = &PlanAlternative> {
+        self.alternatives.iter().filter(|a| !a.chosen)
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push_str(&self.headline());
+        out.push('\n');
+        if !self.flags.is_empty() {
+            out.push_str(&format!("{pad}  [flags: {}]\n", self.flags.join(", ")));
+        }
+        for alt in &self.alternatives {
+            let mark = if alt.chosen { "chose" } else { "rejected" };
+            out.push_str(&format!(
+                "{pad}  [{mark} {} rows={:.0} cost={:.0} ({})]\n",
+                alt.label, alt.est_rows, alt.est_cost, alt.reason
+            ));
+        }
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        out.push_str("{\"operator\":");
+        json_string(&self.operator, out);
+        out.push_str(",\"detail\":");
+        json_string(&self.detail, out);
+        out.push_str(&format!(
+            ",\"est_rows\":{:.2},\"est_cost\":{:.2}",
+            self.est_rows, self.est_cost
+        ));
+        out.push_str(",\"flags\":[");
+        for (i, flag) in self.flags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string(flag, out);
+        }
+        out.push_str("],\"alternatives\":[");
+        for (i, alt) in self.alternatives.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"label\":");
+            json_string(&alt.label, out);
+            out.push_str(&format!(
+                ",\"est_rows\":{:.2},\"est_cost\":{:.2},\"chosen\":{},\"reason\":",
+                alt.est_rows, alt.est_cost, alt.chosen
+            ));
+            json_string(&alt.reason, out);
+            out.push('}');
+        }
+        out.push_str("],\"children\":[");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            child.json_into(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// The structured result of `explain()`: which backend planned, what plan
+/// it chose, with cost evidence, plus (when the query also ran) the
+/// execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct ExplainReport {
+    /// Backend that planned the query (e.g. `asterixdb`, `mongodb`).
+    pub backend: String,
+    /// The query text the backend planned, when available.
+    pub query: String,
+    /// Root of the chosen plan, when the backend exposes a plan tree.
+    pub root: Option<ExplainNode>,
+    /// Execution trace of the run that produced this report, if any.
+    pub trace: Option<QueryTrace>,
+}
+
+impl ExplainReport {
+    /// Report carrying only a plan tree.
+    pub fn for_plan(backend: impl Into<String>, query: impl Into<String>) -> ExplainReport {
+        ExplainReport {
+            backend: backend.into(),
+            query: query.into(),
+            root: None,
+            trace: None,
+        }
+    }
+
+    /// The plan tree rendered alone (no trace), as `EXPLAIN` consumers
+    /// and plan-assertion tests want it.
+    pub fn plan_text(&self) -> String {
+        let mut out = String::new();
+        if let Some(root) = &self.root {
+            root.render_into(&mut out, 0);
+        }
+        out
+    }
+
+    /// Depth-first search of the plan tree by operator name.
+    pub fn find(&self, operator: &str) -> Option<&ExplainNode> {
+        self.root.as_ref().and_then(|r| r.find(operator))
+    }
+
+    /// Every alternative rejected anywhere in the plan tree.
+    pub fn all_rejected(&self) -> Vec<&PlanAlternative> {
+        let mut out = Vec::new();
+        let mut stack: Vec<&ExplainNode> = self.root.iter().collect();
+        while let Some(node) = stack.pop() {
+            out.extend(node.rejected());
+            stack.extend(node.children.iter());
+        }
+        out
+    }
+
+    /// JSON encoding of the full report (hand-rolled, like the trace's).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"backend\":");
+        json_string(&self.backend, &mut out);
+        out.push_str(",\"query\":");
+        json_string(&self.query, &mut out);
+        out.push_str(",\"plan\":");
+        match &self.root {
+            Some(root) => root.json_into(&mut out),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"trace\":");
+        match &self.trace {
+            Some(trace) => out.push_str(&trace.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// The old text rendering: the execution trace first (what the string
+/// `explain()` used to return), then the plan tree with cost evidence.
+impl fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(trace) = &self.trace {
+            f.write_str(&trace.render())?;
+        }
+        if let Some(root) = &self.root {
+            if self.trace.is_some() {
+                writeln!(f)?;
+            }
+            writeln!(f, "Plan ({}):", self.backend)?;
+            let mut out = String::new();
+            root.render_into(&mut out, 0);
+            f.write_str(&out)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExplainReport {
+        let mut root = ExplainNode::new("Aggregate", "groups=0");
+        root.est_rows = 1.0;
+        root.est_cost = 120.0;
+        let mut scan = ExplainNode::new("IndexScan", "Bench.data(onePercent)");
+        scan.est_rows = 50.0;
+        scan.est_cost = 100.0;
+        scan.flags.push("index_only_scans".to_string());
+        scan.alternatives = vec![
+            PlanAlternative {
+                label: "IndexScan(onePercent)".to_string(),
+                est_rows: 50.0,
+                est_cost: 100.0,
+                chosen: true,
+                reason: "cost".to_string(),
+            },
+            PlanAlternative {
+                label: "SeqScan".to_string(),
+                est_rows: 5000.0,
+                est_cost: 5000.0,
+                chosen: false,
+                reason: "cost".to_string(),
+            },
+        ];
+        root.children.push(scan);
+        let mut report = ExplainReport::for_plan("postgres", "SELECT ...");
+        report.root = Some(root);
+        report
+    }
+
+    #[test]
+    fn display_renders_plan_tree_with_alternatives() {
+        let text = format!("{}", sample());
+        assert!(text.contains("Plan (postgres):"), "{text}");
+        assert!(text.contains("Aggregate groups=0"), "{text}");
+        assert!(text.contains("IndexScan Bench.data(onePercent)"), "{text}");
+        assert!(
+            text.contains("rejected SeqScan rows=5000 cost=5000"),
+            "{text}"
+        );
+        assert!(text.contains("[flags: index_only_scans]"), "{text}");
+    }
+
+    #[test]
+    fn find_and_rejected_walk_the_tree() {
+        let report = sample();
+        assert!(report.find("IndexScan").is_some());
+        assert!(report.find("HashJoin").is_none());
+        let rejected = report.all_rejected();
+        assert_eq!(rejected.len(), 1);
+        assert_eq!(rejected[0].label, "SeqScan");
+    }
+
+    #[test]
+    fn json_encodes_the_tree() {
+        let json = sample().to_json();
+        assert!(json.contains("\"backend\":\"postgres\""), "{json}");
+        assert!(json.contains("\"operator\":\"IndexScan\""), "{json}");
+        assert!(json.contains("\"chosen\":false"), "{json}");
+        assert!(json.contains("\"trace\":null"), "{json}");
+    }
+}

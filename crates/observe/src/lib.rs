@@ -11,6 +11,9 @@
 //!   lifecycle (rewrite → preprocess → parse/plan → execute-per-shard →
 //!   postprocess) with per-span durations and named metrics (query-string
 //!   lengths, rewrite pass counts, rows scanned, index hits).
+//! * [`explain`] — the structured `ExplainReport` plan tree every
+//!   backend's `explain()` returns: operators with estimated rows/cost,
+//!   personality flags consulted, and chosen-vs-rejected alternatives.
 //! * [`counters`] — cheap thread-safe monotonic counters for
 //!   process-lifetime tallies (queries executed, index probes, ...).
 //! * [`cache`] — a versioned LRU used as the plan cache by every backend,
@@ -38,6 +41,7 @@ pub mod cache;
 pub mod counters;
 #[deny(clippy::unwrap_used)]
 pub mod epoch;
+pub mod explain;
 pub mod fault;
 pub mod policy;
 pub mod rng;
@@ -49,6 +53,7 @@ pub mod trace;
 pub use cache::{CacheStats, CatalogVersion, VersionedCache};
 pub use counters::{Counter, CounterSnapshot, Counters};
 pub use epoch::SnapshotCell;
+pub use explain::{ExplainNode, ExplainReport, PlanAlternative};
 pub use fault::{FaultEvent, FaultKind, FaultPlan};
 pub use policy::{Deadline, RetryPolicy};
 pub use rng::Rng;

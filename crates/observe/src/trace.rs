@@ -239,7 +239,7 @@ impl Span {
     }
 }
 
-fn json_string(s: &str, out: &mut String) {
+pub(crate) fn json_string(s: &str, out: &mut String) {
     out.push('"');
     for ch in s.chars() {
         match ch {

@@ -96,6 +96,18 @@ impl Database {
             .contains_key(&(namespace.to_string(), dataset.to_string()))
     }
 
+    /// Rebuild every table's statistics exactly from its heap — the
+    /// checkpoint path, where the write-ahead log is compacted and the
+    /// incremental (sketched) statistics are replaced with exact ones.
+    /// Bumps the catalog version so cached stats-informed plans recompile
+    /// against the fresh statistics.
+    pub fn rebuild_stats(&mut self) {
+        for table in self.tables.values_mut() {
+            Arc::make_mut(table).rebuild_stats();
+        }
+        self.version.bump();
+    }
+
     /// Iterate `(namespace, dataset)` names.
     pub fn dataset_names(&self) -> impl Iterator<Item = (&str, &str)> {
         self.tables

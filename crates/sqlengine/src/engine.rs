@@ -8,12 +8,16 @@ use crate::parser::parse;
 use crate::personality::Personality;
 use crate::plan::builder::build_logical;
 use crate::plan::cache::{CacheOutcome, CachedPlan, PlanCache};
+use crate::plan::cost::{CostModel, PlanDecision};
 use crate::plan::logical::LogicalPlan;
 use crate::plan::optimizer::optimize;
-use crate::plan::physical::{plan_physical, PhysicalPlan, PlannerOptions};
+use crate::plan::physical::{plan_physical, plan_physical_explained, PhysicalPlan, PlannerOptions};
+use crate::plan::stats::StatsCatalog;
 use polyframe_datamodel::{Record, Value};
 use polyframe_observe::sync::{Mutex, RwLock};
-use polyframe_observe::{CacheStats, FaultKind, FaultPlan, SnapshotCell, Span, SpanTimer};
+use polyframe_observe::{
+    CacheStats, ExplainReport, FaultKind, FaultPlan, SnapshotCell, Span, SpanTimer,
+};
 use polyframe_storage::{
     CheckpointPolicy, DurableOp, IndexKind, LogMedia, RecoveryReport, TableOptions, Wal, WalError,
     WalStats,
@@ -32,6 +36,11 @@ pub struct EngineConfig {
     pub default_namespace: String,
     /// Master index-selection switch (ablation benchmarks flip this off).
     pub use_indexes: bool,
+    /// Cost-based planning switch: when set, physical planning captures a
+    /// statistics snapshot and chooses among legal plans by estimated
+    /// cost; when clear, the deterministic shape rule decides (ablation
+    /// benchmarks flip this off to measure plan quality).
+    pub use_stats: bool,
     /// Execution tuning: morsel-parallel worker count and morsel size.
     pub exec: ExecOptions,
 }
@@ -44,6 +53,7 @@ impl EngineConfig {
             personality: Personality::asterixdb(),
             default_namespace: "Default".to_string(),
             use_indexes: true,
+            use_stats: true,
             exec: ExecOptions::default(),
         }
     }
@@ -55,6 +65,7 @@ impl EngineConfig {
             personality: Personality::postgres12(),
             default_namespace: "public".to_string(),
             use_indexes: true,
+            use_stats: true,
             exec: ExecOptions::default(),
         }
     }
@@ -66,6 +77,7 @@ impl EngineConfig {
             personality: Personality::postgres95(),
             default_namespace: "public".to_string(),
             use_indexes: true,
+            use_stats: true,
             exec: ExecOptions::default(),
         }
     }
@@ -73,6 +85,12 @@ impl EngineConfig {
     /// Same config with different execution options (builder-style).
     pub fn with_exec(mut self, exec: ExecOptions) -> EngineConfig {
         self.exec = exec;
+        self
+    }
+
+    /// Same config with cost-based planning toggled (builder-style).
+    pub fn with_stats(mut self, use_stats: bool) -> EngineConfig {
+        self.use_stats = use_stats;
         self
     }
 }
@@ -306,6 +324,10 @@ impl Engine {
                 if let Err(e) = wal.checkpoint(&ops) {
                     return Err(self.crash_recover(db, &wal, e));
                 }
+                // Checkpoint = the maintenance point: replace the
+                // incrementally sketched statistics with exact ones
+                // rebuilt from the heaps.
+                db.rebuild_stats();
             }
         }
         Ok(())
@@ -431,10 +453,18 @@ impl Engine {
         Ok(self.pinned().dataset(namespace, dataset)?.len())
     }
 
-    fn planner_options(&self) -> PlannerOptions {
+    /// Planner options against `db`: when cost-based planning is on,
+    /// capture a statistics snapshot at `db`'s catalog version. The plan
+    /// cache keys on the same version, so a cached stats-informed plan
+    /// can never outlive the statistics that justified it.
+    fn planner_options(&self, db: &Database) -> PlannerOptions {
         PlannerOptions {
             personality: self.config.personality.clone(),
             use_indexes: self.config.use_indexes,
+            stats: self
+                .config
+                .use_stats
+                .then(|| Arc::new(StatsCatalog::capture(db))),
         }
     }
 
@@ -467,12 +497,23 @@ impl Engine {
 
         let plan_t = SpanTimer::start("plan");
         let logical = optimize(logical, self.config.personality.optimizer_passes);
-        let physical = plan_physical(&logical, db, &self.planner_options())?;
+        let options = self.planner_options(db);
+        let (physical, decisions) = plan_physical_explained(&logical, db, &options)?;
+        let model = CostModel {
+            db,
+            stats: options.stats.as_deref(),
+        };
+        let mut slots: Vec<Option<PlanDecision>> = decisions.into_iter().map(Some).collect();
+        let explain = model.explain_tree(&physical, &mut slots);
         let plan = self.plan_cache.insert(
             self.config.dialect,
             sql,
             version,
-            CachedPlan { logical, physical },
+            CachedPlan {
+                logical,
+                physical,
+                explain,
+            },
         );
         Ok(Compiled {
             plan,
@@ -589,7 +630,7 @@ impl Engine {
     pub fn execute_logical(&self, logical: &LogicalPlan) -> Result<Vec<Value>> {
         self.heal_poisoned()?;
         let db = self.pinned();
-        let physical = plan_physical(logical, &db, &self.planner_options())?;
+        let physical = plan_physical(logical, &db, &self.planner_options(&db))?;
         let (rows, _) = Executor::new(&db).run_with(&physical, &self.config.exec)?;
         Ok(rows)
     }
@@ -599,6 +640,19 @@ impl Engine {
         self.heal_poisoned()?;
         let db = self.pinned();
         Ok(self.compiled(sql, &db)?.plan.physical.display())
+    }
+
+    /// Structured explain: the chosen plan as a tree of operators with
+    /// estimated rows/cost, the personality flags consulted at each one,
+    /// and the alternatives weighed (and rejected) at each planner
+    /// decision point.
+    pub fn explain_report(&self, sql: &str) -> Result<ExplainReport> {
+        self.heal_poisoned()?;
+        let db = self.pinned();
+        let compiled = self.compiled(sql, &db)?;
+        let mut report = ExplainReport::for_plan(self.config.personality.name, sql);
+        report.root = Some(compiled.plan.explain.clone());
+        Ok(report)
     }
 
     /// Compile to a physical plan without executing (exposed for tests).

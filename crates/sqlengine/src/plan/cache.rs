@@ -14,7 +14,7 @@
 use crate::dialect::Dialect;
 use crate::plan::logical::LogicalPlan;
 use crate::plan::physical::PhysicalPlan;
-use polyframe_observe::{CacheStats, VersionedCache};
+use polyframe_observe::{CacheStats, ExplainNode, VersionedCache};
 use std::sync::Arc;
 
 /// Default number of cached plans per engine. Dataframe workloads touch a
@@ -30,6 +30,10 @@ pub struct CachedPlan {
     pub logical: LogicalPlan,
     /// Physical plan (what the executor runs).
     pub physical: PhysicalPlan,
+    /// Explain tree for the physical plan: per-operator row/cost
+    /// estimates, personality flags consulted, and the chosen-vs-rejected
+    /// alternatives recorded at each planner decision point.
+    pub explain: ExplainNode,
 }
 
 /// Whether a compile was answered from the cache.

@@ -4,13 +4,19 @@
 
 pub mod builder;
 pub mod cache;
+#[deny(clippy::unwrap_used)]
+pub mod cost;
 pub mod distributed;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;
+#[deny(clippy::unwrap_used)]
+pub mod stats;
 
 pub use builder::build_logical;
 pub use cache::{CacheOutcome, CachedPlan, PlanCache};
+pub use cost::{Cost, CostModel, PlanDecision};
 pub use logical::{AggArg, AggExpr, AggFunc, LogicalPlan, ProjectSpec, Scalar, ScalarFunc};
 pub use optimizer::optimize;
-pub use physical::{plan_physical, PhysicalPlan};
+pub use physical::{plan_physical, plan_physical_explained, PhysicalPlan, PlannerOptions};
+pub use stats::StatsCatalog;

@@ -14,9 +14,14 @@ use crate::ast::{BinOp, IsKind, JoinKind};
 use crate::catalog::Database;
 use crate::error::Result;
 use crate::personality::Personality;
+use crate::plan::cost::{op_parts, CostModel, PlanDecision};
 use crate::plan::logical::{AggArg, AggExpr, AggFunc, AggMode, LogicalPlan, ProjectSpec, Scalar};
+use crate::plan::stats::StatsCatalog;
 use polyframe_datamodel::Value;
+use polyframe_observe::explain::PlanAlternative;
 use polyframe_storage::{Direction, KeyBound, ScanRange};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// Options steering physical planning.
 #[derive(Debug, Clone)]
@@ -26,6 +31,11 @@ pub struct PlannerOptions {
     /// Master switch for index selection (ablation benchmarks turn this
     /// off to measure the cost of naive subquery execution).
     pub use_indexes: bool,
+    /// Statistics snapshot for cost-based choice among legal plans.
+    /// `None` falls back to the deterministic shape rule. Statistics never
+    /// make a plan legal — personality flags alone gate legality; stats
+    /// only pick among the already-legal alternatives.
+    pub stats: Option<Arc<StatsCatalog>>,
 }
 
 /// A dataset coordinate.
@@ -314,7 +324,7 @@ impl PhysicalPlan {
 
 /// One conjunct extracted from a predicate.
 #[derive(Debug, Clone, PartialEq)]
-enum Conjunct {
+pub(crate) enum Conjunct {
     /// `attr = lit`
     Eq(String, Value),
     /// `attr >= lit` (closed) / `attr > lit` (open)
@@ -353,7 +363,7 @@ impl Conjunct {
     }
 }
 
-fn split_conjuncts(pred: &Scalar, out: &mut Vec<Conjunct>) {
+pub(crate) fn split_conjuncts(pred: &Scalar, out: &mut Vec<Conjunct>) {
     match pred {
         Scalar::Bin(BinOp::And, a, b) => {
             split_conjuncts(a, out);
@@ -415,17 +425,63 @@ pub fn plan_physical(
     db: &Database,
     options: &PlannerOptions,
 ) -> Result<PhysicalPlan> {
-    Planner { db, options }.translate(plan)
+    plan_physical_explained(plan, db, options).map(|(phys, _)| phys)
+}
+
+/// Translate a logical plan and also return the decision points the
+/// planner weighed (chosen and rejected alternatives with costs), for
+/// attachment to an [`polyframe_observe::ExplainReport`] tree.
+pub fn plan_physical_explained(
+    plan: &LogicalPlan,
+    db: &Database,
+    options: &PlannerOptions,
+) -> Result<(PhysicalPlan, Vec<PlanDecision>)> {
+    let planner = Planner {
+        db,
+        options,
+        decisions: RefCell::new(Vec::new()),
+    };
+    let phys = planner.translate(plan)?;
+    Ok((phys, planner.decisions.into_inner()))
 }
 
 struct Planner<'a> {
     db: &'a Database,
     options: &'a PlannerOptions,
+    decisions: RefCell<Vec<PlanDecision>>,
+}
+
+/// One candidate access path for a conjunct list, before residual
+/// wrapping.
+struct AccessCandidate {
+    scan: PhysicalPlan,
+    label: String,
+    /// Conjunct positions the scan consumes.
+    used: (usize, usize),
+    /// Deterministic no-stats preference: lower is better.
+    /// 0 = equality on the primary key, 1 = equality on a secondary
+    /// index, 2 = bounded range, 3 = half-open range, 4 = unknown-key
+    /// scan; position breaks ties.
+    shape_rank: (u8, usize),
 }
 
 impl<'a> Planner<'a> {
     fn personality(&self) -> &Personality {
         &self.options.personality
+    }
+
+    fn cost_model(&self) -> CostModel<'_> {
+        CostModel {
+            db: self.db,
+            stats: self.options.stats.as_deref(),
+        }
+    }
+
+    fn record_decision(&self, target: &str, alternatives: Vec<PlanAlternative>) {
+        self.decisions.borrow_mut().push(PlanDecision {
+            target: target.to_string(),
+            alternatives,
+        });
     }
 
     fn has_index(&self, ds: &DatasetRef, attr: &str) -> bool {
@@ -498,90 +554,175 @@ impl<'a> Planner<'a> {
     }
 
     /// Choose an index access path for a conjunct list over a base scan.
+    ///
+    /// Enumerates every *legal* candidate (legality is personality- and
+    /// catalog-gated), then chooses by estimated cost when a statistics
+    /// snapshot is available — a sequential scan may win outright — or by
+    /// predicate shape without one: equality on the primary key beats
+    /// equality on a secondary index beats a bounded range beats a
+    /// half-open range beats an unknown-key scan, with conjunct position
+    /// breaking ties. The weighed alternatives are recorded for the
+    /// explain report either way.
     fn index_access(&self, ds: &DatasetRef, conjuncts: &[Conjunct]) -> Option<PhysicalPlan> {
         if !self.options.use_indexes {
             return None;
         }
-        // 1. Equality conjunct on an indexed attribute.
-        if let Some(pos) = conjuncts
+        let candidates = self.access_candidates(ds, conjuncts);
+        if candidates.is_empty() {
+            return None;
+        }
+        let model = self.cost_model();
+        // Estimate each candidate's complete pipeline (scan + residual
+        // filter) so candidates consuming different conjuncts compare
+        // fairly; the sequential baseline is the same pipeline unindexed.
+        let wrapped: Vec<PhysicalPlan> = candidates
             .iter()
-            .position(|c| matches!(c, Conjunct::Eq(a, _) if self.has_index(ds, a)))
-        {
-            let Conjunct::Eq(attr, v) = &conjuncts[pos] else {
-                unreachable!()
-            };
-            let scan = PhysicalPlan::IndexScan {
+            .map(|c| self.wrap_residual(c.scan.clone(), conjuncts, c.used.0, c.used.1))
+            .collect();
+        let seq = self.wrap_residual(
+            PhysicalPlan::SeqScan {
                 dataset: ds.clone(),
-                attr: attr.clone(),
-                range: ScanRange::eq(v.clone()),
-                direction: Direction::Forward,
-            };
-            return Some(self.wrap_residual(scan, conjuncts, pos, usize::MAX));
+            },
+            conjuncts,
+            usize::MAX,
+            usize::MAX,
+        );
+        let costs: Vec<_> = wrapped.iter().map(|p| model.estimate(p)).collect();
+        let seq_cost = model.estimate(&seq);
+        let use_cost = self.options.stats.is_some();
+        let best = (0..candidates.len()).min_by(|&a, &b| {
+            let by_shape = candidates[a].shape_rank.cmp(&candidates[b].shape_rank);
+            if use_cost {
+                costs[a].total.total_cmp(&costs[b].total).then(by_shape)
+            } else {
+                by_shape
+            }
+        })?;
+        let seq_wins = use_cost && seq_cost.total < costs[best].total;
+        let reason = if use_cost { "cost" } else { "rule:shape" };
+        let mut alternatives: Vec<PlanAlternative> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, c)| PlanAlternative {
+                label: c.label.clone(),
+                est_rows: costs[i].rows,
+                est_cost: costs[i].total,
+                chosen: !seq_wins && i == best,
+                reason: reason.to_string(),
+            })
+            .collect();
+        alternatives.push(PlanAlternative {
+            label: "SeqScan".to_string(),
+            est_rows: seq_cost.rows,
+            est_cost: seq_cost.total,
+            chosen: seq_wins,
+            reason: if use_cost {
+                "cost"
+            } else {
+                "rule:index-preferred"
+            }
+            .to_string(),
+        });
+        if seq_wins {
+            self.record_decision("SeqScan", alternatives);
+            return None;
         }
-        // 2. Range conjuncts (lower and/or upper) on one indexed attribute.
+        let (operator, _) = op_parts(&candidates[best].scan);
+        self.record_decision(&operator, alternatives);
+        wrapped.into_iter().nth(best)
+    }
+
+    /// Every legal index access path for a conjunct list.
+    fn access_candidates(&self, ds: &DatasetRef, conjuncts: &[Conjunct]) -> Vec<AccessCandidate> {
+        let primary = self
+            .db
+            .dataset(&ds.namespace, &ds.dataset)
+            .ok()
+            .and_then(|t| t.primary_key())
+            .map(str::to_string);
+        let mut out = Vec::new();
+        let mut range_attrs_seen: Vec<String> = Vec::new();
         for (i, c) in conjuncts.iter().enumerate() {
-            let attr = match c {
-                Conjunct::Ge(a, _, _) | Conjunct::Le(a, _, _) => a,
-                _ => continue,
-            };
-            if !self.has_index(ds, attr) {
-                continue;
-            }
-            // Pair with a matching opposite bound if present.
-            let mut lo = KeyBound::Unbounded;
-            let mut hi = KeyBound::Unbounded;
-            #[allow(unused_assignments)]
-            let mut j = usize::MAX;
             match c {
-                Conjunct::Ge(_, v, closed) => {
-                    lo = bound(v, *closed);
-                    j = conjuncts
-                        .iter()
-                        .position(|o| matches!(o, Conjunct::Le(a2, _, _) if a2 == attr))
-                        .unwrap_or(usize::MAX);
-                    if j != usize::MAX {
-                        if let Conjunct::Le(_, v2, c2) = &conjuncts[j] {
-                            hi = bound(v2, *c2);
+                Conjunct::Eq(attr, v) if self.has_index(ds, attr) => {
+                    let rank = if primary.as_deref() == Some(attr.as_str()) {
+                        0
+                    } else {
+                        1
+                    };
+                    out.push(AccessCandidate {
+                        scan: PhysicalPlan::IndexScan {
+                            dataset: ds.clone(),
+                            attr: attr.clone(),
+                            range: ScanRange::eq(v.clone()),
+                            direction: Direction::Forward,
+                        },
+                        label: format!("IndexScan({attr}=)"),
+                        used: (i, usize::MAX),
+                        shape_rank: (rank, i),
+                    });
+                }
+                Conjunct::Ge(attr, _, _) | Conjunct::Le(attr, _, _) => {
+                    if !self.has_index(ds, attr) || range_attrs_seen.contains(attr) {
+                        continue;
+                    }
+                    range_attrs_seen.push(attr.clone());
+                    // Pair the first lower and upper bounds on this attr.
+                    let mut lo = KeyBound::Unbounded;
+                    let mut hi = KeyBound::Unbounded;
+                    let mut j = usize::MAX;
+                    for (k, o) in conjuncts.iter().enumerate() {
+                        match o {
+                            Conjunct::Ge(a2, v2, c2)
+                                if a2 == attr && matches!(lo, KeyBound::Unbounded) =>
+                            {
+                                lo = bound(v2, *c2);
+                                if k != i {
+                                    j = k;
+                                }
+                            }
+                            Conjunct::Le(a2, v2, c2)
+                                if a2 == attr && matches!(hi, KeyBound::Unbounded) =>
+                            {
+                                hi = bound(v2, *c2);
+                                if k != i {
+                                    j = k;
+                                }
+                            }
+                            _ => {}
                         }
                     }
+                    let bounded =
+                        !matches!(lo, KeyBound::Unbounded) && !matches!(hi, KeyBound::Unbounded);
+                    out.push(AccessCandidate {
+                        scan: PhysicalPlan::IndexScan {
+                            dataset: ds.clone(),
+                            attr: attr.clone(),
+                            range: ScanRange { lo, hi },
+                            direction: Direction::Forward,
+                        },
+                        label: format!("IndexScan({attr} range)"),
+                        used: (i, j),
+                        shape_rank: (if bounded { 2 } else { 3 }, i),
+                    });
                 }
-                Conjunct::Le(_, v, closed) => {
-                    hi = bound(v, *closed);
-                    j = conjuncts
-                        .iter()
-                        .position(|o| matches!(o, Conjunct::Ge(a2, _, _) if a2 == attr))
-                        .unwrap_or(usize::MAX);
-                    if j != usize::MAX {
-                        if let Conjunct::Ge(_, v2, c2) = &conjuncts[j] {
-                            lo = bound(v2, *c2);
-                        }
-                    }
+                Conjunct::Unknown(attr)
+                    if self.has_index(ds, attr) && self.index_has_nulls(ds, attr) =>
+                {
+                    out.push(AccessCandidate {
+                        scan: PhysicalPlan::IndexUnknownScan {
+                            dataset: ds.clone(),
+                            attr: attr.clone(),
+                        },
+                        label: format!("IndexUnknownScan({attr})"),
+                        used: (i, usize::MAX),
+                        shape_rank: (4, i),
+                    });
                 }
-                _ => unreachable!(),
+                _ => {}
             }
-            let scan = PhysicalPlan::IndexScan {
-                dataset: ds.clone(),
-                attr: attr.clone(),
-                range: ScanRange { lo, hi },
-                direction: Direction::Forward,
-            };
-            return Some(self.wrap_residual(scan, conjuncts, i, j));
         }
-        // 3. Unknown-key predicate with nulls-in-index.
-        if let Some(pos) = conjuncts.iter().position(|c| {
-            matches!(c, Conjunct::Unknown(a)
-                if self.has_index(ds, a) && self.index_has_nulls(ds, a))
-        }) {
-            let Conjunct::Unknown(attr) = &conjuncts[pos] else {
-                unreachable!()
-            };
-            let scan = PhysicalPlan::IndexUnknownScan {
-                dataset: ds.clone(),
-                attr: attr.clone(),
-            };
-            return Some(self.wrap_residual(scan, conjuncts, pos, usize::MAX));
-        }
-        None
+        out
     }
 
     fn wrap_residual(
@@ -803,29 +944,138 @@ impl<'a> Planner<'a> {
         else {
             unreachable!()
         };
+        let model = self.cost_model();
         // Index nested-loop join when the inner (right) side is a bare scan
-        // with an index on its join key.
+        // with an index on its join key. Taken by rule when legal — the
+        // paper's systems pick their index join whenever the index exists —
+        // but the hash alternative's estimated cost is still surfaced.
         if *kind == JoinKind::Inner {
             if let (Stripped::Scan(rds), Scalar::Field(rattr)) = (strip_reshape(right), right_key) {
                 if self.has_index(&rds, rattr) {
-                    return Ok(PhysicalPlan::IndexNLJoin {
+                    let phys = PhysicalPlan::IndexNLJoin {
                         outer: Box::new(self.translate(left)?),
                         outer_key: left_key.clone(),
                         inner: (rds, rattr.clone()),
                         outer_binding: left_binding.clone(),
                         inner_binding: right_binding.clone(),
-                    });
+                    };
+                    let nl_cost = model.estimate(&phys);
+                    let mut alternatives = vec![PlanAlternative {
+                        label: format!("IndexNLJoin({rattr})"),
+                        est_rows: nl_cost.rows,
+                        est_cost: nl_cost.total,
+                        chosen: true,
+                        reason: "rule:index-nested-loop".to_string(),
+                    }];
+                    // Cost the hash alternative without keeping its
+                    // subtree's decisions (it loses by rule).
+                    let checkpoint = self.decisions.borrow().len();
+                    if let (Ok(l), Ok(r)) = (self.translate(left), self.translate(right)) {
+                        let hash = PhysicalPlan::HashJoin {
+                            left: Box::new(l),
+                            right: Box::new(r),
+                            left_key: left_key.clone(),
+                            right_key: right_key.clone(),
+                            left_binding: left_binding.clone(),
+                            right_binding: right_binding.clone(),
+                            kind: *kind,
+                        };
+                        let hash_cost = model.estimate(&hash);
+                        alternatives.push(PlanAlternative {
+                            label: format!("HashJoin(build={right_binding})"),
+                            est_rows: hash_cost.rows,
+                            est_cost: hash_cost.total,
+                            chosen: false,
+                            reason: "rule:index-nested-loop".to_string(),
+                        });
+                    }
+                    self.decisions.borrow_mut().truncate(checkpoint);
+                    self.record_decision("IndexNLJoin", alternatives);
+                    return Ok(phys);
                 }
             }
         }
-        Ok(PhysicalPlan::HashJoin {
-            left: Box::new(self.translate(left)?),
-            right: Box::new(self.translate(right)?),
+        let l = self.translate(left)?;
+        let r = self.translate(right)?;
+        let base = PhysicalPlan::HashJoin {
+            left: Box::new(l.clone()),
+            right: Box::new(r.clone()),
             left_key: left_key.clone(),
             right_key: right_key.clone(),
             left_binding: left_binding.clone(),
             right_binding: right_binding.clone(),
             kind: *kind,
+        };
+        // Build-side choice: the executor builds the hash table on the
+        // RIGHT input and probes with the LEFT. With statistics, build on
+        // the smaller side (inner joins only — outer joins are
+        // side-asymmetric).
+        if *kind != JoinKind::Inner || self.options.stats.is_none() {
+            // No statistics (or a side-asymmetric outer join): the rule
+            // always builds the right input. Record the choice so explain
+            // still shows which side the hash table lands on.
+            let base_cost = model.estimate(&base);
+            self.record_decision(
+                "HashJoin",
+                vec![PlanAlternative {
+                    label: format!("HashJoin(build={right_binding})"),
+                    est_rows: base_cost.rows,
+                    est_cost: base_cost.total,
+                    chosen: true,
+                    reason: "rule:build-right".to_string(),
+                }],
+            );
+            return Ok(base);
+        }
+        let swapped = PhysicalPlan::HashJoin {
+            left: Box::new(r),
+            right: Box::new(l),
+            left_key: right_key.clone(),
+            right_key: left_key.clone(),
+            left_binding: right_binding.clone(),
+            right_binding: left_binding.clone(),
+            kind: *kind,
+        };
+        let base_cost = model.estimate(&base);
+        let swap_cost = model.estimate(&swapped);
+        let take_swap = swap_cost.total < base_cost.total;
+        self.record_decision(
+            "HashJoin",
+            vec![
+                PlanAlternative {
+                    label: format!("HashJoin(build={right_binding})"),
+                    est_rows: base_cost.rows,
+                    est_cost: base_cost.total,
+                    chosen: !take_swap,
+                    reason: "cost".to_string(),
+                },
+                PlanAlternative {
+                    label: format!("HashJoin(build={left_binding})"),
+                    est_rows: swap_cost.rows,
+                    est_cost: swap_cost.total,
+                    chosen: take_swap,
+                    reason: "cost".to_string(),
+                },
+            ],
+        );
+        if !take_swap {
+            return Ok(base);
+        }
+        // The executor pairs the probe binding's fields first; restore the
+        // query's original binding order on top so results are
+        // byte-identical to the unswapped plan.
+        Ok(PhysicalPlan::Project {
+            input: Box::new(swapped),
+            spec: ProjectSpec::Columns(vec![
+                (
+                    left_binding.clone(),
+                    Scalar::BindingRef(left_binding.clone()),
+                ),
+                (
+                    right_binding.clone(),
+                    Scalar::BindingRef(right_binding.clone()),
+                ),
+            ]),
         })
     }
 }

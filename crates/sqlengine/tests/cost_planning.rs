@@ -1,0 +1,309 @@
+//! Cost-based planning invariants.
+//!
+//! Three properties pin the statistics subsystem's contract:
+//!
+//! 1. The **no-stats fallback** is shape-ranked, not first-match: among
+//!    legal indexes it prefers primary-key equality, then secondary
+//!    equality, then ranges — regardless of conjunct order.
+//! 2. With statistics, the planner picks by estimated cost and the
+//!    structured explain report surfaces the **rejected** alternatives
+//!    with their costs (index selection and hash-join build side).
+//! 3. A seeded property sweep: across random data states and all four
+//!    engine personalities, turning statistics on may only change the
+//!    *plan* — results stay byte-identical, and every chosen operator
+//!    remains legal under the active personality flags.
+
+use polyframe_datamodel::{to_json_string, Value};
+use polyframe_observe::ExplainNode;
+use polyframe_sqlengine::{Engine, EngineConfig, Personality};
+use polyframe_wisconsin::{generate, WisconsinConfig};
+
+fn engine_with(config: EngineConfig, rows: usize, index_attrs: &[&str]) -> Engine {
+    let e = Engine::new(config);
+    let ns = e.config().default_namespace.clone();
+    e.create_dataset(&ns, "data", Some("unique2")).unwrap();
+    e.load(&ns, "data", generate(&WisconsinConfig::new(rows)))
+        .unwrap();
+    for attr in index_attrs {
+        e.create_index(&ns, "data", attr).unwrap();
+    }
+    e
+}
+
+// --- 1. shape-ranked no-stats fallback -------------------------------------
+
+#[test]
+fn no_stats_fallback_prefers_primary_key_equality() {
+    // `two` is indexed and appears first in the predicate; the old
+    // first-match rule picked it. The shape rule ranks primary-key
+    // equality above secondary equality no matter the conjunct order.
+    let e = engine_with(EngineConfig::postgres().with_stats(false), 500, &["two"]);
+    let plan = e
+        .explain(
+            "SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"two\" = 0 AND t.\"unique2\" = 42",
+        )
+        .unwrap();
+    assert!(plan.contains("IndexScan"), "{plan}");
+    assert!(plan.contains("(unique2)"), "{plan}");
+    assert!(!plan.contains("(two)"), "{plan}");
+}
+
+#[test]
+fn no_stats_fallback_prefers_equality_over_range() {
+    // A range on the first-declared index loses to an equality on a
+    // later one: equality lookups bound the fetched rows far tighter.
+    let e = engine_with(
+        EngineConfig::postgres().with_stats(false),
+        500,
+        &["ten", "onePercent"],
+    );
+    let plan = e
+        .explain(
+            "SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"ten\" >= 2 AND t.\"onePercent\" = 3",
+        )
+        .unwrap();
+    assert!(plan.contains("IndexScan"), "{plan}");
+    assert!(plan.contains("(onePercent)"), "{plan}");
+    assert!(!plan.contains("(ten)"), "{plan}");
+}
+
+// --- 2. cost-based choices surface their rejected alternatives -------------
+
+#[test]
+fn stats_pick_the_selective_index_and_surface_rejections() {
+    let e = engine_with(EngineConfig::postgres(), 5_000, &["two", "onePercent"]);
+    let sql = "SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"two\" = 0 AND t.\"onePercent\" = 3";
+    let report = e.explain_report(sql).unwrap();
+    let scan = report.find("IndexScan").unwrap();
+    assert!(
+        scan.detail.contains("(onePercent)"),
+        "{}",
+        report.plan_text()
+    );
+    let chosen = scan.alternatives.iter().find(|a| a.chosen).unwrap();
+    assert_eq!(chosen.label, "IndexScan(onePercent=)");
+    // The 50%-selective index the rule would have taken is reported as
+    // rejected, with a cost, and that cost exceeds the winner's.
+    let rejected = scan
+        .rejected()
+        .find(|a| a.label == "IndexScan(two=)")
+        .unwrap();
+    assert!(
+        rejected.est_cost > chosen.est_cost,
+        "{}",
+        report.plan_text()
+    );
+}
+
+#[test]
+fn hash_join_build_side_follows_the_smaller_table() {
+    // Two tables joined on a non-indexed unique key; when their sizes
+    // flip, the build side flips with them (and the rejected build side
+    // keeps its estimated cost in the report).
+    for (big_rows, small_rows, build) in [(4_000, 200, "l"), (200, 4_000, "r")] {
+        let e = Engine::new(EngineConfig::postgres());
+        let ns = e.config().default_namespace.clone();
+        e.create_dataset(&ns, "lhs", Some("unique2")).unwrap();
+        e.load(&ns, "lhs", generate(&WisconsinConfig::new(small_rows)))
+            .unwrap();
+        e.create_dataset(&ns, "rhs", Some("unique2")).unwrap();
+        e.load(&ns, "rhs", generate(&WisconsinConfig::new(big_rows)))
+            .unwrap();
+        let sql = "SELECT SUM(t.\"unique2\") AS s FROM \
+             (SELECT l.*, r.* FROM (SELECT * FROM lhs) l \
+              INNER JOIN (SELECT * FROM rhs) r ON l.\"unique1\" = r.\"unique1\") t";
+        let report = e.explain_report(sql).unwrap();
+        let join = report.find("HashJoin").unwrap();
+        let chosen = join.alternatives.iter().find(|a| a.chosen).unwrap();
+        assert_eq!(
+            chosen.label,
+            format!("HashJoin(build={build})"),
+            "{}",
+            report.plan_text()
+        );
+        let rejected = join.rejected().next().unwrap();
+        assert!(
+            rejected.est_cost > chosen.est_cost,
+            "{}",
+            report.plan_text()
+        );
+    }
+}
+
+// --- 3. seeded sweep: stats change plans, never results or legality --------
+
+/// Tiny deterministic xorshift so the sweep needs no external RNG crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// A PostgreSQL-dialect engine whose personality has every optional
+/// index feature disabled — the fourth sweep personality, checking that
+/// statistics never resurrect a flag-gated plan.
+fn locked_down() -> EngineConfig {
+    let mut config = EngineConfig::postgres();
+    config.personality = Personality {
+        name: "lockdown",
+        index_only_scans: false,
+        backward_index_scans: false,
+        nulls_in_indexes: false,
+        count_via_primary_index: false,
+        index_only_join: false,
+        ..config.personality
+    };
+    config
+}
+
+/// Which personality flag admits each flag-gated operator.
+fn operator_legal(operator: &str, detail: &str, p: &Personality) -> bool {
+    match operator {
+        "PrimaryIndexCount" => p.count_via_primary_index,
+        "IndexMinMax" => p.index_only_scans,
+        "IndexOnlyCount" if detail.contains("unknown keys") => {
+            p.index_only_scans && p.nulls_in_indexes
+        }
+        "IndexOnlyCount" => p.index_only_scans,
+        "IndexOrderedScan" => p.backward_index_scans,
+        "IndexUnknownScan" => p.nulls_in_indexes,
+        "IndexOnlyJoinCount" => p.index_only_join,
+        _ => true,
+    }
+}
+
+fn assert_legal(node: &ExplainNode, p: &Personality) {
+    assert!(
+        operator_legal(&node.operator, &node.detail, p),
+        "{} chose illegal operator {} {}",
+        p.name,
+        node.operator,
+        node.detail
+    );
+    // The flags the report says were consulted must all be enabled —
+    // an operator may not ride on a flag the personality lacks.
+    for flag in &node.flags {
+        let set = match flag.as_str() {
+            "index_only_scans" => p.index_only_scans,
+            "backward_index_scans" => p.backward_index_scans,
+            "nulls_in_indexes" => p.nulls_in_indexes,
+            "count_via_primary_index" => p.count_via_primary_index,
+            "index_only_join" => p.index_only_join,
+            other => panic!("unknown flag {other} in explain report"),
+        };
+        assert!(set, "{} consulted unset flag {flag}", p.name);
+    }
+    for child in &node.children {
+        assert_legal(child, p);
+    }
+}
+
+fn ndjson(rows: &[Value]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&to_json_string(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// The sweep's query suite in both dialects: scans, selective filters,
+/// aggregates (flag-gated fast paths where legal), top-k, unknown-key
+/// counts — every plan family the personality flags gate.
+fn sweep_queries(sqlpp: bool) -> Vec<&'static str> {
+    if sqlpp {
+        vec![
+            "SELECT VALUE COUNT(*) FROM data",
+            "SELECT VALUE t FROM (SELECT VALUE t FROM data t) t WHERE t.onePercent = 3",
+            "SELECT VALUE t FROM (SELECT VALUE t FROM data t) t WHERE t.two = 0 AND t.onePercent = 3",
+            "SELECT MAX(unique1) FROM (SELECT VALUE t FROM data t) t",
+            "SELECT VALUE t FROM (SELECT VALUE t FROM data t) t ORDER BY t.unique1 DESC LIMIT 5",
+            "SELECT VALUE COUNT(*) FROM (SELECT VALUE t FROM (SELECT VALUE t FROM data t) t WHERE tenPercent IS UNKNOWN) t",
+        ]
+    } else {
+        vec![
+            "SELECT COUNT(*) FROM (SELECT * FROM data) t",
+            "SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"onePercent\" = 3",
+            "SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"two\" = 0 AND t.\"onePercent\" = 3",
+            "SELECT MAX(\"unique1\") FROM (SELECT * FROM data) t",
+            "SELECT t.* FROM (SELECT * FROM data) t ORDER BY t.\"unique1\" DESC LIMIT 5",
+            "SELECT COUNT(*) FROM (SELECT t.* FROM (SELECT * FROM data) t WHERE t.\"tenPercent\" IS NULL) t",
+        ]
+    }
+}
+
+#[test]
+fn sweep_stats_never_change_results_and_plans_stay_legal() {
+    type ConfigFn = fn() -> EngineConfig;
+    let personalities: [(&str, ConfigFn); 4] = [
+        ("asterixdb", EngineConfig::asterixdb),
+        ("postgres", EngineConfig::postgres),
+        ("greenplum", EngineConfig::greenplum),
+        ("lockdown", locked_down),
+    ];
+    for seed in 1..=6u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let rows = 300 + rng.below(900) as usize;
+        // Randomize the stats state: optionally split the load in two so
+        // the second batch runs through the incremental/amortized path,
+        // and optionally index the low-cardinality columns.
+        let split = rng.below(2) == 1;
+        let mut index_attrs = vec!["unique1", "ten"];
+        if rng.below(2) == 1 {
+            index_attrs.push("onePercent");
+        }
+        if rng.below(2) == 1 {
+            index_attrs.push("tenPercent");
+        }
+        for (name, config) in personalities {
+            let build = |use_stats: bool| {
+                let e = Engine::new(config().with_stats(use_stats));
+                let ns = e.config().default_namespace.clone();
+                e.create_dataset(&ns, "data", Some("unique2")).unwrap();
+                let records = generate(&WisconsinConfig::new(rows));
+                if split {
+                    let mid = records.len() / 2;
+                    e.load(&ns, "data", records[..mid].to_vec()).unwrap();
+                    for attr in &index_attrs {
+                        e.create_index(&ns, "data", attr).unwrap();
+                    }
+                    e.load(&ns, "data", records[mid..].to_vec()).unwrap();
+                } else {
+                    e.load(&ns, "data", records).unwrap();
+                    for attr in &index_attrs {
+                        e.create_index(&ns, "data", attr).unwrap();
+                    }
+                }
+                e
+            };
+            let with_stats = build(true);
+            let without = build(false);
+            let sqlpp = name == "asterixdb";
+            for sql in sweep_queries(sqlpp) {
+                let a = with_stats.query(sql).unwrap();
+                let b = without.query(sql).unwrap();
+                assert_eq!(
+                    ndjson(&a),
+                    ndjson(&b),
+                    "stats changed the result: seed={seed} {name}: {sql}"
+                );
+                for engine in [&with_stats, &without] {
+                    let report = engine.explain_report(sql).unwrap();
+                    let root = report.root.as_ref().unwrap();
+                    assert_legal(root, &engine.config().personality);
+                }
+            }
+        }
+    }
+}

@@ -40,7 +40,7 @@ pub use batch::{Column, ColumnBatch, Presence, DEFAULT_BATCH_ROWS, DICT_CAP, MAX
 pub use btree::{BPlusTree, Direction, KeyBound, ScanRange};
 pub use heap::{RecordId, TableHeap};
 pub use index::{Index, IndexKind, NullPolicy};
-pub use stats::TableStats;
+pub use stats::{AttributeStats, Histogram, NdvSketch, TableStats};
 pub use table::{Table, TableOptions};
 pub use wal::{
     encode_ops, CheckpointPolicy, DurableOp, LogMedia, RecoveryReport, Wal, WalError, WalStats,

@@ -1,8 +1,211 @@
 //! Table statistics consulted by query planners.
+//!
+//! Three layers of fidelity, all deterministic:
+//!
+//! * counts / min / max — exact, maintained incrementally on every insert;
+//! * NDV (number of distinct values) — a KMV (k-minimum-values) sketch over
+//!   a deterministic value hash, maintained incrementally;
+//! * equi-width histograms on numeric attributes — built by
+//!   [`TableStats::rebuild`] (bulk load and checkpoint call it), then kept
+//!   approximately fresh by clamping incremental inserts into the existing
+//!   bucket range until the next rebuild.
 
+use crate::heap::TableHeap;
 use polyframe_datamodel::{cmp_total, Record, Value};
 use std::cmp::Ordering;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+
+/// Number of hashes retained by the KMV distinct-value sketch.
+pub const KMV_K: usize = 256;
+
+/// Number of buckets in an equi-width histogram.
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Deterministic 64-bit hash of a value (FNV-1a + splitmix finalizer).
+///
+/// `std`'s `DefaultHasher` is seeded per-process; planner decisions must be
+/// reproducible across runs, so the sketch uses its own hash. Numeric values
+/// that compare equal (`Int(3)` vs `Double(3.0)`) hash identically.
+pub fn value_hash(value: &Value) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv(&mut h, &[tag(value)]);
+    match value {
+        Value::Missing | Value::Null => {}
+        Value::Bool(b) => fnv(&mut h, &[*b as u8]),
+        Value::Int(i) => fnv(&mut h, &i.to_le_bytes()),
+        Value::Double(d) => match value.as_i64() {
+            // Whole doubles hash as the equal integer.
+            Some(i) => fnv(&mut h, &i.to_le_bytes()),
+            None => fnv(&mut h, &d.to_bits().to_le_bytes()),
+        },
+        Value::Str(s) => fnv(&mut h, s.as_bytes()),
+        Value::Array(items) => {
+            for item in items {
+                fnv(&mut h, &value_hash(item).to_le_bytes());
+            }
+        }
+        Value::Obj(rec) => {
+            for (name, v) in rec.iter() {
+                fnv(&mut h, name.as_bytes());
+                fnv(&mut h, &value_hash(v).to_le_bytes());
+            }
+        }
+    }
+    mix(h)
+}
+
+fn tag(value: &Value) -> u8 {
+    match value {
+        Value::Missing => 0,
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        // Int and whole Double share a tag so equal numerics hash equal.
+        Value::Int(_) => 3,
+        Value::Double(d) if d.fract() == 0.0 => 3,
+        Value::Double(_) => 4,
+        Value::Str(_) => 5,
+        Value::Array(_) => 6,
+        Value::Obj(_) => 7,
+    }
+}
+
+fn fnv(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= u64::from(b);
+        *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// KMV distinct-value sketch: keeps the `KMV_K` smallest hashes seen.
+///
+/// Exact while fewer than `KMV_K` distinct hashes were observed; afterwards
+/// estimates `NDV ≈ (k-1) / kth_smallest_normalized_hash`.
+#[derive(Debug, Clone, Default)]
+pub struct NdvSketch {
+    mins: BTreeSet<u64>,
+}
+
+impl NdvSketch {
+    /// Fold one value hash into the sketch.
+    pub fn insert_hash(&mut self, h: u64) {
+        if self.mins.len() < KMV_K {
+            self.mins.insert(h);
+            return;
+        }
+        if let Some(&largest) = self.mins.iter().next_back() {
+            if h < largest && self.mins.insert(h) {
+                self.mins.remove(&largest);
+            }
+        }
+    }
+
+    /// Estimated number of distinct values observed.
+    pub fn estimate(&self) -> f64 {
+        let n = self.mins.len();
+        if n < KMV_K {
+            return n as f64;
+        }
+        let kth = match self.mins.iter().next_back() {
+            Some(&v) => v,
+            None => return 0.0,
+        };
+        // Normalize the kth-smallest hash to (0, 1].
+        let frac = (kth as f64 + 1.0) / (u64::MAX as f64 + 1.0);
+        ((n - 1) as f64 / frac).max(n as f64)
+    }
+}
+
+/// Equi-width histogram over a numeric attribute.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Empty histogram spanning `[lo, hi]` (bounds are swapped if reversed).
+    pub fn new(lo: f64, hi: f64) -> Histogram {
+        let (lo, hi) = if hi < lo { (hi, lo) } else { (lo, hi) };
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Lower bound of the bucket range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the bucket range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Total number of values folded in.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn bucket_of(&self, v: f64) -> usize {
+        if self.hi <= self.lo {
+            return 0;
+        }
+        let pos = (v - self.lo) / (self.hi - self.lo) * self.counts.len() as f64;
+        // Clamp: values outside the range (seen after the last rebuild
+        // widened the true domain) land in the edge buckets.
+        (pos.max(0.0) as usize).min(self.counts.len() - 1)
+    }
+
+    /// Fold one value into its (clamped) bucket.
+    pub fn add(&mut self, v: f64) {
+        let b = self.bucket_of(v);
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Approximate fraction of values `< x`, interpolating linearly within
+    /// the bucket containing `x`.
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.total == 0 || x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi || self.hi <= self.lo {
+            return 1.0;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let pos = (x - self.lo) / width;
+        let idx = (pos as usize).min(self.counts.len() - 1);
+        let within = (pos - idx as f64).clamp(0.0, 1.0);
+        let below: u64 = self.counts[..idx].iter().sum();
+        (below as f64 + self.counts[idx] as f64 * within) / self.total as f64
+    }
+
+    /// Approximate fraction of values inside `[lo, hi]` (either bound
+    /// optional). Bound inclusivity is below histogram resolution.
+    pub fn range_fraction(&self, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        let a = lo.map_or(0.0, |v| self.fraction_below(v));
+        let b = hi.map_or(1.0, |v| self.fraction_below(v));
+        (b - a).clamp(0.0, 1.0)
+    }
+}
 
 /// Per-attribute statistics.
 #[derive(Debug, Clone, Default)]
@@ -15,6 +218,17 @@ pub struct AttributeStats {
     pub min: Option<Value>,
     /// Largest observed (known) value.
     pub max: Option<Value>,
+    /// Distinct-value sketch over known values.
+    pub ndv: NdvSketch,
+    /// Equi-width histogram (numeric attributes, built on rebuild).
+    pub histogram: Option<Histogram>,
+}
+
+impl AttributeStats {
+    /// Estimated number of distinct known values, capped by the known count.
+    pub fn ndv_estimate(&self) -> f64 {
+        self.ndv.estimate().min(self.non_null_count.max(1) as f64)
+    }
 }
 
 /// Statistics for one table, maintained incrementally on insert.
@@ -26,6 +240,9 @@ pub struct AttributeStats {
 pub struct TableStats {
     record_count: usize,
     attributes: HashMap<String, AttributeStats>,
+    /// `record_count` at the last full [`TableStats::rebuild`]; drives the
+    /// amortized rebuild policy of [`TableStats::maybe_rebuild`].
+    rebuilt_at: usize,
 }
 
 impl TableStats {
@@ -44,6 +261,11 @@ impl TableStats {
         self.attributes.get(name)
     }
 
+    /// Iterate every observed attribute with its statistics.
+    pub fn attributes(&self) -> impl Iterator<Item = (&str, &AttributeStats)> {
+        self.attributes.iter().map(|(n, a)| (n.as_str(), a))
+    }
+
     /// Number of records whose `name` attribute is unknown (`Null`/absent).
     pub fn unknown_count(&self, name: &str) -> usize {
         match self.attributes.get(name) {
@@ -51,6 +273,24 @@ impl TableStats {
             // Attribute never seen: it is unknown in every record.
             None => self.record_count,
         }
+    }
+
+    /// Fraction of records whose `name` attribute is unknown.
+    pub fn unknown_fraction(&self, name: &str) -> f64 {
+        if self.record_count == 0 {
+            return 0.0;
+        }
+        self.unknown_count(name) as f64 / self.record_count as f64
+    }
+
+    /// Estimated number of distinct known values of `name`.
+    pub fn ndv(&self, name: &str) -> Option<f64> {
+        self.attributes.get(name).map(AttributeStats::ndv_estimate)
+    }
+
+    /// Histogram for `name`, when one was built.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.attributes.get(name).and_then(|a| a.histogram.as_ref())
     }
 
     /// Fold one record into the statistics.
@@ -71,6 +311,10 @@ impl TableStats {
                     Some(m) if cmp_total(value, m) != Ordering::Greater => {}
                     _ => entry.max = Some(value.clone()),
                 }
+                entry.ndv.insert_hash(value_hash(value));
+                if let (Some(hist), Some(v)) = (entry.histogram.as_mut(), value.as_f64()) {
+                    hist.add(v);
+                }
             }
         }
         // Attributes seen before but absent from this record.
@@ -79,6 +323,49 @@ impl TableStats {
                 entry.unknown_count += 1;
             }
         }
+    }
+
+    /// Recompute every statistic exactly from the heap, including fresh
+    /// equi-width histograms over the exact min/max range of each numeric
+    /// attribute. Called on bulk load and at WAL checkpoints.
+    pub fn rebuild(&mut self, heap: &TableHeap) {
+        let mut fresh = TableStats::new();
+        for (_, record) in heap.scan() {
+            fresh.observe(record);
+        }
+        for entry in fresh.attributes.values_mut() {
+            let bounds = match (&entry.min, &entry.max) {
+                (Some(lo), Some(hi)) => match (lo.as_f64(), hi.as_f64()) {
+                    (Some(lo), Some(hi)) => Some((lo, hi)),
+                    _ => None,
+                },
+                _ => None,
+            };
+            entry.histogram = bounds.map(|(lo, hi)| Histogram::new(lo, hi));
+        }
+        for (_, record) in heap.scan() {
+            for (name, value) in record.iter() {
+                if let Some(entry) = fresh.attributes.get_mut(name) {
+                    if let (Some(hist), Some(v)) = (entry.histogram.as_mut(), value.as_f64()) {
+                        hist.add(v);
+                    }
+                }
+            }
+        }
+        fresh.rebuilt_at = fresh.record_count;
+        *self = fresh;
+    }
+
+    /// Rebuild when the table has at least doubled since the last rebuild
+    /// (amortized O(n) over any insert history). Returns whether a rebuild
+    /// ran. Bulk load calls this after each batch; checkpoints force a full
+    /// [`TableStats::rebuild`] instead.
+    pub fn maybe_rebuild(&mut self, heap: &TableHeap) -> bool {
+        let due = self.record_count > 0 && self.record_count >= self.rebuilt_at.saturating_mul(2);
+        if due {
+            self.rebuild(heap);
+        }
+        due
     }
 
     /// Estimated selectivity of an equality predicate on `name`, assuming a
@@ -143,5 +430,81 @@ mod tests {
         let sel = st.eq_selectivity("ten");
         assert!((sel - 0.1).abs() < 1e-9);
         assert_eq!(st.eq_selectivity("absent"), 0.0);
+    }
+
+    #[test]
+    fn ndv_exact_below_sketch_capacity() {
+        let mut st = TableStats::new();
+        for i in 0..100i64 {
+            st.observe(&record! {"ten" => i % 10, "uniq" => i});
+        }
+        assert_eq!(st.ndv("ten"), Some(10.0));
+        assert_eq!(st.ndv("uniq"), Some(100.0));
+        assert_eq!(st.ndv("absent"), None);
+    }
+
+    #[test]
+    fn ndv_estimates_above_sketch_capacity() {
+        let mut sketch = NdvSketch::default();
+        for i in 0..10_000i64 {
+            sketch.insert_hash(value_hash(&Value::Int(i)));
+        }
+        let est = sketch.estimate();
+        assert!(
+            (est - 10_000.0).abs() / 10_000.0 < 0.25,
+            "KMV estimate {est} too far from 10000"
+        );
+    }
+
+    #[test]
+    fn numeric_values_comparing_equal_hash_equal() {
+        assert_eq!(value_hash(&Value::Int(3)), value_hash(&Value::Double(3.0)));
+        assert_ne!(value_hash(&Value::Int(3)), value_hash(&Value::Double(3.5)));
+        assert_ne!(value_hash(&Value::Int(3)), value_hash(&Value::str("3")));
+    }
+
+    #[test]
+    fn histogram_range_fractions() {
+        let mut h = Histogram::new(0.0, 100.0);
+        for i in 0..100 {
+            h.add(i as f64);
+        }
+        assert!((h.fraction_below(50.0) - 0.5).abs() < 0.05);
+        assert!((h.range_fraction(Some(25.0), Some(75.0)) - 0.5).abs() < 0.05);
+        assert_eq!(h.range_fraction(None, None), 1.0);
+        assert_eq!(h.fraction_below(-5.0), 0.0);
+        assert_eq!(h.fraction_below(200.0), 1.0);
+    }
+
+    #[test]
+    fn rebuild_builds_histograms_from_heap() {
+        let mut heap = TableHeap::new();
+        for i in 0..200i64 {
+            heap.insert(record! {"n" => i, "name" => format!("r{i}")});
+        }
+        let mut st = TableStats::new();
+        st.rebuild(&heap);
+        assert_eq!(st.record_count(), 200);
+        let hist = st.histogram("n").expect("numeric attr gets a histogram");
+        assert_eq!(hist.total(), 200);
+        assert!((hist.range_fraction(Some(0.0), Some(99.0)) - 0.5).abs() < 0.06);
+        // Strings get NDV but no histogram.
+        assert!(st.histogram("name").is_none());
+        assert_eq!(st.ndv("name"), Some(200.0));
+    }
+
+    #[test]
+    fn incremental_adds_clamp_into_existing_buckets() {
+        let mut heap = TableHeap::new();
+        for i in 0..100i64 {
+            heap.insert(record! {"n" => i});
+        }
+        let mut st = TableStats::new();
+        st.rebuild(&heap);
+        // A value beyond the rebuilt range lands in the edge bucket.
+        st.observe(&record! {"n" => 1_000i64});
+        let hist = st.histogram("n").expect("histogram survives observe");
+        assert_eq!(hist.total(), 101);
+        assert_eq!(hist.hi(), 99.0);
     }
 }

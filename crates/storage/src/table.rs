@@ -101,11 +101,18 @@ impl Table {
         rid
     }
 
-    /// Bulk insert.
+    /// Bulk insert. Refreshes histograms/NDV exactly when the table has
+    /// grown enough since the last statistics rebuild (amortized O(n)).
     pub fn insert_all(&mut self, records: impl IntoIterator<Item = Record>) {
         for r in records {
             self.insert(r);
         }
+        self.stats.maybe_rebuild(&self.heap);
+    }
+
+    /// Recompute all statistics exactly from the heap (checkpoint path).
+    pub fn rebuild_stats(&mut self) {
+        self.stats.rebuild(&self.heap);
     }
 
     /// Create a secondary index on `attribute` and backfill it. Returns the

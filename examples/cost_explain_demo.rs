@@ -1,0 +1,42 @@
+//! Shows the structured `ExplainReport`'s cost evidence: the same
+//! dataframe join planned twice with the table sizes flipped. The
+//! hash-join build side follows the smaller table, and the report keeps
+//! the rejected alternative — with its estimated cost — either way.
+
+use polyframe::prelude::*;
+use polyframe_datamodel::record;
+use polyframe_sqlengine::{Engine, EngineConfig};
+use std::sync::Arc;
+
+fn main() -> Result<(), PolyFrameError> {
+    for (user_rows, event_rows) in [(500usize, 20_000usize), (20_000, 500)] {
+        let users: Vec<_> = (0..user_rows as i64)
+            .map(|i| record! { "id" => i, "uid" => i, "name" => format!("user{i}") })
+            .collect();
+        let events: Vec<_> = (0..event_rows as i64)
+            .map(|i| record! { "id" => i, "uid" => i % 1000, "kind" => "click" })
+            .collect();
+        let engine = Arc::new(Engine::new(EngineConfig::postgres()));
+        engine.create_dataset("Test", "Users", Some("id")).unwrap();
+        engine.load("Test", "Users", users).unwrap();
+        engine.create_dataset("Test", "Events", Some("id")).unwrap();
+        engine.load("Test", "Events", events).unwrap();
+        let connector = Arc::new(PostgresConnector::new(engine));
+        let u = AFrame::new("Test", "Users", connector.clone())?;
+        let e = AFrame::new("Test", "Events", connector)?;
+
+        // `uid` is not indexed on either side, so the join hashes; the
+        // planner puts the hash table on whichever side is smaller.
+        let report = u.merge(&e, "uid")?.explain()?;
+        println!("--- {user_rows} users x {event_rows} events ---");
+        let join = report.find("HashJoin").expect("hash join in plan");
+        for alt in &join.alternatives {
+            let mark = if alt.chosen { "chose" } else { "rejected" };
+            println!(
+                "  {mark} {} rows={:.0} cost={:.0} ({})",
+                alt.label, alt.est_rows, alt.est_cost, alt.reason
+            );
+        }
+    }
+    Ok(())
+}
