@@ -13,6 +13,8 @@
 //! harness recovery    [--records N] [--seed N] [--json PATH]       WAL crash recovery
 //! harness serve       [--sessions N] [--ops N] [--workers N]
 //!                      [--records N] [--seed N] [--json PATH]       concurrent serving
+//! harness replicate   [--records N] [--shards N] [--seed N]
+//!                      [--json PATH]                                replication + rebalance
 //! ```
 //!
 //! `--scale` sets the XS record count (default 20 000; the paper used
@@ -130,13 +132,19 @@ fn main() {
                 get_str_flag("--json"),
             );
         }
+        "replicate" => {
+            let records = get_flag("--records", 5_000);
+            let shards = get_flag("--shards", 2);
+            let seed = get_flag("--seed", 42) as u64;
+            replicate(records, shards, seed, get_str_flag("--json"));
+        }
         _ => {
             eprintln!(
-                "usage: harness <single-node|speedup|scaleup|translate|sizes|ablations|faults|recovery|serve> [options]\n\
+                "usage: harness <single-node|speedup|scaleup|translate|sizes|ablations|faults|recovery|serve|replicate> [options]\n\
                  options: --size xs|s|m|l|xl|empty|all, --scale N, --shards N, --records N,\n\
-                 --samples N (ablations), --seed N (faults/recovery/serve),\n\
+                 --samples N (ablations), --seed N (faults/recovery/serve/replicate),\n\
                  --sessions N --ops N --workers N (serve),\n\
-                 --json PATH (single-node/ablations/faults/recovery/serve: JSON report)"
+                 --json PATH (single-node/ablations/faults/recovery/serve/replicate: JSON report)"
             );
         }
     }
@@ -632,6 +640,101 @@ fn serve(
 
     if let Some(path) = json_path {
         let recs: Vec<String> = runs.iter().map(|r| r.to_json(records, seed)).collect();
+        let body = format!("[\n{}\n]\n", recs.join(",\n"));
+        match std::fs::write(&path, body) {
+            Ok(()) => println!("wrote {} JSON records to {path}", recs.len()),
+            Err(e) => {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Elastic tier: the same seeded leader crash healed by full WAL
+/// rebuild vs follower promotion (recovery time under load), plus read
+/// tail latency while a shard splits online. Fails when any scenario
+/// changes query results.
+fn replicate(records: usize, shards: usize, seed: u64, json_path: Option<String>) {
+    use polyframe_bench::replicate::replicate_report;
+
+    println!(
+        "\n=== Replication and rebalance: {records} records, {shards} shards, seed {seed} ==="
+    );
+    let report = replicate_report(records, shards, seed);
+
+    let mut table = Table::new(&[
+        "mode",
+        "replicas",
+        "recovery",
+        "replayed",
+        "promotions",
+        "rebuilds",
+        "p99 during",
+        "results",
+    ]);
+    for run in &report.recovery {
+        table.row(vec![
+            run.mode.to_string(),
+            run.replicas.to_string(),
+            fmt_duration(run.recovery),
+            run.replayed.to_string(),
+            run.promotions.to_string(),
+            run.rebuilds.to_string(),
+            fmt_duration(run.p99_during),
+            if run.identical {
+                "identical"
+            } else {
+                "DIVERGED"
+            }
+            .to_string(),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let reb = &report.rebalance;
+    println!(
+        "\nonline split {} -> {} shards: cutover {}, kept {} / moved {} rows, \
+         {} reads during ({} p50, {} p99), results {}",
+        reb.shards_before,
+        reb.shards_after,
+        fmt_duration(reb.split),
+        reb.kept,
+        reb.moved,
+        reb.ops,
+        fmt_duration(reb.p50),
+        fmt_duration(reb.p99),
+        if reb.identical {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+    );
+
+    let diverged =
+        report.recovery.iter().filter(|r| !r.identical).count() + usize::from(!reb.identical);
+    if diverged > 0 {
+        eprintln!("\n{diverged} replication run(s) changed query results");
+        std::process::exit(1);
+    }
+    if let Some((rebuild, promotion)) = report
+        .recovery
+        .first()
+        .zip(report.recovery.iter().find(|r| r.mode == "promotion"))
+    {
+        println!(
+            "promotion replayed {} records vs {} for the full rebuild",
+            promotion.replayed, rebuild.replayed
+        );
+    }
+
+    if let Some(path) = json_path {
+        let mut recs: Vec<String> = report
+            .recovery
+            .iter()
+            .map(|r| r.to_json(records, seed))
+            .collect();
+        recs.push(reb.to_json(records, seed));
         let body = format!("[\n{}\n]\n", recs.join(",\n"));
         match std::fs::write(&path, body) {
             Ok(()) => println!("wrote {} JSON records to {path}", recs.len()),

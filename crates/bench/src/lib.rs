@@ -20,7 +20,10 @@
 //! concurrent-serving report (`harness serve`): closed-loop sessions
 //! over the multi-session server, reporting p50/p99 latency and
 //! aggregate QPS per session count, with and without a concurrent
-//! writer.
+//! writer. The [`replicate`] module adds the elastic-tier report
+//! (`harness replicate`): recovery time under load with and without
+//! follower replicas (full rebuild vs promotion), and read tail
+//! latency while a shard splits online.
 
 pub mod ablations;
 pub mod expressions;
@@ -28,6 +31,7 @@ pub mod faults;
 pub mod microbench;
 pub mod params;
 pub mod recovery;
+pub mod replicate;
 pub mod report;
 pub mod serve;
 pub mod systems;

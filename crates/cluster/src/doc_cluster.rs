@@ -1,6 +1,7 @@
 //! Sharded MongoDB ("mongos") cluster.
 
 use crate::partition::shard_for;
+use crate::replicate::{ReplicaSet, ReplicaStatus};
 use crate::resilience::{run_resilient, shard_fault, ShardFault, ShardOutcome, ShardPolicy};
 use crate::stats::{ExecMode, QueryStats, RecoveryCounters, StatsRecorder};
 use polyframe_datamodel::{Record, Value};
@@ -9,22 +10,34 @@ use polyframe_docstore::distributed::{
     MongoDistributed,
 };
 use polyframe_docstore::{DocError, DocStore, Result};
-use polyframe_observe::sync::Mutex;
+use polyframe_observe::sync::{Mutex, RwLock};
 use polyframe_observe::FaultPlan;
+use polyframe_storage::wal::WalObserver;
 use polyframe_storage::{CheckpointPolicy, LogMedia, RecoveryReport};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The mutable cluster shape: shard stores and their replica sets.
+/// `_id` routing is fixed modulo-`n` (mongos-style), so unlike
+/// [`crate::SqlCluster`] there is no slot table and no online split —
+/// but crash promotion and replica reads work the same way.
+struct DocTopology {
+    shards: Vec<Arc<DocStore>>,
+    replicas: Vec<Option<Arc<ReplicaSet<DocStore>>>>,
+    wal_policy: Option<CheckpointPolicy>,
+}
+
 /// A hash-partitioned cluster of document stores behind a mongos-style
 /// router.
 pub struct MongoCluster {
-    shards: Vec<Arc<DocStore>>,
+    topology: RwLock<DocTopology>,
     next_id: AtomicI64,
     mode: ExecMode,
     stats: StatsRecorder,
     /// Optional fault plan consulted at the shard-dispatch boundary
-    /// (sites `mongo-cluster/shard[i]`).
+    /// (sites `mongo-cluster/shard[i]`) and the replication sites
+    /// (`mongo-cluster/shard[i]/wal/ship[j]`, `.../replica/apply[j]`).
     faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
@@ -38,7 +51,11 @@ impl MongoCluster {
     pub fn with_mode(n: usize, mode: ExecMode) -> MongoCluster {
         assert!(n >= 1, "a cluster needs at least one shard");
         MongoCluster {
-            shards: (0..n).map(|_| Arc::new(DocStore::new())).collect(),
+            topology: RwLock::new(DocTopology {
+                shards: (0..n).map(|_| Arc::new(DocStore::new())).collect(),
+                replicas: (0..n).map(|_| None).collect(),
+                wal_policy: None,
+            }),
             next_id: AtomicI64::new(1),
             mode,
             stats: StatsRecorder::new(),
@@ -47,9 +64,13 @@ impl MongoCluster {
     }
 
     /// Install (or clear) a fault-injection plan consulted before every
-    /// shard dispatch (sites `mongo-cluster/shard[i]`).
+    /// shard dispatch (sites `mongo-cluster/shard[i]`) and at the WAL
+    /// shipping / replica apply sites.
     pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
-        *self.faults.lock() = plan;
+        *self.faults.lock() = plan.clone();
+        for set in self.topology.read().replicas.iter().flatten() {
+            set.set_faults(plan.clone());
+        }
     }
 
     /// The currently installed fault plan, if any.
@@ -75,17 +96,18 @@ impl MongoCluster {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.topology.read().shards.len()
     }
 
-    /// Borrow one shard.
-    pub fn shard(&self, i: usize) -> &DocStore {
-        &self.shards[i]
+    /// The current primary store of shard `i`. The handle outlives
+    /// promotions — re-fetch to see the new primary.
+    pub fn shard(&self, i: usize) -> Arc<DocStore> {
+        Arc::clone(&self.topology.read().shards[i])
     }
 
     /// Create a collection on every shard.
     pub fn create_collection(&self, name: &str) -> Result<()> {
-        for s in &self.shards {
+        for s in &self.topology.read().shards {
             s.create_collection(name)?;
         }
         Ok(())
@@ -97,23 +119,140 @@ impl MongoCluster {
     /// crashes mid-query afterwards rebuilds from its own log before
     /// rejoining.
     pub fn enable_durability(&self, policy: CheckpointPolicy) -> Result<Vec<RecoveryReport>> {
-        self.shards
+        let mut topo = self.topology.write();
+        topo.wal_policy = Some(policy);
+        topo.shards
             .iter()
             .map(|s| s.enable_durability(LogMedia::new(), policy))
             .collect()
     }
 
-    /// Handle an injected crash on shard `i`: when the shard has a log,
-    /// rebuild it (counting the recovery), then report a transient
-    /// failure so the failover loop re-dispatches against the rebuilt
-    /// shard. Without a log the crash degrades to a plain transient
-    /// fault.
+    /// Give every shard `n` secondary replicas maintained by WAL
+    /// shipping (the mongos replica-set analogue): committed frames
+    /// ship in order, a crash promotes the freshest secondary replaying
+    /// only the committed-but-unshipped tail, and caught-up secondaries
+    /// can serve reads (see [`ShardPolicy::prefer_replica`]). Requires
+    /// durability.
+    pub fn enable_replication(&self, replicas_per_shard: usize) -> Result<()> {
+        let faults = self.fault_plan();
+        let mut topo = self.topology.write();
+        let policy = topo
+            .wal_policy
+            .ok_or_else(|| DocError::Exec("enable durability before replication".into()))?;
+        for i in 0..topo.shards.len() {
+            let set = Self::replica_set_for(i, &topo.shards[i], replicas_per_shard, policy)?;
+            set.set_faults(faults.clone());
+            topo.replicas[i] = Some(set);
+        }
+        Ok(())
+    }
+
+    /// Build, seed, and install a replica set for one shard primary.
+    fn replica_set_for(
+        shard: usize,
+        leader: &Arc<DocStore>,
+        n: usize,
+        policy: CheckpointPolicy,
+    ) -> Result<Arc<ReplicaSet<DocStore>>> {
+        let set = Arc::new(ReplicaSet::new("mongo-cluster", shard));
+        for _ in 0..n {
+            let follower = DocStore::new();
+            follower.enable_durability(LogMedia::new(), policy)?;
+            set.add_follower(leader.as_ref(), Arc::new(follower))
+                .map_err(DocError::Exec)?;
+        }
+        let wal = leader
+            .wal_handle()
+            .ok_or_else(|| DocError::Exec("replication requires a durable primary".into()))?;
+        wal.set_observer(Some(Arc::clone(&set) as Arc<dyn WalObserver>));
+        set.catch_up(&wal);
+        Ok(set)
+    }
+
+    /// Per-shard replica status (cursor, lag, freshness), outer index =
+    /// shard. Shards without replication report an empty list.
+    pub fn replication_status(&self) -> Vec<Vec<ReplicaStatus>> {
+        let topo = self.topology.read();
+        topo.shards
+            .iter()
+            .zip(&topo.replicas)
+            .map(|(leader, set)| match (set, leader.wal_handle()) {
+                (Some(set), Some(wal)) => {
+                    let next = wal.next_lsn();
+                    set.status(next)
+                }
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Off-critical-path repair: rebuild stale secondaries from their
+    /// own logs and drain lagging fresh ones from their primary's
+    /// committed log. Returns how many stale secondaries were rebuilt.
+    pub fn heal_replicas(&self) -> usize {
+        let topo = self.topology.read();
+        let mut healed = 0;
+        for (leader, set) in topo.shards.iter().zip(&topo.replicas) {
+            if let Some(set) = set {
+                healed += set.heal_stale();
+                if let Some(wal) = leader.wal_handle() {
+                    set.catch_up(&wal);
+                }
+            }
+        }
+        healed
+    }
+
+    /// The store serving reads of shard `i`: a fully caught-up
+    /// secondary when replica reads are preferred and one exists, else
+    /// the primary.
+    fn read_store(&self, i: usize, prefer_replica: bool) -> Arc<DocStore> {
+        let topo = self.topology.read();
+        let leader = Arc::clone(&topo.shards[i]);
+        if prefer_replica {
+            if let (Some(set), Some(wal)) = (topo.replicas[i].as_ref(), leader.wal_handle()) {
+                let next = wal.next_lsn();
+                if let Some(node) = set.read_replica(next) {
+                    return node;
+                }
+            }
+        }
+        leader
+    }
+
+    /// Handle an injected crash on shard `i`: promote the freshest
+    /// secondary when one exists (replaying only the
+    /// committed-but-unshipped tail), else rebuild the shard from its
+    /// own log; without a log the crash degrades to a plain transient
+    /// fault. All paths report a transient failure so the failover loop
+    /// re-dispatches against the healed shard.
     fn recover_shard(&self, i: usize, msg: String, recovery: &RecoveryCounters) -> DocError {
-        if !self.shards[i].durability_enabled() {
+        let start = Instant::now();
+        {
+            let mut topo = self.topology.write();
+            let leader = Arc::clone(&topo.shards[i]);
+            let set = topo.replicas[i].clone();
+            if let (Some(set), Some(wal)) = (set, leader.wal_handle()) {
+                if let Some(p) = set.promote(&wal, Arc::clone(&leader)) {
+                    wal.set_observer(None);
+                    if let Some(new_wal) = p.node.wal_handle() {
+                        new_wal.set_observer(Some(Arc::clone(&set) as Arc<dyn WalObserver>));
+                        set.catch_up(&new_wal);
+                    }
+                    topo.shards[i] = Arc::clone(&p.node);
+                    recovery.record_promotion(p.replayed, start.elapsed());
+                    return DocError::Transient(format!(
+                        "{msg}; promoted secondary replica (replayed {} tail records)",
+                        p.replayed
+                    ));
+                }
+            }
+        }
+        let leader = self.shard(i);
+        if !leader.durability_enabled() {
             return DocError::Transient(msg);
         }
-        let start = Instant::now();
-        match self.shards[i].recover() {
+        match leader.recover() {
             Ok(report) => {
                 recovery.record(report.replayed_records, start.elapsed());
                 DocError::Transient(format!("{msg}; shard rebuilt from log"))
@@ -129,7 +268,10 @@ impl MongoCluster {
         collection: &str,
         docs: impl IntoIterator<Item = Record>,
     ) -> Result<usize> {
-        let n = self.shards.len();
+        // Held for reading across the whole insert so a promotion
+        // cannot swap a primary out from under an in-flight write.
+        let topo = self.topology.read();
+        let n = topo.shards.len();
         let mut buckets: Vec<Vec<Record>> = (0..n).map(|_| Vec::new()).collect();
         let mut total = 0;
         for mut doc in docs {
@@ -148,7 +290,7 @@ impl MongoCluster {
         }
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (shard, bucket) in self.shards.iter().zip(buckets) {
+            for (shard, bucket) in topo.shards.iter().zip(buckets) {
                 let shard = Arc::clone(shard);
                 let collection = collection.to_string();
                 handles.push(scope.spawn(move || shard.insert_many(&collection, bucket)));
@@ -163,7 +305,7 @@ impl MongoCluster {
 
     /// Create a secondary index on every shard.
     pub fn create_index(&self, collection: &str, attribute: &str) -> Result<()> {
-        for s in &self.shards {
+        for s in &self.topology.read().shards {
             s.create_index(collection, attribute)?;
         }
         Ok(())
@@ -172,7 +314,7 @@ impl MongoCluster {
     /// Total documents across shards (metadata, O(shards)).
     pub fn count_documents(&self, collection: &str) -> Result<usize> {
         let mut total = 0;
-        for s in &self.shards {
+        for s in &self.topology.read().shards {
             total += s.count_documents(collection)?;
         }
         Ok(total)
@@ -307,7 +449,7 @@ impl MongoCluster {
         let faults = self.fault_plan();
         let recovery = RecoveryCounters::new();
         let out = run_resilient(
-            self.shards.len(),
+            self.num_shards(),
             self.mode,
             policy,
             DocError::is_transient,
@@ -319,7 +461,10 @@ impl MongoCluster {
                     }
                     None => {}
                 }
-                work(&self.shards[i], collection)
+                // Re-fetched per attempt so a failover after a promotion
+                // dispatches against the new primary.
+                let store = self.read_store(i, policy.prefer_replica);
+                work(&store, collection)
             },
         )?;
         Ok((out, recovery))
@@ -488,6 +633,51 @@ mod tests {
         assert_eq!(stats.recovered_shards, 1);
         assert!(stats.replayed_records > 0);
         assert!(stats.to_spans().iter().any(|s| s.name() == "recovery"));
+    }
+
+    #[test]
+    fn crashed_shard_promotes_a_secondary() {
+        let c = MongoCluster::new(3);
+        c.enable_durability(CheckpointPolicy::never()).unwrap();
+        c.create_collection("d").unwrap();
+        c.insert_many(
+            "d",
+            (0..100i64).map(|i| record! {"grp" => i % 4, "val" => i}),
+        )
+        .unwrap();
+        c.enable_replication(1).unwrap();
+        assert!(c
+            .replication_status()
+            .iter()
+            .flatten()
+            .all(|s| s.fresh && s.lag == 0));
+        c.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(
+            9,
+            "mongo-cluster/shard[1]",
+            0,
+        ))));
+        let out = c
+            .aggregate_with(
+                "d",
+                r#"[{"$match":{}},{"$count":"count"}]"#,
+                &ShardPolicy::failover(2),
+            )
+            .unwrap();
+        assert_eq!(out[0].get_path("count"), Value::Int(100));
+        let stats = c.last_stats().unwrap();
+        assert_eq!(stats.promotions, 1);
+        assert_eq!(stats.recovered_shards, 0);
+        // Demoted ex-primary rejoined stale; healing rebuilds it.
+        assert_eq!(c.heal_replicas(), 1);
+        // Replica reads answer identically after the promotion.
+        let replica_read = c
+            .aggregate_with(
+                "d",
+                r#"[{"$match":{}},{"$count":"count"}]"#,
+                &ShardPolicy::default().with_prefer_replica(true),
+            )
+            .unwrap();
+        assert_eq!(replica_read[0].get_path("count"), Value::Int(100));
     }
 
     #[test]

@@ -25,15 +25,25 @@
 //! shards fail over (re-dispatch), and with explicit opt-in a query
 //! degrades to partial results from the healthy shards, with the gap
 //! recorded in [`QueryStats::dropped_shards`].
+//!
+//! The elastic tier ([`replicate`]) gives each shard WAL-shipped
+//! follower replicas: a crashed leader is healed by *promoting* its
+//! freshest follower (replaying only the committed-but-unshipped tail)
+//! instead of rebuilding from scratch, snapshot reads can be routed to
+//! caught-up replicas ([`ShardPolicy::prefer_replica`]), and a hot SQL
+//! shard can be split in two online, cutting over at a pinned LSN with
+//! byte-identical results.
 
 pub mod doc_cluster;
 pub mod partition;
+pub mod replicate;
 pub mod resilience;
 pub mod sql_cluster;
 pub mod stats;
 
 pub use doc_cluster::MongoCluster;
-pub use partition::shard_for;
+pub use partition::{shard_for, ShardMap, SHARD_SLOTS};
+pub use replicate::{Promotion, ReplicaNode, ReplicaSet, ReplicaStatus};
 pub use resilience::{run_resilient, shard_fault, ShardFault, ShardOutcome, ShardPolicy};
 pub use sql_cluster::SqlCluster;
 pub use stats::{ExecMode, QueryStats, RecoveryCounters};

@@ -60,6 +60,71 @@ pub fn shard_for(key: &Value, n: usize) -> usize {
     (value_hash(key) % n.max(1) as u64) as usize
 }
 
+/// Virtual slots a [`ShardMap`] spreads keys over. Fixed so a key's
+/// slot never changes; only the slot→shard table does.
+pub const SHARD_SLOTS: usize = 64;
+
+/// Slot-table routing: a key hashes to one of [`SHARD_SLOTS`] fixed
+/// virtual slots, and a table maps slots to shards. Splitting a hot
+/// shard reassigns half its slots to a new shard — no other shard's
+/// placement moves, and the set of records to migrate is exactly the
+/// reassigned slots' contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMap {
+    slots: Vec<usize>,
+}
+
+impl ShardMap {
+    /// Spread the slots round-robin over `n` shards. When `n` divides
+    /// [`SHARD_SLOTS`] this places every key exactly where
+    /// [`shard_for`] with `n` shards would.
+    pub fn new(n: usize) -> ShardMap {
+        let n = n.max(1);
+        ShardMap {
+            slots: (0..SHARD_SLOTS)
+                .map(|s| (s as u64 % n as u64) as usize)
+                .collect(),
+        }
+    }
+
+    /// The virtual slot `key` hashes to.
+    pub fn slot_of(key: &Value) -> usize {
+        (value_hash(key) % SHARD_SLOTS as u64) as usize
+    }
+
+    /// The shard owning `key`.
+    pub fn shard_of(&self, key: &Value) -> usize {
+        self.slots[ShardMap::slot_of(key)]
+    }
+
+    /// Number of distinct shards the table routes to.
+    pub fn num_shards(&self) -> usize {
+        self.slots.iter().copied().max().unwrap_or(0) + 1
+    }
+
+    /// The slots currently owned by `shard`.
+    pub fn slots_of(&self, shard: usize) -> Vec<usize> {
+        (0..SHARD_SLOTS)
+            .filter(|&s| self.slots[s] == shard)
+            .collect()
+    }
+
+    /// The upper half of `shard`'s slots — what a split moves to the
+    /// new shard. Empty when the shard owns fewer than two slots (it
+    /// cannot be split further).
+    pub fn split_candidates(&self, shard: usize) -> Vec<usize> {
+        let owned = self.slots_of(shard);
+        owned[owned.len().div_ceil(2)..].to_vec()
+    }
+
+    /// Reassign `slots` to `shard` (split cutover).
+    pub fn reassign(&mut self, slots: &[usize], shard: usize) {
+        for &s in slots {
+            self.slots[s] = shard;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +158,41 @@ mod tests {
     #[test]
     fn single_shard() {
         assert_eq!(shard_for(&Value::str("x"), 1), 0);
+    }
+
+    #[test]
+    fn shard_map_matches_modulo_placement_for_divisors() {
+        for n in [1usize, 2, 4, 8] {
+            let map = ShardMap::new(n);
+            for i in 0..1_000i64 {
+                let v = Value::Int(i);
+                assert_eq!(map.shard_of(&v), shard_for(&v, n), "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_moves_only_the_reassigned_slots() {
+        let mut map = ShardMap::new(3);
+        let before: Vec<usize> = (0..200i64).map(|i| map.shard_of(&Value::Int(i))).collect();
+        let moved = map.split_candidates(1);
+        assert!(!moved.is_empty());
+        let kept = map.slots_of(1).len() - moved.len();
+        assert!(kept >= 1, "split must leave shard 1 some slots");
+        map.reassign(&moved, 3);
+        assert_eq!(map.num_shards(), 4);
+        for (i, &was) in before.iter().enumerate() {
+            let v = Value::Int(i as i64);
+            let now = map.shard_of(&v);
+            if was == 1 {
+                assert!(
+                    now == 1 || now == 3,
+                    "key {i} moved from shard 1 to shard {now}"
+                );
+                assert_eq!(now == 3, moved.contains(&ShardMap::slot_of(&v)));
+            } else {
+                assert_eq!(now, was, "key {i} moved off an unsplit shard");
+            }
+        }
     }
 }

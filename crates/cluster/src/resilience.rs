@@ -28,6 +28,12 @@ pub struct ShardPolicy {
     /// partial results are only ever returned on explicit opt-in, and
     /// the dropped shards are reported so callers can surface the gap.
     pub allow_partial: bool,
+    /// Route this query's shard reads to a fully caught-up follower
+    /// replica when one exists, leaving the leader free for writes —
+    /// how the serving tier's QPS story scales past one node per
+    /// shard. A lagging replica is never read (snapshot semantics hold
+    /// either way); off by default.
+    pub prefer_replica: bool,
 }
 
 impl ShardPolicy {
@@ -35,13 +41,19 @@ impl ShardPolicy {
     pub fn failover(retries: u32) -> ShardPolicy {
         ShardPolicy {
             failover_retries: retries,
-            allow_partial: false,
+            ..ShardPolicy::default()
         }
     }
 
     /// Builder: opt in (or out) of partial results.
     pub fn with_allow_partial(mut self, allow: bool) -> ShardPolicy {
         self.allow_partial = allow;
+        self
+    }
+
+    /// Builder: opt in (or out) of replica reads.
+    pub fn with_prefer_replica(mut self, prefer: bool) -> ShardPolicy {
+        self.prefer_replica = prefer;
         self
     }
 }

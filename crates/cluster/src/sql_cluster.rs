@@ -1,29 +1,48 @@
 //! Sharded SQL/SQL++ cluster (AsterixDB cluster / Greenplum).
 
-use crate::partition::shard_for;
+use crate::partition::{shard_for, ShardMap, SHARD_SLOTS};
+use crate::replicate::{ReplicaNode, ReplicaSet, ReplicaStatus};
 use crate::resilience::{run_resilient, shard_fault, ShardFault, ShardOutcome, ShardPolicy};
 use crate::stats::{ExecMode, QueryStats, RecoveryCounters, StatsRecorder};
 use polyframe_datamodel::{cmp_total, Record, Value};
-use polyframe_observe::sync::Mutex;
+use polyframe_observe::sync::{Mutex, RwLock};
 use polyframe_observe::FaultPlan;
 use polyframe_sqlengine::plan::distributed::{
     merge_aggregate_parts, merge_concat, merge_topk, split, DistributedQuery,
 };
 use polyframe_sqlengine::plan::logical::LogicalPlan;
 use polyframe_sqlengine::{Engine, EngineConfig, EngineError, Result};
+use polyframe_storage::wal::{DurableOp, WalObserver};
 use polyframe_storage::{CheckpointPolicy, LogMedia, RecoveryReport};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// The mutable cluster shape: shard leaders, their replica sets, and
+/// the slot table routing keys to shards. Guarded by one `RwLock` —
+/// loads and DDL hold it for reading (writes go to current leaders),
+/// queries snapshot handles briefly, and topology changes (promotion,
+/// split) take it for writing so no write can land on a stale leader.
+struct Topology {
+    shards: Vec<Arc<Engine>>,
+    replicas: Vec<Option<Arc<ReplicaSet<Engine>>>>,
+    map: ShardMap,
+    replicas_per_shard: usize,
+    wal_policy: Option<CheckpointPolicy>,
+}
+
 /// A hash-partitioned cluster of SQL engines.
 pub struct SqlCluster {
-    shards: Vec<Arc<Engine>>,
+    topology: RwLock<Topology>,
+    /// Per-shard engine configuration (after worker budgeting), reused
+    /// for follower replicas and split-off shards.
+    config: EngineConfig,
     /// Attribute used to place records on shards.
     partition_key: String,
     mode: ExecMode,
     stats: StatsRecorder,
     /// Optional fault plan consulted at the shard-dispatch boundary
-    /// (sites `sql-cluster/shard[i]`).
+    /// (sites `sql-cluster/shard[i]`) and the replication sites
+    /// (`sql-cluster/shard[i]/wal/ship[j]`, `.../replica/apply[j]`).
     faults: Mutex<Option<Arc<FaultPlan>>>,
 }
 
@@ -46,9 +65,16 @@ impl SqlCluster {
         // (sequential dispatch hands each shard the full budget instead).
         config.exec.workers = mode.workers_per_shard(n);
         SqlCluster {
-            shards: (0..n)
-                .map(|_| Arc::new(Engine::new(config.clone())))
-                .collect(),
+            topology: RwLock::new(Topology {
+                shards: (0..n)
+                    .map(|_| Arc::new(Engine::new(config.clone())))
+                    .collect(),
+                replicas: (0..n).map(|_| None).collect(),
+                map: ShardMap::new(n),
+                replicas_per_shard: 0,
+                wal_policy: None,
+            }),
+            config,
             partition_key: partition_key.into(),
             mode,
             stats: StatsRecorder::new(),
@@ -57,9 +83,13 @@ impl SqlCluster {
     }
 
     /// Install (or clear) a fault-injection plan consulted before every
-    /// shard dispatch (sites `sql-cluster/shard[i]`).
+    /// shard dispatch (sites `sql-cluster/shard[i]`) and at the WAL
+    /// shipping / replica apply sites.
     pub fn set_fault_plan(&self, plan: Option<Arc<FaultPlan>>) {
-        *self.faults.lock() = plan;
+        *self.faults.lock() = plan.clone();
+        for set in self.topology.read().replicas.iter().flatten() {
+            set.set_faults(plan.clone());
+        }
     }
 
     /// The currently installed fault plan, if any.
@@ -69,12 +99,13 @@ impl SqlCluster {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.topology.read().shards.len()
     }
 
-    /// Borrow a shard engine (tests, repartition join).
-    pub fn shard(&self, i: usize) -> &Engine {
-        &self.shards[i]
+    /// The current leader engine of shard `i` (tests, benches). The
+    /// handle outlives promotions — re-fetch to see the new leader.
+    pub fn shard(&self, i: usize) -> Arc<Engine> {
+        Arc::clone(&self.topology.read().shards[i])
     }
 
     /// Drain the accumulated simulated-parallel elapsed time (see
@@ -101,7 +132,7 @@ impl SqlCluster {
         dataset: &str,
         primary_key: Option<&str>,
     ) -> Result<()> {
-        for s in &self.shards {
+        for s in &self.topology.read().shards {
             s.create_dataset(namespace, dataset, primary_key)?;
         }
         Ok(())
@@ -113,23 +144,163 @@ impl SqlCluster {
     /// crashes mid-query afterwards rebuilds from its own log before
     /// rejoining.
     pub fn enable_durability(&self, policy: CheckpointPolicy) -> Result<Vec<RecoveryReport>> {
-        self.shards
+        let mut topo = self.topology.write();
+        topo.wal_policy = Some(policy);
+        topo.shards
             .iter()
             .map(|s| s.enable_durability(LogMedia::new(), policy))
             .collect()
     }
 
-    /// Handle an injected crash on shard `i`: when the shard has a log,
-    /// rebuild it (counting the recovery), then report a transient
-    /// failure so the failover loop re-dispatches against the rebuilt
-    /// shard. Without a log the crash degrades to a plain transient
-    /// fault.
+    /// Give every shard `n` follower replicas maintained by WAL
+    /// shipping: each committed frame on a leader is shipped in order to
+    /// its followers, a crash promotes the freshest follower (replaying
+    /// only the committed-but-unshipped tail), and fully caught-up
+    /// followers can serve snapshot reads (see
+    /// [`ShardPolicy::prefer_replica`]). Requires durability.
+    pub fn enable_replication(&self, replicas_per_shard: usize) -> Result<()> {
+        let faults = self.fault_plan();
+        let mut topo = self.topology.write();
+        let policy = topo
+            .wal_policy
+            .ok_or_else(|| EngineError::exec("enable durability before replication"))?;
+        topo.replicas_per_shard = replicas_per_shard;
+        for i in 0..topo.shards.len() {
+            let set = Self::replica_set_for(
+                &self.config,
+                i,
+                &topo.shards[i],
+                replicas_per_shard,
+                policy,
+                faults.clone(),
+            )?;
+            topo.replicas[i] = Some(set);
+        }
+        Ok(())
+    }
+
+    /// Build a replica set of `n` empty followers for `leader`, seed
+    /// them from its pinned snapshot, and install the set as the
+    /// leader's WAL observer so every later commit ships synchronously.
+    fn replica_set_for(
+        config: &EngineConfig,
+        shard: usize,
+        leader: &Arc<Engine>,
+        n: usize,
+        policy: CheckpointPolicy,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Result<Arc<ReplicaSet<Engine>>> {
+        let set = Arc::new(ReplicaSet::new("sql-cluster", shard));
+        set.set_faults(faults);
+        for _ in 0..n {
+            let follower = Engine::new(config.clone());
+            follower.enable_durability(LogMedia::new(), policy)?;
+            set.add_follower(leader.as_ref(), Arc::new(follower))
+                .map_err(EngineError::exec)?;
+        }
+        let wal = leader
+            .wal_handle()
+            .ok_or_else(|| EngineError::exec("replication requires a durable leader"))?;
+        wal.set_observer(Some(Arc::clone(&set) as Arc<dyn WalObserver>));
+        // Drain anything committed between the seed pin and the observer
+        // install.
+        set.catch_up(&wal);
+        Ok(set)
+    }
+
+    /// Per-shard replica status (cursor, lag, freshness), outer index =
+    /// shard. Shards without replication report an empty list.
+    pub fn replication_status(&self) -> Vec<Vec<ReplicaStatus>> {
+        let topo = self.topology.read();
+        topo.shards
+            .iter()
+            .zip(&topo.replicas)
+            .map(|(leader, set)| match (set, leader.wal_handle()) {
+                (Some(set), Some(wal)) => {
+                    let next = wal.next_lsn();
+                    set.status(next)
+                }
+                _ => Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Off-critical-path repair: rebuild stale followers (demoted
+    /// ex-leaders, apply-faulted replicas) from their own logs and drain
+    /// lagging fresh followers from their leader's committed log.
+    /// Returns how many stale followers were rebuilt.
+    pub fn heal_replicas(&self) -> usize {
+        let topo = self.topology.read();
+        let mut healed = 0;
+        for (leader, set) in topo.shards.iter().zip(&topo.replicas) {
+            if let Some(set) = set {
+                healed += set.heal_stale();
+                if let Some(wal) = leader.wal_handle() {
+                    set.catch_up(&wal);
+                }
+            }
+        }
+        healed
+    }
+
+    /// The engine serving reads of shard `i` under the given routing
+    /// preference: a fully caught-up follower when replica reads are
+    /// preferred and one exists (a lagging replica is never read), else
+    /// the leader.
+    fn read_engine(&self, i: usize, prefer_replica: bool) -> Arc<Engine> {
+        let topo = self.topology.read();
+        let leader = Arc::clone(&topo.shards[i]);
+        if prefer_replica {
+            if let (Some(set), Some(wal)) = (topo.replicas[i].as_ref(), leader.wal_handle()) {
+                let next = wal.next_lsn();
+                if let Some(node) = set.read_replica(next) {
+                    return node;
+                }
+            }
+        }
+        leader
+    }
+
+    /// Handle an injected crash on shard `i`. Preference order:
+    ///
+    /// 1. **Promotion** — under the topology write lock (so no write can
+    ///    land on the stale leader), promote the freshest follower,
+    ///    replaying only the committed-but-unshipped WAL tail, hand the
+    ///    replica set over to the new leader's WAL, and demote the
+    ///    ex-leader to a stale follower.
+    /// 2. **Full rebuild** — no promotable follower: replay the shard's
+    ///    entire log (snapshot + tail) in place.
+    /// 3. Without a log the crash degrades to a plain transient fault.
+    ///
+    /// All paths report a transient failure so the failover loop
+    /// re-dispatches against the healed shard.
     fn recover_shard(&self, i: usize, msg: String, recovery: &RecoveryCounters) -> EngineError {
-        if !self.shards[i].durability_enabled() {
+        let start = Instant::now();
+        {
+            let mut topo = self.topology.write();
+            let leader = Arc::clone(&topo.shards[i]);
+            let set = topo.replicas[i].clone();
+            if let (Some(set), Some(wal)) = (set, leader.wal_handle()) {
+                if let Some(p) = set.promote(&wal, Arc::clone(&leader)) {
+                    wal.set_observer(None);
+                    if let Some(new_wal) = p.node.wal_handle() {
+                        new_wal.set_observer(Some(Arc::clone(&set) as Arc<dyn WalObserver>));
+                        set.catch_up(&new_wal);
+                    }
+                    topo.shards[i] = Arc::clone(&p.node);
+                    recovery.record_promotion(p.replayed, start.elapsed());
+                    return EngineError::transient(format!(
+                        "{msg}; promoted follower replica (replayed {} tail records)",
+                        p.replayed
+                    ));
+                }
+            }
+        }
+        let leader = self.shard(i);
+        if !leader.durability_enabled() {
             return EngineError::transient(msg);
         }
-        let start = Instant::now();
-        match self.shards[i].recover() {
+        match leader.recover() {
             Ok(report) => {
                 recovery.record(report.replayed_records, start.elapsed());
                 EngineError::transient(format!("{msg}; shard rebuilt from log"))
@@ -140,28 +311,32 @@ impl SqlCluster {
 
     /// Create a secondary index on every shard.
     pub fn create_index(&self, namespace: &str, dataset: &str, attribute: &str) -> Result<()> {
-        for s in &self.shards {
+        for s in &self.topology.read().shards {
             s.create_index(namespace, dataset, attribute)?;
         }
         Ok(())
     }
 
-    /// Hash-partition records across the shards and load them.
+    /// Hash-partition records across the shards and load them. The
+    /// topology is held for reading across the whole load so a
+    /// promotion or split cannot swap a leader out from under an
+    /// in-flight write.
     pub fn load(
         &self,
         namespace: &str,
         dataset: &str,
         records: impl IntoIterator<Item = Record>,
     ) -> Result<()> {
-        let n = self.shards.len();
+        let topo = self.topology.read();
+        let n = topo.shards.len();
         let mut buckets: Vec<Vec<Record>> = (0..n).map(|_| Vec::new()).collect();
         for rec in records {
             let key = rec.get_or_missing(&self.partition_key);
-            buckets[shard_for(&key, n)].push(rec);
+            buckets[topo.map.shard_of(&key)].push(rec);
         }
         std::thread::scope(|scope| {
             let mut handles = Vec::new();
-            for (shard, bucket) in self.shards.iter().zip(buckets) {
+            for (shard, bucket) in topo.shards.iter().zip(buckets) {
                 let shard = Arc::clone(shard);
                 handles.push(scope.spawn(move || shard.load(namespace, dataset, bucket)));
             }
@@ -175,10 +350,165 @@ impl SqlCluster {
     /// Total records across shards.
     pub fn dataset_len(&self, namespace: &str, dataset: &str) -> Result<usize> {
         let mut n = 0;
-        for s in &self.shards {
+        for s in &self.topology.read().shards {
             n += s.dataset_len(namespace, dataset)?;
         }
         Ok(n)
+    }
+
+    /// Split hot shard `i` online: the upper half of its virtual slots
+    /// moves to a new shard appended at index `num_shards()`, migrating
+    /// under traffic and cutting over at a pinned LSN. Returns the new
+    /// shard's index.
+    ///
+    /// Phase 1 runs under a **read** lock — loads and queries keep
+    /// flowing (and a promotion of the source shard is excluded) while
+    /// the leader's committed LSN is pinned and two fresh engines
+    /// (retained and moved halves) are seeded from the pinned snapshot,
+    /// records routed by slot. Phase 2 takes the **write** lock (no
+    /// writer in flight), replays the committed tail past the pin to
+    /// both halves, swaps the retained engine in, appends the moved
+    /// one, and reassigns the slot table. Results are byte-identical
+    /// across the cutover; if the pin was invalidated in the handoff
+    /// window (promotion, checkpoint truncation), the split reseeds
+    /// from scratch under the write lock instead of guessing.
+    pub fn split_shard(&self, i: usize) -> Result<usize> {
+        // Phase 1: seed both halves off the pinned snapshot, under
+        // traffic.
+        let (moved_slots, policy, leader, pin, retained, moved) = {
+            let topo = self.topology.read();
+            if i >= topo.shards.len() {
+                return Err(EngineError::exec(format!("no shard {i} to split")));
+            }
+            let policy = topo
+                .wal_policy
+                .ok_or_else(|| EngineError::exec("enable durability before splitting"))?;
+            let moved_slots = topo.map.split_candidates(i);
+            if moved_slots.is_empty() {
+                return Err(EngineError::exec(format!(
+                    "shard {i} owns too few slots to split"
+                )));
+            }
+            let leader = Arc::clone(&topo.shards[i]);
+            let (ops, pin) = leader.pinned_ops()?;
+            let (retained, moved) = self.seed_split_engines(&ops, &moved_slots, policy)?;
+            (moved_slots, policy, leader, pin, retained, moved)
+        };
+
+        // Phase 2: cut over at the pin under the write lock.
+        let mut topo = self.topology.write();
+        let tail = if Arc::ptr_eq(&topo.shards[i], &leader) {
+            leader
+                .wal_handle()
+                .and_then(|w| w.committed_tail(pin).ok().flatten())
+        } else {
+            None
+        };
+        let (retained, moved) = match tail {
+            Some(tail) => {
+                let ops: Vec<DurableOp> = tail.into_iter().map(|(_, op)| op).collect();
+                self.apply_split_ops(&ops, &moved_slots, &retained, &moved)?;
+                (retained, moved)
+            }
+            None => {
+                let leader = Arc::clone(&topo.shards[i]);
+                let (ops, _) = leader.pinned_ops()?;
+                self.seed_split_engines(&ops, &moved_slots, policy)?
+            }
+        };
+        let new_shard = topo.shards.len();
+        topo.shards[i] = Arc::clone(&retained);
+        topo.shards.push(Arc::clone(&moved));
+        topo.map.reassign(&moved_slots, new_shard);
+        // Both halves are new engines, so both need fresh replica sets;
+        // the old set (tracking the pre-split leader) retires with it.
+        if topo.replicas_per_shard > 0 {
+            let n = topo.replicas_per_shard;
+            let faults = self.fault_plan();
+            topo.replicas[i] = Some(Self::replica_set_for(
+                &self.config,
+                i,
+                &retained,
+                n,
+                policy,
+                faults.clone(),
+            )?);
+            topo.replicas.push(Some(Self::replica_set_for(
+                &self.config,
+                new_shard,
+                &moved,
+                n,
+                policy,
+                faults,
+            )?));
+        } else {
+            topo.replicas.push(None);
+        }
+        Ok(new_shard)
+    }
+
+    /// Two fresh durable engines seeded from `ops`, records routed to
+    /// the moved half when their partition key hashes into
+    /// `moved_slots`.
+    fn seed_split_engines(
+        &self,
+        ops: &[DurableOp],
+        moved_slots: &[usize],
+        policy: CheckpointPolicy,
+    ) -> Result<(Arc<Engine>, Arc<Engine>)> {
+        let retained = Arc::new(Engine::new(self.config.clone()));
+        retained.enable_durability(LogMedia::new(), policy)?;
+        let moved = Arc::new(Engine::new(self.config.clone()));
+        moved.enable_durability(LogMedia::new(), policy)?;
+        self.apply_split_ops(ops, moved_slots, &retained, &moved)?;
+        Ok((retained, moved))
+    }
+
+    /// Apply `ops` to both split halves: DDL goes to both, ingested
+    /// records go to exactly one side by slot.
+    fn apply_split_ops(
+        &self,
+        ops: &[DurableOp],
+        moved_slots: &[usize],
+        retained: &Arc<Engine>,
+        moved: &Arc<Engine>,
+    ) -> Result<()> {
+        let mut mask = [false; SHARD_SLOTS];
+        for &s in moved_slots {
+            mask[s] = true;
+        }
+        for op in ops {
+            match op {
+                DurableOp::Ingest {
+                    namespace,
+                    name,
+                    records,
+                } => {
+                    let (mut keep, mut go) = (Vec::new(), Vec::new());
+                    for rec in records {
+                        let key = rec.get_or_missing(&self.partition_key);
+                        if mask[ShardMap::slot_of(&key)] {
+                            go.push(rec.clone());
+                        } else {
+                            keep.push(rec.clone());
+                        }
+                    }
+                    if !keep.is_empty() {
+                        retained.load(namespace, name, keep)?;
+                    }
+                    if !go.is_empty() {
+                        moved.load(namespace, name, go)?;
+                    }
+                }
+                other => {
+                    retained
+                        .apply_replicated(other)
+                        .map_err(EngineError::exec)?;
+                    moved.apply_replicated(other).map_err(EngineError::exec)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Execute a query across the cluster with the default (no-failover)
@@ -194,7 +524,7 @@ impl SqlCluster {
         let compile_start = Instant::now();
         // Compile once (the coordinator's plan; every shard shares the same
         // catalog shape).
-        let logical = self.shards[0].compile_to_logical(sql)?;
+        let logical = self.shard(0).compile_to_logical(sql)?;
         let strategy = split(&logical)?;
         let compile = compile_start.elapsed();
 
@@ -301,7 +631,7 @@ impl SqlCluster {
         let faults = self.fault_plan();
         let recovery = RecoveryCounters::new();
         let out = run_resilient(
-            self.shards.len(),
+            self.num_shards(),
             self.mode,
             policy,
             EngineError::is_transient,
@@ -313,7 +643,11 @@ impl SqlCluster {
                     }
                     None => {}
                 }
-                self.shards[i].execute_logical(plan)
+                // Re-fetched per attempt: a failover after a promotion
+                // must dispatch against the new leader, not the handle
+                // the previous attempt crashed on.
+                self.read_engine(i, policy.prefer_replica)
+                    .execute_logical(plan)
             },
         )?;
         Ok((out, recovery))
@@ -333,7 +667,7 @@ impl SqlCluster {
         right: &(String, String, String),
         policy: &ShardPolicy,
     ) -> Result<(usize, Duration, ShardOutcome<()>, RecoveryCounters)> {
-        let n = self.shards.len();
+        let n = self.num_shards();
         let recovery = RecoveryCounters::new();
 
         // Phase 1: per-shard key extraction + bucketing (both sides).
@@ -364,7 +698,8 @@ impl SqlCluster {
                 Some(ShardFault::Crash(msg)) => return Err(self.recover_shard(i, msg, &recovery)),
                 None => {}
             }
-            extract_one(&self.shards[i])
+            let engine = self.read_engine(i, policy.prefer_replica);
+            extract_one(&engine)
         })?;
         let extract = ShardOutcome {
             parts: Vec::new(),
@@ -424,7 +759,7 @@ impl SqlCluster {
 
     /// EXPLAIN helper: how the coordinator would distribute `sql`.
     pub fn explain(&self, sql: &str) -> Result<String> {
-        let logical = self.shards[0].compile_to_logical(sql)?;
+        let logical = self.shard(0).compile_to_logical(sql)?;
         let d = split(&logical)?;
         Ok(match d {
             DistributedQuery::Concat { limit, .. } => format!("Concat(limit={limit:?})"),
@@ -707,6 +1042,185 @@ mod tests {
         let stats = c.last_stats().unwrap();
         assert_eq!(stats.recovered_shards, 0);
         assert!(stats.to_spans().iter().all(|s| s.name() != "recovery"));
+    }
+
+    fn durable_cluster(n: usize, records: i64) -> SqlCluster {
+        let c = SqlCluster::new(n, EngineConfig::asterixdb(), "id");
+        c.enable_durability(CheckpointPolicy::never()).unwrap();
+        c.create_dataset("Test", "Users", Some("id")).unwrap();
+        c.load(
+            "Test",
+            "Users",
+            (0..records).map(|i| record! {"id" => i, "grp" => i % 4}),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn crashed_shard_promotes_a_follower_instead_of_rebuilding() {
+        let c = durable_cluster(3, 100);
+        c.enable_replication(2).unwrap();
+        // Followers are fully caught up before the crash.
+        for shard in c.replication_status() {
+            assert_eq!(shard.len(), 2);
+            assert!(shard.iter().all(|s| s.fresh && s.lag == 0), "{shard:?}");
+        }
+        c.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(
+            9,
+            "sql-cluster/shard[1]",
+            0,
+        ))));
+        let rows = c
+            .query_with(
+                "SELECT VALUE COUNT(*) FROM Test.Users",
+                &ShardPolicy::failover(2),
+            )
+            .unwrap();
+        assert_eq!(rows, vec![Value::Int(100)]);
+        let stats = c.last_stats().unwrap();
+        assert_eq!(stats.promotions, 1, "crash healed by promotion");
+        assert_eq!(stats.recovered_shards, 0, "no full rebuild happened");
+        // Everything was shipped before the crash, so the promotion
+        // replayed nothing.
+        assert_eq!(stats.replayed_records, 0);
+        let spans = stats.to_spans();
+        let recovery = spans
+            .iter()
+            .find(|s| s.name() == "recovery")
+            .expect("promotion shows up in the recovery span");
+        assert_eq!(recovery.metric("promotions"), Some(1));
+        // The demoted ex-leader joined the set as a stale follower;
+        // healing rebuilds it off the critical path.
+        assert_eq!(c.heal_replicas(), 1);
+        let status = c.replication_status();
+        assert!(status[1].iter().all(|s| s.fresh && s.lag == 0));
+    }
+
+    #[test]
+    fn replica_reads_serve_from_caught_up_followers() {
+        let baseline = durable_cluster(2, 80);
+        let c = durable_cluster(2, 80);
+        c.enable_replication(1).unwrap();
+        let policy = ShardPolicy::default().with_prefer_replica(true);
+        let q = "SELECT VALUE COUNT(*) FROM Test.Users";
+        assert_eq!(
+            c.query_with(q, &policy).unwrap(),
+            baseline.query(q).unwrap()
+        );
+        // A stalled (lagging) follower is never read: lose every shipped
+        // frame on shard 0, write through it, and the query must fall
+        // back to the leader and still see the new rows.
+        c.set_fault_plan(Some(Arc::new(
+            FaultPlan::new(3)
+                .with_error_rate(1.0)
+                .for_sites("shard[0]/wal/ship"),
+        )));
+        c.load(
+            "Test",
+            "Users",
+            (80..160i64).map(|i| record! {"id" => i, "grp" => i % 4}),
+        )
+        .unwrap();
+        c.set_fault_plan(None);
+        assert_eq!(c.query_with(q, &policy).unwrap(), vec![Value::Int(160)]);
+        let lagging: usize = c
+            .replication_status()
+            .iter()
+            .flatten()
+            .filter(|s| s.lag > 0)
+            .count();
+        assert!(lagging >= 1, "shard 0's follower should have stalled");
+        // Healing drains the lag and replica reads resume.
+        c.heal_replicas();
+        assert!(c
+            .replication_status()
+            .iter()
+            .flatten()
+            .all(|s| s.fresh && s.lag == 0));
+    }
+
+    #[test]
+    fn split_shard_preserves_results_and_moves_only_split_slots() {
+        let c = durable_cluster(2, 200);
+        c.create_index("Test", "Users", "grp").unwrap();
+        let q =
+            "SELECT grp, COUNT(grp) AS cnt FROM (SELECT VALUE t FROM Test.Users t) t GROUP BY grp";
+        let before = c.query(q).unwrap();
+        let count_before = c.shard(0).dataset_len("Test", "Users").unwrap();
+
+        let new_shard = c.split_shard(0).unwrap();
+        assert_eq!(new_shard, 2);
+        assert_eq!(c.num_shards(), 3);
+        // The split shard's records moved only between the two halves.
+        let kept = c.shard(0).dataset_len("Test", "Users").unwrap();
+        let moved = c.shard(2).dataset_len("Test", "Users").unwrap();
+        assert_eq!(kept + moved, count_before);
+        assert!(kept > 0 && moved > 0, "kept={kept} moved={moved}");
+        assert_eq!(c.dataset_len("Test", "Users").unwrap(), 200);
+        // Byte-identical results across the cutover.
+        assert_eq!(c.query(q).unwrap(), before);
+        // New writes route by the updated slot table.
+        c.load(
+            "Test",
+            "Users",
+            (200..260i64).map(|i| record! {"id" => i, "grp" => i % 4}),
+        )
+        .unwrap();
+        assert_eq!(c.dataset_len("Test", "Users").unwrap(), 260);
+        assert_eq!(
+            c.query("SELECT VALUE COUNT(*) FROM Test.Users").unwrap(),
+            vec![Value::Int(260)]
+        );
+    }
+
+    #[test]
+    fn split_shard_reseeds_replicas_for_both_halves() {
+        let c = durable_cluster(2, 120);
+        c.enable_replication(1).unwrap();
+        let new_shard = c.split_shard(1).unwrap();
+        let status = c.replication_status();
+        assert_eq!(status.len(), 3);
+        for (i, shard) in status.iter().enumerate() {
+            assert_eq!(shard.len(), 1, "shard {i} keeps one replica");
+            assert!(
+                shard.iter().all(|s| s.fresh && s.lag == 0),
+                "shard {i}: {shard:?}"
+            );
+        }
+        // Replica reads still answer correctly on the split topology.
+        assert_eq!(
+            c.query_with(
+                "SELECT VALUE COUNT(*) FROM Test.Users",
+                &ShardPolicy::default().with_prefer_replica(true),
+            )
+            .unwrap(),
+            vec![Value::Int(120)]
+        );
+        // A crash on the new shard promotes its replica.
+        c.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(
+            11,
+            format!("sql-cluster/shard[{new_shard}]"),
+            0,
+        ))));
+        let rows = c
+            .query_with(
+                "SELECT VALUE COUNT(*) FROM Test.Users",
+                &ShardPolicy::failover(2),
+            )
+            .unwrap();
+        assert_eq!(rows, vec![Value::Int(120)]);
+        assert_eq!(c.last_stats().unwrap().promotions, 1);
+    }
+
+    #[test]
+    fn splitting_an_unsplittable_shard_fails_cleanly() {
+        let c = durable_cluster(1, 10);
+        // Shard 0 owns all 64 slots: split until a shard runs out.
+        assert!(c.split_shard(0).is_ok());
+        assert!(c.split_shard(5).is_err(), "no shard 5 yet");
+        let undurable = SqlCluster::new(2, EngineConfig::asterixdb(), "id");
+        assert!(undurable.split_shard(0).is_err(), "split needs durability");
     }
 
     #[test]

@@ -67,7 +67,14 @@ pub struct QueryStats {
     /// Shards that crashed during this query and rebuilt themselves from
     /// their own write-ahead logs before rejoining.
     pub recovered_shards: usize,
-    /// Total log records replayed across those shard recoveries.
+    /// Shards that crashed during this query and were healed by
+    /// promoting a follower replica instead of a full rebuild — a
+    /// re-dispatch that succeeds after a promotion is thereby
+    /// distinguishable from a plain transient failover.
+    pub promotions: usize,
+    /// Total log records replayed across those shard recoveries and
+    /// promotions (for a promotion, only the committed-but-unshipped
+    /// tail).
     pub replayed_records: u64,
     /// Wall time spent in shard recovery across the query.
     pub recovery_time: Duration,
@@ -103,9 +110,10 @@ impl QueryStats {
             spans.push(span);
         }
         spans.push(Span::new("merge").with_duration(self.merge));
-        if self.recovered_shards > 0 {
+        if self.recovered_shards + self.promotions > 0 {
             let mut span = Span::new("recovery").with_duration(self.recovery_time);
             span.set_metric("recovered_shards", self.recovered_shards as i64);
+            span.set_metric("promotions", self.promotions as i64);
             span.set_metric("replayed_records", self.replayed_records as i64);
             spans.push(span);
         }
@@ -119,6 +127,7 @@ impl QueryStats {
 #[derive(Debug, Default)]
 pub struct RecoveryCounters {
     shards: AtomicUsize,
+    promotions: AtomicUsize,
     records: AtomicU64,
     nanos: AtomicU64,
 }
@@ -129,9 +138,18 @@ impl RecoveryCounters {
         RecoveryCounters::default()
     }
 
-    /// Record one shard recovery that replayed `replayed` log records.
+    /// Record one full shard rebuild that replayed `replayed` log records.
     pub fn record(&self, replayed: u64, elapsed: Duration) {
         self.shards.fetch_add(1, Ordering::Relaxed);
+        self.records.fetch_add(replayed, Ordering::Relaxed);
+        self.nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record one crash healed by follower promotion, replaying only
+    /// `replayed` committed-but-unshipped tail records.
+    pub fn record_promotion(&self, replayed: u64, elapsed: Duration) {
+        self.promotions.fetch_add(1, Ordering::Relaxed);
         self.records.fetch_add(replayed, Ordering::Relaxed);
         self.nanos
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
@@ -140,6 +158,7 @@ impl RecoveryCounters {
     /// Fold the accumulated counters into a query's stats.
     pub fn fold_into(&self, stats: &mut QueryStats) {
         stats.recovered_shards = self.shards.load(Ordering::Relaxed);
+        stats.promotions = self.promotions.load(Ordering::Relaxed);
         stats.replayed_records = self.records.load(Ordering::Relaxed);
         stats.recovery_time = Duration::from_nanos(self.nanos.load(Ordering::Relaxed));
     }

@@ -1,0 +1,274 @@
+//! Chaos suite for the elastic tier: seeded leader crashes and online
+//! shard splits under a concurrent read/write workload must never
+//! change what queries observe.
+//!
+//! A replicated cluster and a fault-free baseline cluster ingest the
+//! same batches round by round; each round crashes one shard's leader
+//! via a seeded [`FaultPlan`] while reader threads keep querying with
+//! failover, then compares every probe query byte for byte against the
+//! baseline. Promotions must heal every crash (no full rebuild on the
+//! critical path), replaying strictly fewer log records than a
+//! rebuild, and a leader that crashes again after healing promotes
+//! again — the recovery path is idempotent.
+
+use polyframe_cluster::{ShardPolicy, SqlCluster};
+use polyframe_datamodel::{record, to_json_string, Record, Value};
+use polyframe_observe::FaultPlan;
+use polyframe_sqlengine::EngineConfig;
+use polyframe_storage::CheckpointPolicy;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const NS: &str = "Test";
+const DS: &str = "Users";
+
+/// Probe queries covering every distributed merge path: count
+/// (aggregate), grouped aggregate, and a cross-shard top-k.
+const PROBES: [&str; 3] = [
+    "SELECT VALUE COUNT(*) FROM Test.Users",
+    "SELECT grp, COUNT(grp) AS cnt FROM (SELECT VALUE t FROM Test.Users t) t GROUP BY grp",
+    "SELECT VALUE t FROM (SELECT VALUE t FROM Test.Users t) t ORDER BY t.id DESC LIMIT 9",
+];
+
+fn batch(lo: i64, hi: i64) -> Vec<Record> {
+    (lo..hi)
+        .map(|i| record! {"id" => i, "grp" => i % 8, "val" => i * 3})
+        .collect()
+}
+
+fn durable_cluster(shards: usize, records: i64) -> Arc<SqlCluster> {
+    let c = Arc::new(SqlCluster::new(shards, EngineConfig::asterixdb(), "id"));
+    c.enable_durability(CheckpointPolicy::never()).unwrap();
+    c.create_dataset(NS, DS, Some("id")).unwrap();
+    c.load(NS, DS, batch(0, records)).unwrap();
+    c
+}
+
+fn ndjson(rows: &[Value]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&to_json_string(r));
+        out.push('\n');
+    }
+    out
+}
+
+/// Compare every probe on the chaos cluster against the baseline,
+/// byte for byte.
+fn assert_probes_match(chaos: &SqlCluster, baseline: &SqlCluster, round: &str) {
+    for probe in PROBES {
+        let expected = baseline.query(probe).unwrap();
+        let got = chaos.query_with(probe, &ShardPolicy::failover(3)).unwrap();
+        assert_eq!(
+            ndjson(&got),
+            ndjson(&expected),
+            "{round}: chaos cluster diverged on {probe}"
+        );
+    }
+}
+
+/// Reader threads spinning the probe mix with failover until stopped;
+/// every read must succeed no matter which of them trips a crash.
+/// Completed reads tick `ops` so tests can wait for real traffic.
+fn spawn_readers(
+    cluster: &Arc<SqlCluster>,
+    readers: usize,
+    stop: &Arc<AtomicBool>,
+    ops: &Arc<AtomicUsize>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    (0..readers)
+        .map(|r| {
+            let cluster = Arc::clone(cluster);
+            let stop = Arc::clone(stop);
+            let ops = Arc::clone(ops);
+            std::thread::spawn(move || {
+                let mut i = 0usize;
+                while !stop.load(Ordering::Acquire) {
+                    let probe = PROBES[(r + i) % PROBES.len()];
+                    cluster
+                        .query_with(probe, &ShardPolicy::failover(3))
+                        .expect("read under chaos");
+                    i += 1;
+                    ops.fetch_add(1, Ordering::Release);
+                }
+            })
+        })
+        .collect()
+}
+
+/// Block until the readers have completed at least `n` more reads.
+fn await_reads(ops: &AtomicUsize, n: usize) {
+    let target = ops.load(Ordering::Acquire) + n;
+    while ops.load(Ordering::Acquire) < target {
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn chaos_sweep_crashes_every_leader_under_load() {
+    const SHARDS: usize = 3;
+    let chaos = durable_cluster(SHARDS, 120);
+    let baseline = durable_cluster(SHARDS, 120);
+    chaos.enable_replication(2).unwrap();
+    chaos.take_stats();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicUsize::new(0));
+    let readers = spawn_readers(&chaos, 2, &stop, &ops);
+
+    // One round per shard: ingest the same batch on both clusters, then
+    // crash this shard's current leader and compare every probe.
+    let mut next_id = 120i64;
+    for shard in 0..SHARDS {
+        let rows = batch(next_id, next_id + 40);
+        next_id += 40;
+        chaos.load(NS, DS, rows.clone()).unwrap();
+        baseline.load(NS, DS, rows).unwrap();
+
+        chaos.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(
+            11 + shard as u64,
+            format!("sql-cluster/shard[{shard}]"),
+            0,
+        ))));
+        assert_probes_match(&chaos, &baseline, &format!("round {shard}"));
+        chaos.set_fault_plan(None);
+        // The demoted ex-leader rejoins as a stale follower; heal it
+        // before the next round so every crash finds a fresh candidate.
+        chaos.heal_replicas();
+    }
+
+    // Concurrent reads genuinely ran before the sweep ends.
+    await_reads(&ops, 1);
+    stop.store(true, Ordering::Release);
+    for r in readers {
+        r.join().expect("reader");
+    }
+
+    // Every crash in the sweep was healed by promotion — never by a
+    // full rebuild — and promotions replayed nothing: all frames had
+    // shipped before the crash.
+    let mut promotions = 0usize;
+    let mut rebuilds = 0usize;
+    let mut replayed = 0u64;
+    for stats in chaos.take_stats() {
+        promotions += stats.promotions;
+        rebuilds += stats.recovered_shards;
+        replayed += stats.replayed_records;
+    }
+    assert_eq!(promotions, SHARDS, "one promotion per crashed leader");
+    assert_eq!(rebuilds, 0, "no full rebuild on the critical path");
+    assert_eq!(replayed, 0, "all frames had shipped before each crash");
+
+    // A replica-less control cluster healing the same crash must replay
+    // its full log — strictly more than the promotions did.
+    let control = durable_cluster(SHARDS, 120);
+    control.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(
+        11,
+        "sql-cluster/shard[0]",
+        0,
+    ))));
+    control
+        .query_with(PROBES[0], &ShardPolicy::failover(3))
+        .unwrap();
+    let control_stats = control.last_stats().unwrap();
+    assert_eq!(control_stats.recovered_shards, 1);
+    assert!(
+        control_stats.replayed_records > replayed,
+        "full rebuild replayed {} records, promotions replayed {replayed}",
+        control_stats.replayed_records
+    );
+}
+
+#[test]
+fn repeated_crashes_of_the_same_shard_promote_each_time() {
+    let chaos = durable_cluster(2, 80);
+    let baseline = durable_cluster(2, 80);
+    chaos.enable_replication(1).unwrap();
+    chaos.take_stats();
+
+    // Crash shard 0 twice. After the first promotion the demoted
+    // ex-leader is healed back into the set, so the second crash finds
+    // a fresh candidate again — recovery is idempotent, not one-shot.
+    for round in 0..2 {
+        chaos.set_fault_plan(Some(Arc::new(FaultPlan::crash_at(
+            23 + round,
+            "sql-cluster/shard[0]",
+            0,
+        ))));
+        assert_probes_match(&chaos, &baseline, &format!("crash {round}"));
+        chaos.set_fault_plan(None);
+        assert_eq!(chaos.heal_replicas(), 1, "ex-leader healed after crash");
+    }
+
+    let mut promotions = 0usize;
+    let mut rebuilds = 0usize;
+    for stats in chaos.take_stats() {
+        promotions += stats.promotions;
+        rebuilds += stats.recovered_shards;
+    }
+    assert_eq!(promotions, 2, "both crashes healed by promotion");
+    assert_eq!(rebuilds, 0);
+
+    // Writes after the second promotion land on the current leader and
+    // stay queryable — nothing was lost across either handoff.
+    chaos.load(NS, DS, batch(80, 120)).unwrap();
+    baseline.load(NS, DS, batch(80, 120)).unwrap();
+    assert_probes_match(&chaos, &baseline, "after both crashes");
+}
+
+#[test]
+fn online_split_under_traffic_stays_byte_identical() {
+    let chaos = durable_cluster(2, 160);
+    let baseline = durable_cluster(2, 160);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let ops = Arc::new(AtomicUsize::new(0));
+    let readers = spawn_readers(&chaos, 2, &stop, &ops);
+
+    // A writer keeps ingesting through the split window on both
+    // clusters; batches are identical so the final states must agree.
+    let writer = {
+        let chaos = Arc::clone(&chaos);
+        let baseline = Arc::clone(&baseline);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut next = 160i64;
+            while !stop.load(Ordering::Acquire) {
+                let rows = batch(next, next + 20);
+                next += 20;
+                chaos.load(NS, DS, rows.clone()).expect("chaos load");
+                baseline.load(NS, DS, rows).expect("baseline load");
+            }
+            next
+        })
+    };
+
+    // The split happens under real traffic: readers have completed
+    // reads and keep reading through the cutover.
+    await_reads(&ops, 2);
+    let new_shard = chaos.split_shard(0).expect("online split");
+    assert_eq!(new_shard, 2);
+    assert_eq!(chaos.num_shards(), 3);
+    // Post-cutover reads land on the new topology before the traffic
+    // stops.
+    await_reads(&ops, 2);
+
+    stop.store(true, Ordering::Release);
+    let loaded = writer.join().expect("writer");
+    for r in readers {
+        r.join().expect("reader");
+    }
+
+    // Traffic has drained: the split cluster and the unsplit baseline
+    // hold the same rows and answer every probe identically.
+    assert_eq!(
+        chaos.dataset_len(NS, DS).unwrap(),
+        loaded as usize,
+        "split lost or duplicated rows"
+    );
+    assert_probes_match(&chaos, &baseline, "after split");
+    // The split actually moved data: both halves hold rows.
+    let kept = chaos.shard(0).dataset_len(NS, DS).unwrap();
+    let moved = chaos.shard(2).dataset_len(NS, DS).unwrap();
+    assert!(kept > 0 && moved > 0, "kept={kept} moved={moved}");
+}

@@ -147,7 +147,7 @@ pub fn execute_request(
         };
         if let Some(d) = &deadline {
             if d.expired() {
-                break Err(PolyFrameError::DeadlineExceeded(format!(
+                break Err(PolyFrameError::deadline_exceeded(format!(
                     "budget of {:?} exhausted before {label} of query against {}",
                     d.budget(),
                     connector.name(),
@@ -261,12 +261,13 @@ fn graph_err(e: GraphError) -> PolyFrameError {
 }
 
 /// Derive the cluster shard policy from a request: the request's retry
-/// budget doubles as the per-shard failover budget, and `allow_partial`
-/// passes through.
+/// budget doubles as the per-shard failover budget, and
+/// `allow_partial` / `prefer_replica` pass through.
 fn shard_policy(req: &QueryRequest) -> ShardPolicy {
     ShardPolicy {
         failover_retries: req.policy.retry.max_retries,
         allow_partial: req.policy.allow_partial,
+        prefer_replica: req.policy.prefer_replica,
     }
 }
 

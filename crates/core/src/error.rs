@@ -17,9 +17,20 @@ pub enum PolyFrameError {
     /// A transient backend condition (dropped connection, shard timeout,
     /// injected fault). The only retryable kind.
     Transient(String),
-    /// The action's deadline budget was exhausted. Fatal and
-    /// non-retryable: retrying cannot create more time.
-    DeadlineExceeded(String),
+    /// The action's deadline budget was exhausted.
+    ///
+    /// Two flavours share the kind: the driver exhausting the whole
+    /// budget mid-action is fatal (`retryable: false` — retrying cannot
+    /// create more time), while the serving tier dropping an
+    /// already-expired job at dequeue is `retryable: true` — the client
+    /// may re-submit with a fresh budget and the server sheds the dead
+    /// work instead of executing it.
+    DeadlineExceeded {
+        /// What ran out of time.
+        message: String,
+        /// Whether re-submitting can succeed (see above).
+        retryable: bool,
+    },
     /// Durable state (write-ahead log or snapshot) failed its integrity
     /// check: a complete, committed record whose checksum does not
     /// match, or a committed snapshot that does not decode. Fatal and
@@ -56,7 +67,9 @@ impl fmt::Display for PolyFrameError {
             PolyFrameError::Backend(m) => write!(f, "backend error: {m}"),
             PolyFrameError::Result(m) => write!(f, "result error: {m}"),
             PolyFrameError::Transient(m) => write!(f, "transient backend error: {m}"),
-            PolyFrameError::DeadlineExceeded(m) => write!(f, "deadline exceeded: {m}"),
+            PolyFrameError::DeadlineExceeded { message, .. } => {
+                write!(f, "deadline exceeded: {message}")
+            }
             PolyFrameError::Corruption(m) => write!(f, "durable-state corruption: {m}"),
         }
     }
@@ -75,6 +88,25 @@ impl PolyFrameError {
         PolyFrameError::Transient(e.to_string())
     }
 
+    /// A fatal deadline exhaustion: the action's whole budget is spent,
+    /// retrying cannot create more time.
+    pub fn deadline_exceeded(e: impl fmt::Display) -> PolyFrameError {
+        PolyFrameError::DeadlineExceeded {
+            message: e.to_string(),
+            retryable: false,
+        }
+    }
+
+    /// A retryable deadline drop: the serving tier shed a queued job
+    /// whose deadline had already expired at dequeue; re-submitting
+    /// with a fresh budget can succeed.
+    pub fn deadline_dropped(e: impl fmt::Display) -> PolyFrameError {
+        PolyFrameError::DeadlineExceeded {
+            message: e.to_string(),
+            retryable: true,
+        }
+    }
+
     /// This error's coarse classification.
     pub fn kind(&self) -> ErrorKind {
         match self {
@@ -83,17 +115,26 @@ impl PolyFrameError {
             PolyFrameError::Backend(_) => ErrorKind::Backend,
             PolyFrameError::Result(_) => ErrorKind::Result,
             PolyFrameError::Transient(_) => ErrorKind::Transient,
-            PolyFrameError::DeadlineExceeded(_) => ErrorKind::DeadlineExceeded,
+            PolyFrameError::DeadlineExceeded { .. } => ErrorKind::DeadlineExceeded,
             PolyFrameError::Corruption(_) => ErrorKind::Corruption,
         }
     }
 
-    /// Whether retrying the failed operation may succeed. Only
-    /// [`PolyFrameError::Transient`] is retryable; everything else —
-    /// including [`PolyFrameError::DeadlineExceeded`] and
-    /// [`PolyFrameError::Corruption`] — is fatal.
+    /// Whether retrying the failed operation may succeed:
+    /// [`PolyFrameError::Transient`], plus the retryable flavour of
+    /// [`PolyFrameError::DeadlineExceeded`] (a queued job dropped at
+    /// dequeue — re-submission gets a fresh budget). Everything else,
+    /// including the fatal deadline flavour and
+    /// [`PolyFrameError::Corruption`], is not.
     pub fn is_retryable(&self) -> bool {
-        self.kind() == ErrorKind::Transient
+        matches!(
+            self,
+            PolyFrameError::Transient(_)
+                | PolyFrameError::DeadlineExceeded {
+                    retryable: true,
+                    ..
+                }
+        )
     }
 }
 

@@ -26,6 +26,11 @@ pub struct ExecPolicy {
     /// default — without it a degraded shard is failed over and, if it
     /// stays down, the action errors.
     pub allow_partial: bool,
+    /// Route cluster reads to fully caught-up follower replicas when
+    /// they exist, leaving shard leaders free for writes. A lagging
+    /// replica is never read, so snapshot semantics hold either way;
+    /// off by default.
+    pub prefer_replica: bool,
 }
 
 impl ExecPolicy {
@@ -44,6 +49,12 @@ impl ExecPolicy {
     /// Builder: opt in (or out) of partial results.
     pub fn with_allow_partial(mut self, allow: bool) -> ExecPolicy {
         self.allow_partial = allow;
+        self
+    }
+
+    /// Builder: opt in (or out) of replica reads.
+    pub fn with_prefer_replica(mut self, prefer: bool) -> ExecPolicy {
+        self.prefer_replica = prefer;
         self
     }
 }
@@ -98,6 +109,12 @@ impl QueryRequest {
     /// Builder: opt in to partial results.
     pub fn with_allow_partial(mut self, allow: bool) -> QueryRequest {
         self.policy.allow_partial = allow;
+        self
+    }
+
+    /// Builder: opt in to replica reads.
+    pub fn with_prefer_replica(mut self, prefer: bool) -> QueryRequest {
+        self.policy.prefer_replica = prefer;
         self
     }
 }

@@ -70,10 +70,14 @@ impl ServeConfig {
     }
 }
 
-/// One queued request: what to run and where to send the outcome.
+/// One queued request: what to run, where to send the outcome, and
+/// when the work stops being worth doing.
 struct Job {
     req: QueryRequest,
     reply: mpsc::Sender<Result<QueryResponse>>,
+    /// Absolute expiry derived from the request's deadline budget at
+    /// submission. A job pulled after this instant is shed, not run.
+    expires: Option<std::time::Instant>,
 }
 
 /// A multi-session server over one backend connector.
@@ -93,6 +97,23 @@ impl Server {
             let backend = Arc::clone(&backend);
             workers.push(std::thread::spawn(move || {
                 while let Some((_session, job)) = queue.next_job() {
+                    // Deadline-aware admission: a job whose budget
+                    // expired while it sat in the queue is dead on
+                    // arrival — executing it wastes a worker on an
+                    // answer nobody can use. Shed it with a retryable
+                    // deadline error so the client re-submits with a
+                    // fresh budget if it still cares.
+                    if job
+                        .expires
+                        .is_some_and(|expiry| std::time::Instant::now() >= expiry)
+                    {
+                        queue.record_deadline_drop();
+                        let _ = job.reply.send(Err(PolyFrameError::deadline_dropped(
+                            "job deadline expired while queued",
+                        )));
+                        queue.job_done();
+                        continue;
+                    }
                     // A backend panic must not take the worker (and with
                     // it, the pool) down: catch it at this boundary and
                     // surface it to the one client that hit it. The
@@ -205,6 +226,10 @@ impl DatabaseConnector for SessionConnector {
         let job = Job {
             req: req.clone(),
             reply,
+            expires: req
+                .policy
+                .deadline
+                .map(|budget| std::time::Instant::now() + budget),
         };
         match self.queue.submit(self.id, job) {
             Ok(()) => {}
@@ -372,6 +397,51 @@ mod tests {
         h2.join().expect("queued thread").expect("queued job");
         let out = h3.join().expect("retry thread").expect("retried admission");
         assert!(!out.rows.is_empty());
+    }
+
+    #[test]
+    fn expired_queued_jobs_are_shed_at_dequeue() {
+        let (release, tokens) = mpsc::channel();
+        let server = Arc::new(Server::start(
+            Arc::new(GatedConnector {
+                tokens: std::sync::Mutex::new(tokens),
+            }),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(4),
+        ));
+
+        // Occupy the single worker...
+        let in_flight = server.session();
+        let h1 = std::thread::spawn(move || in_flight.dispatch(&count_req()));
+        while server.stats().submitted < 1 || server.depth() > 0 {
+            std::thread::yield_now();
+        }
+        // ...queue a job with a deadline far too short to survive the
+        // wait...
+        let doomed = server.session();
+        let h2 = std::thread::spawn(move || {
+            doomed.dispatch(&count_req().with_deadline(Duration::from_millis(5)))
+        });
+        while server.depth() < 1 {
+            std::thread::yield_now();
+        }
+        // ...and let it expire before the worker frees up.
+        std::thread::sleep(Duration::from_millis(20));
+        release.send(()).expect("release in-flight job");
+
+        let err = h2.join().expect("doomed thread").expect_err("expired");
+        assert_eq!(err.kind(), crate::ErrorKind::DeadlineExceeded, "{err}");
+        assert!(err.is_retryable(), "drop must be retryable: {err}");
+        assert!(err.to_string().contains("expired while queued"), "{err}");
+        h1.join().expect("in-flight thread").expect("in-flight job");
+
+        drop(release);
+        server.drain();
+        let stats = server.stats();
+        assert_eq!(stats.deadline_dropped, 1);
+        // Shed jobs still count as completed for drain accounting.
+        assert_eq!(stats.completed, stats.submitted - stats.rejected);
     }
 
     #[test]

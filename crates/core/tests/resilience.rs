@@ -166,18 +166,24 @@ fn deadline_exceeded_is_fatal_and_non_retryable() {
     assert!((1..10_000).contains(&retries), "retries = {retries}");
 }
 
-/// Transient errors are the only retryable kind.
+/// Transient errors — plus the serving tier's retryable deadline drop —
+/// are the only retryable kinds.
 #[test]
 fn error_taxonomy_classifies_retryability() {
     let transient = PolyFrameError::transient("shard timeout");
     assert_eq!(transient.kind(), ErrorKind::Transient);
     assert!(transient.is_retryable());
+    // A queued job shed at dequeue keeps the DeadlineExceeded kind but
+    // stays retryable: re-submission gets a fresh budget.
+    let dropped = PolyFrameError::deadline_dropped("expired while queued");
+    assert_eq!(dropped.kind(), ErrorKind::DeadlineExceeded);
+    assert!(dropped.is_retryable());
     for fatal in [
         PolyFrameError::Config("bad".into()),
         PolyFrameError::Unsupported("no".into()),
         PolyFrameError::backend("boom"),
         PolyFrameError::Result("shape".into()),
-        PolyFrameError::DeadlineExceeded("late".into()),
+        PolyFrameError::deadline_exceeded("late"),
         PolyFrameError::Corruption("crc mismatch".into()),
     ] {
         assert!(!fatal.is_retryable(), "{fatal}");

@@ -330,6 +330,26 @@ impl DocStore {
         snapshot_ops(&self.pinned())
     }
 
+    /// The attached WAL, when durability is enabled. The replication
+    /// layer installs its shipping observer and reads the committed
+    /// tail through this handle.
+    pub fn wal_handle(&self) -> Option<Arc<Wal>> {
+        self.wal()
+    }
+
+    /// Atomically pin the current committed state and its log position:
+    /// the compacted op list plus the LSN the next append will receive.
+    /// Taking the master read lock excludes writers, so the ops and the
+    /// pin always agree. Errors when durability is not enabled.
+    pub fn pinned_ops(&self) -> Result<(Vec<DurableOp>, u64)> {
+        let wal = self
+            .wal()
+            .ok_or_else(|| DocError::Exec("durability is not enabled".to_string()))?;
+        self.heal_poisoned()?;
+        let map = self.collections.read();
+        Ok((snapshot_ops(&map), wal.next_lsn()))
+    }
+
     fn wal(&self) -> Option<Arc<Wal>> {
         self.wal.lock().clone()
     }

@@ -35,6 +35,10 @@ pub struct QueueStats {
     pub completed: u64,
     /// Submissions rejected because the queue was full.
     pub rejected: u64,
+    /// Jobs admitted but shed at dequeue because their deadline had
+    /// already expired while they waited (reported by the worker via
+    /// [`FairQueue::record_deadline_drop`]).
+    pub deadline_dropped: u64,
     /// High-water mark of jobs queued at once.
     pub max_depth: usize,
 }
@@ -169,6 +173,14 @@ impl<T> FairQueue<T> {
                 .wait(state)
                 .unwrap_or_else(PoisonError::into_inner);
         }
+    }
+
+    /// Record that a pulled job was shed instead of executed because
+    /// its deadline expired while it sat in the queue. Call **in
+    /// addition to** [`FairQueue::job_done`] — the drop is still a
+    /// completion for drain accounting.
+    pub fn record_deadline_drop(&self) {
+        self.locked().stats.deadline_dropped += 1;
     }
 
     /// Report a pulled job finished (success or failure alike).

@@ -374,6 +374,28 @@ impl Engine {
         snapshot_ops(&self.pinned())
     }
 
+    /// The attached WAL, when durability is enabled. The replication
+    /// layer installs its shipping observer and reads the committed
+    /// tail through this handle.
+    pub fn wal_handle(&self) -> Option<Arc<Wal>> {
+        self.wal()
+    }
+
+    /// Atomically pin the current committed state and its log position:
+    /// the compacted op list plus the LSN the next append will receive.
+    /// Taking the master read lock excludes writers, so the ops and the
+    /// pin always agree — the shard-split path seeds a new store from
+    /// the ops and replays exactly the frames at or past the pin.
+    /// Errors when durability is not enabled.
+    pub fn pinned_ops(&self) -> Result<(Vec<DurableOp>, u64)> {
+        let wal = self
+            .wal()
+            .ok_or_else(|| EngineError::exec("durability is not enabled"))?;
+        self.heal_poisoned()?;
+        let db = self.db.read();
+        Ok((snapshot_ops(&db), wal.next_lsn()))
+    }
+
     /// Create a dataset.
     pub fn create_dataset(
         &self,

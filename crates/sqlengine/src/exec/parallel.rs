@@ -760,7 +760,19 @@ pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) ->
         .step_by(step)
         .map(|lo| (lo, (lo + step).min(domain)))
         .collect();
-    if opts.workers <= 1 || ranges.len() < 2 {
+    // Worker budgeting from the statistics snapshot: the estimated live
+    // rows justify at most one worker per *full* morsel they fill, so a
+    // tiny table whose tail range is mostly padding stops paying thread
+    // setup for workers that would claim almost no work. When the stats
+    // report nothing (counters not yet populated), the range count alone
+    // decides, as before.
+    let est_rows = table.stats().record_count();
+    let worker_budget = if est_rows > 0 {
+        (est_rows / step).max(1)
+    } else {
+        ranges.len().max(1)
+    };
+    if opts.workers <= 1 || ranges.len() < 2 || worker_budget <= 1 {
         // Not enough work (or threads) to parallelize. A compiled
         // pipeline still runs vectorized, single-threaded over the whole
         // domain (with the limit stopping the scan early); otherwise a
@@ -782,7 +794,7 @@ pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) ->
 
     let early = pp.early_exit_limit();
     let gate = early.map(|n| LimitGate::new(n, ranges.len()));
-    let workers = opts.workers.min(ranges.len());
+    let workers = opts.workers.min(ranges.len()).min(worker_budget);
     let next = AtomicUsize::new(0);
     type MorselResult = Result<(MorselOut, usize)>;
     let results: Mutex<Vec<(usize, Duration, MorselResult)>> =

@@ -189,3 +189,37 @@ fn parallel_execution_actually_engages() {
     assert_eq!(exec.metric("parallelism"), Some(1));
     assert!(exec.children().is_empty());
 }
+
+#[test]
+fn tiny_tables_stay_sequential_under_stats_budget() {
+    // 300 rows split into two morsels of 256, but the statistics snapshot
+    // reports the rows fill only one *whole* morsel — the worker budget
+    // keeps the scan on the single-threaded path instead of paying
+    // multi-worker setup for a table this small.
+    let tiny = Engine::new(EngineConfig::postgres().with_exec(ExecOptions {
+        workers: 4,
+        morsel_rows: MORSEL_ROWS,
+        ..ExecOptions::default()
+    }));
+    tiny.create_dataset(NS, DS, Some("unique2")).unwrap();
+    tiny.load(NS, DS, generate(&WisconsinConfig::new(300)))
+        .unwrap();
+
+    let sql = "SELECT SUM(\"unique1\") FROM (SELECT * FROM Bench.wisconsin) t";
+    let (rows, span) = tiny.query_traced(sql).unwrap();
+    let exec = span.find("exec").unwrap();
+    assert_eq!(
+        exec.metric("parallelism"),
+        Some(1),
+        "300 rows must not engage the worker pool"
+    );
+
+    // The budget is a scheduling decision only: answers match a serial
+    // reference byte for byte.
+    let serial = Engine::new(EngineConfig::postgres().with_exec(ExecOptions::rowwise()));
+    serial.create_dataset(NS, DS, Some("unique2")).unwrap();
+    serial
+        .load(NS, DS, generate(&WisconsinConfig::new(300)))
+        .unwrap();
+    assert_eq!(ndjson(&rows), ndjson(&serial.query(sql).unwrap()));
+}

@@ -43,5 +43,6 @@ pub use index::{Index, IndexKind, NullPolicy};
 pub use stats::{AttributeStats, Histogram, NdvSketch, TableStats};
 pub use table::{Table, TableOptions};
 pub use wal::{
-    encode_ops, CheckpointPolicy, DurableOp, LogMedia, RecoveryReport, Wal, WalError, WalStats,
+    encode_ops, CheckpointPolicy, DurableOp, LogMedia, RecoveryReport, Wal, WalError, WalObserver,
+    WalStats,
 };

@@ -358,6 +358,33 @@ struct WalState {
     stats: WalStats,
 }
 
+/// Receives every committed frame, in LSN order, as it commits.
+///
+/// The hook that turns a WAL into a replication log: a cluster installs
+/// an observer on each shard leader's WAL and ships the frame to that
+/// shard's followers. The callback runs while the WAL's state lock is
+/// held, so deliveries are totally ordered and never raced — observers
+/// must not call back into the same WAL.
+pub trait WalObserver: Send + Sync {
+    /// Called once per committed frame, after the frame is fully on the
+    /// media. A crash at the `fsync` site commits the frame but kills
+    /// the process *before* this fires — the canonical
+    /// committed-but-unshipped tail that promotion must replay.
+    fn frame_committed(&self, lsn: u64, op: &DurableOp);
+}
+
+struct ObserverSlot(Mutex<Option<Arc<dyn WalObserver>>>);
+
+impl fmt::Debug for ObserverSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(if self.0.lock().is_some() {
+            "ObserverSlot(installed)"
+        } else {
+            "ObserverSlot(none)"
+        })
+    }
+}
+
 /// A write-ahead log bound to one store's media and fault site.
 #[derive(Debug)]
 pub struct Wal {
@@ -366,6 +393,7 @@ pub struct Wal {
     policy: CheckpointPolicy,
     state: Mutex<WalState>,
     faults: Mutex<Option<Arc<FaultPlan>>>,
+    observer: ObserverSlot,
 }
 
 /// CRC-32 (IEEE 802.3, reflected) over `bytes`.
@@ -399,6 +427,7 @@ impl Wal {
             policy,
             state: Mutex::new(WalState::default()),
             faults: Mutex::new(None),
+            observer: ObserverSlot(Mutex::new(None)),
         }
     }
 
@@ -410,6 +439,19 @@ impl Wal {
     /// Install (or clear) the fault plan consulted at WAL sites.
     pub fn set_faults(&self, plan: Option<Arc<FaultPlan>>) {
         *self.faults.lock() = plan;
+    }
+
+    /// Install (or clear) the [`WalObserver`] notified of every
+    /// committed frame. Replication moves the observer from a crashed
+    /// leader's WAL to its promoted successor's.
+    pub fn set_observer(&self, observer: Option<Arc<dyn WalObserver>>) {
+        *self.observer.0.lock() = observer;
+    }
+
+    /// The LSN the next append will receive — equivalently, the number
+    /// of ops this WAL has committed since its LSN clock last reset.
+    pub fn next_lsn(&self) -> u64 {
+        self.state.lock().next_lsn
     }
 
     /// Activity counters.
@@ -465,6 +507,13 @@ impl Wal {
         state.next_lsn = lsn + 1;
         state.since_checkpoint += 1;
         state.stats.appends += 1;
+        // Ship under the state lock: deliveries stay in LSN order. A
+        // crash above (fsync site) commits the frame without shipping
+        // it — the unshipped tail promotion replays from the media.
+        let observer = self.observer.0.lock().clone();
+        if let Some(observer) = observer {
+            observer.frame_committed(lsn, op);
+        }
         Ok(lsn)
     }
 
@@ -502,6 +551,63 @@ impl Wal {
         state.since_checkpoint = 0;
         state.stats.checkpoints += 1;
         Ok(())
+    }
+
+    /// The committed frames with `lsn >= from_lsn`, in LSN order,
+    /// straight off the media — the tail a promoted follower replays to
+    /// catch up with its crashed leader. Returns `Ok(None)` when
+    /// checkpoint truncation has already compacted part of the
+    /// requested range into a snapshot (the individual frames are gone;
+    /// the caller must fall back to a full rebuild). A torn final frame
+    /// never committed and is ignored; a CRC-mismatched complete frame
+    /// is [`WalError::Corruption`], as in [`Wal::recover`].
+    pub fn committed_tail(&self, from_lsn: u64) -> Result<Option<Vec<(u64, DurableOp)>>, WalError> {
+        let (snapshot, log) = self.media.read_committed();
+        let mut covered_lsn = 0u64;
+        if let Some(snap) = snapshot {
+            let payload = read_frame(&snap, 0)
+                .map_err(|e| WalError::Corruption(format!("snapshot: {e}")))?
+                .ok_or_else(|| WalError::Corruption("snapshot: incomplete frame".into()))?;
+            let mut r = codec::Reader::new(payload);
+            covered_lsn = r
+                .u64()
+                .map_err(|e| WalError::Corruption(format!("snapshot: {e}")))?;
+        }
+        let mut tail = Vec::new();
+        let mut offset = 0usize;
+        loop {
+            match read_frame(&log, offset) {
+                Ok(Some(payload)) => {
+                    let frame_len = 8 + payload.len();
+                    let mut r = codec::Reader::new(payload);
+                    let lsn = r
+                        .u64()
+                        .map_err(|e| WalError::Corruption(format!("frame at {offset}: {e}")))?;
+                    if lsn >= from_lsn {
+                        let op = DurableOp::decode(&mut r)
+                            .map_err(|e| WalError::Corruption(format!("frame at {offset}: {e}")))?;
+                        tail.push((lsn, op));
+                    }
+                    offset += frame_len;
+                }
+                Ok(None) => break,
+                Err(e) => return Err(WalError::Corruption(format!("frame at {offset}: {e}"))),
+            }
+        }
+        // The tail must cover [from_lsn, end) without holes. A first
+        // frame past `from_lsn`, or an empty log whose snapshot covers
+        // past `from_lsn`, means checkpointing compacted the range.
+        let mut want = from_lsn;
+        for (lsn, _) in &tail {
+            if *lsn != want {
+                return Ok(None);
+            }
+            want += 1;
+        }
+        if want < covered_lsn {
+            return Ok(None);
+        }
+        Ok(Some(tail))
     }
 
     /// Rebuild the committed op sequence from the media: the latest
@@ -787,6 +893,52 @@ mod tests {
         assert_eq!(ops, vec![op(1), op(2)]);
         assert_eq!(report.snapshot_ops, 2);
         assert_eq!(report.replayed_records, 0);
+    }
+
+    #[test]
+    fn observer_sees_every_committed_frame_in_order() {
+        struct Tape(Mutex<Vec<(u64, DurableOp)>>);
+        impl WalObserver for Tape {
+            fn frame_committed(&self, lsn: u64, op: &DurableOp) {
+                self.0.lock().push((lsn, op.clone()));
+            }
+        }
+        let wal = Wal::new(LogMedia::new(), "s", CheckpointPolicy::never());
+        let tape = Arc::new(Tape(Mutex::new(Vec::new())));
+        wal.set_observer(Some(Arc::clone(&tape) as Arc<dyn WalObserver>));
+        wal.append(&op(1)).expect("append");
+        wal.append(&op(2)).expect("append");
+        assert_eq!(*tape.0.lock(), vec![(0, op(1)), (1, op(2))]);
+        // A crash at the fsync site commits the frame without shipping it.
+        wal.set_faults(Some(Arc::new(FaultPlan::crash_at(7, "s/wal/fsync", 0))));
+        wal.append(&op(3)).expect_err("crash");
+        assert_eq!(tape.0.lock().len(), 2);
+        assert_eq!(wal.committed_tail(2).expect("tail"), Some(vec![(2, op(3))]));
+    }
+
+    #[test]
+    fn committed_tail_returns_the_unshipped_suffix() {
+        let wal = Wal::new(LogMedia::new(), "s", CheckpointPolicy::never());
+        for i in 1..=4 {
+            wal.append(&op(i)).expect("append");
+        }
+        let tail = wal.committed_tail(2).expect("tail").expect("no gap");
+        assert_eq!(tail, vec![(2, op(3)), (3, op(4))]);
+        assert_eq!(wal.committed_tail(4).expect("tail"), Some(vec![]));
+    }
+
+    #[test]
+    fn committed_tail_reports_a_gap_after_checkpoint_truncation() {
+        let wal = Wal::new(LogMedia::new(), "s", CheckpointPolicy::never());
+        wal.append(&op(1)).expect("append");
+        wal.append(&op(2)).expect("append");
+        wal.checkpoint(&[op(1), op(2)]).expect("checkpoint");
+        wal.append(&op(3)).expect("append");
+        // Frames 0..2 were compacted into the snapshot: a follower at
+        // LSN 1 cannot be caught up frame-by-frame any more.
+        assert_eq!(wal.committed_tail(1).expect("tail"), None);
+        // A follower at the covered LSN still can.
+        assert_eq!(wal.committed_tail(2).expect("tail"), Some(vec![(2, op(3))]));
     }
 
     #[test]
