@@ -225,6 +225,20 @@ pub struct VectorizedEvalAblation {
     pub speedup: f64,
 }
 
+impl VectorizedEvalAblation {
+    /// One harness `--json` record. `ablation` names the experiment the
+    /// row belongs to (`"vectorized_eval"`, `"vectorized_join"`, or
+    /// `"kernel_specialization"`); `records` is the table size.
+    pub fn to_json(&self, ablation: &str, records: usize) -> String {
+        format!(
+            "{{\"ablation\":\"{ablation}\",\"records\":{records},\"evaluator\":\"{}\",\"elapsed_ns\":{},\"speedup\":{:.4}}}",
+            self.mode,
+            self.elapsed.as_nanos(),
+            self.speedup
+        )
+    }
+}
+
 /// Measure [`VEC_QUERY`] over `num_records` records on the row-at-a-time
 /// and vectorized single-core paths. Samples interleave round-robin
 /// across the two modes (the same drift control as
@@ -251,6 +265,89 @@ pub fn vectorized_eval_ablation(num_records: usize, samples: usize) -> Vec<Vecto
         for ((_, engine), out) in engines.iter().zip(times.iter_mut()) {
             let t0 = Instant::now();
             engine.query(VEC_QUERY).unwrap();
+            out.push(t0.elapsed());
+        }
+    }
+    let medians: Vec<Duration> = times.into_iter().map(median).collect();
+    let base = medians[0];
+    engines
+        .iter()
+        .zip(medians)
+        .map(|((mode, _), elapsed)| VectorizedEvalAblation {
+            mode,
+            elapsed,
+            speedup: base.as_secs_f64() / elapsed.as_secs_f64().max(1e-12),
+        })
+        .collect()
+}
+
+/// The scan→filter→aggregate pipeline the kernel-specialization ablation
+/// times: an AND-chained integer predicate (fused into one selection-
+/// vector pass by the predicate-tree kernel) feeding four scalar
+/// aggregates over bare scan columns (folded straight into typed
+/// accumulators by the fused-aggregate kernel — no projected batch is
+/// ever materialized). Both modes run the same vectorized pipeline; the
+/// only difference is generic per-lane interpretation vs the promoted
+/// null-fast kernels.
+pub const KERNEL_QUERY: &str = "SELECT COUNT(*) AS c, SUM(t.\"unique1\") AS s, \
+     MIN(t.\"unique2\") AS mn, MAX(t.\"unique1\") AS mx \
+     FROM (SELECT * FROM Bench.wisconsin) t \
+     WHERE t.\"onePercent\" < 50 AND t.\"two\" = 0";
+
+/// A single-core vectorized engine with kernel specialization on or off.
+pub fn kernel_engine(num_records: usize, specialize: bool) -> Engine {
+    let exec = ExecOptions {
+        workers: 1,
+        specialize,
+        ..ExecOptions::default()
+    };
+    let engine = Engine::new(config_for("postgres").with_exec(exec));
+    engine.create_dataset(NS, DS, Some("unique2")).unwrap();
+    engine
+        .load(NS, DS, generate(&WisconsinConfig::new(num_records)))
+        .unwrap();
+    engine
+}
+
+/// Measure [`KERNEL_QUERY`] on the generic vectorized interpreter vs the
+/// specialized kernels — same query, same batches, same single core.
+/// Warm-up runs each engine twice (the promotion threshold, so the
+/// specialized engine's timed runs all hit promoted kernels) and doubles
+/// as the byte-identity check across rowwise, generic, specialized and
+/// parallel execution.
+pub fn kernel_specialization_ablation(
+    num_records: usize,
+    samples: usize,
+) -> Vec<VectorizedEvalAblation> {
+    let samples = samples.max(1);
+    let engines = [
+        ("generic", kernel_engine(num_records, false)),
+        ("specialized", kernel_engine(num_records, true)),
+    ];
+    let rowwise = eval_engine(num_records, false);
+    let parallel = join_engine(num_records, true);
+    let reference = format!("{:?}", rowwise.query(KERNEL_QUERY).unwrap());
+    for (mode, engine) in &engines {
+        for run in 1..=2 {
+            let out = format!("{:?}", engine.query(KERNEL_QUERY).unwrap());
+            assert_eq!(
+                out, reference,
+                "{mode} run {run} diverged from the row path"
+            );
+        }
+    }
+    for run in 1..=2 {
+        let out = format!("{:?}", parallel.query(KERNEL_QUERY).unwrap());
+        assert_eq!(
+            out, reference,
+            "parallel run {run} diverged from the row path"
+        );
+    }
+    let mut times: Vec<Vec<Duration>> = vec![Vec::with_capacity(samples); engines.len()];
+    for _ in 0..samples {
+        for ((_, engine), out) in engines.iter().zip(times.iter_mut()) {
+            let t0 = Instant::now();
+            engine.query(KERNEL_QUERY).unwrap();
             out.push(t0.elapsed());
         }
     }
@@ -502,9 +599,10 @@ pub fn plan_quality_ablation(num_records: usize, samples: usize) -> Vec<PlanQual
 /// each, the exec trace reports `vectorized` as `true` or
 /// `fallback:<cause>`, so tallying the notes shows which operators run on
 /// the batch path and which still decline (and why).
-const FALLBACK_SUITE: [(&str, &str); 6] = [
+const FALLBACK_SUITE: [(&str, &str); 7] = [
     ("filter+project", VEC_QUERY),
     ("scalar aggregate", SCAN_QUERY),
+    ("fused filter+agg", KERNEL_QUERY),
     ("hash join+filter+agg", JOIN_QUERY),
     (
         "distinct",
@@ -515,8 +613,12 @@ const FALLBACK_SUITE: [(&str, &str); 6] = [
         "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t WHERE t.\"two\" = 0 LIMIT 10",
     ),
     (
-        "order by",
-        "SELECT t.* FROM (SELECT * FROM Bench.wisconsin) t ORDER BY t.\"unique1\" DESC LIMIT 25",
+        // `stringu1` is unique per record, so its dictionary build
+        // overflows `DICT_CAP` on every full batch and demotes to generic
+        // value lanes — the `dict=demoted` trace note this row surfaces.
+        "dict overflow",
+        "SELECT t.\"stringu1\", t.\"string4\" FROM (SELECT * FROM Bench.wisconsin) t \
+         WHERE t.\"two\" = 0",
     ),
 ];
 
@@ -528,22 +630,68 @@ pub struct FallbackBreakdown {
     /// The exec trace's `vectorized` note: `"true"`, or
     /// `"fallback:<cause>"` naming the operator that declined.
     pub mode: String,
+    /// The exec trace's `kernel` note on the *second* execution
+    /// (`"specialized"` once the promotion policy engaged, `"generic"`
+    /// for shapes specialization declines, `"-"` off the batch path).
+    pub kernel: String,
+    /// Dictionary build health: `"hit-rate NN%"` (the fraction of string
+    /// columns that stayed dictionary-encoded) with ` (demoted)` appended
+    /// when any column overflowed `DICT_CAP`; `"-"` when the query built
+    /// no dictionary columns.
+    pub dict: String,
+}
+
+impl FallbackBreakdown {
+    /// One harness `--json` coverage record.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"ablation\":\"vectorized_coverage\",\"pipeline\":\"{}\",\"mode\":\"{}\",\"kernel\":\"{}\",\"dict\":\"{}\"}}",
+            self.shape, self.mode, self.kernel, self.dict
+        )
+    }
 }
 
 /// Run the fallback suite on a default-configuration engine and report
-/// each query's `vectorized` trace note.
+/// each query's `vectorized` trace note plus the kernel tier and
+/// dictionary health of its second execution (the promotion policy needs
+/// one warm-up run before specialized kernels can appear).
 pub fn fallback_breakdown(num_records: usize) -> Vec<FallbackBreakdown> {
     let engine = join_engine(num_records, true);
     FALLBACK_SUITE
         .iter()
         .map(|(shape, sql)| {
+            engine.query(sql).unwrap(); // warm-up: promotion counts this run
             let (_, span) = engine.query_traced(sql).unwrap();
-            let mode = span
-                .find("exec")
+            let exec = span.find("exec");
+            let mode = exec
                 .and_then(|e| e.note("vectorized"))
                 .unwrap_or("off")
                 .to_string();
-            FallbackBreakdown { shape, mode }
+            let kernel = exec
+                .and_then(|e| e.note("kernel"))
+                .unwrap_or("-")
+                .to_string();
+            // `dict_columns` = per-batch columns that stayed
+            // dictionary-encoded; `dict_demoted` = those that overflowed.
+            // The hit rate is encoded over attempted.
+            let dict_columns = exec.and_then(|e| e.metric("dict_columns")).unwrap_or(0);
+            let demoted = exec.and_then(|e| e.metric("dict_demoted")).unwrap_or(0);
+            let dict = if dict_columns + demoted > 0 {
+                let rate = 100.0 * dict_columns as f64 / (dict_columns + demoted) as f64;
+                if demoted > 0 {
+                    format!("hit-rate {rate:.0}% (demoted)")
+                } else {
+                    format!("hit-rate {rate:.0}%")
+                }
+            } else {
+                "-".to_string()
+            };
+            FallbackBreakdown {
+                shape,
+                mode,
+                kernel,
+                dict,
+            }
         })
         .collect()
 }
@@ -589,6 +737,29 @@ mod tests {
         for r in &rows {
             assert_eq!(r.mode, "true", "{} fell back", r.shape);
         }
+        // The traced run is each query's second execution, so fusable
+        // shapes must already be promoted...
+        let fused = rows.iter().find(|r| r.shape == "fused filter+agg").unwrap();
+        assert_eq!(fused.kernel, "specialized", "promotion did not engage");
+        // ...and the unique-string projection must report its dictionary
+        // demotion with a hit rate.
+        let dict = rows.iter().find(|r| r.shape == "dict overflow").unwrap();
+        assert!(
+            dict.dict.contains("demoted"),
+            "expected a demoted dictionary, got {:?}",
+            dict.dict
+        );
+        assert!(dict.dict.contains("hit-rate"), "{:?}", dict.dict);
+    }
+
+    #[test]
+    fn kernel_specialization_ablation_is_anchored_at_generic() {
+        let results = kernel_specialization_ablation(2_000, 2);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].mode, "generic");
+        assert!((results[0].speedup - 1.0).abs() < 1e-9);
+        assert_eq!(results[1].mode, "specialized");
+        assert!(results[1].speedup > 0.0);
     }
 
     #[test]

@@ -255,8 +255,9 @@ fn cluster_tables(setups: &[MultiNodeSetup], params: &BenchParams, is_speedup: b
 /// per personality, and morsel-parallel scan scaling over worker counts.
 fn ablations(records: usize, samples: usize, json_path: Option<String>) {
     use polyframe_bench::ablations::{
-        fallback_breakdown, join_vectorized_ablation, parallel_scan_ablation, plan_cache_ablation,
-        plan_quality_ablation, vectorized_eval_ablation,
+        fallback_breakdown, join_vectorized_ablation, kernel_specialization_ablation,
+        parallel_scan_ablation, plan_cache_ablation, plan_quality_ablation,
+        vectorized_eval_ablation,
     };
 
     println!("\n=== Ablation: plan cache (cold vs warm compile) ===");
@@ -315,6 +316,21 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
     print!("{}", table.render());
 
     println!(
+        "\n=== Ablation: kernel specialization ({records} records, \
+         fused filter+aggregate, 1 core) ==="
+    );
+    let kernel_eval = kernel_specialization_ablation(records, samples);
+    let mut table = Table::new(&["evaluator", "median", "speedup"]);
+    for r in &kernel_eval {
+        table.row(vec![
+            r.mode.to_string(),
+            fmt_duration(r.elapsed),
+            fmt_ratio(r.speedup),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!(
         "\n=== Ablation: plan quality ({records} records, cost-based vs rule-based planning) ==="
     );
     let quality = plan_quality_ablation(records, samples);
@@ -346,9 +362,14 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
 
     println!("\n=== Vectorization coverage (per pipeline shape) ===");
     let coverage = fallback_breakdown(records.min(5_000));
-    let mut table = Table::new(&["pipeline", "vectorized"]);
+    let mut table = Table::new(&["pipeline", "vectorized", "kernel", "dict"]);
     for r in &coverage {
-        table.row(vec![r.shape.to_string(), r.mode.clone()]);
+        table.row(vec![
+            r.shape.to_string(),
+            r.mode.clone(),
+            r.kernel.clone(),
+            r.dict.clone(),
+        ]);
     }
     print!("{}", table.render());
 
@@ -374,22 +395,21 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
                 r.speedup
             )
         }));
-        recs.extend(vec_eval.iter().map(|r| {
-            format!(
-                "{{\"ablation\":\"vectorized_eval\",\"records\":{records},\"evaluator\":\"{}\",\"elapsed_ns\":{},\"speedup\":{:.4}}}",
-                r.mode,
-                r.elapsed.as_nanos(),
-                r.speedup
-            )
-        }));
-        recs.extend(join_eval.iter().map(|r| {
-            format!(
-                "{{\"ablation\":\"vectorized_join\",\"records\":{records},\"evaluator\":\"{}\",\"elapsed_ns\":{},\"speedup\":{:.4}}}",
-                r.mode,
-                r.elapsed.as_nanos(),
-                r.speedup
-            )
-        }));
+        recs.extend(
+            vec_eval
+                .iter()
+                .map(|r| r.to_json("vectorized_eval", records)),
+        );
+        recs.extend(
+            join_eval
+                .iter()
+                .map(|r| r.to_json("vectorized_join", records)),
+        );
+        recs.extend(
+            kernel_eval
+                .iter()
+                .map(|r| r.to_json("kernel_specialization", records)),
+        );
         recs.extend(quality.iter().map(|r| {
             // `report_json` is the cost-based engine's ExplainReport,
             // already JSON — embedded natively, not re-quoted.
@@ -409,12 +429,7 @@ fn ablations(records: usize, samples: usize, json_path: Option<String>) {
                 r.report_json
             )
         }));
-        recs.extend(coverage.iter().map(|r| {
-            format!(
-                "{{\"ablation\":\"vectorized_coverage\",\"pipeline\":\"{}\",\"mode\":\"{}\"}}",
-                r.shape, r.mode
-            )
-        }));
+        recs.extend(coverage.iter().map(|r| r.to_json()));
         let body = format!("[\n{}\n]\n", recs.join(",\n"));
         match std::fs::write(&path, body) {
             Ok(()) => println!("\nwrote {} JSON records to {path}", recs.len()),

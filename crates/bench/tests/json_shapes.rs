@@ -4,6 +4,7 @@
 //! struct with synthetic values and checks `to_json` round-trips
 //! through the workspace JSON parser with the full key set.
 
+use polyframe_bench::ablations::{FallbackBreakdown, VectorizedEvalAblation};
 use polyframe_bench::faults::FaultRun;
 use polyframe_bench::recovery::RecoveryRun as WalRecoveryRun;
 use polyframe_bench::replicate::{RebalanceRun, RecoveryRun, ReplicateReport};
@@ -25,6 +26,46 @@ fn assert_keys(line: &str, keys: &[&str]) {
         );
     }
     assert_eq!(rec.len(), keys.len(), "undocumented keys crept into {line}");
+}
+
+#[test]
+fn eval_ablation_report_keeps_documented_keys() {
+    let row = VectorizedEvalAblation {
+        mode: "specialized",
+        elapsed: Duration::from_micros(800),
+        speedup: 1.8,
+    };
+    // The same row type backs three experiments; each tags its records
+    // with its own ablation name.
+    for ablation in [
+        "vectorized_eval",
+        "vectorized_join",
+        "kernel_specialization",
+    ] {
+        let line = row.to_json(ablation, 5_000);
+        assert_keys(
+            &line,
+            &["ablation", "records", "evaluator", "elapsed_ns", "speedup"],
+        );
+        let Value::Obj(rec) = parse_json(&line).expect("ablation line parses") else {
+            panic!("not an object");
+        };
+        assert_eq!(rec.get("ablation"), Some(&Value::from(ablation)));
+    }
+}
+
+#[test]
+fn coverage_report_keeps_documented_keys() {
+    let row = FallbackBreakdown {
+        shape: "fused filter+agg",
+        mode: "true".to_string(),
+        kernel: "specialized".to_string(),
+        dict: "hit-rate 50% (demoted)".to_string(),
+    };
+    assert_keys(
+        &row.to_json(),
+        &["ablation", "pipeline", "mode", "kernel", "dict"],
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use crate::catalog::Database;
 use crate::dialect::Dialect;
 use crate::error::{EngineError, Result};
-use crate::exec::{ExecOptions, Executor};
+use crate::exec::{ExecOptions, Executor, KernelCache};
 use crate::parser::parse;
 use crate::personality::Personality;
 use crate::plan::builder::build_logical;
@@ -109,6 +109,10 @@ pub struct Engine {
     /// [`SnapshotCell`]); republished after every master mutation.
     published: SnapshotCell<Database>,
     plan_cache: PlanCache,
+    /// Adaptive kernel-promotion state: per-shape execution counts and
+    /// promoted kernel plans, shared by every session (and every morsel
+    /// worker) of this engine. Catalog-versioned like the plan cache.
+    kernels: KernelCache,
     faults: Mutex<Option<Arc<FaultPlan>>>,
     wal: Mutex<Option<Arc<Wal>>>,
 }
@@ -130,6 +134,7 @@ impl Engine {
             db: RwLock::new(Database::new()),
             published: SnapshotCell::new(Database::new()),
             plan_cache: PlanCache::new(),
+            kernels: KernelCache::new(),
             faults: Mutex::new(None),
             wal: Mutex::new(None),
         }
@@ -554,7 +559,11 @@ impl Engine {
         self.check_faults()?;
         let db = self.pinned();
         let compiled = self.compiled(sql, &db)?;
-        let (rows, _) = Executor::new(&db).run_with(&compiled.plan.physical, &self.config.exec)?;
+        let (rows, _) = Executor::new(&db).run_with_kernels(
+            &compiled.plan.physical,
+            &self.config.exec,
+            Some(&self.kernels),
+        )?;
         Ok(rows)
     }
 
@@ -591,7 +600,11 @@ impl Engine {
         plan_span.set_metric("cache_lookup", 1);
 
         let mut exec_t = SpanTimer::start("exec");
-        let (rows, report) = Executor::new(&db).run_with(&plan.physical, &self.config.exec)?;
+        let (rows, report) = Executor::new(&db).run_with_kernels(
+            &plan.physical,
+            &self.config.exec,
+            Some(&self.kernels),
+        )?;
         exec_t.span_mut().set_metric("rows_out", rows.len() as i64);
         exec_t
             .span_mut()
@@ -618,6 +631,35 @@ impl Engine {
             exec_t
                 .span_mut()
                 .set_metric("batch_rows", report.batch_rows as i64);
+            // Which kernel tier ran: `specialized` = promoted null-fast /
+            // fused kernels, `generic` = the per-lane tag-checked
+            // interpreter (including warm-up runs before promotion).
+            exec_t.span_mut().set_note(
+                "kernel",
+                if report.specialized {
+                    "specialized"
+                } else {
+                    "generic"
+                },
+            );
+            exec_t
+                .span_mut()
+                .set_metric("kernel_promotions", self.kernels.promotions() as i64);
+            // Dictionary build health across this query's batches:
+            // `dict_columns` counts per-batch columns that finished
+            // dictionary-encoded, `dict_demoted` those that overflowed
+            // `DICT_CAP` and fell back to generic value lanes.
+            if report.dict_columns + report.dict_demoted > 0 {
+                if report.dict_demoted > 0 {
+                    exec_t.span_mut().set_note("dict", "demoted");
+                }
+                exec_t
+                    .span_mut()
+                    .set_metric("dict_columns", report.dict_columns as i64);
+                exec_t
+                    .span_mut()
+                    .set_metric("dict_demoted", report.dict_demoted as i64);
+            }
             exec_t
                 .span_mut()
                 .push_child(Span::new("compile(expr)").with_duration(report.compile_time));
@@ -653,7 +695,11 @@ impl Engine {
         self.heal_poisoned()?;
         let db = self.pinned();
         let physical = plan_physical(logical, &db, &self.planner_options(&db))?;
-        let (rows, _) = Executor::new(&db).run_with(&physical, &self.config.exec)?;
+        let (rows, _) = Executor::new(&db).run_with_kernels(
+            &physical,
+            &self.config.exec,
+            Some(&self.kernels),
+        )?;
         Ok(rows)
     }
 

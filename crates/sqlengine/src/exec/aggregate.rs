@@ -149,6 +149,91 @@ impl Accumulator {
         Ok(())
     }
 
+    /// Typed fast fold: exactly `update(Some(&Value::Int(i)))`, minus the
+    /// `Value` dispatch. Int lanes never error (always numeric, never
+    /// unknown), so specialized kernels fold raw `i64` vectors through
+    /// this in lane order and stay bit-identical to the generic path.
+    pub(crate) fn update_int(&mut self, i: i64) {
+        match &mut self.state {
+            State::Count(n) => *n += 1,
+            State::Sum { sum, seen, .. } => {
+                // An Int lane leaves `int_only` set, same as `update`.
+                *sum += i as f64;
+                *seen = true;
+            }
+            State::MinMax(slot) => {
+                let v = Value::Int(i);
+                let better = match (&self.func, slot.as_ref()) {
+                    (_, None) => true,
+                    (AggFunc::Min, Some(cur)) => cmp_total(&v, cur) == Ordering::Less,
+                    (AggFunc::Max, Some(cur)) => cmp_total(&v, cur) == Ordering::Greater,
+                    _ => unreachable!(),
+                };
+                if better {
+                    *slot = Some(v);
+                }
+            }
+            State::Avg { sum, count } => {
+                *sum += i as f64;
+                *count += 1;
+            }
+            State::Std { sum, sumsq, count } => {
+                let x = i as f64;
+                *sum += x;
+                *sumsq += x * x;
+                *count += 1;
+            }
+        }
+    }
+
+    /// Typed fast fold: exactly `update(Some(&Value::Double(d)))`. Double
+    /// lanes (NaN included — `as_f64` passes NaN through) never error.
+    pub(crate) fn update_double(&mut self, d: f64) {
+        match &mut self.state {
+            State::Count(n) => *n += 1,
+            State::Sum {
+                sum,
+                int_only,
+                seen,
+            } => {
+                *sum += d;
+                *seen = true;
+                *int_only = false;
+            }
+            State::MinMax(slot) => {
+                let v = Value::Double(d);
+                let better = match (&self.func, slot.as_ref()) {
+                    (_, None) => true,
+                    (AggFunc::Min, Some(cur)) => cmp_total(&v, cur) == Ordering::Less,
+                    (AggFunc::Max, Some(cur)) => cmp_total(&v, cur) == Ordering::Greater,
+                    _ => unreachable!(),
+                };
+                if better {
+                    *slot = Some(v);
+                }
+            }
+            State::Avg { sum, count } => {
+                *sum += d;
+                *count += 1;
+            }
+            State::Std { sum, sumsq, count } => {
+                *sum += d;
+                *sumsq += d * d;
+                *count += 1;
+            }
+        }
+    }
+
+    /// Batched `COUNT(*)`: exactly `n` calls of `update(None)` on a COUNT
+    /// accumulator. Callers guarantee the function; other states never
+    /// take this path.
+    pub(crate) fn add_count(&mut self, n: i64) {
+        match &mut self.state {
+            State::Count(c) => *c += n,
+            _ => unreachable!("add_count on non-COUNT accumulator"),
+        }
+    }
+
     /// Final value.
     pub fn finalize(&self) -> Value {
         match &self.state {
@@ -456,6 +541,47 @@ mod tests {
                 "func {func:?} partial"
             );
         }
+    }
+
+    #[test]
+    fn typed_folds_match_update() {
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum,
+            AggFunc::Min,
+            AggFunc::Max,
+            AggFunc::Avg,
+            AggFunc::StdDev,
+        ] {
+            let mut generic = Accumulator::new(func);
+            let mut typed = Accumulator::new(func);
+            for &i in &[3i64, -7, 0, 9, i64::MAX] {
+                generic.update(Some(&Value::Int(i))).unwrap();
+                typed.update_int(i);
+            }
+            for &d in &[1.5, f64::NAN, -0.0, 2.0, f64::INFINITY] {
+                generic.update(Some(&Value::Double(d))).unwrap();
+                typed.update_double(d);
+            }
+            // Bit-exact: same f64 additions in the same order.
+            assert_eq!(
+                format!("{:?}", typed.finalize()),
+                format!("{:?}", generic.finalize()),
+                "func {func:?}"
+            );
+            assert_eq!(
+                format!("{:?}", typed.to_partial()),
+                format!("{:?}", generic.to_partial()),
+                "func {func:?} partial"
+            );
+        }
+        let mut generic = Accumulator::new(AggFunc::Count);
+        let mut typed = Accumulator::new(AggFunc::Count);
+        for _ in 0..7 {
+            generic.update(None).unwrap();
+        }
+        typed.add_count(7);
+        assert_eq!(typed.finalize(), generic.finalize());
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Adaptive kernel promotion.
+//!
+//! Compiling an [`ExprProgram`](super::vector) pipeline down to specialized
+//! kernels ([`super::vector::specialize`]) costs a plan walk per query; the
+//! payoff only exists for *hot* programs that run repeatedly. This module
+//! holds the promotion policy: programs are fingerprinted by shape
+//! ([`super::vector::fingerprint`]), execution counts accumulate in a
+//! catalog-versioned cache (DDL bumps the version and implicitly drops stale
+//! entries), and once a fingerprint has been seen [`PROMOTE_AFTER`] times the
+//! specialized [`KernelPlan`](super::vector::KernelPlan) is built once and
+//! shared — across subsequent queries *and* across the morsel workers of a
+//! single parallel execution.
+//!
+//! Promotion is purely a scheduling decision: the specialized and generic
+//! paths are byte-identical by construction, so a program promoted mid-stream
+//! (run N generic, run N+1 specialized) never changes results.
+
+use super::vector::{self, KernelPlan, VecPipeline};
+use polyframe_observe::VersionedCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Executions of a program shape before it is promoted to specialized
+/// kernels. With a threshold of 2, the first execution runs generic and
+/// every subsequent execution of the same shape runs specialized.
+pub const PROMOTE_AFTER: u64 = 2;
+
+/// How many distinct program shapes the promotion cache tracks.
+const KERNEL_CACHE_CAPACITY: usize = 128;
+
+/// Per-shape promotion state: a run counter and the lazily-built plan.
+#[derive(Default)]
+struct KernelEntry {
+    runs: AtomicU64,
+    plan: OnceLock<Option<Arc<KernelPlan>>>,
+}
+
+/// Catalog-versioned cache of promoted kernel plans, keyed by program
+/// fingerprint. Shared behind the engine; safe for concurrent sessions.
+pub struct KernelCache {
+    cache: VersionedCache<u64, KernelEntry>,
+    promotions: AtomicU64,
+}
+
+impl Default for KernelCache {
+    fn default() -> Self {
+        KernelCache::new()
+    }
+}
+
+impl KernelCache {
+    /// New empty cache.
+    pub fn new() -> KernelCache {
+        KernelCache {
+            cache: VersionedCache::new(KERNEL_CACHE_CAPACITY),
+            promotions: AtomicU64::new(0),
+        }
+    }
+
+    /// Total programs promoted to specialized kernels so far.
+    pub fn promotions(&self) -> u64 {
+        self.promotions.load(Ordering::Relaxed)
+    }
+
+    /// Record one execution of the program with fingerprint `fp` under
+    /// catalog `version`, and return the specialized plan if the shape is
+    /// (now) hot enough. Returns `None` while the shape is still warming
+    /// up or when specialization has nothing to offer for this shape.
+    pub(super) fn resolve(
+        &self,
+        fp: u64,
+        version: u64,
+        vp: &VecPipeline,
+    ) -> Option<Arc<KernelPlan>> {
+        let entry = match self.cache.get(&fp, version) {
+            Some(entry) => entry,
+            None => self.cache.insert(fp, version, KernelEntry::default()),
+        };
+        let runs = entry.runs.fetch_add(1, Ordering::Relaxed) + 1;
+        if runs < PROMOTE_AFTER {
+            return None;
+        }
+        entry
+            .plan
+            .get_or_init(|| {
+                let plan = vector::specialize(vp).map(Arc::new);
+                if plan.is_some() {
+                    self.promotions.fetch_add(1, Ordering::Relaxed);
+                }
+                plan
+            })
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::vector::test_pipeline;
+    use super::*;
+
+    #[test]
+    fn promotes_on_second_execution() {
+        let cache = KernelCache::new();
+        let vp = test_pipeline(true);
+        let fp = vector::fingerprint("wisconsin", &vp);
+        assert!(
+            cache.resolve(fp, 1, &vp).is_none(),
+            "first run stays generic"
+        );
+        assert_eq!(cache.promotions(), 0);
+        let plan = cache.resolve(fp, 1, &vp);
+        assert!(plan.is_some(), "second run promotes");
+        assert_eq!(cache.promotions(), 1);
+        // Third run reuses the same Arc'd plan; the counter does not grow.
+        let again = cache.resolve(fp, 1, &vp).expect("stays promoted");
+        assert!(Arc::ptr_eq(&again, &plan.expect("promoted")));
+        assert_eq!(cache.promotions(), 1);
+    }
+
+    #[test]
+    fn ddl_version_bump_resets_warmup() {
+        let cache = KernelCache::new();
+        let vp = test_pipeline(true);
+        let fp = vector::fingerprint("wisconsin", &vp);
+        assert!(cache.resolve(fp, 1, &vp).is_none());
+        assert!(cache.resolve(fp, 1, &vp).is_some());
+        // A DDL bump invalidates the entry: warm-up starts over.
+        assert!(cache.resolve(fp, 2, &vp).is_none());
+        assert!(cache.resolve(fp, 2, &vp).is_some());
+    }
+
+    #[test]
+    fn unspecializable_shapes_never_promote() {
+        let cache = KernelCache::new();
+        // An expression aggregate argument with no filter stage: specialize
+        // has nothing to offer, so the shape goes hot but never promotes.
+        let vp = test_pipeline(false);
+        let fp = vector::fingerprint("wisconsin", &vp);
+        assert!(cache.resolve(fp, 1, &vp).is_none());
+        assert!(
+            cache.resolve(fp, 1, &vp).is_none(),
+            "hot but unspecializable"
+        );
+        assert_eq!(cache.promotions(), 0);
+    }
+}

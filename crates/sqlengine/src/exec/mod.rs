@@ -12,9 +12,12 @@ mod distinct;
 pub mod eval;
 #[deny(clippy::unwrap_used)]
 mod join;
+#[deny(clippy::unwrap_used)]
+pub mod kernel;
 pub mod parallel;
 mod vector;
 
+pub use kernel::KernelCache;
 pub use parallel::{
     available_threads, batch_rows_override, default_batch_rows, ExecOptions, ExecReport,
     DEFAULT_BATCH_ROWS, DEFAULT_MORSEL_ROWS, MAX_BATCH_ROWS,
@@ -59,9 +62,21 @@ impl<'a> Executor<'a> {
         plan: &'a PhysicalPlan,
         opts: &ExecOptions,
     ) -> Result<(Vec<Value>, ExecReport)> {
+        self.run_with_kernels(plan, opts, None)
+    }
+
+    /// [`Executor::run_with`] with an optional [`KernelCache`] carrying
+    /// adaptive kernel promotion state across queries. Without a cache,
+    /// the vectorized path specializes eagerly (no warm-up counting).
+    pub fn run_with_kernels(
+        &self,
+        plan: &'a PhysicalPlan,
+        opts: &ExecOptions,
+        kernels: Option<&KernelCache>,
+    ) -> Result<(Vec<Value>, ExecReport)> {
         let mut fallback = None;
         if opts.workers > 1 || opts.vectorized {
-            match parallel::try_run(self.db, plan, opts) {
+            match parallel::try_run(self.db, plan, opts, kernels) {
                 parallel::TryRunOutcome::Ran(result) => return result,
                 // Remember *why* the batch/parallel path declined, so the
                 // trace can report `fallback:<cause>`.
@@ -594,6 +609,20 @@ impl<'p> AggState<'p> {
             }
         }
         Ok(())
+    }
+
+    /// Borrow the scalar accumulators for the vectorized fused fold:
+    /// `None` unless this is a scalar (no GROUP BY) aggregation folding
+    /// raw values (`Complete`/`Partial` mode) — the only shape whose
+    /// per-row fold is a plain `Accumulator::update` per argument. A
+    /// `Some` return marks the state non-empty (`saw_any`), so callers
+    /// must have at least one row to fold.
+    pub(crate) fn typed_fold_accs(&mut self) -> Option<&mut [Accumulator]> {
+        if !self.group_by.is_empty() || self.mode == AggMode::Final {
+            return None;
+        }
+        self.saw_any = true;
+        Some(&mut self.scalar_accs)
     }
 
     /// Tear the state into its accumulator parts for a cross-morsel merge.

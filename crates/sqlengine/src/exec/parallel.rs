@@ -27,10 +27,11 @@
 //! executor unchanged, and [`TryRunOutcome::Fallback`] carries *why* so the
 //! trace can report `fallback:<cause>`.
 
-use super::aggregate::OrdValue;
+use super::aggregate::{Accumulator, OrdValue};
 use super::distinct::DistinctSet;
 use super::eval::{eval, passes_filter};
 use super::join::ValueHashTable;
+use super::kernel::KernelCache;
 use super::vector;
 use super::{project_row, AggState};
 use crate::ast::JoinKind;
@@ -67,6 +68,10 @@ pub struct ExecOptions {
     pub vectorized: bool,
     /// Rows per column batch on the vectorized path.
     pub batch_rows: usize,
+    /// Allow specialized (null-fast / fused) kernels on the vectorized
+    /// path. Off forces the generic per-lane interpreter everywhere —
+    /// the ablation baseline. Results are byte-identical either way.
+    pub specialize: bool,
 }
 
 impl Default for ExecOptions {
@@ -76,6 +81,7 @@ impl Default for ExecOptions {
             morsel_rows: DEFAULT_MORSEL_ROWS,
             vectorized: true,
             batch_rows: default_batch_rows(),
+            specialize: true,
         }
     }
 }
@@ -174,6 +180,14 @@ pub struct ExecReport {
     /// Why the vectorized path declined, when it did (`None` when it ran,
     /// or when vectorization was off).
     pub fallback: Option<&'static str>,
+    /// Whether specialized kernels (null-fast typed loops, fused
+    /// predicate/aggregate passes) were engaged for this execution.
+    pub specialized: bool,
+    /// Dictionary-encoded string columns built across processed batches.
+    pub dict_columns: usize,
+    /// Dictionary builds demoted to generic lanes (distinct-value count
+    /// overflowed `DICT_CAP`) across processed batches.
+    pub dict_demoted: usize,
 }
 
 impl ExecReport {
@@ -680,7 +694,14 @@ impl LimitGate {
 }
 
 /// Try to run `plan` with morsel parallelism and/or vectorized batches.
-pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) -> TryRunOutcome {
+/// `kernels` carries cross-query promotion state: with a cache, programs
+/// specialize only once hot; without one, eagerly.
+pub(super) fn try_run(
+    db: &Database,
+    plan: &PhysicalPlan,
+    opts: &ExecOptions,
+    kernels: Option<&KernelCache>,
+) -> TryRunOutcome {
     use TryRunOutcome::{Fallback, Ran};
     let pp = match analyze(plan) {
         Ok(pp) => pp,
@@ -730,6 +751,19 @@ pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) ->
         Ok(t) => t,
         // The serial path would fail identically; surface the error here.
         Err(e) => return Ran(Err(e)),
+    };
+
+    // Kernel specialization: with a promotion cache the program must go
+    // hot first (the generic path runs while warming up); without one,
+    // specialize eagerly. Either way `None` simply means generic kernels.
+    let spec: Option<std::sync::Arc<vector::KernelPlan>> = match &vp {
+        Some(vp) if opts.specialize => match kernels {
+            Some(cache) => {
+                cache.resolve(vector::fingerprint(&dataset.dataset, vp), db.version(), vp)
+            }
+            None => vector::specialize(vp).map(std::sync::Arc::new),
+        },
+        _ => None,
     };
 
     // Materialize the scan domain: heap slots, or the rid list of one
@@ -785,6 +819,7 @@ pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) ->
                 &pp,
                 &vp,
                 rt.as_ref(),
+                spec.as_deref(),
                 batch_rows,
                 compile_time,
             )),
@@ -796,7 +831,7 @@ pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) ->
     let gate = early.map(|n| LimitGate::new(n, ranges.len()));
     let workers = opts.workers.min(ranges.len()).min(worker_budget);
     let next = AtomicUsize::new(0);
-    type MorselResult = Result<(MorselOut, usize)>;
+    type MorselResult = Result<(MorselOut, vector::RangeStats)>;
     let results: Mutex<Vec<(usize, Duration, MorselResult)>> =
         Mutex::new(Vec::with_capacity(ranges.len()));
     std::thread::scope(|scope| {
@@ -818,6 +853,7 @@ pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) ->
                     &pp,
                     vp.as_ref(),
                     rt.as_ref(),
+                    spec.as_deref(),
                     early,
                     batch_rows,
                     gate.as_ref().map(|g| &g.done),
@@ -848,13 +884,15 @@ pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) ->
 
     let mut morsel_times = Vec::with_capacity(per_morsel.len());
     let mut parts = Vec::with_capacity(per_morsel.len());
-    let mut batches = 0usize;
+    let mut stats = vector::RangeStats::default();
     for (_, elapsed, out) in per_morsel {
         morsel_times.push(elapsed);
         match out {
-            Ok((part, b)) => {
+            Ok((part, s)) => {
                 parts.push(part);
-                batches += b;
+                stats.batches += s.batches;
+                stats.dict_columns += s.dict_columns;
+                stats.dict_demoted += s.dict_demoted;
             }
             // First error in morsel order, so failures are deterministic.
             Err(e) => return Ran(Err(e)),
@@ -862,6 +900,7 @@ pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) ->
     }
 
     let vectorized = vp.is_some();
+    let specialized = spec.is_some();
     Ran(merge(parts, &pp).map(|rows| {
         (
             rows,
@@ -869,10 +908,13 @@ pub(super) fn try_run(db: &Database, plan: &PhysicalPlan, opts: &ExecOptions) ->
                 parallelism: workers,
                 morsel_times,
                 vectorized,
-                batches,
+                batches: stats.batches,
                 batch_rows: if vectorized { batch_rows } else { 0 },
                 compile_time,
                 fallback: row_fallback,
+                specialized,
+                dict_columns: stats.dict_columns,
+                dict_demoted: stats.dict_demoted,
             },
         )
     }))
@@ -890,11 +932,14 @@ fn run_sequential(
     pp: &ParallelPlan<'_>,
     vp: &vector::VecPipeline,
     rt: Option<&vector::JoinRuntime<'_>>,
+    spec: Option<&vector::KernelPlan>,
     batch_rows: usize,
     compile_time: Duration,
 ) -> Result<(Vec<Value>, ExecReport)> {
     let mut sink = MorselSink::new(&pp.terminal, pp.early_exit_limit());
-    let batches = vector::run_range(table, rids, 0, domain, vp, rt, batch_rows, &mut sink, None)?;
+    let stats = vector::run_range(
+        table, rids, 0, domain, vp, rt, spec, batch_rows, &mut sink, None,
+    )?;
     let rows = match sink {
         MorselSink::Collect { rows, err, .. } => {
             // A recorded error implies the limit never filled (the sink
@@ -924,10 +969,13 @@ fn run_sequential(
             parallelism: 1,
             morsel_times: Vec::new(),
             vectorized: true,
-            batches,
+            batches: stats.batches,
             batch_rows,
             compile_time,
             fallback: None,
+            specialized: spec.is_some(),
+            dict_columns: stats.dict_columns,
+            dict_demoted: stats.dict_demoted,
         },
     ))
 }
@@ -1016,6 +1064,18 @@ impl<'p> MorselSink<'p> {
         }
     }
 
+    /// Borrow the scalar accumulators for the fused typed aggregate fold
+    /// (`None` unless this is a scalar-update aggregation sink — see
+    /// [`super::AggState::typed_fold_accs`]). A `Some` return marks the
+    /// aggregate state non-empty, so callers must have at least one
+    /// surviving lane to fold.
+    pub(super) fn fused_accs(&mut self) -> Option<&mut [Accumulator]> {
+        match self {
+            MorselSink::Aggregate(state) => state.typed_fold_accs(),
+            _ => None,
+        }
+    }
+
     /// Fold pre-evaluated group key + aggregate arguments (the vectorized
     /// path evaluates both with batch programs). `args[i] == None` is
     /// `COUNT(*)`; a truncated slice updates only the leading
@@ -1066,7 +1126,7 @@ impl<'p> MorselSink<'p> {
 
 /// Scan one morsel, apply the row-local ops, and stream each surviving row
 /// into the per-morsel part of the terminal. Returns the morsel output and
-/// the number of column batches actually processed.
+/// the batch-path processing stats (zeroed on the row path).
 #[allow(clippy::too_many_arguments)]
 fn run_morsel(
     table: &Table,
@@ -1076,14 +1136,17 @@ fn run_morsel(
     pp: &ParallelPlan<'_>,
     vp: Option<&vector::VecPipeline>,
     rt: Option<&vector::JoinRuntime<'_>>,
+    spec: Option<&vector::KernelPlan>,
     limit: Option<usize>,
     batch_rows: usize,
     stop: Option<&AtomicBool>,
-) -> Result<(MorselOut, usize)> {
+) -> Result<(MorselOut, vector::RangeStats)> {
     let mut sink = MorselSink::new(&pp.terminal, limit);
     if let Some(vp) = vp {
-        let batches = vector::run_range(table, rids, lo, hi, vp, rt, batch_rows, &mut sink, stop)?;
-        return Ok((sink.finish(), batches));
+        let stats = vector::run_range(
+            table, rids, lo, hi, vp, rt, spec, batch_rows, &mut sink, stop,
+        )?;
+        return Ok((sink.finish(), stats));
     }
     match rids {
         None => {
@@ -1104,7 +1167,7 @@ fn run_morsel(
             }
         }
     }
-    Ok((sink.finish(), 0))
+    Ok((sink.finish(), vector::RangeStats::default()))
 }
 
 /// Apply filters/projections to one row; `None` means filtered out.

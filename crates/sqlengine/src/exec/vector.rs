@@ -828,6 +828,56 @@ fn int_cmp(op: BinOp, a: i64, b: i64) -> bool {
     }
 }
 
+/// The `is_true` *mask* of a float comparison. Plain IEEE operators are
+/// exactly `eval_binop`'s truth set here: `sql_compare` on mixed numerics
+/// is `as_f64().partial_cmp`, a NaN operand yields `None` → `Eq` false /
+/// `Ne` true / orderings Unknown — and IEEE gives false/true/false for
+/// those same cases.
+fn f64_cmp_mask(op: BinOp, a: f64, b: f64) -> bool {
+    match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => unreachable!("comparison operators only"),
+    }
+}
+
+/// The *value* of a float comparison: unlike the mask, an incomparable
+/// pair (NaN) is `Null` for the ordering operators, decidable for
+/// equality — `sql_compare`'s `None` arm exactly.
+fn f64_cmp_value(op: BinOp, a: f64, b: f64) -> Value {
+    use std::cmp::Ordering;
+    match a.partial_cmp(&b) {
+        Some(o) => Value::Bool(match op {
+            BinOp::Eq => o == Ordering::Equal,
+            BinOp::Ne => o != Ordering::Equal,
+            BinOp::Lt => o == Ordering::Less,
+            BinOp::Le => o != Ordering::Greater,
+            BinOp::Gt => o == Ordering::Greater,
+            BinOp::Ge => o != Ordering::Less,
+            _ => unreachable!("comparison operators only"),
+        }),
+        None => match op {
+            BinOp::Eq => Value::Bool(false),
+            BinOp::Ne => Value::Bool(true),
+            _ => Value::Null,
+        },
+    }
+}
+
+/// A numeric literal as `f64`, for the float-promoted kernels (the same
+/// promotion `arith`/`sql_compare` apply to mixed numeric operands).
+fn lit_f64(lit: &Value) -> Option<f64> {
+    match lit {
+        Value::Int(i) => Some(*i as f64),
+        Value::Double(d) => Some(*d),
+        _ => None,
+    }
+}
+
 /// Column-vs-literal fast paths, taken only where they are provably
 /// equivalent to `eval_binop`/`eval_is` (and can never error, so they need
 /// no tracker). `None` falls back to the generic per-lane loop.
@@ -842,11 +892,22 @@ fn kernel(
         return None;
     }
     match *instr {
-        Instr::Bin(op, Src::Col(c), Src::Lit(l)) => {
-            bin_col_lit(op, batch.column(c), &lits[l], sel, false)
-        }
+        Instr::Bin(op, Src::Col(c), Src::Lit(l)) => bin_col_lit(
+            op,
+            batch.column(c),
+            &lits[l],
+            sel,
+            false,
+            batch.all_valid(c),
+        ),
         Instr::Bin(op, Src::Lit(l), Src::Col(c)) => {
-            bin_col_lit(op, batch.column(c), &lits[l], sel, true)
+            bin_col_lit(op, batch.column(c), &lits[l], sel, true, batch.all_valid(c))
+        }
+        // Column-vs-column typed loops, only when *both* sides are
+        // all-valid (so unknown-propagation never applies and the loop
+        // body is pure arithmetic).
+        Instr::Bin(op, Src::Col(a), Src::Col(b)) if batch.all_valid(a) && batch.all_valid(b) => {
+            bin_col_col(op, batch.column(a), batch.column(b), sel)
         }
         Instr::Is(Src::Col(c), kind, negated) => {
             let col = batch.column(c);
@@ -866,56 +927,123 @@ fn kernel(
     }
 }
 
+/// Wrap one per-lane closure in the presence dispatch: the `all_valid`
+/// fast path runs it branch-free over every selected lane (no tag loads
+/// at all), the mixed path falls back lane-wise on the presence tags.
+fn presence_map(
+    sel: &[u32],
+    tags: &[Presence],
+    all_valid: bool,
+    mut f: impl FnMut(usize) -> Value,
+) -> Vec<Value> {
+    if all_valid {
+        sel.iter().map(|&lane| f(lane as usize)).collect()
+    } else {
+        sel.iter()
+            .map(|&lane| {
+                let i = lane as usize;
+                match tags[i] {
+                    Presence::Present => f(i),
+                    Presence::Null => Value::Null,
+                    Presence::Missing => Value::Missing,
+                }
+            })
+            .collect()
+    }
+}
+
 fn bin_col_lit(
     op: BinOp,
     col: &Column,
     lit: &Value,
     sel: &[u32],
     lit_is_lhs: bool,
+    all_valid: bool,
 ) -> Option<Vec<Value>> {
     match (col, lit) {
-        (Column::Int { data, tags }, Value::Int(x)) if is_cmp(op) => Some(
-            sel.iter()
-                .map(|&lane| {
-                    let i = lane as usize;
-                    match tags[i] {
-                        Presence::Present => Value::Bool(if lit_is_lhs {
-                            int_cmp(op, *x, data[i])
-                        } else {
-                            int_cmp(op, data[i], *x)
-                        }),
-                        Presence::Null => Value::Null,
-                        Presence::Missing => Value::Missing,
-                    }
+        (Column::Int { data, tags }, Value::Int(x)) if is_cmp(op) => {
+            Some(presence_map(sel, tags, all_valid, |i| {
+                Value::Bool(if lit_is_lhs {
+                    int_cmp(op, *x, data[i])
+                } else {
+                    int_cmp(op, data[i], *x)
                 })
-                .collect(),
-        ),
+            }))
+        }
         (Column::Int { data, tags }, Value::Int(x))
             if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) =>
         {
-            Some(
-                sel.iter()
-                    .map(|&lane| {
-                        let i = lane as usize;
-                        match tags[i] {
-                            Presence::Present => {
-                                let (a, b) = if lit_is_lhs {
-                                    (*x, data[i])
-                                } else {
-                                    (data[i], *x)
-                                };
-                                Value::Int(match op {
-                                    BinOp::Add => a.wrapping_add(b),
-                                    BinOp::Sub => a.wrapping_sub(b),
-                                    _ => a.wrapping_mul(b),
-                                })
-                            }
-                            Presence::Null => Value::Null,
-                            Presence::Missing => Value::Missing,
-                        }
-                    })
-                    .collect(),
-            )
+            Some(presence_map(sel, tags, all_valid, |i| {
+                let (a, b) = if lit_is_lhs {
+                    (*x, data[i])
+                } else {
+                    (data[i], *x)
+                };
+                Value::Int(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    _ => a.wrapping_mul(b),
+                })
+            }))
+        }
+        // Float comparisons: a double column against any numeric literal,
+        // or an int column against a double literal — the mixed-numeric
+        // promotion `sql_compare` applies, lane by lane.
+        (Column::Double { data, tags }, _) if is_cmp(op) && lit_f64(lit).is_some() => {
+            let x = lit_f64(lit)?;
+            Some(presence_map(sel, tags, all_valid, |i| {
+                if lit_is_lhs {
+                    f64_cmp_value(op, x, data[i])
+                } else {
+                    f64_cmp_value(op, data[i], x)
+                }
+            }))
+        }
+        (Column::Int { data, tags }, Value::Double(x)) if is_cmp(op) => {
+            Some(presence_map(sel, tags, all_valid, |i| {
+                if lit_is_lhs {
+                    f64_cmp_value(op, *x, data[i] as f64)
+                } else {
+                    f64_cmp_value(op, data[i] as f64, *x)
+                }
+            }))
+        }
+        // Float arithmetic (`arith`'s mixed-numeric arm): always `Double`,
+        // never errors. Div/Mod stay on the generic path (zero divisors
+        // produce `Null`, a per-lane decision the typed loop would buy
+        // nothing on).
+        (Column::Double { data, tags }, _)
+            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) && lit_f64(lit).is_some() =>
+        {
+            let x = lit_f64(lit)?;
+            Some(presence_map(sel, tags, all_valid, |i| {
+                let (a, b) = if lit_is_lhs {
+                    (x, data[i])
+                } else {
+                    (data[i], x)
+                };
+                Value::Double(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    _ => a * b,
+                })
+            }))
+        }
+        (Column::Int { data, tags }, Value::Double(x))
+            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) =>
+        {
+            Some(presence_map(sel, tags, all_valid, |i| {
+                let (a, b) = if lit_is_lhs {
+                    (*x, data[i] as f64)
+                } else {
+                    (data[i] as f64, *x)
+                };
+                Value::Double(match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    _ => a * b,
+                })
+            }))
         }
         // Dictionary-encoded strings: evaluate the comparison once per
         // distinct value instead of once per row. Comparisons never error.
@@ -945,6 +1073,941 @@ fn bin_col_lit(
         }
         _ => None,
     }
+}
+
+/// Column-vs-column typed loops. Callers guarantee both columns are
+/// all-valid, so no presence dispatch (or unknown propagation) is needed
+/// and the loops are branch-free over the raw vectors.
+fn bin_col_col(op: BinOp, a: &Column, b: &Column, sel: &[u32]) -> Option<Vec<Value>> {
+    match (a, b) {
+        (Column::Int { data: da, .. }, Column::Int { data: db, .. }) if is_cmp(op) => Some(
+            sel.iter()
+                .map(|&lane| {
+                    let i = lane as usize;
+                    Value::Bool(int_cmp(op, da[i], db[i]))
+                })
+                .collect(),
+        ),
+        (Column::Int { data: da, .. }, Column::Int { data: db, .. })
+            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) =>
+        {
+            Some(
+                sel.iter()
+                    .map(|&lane| {
+                        let i = lane as usize;
+                        Value::Int(match op {
+                            BinOp::Add => da[i].wrapping_add(db[i]),
+                            BinOp::Sub => da[i].wrapping_sub(db[i]),
+                            _ => da[i].wrapping_mul(db[i]),
+                        })
+                    })
+                    .collect(),
+            )
+        }
+        (Column::Double { data: da, .. }, Column::Double { data: db, .. }) if is_cmp(op) => Some(
+            sel.iter()
+                .map(|&lane| {
+                    let i = lane as usize;
+                    f64_cmp_value(op, da[i], db[i])
+                })
+                .collect(),
+        ),
+        (Column::Double { data: da, .. }, Column::Double { data: db, .. })
+            if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul) =>
+        {
+            Some(
+                sel.iter()
+                    .map(|&lane| {
+                        let i = lane as usize;
+                        Value::Double(match op {
+                            BinOp::Add => da[i] + db[i],
+                            BinOp::Sub => da[i] - db[i],
+                            _ => da[i] * db[i],
+                        })
+                    })
+                    .collect(),
+            )
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel specialization
+// ---------------------------------------------------------------------------
+
+/// A filter program statically recognized as a tree of column/literal
+/// comparisons and `IS` checks combined with `AND`/`OR` — the shape the
+/// specializer fuses into single selection-mask passes. Soundness: every
+/// leaf is error-free (comparisons and `IS` never fail), Kleene `AND` is
+/// `True` iff both operands are `True` and `OR` iff either is, and a
+/// filter keeps a lane only on definite `True` — so bitwise and/or on the
+/// per-leaf `is_true` masks is exact, and `Unknown` never needs to be
+/// represented.
+#[derive(Clone)]
+pub(super) enum PredTree {
+    Cmp {
+        op: BinOp,
+        col: usize,
+        lit: Value,
+        lit_is_lhs: bool,
+    },
+    Is {
+        col: usize,
+        kind: IsKind,
+        negated: bool,
+    },
+    And(Box<PredTree>, Box<PredTree>),
+    Or(Box<PredTree>, Box<PredTree>),
+}
+
+/// Recognize a filter program as a [`PredTree`]; `None` when any node
+/// falls outside the fusable shapes (function calls, arithmetic,
+/// derived-column or column-column comparisons, `NOT`).
+fn pred_tree(prog: &ExprProgram) -> Option<PredTree> {
+    let Src::Reg(root) = prog.result else {
+        return None;
+    };
+    pred_node(prog, root)
+}
+
+fn pred_node(prog: &ExprProgram, r: usize) -> Option<PredTree> {
+    match &prog.instrs[r] {
+        Instr::Bin(op, a, b) if is_cmp(*op) => {
+            let (col, lit, lit_is_lhs) = match (*a, *b) {
+                (Src::Col(c), Src::Lit(l)) => (c, prog.lits[l].clone(), false),
+                (Src::Lit(l), Src::Col(c)) => (c, prog.lits[l].clone(), true),
+                _ => return None,
+            };
+            Some(PredTree::Cmp {
+                op: *op,
+                col,
+                lit,
+                lit_is_lhs,
+            })
+        }
+        Instr::Bin(op @ (BinOp::And | BinOp::Or), Src::Reg(a), Src::Reg(b)) => {
+            let left = Box::new(pred_node(prog, *a)?);
+            let right = Box::new(pred_node(prog, *b)?);
+            Some(match op {
+                BinOp::And => PredTree::And(left, right),
+                _ => PredTree::Or(left, right),
+            })
+        }
+        Instr::Is(Src::Col(c), kind, negated) => Some(PredTree::Is {
+            col: *c,
+            kind: *kind,
+            negated: *negated,
+        }),
+        _ => None,
+    }
+}
+
+/// Evaluate one predicate tree to an `is_true` mask aligned with `sel`.
+/// `None` means a leaf had no typed path for *this batch*'s column
+/// layout (e.g. a dictionary overflow demoted the column to generic
+/// values) — the caller falls back to the generic stage, which is always
+/// correct.
+fn pred_mask(tree: &PredTree, batch: &ColumnBatch, sel: &[u32]) -> Option<Vec<bool>> {
+    match tree {
+        PredTree::Cmp {
+            op,
+            col,
+            lit,
+            lit_is_lhs,
+        } => cmp_mask(
+            *op,
+            batch.column(*col),
+            lit,
+            sel,
+            *lit_is_lhs,
+            batch.all_valid(*col),
+        ),
+        PredTree::Is { col, kind, negated } => {
+            let c = batch.column(*col);
+            Some(
+                sel.iter()
+                    .map(|&lane| {
+                        let hit = match (kind, c.presence_at(lane as usize)) {
+                            (IsKind::Missing, p) => p == Presence::Missing,
+                            (IsKind::Null | IsKind::Unknown, p) => p != Presence::Present,
+                        };
+                        hit != *negated
+                    })
+                    .collect(),
+            )
+        }
+        PredTree::And(a, b) => {
+            let mut m = pred_mask(a, batch, sel)?;
+            let mb = pred_mask(b, batch, sel)?;
+            for (x, y) in m.iter_mut().zip(mb) {
+                *x &= y;
+            }
+            Some(m)
+        }
+        PredTree::Or(a, b) => {
+            let mut m = pred_mask(a, batch, sel)?;
+            let mb = pred_mask(b, batch, sel)?;
+            for (x, y) in m.iter_mut().zip(mb) {
+                *x |= y;
+            }
+            Some(m)
+        }
+    }
+}
+
+/// The `is_true` mask of `col <op> lit` over the selection. An unknown
+/// literal fails every lane (`eval_binop` propagates Null/Missing, never
+/// `True`); otherwise the typed loops mirror [`bin_col_lit`]'s — masks
+/// only, so the float path can use plain IEEE operators.
+fn cmp_mask(
+    op: BinOp,
+    col: &Column,
+    lit: &Value,
+    sel: &[u32],
+    lit_is_lhs: bool,
+    all_valid: bool,
+) -> Option<Vec<bool>> {
+    if lit.is_unknown() {
+        return Some(vec![false; sel.len()]);
+    }
+    let present = |tags: &[Presence], i: usize| all_valid || tags[i] == Presence::Present;
+    match (col, lit) {
+        (Column::Int { data, tags }, Value::Int(x)) => Some(
+            sel.iter()
+                .map(|&lane| {
+                    let i = lane as usize;
+                    present(tags, i)
+                        & if lit_is_lhs {
+                            int_cmp(op, *x, data[i])
+                        } else {
+                            int_cmp(op, data[i], *x)
+                        }
+                })
+                .collect(),
+        ),
+        (Column::Int { data, tags }, Value::Double(x)) => Some(
+            sel.iter()
+                .map(|&lane| {
+                    let i = lane as usize;
+                    present(tags, i)
+                        & if lit_is_lhs {
+                            f64_cmp_mask(op, *x, data[i] as f64)
+                        } else {
+                            f64_cmp_mask(op, data[i] as f64, *x)
+                        }
+                })
+                .collect(),
+        ),
+        (Column::Double { data, tags }, _) if lit_f64(lit).is_some() => {
+            let x = lit_f64(lit)?;
+            Some(
+                sel.iter()
+                    .map(|&lane| {
+                        let i = lane as usize;
+                        present(tags, i)
+                            & if lit_is_lhs {
+                                f64_cmp_mask(op, x, data[i])
+                            } else {
+                                f64_cmp_mask(op, data[i], x)
+                            }
+                    })
+                    .collect(),
+            )
+        }
+        (Column::Str { codes, dict, tags }, lit) => {
+            let pass: Vec<bool> = dict
+                .iter()
+                .map(|d| {
+                    let r = if lit_is_lhs {
+                        eval_binop(op, lit, d)
+                    } else {
+                        eval_binop(op, d, lit)
+                    };
+                    matches!(r, Ok(ref v) if truthy(v).is_true())
+                })
+                .collect();
+            Some(
+                sel.iter()
+                    .map(|&lane| {
+                        let i = lane as usize;
+                        present(tags, i) && pass[codes[i] as usize]
+                    })
+                    .collect(),
+            )
+        }
+        _ => None,
+    }
+}
+
+/// The fused scan→filter→partial-aggregate shape: each aggregate argument
+/// is `None` (`COUNT(*)`) or a bare scan column, folded straight off the
+/// typed column vectors over the surviving selection — no projected batch,
+/// no per-lane `Value` materialization.
+pub(super) struct FusedAgg {
+    cols: Vec<Option<usize>>,
+}
+
+/// A promoted kernel plan for one compiled pipeline: fused predicate
+/// trees aligned with the pre-join and post-join stages (`None` = run
+/// that stage generically), plus the fused aggregate fold when the
+/// terminal qualifies. Built once per hot program by [`specialize`] and
+/// shared read-only across morsel workers.
+pub(super) struct KernelPlan {
+    pre_preds: Vec<Option<PredTree>>,
+    stage_preds: Vec<Option<PredTree>>,
+    agg: Option<FusedAgg>,
+    /// Precompiled record-direct program, present when the whole pipeline
+    /// collapses to filter→scalar-aggregate: no join, every stage a fused
+    /// predicate tree, fused terminal. Built once here so the per-row
+    /// pass is a flat loop with no tree recursion.
+    direct: Option<DirectPlan>,
+}
+
+/// Compile the specialized form of a pipeline; `None` when no stage or
+/// terminal has a fusable shape (running generic costs nothing extra).
+pub(super) fn specialize(vp: &VecPipeline) -> Option<KernelPlan> {
+    let preds = |stages: &[VecStage]| -> Vec<Option<PredTree>> {
+        stages
+            .iter()
+            .map(|s| match s {
+                VecStage::Filter(p) => pred_tree(p),
+                _ => None,
+            })
+            .collect()
+    };
+    let pre_preds = preds(&vp.pre_stages);
+    let stage_preds = preds(&vp.stages);
+    let agg = fused_agg_shape(vp);
+    if pre_preds.iter().all(Option::is_none)
+        && stage_preds.iter().all(Option::is_none)
+        && agg.is_none()
+    {
+        return None;
+    }
+    let direct = if vp.join.is_none()
+        && agg.is_some()
+        && pre_preds.iter().all(Option::is_some)
+        && stage_preds.iter().all(Option::is_some)
+    {
+        Some(DirectPlan::build(
+            pre_preds.iter().chain(&stage_preds).flatten(),
+        ))
+    } else {
+        None
+    };
+    Some(KernelPlan {
+        pre_preds,
+        stage_preds,
+        agg,
+        direct,
+    })
+}
+
+/// The terminal qualifies for the fused aggregate fold when it is a
+/// scalar (no GROUP BY) aggregation over bare scan columns with no join
+/// in between (join events read derived columns, not scan lanes). `Final`
+/// mode is excluded at runtime by the sink (its fold is `merge_partial`,
+/// not `update`).
+fn fused_agg_shape(vp: &VecPipeline) -> Option<FusedAgg> {
+    if vp.join.is_some() {
+        return None;
+    }
+    let VecTerminal::Agg { keys, args } = &vp.terminal else {
+        return None;
+    };
+    if !keys.is_empty() {
+        return None;
+    }
+    let mut cols = Vec::with_capacity(args.len());
+    for arg in args {
+        match arg {
+            None => cols.push(None),
+            Some(p) if p.instrs.is_empty() => match p.result {
+                Src::Col(c) => cols.push(Some(c)),
+                _ => return None,
+            },
+            Some(_) => return None,
+        }
+    }
+    Some(FusedAgg { cols })
+}
+
+/// Shape fingerprint of a compiled pipeline over one dataset, the
+/// [`KernelCache`](super::kernel::KernelCache) key. Covers the static
+/// shape — dataset, scan columns, op sequence of every program, stage and
+/// terminal structure; lane types and the all-valid profile are dispatched
+/// dynamically per batch, so they do not split cache entries.
+pub(super) fn fingerprint(dataset: &str, vp: &VecPipeline) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    dataset.hash(&mut h);
+    vp.scan_fields.hash(&mut h);
+    let hash_prog = |p: &ExprProgram, h: &mut std::collections::hash_map::DefaultHasher| {
+        format!("{:?}", p).hash(h);
+    };
+    let hash_stages = |stages: &[VecStage], h: &mut std::collections::hash_map::DefaultHasher| {
+        for s in stages {
+            match s {
+                VecStage::Filter(p) => {
+                    0u8.hash(h);
+                    hash_prog(p, h);
+                }
+                VecStage::Project(ps) => {
+                    1u8.hash(h);
+                    for p in ps {
+                        hash_prog(p, h);
+                    }
+                }
+                VecStage::Fused { pred, progs } => {
+                    2u8.hash(h);
+                    hash_prog(pred, h);
+                    for p in progs {
+                        hash_prog(p, h);
+                    }
+                }
+            }
+        }
+    };
+    hash_stages(&vp.pre_stages, &mut h);
+    vp.join.is_some().hash(&mut h);
+    if let Some(j) = &vp.join {
+        hash_prog(&j.key, &mut h);
+        format!("{:?}", j.cols).hash(&mut h);
+        j.left.hash(&mut h);
+        j.merged.hash(&mut h);
+    }
+    hash_stages(&vp.stages, &mut h);
+    match &vp.terminal {
+        VecTerminal::Collect(_) => 0u8.hash(&mut h),
+        VecTerminal::Sort { keys, .. } => {
+            1u8.hash(&mut h);
+            for (p, desc) in keys {
+                hash_prog(p, &mut h);
+                desc.hash(&mut h);
+            }
+        }
+        VecTerminal::Agg { keys, args } => {
+            2u8.hash(&mut h);
+            for p in keys {
+                hash_prog(p, &mut h);
+            }
+            for p in args {
+                p.is_some().hash(&mut h);
+                if let Some(p) = p {
+                    hash_prog(p, &mut h);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// Build a scan→filter→scalar-aggregate pipeline for promotion-policy
+/// tests in sibling modules (VecPipeline's fields are module-private).
+/// `specializable` toggles between a fusable shape (`COUNT(*)` behind a
+/// column predicate) and one `specialize` declines (an expression
+/// argument, no filter).
+#[cfg(test)]
+pub(super) fn test_pipeline(specializable: bool) -> VecPipeline {
+    use crate::ast::BinOp;
+    let mut c = Compiler::scan();
+    if specializable {
+        let pred = c
+            .compile_expr(&Scalar::Bin(
+                BinOp::Lt,
+                Box::new(Scalar::Field("a".into())),
+                Box::new(Scalar::Lit(Value::Int(3))),
+            ))
+            .expect("pred compiles");
+        VecPipeline {
+            scan_fields: c.scan_fields.clone(),
+            pre_stages: Vec::new(),
+            join: None,
+            stages: vec![VecStage::Filter(pred)],
+            terminal: VecTerminal::Agg {
+                keys: Vec::new(),
+                args: vec![None],
+            },
+        }
+    } else {
+        let arg = c
+            .compile_expr(&Scalar::Bin(
+                BinOp::Add,
+                Box::new(Scalar::Field("a".into())),
+                Box::new(Scalar::Lit(Value::Int(1))),
+            ))
+            .expect("arg compiles");
+        VecPipeline {
+            scan_fields: c.scan_fields.clone(),
+            pre_stages: Vec::new(),
+            join: None,
+            stages: Vec::new(),
+            terminal: VecTerminal::Agg {
+                keys: Vec::new(),
+                args: vec![Some(arg)],
+            },
+        }
+    }
+}
+
+/// Fold the surviving selection straight into the sink's accumulators
+/// with typed per-column loops — the fused scan→filter→aggregate kernel.
+/// Returns `false` (without touching the sink) when this batch cannot
+/// take the typed path: a fused column is not Int/Double here, or the
+/// sink is grouped/Final. Callers guarantee `sel` is non-empty, the
+/// tracker is clean, and no derived columns are in play, so the fold is
+/// error-free and byte-identical to the generic per-lane updates.
+fn fold_fused(
+    fused: &FusedAgg,
+    batch: &ColumnBatch,
+    sel: &[u32],
+    sink: &mut MorselSink<'_>,
+) -> bool {
+    for c in fused.cols.iter().flatten() {
+        if !matches!(batch.column(*c), Column::Int { .. } | Column::Double { .. }) {
+            return false;
+        }
+    }
+    // `fused_accs` marks the aggregate state non-empty, so the type check
+    // above must run first (a `false` return must leave the sink as-is).
+    let Some(accs) = sink.fused_accs() else {
+        return false;
+    };
+    debug_assert_eq!(accs.len(), fused.cols.len());
+    for (acc, col) in accs.iter_mut().zip(&fused.cols) {
+        match col {
+            // COUNT(*) counts every surviving lane, unknown or not.
+            None => acc.add_count(sel.len() as i64),
+            Some(c) => match batch.column(*c) {
+                Column::Int { data, tags } => {
+                    if batch.all_valid(*c) {
+                        for &lane in sel {
+                            acc.update_int(data[lane as usize]);
+                        }
+                    } else {
+                        for &lane in sel {
+                            let i = lane as usize;
+                            if tags[i] == Presence::Present {
+                                acc.update_int(data[i]);
+                            }
+                        }
+                    }
+                }
+                Column::Double { data, tags } => {
+                    if batch.all_valid(*c) {
+                        for &lane in sel {
+                            acc.update_double(data[lane as usize]);
+                        }
+                    } else {
+                        for &lane in sel {
+                            let i = lane as usize;
+                            if tags[i] == Presence::Present {
+                                acc.update_double(data[i]);
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!("column types checked above"),
+            },
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Record-direct fused kernel
+// ---------------------------------------------------------------------------
+
+/// A numeric-literal comparison term of the record-direct predicate
+/// pass, laid out so the hot loop is monomorphic: Int rows take exact
+/// `int_cmp` (when the literal is an Int), Double rows and mixed pairs
+/// take the IEEE `f64_cmp_mask`, and any other present value falls back
+/// to [`cmp_row`]'s `eval_binop` arm — the same verdicts as the leaf's
+/// generic mask for every value shape.
+struct FastCmp {
+    op: BinOp,
+    col: usize,
+    lit_is_lhs: bool,
+    /// `Some` iff the literal is an Int: Int/Int pairs must compare
+    /// exactly (an `i64` does not round-trip through `f64`).
+    lit_int: Option<i64>,
+    /// The literal as `f64`, for Double rows and Int/Double pairs.
+    lit_num: f64,
+    /// The literal itself, for the non-numeric fallback arm.
+    lit: Value,
+}
+
+/// A non-fast term: `IS` checks, `OR` subtrees (kept recursive), and
+/// comparisons against non-numeric literals.
+enum DirectLeaf {
+    Cmp {
+        op: BinOp,
+        col: usize,
+        lit: Value,
+        lit_is_lhs: bool,
+    },
+    Is {
+        col: usize,
+        kind: IsKind,
+        negated: bool,
+    },
+    Or(PredTree),
+}
+
+/// Precompiled record-direct filter program: the AND-flattened predicate
+/// leaves of every fused stage, split into the compact numeric-compare
+/// tier and the general tier. Built once per promoted pipeline so the
+/// per-row check is a flat loop — no per-row tree recursion, no
+/// per-batch re-walk of the trees. Evaluating `fast` before `rest`
+/// reorders the conjunction, which is sound because every leaf is total
+/// and side-effect free: no term can observe whether another ran.
+pub(super) struct DirectPlan {
+    fast: Vec<FastCmp>,
+    rest: Vec<DirectLeaf>,
+    /// Some conjoined comparison literal is itself NULL/MISSING: that
+    /// term never passes (the generic `cmp_mask` is all-false for it),
+    /// so no row survives and the sink must stay untouched.
+    const_false: bool,
+}
+
+impl DirectPlan {
+    fn build<'t>(trees: impl Iterator<Item = &'t PredTree>) -> DirectPlan {
+        let mut plan = DirectPlan {
+            fast: Vec::new(),
+            rest: Vec::new(),
+            const_false: false,
+        };
+        for tree in trees {
+            plan.flatten(tree);
+        }
+        plan
+    }
+
+    fn flatten(&mut self, tree: &PredTree) {
+        match tree {
+            PredTree::And(a, b) => {
+                self.flatten(a);
+                self.flatten(b);
+            }
+            PredTree::Cmp {
+                op,
+                col,
+                lit,
+                lit_is_lhs,
+            } => {
+                if lit.is_unknown() {
+                    self.const_false = true;
+                    return;
+                }
+                match lit {
+                    Value::Int(i) => self.fast.push(FastCmp {
+                        op: *op,
+                        col: *col,
+                        lit_is_lhs: *lit_is_lhs,
+                        lit_int: Some(*i),
+                        lit_num: *i as f64,
+                        lit: lit.clone(),
+                    }),
+                    Value::Double(d) => self.fast.push(FastCmp {
+                        op: *op,
+                        col: *col,
+                        lit_is_lhs: *lit_is_lhs,
+                        lit_int: None,
+                        lit_num: *d,
+                        lit: lit.clone(),
+                    }),
+                    _ => self.rest.push(DirectLeaf::Cmp {
+                        op: *op,
+                        col: *col,
+                        lit: lit.clone(),
+                        lit_is_lhs: *lit_is_lhs,
+                    }),
+                }
+            }
+            PredTree::Is { col, kind, negated } => self.rest.push(DirectLeaf::Is {
+                col: *col,
+                kind: *kind,
+                negated: *negated,
+            }),
+            or @ PredTree::Or(..) => self.rest.push(DirectLeaf::Or(or.clone())),
+        }
+    }
+
+    /// The first column the per-row pass probes — the prefetch target.
+    fn probe_col(&self) -> Option<usize> {
+        self.fast.first().map(|f| f.col).or_else(|| {
+            self.rest.iter().find_map(|l| match l {
+                DirectLeaf::Cmp { col, .. } | DirectLeaf::Is { col, .. } => Some(*col),
+                DirectLeaf::Or(_) => None,
+            })
+        })
+    }
+}
+
+/// How many rows ahead the record-direct kernel touches the next row's
+/// probe column: far enough to overlap several DRAM fetches, close
+/// enough that the warmed lines survive until the row is processed.
+const PF_DIST: usize = 16;
+
+/// Row-level conjunction over the flattened leaves — the mask semantics
+/// of [`pred_mask`]: keep only on definite `True`.
+#[inline]
+fn direct_row(plan: &DirectPlan, rec: &Record, fields: &[String], hints: &mut [usize]) -> bool {
+    for f in &plan.fast {
+        let pass = match rec.get_hinted(&fields[f.col], &mut hints[f.col]) {
+            Some(Value::Int(a)) => match f.lit_int {
+                Some(x) => {
+                    if f.lit_is_lhs {
+                        int_cmp(f.op, x, *a)
+                    } else {
+                        int_cmp(f.op, *a, x)
+                    }
+                }
+                None => {
+                    if f.lit_is_lhs {
+                        f64_cmp_mask(f.op, f.lit_num, *a as f64)
+                    } else {
+                        f64_cmp_mask(f.op, *a as f64, f.lit_num)
+                    }
+                }
+            },
+            Some(Value::Double(d)) => {
+                if f.lit_is_lhs {
+                    f64_cmp_mask(f.op, f.lit_num, *d)
+                } else {
+                    f64_cmp_mask(f.op, *d, f.lit_num)
+                }
+            }
+            None | Some(Value::Null) | Some(Value::Missing) => false,
+            Some(v) => cmp_row(f.op, v, &f.lit, f.lit_is_lhs),
+        };
+        if !pass {
+            return false;
+        }
+    }
+    for leaf in &plan.rest {
+        let pass = match leaf {
+            DirectLeaf::Cmp {
+                op,
+                col,
+                lit,
+                lit_is_lhs,
+            } => match rec.get_hinted(&fields[*col], &mut hints[*col]) {
+                None | Some(Value::Null) | Some(Value::Missing) => false,
+                Some(v) => cmp_row(*op, v, lit, *lit_is_lhs),
+            },
+            DirectLeaf::Is { col, kind, negated } => {
+                let p = match rec.get_hinted(&fields[*col], &mut hints[*col]) {
+                    None | Some(Value::Missing) => Presence::Missing,
+                    Some(Value::Null) => Presence::Null,
+                    Some(_) => Presence::Present,
+                };
+                let hit = match kind {
+                    IsKind::Missing => p == Presence::Missing,
+                    IsKind::Null | IsKind::Unknown => p != Presence::Present,
+                };
+                hit != *negated
+            }
+            DirectLeaf::Or(tree) => pred_row(tree, rec, fields, hints),
+        };
+        if !pass {
+            return false;
+        }
+    }
+    true
+}
+
+/// Row-level [`PredTree`] evaluation, exactly the mask semantics of
+/// [`pred_mask`]: a lane is kept only on definite `True`, so `Null`/
+/// `Missing`/absent fields fail every comparison, and `AND`/`OR`
+/// short-circuit soundly because every leaf is total and side-effect
+/// free.
+#[inline]
+fn pred_row(tree: &PredTree, rec: &Record, fields: &[String], hints: &mut [usize]) -> bool {
+    match tree {
+        PredTree::Cmp {
+            op,
+            col,
+            lit,
+            lit_is_lhs,
+        } => {
+            if lit.is_unknown() {
+                return false;
+            }
+            match rec.get_hinted(&fields[*col], &mut hints[*col]) {
+                None | Some(Value::Null) | Some(Value::Missing) => false,
+                Some(v) => cmp_row(*op, v, lit, *lit_is_lhs),
+            }
+        }
+        PredTree::Is { col, kind, negated } => {
+            let p = match rec.get_hinted(&fields[*col], &mut hints[*col]) {
+                None | Some(Value::Missing) => Presence::Missing,
+                Some(Value::Null) => Presence::Null,
+                Some(_) => Presence::Present,
+            };
+            let hit = match kind {
+                IsKind::Missing => p == Presence::Missing,
+                IsKind::Null | IsKind::Unknown => p != Presence::Present,
+            };
+            hit != *negated
+        }
+        PredTree::And(a, b) => pred_row(a, rec, fields, hints) && pred_row(b, rec, fields, hints),
+        PredTree::Or(a, b) => pred_row(a, rec, fields, hints) || pred_row(b, rec, fields, hints),
+    }
+}
+
+/// One comparison leaf on a concrete (present) value — the row form of
+/// [`cmp_mask`]'s typed loops. Typed pairs take the same `int_cmp`/
+/// `f64_cmp_mask` fast paths; anything else (strings, booleans, mixed
+/// shapes) goes through `eval_binop`, which is what the generic lane
+/// kernels evaluate for those lanes, so the verdict is identical however
+/// the batch path would have typed the column.
+#[inline]
+fn cmp_row(op: BinOp, v: &Value, lit: &Value, lit_is_lhs: bool) -> bool {
+    match (v, lit) {
+        (Value::Int(a), Value::Int(x)) => {
+            if lit_is_lhs {
+                int_cmp(op, *x, *a)
+            } else {
+                int_cmp(op, *a, *x)
+            }
+        }
+        (Value::Int(a), Value::Double(x)) => {
+            if lit_is_lhs {
+                f64_cmp_mask(op, *x, *a as f64)
+            } else {
+                f64_cmp_mask(op, *a as f64, *x)
+            }
+        }
+        (Value::Double(a), _) if lit_f64(lit).is_some() => {
+            let x = lit_f64(lit).unwrap_or(0.0);
+            if lit_is_lhs {
+                f64_cmp_mask(op, x, *a)
+            } else {
+                f64_cmp_mask(op, *a, x)
+            }
+        }
+        _ => {
+            let r = if lit_is_lhs {
+                eval_binop(op, lit, v)
+            } else {
+                eval_binop(op, v, lit)
+            };
+            matches!(r, Ok(ref x) if truthy(x).is_true())
+        }
+    }
+}
+
+/// Run one batch of records through the record-direct fused kernel: one
+/// walk over the records, no column materialization. Byte-identity with
+/// the generic path holds because predicate leaves are total (so no
+/// error can be lost to short-circuiting) and surviving rows fold
+/// through [`MorselSink::push_agg`] in scan order — the exact fold the
+/// generic terminal performs, including its error precedence.
+fn process_direct(
+    vp: &VecPipeline,
+    spec: &KernelPlan,
+    direct: &DirectPlan,
+    records: &[&Record],
+    sink: &mut MorselSink<'_>,
+) -> Result<()> {
+    const MISSING: Value = Value::Missing;
+    let Some(fused) = spec.agg.as_ref() else {
+        return Err(EngineError::exec("direct kernel without a fused terminal"));
+    };
+    if direct.const_false {
+        return Ok(());
+    }
+    let fields = vp.scan_fields.as_slice();
+    let mut hints = vec![0usize; fields.len()];
+
+    // Records are row-at-a-time heap objects, so each row's first field
+    // access is two dependent cache misses: the fields buffer, then the
+    // field name's bytes for the probe compare. Issue non-blocking
+    // prefetches for the probe column two distances ahead — the slot
+    // line far out, the name bytes (which need the slot line) closer in
+    // — so the misses overlap row work instead of serializing on it.
+    let mut pf_cols: Vec<usize> = direct
+        .probe_col()
+        .into_iter()
+        .chain(fused.cols.iter().flatten().copied())
+        .collect();
+    pf_cols.dedup();
+    let prefetch = |i: usize, hints: &[usize]| {
+        if let Some(far) = records.get(i + 2 * PF_DIST) {
+            for &col in &pf_cols {
+                far.prefetch_slot(hints[col]);
+            }
+        }
+        if let Some(near) = records.get(i + PF_DIST) {
+            for &col in &pf_cols {
+                near.prefetch_slot_name(hints[col]);
+            }
+        }
+    };
+
+    // Phase 1: scan to the first surviving row. The aggregate state must
+    // stay untouched (`saw_any` unset) when no row survives, exactly like
+    // the generic fold, so the accumulators are only borrowed once a
+    // survivor exists.
+    let mut first = None;
+    for (i, rec) in records.iter().enumerate() {
+        prefetch(i, &hints);
+        if direct_row(direct, rec, fields, &mut hints) {
+            first = Some(i);
+            break;
+        }
+    }
+    let Some(first) = first else {
+        return Ok(());
+    };
+
+    if let Some(accs) = sink.fused_accs() {
+        // Scalar-update sink: fold each survivor straight into the
+        // accumulators — the exact per-row `update` loop of
+        // `push_values`, minus its per-row sink and mode dispatch. Int
+        // and Double arguments take the typed folds, which are defined
+        // (and property-tested) to be bit-exact with `update` and never
+        // error; everything else keeps the erroring `update` path with
+        // its serial precedence.
+        for (k, rec) in records[first..].iter().enumerate() {
+            prefetch(first + k, &hints);
+            if k > 0 && !direct_row(direct, rec, fields, &mut hints) {
+                continue;
+            }
+            for (acc, col) in accs.iter_mut().zip(&fused.cols) {
+                match col {
+                    None => acc.update(None)?,
+                    Some(c) => match rec.get_hinted(&fields[*c], &mut hints[*c]) {
+                        Some(Value::Int(i)) => acc.update_int(*i),
+                        Some(Value::Double(d)) => acc.update_double(*d),
+                        Some(v) => acc.update(Some(v))?,
+                        None => acc.update(Some(&MISSING))?,
+                    },
+                }
+            }
+        }
+        return Ok(());
+    }
+
+    // `Final`-mode merge: route through `push_agg` like the generic fold.
+    let mut args_buf: Vec<Option<&Value>> = Vec::with_capacity(fused.cols.len());
+    for (k, rec) in records[first..].iter().enumerate() {
+        prefetch(first + k, &hints);
+        if k > 0 && !direct_row(direct, rec, fields, &mut hints) {
+            continue;
+        }
+        args_buf.clear();
+        for col in &fused.cols {
+            args_buf.push(col.map(|c| {
+                rec.get_hinted(&fields[c], &mut hints[c])
+                    .unwrap_or(&MISSING)
+            }));
+        }
+        sink.push_agg(Vec::new(), &args_buf)?;
+    }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -992,12 +2055,22 @@ fn apply_filter(
         if let [Instr::Bin(op, a, b)] = prog.instrs.as_slice() {
             if prog.result == Src::Reg(0) && is_cmp(*op) {
                 let handled = match (*a, *b) {
-                    (Src::Col(c), Src::Lit(l)) => {
-                        filter_cmp(*op, batch.column(c), &prog.lits[l], sel, false)
-                    }
-                    (Src::Lit(l), Src::Col(c)) => {
-                        filter_cmp(*op, batch.column(c), &prog.lits[l], sel, true)
-                    }
+                    (Src::Col(c), Src::Lit(l)) => filter_cmp(
+                        *op,
+                        batch.column(c),
+                        &prog.lits[l],
+                        sel,
+                        false,
+                        batch.all_valid(c),
+                    ),
+                    (Src::Lit(l), Src::Col(c)) => filter_cmp(
+                        *op,
+                        batch.column(c),
+                        &prog.lits[l],
+                        sel,
+                        true,
+                        batch.all_valid(c),
+                    ),
                     _ => false,
                 };
                 if handled {
@@ -1025,23 +2098,74 @@ fn apply_filter(
 /// compacted branch-free: every slot is written unconditionally and the
 /// write index advances by the comparison result, so the loop body has no
 /// data-dependent branches for the optimizer to trip on.
-fn filter_cmp(op: BinOp, col: &Column, lit: &Value, sel: &mut Vec<u32>, lit_is_lhs: bool) -> bool {
+fn filter_cmp(
+    op: BinOp,
+    col: &Column,
+    lit: &Value,
+    sel: &mut Vec<u32>,
+    lit_is_lhs: bool,
+    all_valid: bool,
+) -> bool {
+    // Branch-free selection compaction over one per-lane keep closure;
+    // the all-valid variant never touches the presence tags.
+    fn compact(sel: &mut Vec<u32>, mut keep: impl FnMut(usize) -> bool) {
+        let mut w = 0usize;
+        for i in 0..sel.len() {
+            let lane = sel[i];
+            sel[w] = lane;
+            w += keep(lane as usize) as usize;
+        }
+        sel.truncate(w);
+    }
     match (col, lit) {
         (Column::Int { data, tags }, Value::Int(x)) => {
-            let mut w = 0usize;
-            for i in 0..sel.len() {
-                let lane = sel[i];
-                let li = lane as usize;
-                let keep = (tags[li] == Presence::Present)
-                    & if lit_is_lhs {
-                        int_cmp(op, *x, data[li])
-                    } else {
-                        int_cmp(op, data[li], *x)
-                    };
-                sel[w] = lane;
-                w += keep as usize;
+            let cmp = |li: usize| {
+                if lit_is_lhs {
+                    int_cmp(op, *x, data[li])
+                } else {
+                    int_cmp(op, data[li], *x)
+                }
+            };
+            if all_valid {
+                compact(sel, cmp);
+            } else {
+                compact(sel, |li| (tags[li] == Presence::Present) & cmp(li));
             }
-            sel.truncate(w);
+            true
+        }
+        // Float comparisons (double column vs numeric literal, int column
+        // vs double literal): IEEE operators are exactly the `is_true`
+        // mask — NaN fails every ordering and `Eq`, passes `Ne`, matching
+        // `sql_compare`'s incomparable arm for filtering purposes.
+        (Column::Double { data, tags }, _) if lit_f64(lit).is_some() => {
+            let Some(x) = lit_f64(lit) else { return false };
+            let cmp = |li: usize| {
+                if lit_is_lhs {
+                    f64_cmp_mask(op, x, data[li])
+                } else {
+                    f64_cmp_mask(op, data[li], x)
+                }
+            };
+            if all_valid {
+                compact(sel, cmp);
+            } else {
+                compact(sel, |li| (tags[li] == Presence::Present) & cmp(li));
+            }
+            true
+        }
+        (Column::Int { data, tags }, Value::Double(x)) => {
+            let cmp = |li: usize| {
+                if lit_is_lhs {
+                    f64_cmp_mask(op, *x, data[li] as f64)
+                } else {
+                    f64_cmp_mask(op, data[li] as f64, *x)
+                }
+            };
+            if all_valid {
+                compact(sel, cmp);
+            } else {
+                compact(sel, |li| (tags[li] == Presence::Present) & cmp(li));
+            }
             true
         }
         (Column::Str { codes, dict, tags }, lit) => {
@@ -1058,15 +2182,13 @@ fn filter_cmp(op: BinOp, col: &Column, lit: &Value, sel: &mut Vec<u32>, lit_is_l
                     matches!(r, Ok(ref v) if truthy(v).is_true())
                 })
                 .collect();
-            let mut w = 0usize;
-            for i in 0..sel.len() {
-                let lane = sel[i];
-                let li = lane as usize;
-                let keep = tags[li] == Presence::Present && pass[codes[li] as usize];
-                sel[w] = lane;
-                w += keep as usize;
+            if all_valid {
+                compact(sel, |li| pass[codes[li] as usize]);
+            } else {
+                compact(sel, |li| {
+                    tags[li] == Presence::Present && pass[codes[li] as usize]
+                });
             }
-            sel.truncate(w);
             true
         }
         _ => false,
@@ -1135,14 +2257,25 @@ fn fused_fast(
             tags: &'a [Presence],
             x: i64,
         },
+        Float {
+            data: &'a [f64],
+            tags: &'a [Presence],
+            x: f64,
+        },
         Dict {
             codes: &'a [u32],
             tags: &'a [Presence],
             pass: Vec<bool>,
         },
     }
+    let all_valid = batch.all_valid(col);
     let pred_k = match (batch.column(col), lit) {
         (Column::Int { data, tags }, Value::Int(x)) => Pred::Int { data, tags, x: *x },
+        (Column::Double { data, tags }, lit) if lit_f64(lit).is_some() => Pred::Float {
+            data,
+            tags,
+            x: lit_f64(lit)?,
+        },
         (Column::Str { codes, dict, tags }, lit) => {
             let pass: Vec<bool> = dict
                 .iter()
@@ -1166,15 +2299,23 @@ fn fused_fast(
         let li = lane as usize;
         let keep = match &pred_k {
             Pred::Int { data, tags, x } => {
-                (tags[li] == Presence::Present)
+                (all_valid || tags[li] == Presence::Present)
                     & if lit_is_lhs {
                         int_cmp(*op, *x, data[li])
                     } else {
                         int_cmp(*op, data[li], *x)
                     }
             }
+            Pred::Float { data, tags, x } => {
+                (all_valid || tags[li] == Presence::Present)
+                    & if lit_is_lhs {
+                        f64_cmp_mask(*op, *x, data[li])
+                    } else {
+                        f64_cmp_mask(*op, data[li], *x)
+                    }
+            }
             Pred::Dict { codes, tags, pass } => {
-                tags[li] == Presence::Present && pass[codes[li] as usize]
+                (all_valid || tags[li] == Presence::Present) && pass[codes[li] as usize]
             }
         };
         sel[w] = lane;
@@ -1568,23 +2709,82 @@ fn run_stage(
     }
 }
 
+/// Run one stage chain with its aligned promoted predicate trees: a stage
+/// whose tree applies (and whose batch state is clean) collapses to one
+/// fused selection-mask pass; everything else runs the generic stage.
+/// Returns `false` when the batch is exhausted (empty selection, no
+/// pending errors).
+fn run_stages(
+    stages: &[VecStage],
+    preds: Option<&[Option<PredTree>]>,
+    batch: &ColumnBatch,
+    sel: &mut Vec<u32>,
+    derived: &mut Option<Vec<Vec<Value>>>,
+    tracker: &mut ErrTracker,
+) -> bool {
+    for (si, vs) in stages.iter().enumerate() {
+        let tree = preds.and_then(|p| p.get(si)).and_then(Option::as_ref);
+        let fused = match tree {
+            // Predicate trees read physical scan columns and never error,
+            // so they only engage on a clean, un-projected batch.
+            Some(tree) if derived.is_none() && tracker.is_empty() => pred_mask(tree, batch, sel),
+            _ => None,
+        };
+        match fused {
+            Some(mask) => {
+                let mut w = 0usize;
+                for i in 0..sel.len() {
+                    let lane = sel[i];
+                    sel[w] = lane;
+                    w += mask[i] as usize;
+                }
+                sel.truncate(w);
+            }
+            None => run_stage(vs, batch, sel, derived, tracker),
+        }
+        if sel.is_empty() && tracker.is_empty() {
+            return false;
+        }
+    }
+    true
+}
+
 /// Run one batch of records through the pipeline into the morsel sink.
+/// `spec` is the promoted kernel plan, when this query's program is hot
+/// enough to have one; `stats` accumulates per-batch dictionary
+/// observability counters.
 fn process_batch(
     vp: &VecPipeline,
     rt: Option<&JoinRuntime<'_>>,
+    spec: Option<&KernelPlan>,
     records: &[&Record],
     sink: &mut MorselSink<'_>,
+    stats: &mut RangeStats,
 ) -> Result<()> {
+    if let Some(spec) = spec {
+        if let (None, Some(direct)) = (rt, spec.direct.as_ref()) {
+            // Fully fused pipeline: skip column materialization entirely.
+            // No batch means no dictionary builds, so the dict counters
+            // stay at the generic runs' values.
+            return process_direct(vp, spec, direct, records, sink);
+        }
+    }
     let batch = ColumnBatch::from_records(records, &vp.scan_fields);
+    stats.dict_columns += batch.dict_columns();
+    stats.dict_demoted += batch.dict_demoted();
     let mut sel: Vec<u32> = (0..records.len() as u32).collect();
     let mut derived: Option<Vec<Vec<Value>>> = None;
     let mut tracker = ErrTracker::default();
 
-    for vs in &vp.pre_stages {
-        run_stage(vs, &batch, &mut sel, &mut derived, &mut tracker);
-        if sel.is_empty() && tracker.is_empty() {
-            return Ok(());
-        }
+    if !run_stages(
+        &vp.pre_stages,
+        spec.map(|s| s.pre_preds.as_slice()),
+        &batch,
+        &mut sel,
+        &mut derived,
+        &mut tracker,
+    ) {
+        return Ok(());
     }
     if let Some(join) = &vp.join {
         let Some(rt) = rt else {
@@ -1603,11 +2803,15 @@ fn process_batch(
             return Ok(());
         }
     }
-    for vs in &vp.stages {
-        run_stage(vs, &batch, &mut sel, &mut derived, &mut tracker);
-        if sel.is_empty() && tracker.is_empty() {
-            return Ok(());
-        }
+    if !run_stages(
+        &vp.stages,
+        spec.map(|s| s.stage_preds.as_slice()),
+        &batch,
+        &mut sel,
+        &mut derived,
+        &mut tracker,
+    ) {
+        return Ok(());
     }
 
     match &vp.terminal {
@@ -1687,6 +2891,18 @@ fn process_batch(
             }
         }
         VecTerminal::Agg { keys, args } => {
+            // The fused scan→filter→aggregate kernel: no key/argument
+            // program materialization at all. Only on a clean batch (the
+            // fold is error-free and `saw_any` must reflect real lanes).
+            if let Some(fused) = spec.and_then(|s| s.agg.as_ref()) {
+                if derived.is_none()
+                    && tracker.is_empty()
+                    && !sel.is_empty()
+                    && fold_fused(fused, &batch, &sel, sink)
+                {
+                    return Ok(());
+                }
+            }
             fold_aggregates(keys, args, &batch, &sel, &derived, &mut tracker, sink)?;
         }
     }
@@ -1772,12 +2988,22 @@ fn fold_aggregates(
     Ok(())
 }
 
+/// Per-range execution counters: batches actually processed, plus the
+/// dictionary observability totals (string columns built, and how many
+/// overflowed `DICT_CAP` and demoted to generic value lanes).
+#[derive(Debug, Clone, Copy, Default)]
+pub(super) struct RangeStats {
+    pub(super) batches: usize,
+    pub(super) dict_columns: usize,
+    pub(super) dict_demoted: usize,
+}
+
 /// Scan `[lo, hi)` of the morsel domain (heap slots, or a chunk of the
 /// materialized rid list) in `batch_rows`-sized batches, feeding each
-/// through the pipeline into `sink`. Returns the number of batches
-/// actually processed: the loop stops as soon as the sink is satisfied
-/// (its own early-exit limit) or the shared `stop` flag latches (another
-/// worker's morsel settled the query).
+/// through the pipeline into `sink`. Returns the per-range counters: the
+/// loop stops as soon as the sink is satisfied (its own early-exit limit)
+/// or the shared `stop` flag latches (another worker's morsel settled the
+/// query).
 #[allow(clippy::too_many_arguments)]
 pub(super) fn run_range(
     table: &Table,
@@ -1786,14 +3012,15 @@ pub(super) fn run_range(
     hi: usize,
     vp: &VecPipeline,
     rt: Option<&JoinRuntime<'_>>,
+    spec: Option<&KernelPlan>,
     batch_rows: usize,
     sink: &mut MorselSink<'_>,
     stop: Option<&AtomicBool>,
-) -> Result<usize> {
+) -> Result<RangeStats> {
     let step = batch_rows.max(1);
     let halted =
         |sink: &MorselSink<'_>| sink.satisfied() || stop.is_some_and(|s| s.load(Ordering::Relaxed));
-    let mut batches = 0usize;
+    let mut stats = RangeStats::default();
     let mut refs: Vec<&Record> = Vec::with_capacity(step.min(hi.saturating_sub(lo)));
     match rids {
         None => {
@@ -1805,8 +3032,8 @@ pub(super) fn run_range(
                 let end = (start + step).min(hi);
                 refs.clear();
                 refs.extend(table.heap().scan_range(start, end).map(|(_, rec)| rec));
-                process_batch(vp, rt, &refs, sink)?;
-                batches += 1;
+                process_batch(vp, rt, spec, &refs, sink, &mut stats)?;
+                stats.batches += 1;
                 start = end;
             }
         }
@@ -1828,8 +3055,8 @@ pub(super) fn run_range(
                 }
                 match dangling {
                     None => {
-                        process_batch(vp, rt, &refs, sink)?;
-                        batches += 1;
+                        process_batch(vp, rt, spec, &refs, sink, &mut stats)?;
+                        stats.batches += 1;
                     }
                     Some(e) => {
                         // Under an early-exit limit the rows before the
@@ -1837,8 +3064,8 @@ pub(super) fn run_range(
                         // their own; feed them, then record the error for
                         // the merge walk to place.
                         if sink.limit().is_some() {
-                            process_batch(vp, rt, &refs, sink)?;
-                            batches += 1;
+                            process_batch(vp, rt, spec, &refs, sink, &mut stats)?;
+                            stats.batches += 1;
                             if !sink.satisfied() {
                                 sink.record_err(e);
                             }
@@ -1850,7 +3077,7 @@ pub(super) fn run_range(
             }
         }
     }
-    Ok(batches)
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -1866,6 +3093,8 @@ mod tests {
             record! {"a" => Value::Null, "s" => "x"},
             record! {"s" => "z", "d" => 4.0},
             record! {"a" => 5i64},
+            record! {"a" => -3i64, "s" => "x", "d" => f64::NAN},
+            record! {"a" => 7i64, "s" => "w", "d" => 2.0},
         ]
     }
 
@@ -1885,7 +3114,13 @@ mod tests {
             match eval(expr, &row) {
                 Ok(v) => {
                     assert!(!tracker.poisoned(k as u32), "lane {k} wrongly poisoned");
-                    assert_eq!(got[k], v, "lane {k} diverges for {expr:?}");
+                    // Debug-compare: Value's PartialEq is IEEE, so NaN
+                    // never equals itself even when both paths agree.
+                    assert_eq!(
+                        format!("{:?}", got[k]),
+                        format!("{v:?}"),
+                        "lane {k} diverges for {expr:?}"
+                    );
                 }
                 Err(e) => {
                     let (_, got_e) = tracker.get(k as u32).expect("lane poisoned");
@@ -1930,9 +3165,231 @@ mod tests {
             ),
             // Errors on some lanes only (string minus int).
             bin(BinOp::Sub, field("s"), lit(1i64)),
+            // Float kernels: double column vs numeric literal (NaN lanes
+            // included), int column vs double literal.
+            bin(BinOp::Lt, field("d"), lit(2.0)),
+            bin(BinOp::Ge, lit(2.0), field("d")),
+            bin(BinOp::Eq, field("d"), lit(1.5)),
+            bin(BinOp::Ne, field("d"), lit(4i64)),
+            bin(BinOp::Add, field("d"), lit(0.5)),
+            bin(BinOp::Mul, lit(3.0), field("d")),
+            bin(BinOp::Lt, field("a"), lit(2.5)),
+            bin(BinOp::Sub, field("a"), lit(0.5)),
         ] {
             assert_program_matches_eval(&expr);
         }
+    }
+
+    #[test]
+    fn null_fast_col_col_kernels_match_row_eval() {
+        // Fully-present records: every column is all-valid, so the
+        // branch-free typed loops (including column-vs-column) engage.
+        let recs: Vec<Record> = (0..8)
+            .map(|i| {
+                record! {
+                    "a" => i as i64,
+                    "b" => (7 - i) as i64,
+                    "x" => i as f64 * 0.5,
+                    "y" => if i == 3 { f64::NAN } else { 2.0 - i as f64 },
+                    "s" => if i % 2 == 0 { "even" } else { "odd" }
+                }
+            })
+            .collect();
+        let refs: Vec<&Record> = recs.iter().collect();
+        for expr in [
+            bin(BinOp::Lt, field("a"), field("b")),
+            bin(BinOp::Eq, field("a"), field("b")),
+            bin(BinOp::Add, field("a"), field("b")),
+            bin(BinOp::Mul, field("a"), field("b")),
+            bin(BinOp::Le, field("x"), field("y")),
+            bin(BinOp::Ne, field("x"), field("y")),
+            bin(BinOp::Sub, field("x"), field("y")),
+            bin(BinOp::Gt, field("a"), lit(3i64)),
+            bin(BinOp::Lt, field("x"), lit(1.25)),
+            bin(BinOp::Eq, field("s"), lit("even")),
+        ] {
+            let recs2 = recs.clone();
+            let refs2: Vec<&Record> = recs2.iter().collect();
+            let mut c = Compiler::scan();
+            let prog = c.compile_expr(&expr).expect("compilable");
+            let batch = ColumnBatch::from_records(&refs, &c.scan_fields);
+            for (ci, _) in c.scan_fields.iter().enumerate() {
+                assert!(batch.all_valid(ci), "expected all-valid batch");
+            }
+            let sel: Vec<u32> = (0..refs.len() as u32).collect();
+            let mut tracker = ErrTracker::default();
+            let got = run_program(&prog, &batch, &sel, None, 0, &mut tracker);
+            assert!(tracker.is_empty());
+            for (k, rec) in refs2.iter().enumerate() {
+                let want = eval(&expr, &Value::Obj((*rec).clone())).expect("row eval");
+                // Debug-compare so NaN lanes (NaN != NaN) still count as
+                // byte-identical.
+                assert_eq!(
+                    format!("{:?}", got[k]),
+                    format!("{want:?}"),
+                    "lane {k} diverges for {expr:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pred_tree_masks_match_generic_filter() {
+        let recs = rows();
+        let refs: Vec<&Record> = recs.iter().collect();
+        let and = |a, b| bin(BinOp::And, a, b);
+        let or = |a, b| bin(BinOp::Or, a, b);
+        for expr in [
+            and(
+                bin(BinOp::Lt, field("a"), lit(3i64)),
+                bin(BinOp::Eq, field("s"), lit("x")),
+            ),
+            or(
+                bin(BinOp::Ge, field("a"), lit(5i64)),
+                bin(BinOp::Lt, field("d"), lit(2.0)),
+            ),
+            or(
+                and(
+                    bin(BinOp::Gt, field("a"), lit(0i64)),
+                    bin(BinOp::Ne, field("s"), lit("y")),
+                ),
+                Scalar::Is(Box::new(field("d")), IsKind::Missing, false),
+            ),
+            and(
+                Scalar::Is(Box::new(field("n")), IsKind::Null, false),
+                bin(BinOp::Gt, field("a"), lit(0i64)),
+            ),
+            // Single leaves are valid (degenerate) trees too.
+            bin(BinOp::Le, field("d"), lit(2.5)),
+            Scalar::Is(Box::new(field("a")), IsKind::Null, true),
+        ] {
+            let mut c = Compiler::scan();
+            let prog = c.compile_expr(&expr).expect("compilable");
+            let tree = pred_tree(&prog).expect("fusable predicate");
+            let batch = ColumnBatch::from_records(&refs, &c.scan_fields);
+            let sel: Vec<u32> = (0..refs.len() as u32).collect();
+            let mask = pred_mask(&tree, &batch, &sel).expect("typed mask");
+            // Reference: generic truthiness over the program output.
+            let mut tracker = ErrTracker::default();
+            let vals = run_program(&prog, &batch, &sel, None, 0, &mut tracker);
+            assert!(tracker.is_empty());
+            let want: Vec<bool> = vals.iter().map(|v| truthy(v).is_true()).collect();
+            assert_eq!(mask, want, "mask divergence for {expr:?}");
+        }
+        // Shapes outside the fusable grammar are rejected, not mis-fused.
+        for expr in [
+            bin(BinOp::Add, field("a"), lit(1i64)),
+            Scalar::Un(
+                UnaryOp::Not,
+                Box::new(bin(BinOp::Lt, field("a"), lit(3i64))),
+            ),
+            bin(BinOp::Lt, field("a"), field("d")),
+        ] {
+            let mut c = Compiler::scan();
+            let prog = c.compile_expr(&expr).expect("compilable");
+            assert!(pred_tree(&prog).is_none(), "should not fuse {expr:?}");
+        }
+    }
+
+    #[test]
+    fn fused_agg_fold_matches_generic_updates() {
+        use crate::plan::logical::{AggExpr, AggFunc};
+        let aggs = vec![
+            AggExpr {
+                name: "c".into(),
+                func: AggFunc::Count,
+                arg: AggArg::Star,
+            },
+            AggExpr {
+                name: "s".into(),
+                func: AggFunc::Sum,
+                arg: AggArg::Expr(field("a")),
+            },
+            AggExpr {
+                name: "m".into(),
+                func: AggFunc::Min,
+                arg: AggArg::Expr(field("d")),
+            },
+            AggExpr {
+                name: "x".into(),
+                func: AggFunc::Max,
+                arg: AggArg::Expr(field("a")),
+            },
+        ];
+        let recs = rows();
+        let refs: Vec<&Record> = recs.iter().collect();
+        let fields = vec!["a".to_string(), "d".to_string()];
+        let batch = ColumnBatch::from_records(&refs, &fields);
+        let sel: Vec<u32> = (0..refs.len() as u32).collect();
+        let fused = FusedAgg {
+            cols: vec![None, Some(0), Some(1), Some(0)],
+        };
+        for mode in [AggMode::Complete, AggMode::Partial] {
+            let group_by: Vec<(String, Scalar)> = Vec::new();
+            let mut sink =
+                MorselSink::Aggregate(super::super::AggState::new(&group_by, &aggs, mode));
+            assert!(fold_fused(&fused, &batch, &sel, &mut sink));
+            let MorselSink::Aggregate(state) = sink else {
+                unreachable!("aggregate sink");
+            };
+            let got = state.finish();
+            // Reference: the generic per-row fold.
+            let mut want_state = super::super::AggState::new(&group_by, &aggs, mode);
+            for rec in &recs {
+                want_state.push(&Value::Obj(rec.clone())).expect("push");
+            }
+            let want = want_state.finish();
+            assert_eq!(
+                format!("{got:?}"),
+                format!("{want:?}"),
+                "fused fold diverges in {mode:?} mode"
+            );
+        }
+    }
+
+    #[test]
+    fn specialize_covers_filter_and_scalar_agg_shapes() {
+        // A scan→filter→aggregate pipeline specializes both the predicate
+        // and the fold; a grouped or expression-argument terminal only the
+        // predicate.
+        let mut c = Compiler::scan();
+        let pred = c
+            .compile_expr(&bin(BinOp::Lt, field("a"), lit(3i64)))
+            .expect("pred");
+        let arg = c.compile_expr(&field("d")).expect("arg");
+        let vp = VecPipeline {
+            scan_fields: c.scan_fields.clone(),
+            pre_stages: Vec::new(),
+            join: None,
+            stages: vec![VecStage::Filter(pred)],
+            terminal: VecTerminal::Agg {
+                keys: Vec::new(),
+                args: vec![None, Some(arg)],
+            },
+        };
+        let plan = specialize(&vp).expect("specializable");
+        assert!(plan.stage_preds[0].is_some());
+        let agg = plan.agg.as_ref().expect("fused agg");
+        assert_eq!(agg.cols, vec![None, Some(1)]);
+        // Fingerprints are stable for one shape and differ across shapes.
+        assert_eq!(fingerprint("t", &vp), fingerprint("t", &vp));
+        assert_ne!(fingerprint("t", &vp), fingerprint("u", &vp));
+        // An expression argument (instructions) blocks the fused fold.
+        let mut c2 = Compiler::scan();
+        let expr_arg = c2
+            .compile_expr(&bin(BinOp::Add, field("a"), lit(1i64)))
+            .expect("arg");
+        let vp2 = VecPipeline {
+            scan_fields: c2.scan_fields.clone(),
+            pre_stages: Vec::new(),
+            join: None,
+            stages: Vec::new(),
+            terminal: VecTerminal::Agg {
+                keys: Vec::new(),
+                args: vec![Some(expr_arg)],
+            },
+        };
+        assert!(specialize(&vp2).is_none());
     }
 
     #[test]

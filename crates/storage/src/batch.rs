@@ -41,6 +41,30 @@ pub const DICT_CAP: usize = 256;
 /// always walk the whole string.
 const DICT_LINEAR_PROBE: usize = 8;
 
+/// Build-time facts about one column of a batch, computed while the
+/// column is pushed so kernels can pick a fast path without re-scanning
+/// the presence tags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnSummary {
+    /// Every lane of the column is `Presence::Present`: kernels may run
+    /// branch-free typed loops over the raw data vector with no per-lane
+    /// tag checks.
+    pub all_valid: bool,
+    /// The column started dictionary-encoded but overflowed [`DICT_CAP`]
+    /// and was demoted to generic storage — string predicates lose the
+    /// per-distinct-value evaluation shortcut for this batch.
+    pub dict_overflowed: bool,
+}
+
+impl ColumnSummary {
+    fn new() -> ColumnSummary {
+        ColumnSummary {
+            all_valid: true,
+            dict_overflowed: false,
+        }
+    }
+}
+
 /// Per-lane null/absence tag, stored next to the typed data vector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Presence {
@@ -139,12 +163,14 @@ impl Column {
 pub struct ColumnBatch {
     len: usize,
     columns: Vec<Column>,
+    summaries: Vec<ColumnSummary>,
 }
 
 impl ColumnBatch {
     /// Transpose `rows` into typed columns, one per entry of `fields` (in
     /// order). Fields absent from a record become `Missing` lanes.
     pub fn from_records(rows: &[&Record], fields: &[String]) -> ColumnBatch {
+        let mut summaries = Vec::with_capacity(fields.len());
         let columns = fields
             .iter()
             .map(|f| {
@@ -156,12 +182,15 @@ impl ColumnBatch {
                 for rec in rows {
                     b.push(rec.get_hinted(f, &mut hint));
                 }
-                b.finish()
+                let (col, summary) = b.finish();
+                summaries.push(summary);
+                col
             })
             .collect();
         ColumnBatch {
             len: rows.len(),
             columns,
+            summaries,
         }
     }
 
@@ -179,12 +208,59 @@ impl ColumnBatch {
     pub fn column(&self, i: usize) -> &Column {
         &self.columns[i]
     }
+
+    /// Build-time summary of `fields[i]` (presence profile, dict fate).
+    pub fn summary(&self, i: usize) -> ColumnSummary {
+        self.summaries[i]
+    }
+
+    /// True when every lane of `fields[i]` holds a concrete value.
+    pub fn all_valid(&self, i: usize) -> bool {
+        self.summaries[i].all_valid
+    }
+
+    /// Number of columns that finished dictionary-encoded in this batch.
+    pub fn dict_columns(&self) -> usize {
+        self.columns
+            .iter()
+            .filter(|c| matches!(c, Column::Str { .. }))
+            .count()
+    }
+
+    /// Number of columns that overflowed [`DICT_CAP`] and were demoted.
+    pub fn dict_demoted(&self) -> usize {
+        self.summaries.iter().filter(|s| s.dict_overflowed).count()
+    }
 }
 
 /// Type-optimistic column builder: fixes the vector type on the first
 /// concrete value and demotes to [`Column::Generic`] on any mismatch,
-/// reconstructing already-pushed lanes from the typed data + tags.
-enum ColumnBuilder {
+/// reconstructing already-pushed lanes from the typed data + tags. Tracks
+/// a [`ColumnSummary`] as lanes arrive so the finished batch knows which
+/// columns admit null-fast kernels without a second pass over the tags.
+struct ColumnBuilder {
+    state: BuilderState,
+    summary: ColumnSummary,
+}
+
+impl ColumnBuilder {
+    fn new(capacity: usize) -> ColumnBuilder {
+        ColumnBuilder {
+            state: BuilderState::Untyped(Vec::with_capacity(capacity)),
+            summary: ColumnSummary::new(),
+        }
+    }
+
+    fn push(&mut self, value: Option<&Value>) {
+        self.state.push(value, &mut self.summary);
+    }
+
+    fn finish(self) -> (Column, ColumnSummary) {
+        (self.state.finish(), self.summary)
+    }
+}
+
+enum BuilderState {
     /// Only `Null`/`Missing` seen so far.
     Untyped(Vec<Presence>),
     Int(Vec<i64>, Vec<Presence>),
@@ -199,37 +275,34 @@ enum ColumnBuilder {
     Generic(Vec<Value>),
 }
 
-impl ColumnBuilder {
-    fn new(capacity: usize) -> ColumnBuilder {
-        ColumnBuilder::Untyped(Vec::with_capacity(capacity))
-    }
-
-    fn push(&mut self, value: Option<&Value>) {
+impl BuilderState {
+    fn push(&mut self, value: Option<&Value>, summary: &mut ColumnSummary) {
         let tag = match value {
             None | Some(Value::Missing) => Presence::Missing,
             Some(Value::Null) => Presence::Null,
             Some(_) => Presence::Present,
         };
         if tag != Presence::Present {
+            summary.all_valid = false;
             match self {
-                ColumnBuilder::Untyped(tags) => tags.push(tag),
-                ColumnBuilder::Int(data, tags) => {
+                BuilderState::Untyped(tags) => tags.push(tag),
+                BuilderState::Int(data, tags) => {
                     data.push(0);
                     tags.push(tag);
                 }
-                ColumnBuilder::Double(data, tags) => {
+                BuilderState::Double(data, tags) => {
                     data.push(0.0);
                     tags.push(tag);
                 }
-                ColumnBuilder::Bool(data, tags) => {
+                BuilderState::Bool(data, tags) => {
                     data.push(false);
                     tags.push(tag);
                 }
-                ColumnBuilder::Str { codes, tags, .. } => {
+                BuilderState::Str { codes, tags, .. } => {
                     codes.push(0);
                     tags.push(tag);
                 }
-                ColumnBuilder::Generic(vals) => vals.push(match tag {
+                BuilderState::Generic(vals) => vals.push(match tag {
                     Presence::Null => Value::Null,
                     _ => Value::Missing,
                 }),
@@ -239,23 +312,23 @@ impl ColumnBuilder {
         // A concrete value: does it fit the vector type?
         let v = value.expect("present lane has a value");
         match (&mut *self, v) {
-            (ColumnBuilder::Int(data, tags), Value::Int(i)) => {
+            (BuilderState::Int(data, tags), Value::Int(i)) => {
                 data.push(*i);
                 tags.push(Presence::Present);
                 return;
             }
-            (ColumnBuilder::Double(data, tags), Value::Double(d)) => {
+            (BuilderState::Double(data, tags), Value::Double(d)) => {
                 data.push(*d);
                 tags.push(Presence::Present);
                 return;
             }
-            (ColumnBuilder::Bool(data, tags), Value::Bool(b)) => {
+            (BuilderState::Bool(data, tags), Value::Bool(b)) => {
                 data.push(*b);
                 tags.push(Presence::Present);
                 return;
             }
             (
-                ColumnBuilder::Str {
+                BuilderState::Str {
                     codes,
                     dict,
                     lookup,
@@ -286,13 +359,16 @@ impl ColumnBuilder {
                     tags.push(Presence::Present);
                     return;
                 }
-                // High-cardinality column: fall through and demote.
+                // High-cardinality column: fall through and demote,
+                // recording the overflow so it surfaces in observability
+                // instead of silently costing the dict shortcut.
+                summary.dict_overflowed = true;
             }
-            (ColumnBuilder::Generic(vals), v) => {
+            (BuilderState::Generic(vals), v) => {
                 vals.push(v.clone());
                 return;
             }
-            (ColumnBuilder::Untyped(tags), v) => {
+            (BuilderState::Untyped(tags), v) => {
                 // First concrete value fixes the type; backfill defaults.
                 let n = tags.len();
                 let taken = std::mem::take(tags);
@@ -302,28 +378,28 @@ impl ColumnBuilder {
                         data.push(*i);
                         let mut tags = taken;
                         tags.push(Presence::Present);
-                        ColumnBuilder::Int(data, tags)
+                        BuilderState::Int(data, tags)
                     }
                     Value::Double(d) => {
                         let mut data = vec![0.0; n];
                         data.push(*d);
                         let mut tags = taken;
                         tags.push(Presence::Present);
-                        ColumnBuilder::Double(data, tags)
+                        BuilderState::Double(data, tags)
                     }
                     Value::Bool(b) => {
                         let mut data = vec![false; n];
                         data.push(*b);
                         let mut tags = taken;
                         tags.push(Presence::Present);
-                        ColumnBuilder::Bool(data, tags)
+                        BuilderState::Bool(data, tags)
                     }
                     Value::Str(s) => {
                         let mut tags = taken;
                         tags.push(Presence::Present);
                         let mut lookup = HashMap::new();
                         lookup.insert(s.clone(), 0);
-                        ColumnBuilder::Str {
+                        BuilderState::Str {
                             codes: vec![0; n + 1],
                             dict: vec![Value::Str(s.clone())],
                             lookup,
@@ -339,7 +415,7 @@ impl ColumnBuilder {
                             })
                             .collect();
                         vals.push(other.clone());
-                        ColumnBuilder::Generic(vals)
+                        BuilderState::Generic(vals)
                     }
                 };
                 return;
@@ -353,28 +429,28 @@ impl ColumnBuilder {
     /// Rebuild as a generic column (reconstructing pushed lanes), then
     /// append `extra` if given.
     fn demote(&mut self, extra: Option<&Value>) {
-        let current = std::mem::replace(self, ColumnBuilder::Generic(Vec::new()));
+        let current = std::mem::replace(self, BuilderState::Generic(Vec::new()));
         let mut vals = materialize(current.finish());
         if let Some(v) = extra {
             vals.push(v.clone());
         }
-        *self = ColumnBuilder::Generic(vals);
+        *self = BuilderState::Generic(vals);
     }
 
     fn finish(self) -> Column {
         match self {
             // All lanes unknown: keep the tags, data stays empty-typed.
-            ColumnBuilder::Untyped(tags) => Column::Int {
+            BuilderState::Untyped(tags) => Column::Int {
                 data: vec![0; tags.len()],
                 tags,
             },
-            ColumnBuilder::Int(data, tags) => Column::Int { data, tags },
-            ColumnBuilder::Double(data, tags) => Column::Double { data, tags },
-            ColumnBuilder::Bool(data, tags) => Column::Bool { data, tags },
-            ColumnBuilder::Str {
+            BuilderState::Int(data, tags) => Column::Int { data, tags },
+            BuilderState::Double(data, tags) => Column::Double { data, tags },
+            BuilderState::Bool(data, tags) => Column::Bool { data, tags },
+            BuilderState::Str {
                 codes, dict, tags, ..
             } => Column::Str { codes, dict, tags },
-            ColumnBuilder::Generic(vals) => Column::Generic(vals),
+            BuilderState::Generic(vals) => Column::Generic(vals),
         }
     }
 }
@@ -493,5 +569,39 @@ mod tests {
     fn all_unknown_column_roundtrips() {
         let recs = vec![record! {"b" => 1i64}, record! {"a" => Value::Null}];
         assert_roundtrip(&recs, &["a"]);
+    }
+
+    #[test]
+    fn summaries_track_presence() {
+        let recs = vec![
+            record! {"a" => 1i64, "b" => 1i64},
+            record! {"a" => 2i64, "b" => Value::Null},
+        ];
+        let b = batch(&recs, &["a", "b", "zzz"]);
+        assert!(b.all_valid(0));
+        assert!(!b.all_valid(1), "null lane must clear all_valid");
+        assert!(!b.all_valid(2), "absent field must clear all_valid");
+        assert!(!b.summary(0).dict_overflowed);
+    }
+
+    #[test]
+    fn summaries_track_dict_overflow() {
+        let recs: Vec<Record> = (0..DICT_CAP + 10)
+            .map(|i| record! {"s" => format!("v{i}"), "t" => "tag"})
+            .collect();
+        let b = batch(&recs, &["s", "t"]);
+        assert!(b.summary(0).dict_overflowed);
+        assert!(b.all_valid(0), "overflow does not imply nulls");
+        assert!(!b.summary(1).dict_overflowed);
+        assert_eq!(b.dict_demoted(), 1);
+        assert_eq!(b.dict_columns(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_demotion_is_not_dict_overflow() {
+        let recs = vec![record! {"a" => "one"}, record! {"a" => 2i64}];
+        let b = batch(&recs, &["a"]);
+        assert!(matches!(b.column(0), Column::Generic(_)));
+        assert!(!b.summary(0).dict_overflowed);
     }
 }

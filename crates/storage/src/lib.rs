@@ -36,7 +36,9 @@ pub mod table;
 #[deny(clippy::unwrap_used)]
 pub mod wal;
 
-pub use batch::{Column, ColumnBatch, Presence, DEFAULT_BATCH_ROWS, DICT_CAP, MAX_BATCH_ROWS};
+pub use batch::{
+    Column, ColumnBatch, ColumnSummary, Presence, DEFAULT_BATCH_ROWS, DICT_CAP, MAX_BATCH_ROWS,
+};
 pub use btree::{BPlusTree, Direction, KeyBound, ScanRange};
 pub use heap::{RecordId, TableHeap};
 pub use index::{Index, IndexKind, NullPolicy};

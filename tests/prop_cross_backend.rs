@@ -222,13 +222,23 @@ fn aggregates_agree_across_backends() {
 }
 
 /// Execution configurations every sqlengine-backed language must keep
-/// byte-identical: the row-at-a-time reference, the single-core vectorized
-/// batch path (small batches so every query spans several), and the
-/// morsel-parallel path with vectorized workers (small morsels so even
-/// these datasets split).
-fn exec_configs() -> [(&'static str, ExecOptions); 3] {
+/// byte-identical: the row-at-a-time reference, the generic vectorized
+/// interpreter (kernel specialization forced off), the default vectorized
+/// path (specialized kernels once promoted; small batches so every query
+/// spans several), and the morsel-parallel path with vectorized workers
+/// (small morsels so even these datasets split).
+fn exec_configs() -> [(&'static str, ExecOptions); 4] {
     [
         ("rowwise", ExecOptions::rowwise()),
+        (
+            "vectorized-generic",
+            ExecOptions {
+                workers: 1,
+                batch_rows: 32,
+                specialize: false,
+                ..ExecOptions::default()
+            },
+        ),
         (
             "vectorized",
             ExecOptions {
@@ -592,17 +602,23 @@ fn join_pipelines_byte_identical_across_exec_paths() {
                     with_index,
                 );
                 let joined = lf.mask(&col("b").lt(cmp)).unwrap().merge(&rf, "k").unwrap();
-                let rs = match shape {
-                    0 => joined.collect(),
-                    1 => joined.head(limit),
-                    _ => joined
-                        .groupby("g")
-                        .agg(polyframe::AggFunc::Count)
-                        .unwrap()
-                        .collect(),
+                // Twice per engine: the second execution of the same
+                // pipeline runs whatever the promotion policy specialized
+                // (post-join filter kernels included) and must not change
+                // a byte.
+                for _ in 0..2 {
+                    let rs = match shape {
+                        0 => joined.collect(),
+                        1 => joined.head(limit),
+                        _ => joined
+                            .groupby("g")
+                            .agg(polyframe::AggFunc::Count)
+                            .unwrap()
+                            .collect(),
+                    }
+                    .unwrap();
+                    outputs.push((mode, format!("{:?}", rs.rows())));
                 }
-                .unwrap();
-                outputs.push((mode, format!("{:?}", rs.rows())));
             }
             let (ref_mode, reference) = &outputs[0];
             assert_eq!(*ref_mode, "rowwise");
@@ -727,5 +743,180 @@ fn distinct_and_left_join_exec_paths_byte_identical() {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel specialization: promotion and the specialized/generic contract
+// ---------------------------------------------------------------------------
+
+/// Random `WHERE` clause over the messy columns, straight SQL: comparison
+/// leaves on the NULL/MISSING-heavy `a`, the always-present `b` and the
+/// NaN/Inf-laced double `d`, chained with AND/OR plus IS [NOT] NULL — the
+/// exact shapes the fused predicate-tree kernels claim, interleaved with
+/// shapes they must decline.
+fn gen_sql_pred(rng: &mut Rng, depth: usize) -> String {
+    if depth > 0 && rng.gen_range_usize(3) == 0 {
+        let a = gen_sql_pred(rng, depth - 1);
+        let b = gen_sql_pred(rng, depth - 1);
+        let op = if rng.gen_bool() { "AND" } else { "OR" };
+        return format!("({a} {op} {b})");
+    }
+    let cmp = ["=", "<>", "<", "<=", ">", ">="][rng.gen_range_usize(6)];
+    match rng.gen_range_usize(4) {
+        0 => format!(
+            "t.{} IS {}NULL",
+            ["a", "c", "d"][rng.gen_range_usize(3)],
+            if rng.gen_bool() { "NOT " } else { "" }
+        ),
+        1 => format!("t.a {cmp} {}", rng.gen_range_i64(-5, 15)),
+        2 => format!("t.b {cmp} {}", rng.gen_range_i64(-5, 15)),
+        _ => format!("t.d {cmp} {}.5", rng.gen_range_i64(-20, 20)),
+    }
+}
+
+/// Random scalar-aggregate list (no GROUP BY): the shape the fused
+/// scan→filter→aggregate kernel folds without materializing a projected
+/// batch. Aggregating the NULL-heavy `a` and the NaN/Inf double `d`
+/// pins unknown-skip and non-finite fold semantics.
+fn gen_sql_aggs(rng: &mut Rng) -> String {
+    let pool = [
+        "COUNT(*) AS c",
+        "SUM(b) AS sb",
+        "MIN(b) AS nb",
+        "MAX(b) AS xb",
+        "SUM(a) AS sa",
+        "MAX(a) AS xa",
+        "SUM(d) AS sd",
+        "MIN(d) AS nd",
+        "MAX(d) AS xd",
+    ];
+    let n = 1 + rng.gen_range_usize(3);
+    let mut picked: Vec<&str> = Vec::new();
+    while picked.len() < n {
+        let cand = pool[rng.gen_range_usize(pool.len())];
+        if !picked.contains(&cand) {
+            picked.push(cand);
+        }
+    }
+    picked.join(", ")
+}
+
+fn fresh_engine(config: EngineConfig, records: &[Record]) -> Engine {
+    let engine = Engine::new(config);
+    engine.create_dataset("T", "d", Some("id")).unwrap();
+    engine.load("T", "d", records.to_vec()).unwrap();
+    engine
+}
+
+/// The adaptive-promotion contract, swept randomly: a repeated query runs
+/// generic while warming up and specialized from its second execution on,
+/// and promotion mid-stream must never change a byte — on NULL/MISSING/
+/// NaN-heavy data, for both SQL dialects, serial and parallel.
+#[test]
+fn kernel_promotion_mid_stream_is_byte_identical() {
+    let mut rng = Rng::seed_from_u64(0x57EC);
+    for case in 0..CASES {
+        let records = gen_messy_records(&mut rng);
+        let pred = gen_sql_pred(&mut rng, 2);
+        let aggs = gen_sql_aggs(&mut rng);
+        let sql = format!("SELECT {aggs} FROM (SELECT * FROM T.d) t WHERE {pred}");
+
+        type ConfigFn = fn() -> EngineConfig;
+        for (lang, config) in [
+            ("sql++", EngineConfig::asterixdb as ConfigFn),
+            ("sql", EngineConfig::postgres as ConfigFn),
+        ] {
+            let reference = {
+                let e = fresh_engine(config().with_exec(ExecOptions::rowwise()), &records);
+                format!("{:?}", e.query(&sql).unwrap())
+            };
+            let generic = {
+                let e = fresh_engine(
+                    config().with_exec(ExecOptions {
+                        workers: 1,
+                        batch_rows: 32,
+                        specialize: false,
+                        ..ExecOptions::default()
+                    }),
+                    &records,
+                );
+                format!("{:?}", e.query(&sql).unwrap())
+            };
+            assert_eq!(
+                generic, reference,
+                "case {case}: {lang} generic vectorized diverged: {sql}"
+            );
+            // One engine, three executions: run 1 is the generic warm-up,
+            // runs 2-3 hit whatever the promotion policy specialized.
+            let hot = fresh_engine(
+                config().with_exec(ExecOptions {
+                    workers: 1,
+                    batch_rows: 32,
+                    ..ExecOptions::default()
+                }),
+                &records,
+            );
+            for run in 1..=3 {
+                let out = format!("{:?}", hot.query(&sql).unwrap());
+                assert_eq!(
+                    out, reference,
+                    "case {case}: {lang} run {run} diverged across promotion: {sql}"
+                );
+            }
+            // Same contract under morsel parallelism (workers share the
+            // promoted plan).
+            let par = fresh_engine(
+                config().with_exec(ExecOptions {
+                    workers: 4,
+                    morsel_rows: 48,
+                    batch_rows: 16,
+                    ..ExecOptions::default()
+                }),
+                &records,
+            );
+            for run in 1..=2 {
+                let out = format!("{:?}", par.query(&sql).unwrap());
+                assert_eq!(
+                    out, reference,
+                    "case {case}: {lang} parallel run {run} diverged: {sql}"
+                );
+            }
+        }
+    }
+}
+
+/// Promotion is observable exactly where the design says: the first
+/// execution of a fresh query traces `kernel=generic`, the second traces
+/// `kernel=specialized` with a positive `kernel_promotions` count — and
+/// both return identical bytes.
+#[test]
+fn promotion_lands_on_second_execution_and_is_traced() {
+    let mut rng = Rng::seed_from_u64(0xB0057);
+    let records = gen_messy_records(&mut rng);
+    let sql = "SELECT COUNT(*) AS c, SUM(b) AS s, MIN(d) AS n, MAX(a) AS x \
+               FROM (SELECT * FROM T.d) t WHERE t.b < 9 AND t.a > -4";
+    for config in [EngineConfig::postgres(), EngineConfig::asterixdb()] {
+        let engine = fresh_engine(
+            config.with_exec(ExecOptions {
+                workers: 1,
+                batch_rows: 32,
+                ..ExecOptions::default()
+            }),
+            &records,
+        );
+        let (rows1, span1) = engine.query_traced(sql).unwrap();
+        let exec1 = span1.find("exec").unwrap();
+        assert_eq!(exec1.note("vectorized"), Some("true"));
+        assert_eq!(exec1.note("kernel"), Some("generic"), "warm-up run");
+        let (rows2, span2) = engine.query_traced(sql).unwrap();
+        let exec2 = span2.find("exec").unwrap();
+        assert_eq!(
+            exec2.note("kernel"),
+            Some("specialized"),
+            "second execution must run promoted kernels"
+        );
+        assert!(exec2.metric("kernel_promotions").unwrap() >= 1);
+        assert_eq!(format!("{rows1:?}"), format!("{rows2:?}"));
     }
 }
